@@ -1,0 +1,71 @@
+//! Runtime cost of the analyzer's design choices (the quality-side
+//! ablations live in the `experiments` binary; these measure what each
+//! choice costs in time).
+
+use criterion::{black_box, criterion_group, criterion_main, Criterion};
+use tdat::{Analyzer, AnalyzerConfig};
+use tdat_bench::{generate_transfer, Dataset, Scenario};
+use tdat_packet::TcpFrame;
+use tdat_timeset::Micros;
+
+fn frames() -> Vec<TcpFrame> {
+    generate_transfer(
+        Dataset::IspAVendor,
+        0,
+        Scenario::TimerPaced {
+            interval: Micros::from_millis(200),
+            quota: 8192,
+        },
+        12_000,
+        8_888,
+    )
+    .frames
+}
+
+fn bench_ack_shift_cost(c: &mut Criterion) {
+    let frames = frames();
+    let mut group = c.benchmark_group("ablation_cost");
+    for (name, disable) in [("with_ack_shift", false), ("without_ack_shift", true)] {
+        let analyzer = Analyzer::new(AnalyzerConfig {
+            disable_ack_shift: disable,
+            ..AnalyzerConfig::default()
+        });
+        group.bench_function(name, |b| {
+            b.iter(|| black_box(analyzer.analyze_frames(&frames)))
+        });
+    }
+    group.finish();
+}
+
+fn bench_preprocess_only(c: &mut Criterion) {
+    let frames = frames();
+    let conns = tdat_trace::extract_connections(&frames);
+    c.bench_function("shift_acks", |b| {
+        b.iter(|| black_box(tdat::preprocess::shift_acks(&conns[0])))
+    });
+}
+
+fn bench_detectors(c: &mut Criterion) {
+    let frames = frames();
+    let analyses = Analyzer::default().analyze_frames(&frames);
+    let analysis = &analyses[0];
+    let mut group = c.benchmark_group("detectors");
+    group.bench_function("infer_timer", |b| {
+        b.iter(|| black_box(analysis.infer_timer(8)))
+    });
+    group.bench_function("consecutive_losses", |b| {
+        b.iter(|| black_box(analysis.consecutive_losses(&AnalyzerConfig::default())))
+    });
+    group.bench_function("zero_ack_bug", |b| {
+        b.iter(|| black_box(analysis.zero_ack_bug()))
+    });
+    group.finish();
+}
+
+criterion_group!(
+    benches,
+    bench_ack_shift_cost,
+    bench_preprocess_only,
+    bench_detectors
+);
+criterion_main!(benches);

@@ -1,0 +1,79 @@
+//! Micro-benchmarks of the time-range set — the data structure every
+//! T-DAT series operation reduces to (paper §V-C measures the Perl
+//! prototype at 26 s per connection; these numbers document how far the
+//! Rust implementation moves that bar).
+
+use criterion::{black_box, criterion_group, criterion_main, BenchmarkId, Criterion};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use tdat_timeset::{EventSeries, Span, SpanSet};
+
+fn random_set(rng: &mut StdRng, spans: usize, horizon: i64) -> SpanSet {
+    SpanSet::from_spans((0..spans).map(|_| {
+        let start = rng.gen_range(0..horizon);
+        let len = rng.gen_range(1..horizon / spans as i64 / 2 + 2);
+        Span::from_micros(start, start + len)
+    }))
+}
+
+fn bench_set_algebra(c: &mut Criterion) {
+    let mut group = c.benchmark_group("spanset");
+    for &n in &[100usize, 1_000, 10_000] {
+        let mut rng = StdRng::seed_from_u64(7);
+        let horizon = 600_000_000i64; // a 10-minute transfer
+        let a = random_set(&mut rng, n, horizon);
+        let b = random_set(&mut rng, n, horizon);
+        group.bench_with_input(BenchmarkId::new("union", n), &n, |bench, _| {
+            bench.iter(|| black_box(a.union(&b)))
+        });
+        group.bench_with_input(BenchmarkId::new("intersection", n), &n, |bench, _| {
+            bench.iter(|| black_box(a.intersection(&b)))
+        });
+        group.bench_with_input(BenchmarkId::new("complement", n), &n, |bench, _| {
+            bench.iter(|| black_box(a.complement(Span::from_micros(0, horizon))))
+        });
+        group.bench_with_input(BenchmarkId::new("size+ratio", n), &n, |bench, _| {
+            bench.iter(|| black_box(a.ratio(Span::from_micros(0, horizon))))
+        });
+        group.bench_with_input(BenchmarkId::new("insert", n), &n, |bench, _| {
+            bench.iter(|| {
+                let mut set = a.clone();
+                set.insert(Span::from_micros(horizon / 2, horizon / 2 + 500));
+                black_box(set)
+            })
+        });
+    }
+    group.finish();
+}
+
+fn bench_event_series(c: &mut Criterion) {
+    let mut group = c.benchmark_group("event_series");
+    for &n in &[1_000usize, 10_000] {
+        let mut rng = StdRng::seed_from_u64(9);
+        let mut series: EventSeries<u32> = EventSeries::new("bench");
+        let mut t = 0i64;
+        for _ in 0..n {
+            t += rng.gen_range(1..2_000);
+            series.push(Span::from_micros(t, t + rng.gen_range(1..1_500)), 1448);
+        }
+        group.bench_with_input(BenchmarkId::new("to_span_set", n), &n, |bench, _| {
+            bench.iter(|| black_box(series.to_span_set()))
+        });
+        group.bench_with_input(BenchmarkId::new("size", n), &n, |bench, _| {
+            bench.iter(|| black_box(series.size()))
+        });
+        group.bench_with_input(BenchmarkId::new("push_sorted", n), &n, |bench, _| {
+            bench.iter(|| {
+                let mut s: EventSeries<u32> = EventSeries::new("b");
+                for i in 0..n as i64 {
+                    s.push(Span::from_micros(i * 10, i * 10 + 5), 1);
+                }
+                black_box(s)
+            })
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_set_algebra, bench_event_series);
+criterion_main!(benches);

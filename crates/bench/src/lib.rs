@@ -1,0 +1,19 @@
+//! Experiment harness regenerating every table and figure of the paper.
+//!
+//! See `DESIGN.md` for the experiment index and `EXPERIMENTS.md` for
+//! recorded results. The `experiments` binary drives everything:
+//!
+//! ```text
+//! cargo run -p tdat-bench --release --bin experiments -- all
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod corpus;
+pub mod experiments;
+
+pub use corpus::{
+    generate_transfer, generate_transfer_with, parallel_map, router_profile, Corpus, Dataset,
+    RouterProfile, Scenario, Transfer,
+};

@@ -1,0 +1,94 @@
+//! Error type for BGP and MRT codecs.
+
+use std::fmt;
+use std::io;
+
+/// Errors from decoding/encoding BGP messages and MRT records.
+#[derive(Debug)]
+#[non_exhaustive]
+pub enum BgpError {
+    /// Input ended before a complete message/record.
+    Truncated {
+        /// What was being decoded.
+        what: &'static str,
+        /// Bytes required.
+        needed: usize,
+        /// Bytes available.
+        available: usize,
+    },
+    /// A field held an invalid or unsupported value.
+    Malformed {
+        /// What was being decoded.
+        what: &'static str,
+        /// Description of the problem.
+        detail: String,
+    },
+    /// Underlying I/O failure.
+    Io(io::Error),
+}
+
+impl fmt::Display for BgpError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            BgpError::Truncated {
+                what,
+                needed,
+                available,
+            } => write!(
+                f,
+                "truncated {what}: needed {needed} bytes, only {available} available"
+            ),
+            BgpError::Malformed { what, detail } => write!(f, "malformed {what}: {detail}"),
+            BgpError::Io(err) => write!(f, "i/o error: {err}"),
+        }
+    }
+}
+
+impl std::error::Error for BgpError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            BgpError::Io(err) => Some(err),
+            _ => None,
+        }
+    }
+}
+
+impl From<io::Error> for BgpError {
+    fn from(err: io::Error) -> Self {
+        BgpError::Io(err)
+    }
+}
+
+/// Convenience alias for results in this crate.
+pub type Result<T> = std::result::Result<T, BgpError>;
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_is_informative() {
+        let e = BgpError::Truncated {
+            what: "bgp header",
+            needed: 19,
+            available: 3,
+        };
+        assert!(e.to_string().contains("19"));
+        let e = BgpError::Malformed {
+            what: "update",
+            detail: "bad length".into(),
+        };
+        assert_eq!(e.to_string(), "malformed update: bad length");
+    }
+}
+
+#[cfg(test)]
+mod trait_assertions {
+    use super::BgpError;
+
+    #[test]
+    fn error_is_send_sync_static() {
+        fn assert_bounds<T: std::error::Error + Send + Sync + 'static>() {}
+        assert_bounds::<BgpError>();
+    }
+}

@@ -1,0 +1,469 @@
+//! BGP-4 message codec (RFC 4271 §4).
+
+use bytes::{Buf, BufMut};
+use std::fmt;
+use std::net::Ipv4Addr;
+
+use crate::attrs::PathAttribute;
+use crate::error::{BgpError, Result};
+use crate::prefix::Prefix;
+
+/// Fixed BGP message header length: 16-byte marker + length + type.
+pub const BGP_HEADER_LEN: usize = 19;
+/// Maximum BGP message length permitted by RFC 4271.
+pub const BGP_MAX_MESSAGE_LEN: usize = 4096;
+/// Wire length of a KEEPALIVE (header only).
+pub const KEEPALIVE_LEN: usize = BGP_HEADER_LEN;
+
+/// A BGP OPEN message.
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
+pub struct OpenMessage {
+    /// Protocol version, always 4.
+    pub version: u8,
+    /// Sender's autonomous system number.
+    pub my_as: u16,
+    /// Proposed hold time in seconds (0 disables keepalives).
+    pub hold_time: u16,
+    /// Sender's BGP identifier.
+    pub bgp_id: Ipv4Addr,
+    /// Raw optional parameter bytes (capabilities etc.), kept opaque.
+    pub opt_params: Vec<u8>,
+}
+
+impl OpenMessage {
+    /// Creates a version-4 OPEN with no optional parameters.
+    pub fn new(my_as: u16, hold_time: u16, bgp_id: Ipv4Addr) -> OpenMessage {
+        OpenMessage {
+            version: 4,
+            my_as,
+            hold_time,
+            bgp_id,
+            opt_params: Vec::new(),
+        }
+    }
+}
+
+/// A BGP UPDATE message: withdrawn routes, path attributes, and the
+/// announced NLRI sharing those attributes.
+#[derive(Debug, Clone, PartialEq, Eq, Hash, Default)]
+pub struct UpdateMessage {
+    /// Prefixes withdrawn from service.
+    pub withdrawn: Vec<Prefix>,
+    /// Path attributes for the announced prefixes.
+    pub attributes: Vec<PathAttribute>,
+    /// Announced prefixes (NLRI).
+    pub announced: Vec<Prefix>,
+}
+
+impl UpdateMessage {
+    /// Creates an announcement of `announced` with `attributes`.
+    pub fn announce(attributes: Vec<PathAttribute>, announced: Vec<Prefix>) -> UpdateMessage {
+        UpdateMessage {
+            withdrawn: Vec::new(),
+            attributes,
+            announced,
+        }
+    }
+
+    /// The AS_PATH attribute, if present.
+    pub fn as_path(&self) -> Option<&crate::AsPath> {
+        self.attributes.iter().find_map(|a| match a {
+            PathAttribute::AsPath(p) => Some(p),
+            _ => None,
+        })
+    }
+
+    /// Wire length of the complete message including header.
+    pub fn wire_len(&self) -> usize {
+        let withdrawn: usize = self.withdrawn.iter().map(Prefix::wire_len).sum();
+        let attrs: usize = self.attributes.iter().map(PathAttribute::wire_len).sum();
+        let nlri: usize = self.announced.iter().map(Prefix::wire_len).sum();
+        BGP_HEADER_LEN + 2 + withdrawn + 2 + attrs + nlri
+    }
+}
+
+/// A BGP NOTIFICATION message (session teardown).
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
+pub struct NotificationMessage {
+    /// Major error code.
+    pub code: u8,
+    /// Error subcode.
+    pub subcode: u8,
+    /// Diagnostic data.
+    pub data: Vec<u8>,
+}
+
+/// Any BGP message.
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
+pub enum BgpMessage {
+    /// Session establishment (type 1).
+    Open(OpenMessage),
+    /// Route announcement/withdrawal (type 2).
+    Update(UpdateMessage),
+    /// Session teardown (type 3).
+    Notification(NotificationMessage),
+    /// Liveness probe (type 4).
+    Keepalive,
+}
+
+impl BgpMessage {
+    /// The wire type code.
+    pub fn type_code(&self) -> u8 {
+        match self {
+            BgpMessage::Open(_) => 1,
+            BgpMessage::Update(_) => 2,
+            BgpMessage::Notification(_) => 3,
+            BgpMessage::Keepalive => 4,
+        }
+    }
+
+    /// Wire length of the complete message including header.
+    pub fn wire_len(&self) -> usize {
+        match self {
+            BgpMessage::Open(open) => BGP_HEADER_LEN + 10 + open.opt_params.len(),
+            BgpMessage::Update(update) => update.wire_len(),
+            BgpMessage::Notification(n) => BGP_HEADER_LEN + 2 + n.data.len(),
+            BgpMessage::Keepalive => KEEPALIVE_LEN,
+        }
+    }
+
+    /// Encodes the message, including the all-ones marker and header.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the message exceeds [`BGP_MAX_MESSAGE_LEN`]; callers
+    /// (e.g. the table generator) are responsible for packing updates
+    /// within the limit.
+    pub fn encode(&self, out: &mut impl BufMut) {
+        let len = self.wire_len();
+        assert!(
+            len <= BGP_MAX_MESSAGE_LEN,
+            "bgp message of {len} bytes exceeds the 4096-byte maximum"
+        );
+        out.put_slice(&[0xff; 16]);
+        out.put_u16(len as u16);
+        out.put_u8(self.type_code());
+        match self {
+            BgpMessage::Open(open) => {
+                out.put_u8(open.version);
+                out.put_u16(open.my_as);
+                out.put_u16(open.hold_time);
+                out.put_slice(&open.bgp_id.octets());
+                out.put_u8(open.opt_params.len() as u8);
+                out.put_slice(&open.opt_params);
+            }
+            BgpMessage::Update(update) => {
+                let withdrawn_len: usize = update.withdrawn.iter().map(Prefix::wire_len).sum();
+                out.put_u16(withdrawn_len as u16);
+                for p in &update.withdrawn {
+                    p.encode(out);
+                }
+                let attrs_len: usize = update.attributes.iter().map(PathAttribute::wire_len).sum();
+                out.put_u16(attrs_len as u16);
+                for a in &update.attributes {
+                    a.encode(out);
+                }
+                for p in &update.announced {
+                    p.encode(out);
+                }
+            }
+            BgpMessage::Notification(n) => {
+                out.put_u8(n.code);
+                out.put_u8(n.subcode);
+                out.put_slice(&n.data);
+            }
+            BgpMessage::Keepalive => {}
+        }
+    }
+
+    /// Encodes to a fresh byte vector.
+    pub fn to_bytes(&self) -> Vec<u8> {
+        let mut out = Vec::with_capacity(self.wire_len());
+        self.encode(&mut out);
+        out
+    }
+
+    /// Decodes one message from the front of `buf`, advancing past it.
+    ///
+    /// Returns `Ok(None)` if `buf` holds only a partial message (the
+    /// caller should wait for more stream bytes).
+    ///
+    /// # Errors
+    ///
+    /// Fails on a bad marker, a length outside `[19, 4096]`, an unknown
+    /// type code, or malformed bodies.
+    pub fn decode(buf: &mut &[u8]) -> Result<Option<BgpMessage>> {
+        if buf.len() < BGP_HEADER_LEN {
+            return Ok(None);
+        }
+        let marker_ok = buf[..16].iter().all(|&b| b == 0xff);
+        if !marker_ok {
+            return Err(BgpError::Malformed {
+                what: "bgp header",
+                detail: "marker is not all ones".to_string(),
+            });
+        }
+        let len = u16::from_be_bytes([buf[16], buf[17]]) as usize;
+        if !(BGP_HEADER_LEN..=BGP_MAX_MESSAGE_LEN).contains(&len) {
+            return Err(BgpError::Malformed {
+                what: "bgp header",
+                detail: format!("message length {len} outside [19, 4096]"),
+            });
+        }
+        if buf.len() < len {
+            return Ok(None);
+        }
+        let type_code = buf[18];
+        let mut body = &buf[BGP_HEADER_LEN..len];
+        let message = match type_code {
+            1 => {
+                if body.remaining() < 10 {
+                    return Err(BgpError::Truncated {
+                        what: "open message",
+                        needed: 10,
+                        available: body.remaining(),
+                    });
+                }
+                let version = body.get_u8();
+                let my_as = body.get_u16();
+                let hold_time = body.get_u16();
+                let bgp_id = Ipv4Addr::from(body.get_u32());
+                let opt_len = body.get_u8() as usize;
+                if body.remaining() < opt_len {
+                    return Err(BgpError::Truncated {
+                        what: "open optional parameters",
+                        needed: opt_len,
+                        available: body.remaining(),
+                    });
+                }
+                let opt_params = body[..opt_len].to_vec();
+                BgpMessage::Open(OpenMessage {
+                    version,
+                    my_as,
+                    hold_time,
+                    bgp_id,
+                    opt_params,
+                })
+            }
+            2 => BgpMessage::Update(decode_update_body(body)?),
+            3 => {
+                if body.remaining() < 2 {
+                    return Err(BgpError::Truncated {
+                        what: "notification message",
+                        needed: 2,
+                        available: body.remaining(),
+                    });
+                }
+                let code = body.get_u8();
+                let subcode = body.get_u8();
+                BgpMessage::Notification(NotificationMessage {
+                    code,
+                    subcode,
+                    data: body.to_vec(),
+                })
+            }
+            4 => {
+                if len != KEEPALIVE_LEN {
+                    return Err(BgpError::Malformed {
+                        what: "keepalive message",
+                        detail: format!("length {len}, expected 19"),
+                    });
+                }
+                BgpMessage::Keepalive
+            }
+            _ => {
+                return Err(BgpError::Malformed {
+                    what: "bgp header",
+                    detail: format!("unknown message type {type_code}"),
+                })
+            }
+        };
+        *buf = &buf[len..];
+        Ok(Some(message))
+    }
+}
+
+fn decode_update_body(mut body: &[u8]) -> Result<UpdateMessage> {
+    if body.remaining() < 2 {
+        return Err(BgpError::Truncated {
+            what: "update message",
+            needed: 2,
+            available: body.remaining(),
+        });
+    }
+    let withdrawn_len = body.get_u16() as usize;
+    if body.remaining() < withdrawn_len {
+        return Err(BgpError::Truncated {
+            what: "withdrawn routes",
+            needed: withdrawn_len,
+            available: body.remaining(),
+        });
+    }
+    let mut withdrawn_buf = &body[..withdrawn_len];
+    body.advance(withdrawn_len);
+    let mut withdrawn = Vec::new();
+    while withdrawn_buf.has_remaining() {
+        withdrawn.push(Prefix::decode(&mut withdrawn_buf)?);
+    }
+    if body.remaining() < 2 {
+        return Err(BgpError::Truncated {
+            what: "update message",
+            needed: 2,
+            available: body.remaining(),
+        });
+    }
+    let attrs_len = body.get_u16() as usize;
+    if body.remaining() < attrs_len {
+        return Err(BgpError::Truncated {
+            what: "path attributes",
+            needed: attrs_len,
+            available: body.remaining(),
+        });
+    }
+    let mut attrs_buf = &body[..attrs_len];
+    body.advance(attrs_len);
+    let mut attributes = Vec::new();
+    while attrs_buf.has_remaining() {
+        attributes.push(PathAttribute::decode(&mut attrs_buf)?);
+    }
+    let mut announced = Vec::new();
+    while body.has_remaining() {
+        announced.push(Prefix::decode(&mut body)?);
+    }
+    Ok(UpdateMessage {
+        withdrawn,
+        attributes,
+        announced,
+    })
+}
+
+impl fmt::Display for BgpMessage {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            BgpMessage::Open(o) => write!(
+                f,
+                "OPEN as {} hold {}s id {}",
+                o.my_as, o.hold_time, o.bgp_id
+            ),
+            BgpMessage::Update(u) => write!(
+                f,
+                "UPDATE +{} -{} ({} attrs)",
+                u.announced.len(),
+                u.withdrawn.len(),
+                u.attributes.len()
+            ),
+            BgpMessage::Notification(n) => {
+                write!(f, "NOTIFICATION code {} subcode {}", n.code, n.subcode)
+            }
+            BgpMessage::Keepalive => write!(f, "KEEPALIVE"),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::attrs::{AsPath, Origin};
+
+    fn round_trip(msg: BgpMessage) {
+        let wire = msg.to_bytes();
+        assert_eq!(wire.len(), msg.wire_len());
+        let mut rest = &wire[..];
+        let got = BgpMessage::decode(&mut rest).unwrap().unwrap();
+        assert!(rest.is_empty());
+        assert_eq!(got, msg);
+    }
+
+    #[test]
+    fn round_trip_open_keepalive_notification() {
+        round_trip(BgpMessage::Open(OpenMessage::new(
+            65001,
+            180,
+            "10.0.0.1".parse().unwrap(),
+        )));
+        round_trip(BgpMessage::Keepalive);
+        round_trip(BgpMessage::Notification(NotificationMessage {
+            code: 6,
+            subcode: 2,
+            data: vec![1, 2, 3],
+        }));
+    }
+
+    #[test]
+    fn round_trip_update() {
+        let update = UpdateMessage {
+            withdrawn: vec!["10.9.0.0/16".parse().unwrap()],
+            attributes: vec![
+                PathAttribute::Origin(Origin::Igp),
+                PathAttribute::AsPath(AsPath::sequence([65001, 174, 3356])),
+                PathAttribute::NextHop("192.0.2.1".parse().unwrap()),
+            ],
+            announced: vec![
+                "203.0.113.0/24".parse().unwrap(),
+                "198.51.100.0/25".parse().unwrap(),
+            ],
+        };
+        round_trip(BgpMessage::Update(update));
+    }
+
+    #[test]
+    fn decode_partial_returns_none() {
+        let msg = BgpMessage::Keepalive.to_bytes();
+        let mut partial = &msg[..10];
+        assert_eq!(BgpMessage::decode(&mut partial).unwrap(), None);
+        let mut missing_body = &msg[..18];
+        assert_eq!(BgpMessage::decode(&mut missing_body).unwrap(), None);
+    }
+
+    #[test]
+    fn decode_stream_of_messages() {
+        let mut stream = Vec::new();
+        let msgs = vec![
+            BgpMessage::Open(OpenMessage::new(1, 90, "1.1.1.1".parse().unwrap())),
+            BgpMessage::Keepalive,
+            BgpMessage::Update(UpdateMessage::announce(
+                vec![PathAttribute::Origin(Origin::Incomplete)],
+                vec!["10.0.0.0/8".parse().unwrap()],
+            )),
+        ];
+        for m in &msgs {
+            stream.extend_from_slice(&m.to_bytes());
+        }
+        let mut rest = &stream[..];
+        let mut got = Vec::new();
+        while let Some(m) = BgpMessage::decode(&mut rest).unwrap() {
+            got.push(m);
+        }
+        assert_eq!(got, msgs);
+    }
+
+    #[test]
+    fn bad_marker_rejected() {
+        let mut wire = BgpMessage::Keepalive.to_bytes();
+        wire[0] = 0;
+        assert!(BgpMessage::decode(&mut &wire[..]).is_err());
+    }
+
+    #[test]
+    fn bad_length_rejected() {
+        let mut wire = BgpMessage::Keepalive.to_bytes();
+        wire[16] = 0;
+        wire[17] = 5; // length 5 < 19
+        assert!(BgpMessage::decode(&mut &wire[..]).is_err());
+    }
+
+    #[test]
+    fn unknown_type_rejected() {
+        let mut wire = BgpMessage::Keepalive.to_bytes();
+        wire[18] = 77;
+        assert!(BgpMessage::decode(&mut &wire[..]).is_err());
+    }
+
+    #[test]
+    fn keepalive_with_body_rejected() {
+        let mut wire = BgpMessage::Keepalive.to_bytes();
+        wire.push(0);
+        wire[17] = 20;
+        assert!(BgpMessage::decode(&mut &wire[..]).is_err());
+    }
+}

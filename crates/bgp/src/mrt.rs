@@ -1,0 +1,285 @@
+//! MRT (Multi-threaded Routing Toolkit) archive format.
+//!
+//! Quagga collectors record received BGP messages as MRT `BGP4MP`
+//! records; this module writes and reads that framing (RFC 6396),
+//! covering the `BGP4MP_MESSAGE` and `BGP4MP_STATE_CHANGE` subtypes used
+//! by update archives.
+
+use bytes::{Buf, BufMut};
+use std::io::{Read, Write};
+use std::net::Ipv4Addr;
+
+use crate::error::{BgpError, Result};
+use crate::message::BgpMessage;
+use tdat_timeset::Micros;
+
+/// MRT type code for BGP4MP records.
+pub const MRT_TYPE_BGP4MP: u16 = 16;
+/// Subtype: a state change of the BGP FSM.
+pub const BGP4MP_STATE_CHANGE: u16 = 0;
+/// Subtype: a BGP message as received from a peer.
+pub const BGP4MP_MESSAGE: u16 = 1;
+
+/// One BGP4MP record: who sent what, when.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct MrtRecord {
+    /// Capture timestamp, seconds since the archive epoch (MRT stores
+    /// whole seconds; microsecond subtypes are not emitted by the
+    /// collectors modeled here).
+    pub timestamp_secs: u32,
+    /// Record subtype ([`BGP4MP_MESSAGE`] or [`BGP4MP_STATE_CHANGE`]).
+    pub subtype: u16,
+    /// Peer (sender) autonomous system.
+    pub peer_as: u16,
+    /// Local (collector) autonomous system.
+    pub local_as: u16,
+    /// Peer IP address.
+    pub peer_ip: Ipv4Addr,
+    /// Local IP address.
+    pub local_ip: Ipv4Addr,
+    /// Payload: an encoded BGP message (for `BGP4MP_MESSAGE`) or the
+    /// old/new FSM states (for `BGP4MP_STATE_CHANGE`).
+    pub body: Vec<u8>,
+}
+
+impl MrtRecord {
+    /// Wraps a BGP message in a `BGP4MP_MESSAGE` record.
+    pub fn message(
+        timestamp: Micros,
+        peer_as: u16,
+        local_as: u16,
+        peer_ip: Ipv4Addr,
+        local_ip: Ipv4Addr,
+        message: &BgpMessage,
+    ) -> MrtRecord {
+        MrtRecord {
+            timestamp_secs: (timestamp.as_micros() / 1_000_000).max(0) as u32,
+            subtype: BGP4MP_MESSAGE,
+            peer_as,
+            local_as,
+            peer_ip,
+            local_ip,
+            body: message.to_bytes(),
+        }
+    }
+
+    /// Decodes the body as a BGP message (for `BGP4MP_MESSAGE`
+    /// records).
+    ///
+    /// # Errors
+    ///
+    /// Fails if the record is a state change or the body is not a
+    /// complete, valid BGP message.
+    pub fn bgp_message(&self) -> Result<BgpMessage> {
+        if self.subtype != BGP4MP_MESSAGE {
+            return Err(BgpError::Malformed {
+                what: "mrt record",
+                detail: format!("subtype {} is not BGP4MP_MESSAGE", self.subtype),
+            });
+        }
+        let mut buf = &self.body[..];
+        match BgpMessage::decode(&mut buf)? {
+            Some(msg) if buf.is_empty() => Ok(msg),
+            Some(_) => Err(BgpError::Malformed {
+                what: "mrt record",
+                detail: "trailing bytes after bgp message".to_string(),
+            }),
+            None => Err(BgpError::Truncated {
+                what: "mrt bgp message",
+                needed: 19,
+                available: self.body.len(),
+            }),
+        }
+    }
+
+    /// Writes the record to `out` in MRT wire format.
+    ///
+    /// # Errors
+    ///
+    /// Fails on I/O errors.
+    pub fn write_to(&self, out: &mut impl Write) -> Result<()> {
+        let mut header = Vec::with_capacity(12 + 16);
+        header.put_u32(self.timestamp_secs);
+        header.put_u16(MRT_TYPE_BGP4MP);
+        header.put_u16(self.subtype);
+        header.put_u32((16 + self.body.len()) as u32);
+        header.put_u16(self.peer_as);
+        header.put_u16(self.local_as);
+        header.put_u16(0); // interface index
+        header.put_u16(1); // address family: IPv4
+        header.put_slice(&self.peer_ip.octets());
+        header.put_slice(&self.local_ip.octets());
+        out.write_all(&header)?;
+        out.write_all(&self.body)?;
+        Ok(())
+    }
+
+    /// Reads one record, returning `Ok(None)` at a clean end of
+    /// stream.
+    ///
+    /// # Errors
+    ///
+    /// Fails on I/O errors, a non-BGP4MP type, or truncation inside a
+    /// record.
+    pub fn read_from(input: &mut impl Read) -> Result<Option<MrtRecord>> {
+        let mut header = [0u8; 12];
+        match input.read_exact(&mut header) {
+            Ok(()) => {}
+            Err(e) if e.kind() == std::io::ErrorKind::UnexpectedEof => return Ok(None),
+            Err(e) => return Err(e.into()),
+        }
+        let mut h = &header[..];
+        let timestamp_secs = h.get_u32();
+        let mrt_type = h.get_u16();
+        let subtype = h.get_u16();
+        let len = h.get_u32() as usize;
+        if mrt_type != MRT_TYPE_BGP4MP {
+            return Err(BgpError::Malformed {
+                what: "mrt record",
+                detail: format!("unsupported mrt type {mrt_type}"),
+            });
+        }
+        if len < 16 {
+            return Err(BgpError::Malformed {
+                what: "mrt record",
+                detail: format!("bgp4mp record length {len} below 16-byte fixed part"),
+            });
+        }
+        let mut rest = vec![0u8; len];
+        input.read_exact(&mut rest)?;
+        let mut r = &rest[..];
+        let peer_as = r.get_u16();
+        let local_as = r.get_u16();
+        let _ifindex = r.get_u16();
+        let afi = r.get_u16();
+        if afi != 1 {
+            return Err(BgpError::Malformed {
+                what: "mrt record",
+                detail: format!("address family {afi}, only IPv4 (1) supported"),
+            });
+        }
+        let peer_ip = Ipv4Addr::from(r.get_u32());
+        let local_ip = Ipv4Addr::from(r.get_u32());
+        Ok(Some(MrtRecord {
+            timestamp_secs,
+            subtype,
+            peer_as,
+            local_as,
+            peer_ip,
+            local_ip,
+            body: r.to_vec(),
+        }))
+    }
+}
+
+/// Reads every record from an MRT stream.
+///
+/// # Errors
+///
+/// Propagates the first read/decode error.
+pub fn read_mrt(mut input: impl Read) -> Result<Vec<MrtRecord>> {
+    let mut records = Vec::new();
+    while let Some(record) = MrtRecord::read_from(&mut input)? {
+        records.push(record);
+    }
+    Ok(records)
+}
+
+/// Writes records to an MRT stream.
+///
+/// # Errors
+///
+/// Fails on I/O errors.
+pub fn write_mrt<'a>(
+    mut output: impl Write,
+    records: impl IntoIterator<Item = &'a MrtRecord>,
+) -> Result<()> {
+    for record in records {
+        record.write_to(&mut output)?;
+    }
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::message::{OpenMessage, UpdateMessage};
+    use crate::PathAttribute;
+
+    fn sample_records() -> Vec<MrtRecord> {
+        let peer = "10.0.0.1".parse().unwrap();
+        let local = "10.0.0.2".parse().unwrap();
+        vec![
+            MrtRecord::message(
+                Micros::from_secs(100),
+                65001,
+                65535,
+                peer,
+                local,
+                &BgpMessage::Open(OpenMessage::new(65001, 180, peer)),
+            ),
+            MrtRecord::message(
+                Micros::from_secs(101),
+                65001,
+                65535,
+                peer,
+                local,
+                &BgpMessage::Update(UpdateMessage::announce(
+                    vec![PathAttribute::NextHop(peer)],
+                    vec!["203.0.113.0/24".parse().unwrap()],
+                )),
+            ),
+            MrtRecord::message(
+                Micros::from_secs(130),
+                65001,
+                65535,
+                peer,
+                local,
+                &BgpMessage::Keepalive,
+            ),
+        ]
+    }
+
+    #[test]
+    fn round_trip_stream() {
+        let records = sample_records();
+        let mut buf = Vec::new();
+        write_mrt(&mut buf, &records).unwrap();
+        let got = read_mrt(&buf[..]).unwrap();
+        assert_eq!(got, records);
+        assert_eq!(got[0].bgp_message().unwrap().type_code(), 1);
+        assert_eq!(got[1].bgp_message().unwrap().type_code(), 2);
+    }
+
+    #[test]
+    fn timestamps_are_seconds() {
+        let r = &sample_records()[2];
+        assert_eq!(r.timestamp_secs, 130);
+    }
+
+    #[test]
+    fn unsupported_type_rejected() {
+        let mut buf = Vec::new();
+        sample_records()[0].write_to(&mut buf).unwrap();
+        buf[5] = 13; // type 13 = TABLE_DUMP_V2, unsupported here
+        assert!(read_mrt(&buf[..]).is_err());
+    }
+
+    #[test]
+    fn state_change_body_is_not_a_message() {
+        let r = MrtRecord {
+            subtype: BGP4MP_STATE_CHANGE,
+            body: vec![0, 1, 0, 6],
+            ..sample_records()[0].clone()
+        };
+        assert!(r.bgp_message().is_err());
+    }
+
+    #[test]
+    fn truncated_record_is_error() {
+        let mut buf = Vec::new();
+        sample_records()[0].write_to(&mut buf).unwrap();
+        buf.truncate(buf.len() - 3);
+        assert!(read_mrt(&buf[..]).is_err());
+    }
+}

@@ -1,0 +1,372 @@
+//! MRT `TABLE_DUMP_V2` RIB snapshots (RFC 6396 §4.3).
+//!
+//! Quagga and the RouteViews collectors archive two things: the update
+//! stream (`BGP4MP`, see [`crate::MrtRecord`]) and periodic full-RIB
+//! snapshots in `TABLE_DUMP_V2` format. This module writes and reads
+//! the subset used for IPv4 unicast RIBs: one `PEER_INDEX_TABLE` record
+//! followed by one `RIB_IPV4_UNICAST` record per prefix.
+
+use bytes::{Buf, BufMut};
+use std::io::{Read, Write};
+use std::net::Ipv4Addr;
+
+use crate::attrs::PathAttribute;
+use crate::error::{BgpError, Result};
+use crate::prefix::Prefix;
+use crate::table::RoutingTable;
+
+/// MRT type code for TABLE_DUMP_V2.
+pub const MRT_TYPE_TABLE_DUMP_V2: u16 = 13;
+/// Subtype: the peer index table.
+pub const TDV2_PEER_INDEX_TABLE: u16 = 1;
+/// Subtype: an IPv4 unicast RIB entry group.
+pub const TDV2_RIB_IPV4_UNICAST: u16 = 2;
+
+/// One peer in the index table.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct PeerEntry {
+    /// Peer BGP identifier.
+    pub bgp_id: Ipv4Addr,
+    /// Peer address.
+    pub address: Ipv4Addr,
+    /// Peer autonomous system (stored 4-byte on the wire).
+    pub asn: u32,
+}
+
+/// One RIB entry: a prefix with the routes the collector holds for it.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct RibEntry {
+    /// The prefix.
+    pub prefix: Prefix,
+    /// `(peer index, originated timestamp, attributes)` per route.
+    pub routes: Vec<(u16, u32, Vec<PathAttribute>)>,
+}
+
+/// A full RIB snapshot.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct RibDump {
+    /// Snapshot timestamp (seconds).
+    pub timestamp_secs: u32,
+    /// Collector BGP identifier.
+    pub collector_id: Ipv4Addr,
+    /// View name (usually empty).
+    pub view_name: String,
+    /// The peer index table.
+    pub peers: Vec<PeerEntry>,
+    /// RIB entries in sequence order.
+    pub entries: Vec<RibEntry>,
+}
+
+impl Default for PeerEntry {
+    fn default() -> Self {
+        PeerEntry {
+            bgp_id: Ipv4Addr::UNSPECIFIED,
+            address: Ipv4Addr::UNSPECIFIED,
+            asn: 0,
+        }
+    }
+}
+
+impl Default for RibDump {
+    fn default() -> Self {
+        RibDump {
+            timestamp_secs: 0,
+            collector_id: Ipv4Addr::UNSPECIFIED,
+            view_name: String::new(),
+            peers: Vec::new(),
+            entries: Vec::new(),
+        }
+    }
+}
+
+fn write_mrt_header(out: &mut Vec<u8>, timestamp: u32, subtype: u16, body_len: usize) {
+    out.put_u32(timestamp);
+    out.put_u16(MRT_TYPE_TABLE_DUMP_V2);
+    out.put_u16(subtype);
+    out.put_u32(body_len as u32);
+}
+
+impl RibDump {
+    /// Builds a single-peer snapshot from a synthetic routing table —
+    /// the dump a collector would write after receiving `table` from
+    /// `peer`.
+    pub fn from_table(
+        table: &RoutingTable,
+        timestamp_secs: u32,
+        collector_id: Ipv4Addr,
+        peer: PeerEntry,
+    ) -> RibDump {
+        let entries = table
+            .routes
+            .iter()
+            .map(|route| RibEntry {
+                prefix: route.prefix,
+                routes: vec![(0, timestamp_secs, table.attr_sets[route.attr_set].clone())],
+            })
+            .collect();
+        RibDump {
+            timestamp_secs,
+            collector_id,
+            view_name: String::new(),
+            peers: vec![peer],
+            entries,
+        }
+    }
+
+    /// Serializes the snapshot as an MRT record stream.
+    ///
+    /// # Errors
+    ///
+    /// Fails on I/O errors.
+    pub fn write_to(&self, out: &mut impl Write) -> Result<()> {
+        // PEER_INDEX_TABLE.
+        let mut body = Vec::new();
+        body.put_slice(&self.collector_id.octets());
+        body.put_u16(self.view_name.len() as u16);
+        body.put_slice(self.view_name.as_bytes());
+        body.put_u16(self.peers.len() as u16);
+        for peer in &self.peers {
+            body.put_u8(0x02); // IPv4 address, 4-byte AS
+            body.put_slice(&peer.bgp_id.octets());
+            body.put_slice(&peer.address.octets());
+            body.put_u32(peer.asn);
+        }
+        let mut record = Vec::with_capacity(12 + body.len());
+        write_mrt_header(
+            &mut record,
+            self.timestamp_secs,
+            TDV2_PEER_INDEX_TABLE,
+            body.len(),
+        );
+        record.extend_from_slice(&body);
+        out.write_all(&record)?;
+
+        // RIB_IPV4_UNICAST per prefix.
+        for (seq, entry) in self.entries.iter().enumerate() {
+            let mut body = Vec::new();
+            body.put_u32(seq as u32);
+            entry.prefix.encode(&mut body);
+            body.put_u16(entry.routes.len() as u16);
+            for (peer_idx, originated, attrs) in &entry.routes {
+                body.put_u16(*peer_idx);
+                body.put_u32(*originated);
+                let attr_len: usize = attrs.iter().map(PathAttribute::wire_len).sum();
+                body.put_u16(attr_len as u16);
+                for attr in attrs {
+                    attr.encode(&mut body);
+                }
+            }
+            let mut record = Vec::with_capacity(12 + body.len());
+            write_mrt_header(
+                &mut record,
+                self.timestamp_secs,
+                TDV2_RIB_IPV4_UNICAST,
+                body.len(),
+            );
+            record.extend_from_slice(&body);
+            out.write_all(&record)?;
+        }
+        Ok(())
+    }
+
+    /// Reads one snapshot (a PEER_INDEX_TABLE followed by its RIB
+    /// records) from an MRT stream.
+    ///
+    /// # Errors
+    ///
+    /// Fails on I/O errors, missing/duplicate index tables, or
+    /// malformed records.
+    pub fn read_from(input: &mut impl Read) -> Result<RibDump> {
+        let mut dump = RibDump::default();
+        let mut seen_index = false;
+        loop {
+            let mut header = [0u8; 12];
+            match input.read_exact(&mut header) {
+                Ok(()) => {}
+                Err(e) if e.kind() == std::io::ErrorKind::UnexpectedEof => break,
+                Err(e) => return Err(e.into()),
+            }
+            let mut h = &header[..];
+            let timestamp = h.get_u32();
+            let mrt_type = h.get_u16();
+            let subtype = h.get_u16();
+            let len = h.get_u32() as usize;
+            if mrt_type != MRT_TYPE_TABLE_DUMP_V2 {
+                return Err(BgpError::Malformed {
+                    what: "table_dump_v2",
+                    detail: format!("unexpected mrt type {mrt_type}"),
+                });
+            }
+            let mut body = vec![0u8; len];
+            input.read_exact(&mut body)?;
+            let mut b = &body[..];
+            match subtype {
+                TDV2_PEER_INDEX_TABLE => {
+                    if seen_index {
+                        return Err(BgpError::Malformed {
+                            what: "table_dump_v2",
+                            detail: "duplicate peer index table".to_string(),
+                        });
+                    }
+                    seen_index = true;
+                    dump.timestamp_secs = timestamp;
+                    dump.collector_id = Ipv4Addr::from(b.get_u32());
+                    let name_len = b.get_u16() as usize;
+                    let name = b[..name_len].to_vec();
+                    b.advance(name_len);
+                    dump.view_name = String::from_utf8_lossy(&name).into_owned();
+                    let peer_count = b.get_u16();
+                    for _ in 0..peer_count {
+                        let peer_type = b.get_u8();
+                        if peer_type & 0x01 != 0 {
+                            return Err(BgpError::Malformed {
+                                what: "table_dump_v2",
+                                detail: "ipv6 peers not supported".to_string(),
+                            });
+                        }
+                        let bgp_id = Ipv4Addr::from(b.get_u32());
+                        let address = Ipv4Addr::from(b.get_u32());
+                        let asn = if peer_type & 0x02 != 0 {
+                            b.get_u32()
+                        } else {
+                            b.get_u16() as u32
+                        };
+                        dump.peers.push(PeerEntry {
+                            bgp_id,
+                            address,
+                            asn,
+                        });
+                    }
+                }
+                TDV2_RIB_IPV4_UNICAST => {
+                    if !seen_index {
+                        return Err(BgpError::Malformed {
+                            what: "table_dump_v2",
+                            detail: "rib entry before peer index table".to_string(),
+                        });
+                    }
+                    let _seq = b.get_u32();
+                    let prefix = Prefix::decode(&mut b)?;
+                    let count = b.get_u16();
+                    let mut routes = Vec::with_capacity(count as usize);
+                    for _ in 0..count {
+                        let peer_idx = b.get_u16();
+                        let originated = b.get_u32();
+                        let attr_len = b.get_u16() as usize;
+                        let mut attrs_buf = &b[..attr_len];
+                        b.advance(attr_len);
+                        let mut attrs = Vec::new();
+                        while attrs_buf.has_remaining() {
+                            attrs.push(PathAttribute::decode(&mut attrs_buf)?);
+                        }
+                        routes.push((peer_idx, originated, attrs));
+                    }
+                    dump.entries.push(RibEntry { prefix, routes });
+                }
+                other => {
+                    return Err(BgpError::Malformed {
+                        what: "table_dump_v2",
+                        detail: format!("unsupported subtype {other}"),
+                    })
+                }
+            }
+        }
+        if !seen_index {
+            return Err(BgpError::Truncated {
+                what: "table_dump_v2 peer index table",
+                needed: 12,
+                available: 0,
+            });
+        }
+        Ok(dump)
+    }
+
+    /// Number of prefixes in the snapshot.
+    pub fn len(&self) -> usize {
+        self.entries.len()
+    }
+
+    /// True if the snapshot holds no prefixes.
+    pub fn is_empty(&self) -> bool {
+        self.entries.is_empty()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::table::TableGenerator;
+
+    fn sample_peer() -> PeerEntry {
+        PeerEntry {
+            bgp_id: "10.0.0.1".parse().unwrap(),
+            address: "10.0.0.1".parse().unwrap(),
+            asn: 65_001,
+        }
+    }
+
+    #[test]
+    fn snapshot_round_trip() {
+        let table = TableGenerator::new(21).routes(400).generate();
+        let dump = RibDump::from_table(
+            &table,
+            1_700_000_000,
+            "10.0.255.2".parse().unwrap(),
+            sample_peer(),
+        );
+        assert_eq!(dump.len(), 400);
+        let mut buf = Vec::new();
+        dump.write_to(&mut buf).unwrap();
+        let back = RibDump::read_from(&mut &buf[..]).unwrap();
+        assert_eq!(back, dump);
+    }
+
+    #[test]
+    fn snapshot_preserves_attributes() {
+        let table = TableGenerator::new(22).routes(50).generate();
+        let dump = RibDump::from_table(&table, 0, Ipv4Addr::UNSPECIFIED, sample_peer());
+        let mut buf = Vec::new();
+        dump.write_to(&mut buf).unwrap();
+        let back = RibDump::read_from(&mut &buf[..]).unwrap();
+        for (entry, route) in back.entries.iter().zip(&table.routes) {
+            assert_eq!(entry.prefix, route.prefix);
+            assert_eq!(entry.routes[0].2, table.attr_sets[route.attr_set]);
+        }
+    }
+
+    #[test]
+    fn rib_before_index_rejected() {
+        // Write a full dump, drop the first record (the index table).
+        let table = TableGenerator::new(23).routes(3).generate();
+        let dump = RibDump::from_table(&table, 0, Ipv4Addr::UNSPECIFIED, sample_peer());
+        let mut buf = Vec::new();
+        dump.write_to(&mut buf).unwrap();
+        // First record length:
+        let first_len = 12 + u32::from_be_bytes([buf[8], buf[9], buf[10], buf[11]]) as usize;
+        assert!(RibDump::read_from(&mut &buf[first_len..]).is_err());
+    }
+
+    #[test]
+    fn empty_stream_rejected() {
+        assert!(RibDump::read_from(&mut &[][..]).is_err());
+    }
+
+    #[test]
+    fn two_byte_as_peers_read() {
+        // Hand-craft an index table with a 2-byte-AS peer (type 0).
+        let mut body = Vec::new();
+        body.put_u32(0); // collector id
+        body.put_u16(0); // view name len
+        body.put_u16(1); // peers
+        body.put_u8(0x00);
+        body.put_u32(0x01020304); // bgp id
+        body.put_u32(0x0a000001); // address
+        body.put_u16(65_001); // 2-byte AS
+        let mut buf = Vec::new();
+        write_mrt_header(&mut buf, 7, TDV2_PEER_INDEX_TABLE, body.len());
+        buf.extend_from_slice(&body);
+        let dump = RibDump::read_from(&mut &buf[..]).unwrap();
+        assert_eq!(dump.peers[0].asn, 65_001);
+        assert_eq!(dump.peers[0].address, Ipv4Addr::new(10, 0, 0, 1));
+    }
+}

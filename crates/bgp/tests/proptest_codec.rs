@@ -1,0 +1,131 @@
+//! Property tests: arbitrary BGP messages survive encode/decode, and
+//! message streams re-segment correctly from arbitrary split points.
+
+use proptest::prelude::*;
+use std::net::Ipv4Addr;
+use tdat_bgp::{
+    AsPath, AsPathSegment, BgpMessage, NotificationMessage, OpenMessage, Origin, PathAttribute,
+    Prefix, UpdateMessage,
+};
+
+fn arb_prefix() -> impl Strategy<Value = Prefix> {
+    (any::<u32>(), 0u8..=32).prop_map(|(bits, len)| Prefix::new(Ipv4Addr::from(bits), len).unwrap())
+}
+
+fn arb_as_path() -> impl Strategy<Value = AsPath> {
+    prop::collection::vec(
+        prop_oneof![
+            prop::collection::vec(any::<u16>(), 1..6).prop_map(AsPathSegment::Sequence),
+            prop::collection::vec(any::<u16>(), 1..4).prop_map(AsPathSegment::Set),
+        ],
+        1..3,
+    )
+    .prop_map(|segments| AsPath { segments })
+}
+
+fn arb_attr() -> impl Strategy<Value = PathAttribute> {
+    prop_oneof![
+        prop_oneof![
+            Just(Origin::Igp),
+            Just(Origin::Egp),
+            Just(Origin::Incomplete)
+        ]
+        .prop_map(PathAttribute::Origin),
+        arb_as_path().prop_map(PathAttribute::AsPath),
+        any::<u32>().prop_map(|v| PathAttribute::NextHop(Ipv4Addr::from(v))),
+        any::<u32>().prop_map(PathAttribute::Med),
+        any::<u32>().prop_map(PathAttribute::LocalPref),
+        Just(PathAttribute::AtomicAggregate),
+        (any::<u16>(), any::<u32>())
+            .prop_map(|(asn, id)| PathAttribute::Aggregator(asn, Ipv4Addr::from(id))),
+        prop::collection::vec(any::<u32>(), 1..5).prop_map(PathAttribute::Communities),
+        prop::collection::vec(prop::collection::vec(any::<u32>(), 1..4), 1..3)
+            .prop_map(PathAttribute::As4Path),
+    ]
+}
+
+fn arb_message() -> impl Strategy<Value = BgpMessage> {
+    prop_oneof![
+        (any::<u16>(), any::<u16>(), any::<u32>()).prop_map(|(asn, hold, id)| {
+            BgpMessage::Open(OpenMessage::new(asn, hold, Ipv4Addr::from(id)))
+        }),
+        (
+            prop::collection::vec(arb_prefix(), 0..8),
+            prop::collection::vec(arb_attr(), 0..5),
+            prop::collection::vec(arb_prefix(), 0..8),
+        )
+            .prop_map(|(withdrawn, attributes, announced)| {
+                BgpMessage::Update(UpdateMessage {
+                    withdrawn,
+                    attributes,
+                    announced,
+                })
+            }),
+        (
+            any::<u8>(),
+            any::<u8>(),
+            prop::collection::vec(any::<u8>(), 0..16)
+        )
+            .prop_map(|(code, subcode, data)| BgpMessage::Notification(
+                NotificationMessage {
+                    code,
+                    subcode,
+                    data
+                }
+            )),
+        Just(BgpMessage::Keepalive),
+    ]
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(256))]
+
+    #[test]
+    fn message_round_trip(msg in arb_message()) {
+        let wire = msg.to_bytes();
+        prop_assert_eq!(wire.len(), msg.wire_len());
+        let mut rest = &wire[..];
+        let got = BgpMessage::decode(&mut rest).unwrap().unwrap();
+        prop_assert!(rest.is_empty());
+        prop_assert_eq!(got, msg);
+    }
+
+    #[test]
+    fn stream_resegments(msgs in prop::collection::vec(arb_message(), 1..6)) {
+        let mut stream = Vec::new();
+        for m in &msgs {
+            stream.extend_from_slice(&m.to_bytes());
+        }
+        let mut rest = &stream[..];
+        let mut got = Vec::new();
+        while let Some(m) = BgpMessage::decode(&mut rest).unwrap() {
+            got.push(m);
+        }
+        prop_assert!(rest.is_empty());
+        prop_assert_eq!(got, msgs);
+    }
+
+    #[test]
+    fn partial_prefix_of_stream_never_errors(msg in arb_message(), cut in 0usize..100) {
+        // Any prefix of a valid stream must yield Ok(Some) messages then
+        // Ok(None), never Err — this is what pcap2bgp relies on while a
+        // message is still in flight.
+        let wire = msg.to_bytes();
+        let cut = cut.min(wire.len());
+        let mut rest = &wire[..cut];
+        loop {
+            match BgpMessage::decode(&mut rest) {
+                Ok(Some(_)) => {}
+                Ok(None) => break,
+                Err(e) => return Err(TestCaseError::fail(format!("error on prefix: {e}"))),
+            }
+        }
+    }
+
+    #[test]
+    fn prefix_masking_idempotent(p in arb_prefix()) {
+        let again = Prefix::new(p.network(), p.len()).unwrap();
+        prop_assert_eq!(again, p);
+        prop_assert!(p.is_empty() || p.contains(p.network()));
+    }
+}

@@ -1,0 +1,161 @@
+//! `t-dat` — the command-line TCP delay analyzer (paper Table VI).
+//!
+//! ```text
+//! t-dat <trace.pcap> [--json] [--plot] [--tsplot] [--series] [--threshold 0.3]
+//! ```
+//!
+//! Reads a pcap capture of BGP sessions, identifies each connection's
+//! table transfer, and prints the delay-factor report; `--plot` adds
+//! the BGPlot square-wave view and `--series` lists every series with
+//! its delay ratio.
+
+use std::process::ExitCode;
+
+use tdat::{Analyzer, AnalyzerConfig};
+
+fn main() -> ExitCode {
+    let mut args = std::env::args().skip(1);
+    let mut path: Option<String> = None;
+    let mut plot = false;
+    let mut tsplot = false;
+    let mut json = false;
+    let mut series = false;
+    let mut threshold = 0.3f64;
+    while let Some(arg) = args.next() {
+        match arg.as_str() {
+            "--plot" => plot = true,
+            "--tsplot" => tsplot = true,
+            "--json" => json = true,
+            "--series" => series = true,
+            "--threshold" => {
+                let Some(v) = args.next().and_then(|v| v.parse().ok()) else {
+                    eprintln!("--threshold needs a number in (0, 1)");
+                    return ExitCode::from(2);
+                };
+                threshold = v;
+            }
+            "--help" | "-h" => {
+                eprintln!("usage: t-dat <trace.pcap> [--json] [--plot] [--tsplot] [--series] [--threshold 0.3]");
+                return ExitCode::SUCCESS;
+            }
+            other if path.is_none() => path = Some(other.to_string()),
+            other => {
+                eprintln!("unexpected argument {other:?}");
+                return ExitCode::from(2);
+            }
+        }
+    }
+    let Some(path) = path else {
+        eprintln!(
+            "usage: t-dat <trace.pcap> [--json] [--plot] [--tsplot] [--series] [--threshold 0.3]"
+        );
+        return ExitCode::from(2);
+    };
+
+    let analyzer = Analyzer::new(AnalyzerConfig {
+        major_threshold: threshold,
+        ..AnalyzerConfig::default()
+    });
+    let analyses = match analyzer.analyze_pcap(&path) {
+        Ok(a) => a,
+        Err(e) => {
+            eprintln!("t-dat: {path}: {e}");
+            return ExitCode::FAILURE;
+        }
+    };
+    if analyses.is_empty() {
+        eprintln!("t-dat: {path}: no TCP connections found");
+        return ExitCode::FAILURE;
+    }
+    if json {
+        let reports: Vec<String> = analyses
+            .iter()
+            .map(|a| tdat::Report::from_analysis(a, analyzer.config()).to_json())
+            .collect();
+        println!("[{}]", reports.join(","));
+        return ExitCode::SUCCESS;
+    }
+    // Cross-connection check: peer-group blocking between sessions of
+    // the same router.
+    for (blocked, faulty, incidents) in
+        tdat::find_peer_group_blocking_all(&analyses, tdat_timeset::Micros::from_secs(60))
+    {
+        for incident in incidents {
+            println!(
+                "WARNING: connection {blocked} paused {} while connection {faulty} was failing                  (peer-group blocking signature)",
+                incident.pause.duration()
+            );
+        }
+    }
+    for (i, analysis) in analyses.iter().enumerate() {
+        println!(
+            "connection {i}: {}:{} -> {}:{}",
+            analysis.sender.0, analysis.sender.1, analysis.receiver.0, analysis.receiver.1
+        );
+        match &analysis.transfer {
+            Some(t) => println!(
+                "  table transfer: {} updates / {} prefixes, duration {}",
+                t.update_count,
+                t.prefix_count,
+                t.duration()
+            ),
+            None => println!("  (no BGP table transfer identified; analyzing whole capture)"),
+        }
+        if let Some(rtt) = analysis.profile.rtt {
+            println!("  rtt {rtt}, mss {:?}", analysis.profile.mss);
+        }
+        println!(
+            "  delay ratios: sender {:.3}  receiver {:.3}  network {:.3}",
+            analysis.vector.sender, analysis.vector.receiver, analysis.vector.network
+        );
+        for group in analysis.vector.major_groups(threshold) {
+            println!(
+                "  MAJOR {group}-limited (dominant factor: {})",
+                analysis.vector.dominant_factor_in(group)
+            );
+        }
+        if let Some(timer) = analysis.infer_timer(8) {
+            println!(
+                "  repetitive sender timer: ~{:.0} ms ({} gaps, {:.2}s induced)",
+                timer.period.as_millis_f64(),
+                timer.gap_count,
+                timer.total_delay.as_secs_f64()
+            );
+        }
+        for ep in analysis.consecutive_losses(analyzer.config()) {
+            println!(
+                "  consecutive losses: {} retransmissions over {}",
+                ep.retransmissions,
+                ep.span.duration()
+            );
+        }
+        if analysis.zero_ack_bug().is_some() {
+            println!("  WARNING: zero-window + upstream-loss conflict (ZeroAckBug signature)");
+        }
+        if let Some(race) = analysis.delayed_ack_interaction() {
+            println!(
+                "  WARNING: {} spurious retransmission(s) outside loss episodes                  (delayed-ACK / RTO race)",
+                race.count
+            );
+        }
+        if series {
+            println!("  series (ratio of analysis period):");
+            for (name, set) in analysis.series.named() {
+                let ratio = set.ratio(analysis.period);
+                if ratio > 0.0 {
+                    println!("    {name:<18} {ratio:.3}");
+                }
+            }
+        }
+        if plot {
+            println!("{}", analysis.plot(100));
+        }
+        if tsplot {
+            println!(
+                "{}",
+                tdat::plot::render_analysis_time_sequence(analysis, 100, 24)
+            );
+        }
+    }
+    ExitCode::SUCCESS
+}

@@ -1,0 +1,90 @@
+//! Analyzer configuration.
+
+use tdat_timeset::Micros;
+
+/// Where the sniffer sat relative to the connection — a configured
+/// setting, as the paper leaves it to the user's knowledge of the
+/// collection setup (§III-C2).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum SnifferLocation {
+    /// Next to the receiver (the paper's monitoring deployments):
+    /// downstream losses are receiver-local; upstream losses are
+    /// network-or-sender.
+    #[default]
+    NearReceiver,
+    /// Next to the sender: upstream losses are sender-local; downstream
+    /// losses are network-or-receiver.
+    NearSender,
+    /// Somewhere in the middle: neither loss direction is "local".
+    Middle,
+}
+
+/// Tunables of the T-DAT analyzer. Defaults follow the paper (§III-C,
+/// §IV).
+#[derive(Debug, Clone, PartialEq)]
+pub struct AnalyzerConfig {
+    /// Sniffer vantage.
+    pub sniffer: SnifferLocation,
+    /// An advertised window below `small_window_mss × MSS` is *small*
+    /// (receiver application cannot keep up); within the same margin of
+    /// the maximum it is *large*. The paper adopts 3 from T-RAT \[28,38\].
+    pub small_window_mss: f64,
+    /// The margin (in MSS) within which outstanding data is considered
+    /// *bounded* by the advertised window (§III-C3; default 3).
+    pub window_bound_mss: f64,
+    /// Group delay ratio above which a factor group is *major*
+    /// (§IV-A; default 0.3, qualitatively stable in 0.3–0.5).
+    pub major_threshold: f64,
+    /// Consecutive retransmissions in one episode before it counts as a
+    /// consecutive-loss problem (§IV-B; default 8).
+    pub consecutive_loss_threshold: usize,
+    /// Maximum silence between retransmissions chained into one
+    /// episode.
+    pub episode_gap: Micros,
+    /// A sender-idle gap must exceed this to enter the
+    /// `SendAppLimited` series (filters sub-RTT scheduling noise; the
+    /// effective threshold also adapts to the measured RTT).
+    pub min_idle_gap: Micros,
+    /// Gap used to group data/ACK packets into flights when the RTT is
+    /// unknown.
+    pub fallback_flight_gap: Micros,
+    /// A new flight must start within this delay of the ACKs of the
+    /// previous one for the connection to count as congestion-window
+    /// clocked across the boundary.
+    pub cwnd_clock_slack: Micros,
+    /// Skip the ACK-flight shifting preprocessing step (§III-B1) —
+    /// used by the ablation study; leave `false` for receiver-side
+    /// traces.
+    pub disable_ack_shift: bool,
+}
+
+impl Default for AnalyzerConfig {
+    fn default() -> Self {
+        AnalyzerConfig {
+            sniffer: SnifferLocation::NearReceiver,
+            small_window_mss: 3.0,
+            window_bound_mss: 3.0,
+            major_threshold: 0.3,
+            consecutive_loss_threshold: 8,
+            episode_gap: Micros::from_secs(2),
+            min_idle_gap: Micros::from_millis(5),
+            fallback_flight_gap: Micros::from_millis(10),
+            cwnd_clock_slack: Micros::from_millis(2),
+            disable_ack_shift: false,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn defaults_match_paper() {
+        let c = AnalyzerConfig::default();
+        assert_eq!(c.sniffer, SnifferLocation::NearReceiver);
+        assert_eq!(c.small_window_mss, 3.0);
+        assert_eq!(c.major_threshold, 0.3);
+        assert_eq!(c.consecutive_loss_threshold, 8);
+    }
+}

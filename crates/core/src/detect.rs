@@ -1,0 +1,453 @@
+//! Problem detectors (§IV-B): BGP timer gaps, consecutive packet
+//! losses, peer-group blocking, and the zero-window-probe bug.
+
+use tdat_timeset::{Micros, Span, SpanSet};
+
+use crate::series::SeriesSet;
+
+/// An inferred sender pacing timer (§IV-B "BGP timer gaps", Fig. 17).
+#[derive(Debug, Clone, PartialEq)]
+pub struct InferredTimer {
+    /// The inferred timer period — the knee of the sorted gap-length
+    /// curve.
+    pub period: Micros,
+    /// Number of idle gaps attributed to the timer (within ±50% of the
+    /// knee).
+    pub gap_count: usize,
+    /// Total delay those gaps contributed.
+    pub total_delay: Micros,
+}
+
+/// Detects a repetitive sender timer from the `SendAppLimited` series.
+///
+/// If a table transfer is paced by an implementation timer, the sorted
+/// gap-length curve has a knee at the timer value. The knee is located
+/// with the L-method of Salvador & Chan \[27\]: the split point whose
+/// two-segment least-squares fit minimizes total residual error. A
+/// timer is reported only when enough gaps (≥ `min_gaps`) cluster near
+/// the knee.
+pub fn infer_timer(series: &SeriesSet, min_gaps: usize) -> Option<InferredTimer> {
+    let mut gaps: Vec<i64> = series
+        .send_app_limited
+        .durations()
+        .map(|d| d.as_micros())
+        .filter(|&d| d > 0)
+        .collect();
+    if gaps.len() < min_gaps.max(4) {
+        return None;
+    }
+    gaps.sort_unstable();
+    let knee_idx = l_method_knee(&gaps)?;
+    // The knee splits the sorted curve into two segments; the
+    // repetitive timer plateau is whichever side clusters more tightly
+    // around its median. (Depending on how many sub-timer gaps exist,
+    // the plateau may sit on either side of the knee.)
+    let candidates = [
+        gaps[..knee_idx][knee_idx / 2],
+        gaps[knee_idx..][(gaps.len() - knee_idx) / 2],
+    ];
+    let cluster_around = |center: i64| -> Vec<i64> {
+        let lo = center - center / 4;
+        let hi = center + center / 4;
+        gaps.iter()
+            .copied()
+            .filter(|&g| g >= lo && g <= hi)
+            .collect()
+    };
+    let cluster = candidates
+        .into_iter()
+        .map(cluster_around)
+        .max_by_key(Vec::len)
+        .expect("two candidates");
+    // A timer must explain a dominant share of the idle gaps.
+    if cluster.len() < min_gaps || cluster.len() * 5 < gaps.len() * 2 {
+        return None;
+    }
+    let period = Micros(cluster[cluster.len() / 2]);
+    Some(InferredTimer {
+        period,
+        gap_count: cluster.len(),
+        total_delay: Micros(cluster.iter().sum()),
+    })
+}
+
+/// L-method knee detection: for each candidate split of the sorted
+/// curve `y[0..n]`, fit a line to each side and pick the split with the
+/// lowest length-weighted RMSE sum. Returns the index of the knee.
+fn l_method_knee(sorted: &[i64]) -> Option<usize> {
+    let n = sorted.len();
+    if n < 4 {
+        return None;
+    }
+    let mut best: Option<(f64, usize)> = None;
+    for split in 2..n - 1 {
+        let left = fit_rmse(&sorted[..split], 0);
+        let right = fit_rmse(&sorted[split..], split);
+        let score = (split as f64 / n as f64) * left + ((n - split) as f64 / n as f64) * right;
+        if best.is_none_or(|(b, _)| score < b) {
+            best = Some((score, split));
+        }
+    }
+    best.map(|(_, idx)| idx)
+}
+
+/// RMSE of the least-squares line through `(x0 + i, y[i])`.
+fn fit_rmse(y: &[i64], x0: usize) -> f64 {
+    let n = y.len() as f64;
+    if y.len() < 2 {
+        return 0.0;
+    }
+    let xs: Vec<f64> = (0..y.len()).map(|i| (x0 + i) as f64).collect();
+    let ys: Vec<f64> = y.iter().map(|&v| v as f64).collect();
+    let mx = xs.iter().sum::<f64>() / n;
+    let my = ys.iter().sum::<f64>() / n;
+    let sxx: f64 = xs.iter().map(|x| (x - mx) * (x - mx)).sum();
+    let sxy: f64 = xs.iter().zip(&ys).map(|(x, y)| (x - mx) * (y - my)).sum();
+    let slope = if sxx > 0.0 { sxy / sxx } else { 0.0 };
+    let intercept = my - slope * mx;
+    let sse: f64 = xs
+        .iter()
+        .zip(&ys)
+        .map(|(x, y)| {
+            let e = y - (slope * x + intercept);
+            e * e
+        })
+        .sum();
+    (sse / n).sqrt()
+}
+
+/// A detected consecutive-loss problem (§IV-B).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ConsecutiveLosses {
+    /// The episode's time extent.
+    pub span: Span,
+    /// Retransmission waves in the episode.
+    pub retransmissions: usize,
+}
+
+/// Finds episodes of at least `threshold` consecutive retransmissions
+/// in the union of all loss series. The paper's default threshold is 8
+/// — enough losses to collapse cwnd and ssthresh to their minimum.
+pub fn find_consecutive_losses(
+    series: &SeriesSet,
+    threshold: usize,
+    episode_gap: Micros,
+) -> Vec<ConsecutiveLosses> {
+    // Collect every loss-recovery wave (unflattened: one per event).
+    let mut waves: Vec<Span> = series
+        .upstream_loss
+        .iter()
+        .chain(series.downstream_loss.iter())
+        .chain(series.spurious_retx.iter())
+        .map(|e| e.span)
+        .collect();
+    waves.sort();
+    let mut episodes: Vec<ConsecutiveLosses> = Vec::new();
+    for wave in waves {
+        match episodes.last_mut() {
+            Some(ep) if wave.start - ep.span.end <= episode_gap || ep.span.overlaps(wave) => {
+                ep.span = ep.span.hull(wave);
+                ep.retransmissions += 1;
+            }
+            _ => episodes.push(ConsecutiveLosses {
+                span: wave,
+                retransmissions: 1,
+            }),
+        }
+    }
+    episodes.retain(|e| e.retransmissions >= threshold);
+    episodes
+}
+
+/// A detected pathological peer-group blocking incident (§IV-B,
+/// Fig. 9).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct PeerGroupBlocking {
+    /// The pause on the healthy (blocked) connection.
+    pub pause: Span,
+    /// Overlap with the faulty member's loss/retransmission activity.
+    pub overlap: Span,
+}
+
+/// Detects pathological peer-group blocking between two sessions of the
+/// same group: a long pause in `blocked`'s sending (its
+/// `SendAppLimited` series, merged across keepalive interruptions)
+/// that coincides with loss/retransmission activity on `faulty`
+/// (`blocked.SendAppLimited ∩ faulty.Loss` in the paper's notation).
+///
+/// `min_pause` filters ordinary idleness; the paper's incidents run
+/// 90–180 s (a BGP hold timeout).
+pub fn find_peer_group_blocking(
+    blocked: &SeriesSet,
+    faulty: &SeriesSet,
+    min_pause: Micros,
+) -> Vec<PeerGroupBlocking> {
+    // Merge the blocked session's idle spans across small interruptions
+    // (keepalives every ~60 s briefly interrupt SendAppLimited).
+    let idle = blocked.send_app_limited.to_span_set();
+    let mut merged = SpanSet::new();
+    let mut current: Option<Span> = None;
+    for span in idle.iter() {
+        match current {
+            Some(c) if span.start - c.end <= Micros::from_secs(2) => {
+                current = Some(c.hull(*span));
+            }
+            Some(c) => {
+                merged.insert(c);
+                current = Some(*span);
+            }
+            None => current = Some(*span),
+        }
+    }
+    if let Some(c) = current {
+        merged.insert(c);
+    }
+
+    let faulty_loss = faulty.all_loss().union(&faulty.zero_window.to_span_set());
+    let mut incidents = Vec::new();
+    for pause in merged.iter().filter(|s| s.duration() >= min_pause) {
+        let overlap = SpanSet::from_span(*pause).intersection(&faulty_loss);
+        if let Some(hull) = overlap.hull() {
+            // Require a substantial overlap: the faulty session was in
+            // trouble for most of the pause.
+            if overlap.size() >= pause.duration() / 4 {
+                incidents.push(PeerGroupBlocking {
+                    pause: *pause,
+                    overlap: hull,
+                });
+            }
+        }
+    }
+    incidents
+}
+
+/// Scans every ordered pair of analyses for peer-group blocking — the
+/// whole-capture convenience over [`find_peer_group_blocking`]:
+/// returns `(blocked index, faulty index, incidents)` for each pair
+/// with at least one incident.
+pub fn find_peer_group_blocking_all(
+    analyses: &[crate::Analysis],
+    min_pause: Micros,
+) -> Vec<(usize, usize, Vec<PeerGroupBlocking>)> {
+    let mut hits = Vec::new();
+    for (i, blocked) in analyses.iter().enumerate() {
+        for (j, faulty) in analyses.iter().enumerate() {
+            if i == j {
+                continue;
+            }
+            // Peer groups replicate from one router: require the same
+            // sender address on both sessions.
+            if blocked.sender.0 != faulty.sender.0 {
+                continue;
+            }
+            let incidents = find_peer_group_blocking(&blocked.series, &faulty.series, min_pause);
+            if !incidents.is_empty() {
+                hits.push((i, j, incidents));
+            }
+        }
+    }
+    hits
+}
+
+/// A detected zero-window-probe bug incident (§IV-B `ZeroAckBug`).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ZeroAckBug {
+    /// Periods where the connection was simultaneously zero-window
+    /// flow-controlled and suffering (apparent) upstream losses.
+    pub spans: SpanSet,
+}
+
+/// Checks the conflicting-series condition `ZeroAdvBndOut ∩
+/// UpstreamLoss`: packets are being "lost" while the transfer is
+/// throttled to nearly zero rate — the signature of the sender
+/// discarding its own zero-window probes.
+///
+/// The intersection is taken at episode granularity: each zero-window
+/// period is dilated by one second before intersecting, because the
+/// bug's loss recovery begins exactly when the window reopens, i.e.
+/// immediately *after* the strict zero-window span.
+pub fn find_zero_ack_bug(series: &SeriesSet) -> Option<ZeroAckBug> {
+    let dilated = series.zero_adv_bnd_out().dilated(Micros::from_secs(1));
+    let conflict = dilated.intersection(&series.upstream_loss.to_span_set());
+    if conflict.is_empty() {
+        None
+    } else {
+        Some(ZeroAckBug { spans: conflict })
+    }
+}
+
+/// A detected delayed-ACK / retransmission-timer interaction (one of
+/// the paper's "misc. issues: bugs, delay acks" — Table II row 4): the
+/// sender's RTO expires while the receiver is still holding a delayed
+/// ACK, producing spurious retransmissions of data that was delivered
+/// fine.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct DelayedAckInteraction {
+    /// The spurious retransmissions attributed to the race.
+    pub spans: SpanSet,
+    /// How many spurious retransmissions were found.
+    pub count: usize,
+}
+
+/// Detects the delayed-ACK vs RTO race: spurious retransmissions (the
+/// original was already acknowledged, or was acknowledged immediately
+/// after the retransmission) occurring *outside* any genuine loss
+/// episode. A sender whose minimum RTO undercuts the receiver's
+/// delayed-ACK timer shows this at transfer tails and after odd-sized
+/// flights.
+pub fn find_delayed_ack_interaction(series: &SeriesSet) -> Option<DelayedAckInteraction> {
+    let spurious = series.spurious_retx.to_span_set();
+    if spurious.is_empty() {
+        return None;
+    }
+    // Genuine loss activity nearby disqualifies a spurious wave: fast
+    // retransmit of a real hole can also resend delivered bytes.
+    let real_loss = series
+        .upstream_loss
+        .to_span_set()
+        .union(&series.downstream_loss.to_span_set())
+        .dilated(Micros::from_millis(500));
+    let isolated = spurious.difference(&real_loss);
+    if isolated.is_empty() {
+        return None;
+    }
+    Some(DelayedAckInteraction {
+        count: isolated.len(),
+        spans: isolated,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use tdat_timeset::EventSeries;
+
+    fn series_with_gaps(gaps_us: &[i64]) -> SeriesSet {
+        let mut s = SeriesSet {
+            period: Span::from_micros(0, 100_000_000),
+            mss: 1448,
+            max_adv_window: 65535,
+            ..SeriesSet::default()
+        };
+        let mut sal: EventSeries<u32> = EventSeries::new("SendAppLimited");
+        let mut t = 0i64;
+        for &g in gaps_us {
+            sal.push(Span::from_micros(t, t + g), 0);
+            t += g + 1_000;
+        }
+        s.send_app_limited = sal;
+        s
+    }
+
+    #[test]
+    fn timer_inferred_from_repetitive_gaps() {
+        // 40 gaps near 200 ms with small jitter, plus a few outliers.
+        let mut gaps: Vec<i64> = (0..40).map(|i| 200_000 + (i % 7) * 800).collect();
+        gaps.extend([950_000, 1_200_000, 20_000]);
+        let s = series_with_gaps(&gaps);
+        let timer = infer_timer(&s, 10).expect("timer must be found");
+        let period = timer.period.as_micros();
+        assert!(
+            (180_000..=225_000).contains(&period),
+            "inferred {period} us"
+        );
+        assert!(timer.gap_count >= 35);
+        assert!(timer.total_delay >= Micros::from_secs(7));
+    }
+
+    #[test]
+    fn no_timer_from_scattered_gaps() {
+        // Log-uniformly scattered gaps: no repetitive timer.
+        let gaps: Vec<i64> = (1..12).map(|i| 1_000i64 << i).collect();
+        let s = series_with_gaps(&gaps);
+        assert_eq!(infer_timer(&s, 10), None);
+    }
+
+    #[test]
+    fn no_timer_from_too_few_gaps() {
+        let s = series_with_gaps(&[200_000, 200_000]);
+        assert_eq!(infer_timer(&s, 2), None, "below the hard minimum of 4");
+    }
+
+    #[test]
+    fn consecutive_losses_thresholded() {
+        let mut s = series_with_gaps(&[]);
+        let mut up: EventSeries<u32> = EventSeries::new("UpstreamLoss");
+        // 9 chained waves, then an isolated one far away.
+        for i in 0..9 {
+            up.push(Span::from_micros(i * 1_000, i * 1_000 + 900), 1448);
+        }
+        up.push(Span::from_micros(50_000_000, 50_000_900), 1448);
+        s.upstream_loss = up;
+        let found = find_consecutive_losses(&s, 8, Micros::from_secs(2));
+        assert_eq!(found.len(), 1);
+        assert_eq!(found[0].retransmissions, 9);
+        let none = find_consecutive_losses(&s, 10, Micros::from_secs(2));
+        assert!(none.is_empty());
+    }
+
+    #[test]
+    fn peer_group_blocking_detected() {
+        // Blocked session: idle 0–180 s in 60 s chunks (keepalives).
+        let mut blocked = series_with_gaps(&[]);
+        let mut sal: EventSeries<u32> = EventSeries::new("SendAppLimited");
+        sal.push(Span::from_micros(0, 59_999_000), 0);
+        sal.push(Span::from_micros(60_000_000, 119_999_000), 0);
+        sal.push(Span::from_micros(120_000_000, 180_000_000), 0);
+        blocked.send_app_limited = sal;
+        // Faulty session: retransmission storm over the same window.
+        let mut faulty = series_with_gaps(&[]);
+        let mut loss: EventSeries<u32> = EventSeries::new("DownstreamLoss");
+        loss.push(Span::from_micros(1_000_000, 170_000_000), 1448);
+        faulty.downstream_loss = loss;
+        let found = find_peer_group_blocking(&blocked, &faulty, Micros::from_secs(90));
+        assert_eq!(found.len(), 1);
+        assert!(found[0].pause.duration() >= Micros::from_secs(170));
+    }
+
+    #[test]
+    fn no_peer_group_blocking_without_faulty_overlap() {
+        let mut blocked = series_with_gaps(&[]);
+        let mut sal: EventSeries<u32> = EventSeries::new("SendAppLimited");
+        sal.push(Span::from_micros(0, 180_000_000), 0);
+        blocked.send_app_limited = sal;
+        let faulty = series_with_gaps(&[]); // healthy
+        let found = find_peer_group_blocking(&blocked, &faulty, Micros::from_secs(90));
+        assert!(found.is_empty());
+    }
+
+    #[test]
+    fn delayed_ack_interaction_detected_when_isolated() {
+        let mut s = series_with_gaps(&[]);
+        let mut sp: EventSeries<u32> = EventSeries::new("SpuriousRetx");
+        sp.push(Span::from_micros(10_000_000, 10_200_000), 100);
+        s.spurious_retx = sp.clone();
+        let found = find_delayed_ack_interaction(&s).expect("isolated spurious retx");
+        assert_eq!(found.count, 1);
+        // A real loss episode right next to it disqualifies the wave.
+        let mut up: EventSeries<u32> = EventSeries::new("UpstreamLoss");
+        up.push(Span::from_micros(9_900_000, 10_050_000), 1448);
+        s.upstream_loss = up;
+        assert_eq!(find_delayed_ack_interaction(&s), None);
+    }
+
+    #[test]
+    fn no_delayed_ack_interaction_without_spurious() {
+        let s = series_with_gaps(&[200_000; 10]);
+        assert_eq!(find_delayed_ack_interaction(&s), None);
+    }
+
+    #[test]
+    fn zero_ack_bug_conflict() {
+        let mut s = series_with_gaps(&[]);
+        let mut zw: EventSeries<u32> = EventSeries::new("ZeroWindow");
+        zw.push(Span::from_micros(0, 10_000_000), 0);
+        s.zero_window = zw;
+        assert!(find_zero_ack_bug(&s).is_none(), "zero window alone is fine");
+        let mut up: EventSeries<u32> = EventSeries::new("UpstreamLoss");
+        up.push(Span::from_micros(5_000_000, 6_000_000), 1);
+        s.upstream_loss = up;
+        let bug = find_zero_ack_bug(&s).expect("conflict must be flagged");
+        assert_eq!(bug.spans.size(), Micros::from_secs(1));
+    }
+}

@@ -1,0 +1,346 @@
+//! Delay factors and factor groups (§III-D).
+//!
+//! Out of the internal series, T-DAT distills 8 conclusive *factors*,
+//! each with a *delay ratio* (series size ÷ analysis period), and folds
+//! them into three top-level groups — sender, receiver, and network
+//! limited — whose ratios use the *union* of the member series so that
+//! overlapping behaviours are not double-counted.
+
+use std::fmt;
+
+use tdat_timeset::SpanSet;
+
+use crate::config::AnalyzerConfig;
+use crate::series::SeriesSet;
+
+/// The eight conclusive delay factors.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub enum Factor {
+    /// The sending BGP process was idle (`SendAppLimited`).
+    BgpSenderApp,
+    /// Outstanding data pinned by the congestion window (`CwdBndOut`).
+    TcpCongestionWindow,
+    /// Packet losses local to the sender.
+    SenderLocalLoss,
+    /// The receiving BGP process could not keep up: outstanding bounded
+    /// by a small or zero advertised window.
+    BgpReceiverApp,
+    /// Outstanding bounded by a comfortably large advertised window —
+    /// the TCP window *setting* is the limit.
+    TcpAdvertisedWindow,
+    /// Packet losses local to the receiver.
+    ReceiverLocalLoss,
+    /// Path bandwidth.
+    Bandwidth,
+    /// Packet losses in the network.
+    NetworkLoss,
+}
+
+impl Factor {
+    /// All factors, in report order.
+    pub const ALL: [Factor; 8] = [
+        Factor::BgpSenderApp,
+        Factor::TcpCongestionWindow,
+        Factor::SenderLocalLoss,
+        Factor::BgpReceiverApp,
+        Factor::TcpAdvertisedWindow,
+        Factor::ReceiverLocalLoss,
+        Factor::Bandwidth,
+        Factor::NetworkLoss,
+    ];
+
+    /// The group this factor belongs to.
+    pub fn group(self) -> FactorGroup {
+        match self {
+            Factor::BgpSenderApp | Factor::TcpCongestionWindow | Factor::SenderLocalLoss => {
+                FactorGroup::Sender
+            }
+            Factor::BgpReceiverApp | Factor::TcpAdvertisedWindow | Factor::ReceiverLocalLoss => {
+                FactorGroup::Receiver
+            }
+            Factor::Bandwidth | Factor::NetworkLoss => FactorGroup::Network,
+        }
+    }
+
+    /// True for the factors driven by the BGP application rather than
+    /// TCP (the BGP-vs-TCP breakdown of Table IV).
+    pub fn is_bgp(self) -> bool {
+        matches!(self, Factor::BgpSenderApp | Factor::BgpReceiverApp)
+    }
+}
+
+impl fmt::Display for Factor {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(match self {
+            Factor::BgpSenderApp => "BGP sender app",
+            Factor::TcpCongestionWindow => "TCP congestion window",
+            Factor::SenderLocalLoss => "sender local loss",
+            Factor::BgpReceiverApp => "BGP receiver app",
+            Factor::TcpAdvertisedWindow => "TCP advertised window",
+            Factor::ReceiverLocalLoss => "receiver local loss",
+            Factor::Bandwidth => "bandwidth limited",
+            Factor::NetworkLoss => "network packet loss",
+        })
+    }
+}
+
+/// The three top-level factor groups.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub enum FactorGroup {
+    /// Sender-side behaviour.
+    Sender,
+    /// Receiver-side behaviour.
+    Receiver,
+    /// Network path behaviour.
+    Network,
+}
+
+impl FactorGroup {
+    /// All groups, in report order.
+    pub const ALL: [FactorGroup; 3] = [
+        FactorGroup::Sender,
+        FactorGroup::Receiver,
+        FactorGroup::Network,
+    ];
+}
+
+impl fmt::Display for FactorGroup {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(match self {
+            FactorGroup::Sender => "sender",
+            FactorGroup::Receiver => "receiver",
+            FactorGroup::Network => "network",
+        })
+    }
+}
+
+/// The analyzer's quantitative output for one analysis period: the raw
+/// 8-vector of factor ratios plus the 3-vector of group ratios
+/// (§III-D).
+#[derive(Debug, Clone, PartialEq)]
+pub struct DelayVector {
+    /// `(factor, delay ratio)` for all eight factors, in
+    /// [`Factor::ALL`] order.
+    pub factors: [(Factor, f64); 8],
+    /// Sender-group ratio `R_s` (union of member series ÷ period).
+    pub sender: f64,
+    /// Receiver-group ratio `R_r`.
+    pub receiver: f64,
+    /// Network-group ratio `R_n`.
+    pub network: f64,
+}
+
+impl DelayVector {
+    /// The ratio of one factor.
+    pub fn ratio(&self, factor: Factor) -> f64 {
+        self.factors
+            .iter()
+            .find(|(f, _)| *f == factor)
+            .map(|(_, r)| *r)
+            .expect("all factors present")
+    }
+
+    /// The ratio of one group.
+    pub fn group_ratio(&self, group: FactorGroup) -> f64 {
+        match group {
+            FactorGroup::Sender => self.sender,
+            FactorGroup::Receiver => self.receiver,
+            FactorGroup::Network => self.network,
+        }
+    }
+
+    /// Groups whose ratio exceeds `threshold` — the *major* groups of
+    /// §IV-A (default threshold 0.3, possibly several, possibly none).
+    pub fn major_groups(&self, threshold: f64) -> Vec<FactorGroup> {
+        FactorGroup::ALL
+            .into_iter()
+            .filter(|g| self.group_ratio(*g) > threshold)
+            .collect()
+    }
+
+    /// Within `group`, the member factor with the largest ratio.
+    pub fn dominant_factor_in(&self, group: FactorGroup) -> Factor {
+        self.factors
+            .iter()
+            .filter(|(f, _)| f.group() == group)
+            .max_by(|a, b| a.1.partial_cmp(&b.1).expect("ratios are finite"))
+            .map(|(f, _)| *f)
+            .expect("every group has members")
+    }
+
+    /// The single largest factor overall.
+    pub fn dominant_factor(&self) -> Factor {
+        self.factors
+            .iter()
+            .max_by(|a, b| a.1.partial_cmp(&b.1).expect("ratios are finite"))
+            .map(|(f, _)| *f)
+            .expect("all factors present")
+    }
+}
+
+impl fmt::Display for DelayVector {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        writeln!(
+            f,
+            "groups: sender {:.3} receiver {:.3} network {:.3}",
+            self.sender, self.receiver, self.network
+        )?;
+        for (factor, ratio) in &self.factors {
+            writeln!(f, "  {factor}: {ratio:.3}")?;
+        }
+        Ok(())
+    }
+}
+
+/// The spans backing each factor, for drill-down and plotting.
+#[derive(Debug, Clone, Default)]
+pub struct FactorSpans {
+    /// `(factor, flattened spans)` in [`Factor::ALL`] order.
+    pub spans: Vec<(Factor, SpanSet)>,
+}
+
+/// Computes the factor spans from a series set.
+pub fn factor_spans(series: &SeriesSet) -> FactorSpans {
+    let bgp_receiver = series.small_adv_bnd_out().union(&series.zero_adv_bnd_out());
+    let spans = vec![
+        (Factor::BgpSenderApp, series.send_app_limited.to_span_set()),
+        (
+            Factor::TcpCongestionWindow,
+            series.cwd_bnd_out.to_span_set(),
+        ),
+        (
+            Factor::SenderLocalLoss,
+            series.send_local_loss.to_span_set(),
+        ),
+        (Factor::BgpReceiverApp, bgp_receiver),
+        (
+            Factor::TcpAdvertisedWindow,
+            series.large_adv_bnd_out().union(
+                &series
+                    .adv_bnd_out
+                    .to_span_set()
+                    .difference(&series.small_adv_bnd_out()),
+            ),
+        ),
+        (
+            Factor::ReceiverLocalLoss,
+            series.recv_local_loss.to_span_set(),
+        ),
+        (Factor::Bandwidth, series.bandwidth_limited.to_span_set()),
+        (Factor::NetworkLoss, series.network_loss.to_span_set()),
+    ];
+    FactorSpans { spans }
+}
+
+/// Computes the delay vector for `series` over its analysis period.
+pub fn delay_vector(series: &SeriesSet, _config: &AnalyzerConfig) -> DelayVector {
+    let period = series.period;
+    let spans = factor_spans(series);
+    let mut factors = [(Factor::BgpSenderApp, 0.0); 8];
+    for (i, (factor, set)) in spans.spans.iter().enumerate() {
+        factors[i] = (*factor, set.ratio(period));
+    }
+    let group_union = |group: FactorGroup| -> f64 {
+        let mut union = SpanSet::new();
+        for (factor, set) in &spans.spans {
+            if factor.group() == group {
+                union = union.union(set);
+            }
+        }
+        union.ratio(period)
+    };
+    DelayVector {
+        factors,
+        sender: group_union(FactorGroup::Sender),
+        receiver: group_union(FactorGroup::Receiver),
+        network: group_union(FactorGroup::Network),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use tdat_timeset::{EventSeries, Span};
+
+    fn series_with(period: Span) -> SeriesSet {
+        SeriesSet {
+            period,
+            mss: 1448,
+            max_adv_window: 65535,
+            ..SeriesSet::default()
+        }
+    }
+
+    #[test]
+    fn factor_group_mapping() {
+        assert_eq!(Factor::BgpSenderApp.group(), FactorGroup::Sender);
+        assert_eq!(Factor::TcpAdvertisedWindow.group(), FactorGroup::Receiver);
+        assert_eq!(Factor::NetworkLoss.group(), FactorGroup::Network);
+        assert!(Factor::BgpReceiverApp.is_bgp());
+        assert!(!Factor::TcpCongestionWindow.is_bgp());
+    }
+
+    #[test]
+    fn group_ratio_uses_union_not_sum() {
+        let period = Span::from_micros(0, 1_000_000);
+        let mut s = series_with(period);
+        // Two overlapping sender-side series covering the same 40%.
+        let mut sal: EventSeries<u32> = EventSeries::new("SendAppLimited");
+        sal.push(Span::from_micros(0, 400_000), 0);
+        let mut cwd: EventSeries<u32> = EventSeries::new("CwdBndOut");
+        cwd.push(Span::from_micros(200_000, 400_000), 0);
+        s.send_app_limited = sal;
+        s.cwd_bnd_out = cwd;
+        let v = delay_vector(&s, &AnalyzerConfig::default());
+        assert!((v.ratio(Factor::BgpSenderApp) - 0.4).abs() < 1e-9);
+        assert!((v.ratio(Factor::TcpCongestionWindow) - 0.2).abs() < 1e-9);
+        assert!((v.sender - 0.4).abs() < 1e-9, "union, not 0.6");
+        assert_eq!(v.receiver, 0.0);
+        assert_eq!(v.network, 0.0);
+    }
+
+    #[test]
+    fn major_groups_and_dominant_factor() {
+        let period = Span::from_micros(0, 1_000_000);
+        let mut s = series_with(period);
+        let mut sal: EventSeries<u32> = EventSeries::new("SendAppLimited");
+        sal.push(Span::from_micros(0, 800_000), 0);
+        s.send_app_limited = sal;
+        let mut loss: EventSeries<u32> = EventSeries::new("RecvLocalLoss");
+        loss.push(Span::from_micros(800_000, 1_000_000), 0);
+        s.recv_local_loss = loss;
+        let v = delay_vector(&s, &AnalyzerConfig::default());
+        assert_eq!(v.major_groups(0.3), vec![FactorGroup::Sender]);
+        assert_eq!(
+            v.major_groups(0.1),
+            vec![FactorGroup::Sender, FactorGroup::Receiver]
+        );
+        assert_eq!(v.dominant_factor(), Factor::BgpSenderApp);
+        assert_eq!(
+            v.dominant_factor_in(FactorGroup::Receiver),
+            Factor::ReceiverLocalLoss
+        );
+    }
+
+    #[test]
+    fn zero_window_counts_toward_bgp_receiver() {
+        let period = Span::from_micros(0, 1_000_000);
+        let mut s = series_with(period);
+        let mut zw: EventSeries<u32> = EventSeries::new("ZeroWindow");
+        zw.push(Span::from_micros(0, 500_000), 0);
+        s.zero_window = zw;
+        let v = delay_vector(&s, &AnalyzerConfig::default());
+        assert!((v.ratio(Factor::BgpReceiverApp) - 0.5).abs() < 1e-9);
+        assert!((v.receiver - 0.5).abs() < 1e-9);
+    }
+
+    #[test]
+    fn display_renders_all_lines() {
+        let s = series_with(Span::from_micros(0, 100));
+        let v = delay_vector(&s, &AnalyzerConfig::default());
+        let text = v.to_string();
+        assert!(text.contains("groups:"));
+        assert!(text.contains("BGP sender app"));
+        assert!(text.contains("network packet loss"));
+    }
+}

@@ -1,0 +1,68 @@
+//! # T-DAT — the TCP Delay Analysis Tool
+//!
+//! Reproduction of the analyzer from *"Explaining BGP Slow Table
+//! Transfers: Implementing a TCP Delay Analyzer"* (Cheng et al.). T-DAT
+//! consumes passively collected TCP packet traces of BGP sessions and
+//! explains *where the table-transfer time went*: it transforms the
+//! trace into event series — ordered sets of time ranges, one per TCP
+//! behaviour — and attributes the transfer delay to eight factors
+//! across three groups (sender, receiver, network limited).
+//!
+//! The pipeline (paper Fig. 10):
+//!
+//! 1. **Preprocess** ([`preprocess`]): approximate the sender-side view
+//!    by shifting each ACK *flight* forward by its tightest
+//!    ACK-to-released-data delay estimate (`d2_min`).
+//! 2. **Series generation** ([`series`]): extraction / interpretation /
+//!    operation rules derive the named series (`SendAppLimited`,
+//!    `UpstreamLoss`, `AdvBndOut`, …).
+//! 3. **Factors** ([`DelayVector`]): delay ratios per factor, unioned into
+//!    the `(R_s, R_r, R_n)` group vector.
+//! 4. **Detectors** ([`detect`]): timer-gap knee inference (L-method),
+//!    consecutive-loss episodes, peer-group blocking, and the
+//!    `ZeroAckBug` conflicting-series check.
+//!
+//! # Examples
+//!
+//! ```no_run
+//! use tdat::Analyzer;
+//!
+//! let analyzer = Analyzer::default();
+//! for analysis in analyzer.analyze_pcap("bgp-session.pcap")? {
+//!     let v = &analysis.vector;
+//!     println!(
+//!         "transfer {}: sender {:.0}% receiver {:.0}% network {:.0}%",
+//!         analysis.period.duration(),
+//!         v.sender * 100.0,
+//!         v.receiver * 100.0,
+//!         v.network * 100.0,
+//!     );
+//!     for group in v.major_groups(0.3) {
+//!         println!("  major: {group} (dominated by {})", v.dominant_factor_in(group));
+//!     }
+//! }
+//! # Ok::<(), Box<dyn std::error::Error>>(())
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod analyzer;
+mod config;
+pub mod detect;
+mod factors;
+pub mod plot;
+pub mod preprocess;
+pub mod report;
+pub mod series;
+
+pub use analyzer::{analyze_pcap, period_duration, Analysis, Analyzer};
+pub use config::{AnalyzerConfig, SnifferLocation};
+pub use detect::{
+    find_consecutive_losses, find_delayed_ack_interaction, find_peer_group_blocking,
+    find_peer_group_blocking_all, find_zero_ack_bug, infer_timer, ConsecutiveLosses,
+    DelayedAckInteraction, InferredTimer, PeerGroupBlocking, ZeroAckBug,
+};
+pub use factors::{delay_vector, factor_spans, DelayVector, Factor, FactorGroup, FactorSpans};
+pub use report::Report;
+pub use series::{generate_series, SeriesSet};

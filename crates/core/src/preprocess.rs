@@ -1,0 +1,308 @@
+//! Trace preprocessing: approximate the sender-side view by shifting
+//! ACK flights (§III-B1).
+//!
+//! The sniffer sits next to the receiver, but transfer delay is mostly
+//! determined by sender behaviour. T-DAT therefore rewrites the
+//! `packet-ack-packet` arrival order at the sniffer into the order the
+//! *sender* experienced, by shifting each ACK forward to just before
+//! the data it released. Per-ACK delay estimates are noisy, so the
+//! paper's insight is to shift a whole *flight* of ACKs by the most
+//! precise (smallest) per-ACK estimate within it. On a sender-side
+//! trace the estimated shifts are ≈0 and the step is a no-op.
+
+use tdat_packet::seq_diff;
+use tdat_timeset::{Micros, Span};
+use tdat_trace::{default_flight_gap, group_flights, Direction, Segment, TcpConnection};
+
+/// One applied flight shift, for diagnostics.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct FlightShift {
+    /// The original time extent of the ACK flight.
+    pub flight: Span,
+    /// How far forward it was moved (`d2_min`).
+    pub shift: Micros,
+    /// Number of ACKs in the flight.
+    pub acks: usize,
+}
+
+/// The preprocessed trace: all segments with ACK times rewritten, in
+/// (new) time order.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ShiftedTrace {
+    /// Segments of both directions, sorted by (shifted) time.
+    pub segments: Vec<Segment>,
+    /// The shifts that were applied.
+    pub shifts: Vec<FlightShift>,
+}
+
+/// Rewrites `conn`'s ACK arrivals to approximate the sender-side trace.
+///
+/// ACK-direction segments are grouped into flights by inter-arrival
+/// gap; each flight is shifted forward by the minimum over its members
+/// of *delay to the first new data that followed* (`d2`). Flights with
+/// no subsequent new data (e.g. the trace tail) are left in place.
+pub fn shift_acks(conn: &TcpConnection) -> ShiftedTrace {
+    let gap = default_flight_gap(conn.profile.rtt);
+    let acks: Vec<Segment> = conn.ack_segments().cloned().collect();
+    let data: Vec<Segment> = conn.data_segments().cloned().collect();
+    let flights = group_flights(&acks, gap);
+
+    // New-data events: (time, seq_end) for segments advancing the
+    // maximum sequence — both columns monotone.
+    let mut new_data: Vec<(Micros, u32)> = Vec::new();
+    let mut max_end: Option<u32> = None;
+    for seg in &data {
+        if seg.payload_len == 0 {
+            continue;
+        }
+        let fresh = max_end.is_none_or(|m| seq_diff(seg.seq_end, m) > 0);
+        if fresh {
+            new_data.push((seg.time, seg.seq_end));
+            max_end = Some(seg.seq_end);
+        }
+    }
+    let base_seq = new_data.first().map(|(_, s)| *s).unwrap_or(0);
+    // Relative (wrap-free) sequence for binary search.
+    let rel = |s: u32| seq_diff(s, base_seq);
+
+    // Per-ACK d2 estimate via *release points*: data with
+    // `seq_end > prev_release` could only leave the sender after this
+    // ACK arrived, so its sniffer arrival is a true lower bound on
+    // t_ack + d2. (The naive "next data after the ACK" estimate
+    // degenerates to ~0 under pipelined flow, where data released by
+    // *earlier* ACKs keeps arriving continuously.)
+    let mut d2_estimates: Vec<Option<Micros>> = vec![None; acks.len()];
+    {
+        let mut prev_release: Option<i64> = None; // rel(seq) permitted so far
+        for (i, ack) in acks.iter().enumerate() {
+            if let Some(release) = prev_release {
+                let idx = new_data.partition_point(|(_, s)| rel(*s) <= release);
+                if let Some((t, _)) = new_data.get(idx) {
+                    if *t >= ack.time {
+                        d2_estimates[i] = Some(*t - ack.time);
+                    }
+                }
+            }
+            if d2_estimates[i].is_none() {
+                // Fallback (window never binding, e.g. cwnd-clocked
+                // flow, or no window context yet): first new data after
+                // the ACK. Loose under pipelining, which the flight
+                // minimum and the global d2 cap absorb.
+                let idx = new_data.partition_point(|(t, _)| *t <= ack.time);
+                if let Some((t, _)) = new_data.get(idx) {
+                    d2_estimates[i] = Some(*t - ack.time);
+                }
+            }
+            if ack.window > 0 {
+                let this_release = rel(ack.ack) + ack.window as i64;
+                prev_release = Some(prev_release.map_or(this_release, |p| p.max(this_release)));
+            }
+        }
+    }
+
+    // Connection-level upper bound on any shift: the upstream RTT
+    // component d2 = rtt - d1 from the profile. Without it, a flight
+    // whose sender idled before responding would absorb the idle time
+    // into the shift and erase the very gap T-DAT needs to see.
+    let global_d2 = conn.profile.d2();
+
+    let mut shifts = Vec::new();
+    let mut shifted_acks = acks.clone();
+    for flight in &flights {
+        let d2_min = flight
+            .members
+            .iter()
+            // Zero-window ACKs release nothing; the data that follows
+            // them came after the window reopened, so their estimate is
+            // meaningless and they must stay in place.
+            .filter(|&&i| acks[i].window > 0)
+            .filter_map(|&i| d2_estimates[i])
+            .min();
+        let Some(mut shift) = d2_min else { continue };
+        if let Some(cap) = global_d2 {
+            shift = shift.min(cap);
+        }
+        if shift <= Micros::ZERO {
+            continue;
+        }
+        for &i in &flight.members {
+            if shifted_acks[i].window > 0 {
+                shifted_acks[i].time += shift;
+            }
+        }
+        shifts.push(FlightShift {
+            flight: flight.span(),
+            shift,
+            acks: flight.members.len(),
+        });
+    }
+    // Individual zero-window ACKs staying put may now be out of order
+    // relative to shifted neighbours; restore time order.
+    shifted_acks.sort_by_key(|s| s.time);
+
+    // Merge back into one stream ordered by the new times. A shifted
+    // ACK is placed *before* data at the same instant (it caused it).
+    let mut segments: Vec<Segment> = Vec::with_capacity(data.len() + shifted_acks.len());
+    let (mut i, mut j) = (0, 0);
+    while i < data.len() || j < shifted_acks.len() {
+        let take_ack = match (data.get(i), shifted_acks.get(j)) {
+            (Some(d), Some(a)) => a.time <= d.time,
+            (None, Some(_)) => true,
+            _ => false,
+        };
+        if take_ack {
+            segments.push(shifted_acks[j].clone());
+            j += 1;
+        } else {
+            segments.push(data[i].clone());
+            i += 1;
+        }
+    }
+    ShiftedTrace { segments, shifts }
+}
+
+impl ShiftedTrace {
+    /// Data-direction segments in time order.
+    pub fn data_segments(&self) -> impl Iterator<Item = &Segment> {
+        self.segments.iter().filter(|s| s.dir == Direction::Data)
+    }
+
+    /// Ack-direction segments in (shifted) time order.
+    pub fn ack_segments(&self) -> impl Iterator<Item = &Segment> {
+        self.segments.iter().filter(|s| s.dir == Direction::Ack)
+    }
+
+    /// The full time extent of the (shifted) trace.
+    pub fn span(&self) -> Span {
+        match (self.segments.first(), self.segments.last()) {
+            (Some(first), Some(last)) => Span::new(first.time, last.time),
+            _ => Span::new(Micros::ZERO, Micros::ZERO),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::net::Ipv4Addr;
+    use tdat_packet::{FrameBuilder, TcpFrame};
+    use tdat_trace::extract_connections;
+
+    fn a() -> Ipv4Addr {
+        Ipv4Addr::new(10, 0, 0, 1)
+    }
+    fn b() -> Ipv4Addr {
+        Ipv4Addr::new(10, 0, 0, 2)
+    }
+    fn data(t: i64, seq: u32, len: usize) -> TcpFrame {
+        FrameBuilder::new(a(), b())
+            .at(Micros(t))
+            .ports(179, 40000)
+            .seq(seq)
+            .ack_to(1)
+            .payload(vec![0; len])
+            .build()
+    }
+    fn ack(t: i64, ackn: u32) -> TcpFrame {
+        FrameBuilder::new(b(), a())
+            .at(Micros(t))
+            .ports(40000, 179)
+            .seq(1)
+            .ack_to(ackn)
+            .window(65535)
+            .build()
+    }
+
+    #[test]
+    fn receiver_side_acks_shift_to_released_data() {
+        // Sniffer near receiver: data arrives, ACK leaves immediately,
+        // next data flight arrives one (upstream) RTT later. The ACK
+        // must shift to just before the data it released.
+        let frames = vec![
+            data(0, 1000, 100),
+            data(50, 1100, 100),
+            ack(300, 1200),          // frees the window
+            data(20_300, 1200, 100), // released data, d2 = 20 ms
+            data(20_350, 1300, 100),
+            ack(20_600, 1400),
+        ];
+        let conns = extract_connections(&frames);
+        let shifted = shift_acks(&conns[0]);
+        let acks: Vec<&Segment> = shifted.ack_segments().collect();
+        assert_eq!(acks[0].time, Micros(20_300), "shifted by d2 = 20 ms");
+        assert_eq!(shifted.shifts.len(), 1);
+        assert_eq!(shifted.shifts[0].shift, Micros(20_000));
+        // The final ACK has no following data and stays put.
+        assert_eq!(acks[1].time, Micros(20_600));
+        // Order: shifted ACK precedes the data it released.
+        let order: Vec<Direction> = shifted.segments.iter().map(|s| s.dir).collect();
+        assert_eq!(
+            order,
+            vec![
+                Direction::Data,
+                Direction::Data,
+                Direction::Ack,
+                Direction::Data,
+                Direction::Data,
+                Direction::Ack
+            ]
+        );
+    }
+
+    #[test]
+    fn flight_shifts_by_minimum_member_estimate() {
+        // Two ACKs back to back: the first releases data 10 ms later,
+        // the second's next-data estimate is looser (same data). Both
+        // shift by the minimum (tighter) estimate.
+        let frames = vec![
+            data(0, 1000, 100),
+            data(50, 1100, 100),
+            ack(200, 1100),
+            ack(260, 1200),
+            data(10_200, 1200, 100),
+        ];
+        let conns = extract_connections(&frames);
+        let shifted = shift_acks(&conns[0]);
+        let acks: Vec<&Segment> = shifted.ack_segments().collect();
+        // d2 candidates: 10_200-200 = 10_000 and 10_200-260 = 9_940;
+        // min is 9_940 → both shift by 9_940.
+        assert_eq!(shifted.shifts[0].shift, Micros(9_940));
+        assert_eq!(acks[0].time, Micros(10_140));
+        assert_eq!(acks[1].time, Micros(10_200));
+    }
+
+    #[test]
+    fn sender_side_trace_barely_moves() {
+        // At the sender, data follows ACKs within microseconds; shifts
+        // must be negligible.
+        let frames = vec![
+            data(0, 1000, 100),
+            ack(20_000, 1100),
+            data(20_010, 1100, 100), // sent 10 us after the ack arrived
+            ack(40_000, 1200),
+            data(40_010, 1200, 100),
+        ];
+        let conns = extract_connections(&frames);
+        let shifted = shift_acks(&conns[0]);
+        for s in &shifted.shifts {
+            assert!(s.shift <= Micros(10), "shift {s:?}");
+        }
+    }
+
+    #[test]
+    fn no_data_no_shift() {
+        let frames = vec![ack(0, 1), ack(100, 1)];
+        let conns = extract_connections(&frames);
+        let shifted = shift_acks(&conns[0]);
+        assert!(shifted.shifts.is_empty());
+        assert_eq!(shifted.segments.len(), 2);
+    }
+
+    #[test]
+    fn span_covers_trace() {
+        let frames = vec![data(0, 1, 10), ack(500, 11)];
+        let conns = extract_connections(&frames);
+        let shifted = shift_acks(&conns[0]);
+        assert_eq!(shifted.span(), Span::new(Micros(0), Micros(500)));
+    }
+}

@@ -1,0 +1,238 @@
+//! Structured analysis reports: a serializable summary of an
+//! [`Analysis`](crate::Analysis) for dashboards and scripting.
+//!
+//! The report is a plain-data struct (serde-derived) with its own
+//! dependency-free JSON encoder, so `t-dat --json` works without
+//! pulling a JSON crate into the tool.
+
+use serde::{Deserialize, Serialize};
+
+use crate::analyzer::Analysis;
+use crate::config::AnalyzerConfig;
+use crate::factors::Factor;
+
+/// Machine-readable summary of one connection's analysis.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Report {
+    /// Sender `ip:port`.
+    pub sender: String,
+    /// Receiver `ip:port`.
+    pub receiver: String,
+    /// Analysis period duration in seconds.
+    pub duration_s: f64,
+    /// Prefixes in the identified table transfer (0 if none found).
+    pub prefixes: usize,
+    /// Handshake RTT estimate in milliseconds, if available.
+    pub rtt_ms: Option<f64>,
+    /// Group delay ratios.
+    pub sender_ratio: f64,
+    /// Receiver group ratio.
+    pub receiver_ratio: f64,
+    /// Network group ratio.
+    pub network_ratio: f64,
+    /// `(factor name, delay ratio)` for all eight factors.
+    pub factors: Vec<(String, f64)>,
+    /// Names of the major groups at the configured threshold.
+    pub major_groups: Vec<String>,
+    /// Inferred sender pacing timer in milliseconds, if any.
+    pub inferred_timer_ms: Option<f64>,
+    /// Consecutive-loss episodes `(retransmissions, seconds)`.
+    pub loss_episodes: Vec<(usize, f64)>,
+    /// The ZeroAckBug conflict was detected.
+    pub zero_ack_bug: bool,
+    /// Spurious retransmissions outside loss episodes (delayed-ACK/RTO
+    /// race), if detected.
+    pub delayed_ack_spurious: usize,
+}
+
+impl Report {
+    /// Builds the report from an analysis using `config`'s thresholds.
+    pub fn from_analysis(analysis: &Analysis, config: &AnalyzerConfig) -> Report {
+        let v = &analysis.vector;
+        Report {
+            sender: format!("{}:{}", analysis.sender.0, analysis.sender.1),
+            receiver: format!("{}:{}", analysis.receiver.0, analysis.receiver.1),
+            duration_s: analysis.period.duration().as_secs_f64(),
+            prefixes: analysis
+                .transfer
+                .as_ref()
+                .map(|t| t.prefix_count)
+                .unwrap_or(0),
+            rtt_ms: analysis.profile.rtt.map(|r| r.as_millis_f64()),
+            sender_ratio: v.sender,
+            receiver_ratio: v.receiver,
+            network_ratio: v.network,
+            factors: Factor::ALL
+                .iter()
+                .map(|f| (f.to_string(), v.ratio(*f)))
+                .collect(),
+            major_groups: v
+                .major_groups(config.major_threshold)
+                .iter()
+                .map(|g| g.to_string())
+                .collect(),
+            inferred_timer_ms: analysis.infer_timer(8).map(|t| t.period.as_millis_f64()),
+            loss_episodes: analysis
+                .consecutive_losses(config)
+                .iter()
+                .map(|e| (e.retransmissions, e.span.duration().as_secs_f64()))
+                .collect(),
+            zero_ack_bug: analysis.zero_ack_bug().is_some(),
+            delayed_ack_spurious: analysis
+                .delayed_ack_interaction()
+                .map(|d| d.count)
+                .unwrap_or(0),
+        }
+    }
+
+    /// Encodes the report as a JSON object (no external JSON crate; the
+    /// format is fixed by this module and covered by tests).
+    pub fn to_json(&self) -> String {
+        let mut out = String::with_capacity(512);
+        out.push('{');
+        push_str_field(&mut out, "sender", &self.sender, false);
+        push_str_field(&mut out, "receiver", &self.receiver, true);
+        push_num_field(&mut out, "duration_s", self.duration_s, true);
+        push_raw_field(&mut out, "prefixes", &self.prefixes.to_string(), true);
+        match self.rtt_ms {
+            Some(rtt) => push_num_field(&mut out, "rtt_ms", rtt, true),
+            None => push_raw_field(&mut out, "rtt_ms", "null", true),
+        }
+        push_num_field(&mut out, "sender_ratio", self.sender_ratio, true);
+        push_num_field(&mut out, "receiver_ratio", self.receiver_ratio, true);
+        push_num_field(&mut out, "network_ratio", self.network_ratio, true);
+        out.push_str(",\"factors\":{");
+        for (i, (name, ratio)) in self.factors.iter().enumerate() {
+            if i > 0 {
+                out.push(',');
+            }
+            out.push_str(&format!("\"{}\":{}", escape(name), fmt_num(*ratio)));
+        }
+        out.push('}');
+        out.push_str(",\"major_groups\":[");
+        for (i, g) in self.major_groups.iter().enumerate() {
+            if i > 0 {
+                out.push(',');
+            }
+            out.push_str(&format!("\"{}\"", escape(g)));
+        }
+        out.push(']');
+        match self.inferred_timer_ms {
+            Some(ms) => push_num_field(&mut out, "inferred_timer_ms", ms, true),
+            None => push_raw_field(&mut out, "inferred_timer_ms", "null", true),
+        }
+        out.push_str(",\"loss_episodes\":[");
+        for (i, (n, secs)) in self.loss_episodes.iter().enumerate() {
+            if i > 0 {
+                out.push(',');
+            }
+            out.push_str(&format!("[{},{}]", n, fmt_num(*secs)));
+        }
+        out.push(']');
+        push_raw_field(
+            &mut out,
+            "zero_ack_bug",
+            if self.zero_ack_bug { "true" } else { "false" },
+            true,
+        );
+        push_raw_field(
+            &mut out,
+            "delayed_ack_spurious",
+            &self.delayed_ack_spurious.to_string(),
+            true,
+        );
+        out.push('}');
+        out
+    }
+}
+
+fn escape(s: &str) -> String {
+    s.replace('\\', "\\\\").replace('"', "\\\"")
+}
+
+fn fmt_num(v: f64) -> String {
+    if v.is_finite() {
+        format!("{v:.6}")
+    } else {
+        "null".to_string()
+    }
+}
+
+fn push_str_field(out: &mut String, key: &str, value: &str, comma: bool) {
+    if comma {
+        out.push(',');
+    }
+    out.push_str(&format!("\"{}\":\"{}\"", key, escape(value)));
+}
+
+fn push_num_field(out: &mut String, key: &str, value: f64, comma: bool) {
+    if comma {
+        out.push(',');
+    }
+    out.push_str(&format!("\"{}\":{}", key, fmt_num(value)));
+}
+
+fn push_raw_field(out: &mut String, key: &str, raw: &str, comma: bool) {
+    if comma {
+        out.push(',');
+    }
+    out.push_str(&format!("\"{}\":{}", key, raw));
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample() -> Report {
+        Report {
+            sender: "10.0.0.1:179".into(),
+            receiver: "10.0.255.2:40000".into(),
+            duration_s: 4.5,
+            prefixes: 10_000,
+            rtt_ms: Some(2.3),
+            sender_ratio: 0.91,
+            receiver_ratio: 0.02,
+            network_ratio: 0.0,
+            factors: vec![("BGP sender app".into(), 0.9)],
+            major_groups: vec!["sender".into()],
+            inferred_timer_ms: Some(198.0),
+            loss_episodes: vec![(9, 4.2)],
+            zero_ack_bug: false,
+            delayed_ack_spurious: 1,
+        }
+    }
+
+    #[test]
+    fn json_shape_is_stable() {
+        let json = sample().to_json();
+        assert!(json.starts_with('{') && json.ends_with('}'));
+        assert!(json.contains("\"sender\":\"10.0.0.1:179\""));
+        assert!(json.contains("\"prefixes\":10000"));
+        assert!(json.contains("\"rtt_ms\":2.300000"));
+        assert!(json.contains("\"factors\":{\"BGP sender app\":0.900000}"));
+        assert!(json.contains("\"major_groups\":[\"sender\"]"));
+        assert!(json.contains("\"loss_episodes\":[[9,4.200000]]"));
+        assert!(json.contains("\"zero_ack_bug\":false"));
+        assert!(json.contains("\"delayed_ack_spurious\":1"));
+        // Balanced braces/brackets (cheap well-formedness check).
+        assert_eq!(json.matches('{').count(), json.matches('}').count());
+        assert_eq!(json.matches('[').count(), json.matches(']').count());
+    }
+
+    #[test]
+    fn null_fields_encode_as_null() {
+        let mut r = sample();
+        r.rtt_ms = None;
+        r.inferred_timer_ms = None;
+        let json = r.to_json();
+        assert!(json.contains("\"rtt_ms\":null"));
+        assert!(json.contains("\"inferred_timer_ms\":null"));
+    }
+
+    #[test]
+    fn strings_are_escaped() {
+        let mut r = sample();
+        r.sender = "evil\"quote".into();
+        assert!(r.to_json().contains("evil\\\"quote"));
+    }
+}

@@ -1,0 +1,738 @@
+//! Event-series generation (§III-C).
+//!
+//! From the (ACK-shifted) trace, T-DAT derives series of time ranges,
+//! each representing one type of TCP behaviour, via three rules:
+//! *Extraction* (directly from packets), *Interpretation* (renaming a
+//! series given deployment knowledge, e.g. downstream loss = receiver-
+//! local when the sniffer sits at the receiver), and *Operation*
+//! (inference and set algebra over existing series). Every event keeps
+//! a `u32` payload with the byte count behind it (window size,
+//! retransmitted bytes, outstanding bytes) so high-level observations
+//! can be cross-referenced back to the packets.
+
+use tdat_packet::seq_diff;
+use tdat_timeset::{EventSeries, Micros, Span, SpanSet};
+use tdat_trace::{group_flights, Direction, SegLabel, Segment};
+
+use crate::config::{AnalyzerConfig, SnifferLocation};
+use crate::preprocess::ShiftedTrace;
+
+/// The generated series for one connection over one analysis period.
+///
+/// Field names follow the paper. All series are flattened to
+/// [`SpanSet`]s on demand for the set algebra; the payload-carrying
+/// [`EventSeries`] form is preserved for drill-down.
+#[derive(Debug, Clone, Default)]
+pub struct SeriesSet {
+    /// The analysis period (the table-transfer duration in this work).
+    pub period: Span,
+    /// MSS used for window thresholds.
+    pub mss: u32,
+    /// Maximum window the receiver advertised (threshold base for the
+    /// *large window* series).
+    pub max_adv_window: u32,
+
+    // ---- Extraction ----
+    /// Periods spent actually transmitting data packets (data flights).
+    pub transmission: EventSeries<u32>,
+    /// Periods with unacknowledged data in flight; payload is the peak
+    /// outstanding byte count.
+    pub outstanding: EventSeries<u32>,
+    /// The receiver-advertised window over time (one event per ACK,
+    /// until the next ACK).
+    pub adv_window: EventSeries<u32>,
+    /// Loss-recovery periods for retransmissions classified upstream.
+    pub upstream_loss: EventSeries<u32>,
+    /// Loss-recovery periods for retransmissions classified downstream.
+    pub downstream_loss: EventSeries<u32>,
+    /// Retransmissions of already-acknowledged data.
+    pub spurious_retx: EventSeries<u32>,
+    /// Zero-window periods advertised by the receiver.
+    pub zero_window: EventSeries<u32>,
+    /// Zero-window probe transmissions.
+    pub window_probes: EventSeries<u32>,
+
+    // ---- Interpretation ----
+    /// Sender-local losses (populated per sniffer location).
+    pub send_local_loss: EventSeries<u32>,
+    /// Receiver-local losses (populated per sniffer location).
+    pub recv_local_loss: EventSeries<u32>,
+    /// Losses attributed to the network path.
+    pub network_loss: EventSeries<u32>,
+
+    // ---- Operation ----
+    /// Sender idle periods: ACKs for all outstanding data received, the
+    /// window open, yet nothing sent — the sending BGP process is the
+    /// limiter.
+    pub send_app_limited: EventSeries<u32>,
+    /// Periods with a small advertised window (< `small_window_mss` ×
+    /// MSS): the receiving application cannot keep up.
+    pub small_adv_window: EventSeries<u32>,
+    /// Periods with a large advertised window (within the same margin
+    /// of the maximum): the receiving application keeps up.
+    pub large_adv_window: EventSeries<u32>,
+    /// Outstanding periods bounded by the advertised window.
+    pub adv_bnd_out: EventSeries<u32>,
+    /// Outstanding periods bounded by the congestion window.
+    pub cwd_bnd_out: EventSeries<u32>,
+    /// Continuous-transmission periods not explained by windows or
+    /// losses — the bandwidth-limit indicator.
+    pub bandwidth_limited: EventSeries<u32>,
+}
+
+impl SeriesSet {
+    /// `AdvBndOut ∩ SmallAdvWindow` (§III-C3, Rule 4).
+    pub fn small_adv_bnd_out(&self) -> SpanSet {
+        self.adv_bnd_out
+            .to_span_set()
+            .intersection(&self.small_adv_window.to_span_set())
+    }
+
+    /// `AdvBndOut ∩ LargeAdvWindow`.
+    pub fn large_adv_bnd_out(&self) -> SpanSet {
+        self.adv_bnd_out
+            .to_span_set()
+            .intersection(&self.large_adv_window.to_span_set())
+    }
+
+    /// Zero-window-bounded outstanding: zero-window periods while the
+    /// transfer was still in progress.
+    pub fn zero_adv_bnd_out(&self) -> SpanSet {
+        self.zero_window.to_span_set().clipped(self.period)
+    }
+
+    /// Union of every loss-recovery series.
+    pub fn all_loss(&self) -> SpanSet {
+        self.upstream_loss
+            .to_span_set()
+            .union(&self.downstream_loss.to_span_set())
+            .union(&self.spurious_retx.to_span_set())
+    }
+
+    /// `ZeroAdvBndOut ∩ UpstreamLoss` — the conflicting-series check
+    /// that exposed the zero-window-probe sender bug (§IV-B).
+    pub fn zero_ack_bug(&self) -> SpanSet {
+        self.zero_adv_bnd_out()
+            .intersection(&self.upstream_loss.to_span_set())
+    }
+
+    /// Every named series, flattened — for listings and plots.
+    pub fn named(&self) -> Vec<(&'static str, SpanSet)> {
+        vec![
+            ("Transmission", self.transmission.to_span_set()),
+            ("Outstanding", self.outstanding.to_span_set()),
+            ("AdvWindow", self.adv_window.to_span_set()),
+            ("UpstreamLoss", self.upstream_loss.to_span_set()),
+            ("DownstreamLoss", self.downstream_loss.to_span_set()),
+            ("SpuriousRetx", self.spurious_retx.to_span_set()),
+            ("ZeroWindow", self.zero_window.to_span_set()),
+            ("WindowProbes", self.window_probes.to_span_set()),
+            ("SendLocalLoss", self.send_local_loss.to_span_set()),
+            ("RecvLocalLoss", self.recv_local_loss.to_span_set()),
+            ("NetworkLoss", self.network_loss.to_span_set()),
+            ("SendAppLimited", self.send_app_limited.to_span_set()),
+            ("SmallAdvWindow", self.small_adv_window.to_span_set()),
+            ("LargeAdvWindow", self.large_adv_window.to_span_set()),
+            ("AdvBndOut", self.adv_bnd_out.to_span_set()),
+            ("CwdBndOut", self.cwd_bnd_out.to_span_set()),
+            ("SmallAdvBndOut", self.small_adv_bnd_out()),
+            ("LargeAdvBndOut", self.large_adv_bnd_out()),
+            ("ZeroAdvBndOut", self.zero_adv_bnd_out()),
+            ("AllLoss", self.all_loss()),
+            ("BandwidthLimited", self.bandwidth_limited.to_span_set()),
+            ("ZeroAckBug", self.zero_ack_bug()),
+        ]
+    }
+}
+
+/// Generates the full series set from a shifted trace, its labels
+/// (aligned with the trace's data segments in order), and the analysis
+/// period.
+pub fn generate_series(
+    trace: &ShiftedTrace,
+    labels: &[SegLabel],
+    period: Span,
+    mss: u32,
+    max_adv_window: u32,
+    rtt: Option<Micros>,
+    config: &AnalyzerConfig,
+) -> SeriesSet {
+    let mut set = SeriesSet {
+        period,
+        mss,
+        max_adv_window,
+        ..SeriesSet::default()
+    };
+    let data: Vec<&Segment> = trace
+        .data_segments()
+        .filter(|s| s.payload_len > 0)
+        .collect();
+    let acks: Vec<&Segment> = trace
+        .ack_segments()
+        .filter(|s| s.flags.contains(tdat_packet::TcpFlags::ACK))
+        .collect();
+
+    extraction(&mut set, trace, labels, &data, &acks, rtt, config);
+    interpretation(&mut set, config);
+    operation(&mut set, &data, &acks, rtt, config);
+    set
+}
+
+// ----------------------------------------------------------------------
+// Rule 1: Extraction
+// ----------------------------------------------------------------------
+
+fn extraction(
+    set: &mut SeriesSet,
+    trace: &ShiftedTrace,
+    labels: &[SegLabel],
+    data: &[&Segment],
+    acks: &[&Segment],
+    rtt: Option<Micros>,
+    config: &AnalyzerConfig,
+) {
+    let flight_gap = match rtt {
+        Some(rtt) if rtt > Micros::ZERO => (rtt / 2).max(Micros::from_millis(1)),
+        _ => config.fallback_flight_gap,
+    };
+
+    // Transmission: data flights.
+    set.transmission = EventSeries::new("Transmission");
+    let owned: Vec<Segment> = data.iter().map(|s| (*s).clone()).collect();
+    for flight in group_flights(&owned, flight_gap) {
+        let bytes: u32 = flight.members.iter().map(|&i| owned[i].payload_len).sum();
+        // Give an instantaneous burst a minimal width of one
+        // microsecond so it is visible to the set algebra.
+        let end = flight.end.max(flight.start + Micros(1));
+        set.transmission.push(Span::new(flight.start, end), bytes);
+    }
+
+    // Outstanding: walk data/ack events, tracking unacked bytes.
+    set.outstanding = EventSeries::new("Outstanding");
+    {
+        let mut snd_max: Option<u32> = None;
+        let mut ack_max: Option<u32> = None;
+        let mut open_since: Option<Micros> = None;
+        let mut peak: u32 = 0;
+        for seg in &trace.segments {
+            match seg.dir {
+                Direction::Data if seg.payload_len > 0 => {
+                    if snd_max.is_none_or(|m| seq_diff(seg.seq_end, m) > 0) {
+                        snd_max = Some(seg.seq_end);
+                    }
+                    let out = outstanding(snd_max, ack_max);
+                    if out > 0 && open_since.is_none() {
+                        open_since = Some(seg.time);
+                        peak = out;
+                    }
+                    peak = peak.max(out);
+                }
+                Direction::Ack if seg.flags.contains(tdat_packet::TcpFlags::ACK) => {
+                    if ack_max.is_none_or(|m| seq_diff(seg.ack, m) > 0) {
+                        ack_max = Some(seg.ack);
+                    }
+                    let out = outstanding(snd_max, ack_max);
+                    if out == 0 {
+                        if let Some(start) = open_since.take() {
+                            set.outstanding.push(Span::new(start, seg.time), peak);
+                            peak = 0;
+                        }
+                    }
+                }
+                _ => {}
+            }
+        }
+        if let Some(start) = open_since {
+            // Trace ended with data in flight.
+            set.outstanding.push(Span::new(start, set.period.end), peak);
+        }
+    }
+
+    // Advertised window: each ACK's window holds until the next ACK.
+    set.adv_window = EventSeries::new("AdvWindow");
+    for pair in acks.windows(2) {
+        set.adv_window
+            .push(Span::new(pair[0].time, pair[1].time), pair[0].window);
+    }
+    if let Some(last) = acks.last() {
+        set.adv_window
+            .push(Span::new(last.time, set.period.end), last.window);
+    }
+
+    // Losses from the labels (aligned with data segments in order).
+    set.upstream_loss = EventSeries::new("UpstreamLoss");
+    set.downstream_loss = EventSeries::new("DownstreamLoss");
+    set.spurious_retx = EventSeries::new("SpuriousRetx");
+    set.window_probes = EventSeries::new("WindowProbes");
+    // Labels align one-to-one with the data-direction segments in
+    // order (data segments are never shifted, so the shifted trace
+    // preserves that order).
+    for (label, seg) in labels.iter().zip(trace.data_segments()) {
+        match label {
+            SegLabel::UpstreamLoss(span) => set.upstream_loss.push(*span, seg.payload_len),
+            SegLabel::DownstreamLoss(span) => set.downstream_loss.push(*span, seg.payload_len),
+            SegLabel::SpuriousRetransmission(span) => {
+                set.spurious_retx.push(*span, seg.payload_len)
+            }
+            SegLabel::WindowProbe => {
+                set.window_probes
+                    .push(Span::new(seg.time, seg.time + Micros(1)), seg.payload_len);
+            }
+            SegLabel::InOrder | SegLabel::Reordered => {}
+        }
+    }
+
+    // Zero-window periods.
+    set.zero_window = EventSeries::new("ZeroWindow");
+    let mut zero_since: Option<Micros> = None;
+    for ack in acks {
+        if ack.window == 0 {
+            zero_since.get_or_insert(ack.time);
+        } else if let Some(start) = zero_since.take() {
+            set.zero_window.push(Span::new(start, ack.time), 0);
+        }
+    }
+    if let Some(start) = zero_since {
+        set.zero_window.push(Span::new(start, set.period.end), 0);
+    }
+}
+
+fn outstanding(snd_max: Option<u32>, ack_max: Option<u32>) -> u32 {
+    match (snd_max, ack_max) {
+        (Some(s), Some(a)) => seq_diff(s, a).max(0) as u32,
+        (Some(_), None) => 1, // data sent, nothing acked yet
+        _ => 0,
+    }
+}
+
+// ----------------------------------------------------------------------
+// Rule 2: Interpretation
+// ----------------------------------------------------------------------
+
+fn interpretation(set: &mut SeriesSet, config: &AnalyzerConfig) {
+    match config.sniffer {
+        SnifferLocation::NearReceiver => {
+            set.recv_local_loss = set.downstream_loss.clone().renamed("RecvLocalLoss");
+            set.send_local_loss = EventSeries::new("SendLocalLoss");
+            set.network_loss = set.upstream_loss.clone().renamed("NetworkLoss");
+        }
+        SnifferLocation::NearSender => {
+            set.send_local_loss = set.upstream_loss.clone().renamed("SendLocalLoss");
+            set.recv_local_loss = EventSeries::new("RecvLocalLoss");
+            set.network_loss = set.downstream_loss.clone().renamed("NetworkLoss");
+        }
+        SnifferLocation::Middle => {
+            set.send_local_loss = EventSeries::new("SendLocalLoss");
+            set.recv_local_loss = EventSeries::new("RecvLocalLoss");
+            let mut network = set.upstream_loss.clone().renamed("NetworkLoss");
+            for e in set.downstream_loss.iter() {
+                network.push(e.span, e.data);
+            }
+            set.network_loss = network;
+        }
+    }
+}
+
+// ----------------------------------------------------------------------
+// Rule 3: Operation
+// ----------------------------------------------------------------------
+
+fn operation(
+    set: &mut SeriesSet,
+    data: &[&Segment],
+    acks: &[&Segment],
+    rtt: Option<Micros>,
+    config: &AnalyzerConfig,
+) {
+    let mss = set.mss.max(1);
+    let small = (config.small_window_mss * mss as f64) as u32;
+    let large = set
+        .max_adv_window
+        .saturating_sub((config.small_window_mss * mss as f64) as u32);
+
+    // Small / large advertised-window series.
+    set.small_adv_window = EventSeries::new("SmallAdvWindow");
+    set.large_adv_window = EventSeries::new("LargeAdvWindow");
+    for e in set.adv_window.iter() {
+        if e.data < small {
+            set.small_adv_window.push(e.span, e.data);
+        }
+        if e.data >= large && set.max_adv_window > 0 {
+            set.large_adv_window.push(e.span, e.data);
+        }
+    }
+
+    // Sender-app-limited: gaps where everything was acked, the window
+    // was open, and the sender stayed silent.
+    set.send_app_limited = EventSeries::new("SendAppLimited");
+    let idle_threshold = match rtt {
+        Some(rtt) => config.min_idle_gap.max(rtt / 4),
+        None => config.min_idle_gap,
+    };
+    {
+        // Times at which outstanding hit zero = ends of outstanding
+        // events; next data transmission after each.
+        let outstanding_set = set.outstanding.to_span_set();
+        for (i, span) in outstanding_set.iter().enumerate() {
+            // Find the next data segment after this outstanding period.
+            let next_data = data.iter().find(|s| s.time > span.end).map(|s| s.time);
+            let gap_end = match next_data {
+                Some(t) => t,
+                None => {
+                    let _ = i;
+                    break;
+                }
+            };
+            if gap_end - span.end < idle_threshold {
+                continue;
+            }
+            // Window at the gap: last ACK at or before the gap start.
+            let window = acks
+                .iter()
+                .take_while(|a| a.time <= span.end)
+                .last()
+                .map(|a| a.window)
+                .unwrap_or(set.max_adv_window);
+            if window == 0 {
+                continue; // that is flow control, not the application
+            }
+            set.send_app_limited.push(Span::new(span.end, gap_end), 0);
+        }
+    }
+
+    // Advertised-window-bounded outstanding, as a continuous check:
+    // walk the (shifted) event stream tracking outstanding bytes and
+    // the window in effect; periods where the gap between them stays
+    // within `window_bound_mss × MSS` are AdvBndOut. A per-flight test
+    // would miss continuously ACK-clocked flow, which has no flight
+    // boundaries precisely *because* the window is the limiter.
+    set.adv_bnd_out = EventSeries::new("AdvBndOut");
+    let bound_margin = (config.window_bound_mss * mss as f64) as i64;
+    {
+        let mut snd_max: Option<u32> = None;
+        let mut ack_max: Option<u32> = None;
+        let mut window: Option<u32> = None;
+        let mut bound_since: Option<Micros> = None;
+        let mut peak: u32 = 0;
+        let mut di = 0usize;
+        let mut ai = 0usize;
+        loop {
+            // Merge data/ack streams by (shifted) time.
+            let next_is_data = match (data.get(di), acks.get(ai)) {
+                (Some(d), Some(a)) => d.time <= a.time,
+                (Some(_), None) => true,
+                (None, Some(_)) => false,
+                (None, None) => break,
+            };
+            let time;
+            let is_data = next_is_data;
+            if next_is_data {
+                let d = data[di];
+                di += 1;
+                time = d.time;
+                if snd_max.is_none_or(|m| seq_diff(d.seq_end, m) > 0) {
+                    snd_max = Some(d.seq_end);
+                }
+            } else {
+                let a = acks[ai];
+                ai += 1;
+                time = a.time;
+                if ack_max.is_none_or(|m| seq_diff(a.ack, m) > 0) {
+                    ack_max = Some(a.ack);
+                }
+                window = Some(a.window);
+            }
+            let out = match (snd_max, ack_max) {
+                (Some(s), Some(a)) => seq_diff(s, a).max(0),
+                _ => 0,
+            };
+            // Evaluate the bound when the *sender acts* (data events):
+            // in the shifted trace each ACK precedes the data it
+            // released, so at a data event `window` is exactly the
+            // window the sender was working against. Later ACKs merely
+            // retire data — they end the bound only when the pipe
+            // drains completely (the sender then idles by choice, which
+            // is the application's doing, not the window's).
+            let bound = if is_data {
+                match window {
+                    Some(w) if w > 0 && out > 0 => (w as i64 - out) <= bound_margin,
+                    _ => false,
+                }
+            } else {
+                bound_since.is_some() && out > 0
+            };
+            match (bound, bound_since) {
+                (true, None) => {
+                    bound_since = Some(time);
+                    peak = out as u32;
+                }
+                (true, Some(_)) => peak = peak.max(out as u32),
+                (false, Some(start)) => {
+                    set.adv_bnd_out.push(Span::new(start, time), peak);
+                    bound_since = None;
+                }
+                (false, None) => {}
+            }
+        }
+        if let Some(start) = bound_since {
+            set.adv_bnd_out.push(Span::new(start, set.period.end), peak);
+        }
+    }
+
+    // Congestion-window-bounded outstanding: per-flight (distinct
+    // flights exist exactly when the window is open but cwnd paces the
+    // sender), excluding flights already explained by the advertised
+    // window.
+    set.cwd_bnd_out = EventSeries::new("CwdBndOut");
+    let flight_gap = match rtt {
+        Some(rtt) if rtt > Micros::ZERO => (rtt / 2).max(Micros::from_millis(1)),
+        _ => config.fallback_flight_gap,
+    };
+    let owned: Vec<Segment> = data.iter().map(|s| (*s).clone()).collect();
+    let flights = group_flights(&owned, flight_gap);
+    let adv_bound_set = set.adv_bnd_out.to_span_set();
+    for (k, flight) in flights.iter().enumerate() {
+        let mut members = flight.members.iter().map(|&i| owned[i].seq_end);
+        let first = members.next().expect("flights are nonempty");
+        let flight_top = members.fold(first, |acc, s| if seq_diff(s, acc) > 0 { s } else { acc });
+        let last_ack = acks.iter().take_while(|a| a.time <= flight.end).last();
+        let Some(last_ack) = last_ack else { continue };
+        let ack_level = last_ack.ack;
+        let out = seq_diff(flight_top, ack_level).max(0);
+        if out == 0 || adv_bound_set.contains(flight.end) {
+            continue;
+        }
+        // When does an ACK cover this flight?
+        let covered_at = acks
+            .iter()
+            .find(|a| a.time > flight.end && seq_diff(a.ack, flight_top) >= 0)
+            .map(|a| a.time);
+        let span_end = covered_at.unwrap_or(set.period.end);
+        let span = Span::new(flight.start, span_end);
+        // Congestion-window bound: the next flight left immediately
+        // after this flight's ACKs arrived.
+        if let (Some(next), Some(cov)) = (flights.get(k + 1), covered_at) {
+            let first_ack_after = acks
+                .iter()
+                .find(|a| a.time > flight.end && seq_diff(a.ack, ack_level) > 0)
+                .map(|a| a.time)
+                .unwrap_or(cov);
+            if next.start >= first_ack_after
+                && next.start - first_ack_after <= config.cwnd_clock_slack
+            {
+                set.cwd_bnd_out.push(span, out as u32);
+            }
+        }
+    }
+
+    // Bandwidth-limited: long continuous transmission not explained by
+    // windows or losses.
+    set.bandwidth_limited = EventSeries::new("BandwidthLimited");
+    let bw_gap = match rtt {
+        Some(rtt) if rtt > Micros::ZERO => (rtt / 8).max(Micros(500)),
+        _ => Micros::from_millis(1),
+    };
+    let min_len = rtt.unwrap_or(Micros::from_millis(10)) * 2;
+    let continuous = group_flights(&owned, bw_gap);
+    let explained = set
+        .adv_bnd_out
+        .to_span_set()
+        .union(&set.cwd_bnd_out.to_span_set())
+        .union(&set.all_loss())
+        .union(&set.send_app_limited.to_span_set());
+    for burst in continuous {
+        let span = Span::new(burst.start, burst.end);
+        if span.duration() >= min_len {
+            let unexplained = SpanSet::from_span(span).difference(&explained);
+            for s in unexplained.iter() {
+                if s.duration() >= min_len {
+                    set.bandwidth_limited.push(*s, 0);
+                }
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::preprocess::shift_acks;
+    use std::net::Ipv4Addr;
+    use tdat_packet::{FrameBuilder, TcpFrame};
+    use tdat_trace::{extract_connections, label_segments, LabelConfig};
+
+    fn a() -> Ipv4Addr {
+        Ipv4Addr::new(10, 0, 0, 1)
+    }
+    fn b() -> Ipv4Addr {
+        Ipv4Addr::new(10, 0, 0, 2)
+    }
+    fn data(t: i64, seq: u32, len: usize) -> TcpFrame {
+        FrameBuilder::new(a(), b())
+            .at(Micros(t))
+            .ports(179, 40000)
+            .seq(seq)
+            .ack_to(1)
+            .payload(vec![0; len])
+            .build()
+    }
+    fn ack_w(t: i64, ackn: u32, window: u16) -> TcpFrame {
+        FrameBuilder::new(b(), a())
+            .at(Micros(t))
+            .ports(40000, 179)
+            .seq(1)
+            .ack_to(ackn)
+            .window(window)
+            .build()
+    }
+
+    fn series_for(frames: &[TcpFrame]) -> SeriesSet {
+        let conns = extract_connections(frames);
+        let conn = &conns[0];
+        let labels = label_segments(conn, &LabelConfig::default());
+        let shifted = shift_acks(conn);
+        generate_series(
+            &shifted,
+            &labels,
+            Span::new(conn.profile.start, conn.profile.end),
+            conn.profile.mss.unwrap_or(1448),
+            conn.profile.max_receiver_window,
+            conn.profile.rtt,
+            &AnalyzerConfig::default(),
+        )
+    }
+
+    /// SYN / SYN|ACK / ACK preamble giving the profile an RTT (20.1 ms)
+    /// and anchoring d1/d2 estimation.
+    fn handshake() -> Vec<TcpFrame> {
+        vec![
+            FrameBuilder::new(a(), b())
+                .at(Micros(0))
+                .ports(179, 40000)
+                .seq(999)
+                .flags(tdat_packet::TcpFlags::SYN)
+                .option(tdat_packet::TcpOption::Mss(1448))
+                .window(65535)
+                .build(),
+            FrameBuilder::new(b(), a())
+                .at(Micros(100))
+                .ports(40000, 179)
+                .seq(0)
+                .ack_to(1000)
+                .flags(tdat_packet::TcpFlags::SYN | tdat_packet::TcpFlags::ACK)
+                .option(tdat_packet::TcpOption::Mss(1448))
+                .window(65535)
+                .build(),
+            FrameBuilder::new(a(), b())
+                .at(Micros(20_100))
+                .ports(179, 40000)
+                .seq(1000)
+                .ack_to(1)
+                .window(65535)
+                .build(),
+        ]
+    }
+
+    #[test]
+    fn send_app_limited_captures_idle_gaps() {
+        // Flight, acked (d1 = 300 us), long silence (~200 ms), flight
+        // again. The handshake gives d2 = rtt - d1 ≈ 19.8 ms, which
+        // caps the ACK shift so the idle gap survives preprocessing.
+        let mut frames = handshake();
+        frames.extend([
+            data(25_000, 1000, 1000),
+            ack_w(25_300, 2000, 65535),
+            data(225_300, 2000, 1000),
+            ack_w(225_600, 3000, 65535),
+        ]);
+        let s = series_for(&frames);
+        let sal = s.send_app_limited.to_span_set();
+        assert_eq!(sal.len(), 1, "sal = {sal}");
+        assert!(
+            sal.size() >= Micros::from_millis(150),
+            "idle gap mostly preserved: {sal}"
+        );
+    }
+
+    #[test]
+    fn zero_window_series_tracked() {
+        let mut frames = handshake();
+        frames.extend([
+            data(25_000, 1000, 1000),
+            ack_w(25_300, 2000, 0),
+            ack_w(5_000_300, 2000, 30000),
+            data(5_000_400, 2000, 1000),
+            ack_w(5_000_700, 3000, 30000),
+        ]);
+        let s = series_for(&frames);
+        let zw = s.zero_window.to_span_set();
+        assert_eq!(zw.len(), 1);
+        assert!(zw.size() >= Micros::from_secs(4));
+        assert!(!s.zero_adv_bnd_out().is_empty());
+    }
+
+    #[test]
+    fn small_and_large_window_series() {
+        let frames = vec![
+            data(0, 1000, 1000),
+            ack_w(300, 2000, 65535), // large
+            data(400, 2000, 1000),
+            ack_w(700, 3000, 2000), // small (< 3*1448)
+            data(800, 3000, 1000),
+            ack_w(1_100, 4000, 65535), // large again
+        ];
+        let s = series_for(&frames);
+        assert!(!s.small_adv_window.is_empty());
+        assert!(!s.large_adv_window.is_empty());
+        let small = s.small_adv_window.to_span_set();
+        let large = s.large_adv_window.to_span_set();
+        assert!(small.intersection(&large).is_empty());
+    }
+
+    #[test]
+    fn loss_series_from_labels() {
+        let frames = vec![
+            data(0, 1000, 1000),
+            data(500_000, 1000, 1000), // downstream retransmission
+            ack_w(500_300, 2000, 65535),
+        ];
+        let s = series_for(&frames);
+        assert_eq!(s.downstream_loss.len(), 1);
+        assert_eq!(s.recv_local_loss.len(), 1, "near-receiver interpretation");
+        assert!(s.send_local_loss.is_empty());
+        assert_eq!(
+            s.downstream_loss.size(),
+            Micros(500_000),
+            "recovery span covers original→retransmission"
+        );
+    }
+
+    #[test]
+    fn adv_bound_detected_when_window_pins_flight() {
+        // Window 4000, flight of ~4000 outstanding → bound.
+        // RTT unknown → flight gap 10 ms.
+        let frames = vec![
+            ack_w(0, 1000, 4000),
+            data(100, 1000, 1400),
+            data(200, 2400, 1400),
+            data(300, 3800, 1200),
+            ack_w(20_000, 5000, 4000),
+            data(20_100, 5000, 1400),
+        ];
+        let s = series_for(&frames);
+        assert!(
+            !s.adv_bnd_out.is_empty(),
+            "4000-byte window bounding a 4000-byte flight"
+        );
+    }
+
+    #[test]
+    fn named_lists_every_series() {
+        let s = series_for(&[data(0, 1, 100), ack_w(300, 101, 65535)]);
+        let names: Vec<&str> = s.named().iter().map(|(n, _)| *n).collect();
+        assert!(names.contains(&"Transmission"));
+        assert!(names.contains(&"SendAppLimited"));
+        assert!(names.contains(&"ZeroAckBug"));
+        assert_eq!(names.len(), 22);
+    }
+}

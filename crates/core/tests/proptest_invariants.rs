@@ -1,0 +1,111 @@
+//! Property tests of the analyzer's algebraic invariants.
+
+use proptest::prelude::*;
+use tdat::{delay_vector, AnalyzerConfig, Factor, FactorGroup, SeriesSet};
+use tdat_timeset::{EventSeries, Span};
+
+const PERIOD: Span = Span::from_micros(0, 1_000_000);
+
+fn arb_series(name: &'static str) -> impl Strategy<Value = EventSeries<u32>> {
+    prop::collection::vec((0i64..1_000_000, 1i64..200_000), 0..8).prop_map(move |spans| {
+        let mut s = EventSeries::new(name);
+        for (start, len) in spans {
+            s.push(Span::from_micros(start, (start + len).min(1_000_000)), 0);
+        }
+        s
+    })
+}
+
+fn arb_series_set() -> impl Strategy<Value = SeriesSet> {
+    (
+        arb_series("SendAppLimited"),
+        arb_series("CwdBndOut"),
+        arb_series("SendLocalLoss"),
+        arb_series("ZeroWindow"),
+        arb_series("RecvLocalLoss"),
+        arb_series("BandwidthLimited"),
+        arb_series("NetworkLoss"),
+        arb_series("AdvBndOut"),
+        arb_series("SmallAdvWindow"),
+        arb_series("LargeAdvWindow"),
+    )
+        .prop_map(
+            |(sal, cwd, sll, zw, rll, bw, nl, adv, small, large)| SeriesSet {
+                period: PERIOD,
+                mss: 1448,
+                max_adv_window: 65_535,
+                send_app_limited: sal,
+                cwd_bnd_out: cwd,
+                send_local_loss: sll,
+                zero_window: zw,
+                recv_local_loss: rll,
+                bandwidth_limited: bw,
+                network_loss: nl,
+                adv_bnd_out: adv,
+                small_adv_window: small,
+                large_adv_window: large,
+                ..SeriesSet::default()
+            },
+        )
+}
+
+proptest! {
+    #[test]
+    fn ratios_are_probabilities(set in arb_series_set()) {
+        let v = delay_vector(&set, &AnalyzerConfig::default());
+        for (factor, ratio) in v.factors {
+            prop_assert!((0.0..=1.0).contains(&ratio), "{factor}: {ratio}");
+        }
+        for group in FactorGroup::ALL {
+            let r = v.group_ratio(group);
+            prop_assert!((0.0..=1.0).contains(&r), "{group}: {r}");
+        }
+    }
+
+    #[test]
+    fn group_ratio_bounded_by_members(set in arb_series_set()) {
+        let v = delay_vector(&set, &AnalyzerConfig::default());
+        for group in FactorGroup::ALL {
+            let members: Vec<f64> = Factor::ALL
+                .iter()
+                .filter(|f| f.group() == group)
+                .map(|f| v.ratio(*f))
+                .collect();
+            let sum: f64 = members.iter().sum();
+            let max = members.iter().copied().fold(0.0, f64::max);
+            let g = v.group_ratio(group);
+            // Union is at least the largest member, at most the sum
+            // (within float tolerance).
+            prop_assert!(g + 1e-9 >= max, "{group}: {g} < max {max}");
+            prop_assert!(g <= sum + 1e-9, "{group}: {g} > sum {sum}");
+        }
+    }
+
+    #[test]
+    fn major_groups_monotone_in_threshold(set in arb_series_set()) {
+        let v = delay_vector(&set, &AnalyzerConfig::default());
+        let low = v.major_groups(0.2);
+        let high = v.major_groups(0.5);
+        for g in &high {
+            prop_assert!(low.contains(g), "raising the threshold cannot add groups");
+        }
+    }
+
+    #[test]
+    fn dominant_factor_belongs_to_its_group(set in arb_series_set()) {
+        let v = delay_vector(&set, &AnalyzerConfig::default());
+        for group in FactorGroup::ALL {
+            prop_assert_eq!(v.dominant_factor_in(group).group(), group);
+        }
+        let overall = v.dominant_factor();
+        let max_ratio = Factor::ALL.iter().map(|f| v.ratio(*f)).fold(0.0, f64::max);
+        prop_assert!((v.ratio(overall) - max_ratio).abs() < 1e-12);
+    }
+
+    #[test]
+    fn zero_ack_bug_subset_of_zero_window(set in arb_series_set()) {
+        let bug = set.zero_ack_bug();
+        let zw = set.zero_adv_bnd_out();
+        prop_assert_eq!(bug.intersection(&zw), bug.clone(), "conflict must lie inside the zero-window periods");
+    }
+}

@@ -1,0 +1,356 @@
+//! Full captured frames: timestamp + Ethernet/IPv4/TCP layers + payload.
+
+use bytes::BufMut;
+use std::fmt;
+use std::net::Ipv4Addr;
+
+use crate::error::Result;
+use crate::eth::{EthernetHeader, MacAddr, ETHERTYPE_IPV4};
+use crate::ipv4::{Ipv4Header, IPPROTO_TCP};
+use crate::tcp::{TcpFlags, TcpHeader, TcpOption};
+use tdat_timeset::Micros;
+
+/// A TCP/IPv4/Ethernet frame with its capture timestamp — one record of
+/// a packet trace.
+///
+/// This is the parsed, in-memory view of a tcpdump record that all the
+/// analysis crates operate on. [`TcpFrame::parse`] decodes it from wire
+/// bytes, [`TcpFrame::to_wire`] re-encodes it (recomputing checksums).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct TcpFrame {
+    /// Capture timestamp relative to the trace epoch.
+    pub timestamp: Micros,
+    /// Link layer header.
+    pub eth: EthernetHeader,
+    /// Network layer header.
+    pub ip: Ipv4Header,
+    /// Transport layer header.
+    pub tcp: TcpHeader,
+    /// TCP payload bytes.
+    pub payload: Vec<u8>,
+}
+
+impl TcpFrame {
+    /// Parses an Ethernet frame carrying TCP over IPv4.
+    ///
+    /// # Errors
+    ///
+    /// Fails for truncated input, a non-IPv4 EtherType, a non-TCP
+    /// protocol number, or malformed headers. Frames whose IP
+    /// `total_len` is shorter than the captured bytes are trimmed to
+    /// `total_len` (trailing link padding is legal and common).
+    pub fn parse(timestamp: Micros, wire: &[u8]) -> Result<TcpFrame> {
+        let mut buf = wire;
+        let eth = EthernetHeader::decode(&mut buf)?;
+        if eth.ethertype != ETHERTYPE_IPV4 {
+            return Err(crate::PacketError::Malformed {
+                what: "ethernet header",
+                detail: format!("ethertype {:#06x} is not ipv4", eth.ethertype),
+            });
+        }
+        let ip_start_len = buf.len();
+        let ip = Ipv4Header::decode(&mut buf)?;
+        if ip.protocol != IPPROTO_TCP {
+            return Err(crate::PacketError::Malformed {
+                what: "ipv4 header",
+                detail: format!("protocol {} is not tcp", ip.protocol),
+            });
+        }
+        let tcp_plus_payload = (ip.total_len as usize)
+            .saturating_sub(ip.header_len())
+            .min(buf.len());
+        let mut tcp_buf = &buf[..tcp_plus_payload];
+        let before = tcp_buf.len();
+        let tcp = TcpHeader::decode(&mut tcp_buf)?;
+        let consumed = before - tcp_buf.len();
+        let payload = buf[consumed..tcp_plus_payload].to_vec();
+        let _ = ip_start_len;
+        Ok(TcpFrame {
+            timestamp,
+            eth,
+            ip,
+            tcp,
+            payload,
+        })
+    }
+
+    /// Encodes the frame to wire bytes, recomputing lengths and
+    /// checksums from the current field values.
+    pub fn to_wire(&self) -> Vec<u8> {
+        let tcp_len = self.tcp.header_len() + self.payload.len();
+        let mut ip = self.ip.clone();
+        ip.total_len = (ip.header_len() + tcp_len) as u16;
+        let mut out = Vec::with_capacity(14 + ip.header_len() + tcp_len);
+        self.eth.encode(&mut out);
+        ip.encode(&mut out);
+        self.tcp.encode(&mut out, ip.src, ip.dst, &self.payload);
+        out.put_slice(&self.payload);
+        out
+    }
+
+    /// Source `(address, port)` endpoint.
+    pub fn src(&self) -> (Ipv4Addr, u16) {
+        (self.ip.src, self.tcp.src_port)
+    }
+
+    /// Destination `(address, port)` endpoint.
+    pub fn dst(&self) -> (Ipv4Addr, u16) {
+        (self.ip.dst, self.tcp.dst_port)
+    }
+
+    /// Number of TCP payload bytes.
+    pub fn payload_len(&self) -> usize {
+        self.payload.len()
+    }
+
+    /// The sequence number of the byte *after* this segment's payload,
+    /// counting SYN and FIN as one sequence unit each.
+    pub fn seq_end(&self) -> u32 {
+        let mut advance = self.payload.len() as u32;
+        if self.tcp.flags.contains(TcpFlags::SYN) {
+            advance = advance.wrapping_add(1);
+        }
+        if self.tcp.flags.contains(TcpFlags::FIN) {
+            advance = advance.wrapping_add(1);
+        }
+        self.tcp.seq.wrapping_add(advance)
+    }
+
+    /// True if the frame carries data (or SYN/FIN) that occupies
+    /// sequence space.
+    pub fn occupies_seq_space(&self) -> bool {
+        self.seq_end() != self.tcp.seq
+    }
+
+    /// True if this is a pure ACK: no payload, no SYN/FIN/RST.
+    pub fn is_pure_ack(&self) -> bool {
+        self.payload.is_empty()
+            && self.tcp.flags.contains(TcpFlags::ACK)
+            && !self
+                .tcp
+                .flags
+                .intersects(TcpFlags::SYN | TcpFlags::FIN | TcpFlags::RST)
+    }
+}
+
+impl fmt::Display for TcpFrame {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "{} {}:{} > {}:{} {} seq {} ack {} win {} len {}",
+            self.timestamp,
+            self.ip.src,
+            self.tcp.src_port,
+            self.ip.dst,
+            self.tcp.dst_port,
+            self.tcp.flags,
+            self.tcp.seq,
+            self.tcp.ack,
+            self.tcp.window,
+            self.payload.len()
+        )
+    }
+}
+
+/// Fluent builder for [`TcpFrame`]s; the primary constructor used by the
+/// simulator and by tests.
+///
+/// # Examples
+///
+/// ```
+/// use tdat_packet::{FrameBuilder, TcpFlags};
+/// use tdat_timeset::Micros;
+///
+/// let frame = FrameBuilder::new("10.0.0.1".parse()?, "10.0.0.2".parse()?)
+///     .at(Micros::from_millis(5))
+///     .ports(179, 33000)
+///     .seq(1000)
+///     .ack_to(2000)
+///     .flags(TcpFlags::ACK | TcpFlags::PSH)
+///     .window(65535)
+///     .payload(b"update".to_vec())
+///     .build();
+/// assert_eq!(frame.payload_len(), 6);
+/// let wire = frame.to_wire();
+/// let reparsed = tdat_packet::TcpFrame::parse(frame.timestamp, &wire)?;
+/// assert_eq!(reparsed, frame);
+/// # Ok::<(), Box<dyn std::error::Error>>(())
+/// ```
+#[derive(Debug, Clone)]
+pub struct FrameBuilder {
+    frame: TcpFrame,
+}
+
+impl FrameBuilder {
+    /// Starts a builder for a frame from `src` to `dst` with MACs
+    /// derived from the addresses.
+    pub fn new(src: Ipv4Addr, dst: Ipv4Addr) -> FrameBuilder {
+        FrameBuilder {
+            frame: TcpFrame {
+                timestamp: Micros::ZERO,
+                eth: EthernetHeader::ipv4(
+                    MacAddr::from_host_id(u32::from(src)),
+                    MacAddr::from_host_id(u32::from(dst)),
+                ),
+                ip: Ipv4Header::tcp(src, dst, 0),
+                tcp: TcpHeader::default(),
+                payload: Vec::new(),
+            },
+        }
+    }
+
+    /// Sets the capture timestamp.
+    pub fn at(mut self, t: Micros) -> FrameBuilder {
+        self.frame.timestamp = t;
+        self
+    }
+
+    /// Sets source and destination ports.
+    pub fn ports(mut self, src: u16, dst: u16) -> FrameBuilder {
+        self.frame.tcp.src_port = src;
+        self.frame.tcp.dst_port = dst;
+        self
+    }
+
+    /// Sets the sequence number.
+    pub fn seq(mut self, seq: u32) -> FrameBuilder {
+        self.frame.tcp.seq = seq;
+        self
+    }
+
+    /// Sets the acknowledgment number and the ACK flag.
+    pub fn ack_to(mut self, ack: u32) -> FrameBuilder {
+        self.frame.tcp.ack = ack;
+        self.frame.tcp.flags |= TcpFlags::ACK;
+        self
+    }
+
+    /// Replaces the flag set.
+    pub fn flags(mut self, flags: TcpFlags) -> FrameBuilder {
+        self.frame.tcp.flags = flags;
+        self
+    }
+
+    /// Sets the advertised window (unscaled wire value).
+    pub fn window(mut self, window: u16) -> FrameBuilder {
+        self.frame.tcp.window = window;
+        self
+    }
+
+    /// Appends a TCP option.
+    pub fn option(mut self, option: TcpOption) -> FrameBuilder {
+        self.frame.tcp.options.push(option);
+        self
+    }
+
+    /// Sets the payload.
+    pub fn payload(mut self, payload: Vec<u8>) -> FrameBuilder {
+        self.frame.payload = payload;
+        self
+    }
+
+    /// Sets the IP identification field.
+    pub fn ip_id(mut self, id: u16) -> FrameBuilder {
+        self.frame.ip.identification = id;
+        self
+    }
+
+    /// Finishes the frame, fixing up the IP total length.
+    pub fn build(mut self) -> TcpFrame {
+        self.frame.ip.total_len = (self.frame.ip.header_len()
+            + self.frame.tcp.header_len()
+            + self.frame.payload.len()) as u16;
+        self.frame
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn addr(last: u8) -> Ipv4Addr {
+        Ipv4Addr::new(10, 0, 0, last)
+    }
+
+    #[test]
+    fn parse_rejects_non_ip_and_non_tcp() {
+        let mut frame = FrameBuilder::new(addr(1), addr(2)).build();
+        frame.eth.ethertype = 0x86dd; // IPv6
+        assert!(TcpFrame::parse(Micros::ZERO, &frame.to_wire()).is_err());
+
+        let mut frame = FrameBuilder::new(addr(1), addr(2)).build();
+        frame.ip.protocol = 17; // UDP
+        assert!(TcpFrame::parse(Micros::ZERO, &frame.to_wire()).is_err());
+    }
+
+    #[test]
+    fn seq_end_counts_syn_fin() {
+        let syn = FrameBuilder::new(addr(1), addr(2))
+            .seq(100)
+            .flags(TcpFlags::SYN)
+            .build();
+        assert_eq!(syn.seq_end(), 101);
+        assert!(syn.occupies_seq_space());
+
+        let data = FrameBuilder::new(addr(1), addr(2))
+            .seq(100)
+            .payload(vec![0; 10])
+            .build();
+        assert_eq!(data.seq_end(), 110);
+
+        let findata = FrameBuilder::new(addr(1), addr(2))
+            .seq(100)
+            .flags(TcpFlags::FIN | TcpFlags::ACK)
+            .payload(vec![0; 10])
+            .build();
+        assert_eq!(findata.seq_end(), 111);
+    }
+
+    #[test]
+    fn pure_ack_detection() {
+        let ack = FrameBuilder::new(addr(1), addr(2)).ack_to(500).build();
+        assert!(ack.is_pure_ack());
+        assert!(!ack.occupies_seq_space());
+        let dataack = FrameBuilder::new(addr(1), addr(2))
+            .ack_to(500)
+            .payload(vec![1])
+            .build();
+        assert!(!dataack.is_pure_ack());
+        let rst = FrameBuilder::new(addr(1), addr(2))
+            .flags(TcpFlags::RST | TcpFlags::ACK)
+            .build();
+        assert!(!rst.is_pure_ack());
+    }
+
+    #[test]
+    fn wire_round_trip_with_padding() {
+        // Ethernet frames are often padded to 60 bytes; parsing must trim
+        // to the IP total_len.
+        let frame = FrameBuilder::new(addr(1), addr(2))
+            .ports(179, 40000)
+            .seq(7)
+            .payload(b"x".to_vec())
+            .build();
+        let mut wire = frame.to_wire();
+        while wire.len() < 60 {
+            wire.push(0xaa); // link padding junk
+        }
+        let parsed = TcpFrame::parse(Micros(123), &wire).unwrap();
+        assert_eq!(parsed.payload, b"x");
+        assert_eq!(parsed.timestamp, Micros(123));
+    }
+
+    #[test]
+    fn display_is_tcpdump_like() {
+        let frame = FrameBuilder::new(addr(1), addr(2))
+            .at(Micros::from_secs(1))
+            .ports(179, 40000)
+            .seq(10)
+            .ack_to(20)
+            .payload(vec![0; 3])
+            .build();
+        let line = frame.to_string();
+        assert!(line.contains("10.0.0.1:179 > 10.0.0.2:40000"));
+        assert!(line.contains("len 3"));
+    }
+}

@@ -1,0 +1,57 @@
+//! Packet model and pcap file I/O for the T-DAT suite.
+//!
+//! T-DAT consumes raw tcpdump traces; this crate provides everything
+//! needed to parse them and (for the simulator) to synthesize them:
+//!
+//! * [`EthernetHeader`], [`Ipv4Header`], [`TcpHeader`] — wire-accurate
+//!   header codecs with checksum computation and TCP option support;
+//! * [`TcpFrame`] / [`FrameBuilder`] — a full captured frame with its
+//!   timestamp, the unit all analysis crates operate on;
+//! * [`PcapReader`] / [`PcapWriter`] — the classic libpcap savefile
+//!   format (both endiannesses, microsecond and nanosecond resolution);
+//! * [`seq_cmp`] / [`seq_diff`] — TCP sequence-number arithmetic with
+//!   wraparound.
+//!
+//! # Examples
+//!
+//! Build a segment, write it to an in-memory pcap stream, and read it
+//! back:
+//!
+//! ```
+//! use tdat_packet::{FrameBuilder, PcapReader, PcapWriter, TcpFlags};
+//! use tdat_timeset::Micros;
+//!
+//! let frame = FrameBuilder::new("10.0.0.1".parse()?, "10.0.0.2".parse()?)
+//!     .at(Micros::from_millis(2))
+//!     .ports(179, 52000)
+//!     .seq(1)
+//!     .flags(TcpFlags::ACK | TcpFlags::PSH)
+//!     .payload(vec![0xff; 19])
+//!     .build();
+//!
+//! let mut buf = Vec::new();
+//! PcapWriter::new(&mut buf)?.write_frame(&frame)?;
+//! let frames = PcapReader::new(&buf[..])?.read_all()?;
+//! assert_eq!(frames[0].payload_len(), 19);
+//! # Ok::<(), Box<dyn std::error::Error>>(())
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod error;
+mod eth;
+mod frame;
+mod ipv4;
+mod pcap;
+mod tcp;
+
+pub use error::{PacketError, Result};
+pub use eth::{EthernetHeader, MacAddr, ETHERNET_HEADER_LEN, ETHERTYPE_IPV4};
+pub use frame::{FrameBuilder, TcpFrame};
+pub use ipv4::{internet_checksum, Ipv4Header, IPPROTO_TCP, IPV4_HEADER_LEN};
+pub use pcap::{
+    read_pcap_file, write_pcap_file, Frames, PcapReader, PcapWriter, RawRecord, LINKTYPE_ETHERNET,
+    MAGIC_MICROS, MAGIC_NANOS,
+};
+pub use tcp::{seq_cmp, seq_diff, tcp_checksum, TcpFlags, TcpHeader, TcpOption, TCP_HEADER_LEN};

@@ -1,0 +1,123 @@
+//! Property tests: arbitrary frames survive wire encode/decode and pcap
+//! write/read unchanged, and sequence arithmetic is consistent.
+
+use proptest::prelude::*;
+use std::net::Ipv4Addr;
+use tdat_packet::{
+    seq_cmp, seq_diff, FrameBuilder, PcapReader, PcapWriter, TcpFlags, TcpFrame, TcpOption,
+};
+use tdat_timeset::Micros;
+
+fn arb_flags() -> impl Strategy<Value = TcpFlags> {
+    (0u8..0x40).prop_map(TcpFlags)
+}
+
+fn arb_option() -> impl Strategy<Value = TcpOption> {
+    prop_oneof![
+        any::<u16>().prop_map(TcpOption::Mss),
+        (0u8..15).prop_map(TcpOption::WindowScale),
+        Just(TcpOption::SackPermitted),
+        prop::collection::vec((any::<u32>(), any::<u32>()), 1..4).prop_map(TcpOption::Sack),
+        (any::<u32>(), any::<u32>()).prop_map(|(a, b)| TcpOption::Timestamps(a, b)),
+    ]
+}
+
+fn arb_frame() -> impl Strategy<Value = TcpFrame> {
+    (
+        0i64..10_000_000,
+        any::<u32>(),
+        any::<u32>(),
+        arb_flags(),
+        any::<u16>(),
+        prop::collection::vec(arb_option(), 0..3).prop_filter(
+            "tcp options limited to 40 bytes",
+            |opts| {
+                // Worst-case encoded size must fit the 4-bit data offset.
+                let len: usize = opts
+                    .iter()
+                    .map(|o| match o {
+                        TcpOption::Sack(blocks) => 2 + blocks.len() * 8,
+                        TcpOption::Timestamps(..) => 10,
+                        TcpOption::Mss(_) => 4,
+                        TcpOption::WindowScale(_) => 3,
+                        _ => 2,
+                    })
+                    .sum();
+                len <= 40
+            },
+        ),
+        prop::collection::vec(any::<u8>(), 0..600),
+        any::<u8>(),
+        any::<u8>(),
+        1u16..u16::MAX,
+        1u16..u16::MAX,
+    )
+        .prop_map(
+            |(ts, seq, ack, flags, window, options, payload, s, d, sp, dp)| {
+                let mut b =
+                    FrameBuilder::new(Ipv4Addr::new(10, 0, 0, s), Ipv4Addr::new(10, 0, 1, d))
+                        .at(Micros(ts))
+                        .ports(sp, dp)
+                        .seq(seq)
+                        .flags(flags)
+                        .window(window)
+                        .payload(payload);
+                if flags.contains(TcpFlags::ACK) {
+                    b = b.ack_to(ack);
+                }
+                for o in options {
+                    b = b.option(o);
+                }
+                b.build()
+            },
+        )
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(128))]
+
+    #[test]
+    fn wire_round_trip(frame in arb_frame()) {
+        let wire = frame.to_wire();
+        let parsed = TcpFrame::parse(frame.timestamp, &wire).unwrap();
+        prop_assert_eq!(parsed, frame);
+    }
+
+    #[test]
+    fn pcap_round_trip(frames in prop::collection::vec(arb_frame(), 1..8)) {
+        // pcap timestamps are epoch-relative on read; emulate by sorting
+        // and rebasing to the first frame.
+        let mut frames = frames;
+        frames.sort_by_key(|f| f.timestamp);
+        let t0 = frames[0].timestamp;
+        for f in &mut frames {
+            f.timestamp -= t0;
+        }
+        let mut buf = Vec::new();
+        {
+            let mut w = PcapWriter::new(&mut buf).unwrap();
+            for f in &frames {
+                w.write_frame(f).unwrap();
+            }
+        }
+        let got = PcapReader::new(&buf[..]).unwrap().read_all().unwrap();
+        prop_assert_eq!(got, frames);
+    }
+
+    #[test]
+    fn seq_cmp_antisymmetric(a in any::<u32>(), b in any::<u32>()) {
+        let d = seq_diff(a, b);
+        prop_assert_eq!(seq_diff(b, a).wrapping_neg(), d);
+        match seq_cmp(a, b) {
+            std::cmp::Ordering::Equal => prop_assert_eq!(d, 0),
+            std::cmp::Ordering::Greater => prop_assert!(d > 0),
+            std::cmp::Ordering::Less => prop_assert!(d < 0),
+        }
+    }
+
+    #[test]
+    fn seq_diff_additive(a in any::<u32>(), delta in 0u32..0x4000_0000) {
+        let b = a.wrapping_add(delta);
+        prop_assert_eq!(seq_diff(b, a), delta as i64);
+    }
+}

@@ -1,0 +1,81 @@
+//! `pcap2bgp` — the paper's side tool (Table VI) as a binary:
+//! reconstruct BGP messages from a tcpdump capture and write an MRT
+//! archive.
+//!
+//! ```text
+//! pcap2bgp <input.pcap> [output.mrt] [--peer-as N] [--local-as N]
+//! ```
+
+use std::process::ExitCode;
+
+use tdat_pcap2bgp::{extract_all, to_mrt_records};
+
+fn main() -> ExitCode {
+    let mut args = std::env::args().skip(1);
+    let mut input: Option<String> = None;
+    let mut output: Option<String> = None;
+    let mut peer_as = 65_001u16;
+    let mut local_as = 65_535u16;
+    while let Some(arg) = args.next() {
+        match arg.as_str() {
+            "--peer-as" => match args.next().and_then(|v| v.parse().ok()) {
+                Some(v) => peer_as = v,
+                None => return usage(),
+            },
+            "--local-as" => match args.next().and_then(|v| v.parse().ok()) {
+                Some(v) => local_as = v,
+                None => return usage(),
+            },
+            "--help" | "-h" => return usage(),
+            other if input.is_none() => input = Some(other.to_string()),
+            other if output.is_none() => output = Some(other.to_string()),
+            _ => return usage(),
+        }
+    }
+    let Some(input) = input else { return usage() };
+    let output = output.unwrap_or_else(|| {
+        let stem = input.strip_suffix(".pcap").unwrap_or(&input);
+        format!("{stem}.mrt")
+    });
+
+    let frames = match tdat_packet::read_pcap_file(&input) {
+        Ok(f) => f,
+        Err(e) => {
+            eprintln!("pcap2bgp: {input}: {e}");
+            return ExitCode::FAILURE;
+        }
+    };
+    let mut records = Vec::new();
+    for (conn, extraction) in extract_all(&frames) {
+        eprintln!(
+            "{}:{} -> {}:{}: {} messages, {} prefixes, {} duplicate bytes, {} unparsed",
+            conn.sender.0,
+            conn.sender.1,
+            conn.receiver.0,
+            conn.receiver.1,
+            extraction.messages.len(),
+            extraction.announced_prefixes(),
+            extraction.duplicate_bytes,
+            extraction.unparsed_bytes,
+        );
+        records.extend(to_mrt_records(&conn, &extraction, peer_as, local_as));
+    }
+    let file = match std::fs::File::create(&output) {
+        Ok(f) => f,
+        Err(e) => {
+            eprintln!("pcap2bgp: {output}: {e}");
+            return ExitCode::FAILURE;
+        }
+    };
+    if let Err(e) = tdat_bgp::write_mrt(std::io::BufWriter::new(file), &records) {
+        eprintln!("pcap2bgp: {output}: {e}");
+        return ExitCode::FAILURE;
+    }
+    println!("{output}: {} MRT records", records.len());
+    ExitCode::SUCCESS
+}
+
+fn usage() -> ExitCode {
+    eprintln!("usage: pcap2bgp <input.pcap> [output.mrt] [--peer-as N] [--local-as N]");
+    ExitCode::from(2)
+}

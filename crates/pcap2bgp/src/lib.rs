@@ -1,0 +1,479 @@
+//! `pcap2bgp` — reconstruct BGP message streams from raw packet traces.
+//!
+//! The vendor collectors of the paper's dataset keep no BGP archive, so
+//! the authors built this side tool (§II-A, Table VI): it reassembles
+//! the TCP byte stream from a tcpdump trace — tolerating out-of-order
+//! delivery and retransmissions — extracts the individual BGP messages,
+//! and stores them in MRT format. Unlike `wireshark`/`tcpflow`, the
+//! message timestamps record when each message's last byte first became
+//! contiguous at the capture point, i.e. when the receiving BGP process
+//! could first have read it.
+//!
+//! # Examples
+//!
+//! ```
+//! use tdat_pcap2bgp::extract_all;
+//!
+//! # fn main() -> Result<(), Box<dyn std::error::Error>> {
+//! # let frames = {
+//! #     let msg = tdat_bgp::BgpMessage::Keepalive.to_bytes();
+//! #     vec![tdat_packet::FrameBuilder::new("10.0.0.1".parse()?, "10.0.0.2".parse()?)
+//! #         .ports(179, 40000).seq(1).payload(msg).build()]
+//! # };
+//! for (conn, extraction) in extract_all(&frames) {
+//!     println!("{:?}: {} messages", conn.sender, extraction.messages.len());
+//! }
+//! # Ok(())
+//! # }
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+use std::collections::BTreeMap;
+
+use tdat_bgp::{BgpMessage, MrtRecord};
+use tdat_packet::{seq_diff, TcpFlags, TcpFrame};
+use tdat_timeset::Micros;
+use tdat_trace::{Direction, TcpConnection};
+
+/// An in-order TCP byte-stream reassembler.
+///
+/// Feed it segments in *capture* order (any sequence order); it emits
+/// the contiguous byte stream, discarding retransmitted overlap and
+/// holding out-of-order data until the gap fills. Works online: bytes
+/// can be taken incrementally with [`take_ready`](Self::take_ready).
+#[derive(Debug, Default)]
+pub struct StreamReassembler {
+    /// Next expected sequence number (`None` until anchored).
+    next_seq: Option<u32>,
+    /// Out-of-order segments keyed by start seq.
+    pending: BTreeMap<u32, Vec<u8>>,
+    /// Reassembled contiguous bytes not yet taken.
+    ready: Vec<u8>,
+    /// Total contiguous bytes ever emitted.
+    emitted: u64,
+    /// Count of duplicate/overlap bytes discarded.
+    duplicate_bytes: u64,
+    /// Bytes currently parked out of order.
+    pending_bytes: usize,
+}
+
+/// Cap on parked out-of-order data; beyond it the earliest pending
+/// segments are dropped (they will reappear as retransmissions).
+const MAX_PENDING_BYTES: usize = 4 << 20;
+
+impl StreamReassembler {
+    /// Creates an empty reassembler; the first pushed segment anchors
+    /// the sequence space unless [`anchor`](Self::anchor) was called.
+    pub fn new() -> StreamReassembler {
+        StreamReassembler::default()
+    }
+
+    /// Anchors the stream at `seq` (the byte after the SYN).
+    pub fn anchor(&mut self, seq: u32) {
+        self.next_seq.get_or_insert(seq);
+    }
+
+    /// Pushes one segment's payload at `seq`.
+    pub fn push(&mut self, seq: u32, payload: &[u8]) {
+        if payload.is_empty() {
+            return;
+        }
+        let next = *self.next_seq.get_or_insert(seq);
+        let offset = seq_diff(next, seq); // how far seq lags the stream head
+        if offset >= payload.len() as i64 {
+            // Entirely old: a pure retransmission.
+            self.duplicate_bytes += payload.len() as u64;
+            return;
+        }
+        if offset > 0 {
+            // Partial overlap: keep the fresh tail.
+            self.duplicate_bytes += offset as u64;
+            self.accept_at_head(&payload[offset as usize..]);
+        } else if offset == 0 {
+            self.accept_at_head(payload);
+        } else {
+            // Future data: park it.
+            match self.pending.get(&seq) {
+                Some(existing) if existing.len() >= payload.len() => {
+                    self.duplicate_bytes += payload.len() as u64;
+                }
+                _ => {
+                    self.pending_bytes += payload.len();
+                    if let Some(old) = self.pending.insert(seq, payload.to_vec()) {
+                        self.pending_bytes -= old.len();
+                        self.duplicate_bytes += old.len() as u64;
+                    }
+                    // Bound memory under pathological holes.
+                    while self.pending_bytes > MAX_PENDING_BYTES {
+                        let (&k, _) = self.pending.iter().next().expect("nonempty");
+                        let dropped = self.pending.remove(&k).expect("key exists");
+                        self.pending_bytes -= dropped.len();
+                    }
+                }
+            }
+        }
+        self.drain_pending();
+    }
+
+    fn accept_at_head(&mut self, bytes: &[u8]) {
+        self.ready.extend_from_slice(bytes);
+        self.emitted += bytes.len() as u64;
+        let next = self.next_seq.expect("anchored by caller");
+        self.next_seq = Some(next.wrapping_add(bytes.len() as u32));
+    }
+
+    fn drain_pending(&mut self) {
+        loop {
+            let next = self.next_seq.expect("anchored before drain");
+            // A parked segment is usable if it starts at or before the
+            // stream head and extends beyond it.
+            let usable = self
+                .pending
+                .iter()
+                .find(|(k, v)| {
+                    let off = seq_diff(next, **k);
+                    off >= 0 && off < v.len() as i64
+                })
+                .map(|(k, _)| *k);
+            let Some(start) = usable else { break };
+            let data = self.pending.remove(&start).expect("key exists");
+            self.pending_bytes -= data.len();
+            let offset = seq_diff(next, start);
+            if offset > 0 {
+                self.duplicate_bytes += offset as u64;
+            }
+            self.accept_at_head(&data[offset.max(0) as usize..]);
+        }
+        // Discard parked segments the stream head has passed entirely.
+        let next = self.next_seq.expect("anchored");
+        let stale: Vec<u32> = self
+            .pending
+            .iter()
+            .filter(|(k, v)| seq_diff(next, **k) >= v.len() as i64)
+            .map(|(k, _)| *k)
+            .collect();
+        for k in stale {
+            let dropped = self.pending.remove(&k).expect("key exists");
+            self.pending_bytes -= dropped.len();
+            self.duplicate_bytes += dropped.len() as u64;
+        }
+    }
+
+    /// Takes the reassembled bytes accumulated so far.
+    pub fn take_ready(&mut self) -> Vec<u8> {
+        std::mem::take(&mut self.ready)
+    }
+
+    /// Contiguous bytes emitted over the reassembler's lifetime.
+    pub fn emitted(&self) -> u64 {
+        self.emitted
+    }
+
+    /// Duplicate (retransmitted/overlapping) bytes discarded.
+    pub fn duplicate_bytes(&self) -> u64 {
+        self.duplicate_bytes
+    }
+
+    /// Bytes parked waiting for a sequence hole to fill.
+    pub fn pending_bytes(&self) -> usize {
+        self.pending_bytes
+    }
+}
+
+/// Result of BGP extraction from one connection.
+#[derive(Debug, Clone, PartialEq, Eq, Default)]
+pub struct Extraction {
+    /// Decoded messages with the capture time at which each message's
+    /// last byte first became contiguous.
+    pub messages: Vec<(Micros, BgpMessage)>,
+    /// Bytes that could not be framed as BGP (corruption or a partial
+    /// tail at the end of the capture).
+    pub unparsed_bytes: u64,
+    /// Duplicate bytes the reassembler discarded.
+    pub duplicate_bytes: u64,
+}
+
+impl Extraction {
+    /// Total prefixes announced across all extracted updates.
+    pub fn announced_prefixes(&self) -> usize {
+        self.messages
+            .iter()
+            .filter_map(|(_, m)| match m {
+                BgpMessage::Update(u) => Some(u.announced.len()),
+                _ => None,
+            })
+            .sum()
+    }
+
+    /// The update messages with their timestamps (the MCT input).
+    pub fn updates(&self) -> Vec<(Micros, tdat_bgp::UpdateMessage)> {
+        self.messages
+            .iter()
+            .filter_map(|(t, m)| match m {
+                BgpMessage::Update(u) => Some((*t, u.clone())),
+                _ => None,
+            })
+            .collect()
+    }
+}
+
+/// Reassembles the data direction of `conn` (whose segments index into
+/// `frames`) and extracts its BGP messages.
+pub fn extract_from_frames(conn: &TcpConnection, frames: &[TcpFrame]) -> Extraction {
+    let mut reasm = StreamReassembler::new();
+    // Anchor at the SYN if captured, so handshake seq space is skipped.
+    // Without a SYN (capture started mid-connection), anchor at the
+    // lowest data sequence number seen — the first captured segment may
+    // have arrived out of order.
+    let data_segs = || conn.segments.iter().filter(|s| s.dir == Direction::Data);
+    if let Some(syn) = data_segs().find(|s| s.flags.contains(TcpFlags::SYN)) {
+        reasm.anchor(syn.seq.wrapping_add(1));
+    } else if let Some(first) = data_segs().find(|s| s.payload_len > 0) {
+        let ref_seq = first.seq;
+        let min_rel = data_segs()
+            .filter(|s| s.payload_len > 0)
+            .map(|s| seq_diff(s.seq, ref_seq))
+            .min()
+            .unwrap_or(0);
+        reasm.anchor(ref_seq.wrapping_add(min_rel as u32));
+    }
+    let mut buffer: Vec<u8> = Vec::new();
+    let mut out = Extraction::default();
+    for seg in conn.segments.iter().filter(|s| s.dir == Direction::Data) {
+        if seg.payload_len == 0 {
+            continue;
+        }
+        reasm.push(seg.seq, &frames[seg.frame_index].payload);
+        let fresh = reasm.take_ready();
+        if fresh.is_empty() {
+            continue;
+        }
+        buffer.extend_from_slice(&fresh);
+        let mut cursor = &buffer[..];
+        loop {
+            match BgpMessage::decode(&mut cursor) {
+                Ok(Some(msg)) => out.messages.push((seg.time, msg)),
+                Ok(None) => break,
+                Err(_) => {
+                    // Lost framing: skip one byte and retry (resync is
+                    // heuristic; corrupted captures are rare).
+                    out.unparsed_bytes += 1;
+                    let skip = 1.min(cursor.len());
+                    cursor = &cursor[skip..];
+                }
+            }
+        }
+        let consumed = buffer.len() - cursor.len();
+        buffer.drain(..consumed);
+    }
+    out.unparsed_bytes += buffer.len() as u64;
+    out.duplicate_bytes = reasm.duplicate_bytes();
+    out
+}
+
+/// Extracts BGP messages for every connection in `frames`.
+///
+/// Returns `(connection, extraction)` pairs in the order of
+/// [`tdat_trace::extract_connections`].
+pub fn extract_all(frames: &[TcpFrame]) -> Vec<(TcpConnection, Extraction)> {
+    tdat_trace::extract_connections(frames)
+        .into_iter()
+        .map(|conn| {
+            let extraction = extract_from_frames(&conn, frames);
+            (conn, extraction)
+        })
+        .collect()
+}
+
+/// Converts an extraction into MRT `BGP4MP_MESSAGE` records, ready for
+/// [`tdat_bgp::write_mrt`].
+pub fn to_mrt_records(
+    conn: &TcpConnection,
+    extraction: &Extraction,
+    peer_as: u16,
+    local_as: u16,
+) -> Vec<MrtRecord> {
+    extraction
+        .messages
+        .iter()
+        .map(|(time, msg)| {
+            MrtRecord::message(
+                *time,
+                peer_as,
+                local_as,
+                conn.sender.0,
+                conn.receiver.0,
+                msg,
+            )
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::net::Ipv4Addr;
+    use tdat_bgp::TableGenerator;
+    use tdat_packet::FrameBuilder;
+
+    fn frame(t: i64, seq: u32, payload: Vec<u8>) -> TcpFrame {
+        FrameBuilder::new(Ipv4Addr::new(10, 0, 0, 1), Ipv4Addr::new(10, 0, 0, 2))
+            .at(Micros(t))
+            .ports(179, 40000)
+            .seq(seq)
+            .ack_to(1)
+            .payload(payload)
+            .build()
+    }
+
+    #[test]
+    fn reassembler_in_order() {
+        let mut r = StreamReassembler::new();
+        r.push(100, b"hello ");
+        r.push(106, b"world");
+        assert_eq!(r.take_ready(), b"hello world");
+        assert_eq!(r.emitted(), 11);
+        assert_eq!(r.duplicate_bytes(), 0);
+    }
+
+    #[test]
+    fn reassembler_out_of_order_and_retransmission() {
+        let mut r = StreamReassembler::new();
+        r.anchor(100);
+        r.push(106, b"world"); // future
+        assert!(r.take_ready().is_empty());
+        assert_eq!(r.pending_bytes(), 5);
+        r.push(100, b"hello ");
+        assert_eq!(r.take_ready(), b"hello world");
+        r.push(100, b"hello "); // pure retransmission
+        assert!(r.take_ready().is_empty());
+        assert_eq!(r.duplicate_bytes(), 6);
+    }
+
+    #[test]
+    fn reassembler_partial_overlap() {
+        let mut r = StreamReassembler::new();
+        r.push(100, b"abcd");
+        // Overlapping retransmission carrying two fresh bytes.
+        r.push(102, b"cdEF");
+        assert_eq!(r.take_ready(), b"abcdEF");
+        assert_eq!(r.duplicate_bytes(), 2);
+    }
+
+    #[test]
+    fn reassembler_overlapping_future_segments() {
+        let mut r = StreamReassembler::new();
+        r.anchor(0);
+        r.push(10, b"KLMNO");
+        r.push(5, b"FGHIJ");
+        r.push(0, b"ABCDE");
+        assert_eq!(r.take_ready(), b"ABCDEFGHIJKLMNO");
+    }
+
+    #[test]
+    fn reassembler_seq_wraparound() {
+        let mut r = StreamReassembler::new();
+        let start = u32::MAX - 2;
+        r.anchor(start);
+        r.push(start, b"abc"); // occupies MAX-2..=MAX, next wraps to 0
+        r.push(0, b"def");
+        assert_eq!(r.take_ready(), b"abcdef");
+    }
+
+    #[test]
+    fn extraction_from_clean_stream() {
+        let table = TableGenerator::new(1).routes(300).generate();
+        let stream = table.to_update_stream();
+        let mut frames = Vec::new();
+        let mut seq = 1u32;
+        for (i, chunk) in stream.chunks(1000).enumerate() {
+            frames.push(frame(i as i64 * 1000, seq, chunk.to_vec()));
+            seq = seq.wrapping_add(chunk.len() as u32);
+        }
+        let results = extract_all(&frames);
+        assert_eq!(results.len(), 1);
+        let (_, extraction) = &results[0];
+        assert_eq!(extraction.announced_prefixes(), 300);
+        assert_eq!(extraction.unparsed_bytes, 0);
+        assert_eq!(extraction.updates().len(), extraction.messages.len());
+    }
+
+    #[test]
+    fn extraction_handles_reordering_and_retransmissions() {
+        let table = TableGenerator::new(2).routes(300).generate();
+        let stream = table.to_update_stream();
+        let mut frames = Vec::new();
+        let mut seq = 1u32;
+        let chunks: Vec<(u32, Vec<u8>)> = stream
+            .chunks(977)
+            .map(|c| {
+                let s = seq;
+                seq = seq.wrapping_add(c.len() as u32);
+                (s, c.to_vec())
+            })
+            .collect();
+        // Swap every adjacent pair; duplicate every 5th chunk.
+        let mut order: Vec<usize> = (0..chunks.len()).collect();
+        for pair in order.chunks_mut(2) {
+            pair.reverse();
+        }
+        let mut t = 0i64;
+        for (n, &i) in order.iter().enumerate() {
+            t += 500;
+            frames.push(frame(t, chunks[i].0, chunks[i].1.clone()));
+            if n % 5 == 0 {
+                t += 100;
+                frames.push(frame(t, chunks[i].0, chunks[i].1.clone()));
+            }
+        }
+        let results = extract_all(&frames);
+        let (_, extraction) = &results[0];
+        assert_eq!(extraction.announced_prefixes(), 300);
+        assert!(extraction.duplicate_bytes > 0);
+        assert_eq!(extraction.unparsed_bytes, 0);
+    }
+
+    #[test]
+    fn message_timestamps_wait_for_holes() {
+        let ka = BgpMessage::Keepalive.to_bytes(); // 19 bytes
+        let mut two = ka.clone();
+        two.extend_from_slice(&ka);
+        // First 10 bytes at t=0, remaining 28 at t=5000 — both messages
+        // complete only at t=5000.
+        let frames = vec![
+            frame(0, 1, two[..10].to_vec()),
+            frame(5_000, 11, two[10..].to_vec()),
+        ];
+        let results = extract_all(&frames);
+        let (_, extraction) = &results[0];
+        assert_eq!(extraction.messages.len(), 2);
+        assert!(extraction.messages.iter().all(|(t, _)| *t == Micros(5_000)));
+    }
+
+    #[test]
+    fn corrupt_bytes_counted_not_fatal() {
+        let mut bytes = vec![0u8; 10]; // garbage: marker check fails
+        bytes.extend_from_slice(&BgpMessage::Keepalive.to_bytes());
+        let frames = vec![frame(0, 1, bytes)];
+        let results = extract_all(&frames);
+        let (_, extraction) = &results[0];
+        assert_eq!(extraction.messages.len(), 1, "resyncs to the keepalive");
+        assert_eq!(extraction.unparsed_bytes, 10);
+    }
+
+    #[test]
+    fn mrt_records_round_trip() {
+        let frames = vec![frame(0, 1, BgpMessage::Keepalive.to_bytes())];
+        let results = extract_all(&frames);
+        let (conn, extraction) = &results[0];
+        let records = to_mrt_records(conn, extraction, 65001, 65535);
+        assert_eq!(records.len(), 1);
+        let mut buf = Vec::new();
+        tdat_bgp::write_mrt(&mut buf, &records).unwrap();
+        let back = tdat_bgp::read_mrt(&buf[..]).unwrap();
+        assert_eq!(back[0].bgp_message().unwrap(), BgpMessage::Keepalive);
+        assert_eq!(back[0].peer_ip, Ipv4Addr::new(10, 0, 0, 1));
+    }
+}

@@ -1,0 +1,115 @@
+//! Property tests: any schedule of segmentation, reordering, and
+//! duplication of a valid BGP byte stream reassembles to exactly the
+//! original message sequence.
+
+use proptest::prelude::*;
+use std::net::Ipv4Addr;
+use tdat_bgp::{BgpMessage, TableGenerator};
+use tdat_packet::{FrameBuilder, TcpFrame};
+use tdat_pcap2bgp::{extract_all, StreamReassembler};
+use tdat_timeset::Micros;
+
+fn frame(t: i64, seq: u32, payload: Vec<u8>) -> TcpFrame {
+    FrameBuilder::new(Ipv4Addr::new(10, 0, 0, 1), Ipv4Addr::new(10, 0, 0, 2))
+        .at(Micros(t))
+        .ports(179, 40000)
+        .seq(seq)
+        .ack_to(1)
+        .payload(payload)
+        .build()
+}
+
+/// A delivery plan: chunk sizes, a permutation bias, and duplication
+/// flags.
+#[derive(Debug, Clone)]
+struct Plan {
+    chunk_sizes: Vec<usize>,
+    swaps: Vec<(usize, usize)>,
+    duplicates: Vec<usize>,
+    base_seq: u32,
+}
+
+fn arb_plan() -> impl Strategy<Value = Plan> {
+    (
+        prop::collection::vec(1usize..1600, 4..40),
+        prop::collection::vec((0usize..64, 0usize..64), 0..12),
+        prop::collection::vec(0usize..64, 0..8),
+        any::<u32>(),
+    )
+        .prop_map(|(chunk_sizes, swaps, duplicates, base_seq)| Plan {
+            chunk_sizes,
+            swaps,
+            duplicates,
+            base_seq,
+        })
+}
+
+fn deliver(stream: &[u8], plan: &Plan) -> Vec<TcpFrame> {
+    // Cut the stream into chunks per the plan (cycling sizes).
+    let mut chunks: Vec<(u32, Vec<u8>)> = Vec::new();
+    let mut offset = 0usize;
+    let mut i = 0usize;
+    while offset < stream.len() {
+        let size = plan.chunk_sizes[i % plan.chunk_sizes.len()].min(stream.len() - offset);
+        chunks.push((
+            plan.base_seq.wrapping_add(offset as u32),
+            stream[offset..offset + size].to_vec(),
+        ));
+        offset += size;
+        i += 1;
+    }
+    // Local swaps (bounded displacement keeps pending-buffer use sane).
+    let n = chunks.len();
+    for &(a, b) in &plan.swaps {
+        if n >= 2 {
+            let a = a % n;
+            let b = b % n;
+            chunks.swap(a, b);
+        }
+    }
+    // Duplicates.
+    let mut order: Vec<usize> = (0..chunks.len()).collect();
+    for &d in &plan.duplicates {
+        if !chunks.is_empty() {
+            order.push(d % chunks.len());
+        }
+    }
+    order
+        .iter()
+        .enumerate()
+        .map(|(t, &idx)| frame(t as i64 * 100, chunks[idx].0, chunks[idx].1.clone()))
+        .collect()
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    #[test]
+    fn reassembler_reconstructs_byte_stream(plan in arb_plan(), len in 1usize..20_000) {
+        let stream: Vec<u8> = (0..len).map(|i| (i % 251) as u8).collect();
+        let mut reasm = StreamReassembler::new();
+        reasm.anchor(plan.base_seq);
+        let mut out = Vec::new();
+        for f in deliver(&stream, &plan) {
+            reasm.push(f.tcp.seq, &f.payload);
+            out.extend(reasm.take_ready());
+        }
+        prop_assert_eq!(out, stream);
+    }
+
+    #[test]
+    fn bgp_extraction_invariant_under_delivery_schedule(plan in arb_plan()) {
+        let table = TableGenerator::new(17).routes(150).generate();
+        let mut reference = Vec::new();
+        for update in table.to_updates() {
+            reference.push(BgpMessage::Update(update));
+        }
+        let stream = table.to_update_stream();
+        let frames = deliver(&stream, &plan);
+        let results = extract_all(&frames);
+        prop_assert_eq!(results.len(), 1);
+        let got: Vec<BgpMessage> = results[0].1.messages.iter().map(|(_, m)| m.clone()).collect();
+        prop_assert_eq!(got, reference);
+        prop_assert_eq!(results[0].1.unparsed_bytes, 0);
+    }
+}

@@ -1,0 +1,229 @@
+//! Canonical topology and scenario builders.
+//!
+//! [`monitoring_topology`] reproduces the paper's Fig. 2 vantage: N
+//! operational routers reach the collector through a switch, with a
+//! sniffer tap immediately in front of the collector. Drops on the final
+//! sniffer→collector hop are receiver-local (downstream) losses; drops
+//! anywhere earlier are upstream losses.
+
+use std::net::Ipv4Addr;
+
+use tdat_timeset::Micros;
+
+use crate::config::{BgpReceiverConfig, BgpSenderConfig, TcpConfig};
+use crate::net::{LinkConfig, LinkId, Network, NodeId};
+use crate::sim::ConnectionSpec;
+
+/// Link parameter overrides for [`monitoring_topology`].
+#[derive(Debug, Clone)]
+pub struct TopologyOptions {
+    /// Router → switch access links (upstream path).
+    pub access: LinkConfig,
+    /// Switch → sniffer trunk.
+    pub trunk: LinkConfig,
+    /// Sniffer → collector final hop (the receiver interface, where
+    /// local drops happen).
+    pub last_hop: LinkConfig,
+}
+
+impl Default for TopologyOptions {
+    fn default() -> Self {
+        TopologyOptions {
+            access: LinkConfig {
+                bandwidth_bps: 1e9,
+                propagation: Micros::from_millis(1),
+                queue_packets: 256,
+                ..LinkConfig::default()
+            },
+            trunk: LinkConfig {
+                bandwidth_bps: 1e10,
+                propagation: Micros(100),
+                queue_packets: 1024,
+                ..LinkConfig::default()
+            },
+            last_hop: LinkConfig {
+                bandwidth_bps: 1e9,
+                propagation: Micros(50),
+                queue_packets: 64,
+                ..LinkConfig::default()
+            },
+        }
+    }
+}
+
+/// The built monitoring topology with handles to its parts.
+#[derive(Debug)]
+pub struct MonitoringTopology {
+    /// The network (move it into [`crate::Simulation::new`]).
+    pub net: Network,
+    /// `(node, address)` per operational router.
+    pub routers: Vec<(NodeId, Ipv4Addr)>,
+    /// The aggregation switch.
+    pub switch: NodeId,
+    /// The tapped pass-through sniffer node.
+    pub sniffer: NodeId,
+    /// The collector host.
+    pub collector: NodeId,
+    /// Collector address.
+    pub collector_addr: Ipv4Addr,
+    /// Router→switch links, indexed like `routers` (upstream loss
+    /// injection point).
+    pub access_links: Vec<LinkId>,
+    /// Sniffer→collector link (downstream/receiver-local loss injection
+    /// point).
+    pub last_hop_link: LinkId,
+}
+
+impl MonitoringTopology {
+    /// Takes the network out (to move into [`crate::Simulation::new`])
+    /// while keeping the topology handles usable for building specs.
+    pub fn take_net(&mut self) -> Network {
+        std::mem::take(&mut self.net)
+    }
+}
+
+/// Builds the Fig. 2 topology with `n_routers` routers.
+///
+/// # Examples
+///
+/// ```
+/// use tdat_tcpsim::scenario::{monitoring_topology, TopologyOptions};
+///
+/// let topo = monitoring_topology(3, TopologyOptions::default());
+/// assert_eq!(topo.routers.len(), 3);
+/// assert!(topo.net.node(topo.sniffer).tap.is_some());
+/// ```
+pub fn monitoring_topology(n_routers: usize, opts: TopologyOptions) -> MonitoringTopology {
+    let mut net = Network::new();
+    let collector_addr = Ipv4Addr::new(10, 0, 255, 2);
+    let router_addr = |i: usize| Ipv4Addr::new(10, 0, (i / 250) as u8, (i % 250 + 1) as u8);
+
+    let switch = net.add_node("switch", vec![]);
+    let sniffer = net.add_node("sniffer", vec![]);
+    net.add_tap(sniffer);
+    let collector = net.add_node("collector", vec![collector_addr]);
+
+    let (trunk_fwd, trunk_rev) = net.add_duplex(switch, sniffer, opts.trunk.clone());
+    let (last_fwd, last_rev) = net.add_duplex(sniffer, collector, opts.last_hop.clone());
+
+    // Sniffer: pass traffic onward in both directions.
+    net.add_route(sniffer, collector_addr, last_fwd);
+    // Collector: everything back through the sniffer.
+    // Sniffer → switch for router-bound traffic handled per router below.
+
+    let mut routers = Vec::with_capacity(n_routers);
+    let mut access_links = Vec::with_capacity(n_routers);
+    for i in 0..n_routers {
+        let addr = router_addr(i);
+        let node = net.add_node(format!("router{i}"), vec![addr]);
+        let (up, down) = net.add_duplex(node, switch, opts.access.clone());
+        net.add_route(node, collector_addr, up);
+        net.add_route(switch, addr, down);
+        net.add_route(sniffer, addr, trunk_rev);
+        net.add_route(collector, addr, last_rev);
+        routers.push((node, addr));
+        access_links.push(up);
+    }
+    net.add_route(switch, collector_addr, trunk_fwd);
+
+    MonitoringTopology {
+        net,
+        routers,
+        switch,
+        sniffer,
+        collector,
+        collector_addr,
+        access_links,
+        last_hop_link: last_fwd,
+    }
+}
+
+/// Builds the same topology but with the sniffer tap next to the
+/// *sender* (the paper's other deployment option, §III-C2): router →
+/// sniffer → switch → collector. Downstream losses are then
+/// network-or-receiver; upstream losses are sender-local.
+pub fn sender_side_topology(opts: TopologyOptions) -> MonitoringTopology {
+    let mut net = Network::new();
+    let collector_addr = Ipv4Addr::new(10, 0, 255, 2);
+    let router_addr = Ipv4Addr::new(10, 0, 0, 1);
+
+    let router = net.add_node("router0", vec![router_addr]);
+    let sniffer = net.add_node("sniffer", vec![]);
+    net.add_tap(sniffer);
+    let switch = net.add_node("switch", vec![]);
+    let collector = net.add_node("collector", vec![collector_addr]);
+
+    // router → sniffer uses the access config (losses before the tap =
+    // sender-local); sniffer → switch the trunk; switch → collector the
+    // last hop (losses after the tap = downstream).
+    let (r2s, s2r) = net.add_duplex(router, sniffer, opts.access.clone());
+    let (s2w, w2s) = net.add_duplex(sniffer, switch, opts.trunk.clone());
+    let (w2c, c2w) = net.add_duplex(switch, collector, opts.last_hop.clone());
+    net.add_route(router, collector_addr, r2s);
+    net.add_route(sniffer, collector_addr, s2w);
+    net.add_route(switch, collector_addr, w2c);
+    net.add_route(collector, router_addr, c2w);
+    net.add_route(switch, router_addr, w2s);
+    net.add_route(sniffer, router_addr, s2r);
+
+    MonitoringTopology {
+        net,
+        routers: vec![(router, router_addr)],
+        switch,
+        sniffer,
+        collector,
+        collector_addr,
+        access_links: vec![r2s],
+        last_hop_link: w2c,
+    }
+}
+
+/// Creates a [`ConnectionSpec`] for a table transfer from router `i` of
+/// `topo` to the collector, with default configs; customize the returned
+/// spec as needed.
+pub fn transfer_spec(topo: &MonitoringTopology, i: usize, stream: Vec<u8>) -> ConnectionSpec {
+    let (node, addr) = topo.routers[i];
+    ConnectionSpec {
+        sender_node: node,
+        receiver_node: topo.collector,
+        sender_addr: (addr, 179),
+        receiver_addr: (topo.collector_addr, 40_000 + i as u16),
+        sender_tcp: TcpConfig::default(),
+        receiver_tcp: TcpConfig::default(),
+        sender_app: BgpSenderConfig::default(),
+        receiver_app: BgpReceiverConfig::default(),
+        stream,
+        open_at: Micros::ZERO,
+        group: None,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn topology_routes_are_complete() {
+        let topo = monitoring_topology(4, TopologyOptions::default());
+        for (node, addr) in &topo.routers {
+            // Router can reach the collector.
+            assert!(topo.net.route(*node, topo.collector_addr).is_some());
+            // Switch can reach the router back.
+            assert!(topo.net.route(topo.switch, *addr).is_some());
+            // Collector reverse path goes through the sniffer.
+            assert!(topo.net.route(topo.collector, *addr).is_some());
+            assert!(topo.net.route(topo.sniffer, *addr).is_some());
+        }
+        assert!(topo.net.route(topo.switch, topo.collector_addr).is_some());
+        assert!(topo.net.route(topo.sniffer, topo.collector_addr).is_some());
+    }
+
+    #[test]
+    fn transfer_spec_defaults() {
+        let topo = monitoring_topology(2, TopologyOptions::default());
+        let spec = transfer_spec(&topo, 1, vec![1, 2, 3]);
+        assert_eq!(spec.sender_addr.1, 179);
+        assert_eq!(spec.receiver_addr.0, topo.collector_addr);
+        assert_eq!(spec.stream, vec![1, 2, 3]);
+    }
+}

@@ -1,0 +1,539 @@
+//! TCP connection extraction from packet traces.
+
+use std::collections::HashMap;
+use std::net::Ipv4Addr;
+
+use tdat_packet::{seq_diff, TcpFlags, TcpFrame};
+use tdat_timeset::Micros;
+
+/// One endpoint of a connection.
+pub type Endpoint = (Ipv4Addr, u16);
+
+/// Normalized connection key: the endpoint pair, order-independent.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct ConnKey {
+    /// Lexicographically smaller endpoint.
+    pub a: Endpoint,
+    /// Lexicographically larger endpoint.
+    pub b: Endpoint,
+}
+
+impl ConnKey {
+    /// Builds the normalized key for a frame's 4-tuple.
+    pub fn of(frame: &TcpFrame) -> ConnKey {
+        let src = frame.src();
+        let dst = frame.dst();
+        if src <= dst {
+            ConnKey { a: src, b: dst }
+        } else {
+            ConnKey { a: dst, b: src }
+        }
+    }
+}
+
+/// Direction of a segment relative to the connection's *data sender*
+/// (the operational router in the paper's setting).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Direction {
+    /// Sender → receiver: the table-transfer data path.
+    Data,
+    /// Receiver → sender: ACKs (plus the receiver's own small messages).
+    Ack,
+}
+
+/// A summarized segment of a connection, in capture order.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Segment {
+    /// Capture timestamp.
+    pub time: Micros,
+    /// Which way it was heading.
+    pub dir: Direction,
+    /// Sequence number.
+    pub seq: u32,
+    /// Sequence number after the payload (+SYN/FIN).
+    pub seq_end: u32,
+    /// Acknowledgment number (valid if ACK flag set).
+    pub ack: u32,
+    /// Advertised window in bytes, with any negotiated RFC 1323 window
+    /// scale already applied (SYN windows are reported unscaled, per
+    /// the RFC).
+    pub window: u32,
+    /// Payload byte count.
+    pub payload_len: u32,
+    /// Flags.
+    pub flags: TcpFlags,
+    /// Index of the frame in the input slice, for drill-down.
+    pub frame_index: usize,
+}
+
+impl Segment {
+    /// True if this is a pure ACK (no payload, no SYN/FIN/RST).
+    pub fn is_pure_ack(&self) -> bool {
+        self.payload_len == 0
+            && self.flags.contains(TcpFlags::ACK)
+            && !self
+                .flags
+                .intersects(TcpFlags::SYN | TcpFlags::FIN | TcpFlags::RST)
+    }
+}
+
+/// Connection-level facts extracted from the trace (the paper obtains
+/// these with `tcptrace`, §III-B).
+#[derive(Debug, Clone, PartialEq, Eq, Default)]
+pub struct ConnProfile {
+    /// First frame time (the SYN for complete captures) — also the BGP
+    /// table transfer start (§II-A).
+    pub start: Micros,
+    /// Last frame time.
+    pub end: Micros,
+    /// Handshake completion time, if the handshake was captured.
+    pub established: Option<Micros>,
+    /// Round-trip time estimated from the handshake (SYN → handshake
+    /// ACK at the sniffer spans both path halves).
+    pub rtt: Option<Micros>,
+    /// Downstream RTT component `d1` (sniffer→receiver→sniffer):
+    /// median delay from a data segment to the ACK covering it.
+    pub d1: Option<Micros>,
+    /// Negotiated MSS (minimum of both SYNs' options), if seen.
+    pub mss: Option<u32>,
+    /// Window-scale shift announced by the data sender in its SYN.
+    pub sender_wscale: Option<u8>,
+    /// Window-scale shift announced by the receiver in its SYN|ACK.
+    pub receiver_wscale: Option<u8>,
+    /// Maximum window the receiver ever advertised.
+    pub max_receiver_window: u32,
+    /// Data-direction payload bytes.
+    pub data_bytes: u64,
+    /// Data-direction segment count.
+    pub data_segments: u64,
+    /// Total captured frames.
+    pub frames: u64,
+    /// True if a RST was seen.
+    pub reset: bool,
+}
+
+impl ConnProfile {
+    /// Upstream RTT component `d2 = rtt - d1` (sniffer→sender→sniffer),
+    /// when both estimates exist.
+    pub fn d2(&self) -> Option<Micros> {
+        match (self.rtt, self.d1) {
+            (Some(rtt), Some(d1)) => Some(rtt.saturating_sub(d1)),
+            _ => None,
+        }
+    }
+}
+
+/// One extracted TCP connection, oriented data-sender → receiver.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct TcpConnection {
+    /// The data sender (most payload bytes; the router).
+    pub sender: Endpoint,
+    /// The data receiver (the collector).
+    pub receiver: Endpoint,
+    /// All segments in capture order (both directions).
+    pub segments: Vec<Segment>,
+    /// Connection profile.
+    pub profile: ConnProfile,
+}
+
+impl TcpConnection {
+    /// Data-direction segments, in capture order.
+    pub fn data_segments(&self) -> impl Iterator<Item = &Segment> {
+        self.segments.iter().filter(|s| s.dir == Direction::Data)
+    }
+
+    /// Ack-direction segments, in capture order.
+    pub fn ack_segments(&self) -> impl Iterator<Item = &Segment> {
+        self.segments.iter().filter(|s| s.dir == Direction::Ack)
+    }
+}
+
+/// Splits a frame trace into connections and profiles each one.
+///
+/// The data sender of each connection is the side that transmitted more
+/// payload bytes (for BGP monitoring traces, the operational router by
+/// orders of magnitude); ties go to the connection initiator.
+pub fn extract_connections(frames: &[TcpFrame]) -> Vec<TcpConnection> {
+    // Group frame indices per normalized key, preserving order.
+    let mut order: Vec<ConnKey> = Vec::new();
+    let mut groups: HashMap<ConnKey, Vec<usize>> = HashMap::new();
+    for (idx, frame) in frames.iter().enumerate() {
+        let key = ConnKey::of(frame);
+        groups.entry(key).or_insert_with(|| {
+            order.push(key);
+            Vec::new()
+        });
+        groups.get_mut(&key).expect("just inserted").push(idx);
+    }
+    order
+        .into_iter()
+        .map(|key| build_connection(frames, &groups[&key]))
+        .collect()
+}
+
+fn build_connection(frames: &[TcpFrame], indices: &[usize]) -> TcpConnection {
+    // Payload bytes per source endpoint.
+    let mut bytes: HashMap<Endpoint, u64> = HashMap::new();
+    let mut initiator: Option<Endpoint> = None;
+    for &i in indices {
+        let f = &frames[i];
+        *bytes.entry(f.src()).or_insert(0) += f.payload_len() as u64;
+        if f.tcp.flags.contains(TcpFlags::SYN) && !f.tcp.flags.contains(TcpFlags::ACK) {
+            initiator.get_or_insert(f.src());
+        }
+    }
+    let first_src = frames[indices[0]].src();
+    // Most payload bytes wins; the initiator breaks a tie, then the
+    // endpoint ordering (for determinism without a captured SYN).
+    let max_bytes = bytes.values().copied().max().unwrap_or(0);
+    let sender = initiator
+        .filter(|init| bytes.get(init).copied().unwrap_or(0) == max_bytes)
+        .or_else(|| {
+            bytes
+                .iter()
+                .filter(|(_, b)| **b == max_bytes)
+                .map(|(ep, _)| *ep)
+                .min()
+        })
+        .unwrap_or(first_src);
+    let receiver = indices
+        .iter()
+        .map(|&i| &frames[i])
+        .find_map(|f| {
+            if f.src() == sender {
+                Some(f.dst())
+            } else if f.dst() == sender {
+                Some(f.src())
+            } else {
+                None
+            }
+        })
+        .expect("nonempty group");
+
+    let mut segments = Vec::with_capacity(indices.len());
+    let mut profile = ConnProfile {
+        start: frames[indices[0]].timestamp,
+        ..ConnProfile::default()
+    };
+    let mut syn_time: Option<Micros> = None;
+    let mut syn_ack_seen = false;
+    let mut sender_mss: Option<u32> = None;
+    let mut receiver_mss: Option<u32> = None;
+
+    // First pass: window-scale negotiation (RFC 1323 — active only if
+    // *both* SYNs carried the option). Scaled values are applied to
+    // every non-SYN segment below.
+    for &i in indices {
+        let f = &frames[i];
+        if f.tcp.flags.contains(TcpFlags::SYN) {
+            if f.src() == sender {
+                profile.sender_wscale = f.tcp.window_scale();
+            } else {
+                profile.receiver_wscale = f.tcp.window_scale();
+            }
+        }
+    }
+    let scaling_active = profile.sender_wscale.is_some() && profile.receiver_wscale.is_some();
+    let scale_of = |dir: Direction| -> u8 {
+        if !scaling_active {
+            return 0;
+        }
+        match dir {
+            // A data-direction segment carries the *sender's* advertised
+            // window, scaled by the shift the sender announced.
+            Direction::Data => profile.sender_wscale.unwrap_or(0),
+            Direction::Ack => profile.receiver_wscale.unwrap_or(0),
+        }
+    };
+
+    for &i in indices {
+        let f = &frames[i];
+        let dir = if f.src() == sender {
+            Direction::Data
+        } else {
+            Direction::Ack
+        };
+        let shift = if f.tcp.flags.contains(TcpFlags::SYN) {
+            0 // SYN windows are never scaled
+        } else {
+            scale_of(dir)
+        };
+        let seg = Segment {
+            time: f.timestamp,
+            dir,
+            seq: f.tcp.seq,
+            seq_end: f.seq_end(),
+            ack: f.tcp.ack,
+            window: (f.tcp.window as u32) << shift,
+            payload_len: f.payload_len() as u32,
+            flags: f.tcp.flags,
+            frame_index: i,
+        };
+        profile.end = profile.end.max(f.timestamp);
+        profile.frames += 1;
+        if f.tcp.flags.contains(TcpFlags::RST) {
+            profile.reset = true;
+        }
+        match dir {
+            Direction::Data => {
+                profile.data_bytes += seg.payload_len as u64;
+                if seg.payload_len > 0 {
+                    profile.data_segments += 1;
+                }
+                if let Some(mss) = f.tcp.mss() {
+                    sender_mss = Some(mss as u32);
+                }
+                if f.tcp.flags.contains(TcpFlags::SYN) && !f.tcp.flags.contains(TcpFlags::ACK) {
+                    syn_time.get_or_insert(f.timestamp);
+                }
+                // Handshake third packet: pure ACK from the sender after
+                // the SYN|ACK.
+                if syn_ack_seen && profile.established.is_none() && seg.is_pure_ack() {
+                    profile.established = Some(f.timestamp);
+                    if let Some(syn) = syn_time {
+                        profile.rtt = Some(f.timestamp - syn);
+                    }
+                }
+            }
+            Direction::Ack => {
+                profile.max_receiver_window = profile.max_receiver_window.max(seg.window);
+                if let Some(mss) = f.tcp.mss() {
+                    receiver_mss = Some(mss as u32);
+                }
+                if f.tcp.flags.contains(TcpFlags::SYN) && f.tcp.flags.contains(TcpFlags::ACK) {
+                    syn_ack_seen = true;
+                }
+            }
+        }
+        segments.push(seg);
+    }
+    profile.mss = match (sender_mss, receiver_mss) {
+        (Some(a), Some(b)) => Some(a.min(b)),
+        (one, None) | (None, one) => one,
+    };
+    profile.d1 = estimate_d1(&segments);
+    TcpConnection {
+        sender,
+        receiver,
+        segments,
+        profile,
+    }
+}
+
+/// Median delay between a data segment's arrival at the sniffer and the
+/// first ACK covering it — the `d1` (sniffer↔receiver) RTT component.
+fn estimate_d1(segments: &[Segment]) -> Option<Micros> {
+    let mut samples: Vec<i64> = Vec::new();
+    let mut pending: Vec<(u32, Micros)> = Vec::new(); // (seq_end, sent)
+    let mut max_seen: Option<u32> = None;
+    for seg in segments {
+        match seg.dir {
+            Direction::Data if seg.payload_len > 0 => {
+                // Only time first transmissions (Karn).
+                let fresh = max_seen.is_none_or(|m| seq_diff(seg.seq_end, m) > 0);
+                if fresh {
+                    pending.push((seg.seq_end, seg.time));
+                    max_seen = Some(seg.seq_end);
+                }
+            }
+            Direction::Ack if seg.flags.contains(TcpFlags::ACK) => {
+                pending.retain(|(seq_end, sent)| {
+                    if seq_diff(seg.ack, *seq_end) >= 0 {
+                        samples.push((seg.time - *sent).as_micros());
+                        false
+                    } else {
+                        true
+                    }
+                });
+            }
+            _ => {}
+        }
+    }
+    if samples.is_empty() {
+        return None;
+    }
+    samples.sort_unstable();
+    Some(Micros(samples[samples.len() / 2]))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use tdat_packet::FrameBuilder;
+
+    fn addr(last: u8) -> Ipv4Addr {
+        Ipv4Addr::new(10, 0, 0, last)
+    }
+
+    /// A minimal handshake + data exchange used by several tests.
+    fn sample_trace() -> Vec<TcpFrame> {
+        let a = addr(1);
+        let b = addr(2);
+        // Handshake: a initiates. Sniffer near b: SYN|ACK follows the
+        // SYN almost immediately; the final ACK arrives one RTT later.
+        vec![
+            FrameBuilder::new(a, b)
+                .at(Micros(0))
+                .ports(179, 40000)
+                .seq(100)
+                .flags(TcpFlags::SYN)
+                .option(tdat_packet::TcpOption::Mss(1448))
+                .window(65535)
+                .build(),
+            FrameBuilder::new(b, a)
+                .at(Micros(100))
+                .ports(40000, 179)
+                .seq(900)
+                .ack_to(101)
+                .flags(TcpFlags::SYN | TcpFlags::ACK)
+                .option(tdat_packet::TcpOption::Mss(1400))
+                .window(16384)
+                .build(),
+            FrameBuilder::new(a, b)
+                .at(Micros(20_100))
+                .ports(179, 40000)
+                .seq(101)
+                .ack_to(901)
+                .window(65535)
+                .build(),
+            // Data a→b, ACKed by b 300 us later (d1).
+            FrameBuilder::new(a, b)
+                .at(Micros(25_000))
+                .ports(179, 40000)
+                .seq(101)
+                .ack_to(901)
+                .payload(vec![0; 1000])
+                .build(),
+            FrameBuilder::new(b, a)
+                .at(Micros(25_300))
+                .ports(40000, 179)
+                .seq(901)
+                .ack_to(1101)
+                .window(16384)
+                .build(),
+        ]
+    }
+
+    #[test]
+    fn single_connection_extracted_and_oriented() {
+        let frames = sample_trace();
+        let conns = extract_connections(&frames);
+        assert_eq!(conns.len(), 1);
+        let c = &conns[0];
+        assert_eq!(c.sender, (addr(1), 179));
+        assert_eq!(c.receiver, (addr(2), 40000));
+        assert_eq!(c.segments.len(), 5);
+        assert_eq!(c.data_segments().count(), 3);
+        assert_eq!(c.ack_segments().count(), 2);
+    }
+
+    #[test]
+    fn profile_fields() {
+        let conns = extract_connections(&sample_trace());
+        let p = &conns[0].profile;
+        assert_eq!(p.start, Micros(0));
+        assert_eq!(p.end, Micros(25_300));
+        assert_eq!(p.established, Some(Micros(20_100)));
+        assert_eq!(p.rtt, Some(Micros(20_100)));
+        assert_eq!(p.mss, Some(1400), "negotiated minimum");
+        assert_eq!(p.max_receiver_window, 16384);
+        assert_eq!(p.data_bytes, 1000);
+        assert_eq!(p.d1, Some(Micros(300)));
+        assert_eq!(p.d2(), Some(Micros(19_800)));
+        assert!(!p.reset);
+    }
+
+    #[test]
+    fn multiple_connections_split_by_4_tuple() {
+        let mut frames = sample_trace();
+        // A second connection from a different router.
+        for f in sample_trace() {
+            let mut f2 = f.clone();
+            f2.ip.src = if f.src().0 == addr(1) {
+                addr(3)
+            } else {
+                f.ip.src
+            };
+            f2.ip.dst = if f.dst().0 == addr(1) {
+                addr(3)
+            } else {
+                f.ip.dst
+            };
+            frames.push(f2);
+        }
+        let conns = extract_connections(&frames);
+        assert_eq!(conns.len(), 2);
+    }
+
+    #[test]
+    fn orientation_falls_back_to_initiator_on_byte_tie() {
+        let a = addr(1);
+        let b = addr(2);
+        let frames = vec![
+            FrameBuilder::new(a, b)
+                .at(Micros(0))
+                .ports(179, 40000)
+                .seq(1)
+                .flags(TcpFlags::SYN)
+                .build(),
+            FrameBuilder::new(b, a)
+                .at(Micros(10))
+                .ports(40000, 179)
+                .seq(2)
+                .ack_to(2)
+                .flags(TcpFlags::SYN | TcpFlags::ACK)
+                .build(),
+        ];
+        let conns = extract_connections(&frames);
+        assert_eq!(conns[0].sender, (a, 179));
+    }
+
+    #[test]
+    fn rst_marks_profile() {
+        let a = addr(1);
+        let b = addr(2);
+        let frames = vec![FrameBuilder::new(a, b)
+            .ports(1, 2)
+            .flags(TcpFlags::RST)
+            .build()];
+        let conns = extract_connections(&frames);
+        assert!(conns[0].profile.reset);
+    }
+
+    #[test]
+    fn d1_ignores_retransmitted_ranges() {
+        let a = addr(1);
+        let b = addr(2);
+        let data = |t: i64, seq: u32| {
+            FrameBuilder::new(a, b)
+                .at(Micros(t))
+                .ports(179, 40000)
+                .seq(seq)
+                .payload(vec![0; 100])
+                .build()
+        };
+        let ack = |t: i64, ackn: u32| {
+            FrameBuilder::new(b, a)
+                .at(Micros(t))
+                .ports(40000, 179)
+                .seq(1)
+                .ack_to(ackn)
+                .build()
+        };
+        // seq 100 sent, retransmitted, then acked: no d1 sample for it
+        // (Karn); seq 200 gives the only sample (500 us).
+        let frames = vec![
+            data(0, 100),
+            data(50_000, 100), // retransmission (not beyond max_seen)
+            ack(50_200, 200),
+            data(60_000, 200),
+            ack(60_500, 300),
+        ];
+        let conns = extract_connections(&frames);
+        // Sample 1: 100..200 acked at 50_200 → 50_200 us (first copy timed).
+        // Sample 2: 200..300 → 500 us. Median of [500, 50_200] → 50_200?
+        // Sorted: [500, 50200]; len/2 = 1 → 50200. The Karn rule only
+        // guards double-counting of the retransmitted copy itself.
+        assert_eq!(conns[0].profile.d1, Some(Micros(50_200)));
+    }
+}

@@ -1,0 +1,233 @@
+//! Passive RTT time series.
+//!
+//! tcptrace-style running RTT estimation from a passive capture: each
+//! first-transmission data segment is timed against the first cumulative
+//! ACK covering it (Karn's rule: retransmitted ranges are never timed).
+//! At a receiver-side sniffer these samples measure the `d1` component;
+//! at a sender-side capture they measure the full RTT. The series is
+//! one of the sanitized inputs the paper proposes feeding to other TCP
+//! analyses (§V-D).
+
+use tdat_packet::seq_diff;
+use tdat_timeset::Micros;
+
+use crate::conn::TcpConnection;
+
+/// One RTT sample: when the ACK arrived and the measured delay.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct RttSample {
+    /// Arrival time of the covering ACK.
+    pub at: Micros,
+    /// Measured delay (data transmission → covering ACK).
+    pub rtt: Micros,
+    /// Sequence number the sample timed.
+    pub seq_end: u32,
+}
+
+/// Summary statistics over an RTT series.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct RttStats {
+    /// Sample count.
+    pub samples: usize,
+    /// Minimum.
+    pub min: Micros,
+    /// Median.
+    pub median: Micros,
+    /// 95th percentile.
+    pub p95: Micros,
+    /// Maximum.
+    pub max: Micros,
+}
+
+/// Extracts the RTT sample series for a connection's data direction.
+///
+/// Retransmitted sequence ranges are excluded (Karn); a range is
+/// considered retransmitted if any copy of it appears more than once.
+pub fn rtt_samples(conn: &TcpConnection) -> Vec<RttSample> {
+    // Ranges seen more than once (any overlap counts).
+    let mut first_tx: Vec<(u32, u32, Micros)> = Vec::new(); // (seq, seq_end, time)
+    let mut retransmitted: Vec<(u32, u32)> = Vec::new();
+    for seg in conn.data_segments().filter(|s| s.payload_len > 0) {
+        let dup = first_tx
+            .iter()
+            .any(|&(s, e, _)| seq_diff(seg.seq, e) < 0 && seq_diff(s, seg.seq_end) < 0);
+        if dup {
+            retransmitted.push((seg.seq, seg.seq_end));
+        } else {
+            first_tx.push((seg.seq, seg.seq_end, seg.time));
+        }
+    }
+    let tainted = |seq: u32, seq_end: u32| {
+        retransmitted
+            .iter()
+            .any(|&(s, e)| seq_diff(seq, e) < 0 && seq_diff(s, seq_end) < 0)
+    };
+
+    let mut pending: Vec<(u32, u32, Micros)> = first_tx;
+    let mut samples = Vec::new();
+    for ack in conn
+        .ack_segments()
+        .filter(|s| s.flags.contains(tdat_packet::TcpFlags::ACK))
+    {
+        pending.retain(|&(seq, seq_end, sent)| {
+            if seq_diff(ack.ack, seq_end) >= 0 {
+                if !tainted(seq, seq_end) && ack.time >= sent {
+                    samples.push(RttSample {
+                        at: ack.time,
+                        rtt: ack.time - sent,
+                        seq_end,
+                    });
+                }
+                false
+            } else {
+                true
+            }
+        });
+    }
+    samples
+}
+
+/// Extracts RTT samples using RFC 1323 timestamps, when the capture
+/// carries them: each ACK's `TSecr` is matched to the data segment that
+/// sent that `TSval`. Unlike [`rtt_samples`], this works through
+/// retransmissions (the echoed value disambiguates which copy was
+/// acknowledged — Karn's problem does not arise).
+///
+/// `frames` must be the slice the connection was extracted from.
+pub fn rtt_samples_from_timestamps(
+    conn: &TcpConnection,
+    frames: &[tdat_packet::TcpFrame],
+) -> Vec<RttSample> {
+    use std::collections::HashMap;
+    // TSval → first transmission time of a data segment carrying it.
+    let mut sent_at: HashMap<u32, (Micros, u32)> = HashMap::new();
+    for seg in conn.data_segments().filter(|s| s.payload_len > 0) {
+        let frame = &frames[seg.frame_index];
+        for opt in &frame.tcp.options {
+            if let tdat_packet::TcpOption::Timestamps(val, _) = opt {
+                sent_at.entry(*val).or_insert((seg.time, seg.seq_end));
+            }
+        }
+    }
+    let mut samples = Vec::new();
+    let mut last_ecr: Option<u32> = None;
+    for seg in conn.ack_segments() {
+        let frame = &frames[seg.frame_index];
+        for opt in &frame.tcp.options {
+            if let tdat_packet::TcpOption::Timestamps(_, ecr) = opt {
+                // Only the first ACK echoing a given TSval samples it.
+                if last_ecr == Some(*ecr) {
+                    continue;
+                }
+                last_ecr = Some(*ecr);
+                if let Some(&(at, seq_end)) = sent_at.get(ecr) {
+                    if seg.time >= at {
+                        samples.push(RttSample {
+                            at: seg.time,
+                            rtt: seg.time - at,
+                            seq_end,
+                        });
+                    }
+                }
+            }
+        }
+    }
+    samples
+}
+
+/// Computes summary statistics for an RTT series, or `None` if empty.
+pub fn rtt_stats(samples: &[RttSample]) -> Option<RttStats> {
+    if samples.is_empty() {
+        return None;
+    }
+    let mut rtts: Vec<i64> = samples.iter().map(|s| s.rtt.as_micros()).collect();
+    rtts.sort_unstable();
+    let pick = |p: f64| Micros(rtts[((rtts.len() - 1) as f64 * p).round() as usize]);
+    Some(RttStats {
+        samples: rtts.len(),
+        min: Micros(rtts[0]),
+        median: pick(0.5),
+        p95: pick(0.95),
+        max: Micros(*rtts.last().expect("nonempty")),
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::conn::extract_connections;
+    use std::net::Ipv4Addr;
+    use tdat_packet::{FrameBuilder, TcpFrame};
+
+    fn a() -> Ipv4Addr {
+        Ipv4Addr::new(10, 0, 0, 1)
+    }
+    fn b() -> Ipv4Addr {
+        Ipv4Addr::new(10, 0, 0, 2)
+    }
+    fn data(t: i64, seq: u32, len: usize) -> TcpFrame {
+        FrameBuilder::new(a(), b())
+            .at(Micros(t))
+            .ports(179, 40000)
+            .seq(seq)
+            .ack_to(1)
+            .payload(vec![0; len])
+            .build()
+    }
+    fn ack(t: i64, ackn: u32) -> TcpFrame {
+        FrameBuilder::new(b(), a())
+            .at(Micros(t))
+            .ports(40000, 179)
+            .seq(1)
+            .ack_to(ackn)
+            .window(65535)
+            .build()
+    }
+
+    #[test]
+    fn clean_samples_measured() {
+        let frames = vec![
+            data(0, 1000, 100),
+            ack(400, 1100),
+            data(1_000, 1100, 100),
+            data(1_050, 1200, 100),
+            ack(1_500, 1300), // covers both
+        ];
+        let conns = extract_connections(&frames);
+        let samples = rtt_samples(&conns[0]);
+        assert_eq!(samples.len(), 3);
+        assert_eq!(samples[0].rtt, Micros(400));
+        assert_eq!(samples[1].rtt, Micros(500));
+        assert_eq!(samples[2].rtt, Micros(450));
+        let stats = rtt_stats(&samples).unwrap();
+        assert_eq!(stats.min, Micros(400));
+        assert_eq!(stats.max, Micros(500));
+        assert_eq!(stats.median, Micros(450));
+        assert_eq!(stats.samples, 3);
+    }
+
+    #[test]
+    fn retransmitted_ranges_excluded() {
+        let frames = vec![
+            data(0, 1000, 100),
+            data(300_000, 1000, 100), // retransmission
+            ack(300_400, 1100),
+            data(301_000, 1100, 100),
+            ack(301_300, 1200),
+        ];
+        let conns = extract_connections(&frames);
+        let samples = rtt_samples(&conns[0]);
+        // Only the clean 1100..1200 range is timed.
+        assert_eq!(samples.len(), 1);
+        assert_eq!(samples[0].seq_end, 1200);
+        assert_eq!(samples[0].rtt, Micros(300));
+    }
+
+    #[test]
+    fn empty_when_no_data() {
+        let frames = vec![ack(0, 1)];
+        let conns = extract_connections(&frames);
+        assert!(rtt_samples(&conns[0]).is_empty());
+        assert_eq!(rtt_stats(&[]), None);
+    }
+}

@@ -1,0 +1,26 @@
+//! # tdat-suite — umbrella crate
+//!
+//! Re-exports the full T-DAT tool suite so examples and downstream
+//! users can depend on one crate:
+//!
+//! | crate | paper artifact | contents |
+//! |---|---|---|
+//! | [`tdat`] | `t-dat` | the TCP delay analyzer |
+//! | [`tdat_trace`] | `tcptrace'` | connection extraction & labeling |
+//! | [`tdat_pcap2bgp`] | `pcap2bgp` | stream reassembly → BGP → MRT |
+//! | [`tdat::plot`] | `BGPlot` | series square-wave rendering |
+//! | [`tdat_packet`] | — | packet model + pcap I/O |
+//! | [`tdat_bgp`] | — | BGP codec, tables, MRT, MCT |
+//! | [`tdat_timeset`] | — | time-range sets (event series) |
+//! | [`tdat_tcpsim`] | — | the trace-synthesis simulator |
+//!
+//! See the repository `README.md` for a tour and `DESIGN.md` for the
+//! system inventory.
+
+pub use tdat;
+pub use tdat_bgp;
+pub use tdat_packet;
+pub use tdat_pcap2bgp;
+pub use tdat_tcpsim;
+pub use tdat_timeset;
+pub use tdat_trace;
