@@ -26,10 +26,12 @@ fn bench_ack_shift_cost(c: &mut Criterion) {
     let frames = frames();
     let mut group = c.benchmark_group("ablation_cost");
     for (name, disable) in [("with_ack_shift", false), ("without_ack_shift", true)] {
-        let analyzer = Analyzer::new(AnalyzerConfig {
-            disable_ack_shift: disable,
-            ..AnalyzerConfig::default()
-        });
+        let analyzer = Analyzer::new(
+            AnalyzerConfig::builder()
+                .disable_ack_shift(disable)
+                .build()
+                .expect("valid ablation config"),
+        );
         group.bench_function(name, |b| {
             b.iter(|| black_box(analyzer.analyze_frames(&frames)))
         });

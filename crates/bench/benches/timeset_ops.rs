@@ -53,8 +53,8 @@ fn bench_event_series(c: &mut Criterion) {
         let mut series: EventSeries<u32> = EventSeries::new("bench");
         let mut t = 0i64;
         for _ in 0..n {
-            t += rng.gen_range(1..2_000);
-            series.push(Span::from_micros(t, t + rng.gen_range(1..1_500)), 1448);
+            t += rng.gen_range(1i64..2_000);
+            series.push(Span::from_micros(t, t + rng.gen_range(1i64..1_500)), 1448);
         }
         group.bench_with_input(BenchmarkId::new("to_span_set", n), &n, |bench, _| {
             bench.iter(|| black_box(series.to_span_set()))

@@ -31,7 +31,9 @@ impl ExperimentCtx {
     /// Generates the corpus and analyzes every transfer (parallel).
     pub fn build(seed: u64, scale: f64, routes: usize) -> ExperimentCtx {
         let corpus = Corpus::generate(seed, scale, routes);
-        let config = AnalyzerConfig::default();
+        let config = AnalyzerConfig::builder()
+            .build()
+            .expect("paper defaults are valid");
         let analyzer = Analyzer::new(config.clone());
         let jobs: Vec<&Transfer> = corpus.transfers.iter().collect();
         let analyses = parallel_map(jobs, |t| {
@@ -998,10 +1000,12 @@ pub fn ablation_ack_shift() -> String {
         "# timer-paced transfer\n# variant sender_ratio receiver_ratio bgp_sender_ratio\n",
     );
     for (name, disable) in [("shifted", false), ("unshifted", true)] {
-        let analyzer = Analyzer::new(AnalyzerConfig {
-            disable_ack_shift: disable,
-            ..AnalyzerConfig::default()
-        });
+        let analyzer = Analyzer::new(
+            AnalyzerConfig::builder()
+                .disable_ack_shift(disable)
+                .build()
+                .expect("valid ablation config"),
+        );
         let analyses = analyzer.analyze_frames(&transfer.frames);
         let v = &analyses[0].vector;
         writeln!(
@@ -1034,10 +1038,12 @@ pub fn ablation_ack_shift() -> String {
     let frames = sim.into_output().taps.remove(0).1;
     out.push_str("# window-bound transfer\n# variant tcp_window_ratio cwnd_ratio\n");
     for (name, disable) in [("shifted", false), ("unshifted", true)] {
-        let analyzer = Analyzer::new(AnalyzerConfig {
-            disable_ack_shift: disable,
-            ..AnalyzerConfig::default()
-        });
+        let analyzer = Analyzer::new(
+            AnalyzerConfig::builder()
+                .disable_ack_shift(disable)
+                .build()
+                .expect("valid ablation config"),
+        );
         let analyses = analyzer.analyze_frames(&frames);
         let v = &analyses[0].vector;
         writeln!(
@@ -1063,10 +1069,12 @@ pub fn ablation_window_threshold() -> String {
     );
     let mut out = String::from("# threshold_mss bgp_recv_ratio tcp_window_ratio\n");
     for threshold in [1.0f64, 2.0, 3.0, 4.0, 5.0, 6.0] {
-        let analyzer = Analyzer::new(AnalyzerConfig {
-            small_window_mss: threshold,
-            ..AnalyzerConfig::default()
-        });
+        let analyzer = Analyzer::new(
+            AnalyzerConfig::builder()
+                .small_window_mss(threshold)
+                .build()
+                .expect("valid ablation config"),
+        );
         let analyses = analyzer.analyze_frames(&transfer.frames);
         let v = &analyses[0].vector;
         writeln!(

@@ -119,7 +119,7 @@ impl Analyzer {
     /// # Errors
     ///
     /// Fails on I/O or pcap decode errors.
-    pub fn analyze_pcap(&self, path: impl AsRef<Path>) -> tdat_packet::Result<Vec<Analysis>> {
+    pub fn analyze_pcap(&self, path: impl AsRef<Path>) -> crate::Result<Vec<Analysis>> {
         let frames = tdat_packet::read_pcap_file(path)?;
         Ok(self.analyze_frames(&frames))
     }
@@ -140,8 +140,20 @@ impl Analyzer {
     /// the MCT-estimated transfer end when BGP updates are decodable,
     /// else at the last captured frame.
     pub fn analyze_connection(&self, conn: &TcpConnection, frames: &[TcpFrame]) -> Analysis {
-        // Identify the transfer end via pcap2bgp + MCT.
         let extraction = tdat_pcap2bgp::extract_from_frames(conn, frames);
+        self.analyze_extracted(conn.clone(), &extraction)
+    }
+
+    /// Analyzes a connection whose BGP messages are already extracted —
+    /// the streaming engine's entry point, which owns both pieces and
+    /// so moves the profile and segments into the [`Analysis`] instead
+    /// of cloning them.
+    pub fn analyze_extracted(
+        &self,
+        conn: TcpConnection,
+        extraction: &tdat_pcap2bgp::Extraction,
+    ) -> Analysis {
+        // Identify the transfer end via MCT over the extracted updates.
         let updates = extraction.updates();
         let transfer = find_transfer_end(conn.profile.start, &updates, &self.mct);
         let period_end = transfer
@@ -151,29 +163,38 @@ impl Analyzer {
             .max(conn.profile.start);
         let period = Span::new(conn.profile.start, period_end);
 
-        let labels = label_segments(conn, &self.label_config);
-        let trace = if self.config.disable_ack_shift {
-            ShiftedTrace {
-                segments: conn.segments.clone(),
-                shifts: Vec::new(),
-            }
+        let labels = label_segments(&conn, &self.label_config);
+        let shifted = if self.config.disable_ack_shift {
+            None
         } else {
-            shift_acks(conn)
+            Some(shift_acks(&conn))
         };
+        let TcpConnection {
+            sender,
+            receiver,
+            segments,
+            profile,
+        } = conn;
+        // With shifting disabled the raw segments are the trace; they
+        // are moved, not cloned.
+        let trace = shifted.unwrap_or(ShiftedTrace {
+            segments,
+            shifts: Vec::new(),
+        });
         let series = generate_series(
             &trace,
             &labels,
             period,
-            conn.profile.mss.unwrap_or(1448),
-            conn.profile.max_receiver_window,
-            conn.profile.rtt,
+            profile.mss.unwrap_or(1448),
+            profile.max_receiver_window,
+            profile.rtt,
             &self.config,
         );
         let vector = delay_vector(&series, &self.config);
         Analysis {
-            profile: conn.profile.clone(),
-            sender: conn.sender,
-            receiver: conn.receiver,
+            profile,
+            sender,
+            receiver,
             period,
             trace,
             labels,
@@ -189,11 +210,16 @@ impl Analyzer {
 /// # Errors
 ///
 /// Fails on I/O or pcap decode errors.
-pub fn analyze_pcap(path: impl AsRef<Path>) -> tdat_packet::Result<Vec<Analysis>> {
+#[deprecated(
+    note = "use `StreamAnalyzer::analyze_pcap` (streaming, bounded memory) \
+            or `Analyzer::analyze_pcap`"
+)]
+pub fn analyze_pcap(path: impl AsRef<Path>) -> crate::Result<Vec<Analysis>> {
     Analyzer::default().analyze_pcap(path)
 }
 
 /// The duration of one microsecond-precision period, for reports.
+#[deprecated(note = "use `analysis.period.duration()` directly")]
 pub fn period_duration(analysis: &Analysis) -> Micros {
     analysis.period.duration()
 }

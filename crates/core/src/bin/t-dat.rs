@@ -1,17 +1,23 @@
 //! `t-dat` — the command-line TCP delay analyzer (paper Table VI).
 //!
 //! ```text
-//! t-dat <trace.pcap> [--json] [--plot] [--tsplot] [--series] [--threshold 0.3]
+//! t-dat <trace.pcap> [--json] [--plot] [--tsplot] [--series]
+//!       [--threshold 0.3] [--workers N]
 //! ```
 //!
-//! Reads a pcap capture of BGP sessions, identifies each connection's
-//! table transfer, and prints the delay-factor report; `--plot` adds
-//! the BGPlot square-wave view and `--series` lists every series with
-//! its delay ratio.
+//! Streams a pcap capture of BGP sessions through the
+//! [`StreamAnalyzer`] engine (one connection at a time, `--workers`
+//! analysis threads), identifies each connection's table transfer, and
+//! prints the delay-factor report; `--plot` adds the BGPlot
+//! square-wave view and `--series` lists every series with its delay
+//! ratio.
 
 use std::process::ExitCode;
 
-use tdat::{Analyzer, AnalyzerConfig};
+use tdat::{StreamAnalyzer, StreamOptions, TrackerConfig};
+
+const USAGE: &str = "usage: t-dat <trace.pcap> [--json] [--plot] [--tsplot] [--series] \
+                     [--threshold 0.3] [--workers N]";
 
 fn main() -> ExitCode {
     let mut args = std::env::args().skip(1);
@@ -21,6 +27,7 @@ fn main() -> ExitCode {
     let mut json = false;
     let mut series = false;
     let mut threshold = 0.3f64;
+    let mut workers = 0usize;
     while let Some(arg) = args.next() {
         match arg.as_str() {
             "--plot" => plot = true,
@@ -34,8 +41,15 @@ fn main() -> ExitCode {
                 };
                 threshold = v;
             }
+            "--workers" => {
+                let Some(v) = args.next().and_then(|v| v.parse().ok()) else {
+                    eprintln!("--workers needs a thread count (0 = auto)");
+                    return ExitCode::from(2);
+                };
+                workers = v;
+            }
             "--help" | "-h" => {
-                eprintln!("usage: t-dat <trace.pcap> [--json] [--plot] [--tsplot] [--series] [--threshold 0.3]");
+                eprintln!("{USAGE}");
                 return ExitCode::SUCCESS;
             }
             other if path.is_none() => path = Some(other.to_string()),
@@ -46,17 +60,31 @@ fn main() -> ExitCode {
         }
     }
     let Some(path) = path else {
-        eprintln!(
-            "usage: t-dat <trace.pcap> [--json] [--plot] [--tsplot] [--series] [--threshold 0.3]"
-        );
+        eprintln!("{USAGE}");
         return ExitCode::from(2);
     };
 
-    let analyzer = Analyzer::new(AnalyzerConfig {
-        major_threshold: threshold,
-        ..AnalyzerConfig::default()
-    });
-    let analyses = match analyzer.analyze_pcap(&path) {
+    let config = match tdat::AnalyzerConfig::builder()
+        .major_threshold(threshold)
+        .build()
+    {
+        Ok(c) => c,
+        Err(e) => {
+            eprintln!("t-dat: {e}");
+            return ExitCode::from(2);
+        }
+    };
+    let engine = StreamAnalyzer::with_options(
+        config,
+        StreamOptions {
+            workers,
+            // The CLI reports on the whole capture, so hold every
+            // connection to its last frame like the batch path.
+            tracker: TrackerConfig::batch(),
+        },
+    );
+    let analyzer = engine.analyzer();
+    let analyses = match engine.analyze_pcap(&path) {
         Ok(a) => a,
         Err(e) => {
             eprintln!("t-dat: {path}: {e}");

@@ -75,6 +75,149 @@ impl Default for AnalyzerConfig {
     }
 }
 
+impl AnalyzerConfig {
+    /// Starts a validated builder from the paper's defaults.
+    ///
+    /// # Examples
+    ///
+    /// ```
+    /// use tdat::AnalyzerConfig;
+    ///
+    /// let config = AnalyzerConfig::builder()
+    ///     .major_threshold(0.4)
+    ///     .consecutive_loss_threshold(12)
+    ///     .build()?;
+    /// assert_eq!(config.consecutive_loss_threshold, 12);
+    /// # Ok::<(), tdat::Error>(())
+    /// ```
+    pub fn builder() -> AnalyzerConfigBuilder {
+        AnalyzerConfigBuilder {
+            config: AnalyzerConfig::default(),
+        }
+    }
+}
+
+/// Builder for [`AnalyzerConfig`] with validation at
+/// [`build`](AnalyzerConfigBuilder::build); created by
+/// [`AnalyzerConfig::builder`].
+#[derive(Debug, Clone)]
+pub struct AnalyzerConfigBuilder {
+    config: AnalyzerConfig,
+}
+
+impl AnalyzerConfigBuilder {
+    /// Sets the sniffer vantage.
+    pub fn sniffer(mut self, sniffer: SnifferLocation) -> Self {
+        self.config.sniffer = sniffer;
+        self
+    }
+
+    /// Sets the small-window threshold in MSS units.
+    pub fn small_window_mss(mut self, mss: f64) -> Self {
+        self.config.small_window_mss = mss;
+        self
+    }
+
+    /// Sets the window-bound margin in MSS units.
+    pub fn window_bound_mss(mut self, mss: f64) -> Self {
+        self.config.window_bound_mss = mss;
+        self
+    }
+
+    /// Sets the major-group delay-ratio threshold.
+    pub fn major_threshold(mut self, threshold: f64) -> Self {
+        self.config.major_threshold = threshold;
+        self
+    }
+
+    /// Sets the consecutive-loss episode threshold.
+    pub fn consecutive_loss_threshold(mut self, threshold: usize) -> Self {
+        self.config.consecutive_loss_threshold = threshold;
+        self
+    }
+
+    /// Sets the maximum silence chaining retransmissions into one
+    /// episode.
+    pub fn episode_gap(mut self, gap: Micros) -> Self {
+        self.config.episode_gap = gap;
+        self
+    }
+
+    /// Sets the minimum sender-idle gap entering `SendAppLimited`.
+    pub fn min_idle_gap(mut self, gap: Micros) -> Self {
+        self.config.min_idle_gap = gap;
+        self
+    }
+
+    /// Sets the flight-grouping gap used when the RTT is unknown.
+    pub fn fallback_flight_gap(mut self, gap: Micros) -> Self {
+        self.config.fallback_flight_gap = gap;
+        self
+    }
+
+    /// Sets the congestion-window clocking slack.
+    pub fn cwnd_clock_slack(mut self, slack: Micros) -> Self {
+        self.config.cwnd_clock_slack = slack;
+        self
+    }
+
+    /// Enables/disables the ACK-shift preprocessing step.
+    pub fn disable_ack_shift(mut self, disable: bool) -> Self {
+        self.config.disable_ack_shift = disable;
+        self
+    }
+
+    /// Validates and returns the configuration.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`Error::Config`](crate::Error::Config) when a value is
+    /// out of range: a zero consecutive-loss threshold, a major
+    /// threshold outside `(0, 1]`, non-positive MSS multiples, or
+    /// non-positive gaps.
+    pub fn build(self) -> crate::Result<AnalyzerConfig> {
+        let c = &self.config;
+        let fail = |reason: String| Err(crate::Error::Config(reason));
+        if c.consecutive_loss_threshold == 0 {
+            return fail("consecutive_loss_threshold must be at least 1".into());
+        }
+        if !(c.major_threshold > 0.0 && c.major_threshold <= 1.0) {
+            return fail(format!(
+                "major_threshold must be in (0, 1], got {}",
+                c.major_threshold
+            ));
+        }
+        if c.small_window_mss <= 0.0 || c.small_window_mss.is_nan() {
+            return fail(format!(
+                "small_window_mss must be positive, got {}",
+                c.small_window_mss
+            ));
+        }
+        if c.window_bound_mss <= 0.0 || c.window_bound_mss.is_nan() {
+            return fail(format!(
+                "window_bound_mss must be positive, got {}",
+                c.window_bound_mss
+            ));
+        }
+        for (name, gap) in [
+            ("episode_gap", c.episode_gap),
+            ("min_idle_gap", c.min_idle_gap),
+            ("fallback_flight_gap", c.fallback_flight_gap),
+        ] {
+            if gap <= Micros::ZERO {
+                return fail(format!("{name} must be positive, got {gap}"));
+            }
+        }
+        if c.cwnd_clock_slack < Micros::ZERO {
+            return fail(format!(
+                "cwnd_clock_slack must be non-negative, got {}",
+                c.cwnd_clock_slack
+            ));
+        }
+        Ok(self.config)
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -86,5 +229,72 @@ mod tests {
         assert_eq!(c.small_window_mss, 3.0);
         assert_eq!(c.major_threshold, 0.3);
         assert_eq!(c.consecutive_loss_threshold, 8);
+    }
+
+    #[test]
+    fn builder_defaults_equal_default() {
+        assert_eq!(
+            AnalyzerConfig::builder().build().unwrap(),
+            AnalyzerConfig::default()
+        );
+    }
+
+    #[test]
+    fn builder_sets_every_field() {
+        let c = AnalyzerConfig::builder()
+            .sniffer(SnifferLocation::NearSender)
+            .small_window_mss(2.0)
+            .window_bound_mss(4.0)
+            .major_threshold(0.5)
+            .consecutive_loss_threshold(3)
+            .episode_gap(Micros::from_secs(1))
+            .min_idle_gap(Micros::from_millis(7))
+            .fallback_flight_gap(Micros::from_millis(20))
+            .cwnd_clock_slack(Micros::from_millis(1))
+            .disable_ack_shift(true)
+            .build()
+            .unwrap();
+        assert_eq!(c.sniffer, SnifferLocation::NearSender);
+        assert_eq!(c.small_window_mss, 2.0);
+        assert_eq!(c.window_bound_mss, 4.0);
+        assert_eq!(c.major_threshold, 0.5);
+        assert_eq!(c.consecutive_loss_threshold, 3);
+        assert_eq!(c.episode_gap, Micros::from_secs(1));
+        assert_eq!(c.min_idle_gap, Micros::from_millis(7));
+        assert_eq!(c.fallback_flight_gap, Micros::from_millis(20));
+        assert_eq!(c.cwnd_clock_slack, Micros::from_millis(1));
+        assert!(c.disable_ack_shift);
+    }
+
+    #[test]
+    fn builder_rejects_invalid_values() {
+        assert!(AnalyzerConfig::builder()
+            .consecutive_loss_threshold(0)
+            .build()
+            .is_err());
+        assert!(AnalyzerConfig::builder()
+            .major_threshold(0.0)
+            .build()
+            .is_err());
+        assert!(AnalyzerConfig::builder()
+            .major_threshold(1.5)
+            .build()
+            .is_err());
+        assert!(AnalyzerConfig::builder()
+            .small_window_mss(-1.0)
+            .build()
+            .is_err());
+        assert!(AnalyzerConfig::builder()
+            .window_bound_mss(0.0)
+            .build()
+            .is_err());
+        assert!(AnalyzerConfig::builder()
+            .episode_gap(Micros::ZERO)
+            .build()
+            .is_err());
+        assert!(AnalyzerConfig::builder()
+            .cwnd_clock_slack(Micros(-1))
+            .build()
+            .is_err());
     }
 }

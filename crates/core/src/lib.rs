@@ -8,7 +8,18 @@
 //! behaviour — and attributes the transfer delay to eight factors
 //! across three groups (sender, receiver, network limited).
 //!
-//! The pipeline (paper Fig. 10):
+//! The primary entry point is the **streaming engine**,
+//! [`StreamAnalyzer`]: it ingests frames one at a time, demultiplexes
+//! them into per-connection state ([`tdat_trace::ConnectionTracker`]),
+//! reassembles BGP messages incrementally, finalizes each connection
+//! when it closes or idles out ([`TrackerConfig`]), and runs the
+//! per-connection pipeline on a pool of worker threads. Memory stays
+//! proportional to the *open* connections — not the trace size — so
+//! day-long multi-session captures analyze in bounded space, and
+//! results arrive as connections finish instead of after the whole
+//! file is read.
+//!
+//! The per-connection pipeline (paper Fig. 10) is unchanged:
 //!
 //! 1. **Preprocess** ([`preprocess`]): approximate the sender-side view
 //!    by shifting each ACK *flight* forward by its tightest
@@ -22,13 +33,20 @@
 //!    consecutive-loss episodes, peer-group blocking, and the
 //!    `ZeroAckBug` conflicting-series check.
 //!
+//! The batch [`Analyzer`] remains for in-memory frame slices and is
+//! guaranteed to produce byte-identical analyses (both paths share the
+//! same connection builder and BGP extractor; see
+//! `tests/streaming_vs_batch.rs`).
+//!
 //! # Examples
 //!
-//! ```no_run
-//! use tdat::Analyzer;
+//! Streaming, results delivered as connections finalize:
 //!
-//! let analyzer = Analyzer::default();
-//! for analysis in analyzer.analyze_pcap("bgp-session.pcap")? {
+//! ```no_run
+//! use tdat::StreamAnalyzer;
+//!
+//! let engine = StreamAnalyzer::new(Default::default());
+//! engine.analyze_pcap_with("bgp-session.pcap", |analysis| {
 //!     let v = &analysis.vector;
 //!     println!(
 //!         "transfer {}: sender {:.0}% receiver {:.0}% network {:.0}%",
@@ -40,6 +58,18 @@
 //!     for group in v.major_groups(0.3) {
 //!         println!("  major: {group} (dominated by {})", v.dominant_factor_in(group));
 //!     }
+//! })?;
+//! # Ok::<(), tdat::Error>(())
+//! ```
+//!
+//! Batch, for frames already in memory:
+//!
+//! ```no_run
+//! use tdat::Analyzer;
+//!
+//! let frames = tdat_packet::read_pcap_file("bgp-session.pcap")?;
+//! for analysis in Analyzer::default().analyze_frames(&frames) {
+//!     println!("{}", analysis.vector);
 //! }
 //! # Ok::<(), Box<dyn std::error::Error>>(())
 //! ```
@@ -50,19 +80,26 @@
 mod analyzer;
 mod config;
 pub mod detect;
+mod error;
 mod factors;
 pub mod plot;
 pub mod preprocess;
 pub mod report;
 pub mod series;
+mod stream;
 
-pub use analyzer::{analyze_pcap, period_duration, Analysis, Analyzer};
-pub use config::{AnalyzerConfig, SnifferLocation};
+#[allow(deprecated)]
+pub use analyzer::{analyze_pcap, period_duration};
+pub use analyzer::{Analysis, Analyzer};
+pub use config::{AnalyzerConfig, AnalyzerConfigBuilder, SnifferLocation};
 pub use detect::{
     find_consecutive_losses, find_delayed_ack_interaction, find_peer_group_blocking,
     find_peer_group_blocking_all, find_zero_ack_bug, infer_timer, ConsecutiveLosses,
     DelayedAckInteraction, InferredTimer, PeerGroupBlocking, ZeroAckBug,
 };
+pub use error::{Error, Result};
 pub use factors::{delay_vector, factor_spans, DelayVector, Factor, FactorGroup, FactorSpans};
 pub use report::Report;
 pub use series::{generate_series, SeriesSet};
+pub use stream::{StreamAnalyzer, StreamOptions};
+pub use tdat_trace::TrackerConfig;

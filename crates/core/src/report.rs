@@ -1,18 +1,16 @@
 //! Structured analysis reports: a serializable summary of an
-//! [`Analysis`](crate::Analysis) for dashboards and scripting.
+//! [`Analysis`] for dashboards and scripting.
 //!
-//! The report is a plain-data struct (serde-derived) with its own
-//! dependency-free JSON encoder, so `t-dat --json` works without
-//! pulling a JSON crate into the tool.
-
-use serde::{Deserialize, Serialize};
+//! The report is a plain-data struct with its own dependency-free JSON
+//! encoder, so `t-dat --json` works without pulling a JSON crate into
+//! the tool.
 
 use crate::analyzer::Analysis;
 use crate::config::AnalyzerConfig;
 use crate::factors::Factor;
 
 /// Machine-readable summary of one connection's analysis.
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct Report {
     /// Sender `ip:port`.
     pub sender: String,

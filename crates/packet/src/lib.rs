@@ -51,7 +51,7 @@ pub use eth::{EthernetHeader, MacAddr, ETHERNET_HEADER_LEN, ETHERTYPE_IPV4};
 pub use frame::{FrameBuilder, TcpFrame};
 pub use ipv4::{internet_checksum, Ipv4Header, IPPROTO_TCP, IPV4_HEADER_LEN};
 pub use pcap::{
-    read_pcap_file, write_pcap_file, Frames, PcapReader, PcapWriter, RawRecord, LINKTYPE_ETHERNET,
-    MAGIC_MICROS, MAGIC_NANOS,
+    read_pcap_file, write_pcap_file, Frames, IntoFrames, PcapReader, PcapWriter, RawRecord,
+    LINKTYPE_ETHERNET, MAGIC_MICROS, MAGIC_NANOS,
 };
 pub use tcp::{seq_cmp, seq_diff, tcp_checksum, TcpFlags, TcpHeader, TcpOption, TCP_HEADER_LEN};

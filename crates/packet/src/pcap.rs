@@ -188,6 +188,12 @@ impl<R: Read> PcapReader<R> {
         Frames { reader: self }
     }
 
+    /// Owning iterator over parsed TCP frames, for handing a whole
+    /// reader to a streaming consumer.
+    pub fn into_frames(self) -> IntoFrames<R> {
+        IntoFrames { reader: self }
+    }
+
     /// Reads all frames into memory.
     ///
     /// # Errors
@@ -206,6 +212,21 @@ pub struct Frames<'a, R> {
 }
 
 impl<R: Read> Iterator for Frames<'_, R> {
+    type Item = Result<TcpFrame>;
+
+    fn next(&mut self) -> Option<Self::Item> {
+        self.reader.next_frame().transpose()
+    }
+}
+
+/// Owning iterator over the TCP frames of a [`PcapReader`], created by
+/// [`PcapReader::into_frames`].
+#[derive(Debug)]
+pub struct IntoFrames<R> {
+    reader: PcapReader<R>,
+}
+
+impl<R: Read> Iterator for IntoFrames<R> {
     type Item = Result<TcpFrame>;
 
     fn next(&mut self) -> Option<Self::Item> {

@@ -219,17 +219,153 @@ impl Extraction {
     }
 }
 
+/// Incremental BGP extraction from one direction of a TCP connection.
+///
+/// Feed it segments in capture order with [`push`](Self::push); it
+/// anchors the sequence space (from the SYN, or from the lowest
+/// sequence among the first segments of a mid-connection capture),
+/// reassembles the byte stream and decodes BGP messages as their bytes
+/// become contiguous. [`finish`](Self::finish) yields the same
+/// [`Extraction`] the batch [`extract_from_frames`] produces.
+///
+/// Memory is bounded by the reassembler's out-of-order window plus at
+/// most one partial message — not by the stream length.
+#[derive(Debug, Default)]
+pub struct StreamExtractor {
+    reasm: StreamReassembler,
+    anchored: bool,
+    /// Pre-anchor segments of a SYN-less capture, held until the anchor
+    /// can be chosen (bounded to 64 buffered segments).
+    prebuf: Vec<(Micros, u32, Vec<u8>)>,
+    /// Contiguous bytes not yet framed as a whole message.
+    buffer: Vec<u8>,
+    messages: Vec<(Micros, BgpMessage)>,
+    unparsed_bytes: u64,
+}
+
+/// Segments buffered before anchoring a SYN-less stream; beyond this
+/// the lowest sequence seen so far becomes the anchor.
+const PREANCHOR_SEGMENTS: usize = 64;
+
+impl StreamExtractor {
+    /// Creates an extractor with an unanchored sequence space.
+    pub fn new() -> StreamExtractor {
+        StreamExtractor::default()
+    }
+
+    /// Anchors the stream at `seq` (the first data byte), flushing any
+    /// buffered pre-anchor segments. No-op if already anchored.
+    pub fn anchor(&mut self, seq: u32) {
+        if !self.anchored {
+            self.reasm.anchor(seq);
+            self.anchored = true;
+            for (time, seq, payload) in std::mem::take(&mut self.prebuf) {
+                self.feed(time, seq, &payload);
+            }
+        }
+    }
+
+    /// Feeds one segment of the data direction, in capture order.
+    ///
+    /// A SYN anchors the stream at `seq + 1`; until an anchor is known,
+    /// payload segments are buffered (64-segment bound).
+    pub fn push(&mut self, time: Micros, seq: u32, flags: TcpFlags, payload: &[u8]) {
+        if !self.anchored {
+            if flags.contains(TcpFlags::SYN) {
+                self.anchor(seq.wrapping_add(1));
+            } else if !payload.is_empty() {
+                self.prebuf.push((time, seq, payload.to_vec()));
+                if self.prebuf.len() >= PREANCHOR_SEGMENTS {
+                    self.anchor_at_min();
+                }
+                return;
+            } else {
+                return;
+            }
+        }
+        self.feed(time, seq, payload);
+    }
+
+    /// Anchors at the lowest buffered sequence number (mid-connection
+    /// capture: the first captured segment may have arrived out of
+    /// order).
+    fn anchor_at_min(&mut self) {
+        let ref_seq = self.prebuf[0].1;
+        let min_rel = self
+            .prebuf
+            .iter()
+            .map(|(_, seq, _)| seq_diff(*seq, ref_seq))
+            .min()
+            .unwrap_or(0);
+        self.anchor(ref_seq.wrapping_add(min_rel as u32));
+    }
+
+    fn feed(&mut self, time: Micros, seq: u32, payload: &[u8]) {
+        if payload.is_empty() {
+            return;
+        }
+        self.reasm.push(seq, payload);
+        let fresh = self.reasm.take_ready();
+        if fresh.is_empty() {
+            return;
+        }
+        self.buffer.extend_from_slice(&fresh);
+        let mut cursor = &self.buffer[..];
+        loop {
+            match BgpMessage::decode(&mut cursor) {
+                Ok(Some(msg)) => self.messages.push((time, msg)),
+                Ok(None) => break,
+                Err(_) => {
+                    // Lost framing: skip one byte and retry (resync is
+                    // heuristic; corrupted captures are rare).
+                    self.unparsed_bytes += 1;
+                    let skip = 1.min(cursor.len());
+                    cursor = &cursor[skip..];
+                }
+            }
+        }
+        let consumed = self.buffer.len() - cursor.len();
+        self.buffer.drain(..consumed);
+    }
+
+    /// Messages decoded so far.
+    pub fn messages_decoded(&self) -> usize {
+        self.messages.len()
+    }
+
+    /// Bytes parked in the reassembler and framing buffer.
+    pub fn buffered_bytes(&self) -> usize {
+        self.reasm.pending_bytes()
+            + self.buffer.len()
+            + self.prebuf.iter().map(|(_, _, p)| p.len()).sum::<usize>()
+    }
+
+    /// Completes extraction: unframed tail bytes are counted as
+    /// unparsed, and a never-anchored stream is anchored at its lowest
+    /// buffered sequence first.
+    pub fn finish(mut self) -> Extraction {
+        if !self.anchored && !self.prebuf.is_empty() {
+            self.anchor_at_min();
+        }
+        Extraction {
+            messages: self.messages,
+            unparsed_bytes: self.unparsed_bytes + self.buffer.len() as u64,
+            duplicate_bytes: self.reasm.duplicate_bytes(),
+        }
+    }
+}
+
 /// Reassembles the data direction of `conn` (whose segments index into
 /// `frames`) and extracts its BGP messages.
 pub fn extract_from_frames(conn: &TcpConnection, frames: &[TcpFrame]) -> Extraction {
-    let mut reasm = StreamReassembler::new();
+    let mut extractor = StreamExtractor::new();
     // Anchor at the SYN if captured, so handshake seq space is skipped.
     // Without a SYN (capture started mid-connection), anchor at the
     // lowest data sequence number seen — the first captured segment may
     // have arrived out of order.
     let data_segs = || conn.segments.iter().filter(|s| s.dir == Direction::Data);
     if let Some(syn) = data_segs().find(|s| s.flags.contains(TcpFlags::SYN)) {
-        reasm.anchor(syn.seq.wrapping_add(1));
+        extractor.anchor(syn.seq.wrapping_add(1));
     } else if let Some(first) = data_segs().find(|s| s.payload_len > 0) {
         let ref_seq = first.seq;
         let min_rel = data_segs()
@@ -237,40 +373,20 @@ pub fn extract_from_frames(conn: &TcpConnection, frames: &[TcpFrame]) -> Extract
             .map(|s| seq_diff(s.seq, ref_seq))
             .min()
             .unwrap_or(0);
-        reasm.anchor(ref_seq.wrapping_add(min_rel as u32));
+        extractor.anchor(ref_seq.wrapping_add(min_rel as u32));
     }
-    let mut buffer: Vec<u8> = Vec::new();
-    let mut out = Extraction::default();
-    for seg in conn.segments.iter().filter(|s| s.dir == Direction::Data) {
+    for seg in data_segs() {
         if seg.payload_len == 0 {
             continue;
         }
-        reasm.push(seg.seq, &frames[seg.frame_index].payload);
-        let fresh = reasm.take_ready();
-        if fresh.is_empty() {
-            continue;
-        }
-        buffer.extend_from_slice(&fresh);
-        let mut cursor = &buffer[..];
-        loop {
-            match BgpMessage::decode(&mut cursor) {
-                Ok(Some(msg)) => out.messages.push((seg.time, msg)),
-                Ok(None) => break,
-                Err(_) => {
-                    // Lost framing: skip one byte and retry (resync is
-                    // heuristic; corrupted captures are rare).
-                    out.unparsed_bytes += 1;
-                    let skip = 1.min(cursor.len());
-                    cursor = &cursor[skip..];
-                }
-            }
-        }
-        let consumed = buffer.len() - cursor.len();
-        buffer.drain(..consumed);
+        extractor.push(
+            seg.time,
+            seg.seq,
+            seg.flags,
+            &frames[seg.frame_index].payload,
+        );
     }
-    out.unparsed_bytes += buffer.len() as u64;
-    out.duplicate_bytes = reasm.duplicate_bytes();
-    out
+    extractor.finish()
 }
 
 /// Extracts BGP messages for every connection in `frames`.
@@ -461,6 +577,72 @@ mod tests {
         let (_, extraction) = &results[0];
         assert_eq!(extraction.messages.len(), 1, "resyncs to the keepalive");
         assert_eq!(extraction.unparsed_bytes, 10);
+    }
+
+    #[test]
+    fn stream_extractor_matches_batch_on_reordered_stream() {
+        let table = TableGenerator::new(4).routes(250).generate();
+        let stream = table.to_update_stream();
+        let mut frames = Vec::new();
+        let mut seq = 1u32;
+        for (i, chunk) in stream.chunks(900).enumerate() {
+            frames.push(frame(i as i64 * 500, seq, chunk.to_vec()));
+            seq = seq.wrapping_add(chunk.len() as u32);
+        }
+        // Swap adjacent pairs to force reassembly holes.
+        for pair in frames.chunks_mut(2) {
+            pair.reverse();
+        }
+        let batch = extract_all(&frames).remove(0).1;
+        let mut ex = StreamExtractor::new();
+        ex.anchor(1);
+        for f in &frames {
+            ex.push(f.timestamp, f.tcp.seq, f.tcp.flags, &f.payload);
+        }
+        assert_eq!(ex.finish(), batch);
+    }
+
+    #[test]
+    fn stream_extractor_anchors_from_syn() {
+        let ka = BgpMessage::Keepalive.to_bytes();
+        let mut ex = StreamExtractor::new();
+        // SYN at seq 500 → first data byte is 501.
+        ex.push(Micros(0), 500, TcpFlags::SYN, &[]);
+        ex.push(Micros(100), 501, TcpFlags::ACK, &ka);
+        let out = ex.finish();
+        assert_eq!(out.messages.len(), 1);
+        assert_eq!(out.unparsed_bytes, 0);
+    }
+
+    #[test]
+    fn stream_extractor_synless_capture_anchors_at_min_seq() {
+        let ka = BgpMessage::Keepalive.to_bytes(); // 19 bytes
+        let mut ex = StreamExtractor::new();
+        // Mid-connection capture, first segment reordered after the
+        // second: anchoring must pick the lower sequence (1000).
+        ex.push(Micros(0), 1019, TcpFlags::ACK, &ka);
+        ex.push(Micros(50), 1000, TcpFlags::ACK, &ka);
+        let out = ex.finish();
+        assert_eq!(out.messages.len(), 2);
+        assert_eq!(out.unparsed_bytes, 0);
+    }
+
+    #[test]
+    fn stream_extractor_buffered_bytes_stay_bounded() {
+        let table = TableGenerator::new(5).routes(400).generate();
+        let stream = table.to_update_stream();
+        let mut ex = StreamExtractor::new();
+        ex.anchor(0);
+        let mut seq = 0u32;
+        let mut max_buffered = 0;
+        for chunk in stream.chunks(1448) {
+            ex.push(Micros(0), seq, TcpFlags::ACK, chunk);
+            seq = seq.wrapping_add(chunk.len() as u32);
+            max_buffered = max_buffered.max(ex.buffered_bytes());
+        }
+        // In-order stream: never more than one partial message pending.
+        assert!(max_buffered < 4096, "{max_buffered}");
+        assert!(ex.messages_decoded() > 0);
     }
 
     #[test]

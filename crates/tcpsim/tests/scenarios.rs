@@ -180,7 +180,7 @@ fn upstream_loss_is_invisible_at_tap_but_recovered() {
     let stream = stream_of(3000, 5);
     let mut topo_opts = TopologyOptions::default();
     topo_opts.access =
-        LinkConfigExt::with_loss(topo_opts.access, LossModel::Random { p: 0.02, seed: 42 });
+        LinkConfigExt::with_loss(topo_opts.access, LossModel::Random { p: 0.08, seed: 42 });
     let mut topo = monitoring_topology(1, topo_opts);
     let mut sim = Simulation::new(topo.take_net());
     sim.add_connection(transfer_spec(&topo, 0, stream));

@@ -40,7 +40,6 @@ use crate::{Micros, Span};
 /// assert!(loss.intersection(&quiet).is_empty());
 /// ```
 #[derive(Debug, Clone, PartialEq, Eq, Hash, Default)]
-#[cfg_attr(feature = "serde", derive(serde::Serialize, serde::Deserialize))]
 pub struct SpanSet {
     spans: Vec<Span>,
 }

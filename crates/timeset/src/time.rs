@@ -27,7 +27,6 @@ use std::ops::{Add, AddAssign, Div, Mul, Neg, Sub, SubAssign};
 /// assert_eq!(t.as_secs_f64(), 1.5);
 /// ```
 #[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default)]
-#[cfg_attr(feature = "serde", derive(serde::Serialize, serde::Deserialize))]
 pub struct Micros(pub i64);
 
 impl Micros {
@@ -194,7 +193,6 @@ impl std::iter::Sum for Micros {
 /// assert!(!a.contains(Micros(100)));
 /// ```
 #[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default)]
-#[cfg_attr(feature = "serde", derive(serde::Serialize, serde::Deserialize))]
 pub struct Span {
     /// Inclusive start instant.
     pub start: Micros,

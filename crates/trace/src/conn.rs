@@ -148,41 +148,85 @@ impl TcpConnection {
     }
 }
 
+/// The per-frame facts connection building needs, captured once so the
+/// batch and incremental paths construct identical [`TcpConnection`]s
+/// without retaining frame payloads.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub(crate) struct FrameMeta {
+    pub time: Micros,
+    pub src: Endpoint,
+    pub dst: Endpoint,
+    pub seq: u32,
+    pub seq_end: u32,
+    pub ack: u32,
+    pub window: u16,
+    pub payload_len: u32,
+    pub flags: TcpFlags,
+    pub mss: Option<u16>,
+    pub wscale: Option<u8>,
+    pub frame_index: usize,
+}
+
+impl FrameMeta {
+    /// Captures the fields of `frame`, recorded as trace index `index`.
+    pub(crate) fn of(frame: &TcpFrame, index: usize) -> FrameMeta {
+        FrameMeta {
+            time: frame.timestamp,
+            src: frame.src(),
+            dst: frame.dst(),
+            seq: frame.tcp.seq,
+            seq_end: frame.seq_end(),
+            ack: frame.tcp.ack,
+            window: frame.tcp.window,
+            payload_len: frame.payload_len() as u32,
+            flags: frame.tcp.flags,
+            mss: frame.tcp.mss(),
+            wscale: frame.tcp.window_scale(),
+            frame_index: index,
+        }
+    }
+}
+
 /// Splits a frame trace into connections and profiles each one.
 ///
 /// The data sender of each connection is the side that transmitted more
 /// payload bytes (for BGP monitoring traces, the operational router by
 /// orders of magnitude); ties go to the connection initiator.
 pub fn extract_connections(frames: &[TcpFrame]) -> Vec<TcpConnection> {
-    // Group frame indices per normalized key, preserving order.
+    // Group frame metadata per normalized key, preserving order.
     let mut order: Vec<ConnKey> = Vec::new();
-    let mut groups: HashMap<ConnKey, Vec<usize>> = HashMap::new();
+    let mut groups: HashMap<ConnKey, Vec<FrameMeta>> = HashMap::new();
     for (idx, frame) in frames.iter().enumerate() {
         let key = ConnKey::of(frame);
-        groups.entry(key).or_insert_with(|| {
-            order.push(key);
-            Vec::new()
-        });
-        groups.get_mut(&key).expect("just inserted").push(idx);
+        groups
+            .entry(key)
+            .or_insert_with(|| {
+                order.push(key);
+                Vec::new()
+            })
+            .push(FrameMeta::of(frame, idx));
     }
     order
         .into_iter()
-        .map(|key| build_connection(frames, &groups[&key]))
+        .map(|key| build_connection(&groups[&key]))
         .collect()
 }
 
-fn build_connection(frames: &[TcpFrame], indices: &[usize]) -> TcpConnection {
+/// Builds one oriented, profiled connection from its frames' metadata
+/// (in capture order). Shared by [`extract_connections`] and the
+/// incremental [`ConnectionTracker`](crate::ConnectionTracker), which
+/// guarantees the two paths produce identical connections.
+pub(crate) fn build_connection(metas: &[FrameMeta]) -> TcpConnection {
     // Payload bytes per source endpoint.
     let mut bytes: HashMap<Endpoint, u64> = HashMap::new();
     let mut initiator: Option<Endpoint> = None;
-    for &i in indices {
-        let f = &frames[i];
-        *bytes.entry(f.src()).or_insert(0) += f.payload_len() as u64;
-        if f.tcp.flags.contains(TcpFlags::SYN) && !f.tcp.flags.contains(TcpFlags::ACK) {
-            initiator.get_or_insert(f.src());
+    for m in metas {
+        *bytes.entry(m.src).or_insert(0) += m.payload_len as u64;
+        if m.flags.contains(TcpFlags::SYN) && !m.flags.contains(TcpFlags::ACK) {
+            initiator.get_or_insert(m.src);
         }
     }
-    let first_src = frames[indices[0]].src();
+    let first_src = metas[0].src;
     // Most payload bytes wins; the initiator breaks a tie, then the
     // endpoint ordering (for determinism without a captured SYN).
     let max_bytes = bytes.values().copied().max().unwrap_or(0);
@@ -196,23 +240,22 @@ fn build_connection(frames: &[TcpFrame], indices: &[usize]) -> TcpConnection {
                 .min()
         })
         .unwrap_or(first_src);
-    let receiver = indices
+    let receiver = metas
         .iter()
-        .map(|&i| &frames[i])
-        .find_map(|f| {
-            if f.src() == sender {
-                Some(f.dst())
-            } else if f.dst() == sender {
-                Some(f.src())
+        .find_map(|m| {
+            if m.src == sender {
+                Some(m.dst)
+            } else if m.dst == sender {
+                Some(m.src)
             } else {
                 None
             }
         })
         .expect("nonempty group");
 
-    let mut segments = Vec::with_capacity(indices.len());
+    let mut segments = Vec::with_capacity(metas.len());
     let mut profile = ConnProfile {
-        start: frames[indices[0]].timestamp,
+        start: metas[0].time,
         ..ConnProfile::default()
     };
     let mut syn_time: Option<Micros> = None;
@@ -223,13 +266,12 @@ fn build_connection(frames: &[TcpFrame], indices: &[usize]) -> TcpConnection {
     // First pass: window-scale negotiation (RFC 1323 — active only if
     // *both* SYNs carried the option). Scaled values are applied to
     // every non-SYN segment below.
-    for &i in indices {
-        let f = &frames[i];
-        if f.tcp.flags.contains(TcpFlags::SYN) {
-            if f.src() == sender {
-                profile.sender_wscale = f.tcp.window_scale();
+    for m in metas {
+        if m.flags.contains(TcpFlags::SYN) {
+            if m.src == sender {
+                profile.sender_wscale = m.wscale;
             } else {
-                profile.receiver_wscale = f.tcp.window_scale();
+                profile.receiver_wscale = m.wscale;
             }
         }
     }
@@ -246,32 +288,31 @@ fn build_connection(frames: &[TcpFrame], indices: &[usize]) -> TcpConnection {
         }
     };
 
-    for &i in indices {
-        let f = &frames[i];
-        let dir = if f.src() == sender {
+    for m in metas {
+        let dir = if m.src == sender {
             Direction::Data
         } else {
             Direction::Ack
         };
-        let shift = if f.tcp.flags.contains(TcpFlags::SYN) {
+        let shift = if m.flags.contains(TcpFlags::SYN) {
             0 // SYN windows are never scaled
         } else {
             scale_of(dir)
         };
         let seg = Segment {
-            time: f.timestamp,
+            time: m.time,
             dir,
-            seq: f.tcp.seq,
-            seq_end: f.seq_end(),
-            ack: f.tcp.ack,
-            window: (f.tcp.window as u32) << shift,
-            payload_len: f.payload_len() as u32,
-            flags: f.tcp.flags,
-            frame_index: i,
+            seq: m.seq,
+            seq_end: m.seq_end,
+            ack: m.ack,
+            window: (m.window as u32) << shift,
+            payload_len: m.payload_len,
+            flags: m.flags,
+            frame_index: m.frame_index,
         };
-        profile.end = profile.end.max(f.timestamp);
+        profile.end = profile.end.max(m.time);
         profile.frames += 1;
-        if f.tcp.flags.contains(TcpFlags::RST) {
+        if m.flags.contains(TcpFlags::RST) {
             profile.reset = true;
         }
         match dir {
@@ -280,27 +321,27 @@ fn build_connection(frames: &[TcpFrame], indices: &[usize]) -> TcpConnection {
                 if seg.payload_len > 0 {
                     profile.data_segments += 1;
                 }
-                if let Some(mss) = f.tcp.mss() {
+                if let Some(mss) = m.mss {
                     sender_mss = Some(mss as u32);
                 }
-                if f.tcp.flags.contains(TcpFlags::SYN) && !f.tcp.flags.contains(TcpFlags::ACK) {
-                    syn_time.get_or_insert(f.timestamp);
+                if m.flags.contains(TcpFlags::SYN) && !m.flags.contains(TcpFlags::ACK) {
+                    syn_time.get_or_insert(m.time);
                 }
                 // Handshake third packet: pure ACK from the sender after
                 // the SYN|ACK.
                 if syn_ack_seen && profile.established.is_none() && seg.is_pure_ack() {
-                    profile.established = Some(f.timestamp);
+                    profile.established = Some(m.time);
                     if let Some(syn) = syn_time {
-                        profile.rtt = Some(f.timestamp - syn);
+                        profile.rtt = Some(m.time - syn);
                     }
                 }
             }
             Direction::Ack => {
                 profile.max_receiver_window = profile.max_receiver_window.max(seg.window);
-                if let Some(mss) = f.tcp.mss() {
+                if let Some(mss) = m.mss {
                     receiver_mss = Some(mss as u32);
                 }
-                if f.tcp.flags.contains(TcpFlags::SYN) && f.tcp.flags.contains(TcpFlags::ACK) {
+                if m.flags.contains(TcpFlags::SYN) && m.flags.contains(TcpFlags::ACK) {
                     syn_ack_seen = true;
                 }
             }

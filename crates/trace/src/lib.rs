@@ -48,6 +48,7 @@ mod flight;
 mod label;
 mod rtt;
 mod throughput;
+mod tracker;
 
 pub use conn::{
     extract_connections, ConnKey, ConnProfile, Direction, Endpoint, Segment, TcpConnection,
@@ -56,3 +57,4 @@ pub use flight::{default_flight_gap, group_flights, Flight};
 pub use label::{label_segments, loss_episodes, LabelConfig, LossEpisode, SegLabel};
 pub use rtt::{rtt_samples, rtt_samples_from_timestamps, rtt_stats, RttSample, RttStats};
 pub use throughput::{throughput_series, RateSample};
+pub use tracker::{ConnectionTracker, FinalizedConnection, TrackerConfig};

@@ -1,0 +1,406 @@
+//! Incremental per-connection tracking for streaming analysis.
+//!
+//! [`ConnectionTracker`] consumes a trace one [`TcpFrame`] at a time,
+//! demultiplexes frames into per-connection state, and finalizes a
+//! connection when it closes (FIN in both directions or RST, after a
+//! grace period for straggling retransmissions) or goes idle. Finalized
+//! connections are built with the same code path as the batch
+//! [`extract_connections`](crate::extract_connections), so the two
+//! produce identical [`TcpConnection`]s for the same frames.
+//!
+//! Memory is proportional to the *open* connections' segment metadata,
+//! not to the trace size: frame payloads are never retained (callers
+//! that need payload bytes, like BGP reassembly, consume them per frame
+//! before handing the frame to the tracker).
+
+use std::collections::HashMap;
+
+use tdat_packet::{TcpFlags, TcpFrame};
+use tdat_timeset::Micros;
+
+use crate::conn::{build_connection, ConnKey, FrameMeta, TcpConnection};
+
+/// When a tracked connection is considered finished.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct TrackerConfig {
+    /// Finalize a connection when no frame has been seen for this long
+    /// (`None` disables idle finalization).
+    pub idle_timeout: Option<Micros>,
+    /// Finalize a connection this long after it closed (both FINs or a
+    /// RST), keeping straggling retransmissions attached (`None`
+    /// disables close finalization).
+    pub close_grace: Option<Micros>,
+}
+
+impl Default for TrackerConfig {
+    fn default() -> TrackerConfig {
+        TrackerConfig::streaming()
+    }
+}
+
+impl TrackerConfig {
+    /// Streaming defaults: close + 5 s grace, 60 s idle timeout.
+    pub fn streaming() -> TrackerConfig {
+        TrackerConfig {
+            idle_timeout: Some(Micros::from_secs(60)),
+            close_grace: Some(Micros::from_secs(5)),
+        }
+    }
+
+    /// Never finalizes early: every connection is held open until
+    /// [`finish`](ConnectionTracker::finish), grouping frames exactly
+    /// like the batch extractor. Memory grows with the whole trace's
+    /// segment count.
+    pub fn batch() -> TrackerConfig {
+        TrackerConfig {
+            idle_timeout: None,
+            close_grace: None,
+        }
+    }
+}
+
+/// A connection the tracker finished building.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct FinalizedConnection {
+    /// 0-based order in which the connection first appeared.
+    pub ordinal: u64,
+    /// The connection's normalized key.
+    pub key: ConnKey,
+    /// The built connection, identical to what the batch extractor
+    /// would produce from the same frames.
+    pub connection: TcpConnection,
+}
+
+#[derive(Debug)]
+struct ConnState {
+    ordinal: u64,
+    metas: Vec<FrameMeta>,
+    last_seen: Micros,
+    fin_low: bool,
+    fin_high: bool,
+    closed_at: Option<Micros>,
+}
+
+/// Streaming connection demultiplexer: ingests frames one at a time,
+/// groups them per connection, and finalizes each connection at
+/// close/idle (per [`TrackerConfig`]) or at end of capture.
+#[derive(Debug)]
+pub struct ConnectionTracker {
+    config: TrackerConfig,
+    open: HashMap<ConnKey, ConnState>,
+    next_ordinal: u64,
+    frames_seen: usize,
+    now: Micros,
+    last_sweep: Micros,
+}
+
+/// How often (in trace time) expiry conditions are re-checked.
+const SWEEP_INTERVAL: Micros = Micros::from_millis(250);
+
+impl ConnectionTracker {
+    /// Creates a tracker with the given finalization policy.
+    pub fn new(config: TrackerConfig) -> ConnectionTracker {
+        ConnectionTracker {
+            config,
+            open: HashMap::new(),
+            next_ordinal: 0,
+            frames_seen: 0,
+            now: Micros::ZERO,
+            last_sweep: Micros::ZERO,
+        }
+    }
+
+    /// Connections currently held open.
+    pub fn open_connections(&self) -> usize {
+        self.open.len()
+    }
+
+    /// Total frames ingested so far.
+    pub fn frames_seen(&self) -> usize {
+        self.frames_seen
+    }
+
+    /// Ingests one frame (in capture order), returning any connections
+    /// finalized by the advance of trace time — by ordinal, never the
+    /// connection the frame belongs to.
+    ///
+    /// The frame's global ingest index becomes its segments'
+    /// `frame_index`, matching the batch extractor's indices into the
+    /// full trace slice.
+    pub fn ingest(&mut self, frame: &TcpFrame) -> Vec<FinalizedConnection> {
+        let index = self.frames_seen;
+        self.frames_seen += 1;
+        self.now = self.now.max(frame.timestamp);
+
+        let key = ConnKey::of(frame);
+        let next_ordinal = &mut self.next_ordinal;
+        let state = self.open.entry(key).or_insert_with(|| {
+            let ordinal = *next_ordinal;
+            *next_ordinal += 1;
+            ConnState {
+                ordinal,
+                metas: Vec::new(),
+                last_seen: frame.timestamp,
+                fin_low: false,
+                fin_high: false,
+                closed_at: None,
+            }
+        });
+        state.metas.push(FrameMeta::of(frame, index));
+        state.last_seen = state.last_seen.max(frame.timestamp);
+        if frame.tcp.flags.contains(TcpFlags::FIN) {
+            if frame.src() == key.a {
+                state.fin_low = true;
+            } else {
+                state.fin_high = true;
+            }
+        }
+        if frame.tcp.flags.contains(TcpFlags::RST) || (state.fin_low && state.fin_high) {
+            state.closed_at.get_or_insert(frame.timestamp);
+        }
+
+        if self.now - self.last_sweep >= SWEEP_INTERVAL {
+            self.last_sweep = self.now;
+            self.sweep(Some(key))
+        } else {
+            Vec::new()
+        }
+    }
+
+    /// Finalizes every connection whose close grace or idle timeout has
+    /// expired, except `keep` (the connection a frame was just appended
+    /// to — by definition not idle, and still within grace).
+    fn sweep(&mut self, keep: Option<ConnKey>) -> Vec<FinalizedConnection> {
+        let now = self.now;
+        let expired = |s: &ConnState| {
+            let closed = match (s.closed_at, self.config.close_grace) {
+                (Some(at), Some(grace)) => now.saturating_sub(at) >= grace,
+                _ => false,
+            };
+            let idle = match self.config.idle_timeout {
+                Some(timeout) => now.saturating_sub(s.last_seen) >= timeout,
+                None => false,
+            };
+            closed || idle
+        };
+        let mut keys: Vec<ConnKey> = self
+            .open
+            .iter()
+            .filter(|(k, s)| Some(**k) != keep && expired(s))
+            .map(|(k, _)| *k)
+            .collect();
+        // Deterministic output order regardless of hash-map iteration.
+        keys.sort_unstable_by_key(|k| self.open[k].ordinal);
+        keys.into_iter()
+            .map(|key| {
+                let state = self.open.remove(&key).expect("selected above");
+                FinalizedConnection {
+                    ordinal: state.ordinal,
+                    key,
+                    connection: build_connection(&state.metas),
+                }
+            })
+            .collect()
+    }
+
+    /// Flushes all remaining open connections (end of trace), by
+    /// ordinal.
+    pub fn finish(mut self) -> Vec<FinalizedConnection> {
+        let mut rest: Vec<(ConnKey, ConnState)> = self.open.drain().collect();
+        rest.sort_unstable_by_key(|(_, s)| s.ordinal);
+        rest.into_iter()
+            .map(|(key, state)| FinalizedConnection {
+                ordinal: state.ordinal,
+                key,
+                connection: build_connection(&state.metas),
+            })
+            .collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::extract_connections;
+    use std::net::Ipv4Addr;
+    use tdat_packet::FrameBuilder;
+
+    fn addr(last: u8) -> Ipv4Addr {
+        Ipv4Addr::new(10, 0, 0, last)
+    }
+
+    /// Handshake + one data/ACK exchange between `a` and `b`, starting
+    /// at `t0`.
+    fn exchange(a: Ipv4Addr, b: Ipv4Addr, t0: i64) -> Vec<TcpFrame> {
+        vec![
+            FrameBuilder::new(a, b)
+                .at(Micros(t0))
+                .ports(179, 40000)
+                .seq(100)
+                .flags(TcpFlags::SYN)
+                .build(),
+            FrameBuilder::new(b, a)
+                .at(Micros(t0 + 100))
+                .ports(40000, 179)
+                .seq(900)
+                .ack_to(101)
+                .flags(TcpFlags::SYN | TcpFlags::ACK)
+                .build(),
+            FrameBuilder::new(a, b)
+                .at(Micros(t0 + 200))
+                .ports(179, 40000)
+                .seq(101)
+                .ack_to(901)
+                .build(),
+            FrameBuilder::new(a, b)
+                .at(Micros(t0 + 300))
+                .ports(179, 40000)
+                .seq(101)
+                .ack_to(901)
+                .payload(vec![0; 500])
+                .build(),
+            FrameBuilder::new(b, a)
+                .at(Micros(t0 + 400))
+                .ports(40000, 179)
+                .seq(901)
+                .ack_to(601)
+                .build(),
+        ]
+    }
+
+    fn track_all(frames: &[TcpFrame], config: TrackerConfig) -> Vec<FinalizedConnection> {
+        let mut tracker = ConnectionTracker::new(config);
+        let mut out = Vec::new();
+        for f in frames {
+            out.extend(tracker.ingest(f));
+        }
+        out.extend(tracker.finish());
+        out
+    }
+
+    #[test]
+    fn batch_mode_matches_extract_connections() {
+        // Two interleaved connections.
+        let x = exchange(addr(1), addr(2), 0);
+        let y = exchange(addr(3), addr(2), 50);
+        let mut frames: Vec<TcpFrame> = x.into_iter().chain(y).collect();
+        frames.sort_by_key(|f| f.timestamp);
+        let batch = extract_connections(&frames);
+        let streamed = track_all(&frames, TrackerConfig::batch());
+        assert_eq!(streamed.len(), batch.len());
+        for (got, want) in streamed.iter().zip(&batch) {
+            assert_eq!(&got.connection, want);
+        }
+        assert_eq!(streamed[0].ordinal, 0);
+        assert_eq!(streamed[1].ordinal, 1);
+    }
+
+    #[test]
+    fn idle_timeout_finalizes_between_connections() {
+        let mut frames = exchange(addr(1), addr(2), 0);
+        // Second connection starts two minutes later: the first must be
+        // finalized by idle expiry before the trace ends.
+        frames.extend(exchange(addr(3), addr(2), 120_000_000));
+        let mut tracker = ConnectionTracker::new(TrackerConfig::streaming());
+        let mut early = Vec::new();
+        for f in &frames {
+            early.extend(tracker.ingest(f));
+        }
+        assert_eq!(early.len(), 1, "first connection finalized mid-trace");
+        assert_eq!(early[0].ordinal, 0);
+        assert_eq!(tracker.open_connections(), 1);
+        let rest = tracker.finish();
+        assert_eq!(rest.len(), 1);
+        assert_eq!(rest[0].ordinal, 1);
+    }
+
+    #[test]
+    fn close_grace_keeps_straggler_attached() {
+        let a = addr(1);
+        let b = addr(2);
+        let mut frames = exchange(a, b, 0);
+        // FIN in both directions…
+        frames.push(
+            FrameBuilder::new(a, b)
+                .at(Micros(1_000))
+                .ports(179, 40000)
+                .seq(601)
+                .ack_to(901)
+                .flags(TcpFlags::FIN | TcpFlags::ACK)
+                .build(),
+        );
+        frames.push(
+            FrameBuilder::new(b, a)
+                .at(Micros(1_100))
+                .ports(40000, 179)
+                .seq(901)
+                .ack_to(602)
+                .flags(TcpFlags::FIN | TcpFlags::ACK)
+                .build(),
+        );
+        // …then a straggling retransmission within the grace period.
+        frames.push(
+            FrameBuilder::new(a, b)
+                .at(Micros(500_000))
+                .ports(179, 40000)
+                .seq(101)
+                .ack_to(901)
+                .payload(vec![0; 500])
+                .build(),
+        );
+        // An unrelated connection advances trace time past the grace.
+        frames.extend(exchange(addr(9), addr(2), 30_000_000));
+        let mut tracker = ConnectionTracker::new(TrackerConfig::streaming());
+        let mut finalized = Vec::new();
+        for f in &frames {
+            finalized.extend(tracker.ingest(f));
+        }
+        assert_eq!(finalized.len(), 1);
+        let conn = &finalized[0].connection;
+        assert_eq!(conn.profile.frames, 8, "straggler included");
+        assert_eq!(conn.profile.end, Micros(500_000));
+    }
+
+    #[test]
+    fn rst_closes_connection() {
+        let a = addr(1);
+        let b = addr(2);
+        let mut frames = exchange(a, b, 0);
+        frames.push(
+            FrameBuilder::new(b, a)
+                .at(Micros(2_000))
+                .ports(40000, 179)
+                .seq(901)
+                .flags(TcpFlags::RST)
+                .build(),
+        );
+        frames.extend(exchange(addr(9), addr(2), 20_000_000));
+        let mut tracker = ConnectionTracker::new(TrackerConfig::streaming());
+        let mut finalized = Vec::new();
+        for f in &frames {
+            finalized.extend(tracker.ingest(f));
+        }
+        assert_eq!(finalized.len(), 1);
+        assert!(finalized[0].connection.profile.reset);
+    }
+
+    #[test]
+    fn frame_indices_are_global() {
+        let x = exchange(addr(1), addr(2), 0);
+        let y = exchange(addr(3), addr(2), 50);
+        let mut frames: Vec<TcpFrame> = x.into_iter().chain(y).collect();
+        frames.sort_by_key(|f| f.timestamp);
+        let finalized = track_all(&frames, TrackerConfig::batch());
+        let batch = extract_connections(&frames);
+        for (got, want) in finalized.iter().zip(&batch) {
+            let got_idx: Vec<usize> = got
+                .connection
+                .segments
+                .iter()
+                .map(|s| s.frame_index)
+                .collect();
+            let want_idx: Vec<usize> = want.segments.iter().map(|s| s.frame_index).collect();
+            assert_eq!(got_idx, want_idx);
+        }
+    }
+}

@@ -1,0 +1,234 @@
+//! Offline shim for `criterion`: a lightweight timing harness exposing
+//! the API subset this workspace's benches use (`criterion_group!`,
+//! `criterion_main!`, benchmark groups, `bench_function`,
+//! `bench_with_input`, `Throughput`, `black_box`).
+//!
+//! Methodology: each benchmark is warmed up, then timed over enough
+//! iterations to fill a fixed measurement window; the median of several
+//! samples is reported. No statistical analysis or HTML reports.
+
+#![forbid(unsafe_code)]
+
+use std::fmt::Display;
+use std::time::{Duration, Instant};
+
+pub use std::hint::black_box;
+
+/// Throughput annotation: scales the reported per-iteration time.
+#[derive(Debug, Clone, Copy)]
+pub enum Throughput {
+    /// Bytes processed per iteration.
+    Bytes(u64),
+    /// Elements processed per iteration.
+    Elements(u64),
+}
+
+/// Identifier for a parameterized benchmark.
+#[derive(Debug, Clone)]
+pub struct BenchmarkId {
+    name: String,
+}
+
+impl BenchmarkId {
+    /// `function_name/parameter` identifier.
+    pub fn new(function_name: impl Into<String>, parameter: impl Display) -> BenchmarkId {
+        BenchmarkId {
+            name: format!("{}/{}", function_name.into(), parameter),
+        }
+    }
+}
+
+/// Per-iteration timing driver passed to benchmark closures.
+#[derive(Debug, Default)]
+pub struct Bencher {
+    samples: Vec<Duration>,
+}
+
+/// Number of timed samples per benchmark.
+const SAMPLES: usize = 7;
+/// Target wall-clock length of one sample.
+const SAMPLE_WINDOW: Duration = Duration::from_millis(60);
+
+impl Bencher {
+    /// Times `f`, storing per-iteration samples.
+    pub fn iter<R>(&mut self, mut f: impl FnMut() -> R) {
+        // Warm-up and iteration-count calibration.
+        let calibrate = Instant::now();
+        black_box(f());
+        let once = calibrate.elapsed().max(Duration::from_nanos(1));
+        let iters = (SAMPLE_WINDOW.as_nanos() / once.as_nanos()).clamp(1, 1_000_000) as u32;
+        for _ in 0..SAMPLES {
+            let start = Instant::now();
+            for _ in 0..iters {
+                black_box(f());
+            }
+            self.samples.push(start.elapsed() / iters);
+        }
+    }
+
+    fn median(&self) -> Duration {
+        let mut sorted = self.samples.clone();
+        sorted.sort_unstable();
+        sorted.get(sorted.len() / 2).copied().unwrap_or_default()
+    }
+}
+
+/// A named group of related benchmarks.
+#[derive(Debug)]
+pub struct BenchmarkGroup<'a> {
+    name: String,
+    throughput: Option<Throughput>,
+    _criterion: &'a mut Criterion,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Sets the throughput used to derive rates in reports.
+    pub fn throughput(&mut self, throughput: Throughput) -> &mut Self {
+        self.throughput = Some(throughput);
+        self
+    }
+
+    /// Accepted for API compatibility; the shim's sample count is
+    /// fixed.
+    pub fn sample_size(&mut self, _n: usize) -> &mut Self {
+        self
+    }
+
+    /// Runs one benchmark in this group.
+    pub fn bench_function<F>(&mut self, id: impl Into<BenchId>, f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        self.run(id.into(), f);
+        self
+    }
+
+    /// Runs one benchmark with an input reference.
+    pub fn bench_with_input<I: ?Sized, F>(
+        &mut self,
+        id: impl Into<BenchId>,
+        input: &I,
+        mut f: F,
+    ) -> &mut Self
+    where
+        F: FnMut(&mut Bencher, &I),
+    {
+        self.run(id.into(), |b| f(b, input));
+        self
+    }
+
+    fn run(&mut self, id: BenchId, mut f: impl FnMut(&mut Bencher)) {
+        let mut bencher = Bencher::default();
+        f(&mut bencher);
+        report(
+            &format!("{}/{}", self.name, id.0),
+            bencher.median(),
+            self.throughput,
+        );
+    }
+
+    /// Ends the group (no-op; kept for API compatibility).
+    pub fn finish(&mut self) {}
+}
+
+/// Benchmark name: a string or a [`BenchmarkId`].
+#[derive(Debug)]
+pub struct BenchId(String);
+
+impl From<&str> for BenchId {
+    fn from(s: &str) -> BenchId {
+        BenchId(s.to_string())
+    }
+}
+
+impl From<String> for BenchId {
+    fn from(s: String) -> BenchId {
+        BenchId(s)
+    }
+}
+
+impl From<BenchmarkId> for BenchId {
+    fn from(id: BenchmarkId) -> BenchId {
+        BenchId(id.name)
+    }
+}
+
+/// The benchmark harness entry point.
+#[derive(Debug, Default)]
+pub struct Criterion {}
+
+impl Criterion {
+    /// Opens a named benchmark group.
+    pub fn benchmark_group(&mut self, name: impl Into<String>) -> BenchmarkGroup<'_> {
+        BenchmarkGroup {
+            name: name.into(),
+            throughput: None,
+            _criterion: self,
+        }
+    }
+
+    /// Runs one stand-alone benchmark.
+    pub fn bench_function<F>(&mut self, name: &str, mut f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        let mut bencher = Bencher::default();
+        f(&mut bencher);
+        report(name, bencher.median(), None);
+        self
+    }
+}
+
+fn report(name: &str, median: Duration, throughput: Option<Throughput>) {
+    let rate = match throughput {
+        Some(Throughput::Bytes(n)) => {
+            let gib_s = n as f64 / median.as_secs_f64() / (1u64 << 30) as f64;
+            format!("  thrpt: {gib_s:>9.3} GiB/s")
+        }
+        Some(Throughput::Elements(n)) => {
+            let elems = n as f64 / median.as_secs_f64();
+            format!("  thrpt: {elems:>12.0} elem/s")
+        }
+        None => String::new(),
+    };
+    println!("{name:<48} time: {median:>12.2?}{rate}");
+}
+
+/// Declares a group of benchmark functions, mirroring criterion's
+/// macro.
+#[macro_export]
+macro_rules! criterion_group {
+    ($group:ident, $($target:path),+ $(,)?) => {
+        fn $group() {
+            let mut criterion = $crate::Criterion::default();
+            $($target(&mut criterion);)+
+        }
+    };
+}
+
+/// Declares the bench `main` running the listed groups.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $($group();)+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bencher_produces_samples() {
+        let mut c = Criterion::default();
+        let mut group = c.benchmark_group("shim");
+        group.throughput(Throughput::Bytes(1024));
+        group.bench_function("noop", |b| b.iter(|| black_box(1 + 1)));
+        group.bench_with_input(BenchmarkId::new("param", 3), &3, |b, &n| {
+            b.iter(|| black_box(n * 2))
+        });
+        group.finish();
+    }
+}

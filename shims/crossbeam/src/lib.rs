@@ -1,0 +1,76 @@
+//! Offline shim for `crossbeam`: the `scope` / `Scope::spawn` API over
+//! `std::thread::scope`.
+//!
+//! Unlike upstream crossbeam, a panicking child thread propagates its
+//! panic when the scope ends (std semantics) instead of surfacing as an
+//! `Err`; the `Result` wrapper is kept for signature compatibility.
+
+#![forbid(unsafe_code)]
+
+use std::convert::Infallible;
+
+/// A scope handle passed to [`scope`]'s closure and to every spawned
+/// thread's closure.
+#[derive(Debug, Clone, Copy)]
+pub struct Scope<'scope, 'env: 'scope>(&'scope std::thread::Scope<'scope, 'env>);
+
+impl<'scope, 'env> Scope<'scope, 'env> {
+    /// Spawns a scoped thread; the closure receives the scope so it can
+    /// spawn further threads.
+    pub fn spawn<F, T>(&self, f: F) -> std::thread::ScopedJoinHandle<'scope, T>
+    where
+        F: FnOnce(&Scope<'scope, 'env>) -> T + Send + 'scope,
+        T: Send + 'scope,
+    {
+        let inner = Scope(self.0);
+        self.0.spawn(move || f(&inner))
+    }
+}
+
+/// Runs `f` with a scope whose spawned threads are joined before this
+/// function returns.
+///
+/// # Errors
+///
+/// Never returns `Err` (the error type is uninhabited); child panics
+/// propagate as panics at scope exit.
+pub fn scope<'env, F, R>(f: F) -> Result<R, Box<Infallible>>
+where
+    F: for<'scope> FnOnce(&Scope<'scope, 'env>) -> R,
+{
+    Ok(std::thread::scope(|s| f(&Scope(s))))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::atomic::{AtomicUsize, Ordering};
+
+    #[test]
+    fn scoped_threads_join_before_return() {
+        let counter = AtomicUsize::new(0);
+        scope(|s| {
+            for _ in 0..8 {
+                s.spawn(|_| {
+                    counter.fetch_add(1, Ordering::SeqCst);
+                });
+            }
+        })
+        .unwrap();
+        assert_eq!(counter.load(Ordering::SeqCst), 8);
+    }
+
+    #[test]
+    fn nested_spawn_via_scope_handle() {
+        let counter = AtomicUsize::new(0);
+        scope(|s| {
+            s.spawn(|inner| {
+                inner.spawn(|_| {
+                    counter.fetch_add(1, Ordering::SeqCst);
+                });
+            });
+        })
+        .unwrap();
+        assert_eq!(counter.load(Ordering::SeqCst), 1);
+    }
+}

@@ -1,0 +1,221 @@
+//! Offline shim for the `rand` crate: a deterministic `StdRng`
+//! (SplitMix64 core) plus the `Rng`/`SeedableRng` surface this
+//! workspace uses (`gen`, `gen_bool`, `gen_range` over integer and
+//! float ranges).
+//!
+//! Sequences differ from upstream `rand`'s ChaCha12-based `StdRng`, but
+//! remain fully deterministic per seed — the property the corpus and
+//! simulator code rely on.
+
+#![forbid(unsafe_code)]
+
+use std::ops::{Range, RangeInclusive};
+
+/// Low-level uniform bit source.
+pub trait RngCore {
+    /// The next 64 uniformly distributed bits.
+    fn next_u64(&mut self) -> u64;
+}
+
+/// Deterministic construction from a 64-bit seed.
+pub trait SeedableRng: Sized {
+    /// Builds the generator from a seed.
+    fn seed_from_u64(seed: u64) -> Self;
+}
+
+/// User-facing sampling methods, blanket-implemented for any bit
+/// source.
+pub trait Rng: RngCore {
+    /// Samples a value of a type with a standard distribution
+    /// (uniform over the type's range; `[0, 1)` for floats).
+    fn gen<T: Standard>(&mut self) -> T {
+        T::sample(self.next_u64())
+    }
+
+    /// True with probability `p`.
+    fn gen_bool(&mut self, p: f64) -> bool {
+        debug_assert!((0.0..=1.0).contains(&p), "gen_bool p={p}");
+        f64::sample(self.next_u64()) < p
+    }
+
+    /// Uniform sample from a range (half-open or inclusive).
+    fn gen_range<T, R: SampleRange<T>>(&mut self, range: R) -> T {
+        range.sample(&mut |max| uniform_u64(self.next_u64(), max))
+    }
+}
+
+impl<T: RngCore> Rng for T {}
+
+/// Maps a raw 64-bit draw onto `0..=max` without modulo bias worth
+/// caring about at these magnitudes (widening multiply).
+fn uniform_u64(raw: u64, max: u64) -> u64 {
+    if max == u64::MAX {
+        return raw;
+    }
+    (((raw as u128) * ((max as u128) + 1)) >> 64) as u64
+}
+
+/// Standard-distribution sampling from one 64-bit draw.
+pub trait Standard {
+    /// Converts raw bits to a sample.
+    fn sample(raw: u64) -> Self;
+}
+
+impl Standard for f64 {
+    fn sample(raw: u64) -> f64 {
+        // 53 uniform bits in [0, 1).
+        (raw >> 11) as f64 * (1.0 / (1u64 << 53) as f64)
+    }
+}
+
+impl Standard for f32 {
+    fn sample(raw: u64) -> f32 {
+        (raw >> 40) as f32 * (1.0 / (1u64 << 24) as f32)
+    }
+}
+
+impl Standard for bool {
+    fn sample(raw: u64) -> bool {
+        raw & 1 == 1
+    }
+}
+
+macro_rules! impl_standard_int {
+    ($($t:ty),*) => {$(
+        impl Standard for $t {
+            fn sample(raw: u64) -> $t {
+                raw as $t
+            }
+        }
+    )*};
+}
+impl_standard_int!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize);
+
+/// A range a uniform sample of type `T` can be drawn from.
+pub trait SampleRange<T> {
+    /// Draws a sample; `draw(max)` returns a uniform value in
+    /// `0..=max`.
+    fn sample(self, draw: &mut dyn FnMut(u64) -> u64) -> T;
+}
+
+macro_rules! impl_sample_range_int {
+    ($($t:ty),*) => {$(
+        impl SampleRange<$t> for Range<$t> {
+            fn sample(self, draw: &mut dyn FnMut(u64) -> u64) -> $t {
+                assert!(self.start < self.end, "empty gen_range");
+                let width = (self.end as i128 - self.start as i128 - 1) as u64;
+                self.start.wrapping_add(draw(width) as $t)
+            }
+        }
+        impl SampleRange<$t> for RangeInclusive<$t> {
+            fn sample(self, draw: &mut dyn FnMut(u64) -> u64) -> $t {
+                let (start, end) = (*self.start(), *self.end());
+                assert!(start <= end, "empty gen_range");
+                let width = (end as i128 - start as i128) as u64;
+                start.wrapping_add(draw(width) as $t)
+            }
+        }
+    )*};
+}
+impl_sample_range_int!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize);
+
+impl SampleRange<f64> for Range<f64> {
+    fn sample(self, draw: &mut dyn FnMut(u64) -> u64) -> f64 {
+        assert!(self.start < self.end, "empty gen_range");
+        let unit = (draw(u64::MAX) >> 11) as f64 * (1.0 / (1u64 << 53) as f64);
+        self.start + unit * (self.end - self.start)
+    }
+}
+
+impl SampleRange<f32> for Range<f32> {
+    fn sample(self, draw: &mut dyn FnMut(u64) -> u64) -> f32 {
+        assert!(self.start < self.end, "empty gen_range");
+        let unit = (draw(u64::MAX) >> 40) as f32 * (1.0 / (1u64 << 24) as f32);
+        self.start + unit * (self.end - self.start)
+    }
+}
+
+/// Named generators.
+pub mod rngs {
+    use super::{RngCore, SeedableRng};
+
+    /// The workspace's standard deterministic generator (SplitMix64).
+    #[derive(Debug, Clone, PartialEq, Eq)]
+    pub struct StdRng {
+        state: u64,
+    }
+
+    impl SeedableRng for StdRng {
+        fn seed_from_u64(seed: u64) -> StdRng {
+            StdRng { state: seed }
+        }
+    }
+
+    impl RngCore for StdRng {
+        fn next_u64(&mut self) -> u64 {
+            // SplitMix64 (Steele, Lea & Flood): passes BigCrush when
+            // used as a stream; more than enough for test corpora.
+            self.state = self.state.wrapping_add(0x9e37_79b9_7f4a_7c15);
+            let mut z = self.state;
+            z = (z ^ (z >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+            z = (z ^ (z >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
+            z ^ (z >> 31)
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::rngs::StdRng;
+    use super::*;
+
+    #[test]
+    fn deterministic_per_seed() {
+        let mut a = StdRng::seed_from_u64(42);
+        let mut b = StdRng::seed_from_u64(42);
+        for _ in 0..100 {
+            assert_eq!(a.next_u64(), b.next_u64());
+        }
+        let mut c = StdRng::seed_from_u64(43);
+        assert_ne!(a.next_u64(), c.next_u64());
+    }
+
+    #[test]
+    fn ranges_stay_in_bounds() {
+        let mut rng = StdRng::seed_from_u64(7);
+        for _ in 0..10_000 {
+            let i = rng.gen_range(3i64..17);
+            assert!((3..17).contains(&i));
+            let u = rng.gen_range(1u32..4);
+            assert!((1..4).contains(&u));
+            let f = rng.gen_range(0.25f64..0.5);
+            assert!((0.25..0.5).contains(&f));
+            let inc = rng.gen_range(0u8..=32);
+            assert!(inc <= 32);
+            let unit: f64 = rng.gen();
+            assert!((0.0..1.0).contains(&unit));
+        }
+    }
+
+    #[test]
+    fn gen_bool_tracks_probability() {
+        let mut rng = StdRng::seed_from_u64(9);
+        let hits = (0..100_000).filter(|_| rng.gen_bool(0.3)).count();
+        assert!((25_000..35_000).contains(&hits), "{hits}");
+        assert!(!(0..1000).any(|_| rng.gen_bool(0.0)));
+        assert!((0..1000).all(|_| rng.gen_bool(1.0)));
+    }
+
+    #[test]
+    fn full_range_uniform_covers_extremes() {
+        let mut rng = StdRng::seed_from_u64(1);
+        let mut small_seen = false;
+        let mut large_seen = false;
+        for _ in 0..10_000 {
+            let v = rng.gen_range(0u64..=u64::MAX);
+            small_seen |= v < u64::MAX / 4;
+            large_seen |= v > u64::MAX / 4 * 3;
+        }
+        assert!(small_seen && large_seen);
+    }
+}
