@@ -4,7 +4,7 @@ use std::path::Path;
 
 use tdat_bgp::{find_transfer_end, MctConfig, TableTransfer};
 use tdat_packet::TcpFrame;
-use tdat_timeset::{Micros, Span};
+use tdat_timeset::Span;
 use tdat_trace::{
     extract_connections, label_segments, ConnProfile, LabelConfig, SegLabel, TcpConnection,
 };
@@ -162,7 +162,41 @@ impl Analyzer {
             .unwrap_or(conn.profile.end)
             .max(conn.profile.start);
         let period = Span::new(conn.profile.start, period_end);
+        self.build_analysis(conn, period, transfer)
+    }
 
+    /// Analyzes a point-in-time snapshot of a *still-open* connection
+    /// over a trailing `window` — the live-monitoring entry point.
+    ///
+    /// The analysis period is `window` clipped to start no earlier than
+    /// the connection itself; unlike [`analyze_extracted`] it is *not*
+    /// clipped to the MCT transfer end, because a live view must keep
+    /// counting silence up to "now" (`window.end`) — that is exactly
+    /// how a stalled transfer shows up. The MCT transfer estimate over
+    /// the messages decoded so far is still computed and reported.
+    ///
+    /// [`analyze_extracted`]: Self::analyze_extracted
+    pub fn analyze_partial(
+        &self,
+        conn: TcpConnection,
+        extraction: &tdat_pcap2bgp::Extraction,
+        window: Span,
+    ) -> Analysis {
+        let updates = extraction.updates();
+        let transfer = find_transfer_end(conn.profile.start, &updates, &self.mct);
+        let start = window.start.max(conn.profile.start);
+        let period = Span::new(start, window.end.max(start));
+        self.build_analysis(conn, period, transfer)
+    }
+
+    /// The shared pipeline tail: label, ACK-shift, generate series over
+    /// `period`, and compute the factor vector.
+    fn build_analysis(
+        &self,
+        conn: TcpConnection,
+        period: Span,
+        transfer: Option<TableTransfer>,
+    ) -> Analysis {
         let labels = label_segments(&conn, &self.label_config);
         let shifted = if self.config.disable_ack_shift {
             None
@@ -205,31 +239,13 @@ impl Analyzer {
     }
 }
 
-/// Analyzes a pcap file with default settings (convenience).
-///
-/// # Errors
-///
-/// Fails on I/O or pcap decode errors.
-#[deprecated(
-    note = "use `StreamAnalyzer::analyze_pcap` (streaming, bounded memory) \
-            or `Analyzer::analyze_pcap`"
-)]
-pub fn analyze_pcap(path: impl AsRef<Path>) -> crate::Result<Vec<Analysis>> {
-    Analyzer::default().analyze_pcap(path)
-}
-
-/// The duration of one microsecond-precision period, for reports.
-#[deprecated(note = "use `analysis.period.duration()` directly")]
-pub fn period_duration(analysis: &Analysis) -> Micros {
-    analysis.period.duration()
-}
-
 #[cfg(test)]
 mod tests {
     use super::*;
     use std::net::Ipv4Addr;
     use tdat_bgp::TableGenerator;
     use tdat_packet::FrameBuilder;
+    use tdat_timeset::Micros;
 
     /// Builds a simple clean transfer trace: handshake + update stream
     /// in MSS chunks with prompt ACKs.
@@ -321,6 +337,28 @@ mod tests {
         // The plot renders without panicking and includes the series.
         let plot = a.plot(60);
         assert!(plot.contains("Transmission"));
+    }
+
+    #[test]
+    fn analyze_partial_clips_period_to_window() {
+        let frames = clean_transfer(150);
+        let conn = tdat_trace::extract_connections(&frames).remove(0);
+        let extraction = tdat_pcap2bgp::extract_from_frames(&conn, &frames);
+        let last = frames.last().unwrap().timestamp;
+        // A trailing window covering the second half of the capture,
+        // reaching past the last frame (live "now").
+        let now = last + Micros::from_millis(10);
+        let window = Span::new(last / 2, now);
+        let analysis = Analyzer::default().analyze_partial(conn.clone(), &extraction, window);
+        assert_eq!(analysis.period, window, "window within the connection");
+        assert!(analysis.transfer.is_some(), "MCT still estimated");
+        for (_, r) in analysis.vector.factors {
+            assert!((0.0..=1.0).contains(&r), "{r}");
+        }
+        // A window starting before the connection clips to its start.
+        let wide = Span::new(Micros(-5_000_000), now);
+        let analysis = Analyzer::default().analyze_partial(conn, &extraction, wide);
+        assert_eq!(analysis.period.start, Micros::ZERO);
     }
 
     #[test]

@@ -88,8 +88,6 @@ pub mod report;
 pub mod series;
 mod stream;
 
-#[allow(deprecated)]
-pub use analyzer::{analyze_pcap, period_duration};
 pub use analyzer::{Analysis, Analyzer};
 pub use config::{AnalyzerConfig, AnalyzerConfigBuilder, SnifferLocation};
 pub use detect::{
@@ -101,5 +99,5 @@ pub use error::{Error, Result};
 pub use factors::{delay_vector, factor_spans, DelayVector, Factor, FactorGroup, FactorSpans};
 pub use report::Report;
 pub use series::{generate_series, SeriesSet};
-pub use stream::{StreamAnalyzer, StreamOptions};
+pub use stream::{BgpDemux, StreamAnalyzer, StreamOptions};
 pub use tdat_trace::TrackerConfig;

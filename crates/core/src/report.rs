@@ -144,37 +144,55 @@ impl Report {
     }
 }
 
-fn escape(s: &str) -> String {
-    s.replace('\\', "\\\\").replace('"', "\\\"")
-}
+pub use self::json::{escape, fmt_num, push_num_field, push_raw_field, push_str_field};
 
-fn fmt_num(v: f64) -> String {
-    if v.is_finite() {
-        format!("{v:.6}")
-    } else {
-        "null".to_string()
+/// Minimal dependency-free JSON encoding helpers, shared by every
+/// JSON-emitting surface of the suite (`t-dat --json` reports, the
+/// monitor's JSONL event stream). The output format is fixed: strings
+/// escape only `\` and `"` (no control characters appear in the data
+/// we encode), numbers print with six decimal places, and non-finite
+/// numbers encode as `null`.
+pub mod json {
+    /// Escapes `\` and `"` for embedding in a JSON string.
+    pub fn escape(s: &str) -> String {
+        s.replace('\\', "\\\\").replace('"', "\\\"")
     }
-}
 
-fn push_str_field(out: &mut String, key: &str, value: &str, comma: bool) {
-    if comma {
-        out.push(',');
+    /// Formats a number with fixed six-decimal precision (`null` if
+    /// non-finite), keeping emitted JSON byte-stable.
+    pub fn fmt_num(v: f64) -> String {
+        if v.is_finite() {
+            format!("{v:.6}")
+        } else {
+            "null".to_string()
+        }
     }
-    out.push_str(&format!("\"{}\":\"{}\"", key, escape(value)));
-}
 
-fn push_num_field(out: &mut String, key: &str, value: f64, comma: bool) {
-    if comma {
-        out.push(',');
+    /// Appends `"key":"value"` (escaped), preceded by a comma if
+    /// `comma`.
+    pub fn push_str_field(out: &mut String, key: &str, value: &str, comma: bool) {
+        if comma {
+            out.push(',');
+        }
+        out.push_str(&format!("\"{}\":\"{}\"", key, escape(value)));
     }
-    out.push_str(&format!("\"{}\":{}", key, fmt_num(value)));
-}
 
-fn push_raw_field(out: &mut String, key: &str, raw: &str, comma: bool) {
-    if comma {
-        out.push(',');
+    /// Appends `"key":1.234567`, preceded by a comma if `comma`.
+    pub fn push_num_field(out: &mut String, key: &str, value: f64, comma: bool) {
+        if comma {
+            out.push(',');
+        }
+        out.push_str(&format!("\"{}\":{}", key, fmt_num(value)));
     }
-    out.push_str(&format!("\"{}\":{}", key, raw));
+
+    /// Appends `"key":<raw>` verbatim (caller guarantees `raw` is valid
+    /// JSON), preceded by a comma if `comma`.
+    pub fn push_raw_field(out: &mut String, key: &str, raw: &str, comma: bool) {
+        if comma {
+            out.push(',');
+        }
+        out.push_str(&format!("\"{}\":{}", key, raw));
+    }
 }
 
 #[cfg(test)]

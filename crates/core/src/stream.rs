@@ -242,9 +242,11 @@ impl StreamAnalyzer {
 /// The data sender is unknown until a connection finalizes, so both
 /// directions are reassembled; the loser (the ACK direction, which
 /// carries little or no payload) is discarded at
-/// [`take`](BgpDemux::take).
+/// [`take`](BgpDemux::take). Live monitors that diagnose still-open
+/// connections use [`snapshot`](BgpDemux::snapshot) instead, which
+/// leaves the streams in place.
 #[derive(Debug, Default)]
-struct BgpDemux {
+pub struct BgpDemux {
     streams: HashMap<ConnKey, SidePair>,
 }
 
@@ -257,7 +259,14 @@ struct SidePair {
 }
 
 impl BgpDemux {
-    fn feed(&mut self, frame: &TcpFrame) {
+    /// Creates an empty demultiplexer.
+    pub fn new() -> BgpDemux {
+        BgpDemux::default()
+    }
+
+    /// Feeds one frame's payload into its connection's reassembly
+    /// (capture order).
+    pub fn feed(&mut self, frame: &TcpFrame) {
         let key = ConnKey::of(frame);
         let pair = self.streams.entry(key).or_default();
         let side = if frame.src() == key.a {
@@ -275,12 +284,22 @@ impl BgpDemux {
 
     /// Removes the connection's streams and finishes the data-sender
     /// side.
-    fn take(&mut self, key: ConnKey, sender: Endpoint) -> Extraction {
+    pub fn take(&mut self, key: ConnKey, sender: Endpoint) -> Extraction {
         let pair = self.streams.remove(&key).unwrap_or_default();
         if sender == key.a {
             pair.from_a.finish()
         } else {
             pair.from_b.finish()
+        }
+    }
+
+    /// A point-in-time extraction of the `sender` side of an open
+    /// connection, leaving the streams untouched for further feeding.
+    pub fn snapshot(&self, key: ConnKey, sender: Endpoint) -> Extraction {
+        match self.streams.get(&key) {
+            Some(pair) if sender == key.a => pair.from_a.extraction(),
+            Some(pair) => pair.from_b.extraction(),
+            None => Extraction::default(),
         }
     }
 }

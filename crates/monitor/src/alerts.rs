@@ -1,0 +1,448 @@
+//! Typed alerts with per-session hysteresis.
+//!
+//! Detectors re-evaluate every analysis tick, so a borderline problem
+//! (a pause hovering around a threshold, a loss episode straddling the
+//! window edge) would flap an edge-triggered alert on and off each
+//! tick. [`AlertEngine`] dedupes that: a [`Condition`] must hold for
+//! `raise_after` consecutive ticks before the alert is raised, and must
+//! be absent for `clear_after` consecutive ticks before it clears.
+//! Events are emitted only on the raise/clear transitions, never while
+//! a state persists.
+
+use std::collections::{BTreeMap, BTreeSet};
+use std::fmt;
+
+use tdat_timeset::{Micros, Span};
+
+/// The problem classes the monitor alerts on (the paper's §IV-B
+/// detectors plus a liveness check only a live monitor can make).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub enum AlertKind {
+    /// A repetitive sender pacing timer dominates idle time.
+    TimerGap,
+    /// An episode of consecutive retransmissions (cwnd collapse).
+    ConsecutiveRetransmissions,
+    /// A healthy session pausing behind a faulty peer-group member.
+    PeerGroupBlocking,
+    /// The zero-window-probe discard bug (`ZeroAckBug`).
+    ZeroWindowBug,
+    /// An open transfer making no forward progress.
+    StalledTransfer,
+}
+
+impl AlertKind {
+    /// Every kind, in a fixed order (metrics and JSON use it).
+    pub const ALL: [AlertKind; 5] = [
+        AlertKind::TimerGap,
+        AlertKind::ConsecutiveRetransmissions,
+        AlertKind::PeerGroupBlocking,
+        AlertKind::ZeroWindowBug,
+        AlertKind::StalledTransfer,
+    ];
+
+    /// Stable snake_case identifier used in the JSONL stream.
+    pub fn as_str(self) -> &'static str {
+        match self {
+            AlertKind::TimerGap => "timer_gap",
+            AlertKind::ConsecutiveRetransmissions => "consecutive_retransmissions",
+            AlertKind::PeerGroupBlocking => "peer_group_blocking",
+            AlertKind::ZeroWindowBug => "zero_window_bug",
+            AlertKind::StalledTransfer => "stalled_transfer",
+        }
+    }
+
+    /// The kind's fixed severity: pathological bugs are critical,
+    /// transfer-degrading conditions warn, and an inferred pacing timer
+    /// is informational (often deliberate configuration).
+    pub fn severity(self) -> Severity {
+        match self {
+            AlertKind::TimerGap => Severity::Info,
+            AlertKind::ConsecutiveRetransmissions => Severity::Warning,
+            AlertKind::StalledTransfer => Severity::Warning,
+            AlertKind::PeerGroupBlocking => Severity::Critical,
+            AlertKind::ZeroWindowBug => Severity::Critical,
+        }
+    }
+}
+
+impl fmt::Display for AlertKind {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.as_str())
+    }
+}
+
+/// How urgent an alert is.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub enum Severity {
+    /// Noteworthy but usually intentional (configuration).
+    Info,
+    /// Degrading the transfer; worth investigating.
+    Warning,
+    /// A pathological condition (stuck or blocked sessions).
+    Critical,
+}
+
+impl Severity {
+    /// Stable lowercase identifier used in the JSONL stream.
+    pub fn as_str(self) -> &'static str {
+        match self {
+            Severity::Info => "info",
+            Severity::Warning => "warning",
+            Severity::Critical => "critical",
+        }
+    }
+}
+
+impl fmt::Display for Severity {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.as_str())
+    }
+}
+
+/// Hysteresis thresholds and detector tunables.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct AlertConfig {
+    /// Consecutive ticks a condition must hold before it raises.
+    pub raise_after: u32,
+    /// Consecutive condition-free ticks before an active alert clears.
+    pub clear_after: u32,
+    /// Minimum idle gaps for the timer-inference detector.
+    pub timer_min_gaps: usize,
+    /// Minimum sending pause for peer-group blocking detection.
+    pub min_pause: Micros,
+    /// How long an open transfer may make no data progress before it
+    /// counts as stalled.
+    pub stall_after: Micros,
+}
+
+impl Default for AlertConfig {
+    fn default() -> AlertConfig {
+        AlertConfig {
+            raise_after: 2,
+            clear_after: 3,
+            timer_min_gaps: 8,
+            min_pause: Micros::from_secs(30),
+            stall_after: Micros::from_secs(60),
+        }
+    }
+}
+
+/// One detector firing for one session during one analysis tick — the
+/// engine's input. Conditions are stateless; the engine supplies the
+/// raise/clear memory.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Condition {
+    /// The session the condition applies to (`ip:port->ip:port`).
+    pub session: String,
+    /// Which problem class fired.
+    pub kind: AlertKind,
+    /// The time extent of the supporting evidence.
+    pub evidence: Span,
+    /// Human-readable specifics (timer period, blocking peer, …).
+    pub detail: String,
+}
+
+/// Whether an [`Alert`] event reports a raise or a clear transition.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum AlertAction {
+    /// The condition persisted long enough to become active.
+    Raise,
+    /// The active condition went away (or its session ended).
+    Clear,
+}
+
+impl AlertAction {
+    /// Stable lowercase identifier used in the JSONL stream.
+    pub fn as_str(self) -> &'static str {
+        match self {
+            AlertAction::Raise => "raise",
+            AlertAction::Clear => "clear",
+        }
+    }
+}
+
+/// A raise or clear transition emitted by the [`AlertEngine`].
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Alert {
+    /// Trace time of the transition.
+    pub at: Micros,
+    /// Raise or clear.
+    pub action: AlertAction,
+    /// Problem class.
+    pub kind: AlertKind,
+    /// The kind's severity.
+    pub severity: Severity,
+    /// The affected session (`ip:port->ip:port`).
+    pub session: String,
+    /// When the alert was raised (equals `at` for raises; on clears it
+    /// gives the alert's total active duration).
+    pub since: Micros,
+    /// Evidence extent from the most recent supporting condition.
+    pub evidence: Span,
+    /// Specifics from the most recent supporting condition.
+    pub detail: String,
+}
+
+#[derive(Debug)]
+struct KeyState {
+    hits: u32,
+    misses: u32,
+    active: bool,
+    since: Micros,
+    evidence: Span,
+    detail: String,
+}
+
+/// Per-(session, kind) hysteresis state machine; see the module docs.
+#[derive(Debug)]
+pub struct AlertEngine {
+    config: AlertConfig,
+    states: BTreeMap<(String, AlertKind), KeyState>,
+}
+
+impl AlertEngine {
+    /// Creates an engine with the given thresholds.
+    pub fn new(config: AlertConfig) -> AlertEngine {
+        AlertEngine {
+            config,
+            states: BTreeMap::new(),
+        }
+    }
+
+    /// The engine's thresholds.
+    pub fn config(&self) -> &AlertConfig {
+        &self.config
+    }
+
+    /// Number of currently active (raised, uncleared) alerts.
+    pub fn active_alerts(&self) -> usize {
+        self.states.values().filter(|s| s.active).count()
+    }
+
+    /// Feeds one tick's detector conditions and returns the transitions
+    /// they cause, in deterministic order (condition order for raises,
+    /// key order for clears).
+    pub fn observe(&mut self, now: Micros, conditions: &[Condition]) -> Vec<Alert> {
+        let mut events = Vec::new();
+        let mut present: BTreeSet<(String, AlertKind)> = BTreeSet::new();
+        for c in conditions {
+            let key = (c.session.clone(), c.kind);
+            let first_this_tick = present.insert(key.clone());
+            let state = self.states.entry(key).or_insert(KeyState {
+                hits: 0,
+                misses: 0,
+                active: false,
+                since: now,
+                evidence: c.evidence,
+                detail: String::new(),
+            });
+            state.misses = 0;
+            if first_this_tick {
+                state.hits += 1;
+                state.evidence = c.evidence;
+            } else {
+                // A second condition of the same kind in one tick (e.g.
+                // blocked by two faulty peers) widens the evidence.
+                state.evidence = state.evidence.hull(c.evidence);
+            }
+            state.detail = c.detail.clone();
+            if !state.active && state.hits >= self.config.raise_after {
+                state.active = true;
+                state.since = now;
+                events.push(Alert {
+                    at: now,
+                    action: AlertAction::Raise,
+                    kind: c.kind,
+                    severity: c.kind.severity(),
+                    session: c.session.clone(),
+                    since: now,
+                    evidence: state.evidence,
+                    detail: state.detail.clone(),
+                });
+            }
+        }
+
+        let mut dead = Vec::new();
+        for (key, state) in self.states.iter_mut() {
+            if present.contains(key) {
+                continue;
+            }
+            state.hits = 0;
+            state.misses += 1;
+            if state.active {
+                if state.misses >= self.config.clear_after {
+                    events.push(Alert {
+                        at: now,
+                        action: AlertAction::Clear,
+                        kind: key.1,
+                        severity: key.1.severity(),
+                        session: key.0.clone(),
+                        since: state.since,
+                        evidence: state.evidence,
+                        detail: state.detail.clone(),
+                    });
+                    dead.push(key.clone());
+                }
+            } else {
+                // A pending (never-raised) streak is broken by a single
+                // miss; forget it.
+                dead.push(key.clone());
+            }
+        }
+        for key in dead {
+            self.states.remove(&key);
+        }
+        events
+    }
+
+    /// Clears every alert of a session that ended (finalized), emitting
+    /// clear transitions for the active ones.
+    pub fn clear_session(&mut self, session: &str, now: Micros) -> Vec<Alert> {
+        let keys: Vec<(String, AlertKind)> = self
+            .states
+            .keys()
+            .filter(|(s, _)| s == session)
+            .cloned()
+            .collect();
+        let mut events = Vec::new();
+        for key in keys {
+            let state = self.states.remove(&key).expect("selected above");
+            if state.active {
+                events.push(Alert {
+                    at: now,
+                    action: AlertAction::Clear,
+                    kind: key.1,
+                    severity: key.1.severity(),
+                    session: key.0,
+                    since: state.since,
+                    evidence: state.evidence,
+                    detail: "session ended".to_string(),
+                });
+            }
+        }
+        events
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn cond(session: &str, kind: AlertKind) -> Condition {
+        Condition {
+            session: session.to_string(),
+            kind,
+            evidence: Span::new(Micros::ZERO, Micros::from_secs(1)),
+            detail: "test".to_string(),
+        }
+    }
+
+    fn engine() -> AlertEngine {
+        AlertEngine::new(AlertConfig {
+            raise_after: 2,
+            clear_after: 3,
+            ..AlertConfig::default()
+        })
+    }
+
+    #[test]
+    fn raises_only_after_consecutive_hits() {
+        let mut e = engine();
+        let c = [cond("s", AlertKind::StalledTransfer)];
+        assert!(e.observe(Micros::from_secs(1), &c).is_empty());
+        let raised = e.observe(Micros::from_secs(2), &c);
+        assert_eq!(raised.len(), 1);
+        assert_eq!(raised[0].action, AlertAction::Raise);
+        assert_eq!(raised[0].at, Micros::from_secs(2));
+        // Already active: persisting emits nothing more.
+        assert!(e.observe(Micros::from_secs(3), &c).is_empty());
+        assert_eq!(e.active_alerts(), 1);
+    }
+
+    #[test]
+    fn single_miss_breaks_a_pending_streak() {
+        let mut e = engine();
+        let c = [cond("s", AlertKind::TimerGap)];
+        assert!(e.observe(Micros::from_secs(1), &c).is_empty());
+        assert!(e.observe(Micros::from_secs(2), &[]).is_empty());
+        // The streak restarted: one hit is again not enough.
+        assert!(e.observe(Micros::from_secs(3), &c).is_empty());
+        let raised = e.observe(Micros::from_secs(4), &c);
+        assert_eq!(raised.len(), 1);
+    }
+
+    #[test]
+    fn clears_only_after_consecutive_misses() {
+        let mut e = engine();
+        let c = [cond("s", AlertKind::ZeroWindowBug)];
+        e.observe(Micros::from_secs(1), &c);
+        e.observe(Micros::from_secs(2), &c);
+        assert_eq!(e.active_alerts(), 1);
+        assert!(e.observe(Micros::from_secs(3), &[]).is_empty());
+        assert!(e.observe(Micros::from_secs(4), &[]).is_empty());
+        // A hit in between resets the miss count.
+        assert!(e.observe(Micros::from_secs(5), &c).is_empty());
+        assert!(e.observe(Micros::from_secs(6), &[]).is_empty());
+        assert!(e.observe(Micros::from_secs(7), &[]).is_empty());
+        let cleared = e.observe(Micros::from_secs(8), &[]);
+        assert_eq!(cleared.len(), 1);
+        assert_eq!(cleared[0].action, AlertAction::Clear);
+        assert_eq!(cleared[0].since, Micros::from_secs(2), "raise time kept");
+        assert_eq!(e.active_alerts(), 0);
+    }
+
+    #[test]
+    fn sessions_and_kinds_are_independent() {
+        let mut e = engine();
+        let both = [
+            cond("a", AlertKind::StalledTransfer),
+            cond("b", AlertKind::StalledTransfer),
+            cond("a", AlertKind::TimerGap),
+        ];
+        e.observe(Micros::from_secs(1), &both);
+        let raised = e.observe(Micros::from_secs(2), &both);
+        assert_eq!(raised.len(), 3);
+        // Dropping only session b's condition clears only its alert.
+        let only_a = [
+            cond("a", AlertKind::StalledTransfer),
+            cond("a", AlertKind::TimerGap),
+        ];
+        for t in 3..=4 {
+            assert!(e.observe(Micros::from_secs(t), &only_a).is_empty());
+        }
+        let cleared = e.observe(Micros::from_secs(5), &only_a);
+        assert_eq!(cleared.len(), 1);
+        assert_eq!(cleared[0].session, "b");
+        assert_eq!(e.active_alerts(), 2);
+    }
+
+    #[test]
+    fn clear_session_drops_all_its_alerts() {
+        let mut e = engine();
+        let both = [
+            cond("a", AlertKind::StalledTransfer),
+            cond("a", AlertKind::TimerGap),
+        ];
+        e.observe(Micros::from_secs(1), &both);
+        e.observe(Micros::from_secs(2), &both);
+        let cleared = e.clear_session("a", Micros::from_secs(3));
+        assert_eq!(cleared.len(), 2);
+        assert!(cleared.iter().all(|a| a.action == AlertAction::Clear));
+        assert!(cleared.iter().all(|a| a.detail == "session ended"));
+        assert_eq!(e.active_alerts(), 0);
+        assert!(e.clear_session("a", Micros::from_secs(4)).is_empty());
+    }
+
+    #[test]
+    fn duplicate_conditions_in_one_tick_count_once() {
+        let mut e = engine();
+        let dup = [
+            cond("a", AlertKind::PeerGroupBlocking),
+            cond("a", AlertKind::PeerGroupBlocking),
+        ];
+        // Two identical-key conditions in one tick must not raise on
+        // the first tick (hits would jump straight to raise_after).
+        assert!(e.observe(Micros::from_secs(1), &dup).is_empty());
+        assert_eq!(e.observe(Micros::from_secs(2), &dup).len(), 1);
+    }
+}

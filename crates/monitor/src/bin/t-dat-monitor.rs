@@ -1,0 +1,173 @@
+//! `t-dat-monitor` — watch BGP sessions live and stream JSONL events.
+//!
+//! ```text
+//! t-dat-monitor --follow <pcap> [--exit-idle SECS]
+//! t-dat-monitor --sim <scenario> [--routes N] [--seed S] [--pace F]
+//!
+//! common options:
+//!   --window SECS     trailing analysis window      (default 120)
+//!   --interval SECS   trace time between ticks      (default 10)
+//!   --events PATH     JSONL output, "-" for stdout  (default -)
+//! ```
+//!
+//! `--follow` tails a growing pcap file (a sniffer writing tcpdump
+//! output); partial trailing records are retried as the file grows.
+//! With `--exit-idle` the monitor exits after that many wall-clock
+//! seconds without new records — otherwise it follows forever.
+//!
+//! `--sim` runs a canonical scenario from the shared `bgpsim`
+//! vocabulary as the packet feed. `--pace F` makes `F` virtual seconds
+//! elapse per wall second (for example `--pace 1` tracks real time);
+//! without it the scenario runs as fast as possible.
+//!
+//! Events use trace (virtual) time only, so a given input produces
+//! byte-identical output. A metrics summary goes to stderr on exit.
+
+use std::io::Write;
+use std::process::ExitCode;
+use std::time::Duration;
+
+use tdat_monitor::{FollowSource, Monitor, MonitorConfig, PacketSource, SimSource, SourceEvent};
+use tdat_tcpsim::scenario::{ScenarioOptions, SCENARIO_USAGE};
+use tdat_timeset::Micros;
+
+fn main() -> ExitCode {
+    let mut args = std::env::args().skip(1);
+    let mut follow: Option<String> = None;
+    let mut sim: Option<String> = None;
+    let mut events = String::from("-");
+    let mut window_s = 120.0f64;
+    let mut interval_s = 10.0f64;
+    let mut exit_idle: Option<f64> = None;
+    let mut pace: Option<f64> = None;
+    let mut opts = ScenarioOptions::default();
+    while let Some(arg) = args.next() {
+        let mut take = |what: &str| args.next().ok_or_else(|| format!("{what} needs a value"));
+        let result: Result<(), String> = (|| {
+            match arg.as_str() {
+                "--follow" => follow = Some(take("--follow")?),
+                "--sim" => sim = Some(take("--sim")?),
+                "--events" => events = take("--events")?,
+                "--window" => window_s = parse(&take("--window")?, "--window")?,
+                "--interval" => interval_s = parse(&take("--interval")?, "--interval")?,
+                "--exit-idle" => exit_idle = Some(parse(&take("--exit-idle")?, "--exit-idle")?),
+                "--pace" => pace = Some(parse(&take("--pace")?, "--pace")?),
+                "--routes" => opts.routes = parse(&take("--routes")?, "--routes")?,
+                "--seed" => opts.seed = parse(&take("--seed")?, "--seed")?,
+                "--help" | "-h" => return Err(String::new()),
+                other => return Err(format!("unknown option {other}")),
+            }
+            Ok(())
+        })();
+        if let Err(message) = result {
+            return usage(&message);
+        }
+    }
+    for value in [window_s, interval_s] {
+        if !value.is_finite() || value <= 0.0 {
+            return usage("--window and --interval must be positive");
+        }
+    }
+
+    let config = MonitorConfig {
+        window: Micros::from_secs_f64(window_s),
+        interval: Micros::from_secs_f64(interval_s),
+        ..MonitorConfig::default()
+    };
+    let mut source: Box<dyn PacketSource> = match (follow, sim) {
+        (Some(path), None) => {
+            let idle = exit_idle.map(Duration::from_secs_f64);
+            match FollowSource::open(&path, idle) {
+                Ok(src) => Box::new(src),
+                Err(e) => {
+                    eprintln!("t-dat-monitor: {path}: {e}");
+                    return ExitCode::FAILURE;
+                }
+            }
+        }
+        (None, Some(spec)) => match SimSource::from_scenario(&spec, &opts, config.interval, pace) {
+            Ok(src) => Box::new(src),
+            Err(e) => return usage(&format!("--sim: {e}")),
+        },
+        _ => return usage("exactly one of --follow or --sim is required"),
+    };
+
+    let stdout = std::io::stdout();
+    let mut out: Box<dyn Write> = if events == "-" {
+        Box::new(stdout.lock())
+    } else {
+        match std::fs::File::create(&events) {
+            Ok(file) => Box::new(std::io::BufWriter::new(file)),
+            Err(e) => {
+                eprintln!("t-dat-monitor: {events}: {e}");
+                return ExitCode::FAILURE;
+            }
+        }
+    };
+
+    let mut monitor = Monitor::new(config);
+    let status = drive(&mut monitor, source.as_mut(), &mut out);
+    eprint!("{}", monitor.metrics());
+    match status {
+        Ok(()) => ExitCode::SUCCESS,
+        Err(e) => {
+            eprintln!("t-dat-monitor: {e}");
+            ExitCode::FAILURE
+        }
+    }
+}
+
+/// The streaming main loop: poll, ingest, write events as they happen.
+fn drive(
+    monitor: &mut Monitor,
+    source: &mut dyn PacketSource,
+    out: &mut Box<dyn Write>,
+) -> Result<(), String> {
+    loop {
+        match source.poll().map_err(|e| e.to_string())? {
+            SourceEvent::Batch { frames, now } => {
+                for frame in &frames {
+                    monitor.ingest(frame);
+                }
+                if let Some(now) = now {
+                    monitor.advance_to(now);
+                }
+                write_events(monitor, out)?;
+            }
+            SourceEvent::Pending => {
+                // Keep downstream consumers (tail -f) current while idle.
+                out.flush().map_err(|e| e.to_string())?;
+                std::thread::sleep(Duration::from_millis(100));
+            }
+            SourceEvent::Finished => break,
+        }
+    }
+    monitor.finish();
+    write_events(monitor, out)?;
+    out.flush().map_err(|e| e.to_string())
+}
+
+fn write_events(monitor: &mut Monitor, out: &mut Box<dyn Write>) -> Result<(), String> {
+    for event in monitor.drain_events() {
+        writeln!(out, "{}", event.to_json()).map_err(|e| e.to_string())?;
+    }
+    Ok(())
+}
+
+fn parse<T: std::str::FromStr>(value: &str, flag: &str) -> Result<T, String> {
+    value
+        .parse()
+        .map_err(|_| format!("{flag}: invalid value {value:?}"))
+}
+
+fn usage(message: &str) -> ExitCode {
+    if !message.is_empty() {
+        eprintln!("t-dat-monitor: {message}");
+    }
+    eprintln!(
+        "usage: t-dat-monitor (--follow <pcap> [--exit-idle SECS] | \
+         --sim <{SCENARIO_USAGE}> [--routes N] [--seed S] [--pace F]) \
+         [--window SECS] [--interval SECS] [--events PATH]"
+    );
+    ExitCode::from(2)
+}

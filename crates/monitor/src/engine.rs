@@ -1,0 +1,551 @@
+//! The monitoring engine: frames in, JSONL events out.
+//!
+//! [`Monitor`] glues the suite's streaming pieces into a long-running
+//! watcher:
+//!
+//! * frames from any [`PacketSource`] feed a
+//!   [`ConnectionTracker`] (per-connection state) and a [`BgpDemux`]
+//!   (incremental BGP reassembly for both directions);
+//! * every `interval` of *trace* time it snapshots the open
+//!   connections and runs the full analysis pipeline over a trailing
+//!   `window` via [`Analyzer::analyze_partial`];
+//! * the detector outcomes become [`Condition`]s fed to an
+//!   [`AlertEngine`], whose raise/clear transitions — plus a final
+//!   report for every connection that closes — surface as
+//!   [`MonitorEvent`]s;
+//! * events encode to JSON Lines using only trace (virtual) time, so a
+//!   given input always produces byte-identical output; wall-clock
+//!   readings go to [`MonitorMetrics`] instead.
+
+use std::collections::HashMap;
+use std::time::Instant;
+
+use tdat::{find_peer_group_blocking_all, report::json, Analysis, Analyzer, BgpDemux, Report};
+use tdat_packet::TcpFrame;
+use tdat_timeset::{Micros, Span};
+use tdat_trace::{ConnKey, ConnectionTracker, FinalizedConnection, TrackerConfig};
+
+use crate::alerts::{Alert, AlertConfig, AlertEngine, AlertKind, Condition};
+use crate::metrics::MonitorMetrics;
+use crate::source::{PacketSource, SourceEvent};
+
+/// Wall-clock wait between polls while a source is
+/// [`Pending`](SourceEvent::Pending).
+const PENDING_BACKOFF: std::time::Duration = std::time::Duration::from_millis(50);
+
+/// Monitor tuning.
+#[derive(Debug, Clone)]
+pub struct MonitorConfig {
+    /// Trailing analysis window each tick looks at.
+    pub window: Micros,
+    /// Trace time between analysis ticks.
+    pub interval: Micros,
+    /// The per-connection analysis pipeline configuration.
+    pub analyzer: tdat::AnalyzerConfig,
+    /// When connections are finalized. The default keeps sessions for
+    /// 10 idle minutes — a live monitor must ride out long stalls
+    /// (precisely the interesting part) without splitting a session in
+    /// two.
+    pub tracker: TrackerConfig,
+    /// Alerting thresholds.
+    pub alerts: AlertConfig,
+}
+
+impl Default for MonitorConfig {
+    fn default() -> MonitorConfig {
+        MonitorConfig {
+            window: Micros::from_secs(120),
+            interval: Micros::from_secs(10),
+            analyzer: tdat::AnalyzerConfig::default(),
+            tracker: TrackerConfig {
+                idle_timeout: Some(Micros::from_secs(600)),
+                close_grace: Some(Micros::from_secs(5)),
+            },
+            alerts: AlertConfig::default(),
+        }
+    }
+}
+
+/// A line of the monitor's event stream.
+#[derive(Debug, Clone, PartialEq)]
+pub enum MonitorEvent {
+    /// An alert raise/clear transition.
+    Alert(Alert),
+    /// A connection finalized (closed or idle-expired): its full
+    /// whole-lifetime analysis report.
+    Connection(ConnectionSummary),
+}
+
+/// The final report of a finalized connection.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ConnectionSummary {
+    /// Trace time of finalization.
+    pub at: Micros,
+    /// The session (`ip:port->ip:port`, data sender first).
+    pub session: String,
+    /// The whole-lifetime analysis report.
+    pub report: Report,
+}
+
+impl MonitorEvent {
+    /// Encodes the event as one JSON object (one JSONL line, no
+    /// trailing newline). All times are trace time in seconds.
+    pub fn to_json(&self) -> String {
+        let mut out = String::with_capacity(256);
+        out.push('{');
+        match self {
+            MonitorEvent::Alert(a) => {
+                json::push_str_field(&mut out, "type", "alert", false);
+                json::push_num_field(&mut out, "at_s", a.at.as_secs_f64(), true);
+                json::push_str_field(&mut out, "action", a.action.as_str(), true);
+                json::push_str_field(&mut out, "kind", a.kind.as_str(), true);
+                json::push_str_field(&mut out, "severity", a.severity.as_str(), true);
+                json::push_str_field(&mut out, "session", &a.session, true);
+                json::push_num_field(&mut out, "since_s", a.since.as_secs_f64(), true);
+                json::push_num_field(
+                    &mut out,
+                    "evidence_start_s",
+                    a.evidence.start.as_secs_f64(),
+                    true,
+                );
+                json::push_num_field(
+                    &mut out,
+                    "evidence_end_s",
+                    a.evidence.end.as_secs_f64(),
+                    true,
+                );
+                json::push_str_field(&mut out, "detail", &a.detail, true);
+            }
+            MonitorEvent::Connection(c) => {
+                json::push_str_field(&mut out, "type", "connection", false);
+                json::push_num_field(&mut out, "at_s", c.at.as_secs_f64(), true);
+                json::push_str_field(&mut out, "session", &c.session, true);
+                json::push_raw_field(&mut out, "report", &c.report.to_json(), true);
+            }
+        }
+        out.push('}');
+        out
+    }
+}
+
+/// The session identifier used in events and alert keys.
+fn session_id(analysis: &Analysis) -> String {
+    format!(
+        "{}:{}->{}:{}",
+        analysis.sender.0, analysis.sender.1, analysis.receiver.0, analysis.receiver.1
+    )
+}
+
+/// The long-running monitoring engine; see the module docs.
+#[derive(Debug)]
+pub struct Monitor {
+    analyzer: Analyzer,
+    tracker: ConnectionTracker,
+    tracker_config: TrackerConfig,
+    demux: BgpDemux,
+    alerts: AlertEngine,
+    metrics: MonitorMetrics,
+    window: Micros,
+    interval: Micros,
+    /// Trace time the monitor has advanced to.
+    now: Micros,
+    /// Next tick boundary; set by the first time advance.
+    next_tick: Option<Micros>,
+    /// Per-connection data-progress watermarks for stall detection:
+    /// `(data bytes at last progress, tick time of last progress)`.
+    progress: HashMap<ConnKey, (u64, Micros)>,
+    events: Vec<MonitorEvent>,
+}
+
+impl Monitor {
+    /// Creates a monitor.
+    pub fn new(config: MonitorConfig) -> Monitor {
+        Monitor {
+            analyzer: Analyzer::new(config.analyzer),
+            tracker: ConnectionTracker::new(config.tracker.clone()),
+            tracker_config: config.tracker,
+            demux: BgpDemux::new(),
+            alerts: AlertEngine::new(config.alerts),
+            metrics: MonitorMetrics::default(),
+            window: config.window.max(Micros(1)),
+            interval: config.interval.max(Micros(1)),
+            now: Micros::ZERO,
+            next_tick: None,
+            progress: HashMap::new(),
+            events: Vec::new(),
+        }
+    }
+
+    /// The monitor's health counters.
+    pub fn metrics(&self) -> &MonitorMetrics {
+        &self.metrics
+    }
+
+    /// Trace time the monitor has advanced to.
+    pub fn now(&self) -> Micros {
+        self.now
+    }
+
+    /// Ingests one captured frame (capture order). Runs any analysis
+    /// ticks that became due *before* this frame's timestamp.
+    pub fn ingest(&mut self, frame: &TcpFrame) {
+        self.advance_to(frame.timestamp);
+        self.metrics.record_frame();
+        self.demux.feed(frame);
+        let finalized = self.tracker.ingest(frame);
+        for fin in finalized {
+            self.finalize(fin);
+        }
+    }
+
+    /// Advances trace time without a frame (a source whose clock runs
+    /// ahead of its captures, or silence on the wire), running any
+    /// analysis ticks that became due.
+    pub fn advance_to(&mut self, now: Micros) {
+        if now <= self.now && self.next_tick.is_some() {
+            return;
+        }
+        self.now = self.now.max(now);
+        let mut boundary = match self.next_tick {
+            Some(t) => t,
+            // First sign of time: schedule the first tick one interval in.
+            None => {
+                self.next_tick = Some(now + self.interval);
+                return;
+            }
+        };
+        while boundary <= self.now {
+            self.tick(boundary);
+            boundary += self.interval;
+        }
+        self.next_tick = Some(boundary);
+    }
+
+    /// Takes the events accumulated since the last drain.
+    pub fn drain_events(&mut self) -> Vec<MonitorEvent> {
+        std::mem::take(&mut self.events)
+    }
+
+    /// Ends the watch: finalizes every still-open connection (emitting
+    /// its report and clearing its alerts). The monitor is reusable
+    /// afterwards, fresh.
+    pub fn finish(&mut self) {
+        let tracker = std::mem::replace(
+            &mut self.tracker,
+            ConnectionTracker::new(self.tracker_config.clone()),
+        );
+        for fin in tracker.finish() {
+            self.finalize(fin);
+        }
+        self.next_tick = None;
+    }
+
+    /// Drives a source to exhaustion: polls, ingests, sleeps briefly
+    /// when the source is pending, finalizes at the end. Returns every
+    /// event of the run (including any already accumulated but not yet
+    /// drained).
+    ///
+    /// Long-running drivers that want to stream events out as they
+    /// happen should run this loop themselves with
+    /// [`drain_events`](Self::drain_events) between polls.
+    ///
+    /// # Errors
+    ///
+    /// Stops at the first source error (I/O or malformed capture).
+    pub fn run(&mut self, source: &mut dyn PacketSource) -> tdat_packet::Result<Vec<MonitorEvent>> {
+        loop {
+            match source.poll()? {
+                SourceEvent::Batch { frames, now } => {
+                    for frame in &frames {
+                        self.ingest(frame);
+                    }
+                    if let Some(now) = now {
+                        self.advance_to(now);
+                    }
+                }
+                SourceEvent::Pending => std::thread::sleep(PENDING_BACKOFF),
+                SourceEvent::Finished => break,
+            }
+        }
+        self.finish();
+        Ok(self.drain_events())
+    }
+
+    /// One analysis tick at trace time `at`: snapshot open connections,
+    /// analyze the trailing window, evaluate detectors, update alerts.
+    fn tick(&mut self, at: Micros) {
+        let started = Instant::now();
+        let window = Span::new(at.saturating_sub(self.window), at);
+        let snapshots = self.tracker.snapshot();
+        let open = snapshots.len();
+
+        let mut keys = Vec::with_capacity(open);
+        let mut analyses = Vec::with_capacity(open);
+        for fin in snapshots {
+            let extraction = self.demux.snapshot(fin.key, fin.connection.sender);
+            keys.push(fin.key);
+            analyses.push(
+                self.analyzer
+                    .analyze_partial(fin.connection, &extraction, window),
+            );
+        }
+
+        let mut conditions = Vec::new();
+        let cfg = self.alerts.config().clone();
+        for (key, analysis) in keys.iter().zip(&analyses) {
+            let session = session_id(analysis);
+            if let Some(timer) = analysis.infer_timer(cfg.timer_min_gaps) {
+                conditions.push(Condition {
+                    session: session.clone(),
+                    kind: AlertKind::TimerGap,
+                    evidence: analysis.period,
+                    detail: format!(
+                        "pacing timer ~{:.1} ms over {} gaps",
+                        timer.period.as_millis_f64(),
+                        timer.gap_count
+                    ),
+                });
+            }
+            let episodes = analysis.consecutive_losses(self.analyzer.config());
+            if let Some(worst) = episodes.iter().max_by_key(|e| e.retransmissions) {
+                let evidence = episodes
+                    .iter()
+                    .fold(worst.span, |hull, e| hull.hull(e.span));
+                conditions.push(Condition {
+                    session: session.clone(),
+                    kind: AlertKind::ConsecutiveRetransmissions,
+                    evidence,
+                    detail: format!(
+                        "{} episode(s), worst {} retransmissions",
+                        episodes.len(),
+                        worst.retransmissions
+                    ),
+                });
+            }
+            if let Some(bug) = analysis.zero_ack_bug() {
+                conditions.push(Condition {
+                    session: session.clone(),
+                    kind: AlertKind::ZeroWindowBug,
+                    evidence: bug.spans.hull().unwrap_or(analysis.period),
+                    detail: format!(
+                        "zero-window and upstream-loss series conflict for {:.1} s",
+                        bug.spans.size().as_secs_f64()
+                    ),
+                });
+            }
+            // Stall detection: trace-time watermark on data progress.
+            let bytes = analysis.profile.data_bytes;
+            let mark = self.progress.entry(*key).or_insert((bytes, at));
+            if bytes > mark.0 {
+                *mark = (bytes, at);
+            } else if bytes > 0 && at - mark.1 >= cfg.stall_after {
+                conditions.push(Condition {
+                    session,
+                    kind: AlertKind::StalledTransfer,
+                    evidence: Span::new(mark.1, at),
+                    detail: format!(
+                        "no data progress for {:.0} s ({} bytes transferred)",
+                        (at - mark.1).as_secs_f64(),
+                        bytes
+                    ),
+                });
+            }
+        }
+        for (blocked, faulty, incidents) in find_peer_group_blocking_all(&analyses, cfg.min_pause) {
+            let last = incidents.last().expect("non-empty by contract");
+            conditions.push(Condition {
+                session: session_id(&analyses[blocked]),
+                kind: AlertKind::PeerGroupBlocking,
+                evidence: last.pause,
+                detail: format!(
+                    "paused behind faulty group member {} ({:.0} s overlap with its losses)",
+                    session_id(&analyses[faulty]),
+                    last.overlap.duration().as_secs_f64()
+                ),
+            });
+        }
+
+        for alert in self.alerts.observe(at, &conditions) {
+            self.metrics.record_alert(&alert);
+            self.events.push(MonitorEvent::Alert(alert));
+        }
+        self.metrics.record_tick(open, started.elapsed());
+    }
+
+    /// A connection left the tracker: emit its whole-lifetime report
+    /// and clear its alerts.
+    fn finalize(&mut self, fin: FinalizedConnection) {
+        self.progress.remove(&fin.key);
+        let extraction = self.demux.take(fin.key, fin.connection.sender);
+        let analysis = self.analyzer.analyze_extracted(fin.connection, &extraction);
+        let session = session_id(&analysis);
+        let at = self.now.max(analysis.profile.end);
+        for alert in self.alerts.clear_session(&session, at) {
+            self.metrics.record_alert(&alert);
+            self.events.push(MonitorEvent::Alert(alert));
+        }
+        let report = Report::from_analysis(&analysis, self.analyzer.config());
+        self.metrics
+            .record_finalized(self.tracker.open_connections());
+        self.events
+            .push(MonitorEvent::Connection(ConnectionSummary {
+                at,
+                session,
+                report,
+            }));
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::net::Ipv4Addr;
+    use tdat_packet::{FrameBuilder, TcpFlags, TcpOption};
+
+    /// Handshake then `n` MSS data/ACK exchanges, 1.5 ms apart — below
+    /// the idle-gap threshold, so no `SendAppLimited` (timer) events.
+    fn transfer_frames(n: usize) -> Vec<TcpFrame> {
+        let a = Ipv4Addr::new(10, 0, 0, 1);
+        let b = Ipv4Addr::new(10, 0, 0, 2);
+        let mut frames = Vec::new();
+        let mut t = 0i64;
+        frames.push(
+            FrameBuilder::new(a, b)
+                .at(Micros(t))
+                .ports(179, 40000)
+                .seq(0)
+                .flags(TcpFlags::SYN)
+                .option(TcpOption::Mss(1448))
+                .window(65535)
+                .build(),
+        );
+        t += 100;
+        frames.push(
+            FrameBuilder::new(b, a)
+                .at(Micros(t))
+                .ports(40000, 179)
+                .seq(0)
+                .ack_to(1)
+                .flags(TcpFlags::SYN | TcpFlags::ACK)
+                .option(TcpOption::Mss(1448))
+                .window(65535)
+                .build(),
+        );
+        let mut seq = 1u32;
+        for _ in 0..n {
+            t += 1_000;
+            frames.push(
+                FrameBuilder::new(a, b)
+                    .at(Micros(t))
+                    .ports(179, 40000)
+                    .seq(seq)
+                    .ack_to(1)
+                    .payload(vec![0xab; 1448])
+                    .build(),
+            );
+            seq = seq.wrapping_add(1448);
+            t += 500;
+            frames.push(
+                FrameBuilder::new(b, a)
+                    .at(Micros(t))
+                    .ports(40000, 179)
+                    .seq(1)
+                    .ack_to(seq)
+                    .window(65535)
+                    .build(),
+            );
+        }
+        frames
+    }
+
+    fn config(window_s: i64, interval_s: i64) -> MonitorConfig {
+        MonitorConfig {
+            window: Micros::from_secs(window_s),
+            interval: Micros::from_secs(interval_s),
+            ..MonitorConfig::default()
+        }
+    }
+
+    #[test]
+    fn ticks_fire_on_interval_boundaries() {
+        let mut monitor = Monitor::new(config(30, 10));
+        for frame in transfer_frames(50) {
+            monitor.ingest(&frame);
+        }
+        assert_eq!(
+            monitor.metrics().ticks(),
+            0,
+            "capture is shorter than one interval"
+        );
+        // Jumping trace time far ahead runs every intermediate tick.
+        monitor.advance_to(Micros::from_secs(35));
+        assert_eq!(monitor.metrics().ticks(), 3, "boundaries at ~10/20/30 s");
+        assert_eq!(monitor.metrics().frames(), 102);
+    }
+
+    #[test]
+    fn stalled_transfer_raises_and_clears_on_close() {
+        let mut monitor = Monitor::new(config(60, 10));
+        let frames = transfer_frames(20);
+        for frame in &frames {
+            monitor.ingest(frame);
+        }
+        // Silence: trace time keeps advancing with no data progress.
+        monitor.advance_to(Micros::from_secs(200));
+        let events = monitor.drain_events();
+        let raised: Vec<&Alert> = events
+            .iter()
+            .filter_map(|e| match e {
+                MonitorEvent::Alert(a) if a.action == crate::alerts::AlertAction::Raise => Some(a),
+                _ => None,
+            })
+            .collect();
+        assert_eq!(raised.len(), 1, "exactly one alert: {events:?}");
+        assert_eq!(raised[0].kind, AlertKind::StalledTransfer);
+        assert_eq!(raised[0].session, "10.0.0.1:179->10.0.0.2:40000");
+        // Finalization clears the alert and reports the connection.
+        monitor.finish();
+        let events = monitor.drain_events();
+        assert_eq!(events.len(), 2);
+        match &events[0] {
+            MonitorEvent::Alert(a) => {
+                assert_eq!(a.action, crate::alerts::AlertAction::Clear);
+                assert_eq!(a.kind, AlertKind::StalledTransfer);
+                assert_eq!(a.detail, "session ended");
+            }
+            other => panic!("expected the clear, got {other:?}"),
+        }
+        match &events[1] {
+            MonitorEvent::Connection(c) => {
+                assert_eq!(c.session, "10.0.0.1:179->10.0.0.2:40000");
+                assert_eq!(c.report.sender, "10.0.0.1:179");
+            }
+            other => panic!("expected the report, got {other:?}"),
+        }
+        assert_eq!(monitor.metrics().connections_finalized(), 1);
+        assert_eq!(
+            monitor.metrics().alerts_raised(AlertKind::StalledTransfer),
+            1
+        );
+    }
+
+    #[test]
+    fn event_json_is_single_line_and_balanced() {
+        let mut monitor = Monitor::new(config(60, 10));
+        for frame in transfer_frames(20) {
+            monitor.ingest(&frame);
+        }
+        monitor.advance_to(Micros::from_secs(200));
+        monitor.finish();
+        let events = monitor.drain_events();
+        assert!(!events.is_empty());
+        for event in &events {
+            let line = event.to_json();
+            assert!(!line.contains('\n'));
+            assert!(line.starts_with('{') && line.ends_with('}'));
+            assert_eq!(line.matches('{').count(), line.matches('}').count());
+            assert!(line.contains("\"type\":"));
+            assert!(line.contains("\"at_s\":"));
+        }
+    }
+}

@@ -1,0 +1,56 @@
+//! Long-running BGP session monitoring on top of the T-DAT pipeline.
+//!
+//! The offline analyzer answers "why was that table transfer slow?"
+//! after the fact. This crate answers it *while it is happening*: a
+//! [`Monitor`] ingests frames from a pluggable [`PacketSource`] — a
+//! growing pcap file being written by a sniffer
+//! ([`FollowSource`]) or the discrete-event simulator driven in
+//! virtual time ([`SimSource`]) — and periodically re-analyzes every
+//! open connection over a trailing window. Detector outcomes feed an
+//! [`AlertEngine`] with per-session hysteresis, so alerts raise when a
+//! problem persists and clear when it goes away, once each. Events
+//! stream out as JSON Lines; operational counters (including an
+//! analysis-latency histogram) live in [`MonitorMetrics`].
+//!
+//! Determinism: the event stream is keyed exclusively to *trace*
+//! (virtual) time, so the same capture or scenario always produces
+//! byte-identical JSONL. Wall-clock readings appear only in the
+//! metrics.
+//!
+//! The `t-dat-monitor` binary wraps all of this:
+//!
+//! ```text
+//! t-dat-monitor --follow live.pcap --events alerts.jsonl
+//! t-dat-monitor --sim peergroup --window 300 --interval 10
+//! ```
+//!
+//! # Examples
+//!
+//! Watch a simulated zero-window-bug scenario:
+//!
+//! ```
+//! use tdat_monitor::{Monitor, MonitorConfig, MonitorEvent, SimSource};
+//! use tdat_tcpsim::scenario::ScenarioOptions;
+//!
+//! let config = MonitorConfig::default();
+//! let opts = ScenarioOptions { routes: 500, ..ScenarioOptions::default() };
+//! let mut source = SimSource::from_scenario("clean", &opts, config.interval, None)?;
+//! let mut monitor = Monitor::new(config);
+//! for event in monitor.run(&mut source).expect("simulated sources do not fail") {
+//!     println!("{}", event.to_json());
+//! }
+//! # Ok::<(), String>(())
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod alerts;
+pub mod engine;
+pub mod metrics;
+pub mod source;
+
+pub use alerts::{Alert, AlertAction, AlertConfig, AlertEngine, AlertKind, Condition, Severity};
+pub use engine::{ConnectionSummary, Monitor, MonitorConfig, MonitorEvent};
+pub use metrics::{LatencyHistogram, MonitorMetrics};
+pub use source::{FollowSource, PacketSource, SimSource, SourceEvent};

@@ -1,0 +1,411 @@
+//! Follow-mode ("tail -f") reading of a growing pcap capture.
+//!
+//! A live capture process appends records to a pcap file while a
+//! monitor reads it concurrently. At any instant the file may end in
+//! the middle of a record — the capturer has written the 16-byte record
+//! header but not yet all the captured bytes, or only part of the
+//! header, or (right after the file was created) only part of the
+//! 24-byte global header. None of those states is corruption; they are
+//! simply *incomplete*, and the reader must retry from the same offset
+//! once the file has grown.
+//!
+//! [`PcapFollower`] implements that polling discipline: it remembers
+//! the byte offset of the last fully consumed record and, on each poll,
+//! attempts to parse one more record from there. If the bytes are not
+//! all present yet it reports [`None`] and leaves the committed offset
+//! untouched, so the next poll re-reads the partial tail. Decode errors
+//! (bad magic, implausible record length) are still errors: growth can
+//! only ever fix missing bytes, not wrong ones.
+
+use std::fs::File;
+use std::io::{self, Read, Seek, SeekFrom};
+use std::path::Path;
+
+use crate::error::{PacketError, Result};
+use crate::frame::TcpFrame;
+use crate::pcap::{RawRecord, LINKTYPE_ETHERNET, MAGIC_MICROS, MAGIC_NANOS};
+use tdat_timeset::Micros;
+
+/// Parsed global-header state, established once 24 bytes are available.
+#[derive(Debug, Clone, Copy)]
+struct FileHeader {
+    little_endian: bool,
+    nanos: bool,
+    link_type: u32,
+}
+
+impl FileHeader {
+    fn u32(&self, b: [u8; 4]) -> u32 {
+        if self.little_endian {
+            u32::from_le_bytes(b)
+        } else {
+            u32::from_be_bytes(b)
+        }
+    }
+}
+
+/// A pcap reader that tails a growing file.
+///
+/// Unlike [`PcapReader`](crate::PcapReader), end-of-file is never an
+/// error *or* a terminal condition: [`poll_record`] returns `Ok(None)`
+/// whenever the next record is not fully written yet, and a later poll
+/// picks up from the same committed offset. Timestamps are rebased to
+/// the first record, matching the batch reader.
+///
+/// # Examples
+///
+/// ```no_run
+/// use tdat_packet::PcapFollower;
+///
+/// let mut follower = PcapFollower::open("live.pcap")?;
+/// loop {
+///     match follower.poll_frame()? {
+///         Some(frame) => println!("{frame}"),
+///         None => std::thread::sleep(std::time::Duration::from_millis(50)),
+///     }
+/// }
+/// # Ok::<(), Box<dyn std::error::Error>>(())
+/// ```
+///
+/// [`poll_record`]: PcapFollower::poll_record
+#[derive(Debug)]
+pub struct PcapFollower<R> {
+    input: R,
+    /// Byte offset just past the last fully consumed item (global
+    /// header or record). Never advanced past a partial read.
+    offset: u64,
+    header: Option<FileHeader>,
+    /// Timestamp of the first record (the trace epoch).
+    epoch: Option<i64>,
+    records_read: u64,
+}
+
+impl PcapFollower<File> {
+    /// Opens a capture file for following. The file must exist but may
+    /// still be empty: the global header is parsed lazily once its 24
+    /// bytes have been written.
+    ///
+    /// # Errors
+    ///
+    /// Fails on I/O errors opening the file.
+    pub fn open(path: impl AsRef<Path>) -> Result<Self> {
+        Ok(PcapFollower::new(File::open(path)?))
+    }
+}
+
+impl<R: Read + Seek> PcapFollower<R> {
+    /// Wraps any seekable reader positioned anywhere (the follower
+    /// seeks absolutely on every poll).
+    pub fn new(input: R) -> Self {
+        PcapFollower {
+            input,
+            offset: 0,
+            header: None,
+            epoch: None,
+            records_read: 0,
+        }
+    }
+
+    /// Records fully consumed so far.
+    pub fn records_read(&self) -> u64 {
+        self.records_read
+    }
+
+    /// The file's link type, once the global header has been read.
+    pub fn link_type(&self) -> Option<u32> {
+        self.header.map(|h| h.link_type)
+    }
+
+    /// Reads exactly `buf.len()` bytes at the current position, or
+    /// reports `Ok(false)` if the file ends first (partial tail —
+    /// retry after growth). Other I/O errors propagate.
+    fn read_full(&mut self, buf: &mut [u8]) -> Result<bool> {
+        let mut filled = 0;
+        while filled < buf.len() {
+            match self.input.read(&mut buf[filled..]) {
+                Ok(0) => return Ok(false),
+                Ok(n) => filled += n,
+                Err(e) if e.kind() == io::ErrorKind::Interrupted => {}
+                Err(e) => return Err(e.into()),
+            }
+        }
+        Ok(true)
+    }
+
+    /// Parses the 24-byte global header if not done yet. `Ok(false)`
+    /// means the header is still incomplete on disk.
+    fn ensure_header(&mut self) -> Result<bool> {
+        if self.header.is_some() {
+            return Ok(true);
+        }
+        self.input.seek(SeekFrom::Start(0))?;
+        let mut header = [0u8; 24];
+        if !self.read_full(&mut header)? {
+            return Ok(false);
+        }
+        let magic_le = u32::from_le_bytes([header[0], header[1], header[2], header[3]]);
+        let magic_be = u32::from_be_bytes([header[0], header[1], header[2], header[3]]);
+        let (little_endian, nanos) = match (magic_le, magic_be) {
+            (MAGIC_MICROS, _) => (true, false),
+            (MAGIC_NANOS, _) => (true, true),
+            (_, MAGIC_MICROS) => (false, false),
+            (_, MAGIC_NANOS) => (false, true),
+            _ => return Err(PacketError::BadMagic(magic_le)),
+        };
+        let parsed = FileHeader {
+            little_endian,
+            nanos,
+            link_type: 0, // patched below once endianness is known
+        };
+        let link_type = parsed.u32([header[20], header[21], header[22], header[23]]);
+        self.header = Some(FileHeader {
+            link_type,
+            ..parsed
+        });
+        self.offset = 24;
+        Ok(true)
+    }
+
+    /// Attempts to read the next complete record.
+    ///
+    /// Returns `Ok(None)` when the file does not (yet) contain a full
+    /// record past the committed offset — including a bare or partial
+    /// record header and a record header whose captured bytes are still
+    /// being written. The committed offset is only advanced over fully
+    /// read records, so polling again after the file grows resumes
+    /// cleanly.
+    ///
+    /// # Errors
+    ///
+    /// Fails on I/O errors, a bad magic number, or an implausible
+    /// record length (true corruption, which no amount of growth can
+    /// repair).
+    pub fn poll_record(&mut self) -> Result<Option<RawRecord>> {
+        if !self.ensure_header()? {
+            return Ok(None);
+        }
+        let header = self.header.expect("ensured above");
+        self.input.seek(SeekFrom::Start(self.offset))?;
+        let mut rec_header = [0u8; 16];
+        if !self.read_full(&mut rec_header)? {
+            return Ok(None);
+        }
+        let ts_sec =
+            header.u32([rec_header[0], rec_header[1], rec_header[2], rec_header[3]]) as i64;
+        let ts_frac =
+            header.u32([rec_header[4], rec_header[5], rec_header[6], rec_header[7]]) as i64;
+        let incl_len = header.u32([rec_header[8], rec_header[9], rec_header[10], rec_header[11]]);
+        let orig_len = header.u32([
+            rec_header[12],
+            rec_header[13],
+            rec_header[14],
+            rec_header[15],
+        ]);
+        if incl_len > 0x0400_0000 {
+            return Err(PacketError::Malformed {
+                what: "pcap record",
+                detail: format!("implausible captured length {incl_len}"),
+            });
+        }
+        let mut data = vec![0u8; incl_len as usize];
+        if !self.read_full(&mut data)? {
+            return Ok(None);
+        }
+        self.offset += 16 + incl_len as u64;
+        self.records_read += 1;
+        let micros = if header.nanos {
+            ts_frac / 1000
+        } else {
+            ts_frac
+        };
+        let abs = ts_sec * 1_000_000 + micros;
+        let epoch = *self.epoch.get_or_insert(abs);
+        Ok(Some(RawRecord {
+            timestamp: Micros(abs - epoch),
+            orig_len,
+            data,
+        }))
+    }
+
+    /// Attempts to read the next record and parse it as a TCP/IPv4
+    /// Ethernet frame. `Ok(None)` means "not yet" — see
+    /// [`poll_record`](Self::poll_record).
+    ///
+    /// # Errors
+    ///
+    /// Fails on I/O errors, corruption, a non-Ethernet link type, or a
+    /// record that is not TCP over IPv4.
+    pub fn poll_frame(&mut self) -> Result<Option<TcpFrame>> {
+        match self.poll_record()? {
+            Some(record) => {
+                let header = self.header.expect("record implies header");
+                if header.link_type != LINKTYPE_ETHERNET {
+                    return Err(PacketError::UnsupportedLinkType(header.link_type));
+                }
+                TcpFrame::parse(record.timestamp, &record.data).map(Some)
+            }
+            None => Ok(None),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::frame::FrameBuilder;
+    use crate::pcap::PcapWriter;
+    use std::io::Write;
+    use std::net::Ipv4Addr;
+
+    fn frame(t_ms: i64, len: usize) -> TcpFrame {
+        FrameBuilder::new(Ipv4Addr::new(10, 0, 0, 1), Ipv4Addr::new(10, 0, 0, 2))
+            .at(Micros::from_millis(t_ms))
+            .ports(179, 40000)
+            .seq(1)
+            .payload(vec![0xab; len])
+            .build()
+    }
+
+    fn encode(frames: &[TcpFrame]) -> Vec<u8> {
+        let mut buf = Vec::new();
+        {
+            let mut w = PcapWriter::new(&mut buf).unwrap();
+            for f in frames {
+                w.write_frame(f).unwrap();
+            }
+        }
+        buf
+    }
+
+    /// A growing temp file the tests can append to byte by byte.
+    struct GrowingFile {
+        path: std::path::PathBuf,
+        out: File,
+    }
+
+    impl GrowingFile {
+        fn create(name: &str) -> GrowingFile {
+            let dir = std::env::temp_dir().join("tdat_follow_test");
+            std::fs::create_dir_all(&dir).unwrap();
+            let path = dir.join(name);
+            let out = File::create(&path).unwrap();
+            GrowingFile { path, out }
+        }
+
+        fn append(&mut self, bytes: &[u8]) {
+            self.out.write_all(bytes).unwrap();
+            self.out.flush().unwrap();
+        }
+    }
+
+    impl Drop for GrowingFile {
+        fn drop(&mut self) {
+            std::fs::remove_file(&self.path).ok();
+        }
+    }
+
+    #[test]
+    fn byte_at_a_time_growth_never_errors_and_yields_every_frame() {
+        let frames = vec![frame(0, 10), frame(5, 0), frame(12, 300)];
+        let bytes = encode(&frames);
+        let mut file = GrowingFile::create("byte_at_a_time.pcap");
+        let mut follower = PcapFollower::open(&file.path).unwrap();
+        let mut got = Vec::new();
+        for b in &bytes {
+            // Before the byte lands, the tail is partial: poll must
+            // report Pending (None), never an error.
+            assert!(follower.poll_frame().unwrap().is_none());
+            file.append(std::slice::from_ref(b));
+            if let Some(f) = follower.poll_frame().unwrap() {
+                got.push(f);
+            }
+        }
+        assert_eq!(got, frames);
+        // Fully drained: further polls stay Pending.
+        assert!(follower.poll_frame().unwrap().is_none());
+        assert_eq!(follower.records_read(), 3);
+    }
+
+    #[test]
+    fn truncated_final_record_is_retried_not_corruption() {
+        let frames = vec![frame(0, 100), frame(7, 200)];
+        let bytes = encode(&frames);
+        // Stop 10 bytes short of the second record's end.
+        let cut = bytes.len() - 10;
+        let mut file = GrowingFile::create("truncated_tail.pcap");
+        file.append(&bytes[..cut]);
+        let mut follower = PcapFollower::open(&file.path).unwrap();
+        assert_eq!(follower.poll_frame().unwrap(), Some(frames[0].clone()));
+        // The second record is incomplete: repeated polls report
+        // Pending and do not lose position.
+        for _ in 0..3 {
+            assert!(follower.poll_frame().unwrap().is_none());
+        }
+        file.append(&bytes[cut..]);
+        assert_eq!(follower.poll_frame().unwrap(), Some(frames[1].clone()));
+    }
+
+    #[test]
+    fn partial_global_header_is_pending() {
+        let bytes = encode(&[frame(0, 5)]);
+        let mut file = GrowingFile::create("partial_header.pcap");
+        file.append(&bytes[..13]); // half the global header
+        let mut follower = PcapFollower::open(&file.path).unwrap();
+        assert!(follower.poll_frame().unwrap().is_none());
+        assert!(follower.link_type().is_none());
+        file.append(&bytes[13..]);
+        assert!(follower.poll_frame().unwrap().is_some());
+        assert_eq!(follower.link_type(), Some(LINKTYPE_ETHERNET));
+    }
+
+    #[test]
+    fn bad_magic_is_a_hard_error() {
+        let mut file = GrowingFile::create("bad_magic.pcap");
+        file.append(&[0u8; 24]);
+        let mut follower = PcapFollower::open(&file.path).unwrap();
+        assert!(matches!(
+            follower.poll_record(),
+            Err(PacketError::BadMagic(_))
+        ));
+    }
+
+    #[test]
+    fn implausible_record_length_is_a_hard_error() {
+        let bytes = encode(&[]);
+        let mut file = GrowingFile::create("implausible_len.pcap");
+        file.append(&bytes);
+        let mut rec = Vec::new();
+        rec.extend_from_slice(&0u32.to_le_bytes());
+        rec.extend_from_slice(&0u32.to_le_bytes());
+        rec.extend_from_slice(&0xffff_ffffu32.to_le_bytes()); // incl_len
+        rec.extend_from_slice(&0u32.to_le_bytes());
+        file.append(&rec);
+        let mut follower = PcapFollower::open(&file.path).unwrap();
+        assert!(follower.poll_record().is_err());
+    }
+
+    #[test]
+    fn timestamps_rebase_to_first_record() {
+        let frames = vec![frame(1_000_000, 1), frame(1_000_500, 1)];
+        let mut file = GrowingFile::create("epoch.pcap");
+        file.append(&encode(&frames));
+        let mut follower = PcapFollower::open(&file.path).unwrap();
+        assert_eq!(
+            follower.poll_frame().unwrap().unwrap().timestamp,
+            Micros::ZERO
+        );
+        assert_eq!(
+            follower.poll_frame().unwrap().unwrap().timestamp,
+            Micros::from_millis(500)
+        );
+    }
+
+    #[test]
+    fn in_memory_cursor_works() {
+        let frames = vec![frame(0, 40)];
+        let bytes = encode(&frames);
+        let mut follower = PcapFollower::new(io::Cursor::new(bytes));
+        assert_eq!(follower.poll_frame().unwrap(), Some(frames[0].clone()));
+        assert!(follower.poll_frame().unwrap().is_none());
+    }
+}

@@ -41,6 +41,7 @@
 
 mod error;
 mod eth;
+mod follow;
 mod frame;
 mod ipv4;
 mod pcap;
@@ -48,6 +49,7 @@ mod tcp;
 
 pub use error::{PacketError, Result};
 pub use eth::{EthernetHeader, MacAddr, ETHERNET_HEADER_LEN, ETHERTYPE_IPV4};
+pub use follow::PcapFollower;
 pub use frame::{FrameBuilder, TcpFrame};
 pub use ipv4::{internet_checksum, Ipv4Header, IPPROTO_TCP, IPV4_HEADER_LEN};
 pub use pcap::{

@@ -11,30 +11,23 @@
 //!   uploss[:P]      random upstream loss (default 0.02)
 //!   burst           receiver-local drop burst mid-transfer
 //!   zwbug           zero-window-probe discard bug under load
+//!   peergroup       collector failure blocks its whole peer group
 //! ```
 //!
 //! The output is a standard pcap, ready for `t-dat`, wireshark, or any
-//! other tool.
+//! other tool. The scenario vocabulary is shared with `t-dat-monitor
+//! --sim` (see [`tdat_tcpsim::scenario::build_scenario`]).
 
 use std::process::ExitCode;
 
-use tdat_bgp::TableGenerator;
 use tdat_packet::write_pcap_file;
-use tdat_tcpsim::net::LossModel;
-use tdat_tcpsim::scenario::{monitoring_topology, transfer_spec, TopologyOptions};
-use tdat_tcpsim::{BgpReceiverConfig, SenderTimer, Simulation, TcpConfig};
-use tdat_timeset::{Micros, Span};
-
-const USAGE: &str = "usage: bgpsim <clean|timer[:ms]|slow[:rate]|smallwin|uploss[:p]|burst|zwbug> \
-                     [-o out.pcap] [--routes N] [--seed S] [--rtt-ms MS]";
+use tdat_tcpsim::scenario::{build_scenario, ScenarioOptions, SCENARIO_USAGE};
 
 fn main() -> ExitCode {
     let mut args = std::env::args().skip(1);
     let mut scenario: Option<String> = None;
     let mut out = String::from("bgpsim.pcap");
-    let mut routes = 10_000usize;
-    let mut seed = 1u64;
-    let mut rtt_ms = 2.0f64;
+    let mut opts = ScenarioOptions::default();
     while let Some(arg) = args.next() {
         match arg.as_str() {
             "-o" | "--out" => match args.next() {
@@ -42,15 +35,15 @@ fn main() -> ExitCode {
                 None => return usage(),
             },
             "--routes" => match args.next().and_then(|v| v.parse().ok()) {
-                Some(v) => routes = v,
+                Some(v) => opts.routes = v,
                 None => return usage(),
             },
             "--seed" => match args.next().and_then(|v| v.parse().ok()) {
-                Some(v) => seed = v,
+                Some(v) => opts.seed = v,
                 None => return usage(),
             },
             "--rtt-ms" => match args.next().and_then(|v| v.parse().ok()) {
-                Some(v) => rtt_ms = v,
+                Some(v) => opts.rtt_ms = v,
                 None => return usage(),
             },
             "--help" | "-h" => return usage(),
@@ -61,68 +54,16 @@ fn main() -> ExitCode {
     let Some(scenario) = scenario else {
         return usage();
     };
-    let (name, param) = match scenario.split_once(':') {
-        Some((n, p)) => (n, Some(p)),
-        None => (scenario.as_str(), None),
-    };
 
-    let stream = TableGenerator::new(seed)
-        .routes(routes)
-        .generate()
-        .to_update_stream();
-    let stream_len = stream.len();
-    let mut opts = TopologyOptions::default();
-    opts.access.propagation = Micros::from_secs_f64(rtt_ms / 2.0 / 1e3);
-    if name == "uploss" {
-        let p: f64 = param.and_then(|p| p.parse().ok()).unwrap_or(0.02);
-        opts.access.loss = LossModel::Random { p, seed };
-    }
-    if name == "burst" {
-        // Aim the burst at the steady-state middle of the transfer.
-        let expected_ms = (stream_len as f64 / 10_000_000.0 * 1000.0).max(20.0);
-        let start = Micros::from_secs_f64(expected_ms * 0.4 / 1e3);
-        opts.last_hop.loss =
-            LossModel::Burst(vec![Span::new(start, start + Micros::from_millis(1))]);
-    }
-
-    let mut topo = monitoring_topology(1, opts);
-    let mut spec = transfer_spec(&topo, 0, stream);
-    match name {
-        "clean" | "uploss" | "burst" => {}
-        "timer" => {
-            let ms: i64 = param.and_then(|p| p.parse().ok()).unwrap_or(200);
-            spec.sender_app.timer = Some(SenderTimer {
-                interval: Micros::from_millis(ms),
-                quota: 8192,
-            });
-        }
-        "slow" => {
-            let rate: f64 = param.and_then(|p| p.parse().ok()).unwrap_or(40_000.0);
-            spec.receiver_app = BgpReceiverConfig {
-                processing_rate: rate,
-                ..BgpReceiverConfig::default()
-            };
-        }
-        "smallwin" => {
-            spec.receiver_tcp = TcpConfig {
-                recv_buffer: 16_384,
-                ..TcpConfig::default()
-            };
-        }
-        "zwbug" => {
-            spec.sender_tcp.zero_window_probe_bug = true;
-            spec.receiver_app.processing_rate = 25_000.0;
-        }
-        other => {
-            eprintln!("bgpsim: unknown scenario {other:?}");
+    let mut built = match build_scenario(&scenario, &opts) {
+        Ok(b) => b,
+        Err(e) => {
+            eprintln!("bgpsim: {e}");
             return usage();
         }
-    }
-
-    let mut sim = Simulation::new(topo.take_net());
-    sim.add_connection(spec);
-    sim.run(Micros::from_secs(1800));
-    let sim_out = sim.into_output();
+    };
+    built.sim.run(built.horizon);
+    let sim_out = built.sim.into_output();
     let frames = &sim_out.taps[0].1;
     if let Err(e) = write_pcap_file(&out, frames.iter()) {
         eprintln!("bgpsim: {out}: {e}");
@@ -143,6 +84,9 @@ fn main() -> ExitCode {
 }
 
 fn usage() -> ExitCode {
-    eprintln!("{USAGE}");
+    eprintln!(
+        "usage: bgpsim <{SCENARIO_USAGE}> \
+         [-o out.pcap] [--routes N] [--seed S] [--rtt-ms MS]"
+    );
     ExitCode::from(2)
 }

@@ -42,12 +42,14 @@
 
 pub mod bgpapp;
 pub mod config;
+pub mod live;
 pub mod net;
 pub mod scenario;
 pub mod sim;
 pub mod tcp;
 
 pub use config::{BgpReceiverConfig, BgpSenderConfig, SenderTimer, TcpConfig, TcpFlavor};
+pub use live::LiveTap;
 pub use sim::{
     ConnReport, ConnectionSpec, ScriptAction, SessionEvent, Side, SimOutput, Simulation,
 };

@@ -8,11 +8,11 @@
 
 use std::net::Ipv4Addr;
 
-use tdat_timeset::Micros;
+use tdat_timeset::{Micros, Span};
 
-use crate::config::{BgpReceiverConfig, BgpSenderConfig, TcpConfig};
-use crate::net::{LinkConfig, LinkId, Network, NodeId};
-use crate::sim::ConnectionSpec;
+use crate::config::{BgpReceiverConfig, BgpSenderConfig, SenderTimer, TcpConfig};
+use crate::net::{LinkConfig, LinkId, LossModel, Network, NodeId};
+use crate::sim::{ConnectionSpec, ScriptAction, Simulation};
 
 /// Link parameter overrides for [`monitoring_topology`].
 #[derive(Debug, Clone)]
@@ -198,6 +198,222 @@ pub fn transfer_spec(topo: &MonitoringTopology, i: usize, stream: Vec<u8>) -> Co
     }
 }
 
+/// Parameters shared by every named scenario (see [`build_scenario`]).
+#[derive(Debug, Clone)]
+pub struct ScenarioOptions {
+    /// Routes in the generated table.
+    pub routes: usize,
+    /// Table-generator / loss-model seed.
+    pub seed: u64,
+    /// Round-trip propagation on the access link, in milliseconds.
+    pub rtt_ms: f64,
+}
+
+impl Default for ScenarioOptions {
+    fn default() -> ScenarioOptions {
+        ScenarioOptions {
+            routes: 10_000,
+            seed: 1,
+            rtt_ms: 2.0,
+        }
+    }
+}
+
+/// A named scenario, built and ready to run.
+#[derive(Debug)]
+pub struct BuiltScenario {
+    /// The configured simulation (connections and scripts added).
+    pub sim: Simulation,
+    /// The tapped sniffer node, for draining captured frames.
+    pub sniffer: NodeId,
+    /// Simulated-time horizon the scenario completes within — pass it
+    /// to [`Simulation::run`] or [`crate::LiveTap::new`].
+    pub horizon: Micros,
+}
+
+/// The scenario names [`build_scenario`] understands (parameterized
+/// ones accept a `:value` suffix).
+pub const SCENARIO_NAMES: &[&str] = &[
+    "clean",
+    "timer",
+    "slow",
+    "smallwin",
+    "uploss",
+    "burst",
+    "zwbug",
+    "peergroup",
+];
+
+/// One-line usage summary of the scenario grammar, for CLI help texts.
+pub const SCENARIO_USAGE: &str =
+    "clean|timer[:ms]|slow[:rate]|smallwin|uploss[:p]|burst|zwbug|peergroup";
+
+/// Builds a canonical fault scenario from its textual spec — the shared
+/// vocabulary of the `bgpsim` trace synthesizer, the `t-dat-monitor`
+/// `--sim` driver, and the integration tests:
+///
+/// * `clean` — unimpeded transfer;
+/// * `timer[:MS]` — quota-timer-paced sender (default 200 ms);
+/// * `slow[:RATE]` — overloaded collector (bytes/s, default 40000);
+/// * `smallwin` — 16 kB receiver window;
+/// * `uploss[:P]` — random upstream loss (default 0.02);
+/// * `burst` — receiver-local drop burst mid-transfer;
+/// * `zwbug` — zero-window-probe discard bug under load;
+/// * `peergroup` — two collectors in one peer group; one fails
+///   mid-transfer and blocks the other (Fig. 9).
+///
+/// Identical inputs build identical simulations, so everything
+/// downstream (captures, analyses, alerts) is deterministic.
+///
+/// # Errors
+///
+/// Returns a descriptive message for an unknown name or a malformed
+/// parameter.
+pub fn build_scenario(spec: &str, opts: &ScenarioOptions) -> Result<BuiltScenario, String> {
+    let (name, param) = match spec.split_once(':') {
+        Some((n, p)) => (n, Some(p)),
+        None => (spec, None),
+    };
+    let parse_param = |what: &str, default: f64| -> Result<f64, String> {
+        match param {
+            None => Ok(default),
+            Some(p) => p
+                .parse()
+                .map_err(|_| format!("scenario {name}: bad {what} {p:?}")),
+        }
+    };
+    if param.is_some() && !matches!(name, "timer" | "slow" | "uploss") {
+        return Err(format!("scenario {name} takes no parameter"));
+    }
+
+    let stream = tdat_bgp::TableGenerator::new(opts.seed)
+        .routes(opts.routes)
+        .generate()
+        .to_update_stream();
+
+    if name == "peergroup" {
+        return Ok(build_peergroup(stream, opts));
+    }
+
+    let stream_len = stream.len();
+    let mut topo_opts = TopologyOptions::default();
+    topo_opts.access.propagation = Micros::from_secs_f64(opts.rtt_ms / 2.0 / 1e3);
+    match name {
+        "uploss" => {
+            let p = parse_param("loss probability", 0.02)?;
+            topo_opts.access.loss = LossModel::Random { p, seed: opts.seed };
+        }
+        "burst" => {
+            // Aim the burst at the steady-state middle of the transfer.
+            let expected_ms = (stream_len as f64 / 10_000_000.0 * 1000.0).max(20.0);
+            let start = Micros::from_secs_f64(expected_ms * 0.4 / 1e3);
+            topo_opts.last_hop.loss =
+                LossModel::Burst(vec![Span::new(start, start + Micros::from_millis(1))]);
+        }
+        _ => {}
+    }
+
+    let mut topo = monitoring_topology(1, topo_opts);
+    let mut spec = transfer_spec(&topo, 0, stream);
+    match name {
+        "clean" | "uploss" | "burst" => {}
+        "timer" => {
+            let ms = parse_param("interval", 200.0)?;
+            spec.sender_app.timer = Some(SenderTimer {
+                interval: Micros::from_secs_f64(ms / 1e3),
+                quota: 8192,
+            });
+        }
+        "slow" => {
+            let rate = parse_param("rate", 40_000.0)?;
+            spec.receiver_app = BgpReceiverConfig {
+                processing_rate: rate,
+                ..BgpReceiverConfig::default()
+            };
+        }
+        "smallwin" => {
+            spec.receiver_tcp = TcpConfig {
+                recv_buffer: 16_384,
+                ..TcpConfig::default()
+            };
+        }
+        "zwbug" => {
+            spec.sender_tcp.zero_window_probe_bug = true;
+            spec.receiver_app.processing_rate = 25_000.0;
+        }
+        other => return Err(format!("unknown scenario {other:?}")),
+    }
+
+    let sniffer = topo.sniffer;
+    let mut sim = Simulation::new(topo.take_net());
+    sim.add_connection(spec);
+    Ok(BuiltScenario {
+        sim,
+        sniffer,
+        horizon: Micros::from_secs(1800),
+    })
+}
+
+/// The Fig. 9 peer-group incident: one router replicates the table to
+/// two collectors in a shared peer group; the second collector fails
+/// mid-transfer, its session stalls toward the hold timeout, and the
+/// group's shared quota blocks the healthy session for minutes.
+fn build_peergroup(stream: Vec<u8>, opts: &ScenarioOptions) -> BuiltScenario {
+    let mut net = Network::new();
+    let router_addr = Ipv4Addr::new(10, 1, 0, 1);
+    let quagga_addr = Ipv4Addr::new(10, 1, 255, 1);
+    let vendor_addr = Ipv4Addr::new(10, 1, 255, 2);
+    let router = net.add_node("router", vec![router_addr]);
+    let sniffer = net.add_node("sniffer", vec![]);
+    net.add_tap(sniffer);
+    let quagga = net.add_node("quagga", vec![quagga_addr]);
+    let vendor = net.add_node("vendor", vec![vendor_addr]);
+    let access = LinkConfig {
+        propagation: Micros::from_secs_f64(opts.rtt_ms / 2.0 / 1e3),
+        ..LinkConfig::default()
+    };
+    let (r2s, s2r) = net.add_duplex(router, sniffer, access);
+    let (s2q, q2s) = net.add_duplex(sniffer, quagga, LinkConfig::default());
+    let (s2v, v2s) = net.add_duplex(sniffer, vendor, LinkConfig::default());
+    net.add_route(router, quagga_addr, r2s);
+    net.add_route(router, vendor_addr, r2s);
+    net.add_route(sniffer, quagga_addr, s2q);
+    net.add_route(sniffer, vendor_addr, s2v);
+    net.add_route(sniffer, router_addr, s2r);
+    net.add_route(quagga, router_addr, q2s);
+    net.add_route(vendor, router_addr, v2s);
+
+    let mut sim = Simulation::new(net);
+    let group = sim.add_group(stream.len());
+    let mk = |raddr: Ipv4Addr, rnode: NodeId, port: u16| ConnectionSpec {
+        sender_node: router,
+        receiver_node: rnode,
+        sender_addr: (router_addr, port),
+        receiver_addr: (raddr, 179),
+        sender_tcp: TcpConfig::default(),
+        receiver_tcp: TcpConfig::default(),
+        sender_app: BgpSenderConfig {
+            timer: Some(SenderTimer {
+                interval: Micros::from_millis(200),
+                quota: 8192,
+            }),
+            ..BgpSenderConfig::default()
+        },
+        receiver_app: BgpReceiverConfig::default(),
+        stream: stream.clone(),
+        open_at: Micros::ZERO,
+        group: Some(group),
+    };
+    sim.add_connection(mk(quagga_addr, quagga, 50_000));
+    sim.add_connection(mk(vendor_addr, vendor, 50_001));
+    sim.add_script(Micros::from_secs(1), ScriptAction::FailNode(vendor));
+    BuiltScenario {
+        sim,
+        sniffer,
+        horizon: Micros::from_secs(600),
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -225,5 +441,37 @@ mod tests {
         assert_eq!(spec.sender_addr.1, 179);
         assert_eq!(spec.receiver_addr.0, topo.collector_addr);
         assert_eq!(spec.stream, vec![1, 2, 3]);
+    }
+
+    #[test]
+    fn every_named_scenario_builds() {
+        let opts = ScenarioOptions {
+            routes: 50,
+            ..ScenarioOptions::default()
+        };
+        for name in SCENARIO_NAMES {
+            let built = build_scenario(name, &opts)
+                .unwrap_or_else(|e| panic!("scenario {name} failed: {e}"));
+            assert!(built.horizon > Micros::ZERO);
+        }
+        assert!(build_scenario("timer:500", &opts).is_ok());
+        assert!(build_scenario("uploss:0.05", &opts).is_ok());
+        assert!(build_scenario("nosuch", &opts).is_err());
+        assert!(build_scenario("timer:abc", &opts).is_err());
+        assert!(build_scenario("clean:1", &opts).is_err(), "stray parameter");
+    }
+
+    #[test]
+    fn scenario_build_is_deterministic() {
+        let opts = ScenarioOptions {
+            routes: 200,
+            ..ScenarioOptions::default()
+        };
+        let run = |spec: &str| {
+            let mut built = build_scenario(spec, &opts).unwrap();
+            built.sim.run(built.horizon);
+            built.sim.into_output().taps.remove(0).1
+        };
+        assert_eq!(run("uploss"), run("uploss"));
     }
 }

@@ -364,6 +364,18 @@ impl Simulation {
             })
     }
 
+    /// Drains the frames captured so far by the sniffer tap on `node`
+    /// (empty if the node has no tap or nothing new arrived). The tap
+    /// keeps capturing; this is the incremental "live capture" path —
+    /// frames drained here no longer appear in
+    /// [`into_output`](Self::into_output).
+    pub fn take_tap_frames(&mut self, node: NodeId) -> Vec<TcpFrame> {
+        match &mut self.net.node_mut(node).tap {
+            Some(tap) => std::mem::take(&mut tap.frames),
+            None => Vec::new(),
+        }
+    }
+
     /// Consumes the simulation, producing the output bundle.
     pub fn into_output(mut self) -> SimOutput {
         let mut taps = Vec::new();

@@ -203,6 +203,32 @@ impl ConnectionTracker {
             .collect()
     }
 
+    /// Builds a point-in-time snapshot of every *open* connection, by
+    /// ordinal, without finalizing anything: the tracker keeps all its
+    /// state and later frames keep accumulating. This is the
+    /// partial-finalize path a live monitor uses to diagnose
+    /// connections that have not closed yet.
+    ///
+    /// Each snapshot connection is built with the same code path as a
+    /// finalized one, so it equals what [`finish`](Self::finish) would
+    /// return if the capture ended right now.
+    pub fn snapshot(&self) -> Vec<FinalizedConnection> {
+        let mut open: Vec<(&ConnKey, &ConnState)> = self.open.iter().collect();
+        open.sort_unstable_by_key(|(_, s)| s.ordinal);
+        open.into_iter()
+            .map(|(key, state)| FinalizedConnection {
+                ordinal: state.ordinal,
+                key: *key,
+                connection: build_connection(&state.metas),
+            })
+            .collect()
+    }
+
+    /// The latest trace timestamp seen so far.
+    pub fn now(&self) -> Micros {
+        self.now
+    }
+
     /// Flushes all remaining open connections (end of trace), by
     /// ordinal.
     pub fn finish(mut self) -> Vec<FinalizedConnection> {
@@ -382,6 +408,40 @@ mod tests {
         }
         assert_eq!(finalized.len(), 1);
         assert!(finalized[0].connection.profile.reset);
+    }
+
+    #[test]
+    fn snapshot_equals_finish_and_does_not_disturb_tracking() {
+        let x = exchange(addr(1), addr(2), 0);
+        let y = exchange(addr(3), addr(2), 50);
+        let mut frames: Vec<TcpFrame> = x.into_iter().chain(y).collect();
+        frames.sort_by_key(|f| f.timestamp);
+        let mut tracker = ConnectionTracker::new(TrackerConfig::batch());
+        // Snapshot halfway through: both connections open and partial.
+        let half = frames.len() / 2;
+        for f in &frames[..half] {
+            assert!(tracker.ingest(f).is_empty());
+        }
+        let mid = tracker.snapshot();
+        assert_eq!(mid.len(), tracker.open_connections());
+        {
+            let mut twin = ConnectionTracker::new(TrackerConfig::batch());
+            for f in &frames[..half] {
+                twin.ingest(f);
+            }
+            assert_eq!(mid, twin.finish(), "snapshot == finish at the same point");
+        }
+        // Snapshotting must not perturb subsequent tracking.
+        for f in &frames[half..] {
+            tracker.ingest(f);
+        }
+        let full = tracker.snapshot();
+        let finished = tracker.finish();
+        assert_eq!(full, finished);
+        let batch = extract_connections(&frames);
+        for (got, want) in finished.iter().zip(&batch) {
+            assert_eq!(&got.connection, want);
+        }
     }
 
     #[test]

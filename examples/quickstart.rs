@@ -5,7 +5,7 @@
 //! cargo run --example quickstart
 //! ```
 
-use tdat::Analyzer;
+use tdat::StreamAnalyzer;
 use tdat_bgp::TableGenerator;
 use tdat_packet::write_pcap_file;
 use tdat_tcpsim::scenario::{monitoring_topology, transfer_spec, TopologyOptions};
@@ -43,7 +43,7 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     write_pcap_file(&path, frames.iter())?;
     println!("wrote {} frames to {}", frames.len(), path.display());
 
-    let analyses = Analyzer::default().analyze_pcap(&path)?;
+    let analyses = StreamAnalyzer::new(Default::default()).analyze_pcap(&path)?;
     for analysis in &analyses {
         println!(
             "\nconnection {}:{} -> {}:{}",

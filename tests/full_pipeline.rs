@@ -2,7 +2,7 @@
 //! included — simulate → pcap file → tcptrace'/pcap2bgp/MCT → T-DAT →
 //! factors and detectors.
 
-use tdat::{Analyzer, Factor};
+use tdat::{Analyzer, Factor, StreamAnalyzer};
 use tdat_bgp::{read_mrt, BgpMessage, TableGenerator};
 use tdat_packet::{read_pcap_file, write_pcap_file};
 use tdat_pcap2bgp::{extract_all, to_mrt_records};
@@ -37,8 +37,10 @@ fn simulate_to_pcap_to_analysis_round_trip() {
     let frames = read_pcap_file(&path).expect("read pcap");
     assert_eq!(frames.len(), out.taps[0].1.len());
 
-    // Analyze from the file.
-    let analyses = Analyzer::default().analyze_pcap(&path).expect("analyze");
+    // Analyze from the file via the streaming engine.
+    let analyses = StreamAnalyzer::new(Default::default())
+        .analyze_pcap(&path)
+        .expect("analyze");
     assert_eq!(analyses.len(), 1);
     let analysis = &analyses[0];
 
