@@ -1,0 +1,78 @@
+//! Benchmarks of the differential-oracle harness: the scoring
+//! primitives (span overlap, loss-matrix matching) and one full
+//! scenario — simulator run plus passive pipeline plus scoring — so
+//! sweep-cost regressions show up before CI times out.
+
+use criterion::{black_box, criterion_group, criterion_main, Criterion};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use tdat_oracle::{loss_matrix, run_scenario, scenario_matrix, span_score};
+use tdat_timeset::{Micros, Span, SpanSet};
+use tdat_trace::SegLabel;
+
+fn random_set(rng: &mut StdRng, spans: usize, horizon: i64) -> SpanSet {
+    SpanSet::from_spans((0..spans).map(|_| {
+        let start = rng.gen_range(0..horizon);
+        let len = rng.gen_range(1i64..50_000);
+        Span::from_micros(start, start + len)
+    }))
+}
+
+fn bench_span_score(c: &mut Criterion) {
+    let mut rng = StdRng::seed_from_u64(11);
+    let horizon = 600_000_000i64;
+    let truth = random_set(&mut rng, 2_000, horizon);
+    let inferred = random_set(&mut rng, 2_000, horizon);
+    let period = Span::from_micros(0, horizon);
+    c.bench_function("oracle/span_score_2k_spans", |b| {
+        b.iter(|| black_box(span_score(&truth, &inferred, period, Micros(8_000))))
+    });
+}
+
+fn bench_loss_matrix(c: &mut Criterion) {
+    let mut rng = StdRng::seed_from_u64(13);
+    let drops: Vec<tdat_oracle::TruthDrop> = (0..500)
+        .map(|_| tdat_oracle::TruthDrop {
+            time: Micros(rng.gen_range(0..600_000_000)),
+            seq: rng.gen_range(0..30_000_000u32),
+            upstream: rng.gen_bool(0.5),
+        })
+        .collect();
+    let labeled: Vec<tdat_oracle::LabeledSeg> = (0..20_000)
+        .map(|i| {
+            let seq = i as u32 * 1448;
+            tdat_oracle::LabeledSeg {
+                time: Micros(i as i64 * 30_000),
+                seq,
+                seq_end: seq + 1448,
+                label: if i % 37 == 0 {
+                    SegLabel::UpstreamLoss(Span::from_micros(0, 1))
+                } else {
+                    SegLabel::InOrder
+                },
+            }
+        })
+        .collect();
+    c.bench_function("oracle/loss_matrix_500x20k", |b| {
+        b.iter(|| black_box(loss_matrix(&drops, &labeled)))
+    });
+}
+
+fn bench_full_scenario(c: &mut Criterion) {
+    let matrix = scenario_matrix(1);
+    let sc = matrix
+        .iter()
+        .find(|s| s.name == "clean-NewReno-rtt4")
+        .expect("scenario present");
+    c.bench_function("oracle/run_scenario_clean", |b| {
+        b.iter(|| black_box(run_scenario(sc)))
+    });
+}
+
+criterion_group!(
+    benches,
+    bench_span_score,
+    bench_loss_matrix,
+    bench_full_scenario
+);
+criterion_main!(benches);

@@ -71,7 +71,8 @@ pub fn shift_acks(conn: &TcpConnection) -> ShiftedTrace {
     // t_ack + d2. (The naive "next data after the ACK" estimate
     // degenerates to ~0 under pipelined flow, where data released by
     // *earlier* ACKs keeps arriving continuously.)
-    let mut d2_estimates: Vec<Option<Micros>> = vec![None; acks.len()];
+    let mut d2_primary: Vec<Option<Micros>> = vec![None; acks.len()];
+    let mut d2_fallback: Vec<Option<Micros>> = vec![None; acks.len()];
     {
         let mut prev_release: Option<i64> = None; // rel(seq) permitted so far
         for (i, ack) in acks.iter().enumerate() {
@@ -79,19 +80,19 @@ pub fn shift_acks(conn: &TcpConnection) -> ShiftedTrace {
                 let idx = new_data.partition_point(|(_, s)| rel(*s) <= release);
                 if let Some((t, _)) = new_data.get(idx) {
                     if *t >= ack.time {
-                        d2_estimates[i] = Some(*t - ack.time);
+                        d2_primary[i] = Some(*t - ack.time);
                     }
                 }
             }
-            if d2_estimates[i].is_none() {
-                // Fallback (window never binding, e.g. cwnd-clocked
-                // flow, or no window context yet): first new data after
-                // the ACK. Loose under pipelining, which the flight
-                // minimum and the global d2 cap absorb.
-                let idx = new_data.partition_point(|(t, _)| *t <= ack.time);
-                if let Some((t, _)) = new_data.get(idx) {
-                    d2_estimates[i] = Some(*t - ack.time);
-                }
+            // Fallback (window never binding, e.g. cwnd-clocked flow,
+            // or no window context yet): first new data after the ACK.
+            // Degenerate under pipelining — data released by *earlier*
+            // ACKs keeps arriving ~immediately — so it is only used
+            // when the whole flight lacks release-point estimates AND
+            // no profile d2 is available.
+            let idx = new_data.partition_point(|(t, _)| *t <= ack.time);
+            if let Some((t, _)) = new_data.get(idx) {
+                d2_fallback[i] = Some(*t - ack.time);
             }
             if ack.window > 0 {
                 let this_release = rel(ack.ack) + ack.window as i64;
@@ -109,15 +110,30 @@ pub fn shift_acks(conn: &TcpConnection) -> ShiftedTrace {
     let mut shifts = Vec::new();
     let mut shifted_acks = acks.clone();
     for flight in &flights {
+        // Zero-window ACKs release nothing; the data that follows
+        // them came after the window reopened, so their estimate is
+        // meaningless and they must stay in place.
+        let open = |i: &&usize| acks[**i].window > 0;
         let d2_min = flight
             .members
             .iter()
-            // Zero-window ACKs release nothing; the data that follows
-            // them came after the window reopened, so their estimate is
-            // meaningless and they must stay in place.
-            .filter(|&&i| acks[i].window > 0)
-            .filter_map(|&i| d2_estimates[i])
-            .min();
+            .filter(open)
+            .filter_map(|&i| d2_primary[i])
+            .min()
+            // No release point fired in this flight: the window never
+            // bound the sender here, so ACK→release delay is pure path
+            // (the profile d2). The per-ACK fallback would collapse to
+            // ~0 under pipelined cwnd-clocked flow and turn every cwnd
+            // wait into a phantom sender-idle gap one RTT wide.
+            .or(global_d2)
+            .or_else(|| {
+                flight
+                    .members
+                    .iter()
+                    .filter(open)
+                    .filter_map(|&i| d2_fallback[i])
+                    .min()
+            });
         let Some(mut shift) = d2_min else { continue };
         if let Some(cap) = global_d2 {
             shift = shift.min(cap);
@@ -304,5 +320,98 @@ mod tests {
         let conns = extract_connections(&frames);
         let shifted = shift_acks(&conns[0]);
         assert_eq!(shifted.span(), Span::new(Micros(0), Micros(500)));
+    }
+
+    /// Pinned regression (found by the differential oracle): on a
+    /// cwnd-clocked flow whose advertised window never binds, no
+    /// release-point d2 estimate ever fires, and the naive "first new
+    /// data after the ACK" fallback degenerates to the pipelining gap
+    /// (~tens of µs) because data released by *earlier* ACKs is still
+    /// arriving. Taking the flight minimum of those fallbacks collapsed
+    /// the shift to ~0 and turned every congestion-window wait into a
+    /// phantom sender-idle gap one RTT wide. The flight must instead
+    /// shift by the profile d2 (pure upstream path delay).
+    fn handshake(rtt: i64) -> Vec<TcpFrame> {
+        use tdat_packet::TcpFlags;
+        vec![
+            FrameBuilder::new(a(), b())
+                .at(Micros(0))
+                .ports(179, 40000)
+                .seq(100)
+                .flags(TcpFlags::SYN)
+                .window(65535)
+                .build(),
+            FrameBuilder::new(b(), a())
+                .at(Micros(100))
+                .ports(40000, 179)
+                .seq(900)
+                .ack_to(101)
+                .flags(TcpFlags::SYN | TcpFlags::ACK)
+                .window(65535)
+                .build(),
+            FrameBuilder::new(a(), b())
+                .at(Micros(rtt))
+                .ports(179, 40000)
+                .seq(101)
+                .ack_to(901)
+                .window(65535)
+                .build(),
+        ]
+    }
+
+    #[test]
+    fn cwnd_clocked_flight_shifts_by_profile_d2_not_pipelining_gap() {
+        // rtt = 20.1 ms (handshake), d1 = 300 µs (data→ACK at the
+        // sniffer) → profile d2 = 19.8 ms. The 64 kB window never
+        // binds the ~8 kB stream, so no release-point estimate exists.
+        let mut frames = handshake(20_100);
+        // Flight 1: four segments; the receiver ACKs the first two
+        // while the last two are still arriving, so the "next new
+        // data" after that ACK is only 60 µs away (the degenerate
+        // estimate this test pins down).
+        for (t, seq) in [
+            (25_000, 101u32),
+            (25_080, 1101),
+            (25_160, 2101),
+            (25_240, 3101),
+        ] {
+            frames.push(data(t, seq, 1000));
+        }
+        frames.push(ack(25_180, 2101));
+        frames.push(ack(25_540, 4101));
+        // Flight 2 arrives one upstream RTT after those ACKs: the
+        // sender was cwnd-clocked, never idle.
+        for (t, seq) in [
+            (45_100, 4101u32),
+            (45_180, 5101),
+            (45_260, 6101),
+            (45_340, 7101),
+        ] {
+            frames.push(data(t, seq, 1000));
+        }
+        frames.push(ack(45_280, 6101));
+        frames.push(ack(45_640, 8101));
+
+        let conns = extract_connections(&frames);
+        assert_eq!(conns[0].profile.d2(), Some(Micros(19_800)));
+        let shifted = shift_acks(&conns[0]);
+        let flight1 = shifted
+            .shifts
+            .iter()
+            .find(|s| s.acks == 2 && s.flight.start == Micros(25_180))
+            .expect("mid-transfer ACK flight must be shifted");
+        assert_eq!(
+            flight1.shift,
+            Micros(19_800),
+            "flight must shift by profile d2, not the 60 µs pipelining artifact"
+        );
+        // The first ACK now lands just before the data it released —
+        // i.e. the phantom ~20 ms idle gap between its original
+        // position and flight 2 is gone.
+        let acks: Vec<Micros> = shifted.ack_segments().map(|s| s.time).collect();
+        assert!(
+            acks.contains(&Micros(44_980)),
+            "shifted ACK should sit at 44 980 µs, got {acks:?}"
+        );
     }
 }

@@ -1,0 +1,77 @@
+//! Runs the differential-oracle sweep and reports accuracy.
+//!
+//! ```text
+//! t-dat-oracle [--seed N] [--filter SUBSTR] [--artifact PATH]
+//! ```
+//!
+//! Exits 0 when every acceptance threshold holds, 1 otherwise; the
+//! summary (per-scenario scores plus the aggregated loss-location
+//! confusion matrix) goes to stdout and, with `--artifact`, to a file
+//! for CI upload.
+
+use std::process::ExitCode;
+
+use tdat_oracle::{evaluate, render, run_scenario, scenario_matrix, Thresholds};
+
+fn main() -> ExitCode {
+    let mut seed = 1u64;
+    let mut filter: Option<String> = None;
+    let mut artifact: Option<String> = None;
+    let mut args = std::env::args().skip(1);
+    while let Some(arg) = args.next() {
+        match arg.as_str() {
+            "--seed" => match args.next().and_then(|v| v.parse().ok()) {
+                Some(v) => seed = v,
+                None => return usage("--seed needs an integer"),
+            },
+            "--filter" => match args.next() {
+                Some(v) => filter = Some(v),
+                None => return usage("--filter needs a substring"),
+            },
+            "--artifact" => match args.next() {
+                Some(v) => artifact = Some(v),
+                None => return usage("--artifact needs a path"),
+            },
+            "--help" | "-h" => {
+                println!("usage: t-dat-oracle [--seed N] [--filter SUBSTR] [--artifact PATH]");
+                return ExitCode::SUCCESS;
+            }
+            other => return usage(&format!("unknown argument {other:?}")),
+        }
+    }
+
+    let scenarios: Vec<_> = scenario_matrix(seed)
+        .into_iter()
+        .filter(|s| filter.as_deref().is_none_or(|f| s.name.contains(f)))
+        .collect();
+    if scenarios.is_empty() {
+        return usage("filter matched no scenarios");
+    }
+
+    let mut reports = Vec::with_capacity(scenarios.len());
+    for sc in &scenarios {
+        eprintln!("running {} ...", sc.name);
+        reports.push(run_scenario(sc));
+    }
+
+    let failures = evaluate(&reports, &Thresholds::default());
+    let summary = render(&reports, &failures);
+    print!("{summary}");
+    if let Some(path) = artifact {
+        if let Err(e) = std::fs::write(&path, &summary) {
+            eprintln!("t-dat-oracle: cannot write {path}: {e}");
+            return ExitCode::FAILURE;
+        }
+    }
+    if failures.is_empty() {
+        ExitCode::SUCCESS
+    } else {
+        ExitCode::FAILURE
+    }
+}
+
+fn usage(msg: &str) -> ExitCode {
+    eprintln!("t-dat-oracle: {msg}");
+    eprintln!("usage: t-dat-oracle [--seed N] [--filter SUBSTR] [--artifact PATH]");
+    ExitCode::FAILURE
+}

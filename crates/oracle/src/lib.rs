@@ -1,0 +1,40 @@
+//! Differential oracle for the T-DAT passive-inference pipeline.
+//!
+//! The simulator (`tdat-tcpsim`) knows exactly *why* every transfer was
+//! slow: it records, as ground truth, the spans where the sending
+//! application was idle, where the congestion or advertised window was
+//! the binding limit, every zero-window episode, and the precise link
+//! (hence tap side) of every dropped frame. T-DAT sees only the
+//! sniffer's frames. This crate runs both over the same seeded
+//! scenarios and scores the passive inference against the truth:
+//!
+//! * per-factor span overlap (time-weighted precision/recall/F1) for
+//!   the sender-app-idle, cwnd-bound, rwnd-bound, and zero-window
+//!   factors;
+//! * a loss-location confusion matrix (truth tap side × inferred
+//!   label), including phantom-loss counts;
+//! * inferred-timer-period relative error;
+//! * detection booleans for the zero-ACK-bug and peer-group-blocking
+//!   faults.
+//!
+//! The scenario matrix ([`scenario_matrix`]) sweeps TCP variant, path
+//! shape, loss pattern, timer quota, and fault injection, all derived
+//! deterministically from one base seed, so a sweep is reproducible
+//! bit-for-bit and any accuracy regression is attributable to the
+//! commit that introduced it. The `t-dat-oracle` binary runs the sweep
+//! and exits nonzero when the acceptance thresholds are violated.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod matrix;
+pub mod report;
+pub mod run;
+pub mod score;
+
+pub use matrix::{scenario_matrix, Fault, LossSpec, OracleScenario};
+pub use report::{aggregate, evaluate, render, Thresholds};
+pub use run::{run_scenario, ScenarioReport};
+pub use score::{
+    loss_matrix, span_score, LabeledSeg, LossMatrix, SpanScore, TimerScore, TruthDrop,
+};

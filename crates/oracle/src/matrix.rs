@@ -1,0 +1,258 @@
+//! The seeded scenario matrix the oracle sweeps.
+//!
+//! Each scenario fixes one combination of TCP variant, path shape
+//! (bandwidth / delay / queue), loss pattern, sender-timer quota, and
+//! fault injection, and is fully determined by its parameters plus a
+//! seed: identical inputs always build identical simulations, so sweep
+//! results are reproducible and diffable across commits.
+
+use tdat_tcpsim::{SenderTimer, TcpFlavor};
+use tdat_timeset::Micros;
+
+/// Loss injection applied to the monitored path.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum LossSpec {
+    /// Loss-free path.
+    None,
+    /// Random loss on the access link (upstream of the tap), with the
+    /// given per-frame probability.
+    UpRandom(f64),
+    /// A burst outage on the access link, a fraction into the expected
+    /// transfer.
+    UpBurst,
+    /// A burst outage on the sniffer→collector hop (downstream of the
+    /// tap — receiver-local loss at the Fig. 2 vantage).
+    DownBurst,
+    /// No explicit loss model, but a shallow queue the transfer
+    /// overflows by itself (upstream queue drops).
+    QueueSqueeze,
+}
+
+impl LossSpec {
+    /// True when the scenario injects no loss at all (strict accuracy
+    /// criteria apply: zero misclassified loss locations).
+    pub fn is_clean(self) -> bool {
+        matches!(self, LossSpec::None)
+    }
+}
+
+/// End-host fault injection.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Fault {
+    /// No fault.
+    None,
+    /// The sender discards queued zero-window probes (§IV-B
+    /// ZeroAckBug), paired with a slow collector to provoke it.
+    ZwBug,
+    /// Two sessions share a peer group; one collector fails
+    /// mid-transfer and blocks the other (Fig. 9).
+    PeerGroup,
+}
+
+/// One fully specified oracle scenario.
+#[derive(Debug, Clone)]
+pub struct OracleScenario {
+    /// Short unique name, stable across runs (used in reports).
+    pub name: String,
+    /// Table-generator and loss-model seed.
+    pub seed: u64,
+    /// Sender congestion-control flavour.
+    pub flavor: TcpFlavor,
+    /// Round-trip propagation delay in milliseconds.
+    pub rtt_ms: f64,
+    /// Access-link bandwidth in bits/s.
+    pub access_bw_bps: f64,
+    /// Access-link queue depth in packets.
+    pub queue_packets: usize,
+    /// Loss injection.
+    pub loss: LossSpec,
+    /// Sender pacing timer, if any.
+    pub timer: Option<SenderTimer>,
+    /// Fault injection.
+    pub fault: Fault,
+    /// Routes in the generated table.
+    pub routes: usize,
+    /// Receiver TCP buffer (maximum advertised window) in bytes.
+    pub recv_buffer: u32,
+    /// Window-scale shift both endpoints offer (0 = no scaling).
+    pub window_scale: u8,
+    /// Collector processing rate in bytes/s, if throttled.
+    pub processing_rate: Option<f64>,
+}
+
+impl OracleScenario {
+    fn base(name: &str, seed: u64) -> OracleScenario {
+        OracleScenario {
+            name: name.to_string(),
+            seed,
+            flavor: TcpFlavor::NewReno,
+            rtt_ms: 4.0,
+            access_bw_bps: 1e8,
+            queue_packets: 256,
+            loss: LossSpec::None,
+            timer: None,
+            fault: Fault::None,
+            routes: 8_000,
+            recv_buffer: 65_535,
+            window_scale: 0,
+            processing_rate: None,
+        }
+    }
+
+    /// True when strict clean-scenario acceptance criteria apply.
+    pub fn is_clean(&self) -> bool {
+        self.loss.is_clean() && self.fault == Fault::None
+    }
+}
+
+fn timer(interval_ms: u64, quota: u32) -> Option<SenderTimer> {
+    Some(SenderTimer {
+        interval: Micros::from_millis(interval_ms as i64),
+        quota,
+    })
+}
+
+/// Builds the full scenario matrix for a base seed. Every scenario's
+/// own seed is derived deterministically, so two sweeps with the same
+/// base seed are byte-identical.
+pub fn scenario_matrix(base_seed: u64) -> Vec<OracleScenario> {
+    let mut m: Vec<OracleScenario> = Vec::new();
+    let s = |i: u64| base_seed.wrapping_mul(0x9e37_79b9).wrapping_add(i);
+
+    // --- Clean transfers: every flavour over two path shapes. The
+    // steady state is advertised-window-bound (BDP exceeds the 64 kB
+    // window on the fast path) with a congestion-window-bound opening.
+    for (fi, flavor) in [TcpFlavor::NewReno, TcpFlavor::Reno, TcpFlavor::Tahoe]
+        .into_iter()
+        .enumerate()
+    {
+        for (ri, rtt_ms) in [4.0, 24.0].into_iter().enumerate() {
+            let mut sc = OracleScenario::base(
+                &format!("clean-{flavor:?}-rtt{rtt_ms}"),
+                s(fi as u64 * 7 + ri as u64),
+            );
+            sc.flavor = flavor;
+            sc.rtt_ms = rtt_ms;
+            m.push(sc);
+        }
+    }
+
+    // --- Clean, congestion-window-bound throughout: a large scaled
+    // receive window over a long path keeps the transfer in slow start
+    // with RTT-spaced flights from start to finish.
+    for (i, rtt_ms) in [40.0, 60.0].into_iter().enumerate() {
+        let mut sc = OracleScenario::base(&format!("clean-cwnd-rtt{rtt_ms}"), s(20 + i as u64));
+        sc.rtt_ms = rtt_ms;
+        sc.recv_buffer = 4 << 20;
+        sc.window_scale = 7;
+        sc.routes = 16_000;
+        m.push(sc);
+    }
+
+    // --- Timer-paced senders: the quota timer dominates and its period
+    // must be recoverable from the gap-curve knee.
+    for (i, (interval_ms, quota)) in [(100, 8_192), (200, 8_192), (200, 16_384), (500, 8_192)]
+        .into_iter()
+        .enumerate()
+    {
+        let mut sc =
+            OracleScenario::base(&format!("timer-{interval_ms}ms-q{quota}"), s(30 + i as u64));
+        sc.timer = timer(interval_ms, quota);
+        m.push(sc);
+    }
+
+    // --- Small advertised windows (RouteViews' 16 kB, §V) and a slow
+    // collector: receiver-side factors dominate.
+    for (i, recv_buffer) in [16_384u32, 8_192].into_iter().enumerate() {
+        let mut sc = OracleScenario::base(&format!("smallwin-{recv_buffer}"), s(40 + i as u64));
+        sc.recv_buffer = recv_buffer;
+        m.push(sc);
+    }
+    {
+        let mut sc = OracleScenario::base("slowrecv", s(45));
+        sc.processing_rate = Some(60_000.0);
+        sc.routes = 4_000;
+        m.push(sc);
+    }
+
+    // --- Random upstream loss across flavours and rates.
+    for (i, (flavor, p)) in [
+        (TcpFlavor::NewReno, 0.01),
+        (TcpFlavor::NewReno, 0.03),
+        (TcpFlavor::Reno, 0.02),
+        (TcpFlavor::Tahoe, 0.02),
+    ]
+    .into_iter()
+    .enumerate()
+    {
+        let mut sc = OracleScenario::base(&format!("uploss-{flavor:?}-{p}"), s(50 + i as u64));
+        sc.flavor = flavor;
+        sc.loss = LossSpec::UpRandom(p);
+        m.push(sc);
+    }
+
+    // --- Burst outages on either side of the tap.
+    for i in 0..2u64 {
+        let mut sc = OracleScenario::base(&format!("downburst-{i}"), s(60 + i));
+        sc.loss = LossSpec::DownBurst;
+        m.push(sc);
+        let mut sc = OracleScenario::base(&format!("upburst-{i}"), s(70 + i));
+        sc.loss = LossSpec::UpBurst;
+        m.push(sc);
+    }
+
+    // --- Self-congestion: a shallow access queue the slow-start burst
+    // overflows (upstream queue drops, no loss model involved).
+    for (i, queue) in [12usize, 20].into_iter().enumerate() {
+        let mut sc = OracleScenario::base(&format!("queuesqueeze-{queue}"), s(80 + i as u64));
+        sc.loss = LossSpec::QueueSqueeze;
+        sc.queue_packets = queue;
+        sc.rtt_ms = 24.0;
+        m.push(sc);
+    }
+
+    // --- Timer × loss interaction.
+    for i in 0..2u64 {
+        let mut sc = OracleScenario::base(&format!("timer-uploss-{i}"), s(90 + i));
+        sc.timer = timer(200, 8_192);
+        sc.loss = LossSpec::UpRandom(0.015);
+        m.push(sc);
+    }
+
+    // --- Fault injection: zero-window-probe bug, peer-group blocking.
+    for i in 0..2u64 {
+        // The stream must well exceed the receive + send buffers or the
+        // transfer completes without ever closing the window.
+        let mut sc = OracleScenario::base(&format!("zwbug-{i}"), s(100 + i));
+        sc.fault = Fault::ZwBug;
+        sc.processing_rate = Some(25_000.0);
+        sc.routes = 6_000;
+        m.push(sc);
+        let mut sc = OracleScenario::base(&format!("peergroup-{i}"), s(110 + i));
+        sc.fault = Fault::PeerGroup;
+        sc.timer = timer(200, 8_192);
+        sc.routes = 4_000;
+        m.push(sc);
+    }
+
+    m
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn matrix_is_large_deterministic_and_uniquely_named() {
+        let a = scenario_matrix(1);
+        let b = scenario_matrix(1);
+        assert!(a.len() >= 30, "matrix has {} scenarios", a.len());
+        let names: std::collections::HashSet<_> = a.iter().map(|s| s.name.clone()).collect();
+        assert_eq!(names.len(), a.len(), "scenario names must be unique");
+        for (x, y) in a.iter().zip(&b) {
+            assert_eq!(x.name, y.name);
+            assert_eq!(x.seed, y.seed);
+        }
+        assert!(a.iter().filter(|s| s.is_clean()).count() >= 8);
+    }
+}

@@ -1,0 +1,202 @@
+//! Sweep aggregation: acceptance evaluation and the human-readable
+//! summary (including the confusion-matrix artifact CI uploads).
+
+use crate::run::ScenarioReport;
+use crate::score::{LossMatrix, INFERRED_LOSS_CLASSES, TRUTH_LOSS_CLASSES};
+
+/// Accuracy thresholds a sweep must meet. Defaults encode the
+/// acceptance criteria pinned by the regression suite.
+#[derive(Debug, Clone, Copy)]
+pub struct Thresholds {
+    /// Minimum span-overlap F1 for app-idle/cwnd/rwnd on clean runs.
+    pub clean_f1: f64,
+    /// Maximum relative timer-period error on clean timer runs.
+    pub timer_rel_error: f64,
+    /// Maximum fraction of matched truth drops located on the wrong
+    /// side of the tap, across the whole sweep.
+    pub cross_location_rate: f64,
+    /// Factors where truth and inference are both below this much
+    /// trace time (µs) are exempt from the F1 threshold — see
+    /// [`crate::score::SpanScore::material`].
+    pub materiality_us: i64,
+}
+
+impl Default for Thresholds {
+    fn default() -> Thresholds {
+        Thresholds {
+            clean_f1: 0.95,
+            timer_rel_error: 0.25,
+            cross_location_rate: 0.05,
+            materiality_us: 50_000,
+        }
+    }
+}
+
+/// Checks every acceptance criterion; returns one line per violation
+/// (empty = the sweep passes).
+pub fn evaluate(reports: &[ScenarioReport], th: &Thresholds) -> Vec<String> {
+    let mut failures = Vec::new();
+    for r in reports {
+        if r.clean {
+            for (factor, score) in [
+                ("app-idle", &r.app_idle),
+                ("cwnd", &r.cwnd),
+                ("rwnd", &r.rwnd),
+            ] {
+                if score.material(th.materiality_us) && score.f1() < th.clean_f1 {
+                    failures.push(format!(
+                        "{}: clean-scenario {factor} F1 {:.3} < {:.2} \
+                         (p={:.3} r={:.3}, truth {} ms, inferred {} ms)",
+                        r.name,
+                        score.f1(),
+                        th.clean_f1,
+                        score.precision,
+                        score.recall,
+                        score.truth_us / 1000,
+                        score.inferred_us / 1000,
+                    ));
+                }
+            }
+            if r.loss.misclassified() > 0 || r.loss.truth_total() > 0 {
+                failures.push(format!(
+                    "{}: clean scenario has loss activity: {} truth drops, {} misclassified",
+                    r.name,
+                    r.loss.truth_total(),
+                    r.loss.misclassified()
+                ));
+            }
+            if let Some(t) = &r.timer {
+                match t.rel_error {
+                    None => failures.push(format!(
+                        "{}: timer {} ms not inferred",
+                        r.name,
+                        t.configured.as_micros() / 1000
+                    )),
+                    Some(e) if e > th.timer_rel_error => failures.push(format!(
+                        "{}: timer error {:.1}% > {:.0}% (configured {} ms, inferred {:?})",
+                        r.name,
+                        e * 100.0,
+                        th.timer_rel_error * 100.0,
+                        t.configured.as_micros() / 1000,
+                        t.inferred,
+                    )),
+                    Some(_) => {}
+                }
+            }
+        }
+        if r.zwbug_detected == Some(false) {
+            failures.push(format!("{}: zero-ACK bug not detected", r.name));
+        }
+        if r.peergroup_detected == Some(false) {
+            failures.push(format!("{}: peer-group blocking not detected", r.name));
+        }
+    }
+
+    let total = aggregate(reports);
+    let matched = total.truth_total();
+    if matched > 0 {
+        let cross = (total.cells[0][1] + total.cells[1][0]) as f64 / matched as f64;
+        if cross > th.cross_location_rate {
+            failures.push(format!(
+                "sweep: cross-location rate {:.1}% > {:.0}% ({} of {} drops on the wrong side)",
+                cross * 100.0,
+                th.cross_location_rate * 100.0,
+                total.cells[0][1] + total.cells[1][0],
+                matched
+            ));
+        }
+    }
+    failures
+}
+
+/// Sums the loss matrices of every scenario.
+pub fn aggregate(reports: &[ScenarioReport]) -> LossMatrix {
+    let mut total = LossMatrix::default();
+    for r in reports {
+        total.add(&r.loss);
+    }
+    total
+}
+
+fn fmt_f1(s: &crate::score::SpanScore) -> String {
+    if s.truth_us == 0 && s.inferred_us == 0 {
+        "  -  ".to_string()
+    } else {
+        format!("{:.3}", s.f1())
+    }
+}
+
+/// Renders the per-scenario table plus the aggregated confusion matrix
+/// (the CI artifact).
+pub fn render(reports: &[ScenarioReport], failures: &[String]) -> String {
+    let mut out = String::new();
+    out.push_str(&format!(
+        "oracle sweep: {} scenarios\n\n{:<24} {:>6} {:>6} {:>6} {:>6} {:>6} {:>7} {:>9}\n",
+        reports.len(),
+        "scenario",
+        "appF1",
+        "cwndF1",
+        "rwndF1",
+        "zwF1",
+        "drops",
+        "miscls",
+        "timer%err"
+    ));
+    for r in reports {
+        let timer = match &r.timer {
+            Some(t) => match t.rel_error {
+                Some(e) => format!("{:.1}", e * 100.0),
+                None => "none".to_string(),
+            },
+            None => "-".to_string(),
+        };
+        let mut flags = String::new();
+        if r.zwbug_detected == Some(true) {
+            flags.push_str(" zwbug");
+        }
+        if r.peergroup_detected == Some(true) {
+            flags.push_str(" peergroup");
+        }
+        out.push_str(&format!(
+            "{:<24} {:>6} {:>6} {:>6} {:>6} {:>6} {:>7} {:>9}{}\n",
+            r.name,
+            fmt_f1(&r.app_idle),
+            fmt_f1(&r.cwnd),
+            fmt_f1(&r.rwnd),
+            fmt_f1(&r.zero_window),
+            r.loss.truth_total(),
+            r.loss.misclassified(),
+            timer,
+            flags,
+        ));
+    }
+
+    let total = aggregate(reports);
+    out.push_str("\nloss-location confusion (rows: truth, cols: inferred)\n");
+    out.push_str(&format!("{:<12}", ""));
+    for c in INFERRED_LOSS_CLASSES {
+        out.push_str(&format!("{c:>11}"));
+    }
+    out.push('\n');
+    for (ri, row) in TRUTH_LOSS_CLASSES.iter().enumerate() {
+        out.push_str(&format!("{row:<12}"));
+        for cell in total.cells[ri] {
+            out.push_str(&format!("{cell:>11}"));
+        }
+        out.push('\n');
+    }
+    out.push_str(&format!(
+        "phantoms: upstream {}, downstream {}\n",
+        total.phantom_upstream, total.phantom_downstream
+    ));
+
+    if failures.is_empty() {
+        out.push_str("\nPASS\n");
+    } else {
+        out.push_str(&format!("\nFAIL ({} violations)\n", failures.len()));
+        for f in failures {
+            out.push_str(&format!("  - {f}\n"));
+        }
+    }
+    out
+}

@@ -25,6 +25,15 @@ pub enum PacketError {
     },
     /// The pcap file magic number was not recognized.
     BadMagic(u32),
+    /// A followed capture shrank below a length it had already reached
+    /// (rotation or truncation). Growth can repair a partial tail, but
+    /// nothing brings back bytes the follower already committed past.
+    SourceTruncated {
+        /// Byte offset just past the last fully consumed record.
+        committed: u64,
+        /// The shrunken file length observed.
+        len: u64,
+    },
     /// The pcap link type is not one this crate decodes.
     UnsupportedLinkType(u32),
     /// Underlying I/O failure.
@@ -46,6 +55,11 @@ impl fmt::Display for PacketError {
             PacketError::BadMagic(magic) => {
                 write!(f, "unrecognized pcap magic number {magic:#010x}")
             }
+            PacketError::SourceTruncated { committed, len } => write!(
+                f,
+                "followed capture shrank to {len} bytes below committed offset {committed} \
+                 (rotated or truncated)"
+            ),
             PacketError::UnsupportedLinkType(lt) => {
                 write!(f, "unsupported pcap link type {lt}")
             }

@@ -78,6 +78,13 @@ pub struct PcapFollower<R> {
     /// Timestamp of the first record (the trace epoch).
     epoch: Option<i64>,
     records_read: u64,
+    /// Largest file length ever observed. A followed capture only ever
+    /// grows; any decrease means it was rotated or truncated.
+    high_water: u64,
+    /// Set once a shrink is detected; the follower is then permanently
+    /// poisoned (waiting for regrowth would resync onto unrelated
+    /// bytes at the committed offset).
+    truncated: bool,
 }
 
 impl PcapFollower<File> {
@@ -103,7 +110,29 @@ impl<R: Read + Seek> PcapFollower<R> {
             header: None,
             epoch: None,
             records_read: 0,
+            high_water: 0,
+            truncated: false,
         }
+    }
+
+    /// Errors if the source ever shrank. A capture being followed is
+    /// append-only; a length decrease means rotation or truncation, and
+    /// resuming at the committed offset after regrowth would read bytes
+    /// from an unrelated record stream. The condition is sticky: every
+    /// later poll keeps failing rather than silently resynchronizing.
+    fn check_shrink(&mut self) -> Result<()> {
+        let len = self.input.seek(SeekFrom::End(0))?;
+        if len < self.high_water {
+            self.truncated = true;
+        }
+        self.high_water = self.high_water.max(len);
+        if self.truncated {
+            return Err(PacketError::SourceTruncated {
+                committed: self.offset,
+                len,
+            });
+        }
+        Ok(())
     }
 
     /// Records fully consumed so far.
@@ -177,10 +206,14 @@ impl<R: Read + Seek> PcapFollower<R> {
     ///
     /// # Errors
     ///
-    /// Fails on I/O errors, a bad magic number, or an implausible
-    /// record length (true corruption, which no amount of growth can
-    /// repair).
+    /// Fails on I/O errors, a bad magic number, an implausible record
+    /// length (true corruption, which no amount of growth can repair),
+    /// or [`PacketError::SourceTruncated`] once the file has ever
+    /// shrunk (rotation/truncation — the error is sticky, since the
+    /// committed offset no longer refers into the original record
+    /// stream even if the file later regrows past it).
     pub fn poll_record(&mut self) -> Result<Option<RawRecord>> {
+        self.check_shrink()?;
         if !self.ensure_header()? {
             return Ok(None);
         }
@@ -382,6 +415,36 @@ mod tests {
         file.append(&rec);
         let mut follower = PcapFollower::open(&file.path).unwrap();
         assert!(follower.poll_record().is_err());
+    }
+
+    #[test]
+    fn shrunken_file_is_a_sticky_typed_error_not_an_infinite_retry() {
+        let frames = vec![frame(0, 100), frame(7, 200), frame(9, 50)];
+        let bytes = encode(&frames);
+        let mut file = GrowingFile::create("shrunk_then_regrown.pcap");
+        file.append(&bytes);
+        let mut follower = PcapFollower::open(&file.path).unwrap();
+        assert_eq!(follower.poll_frame().unwrap(), Some(frames[0].clone()));
+        assert_eq!(follower.poll_frame().unwrap(), Some(frames[1].clone()));
+        // The capture is rotated: truncated below the committed offset.
+        file.out.set_len(30).unwrap();
+        match follower.poll_frame() {
+            Err(PacketError::SourceTruncated { committed, len }) => {
+                assert_eq!(len, 30);
+                assert!(committed > len, "offset {committed} was past EOF {len}");
+            }
+            other => panic!("expected SourceTruncated, got {other:?}"),
+        }
+        // Regrowing past the old offset must not resynchronize the
+        // follower onto unrelated bytes: the error is sticky.
+        file.append(&bytes);
+        for _ in 0..3 {
+            assert!(matches!(
+                follower.poll_frame(),
+                Err(PacketError::SourceTruncated { .. })
+            ));
+        }
+        assert_eq!(follower.records_read(), 2);
     }
 
     #[test]

@@ -231,4 +231,58 @@ proptest! {
             prop_assert!(incremental.duplicate_bytes > 0);
         }
     }
+
+    /// Reassembly through a 2^32 sequence wrap: the base sequence is
+    /// forced so the stream crosses `u32::MAX` strictly mid-payload
+    /// (random bases almost never land there), and both the plain
+    /// reassembler and the full BGP extraction must behave exactly as
+    /// at any other base.
+    #[test]
+    fn reassembly_crosses_seq_wrap(plan in arb_plan(), len in 64usize..20_000, cross_seed in 0usize..1_000_000) {
+        let stream: Vec<u8> = (0..len).map(|i| (i % 251) as u8).collect();
+        let cross = 1 + cross_seed % len;
+        let plan = Plan { base_seq: 0u32.wrapping_sub(cross as u32), ..plan };
+
+        let mut reasm = StreamReassembler::new();
+        reasm.anchor(plan.base_seq);
+        let mut out = Vec::new();
+        for f in deliver(&stream, &plan) {
+            reasm.push(f.tcp.seq, &f.payload);
+            out.extend(reasm.take_ready());
+        }
+        prop_assert_eq!(out, stream);
+    }
+
+    /// Full BGP message extraction (offline and incremental) through a
+    /// forced 2^32 wrap, including overlapping retransmissions that
+    /// straddle the wrap point.
+    #[test]
+    fn extraction_crosses_seq_wrap(plan in arb_retrans_plan(), cross_seed in 0usize..1_000_000) {
+        let table = TableGenerator::new(29).routes(120).generate();
+        let stream = table.to_update_stream();
+        let cross = 1 + cross_seed % stream.len();
+        let plan = RetransPlan { base_seq: 0u32.wrapping_sub(cross as u32), ..plan };
+        let frames = deliver_with_retrans(&stream, &plan);
+
+        let results = extract_all(&frames);
+        prop_assert_eq!(results.len(), 1);
+        let offline = &results[0].1;
+
+        let mut extractor = StreamExtractor::new();
+        for f in &frames {
+            extractor.push(f.timestamp, f.tcp.seq, f.tcp.flags, &f.payload);
+        }
+        let incremental = extractor.finish();
+        prop_assert_eq!(&incremental, offline);
+
+        let reference: Vec<BgpMessage> = table
+            .to_updates()
+            .into_iter()
+            .map(BgpMessage::Update)
+            .collect();
+        let got: Vec<BgpMessage> =
+            incremental.messages.iter().map(|(_, m)| m.clone()).collect();
+        prop_assert_eq!(got, reference);
+        prop_assert_eq!(incremental.unparsed_bytes, 0);
+    }
 }

@@ -53,3 +53,4 @@ pub use live::LiveTap;
 pub use sim::{
     ConnReport, ConnectionSpec, ScriptAction, SessionEvent, Side, SimOutput, Simulation,
 };
+pub use tcp::{RetxCause, RetxEvent, TcpStats};

@@ -72,6 +72,50 @@ pub struct MonitoringTopology {
     /// Sniffer→collector link (downstream/receiver-local loss injection
     /// point).
     pub last_hop_link: LinkId,
+    /// Every data-path link *before* the sniffer tap (drops there are
+    /// upstream losses).
+    pub upstream_links: Vec<LinkId>,
+    /// Every data-path link *after* the tap (drops there are
+    /// downstream/receiver-local losses).
+    pub downstream_links: Vec<LinkId>,
+    /// ACK-path links between the receiver and the tap: ACKs dropped
+    /// there never reach the capture.
+    pub ack_unseen_links: Vec<LinkId>,
+    /// ACK-path links between the tap and the sender: the capture saw
+    /// the ACK, the sender did not.
+    pub ack_seen_links: Vec<LinkId>,
+}
+
+/// Where in the monitored path a frame was dropped, relative to the
+/// sniffer tap — the ground truth the passive loss-location inference
+/// is scored against.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum DropLocation {
+    /// Data path before the tap: the capture never saw the frame.
+    Upstream,
+    /// Data path after the tap: the capture saw a frame the receiver
+    /// never got (receiver-local loss at the Fig. 2 vantage).
+    Downstream,
+    /// ACK path before the tap: the capture never saw the ACK.
+    AckUnseen,
+    /// ACK path after the tap: the capture saw an ACK the sender never
+    /// got.
+    AckSeen,
+}
+
+/// One ground-truth drop with its location class.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct LocatedDrop {
+    /// When the frame was dropped.
+    pub time: Micros,
+    /// TCP sequence number of the dropped frame.
+    pub seq: u32,
+    /// True for frames that carried payload (vs pure ACKs).
+    pub had_payload: bool,
+    /// Why the link dropped it.
+    pub reason: crate::net::DropReason,
+    /// Which side of the tap it happened on.
+    pub location: DropLocation,
 }
 
 impl MonitoringTopology {
@@ -79,6 +123,35 @@ impl MonitoringTopology {
     /// while keeping the topology handles usable for building specs.
     pub fn take_net(&mut self) -> Network {
         std::mem::take(&mut self.net)
+    }
+
+    /// Collects every drop the network recorded, classified by which
+    /// side of the sniffer tap its link sits on, in time order. Call
+    /// with [`crate::Simulation::network`] after a run, before
+    /// [`crate::Simulation::into_output`].
+    pub fn located_drops(&self, net: &Network) -> Vec<LocatedDrop> {
+        let mut out = Vec::new();
+        let classes = [
+            (&self.upstream_links, DropLocation::Upstream),
+            (&self.downstream_links, DropLocation::Downstream),
+            (&self.ack_unseen_links, DropLocation::AckUnseen),
+            (&self.ack_seen_links, DropLocation::AckSeen),
+        ];
+        for (links, location) in classes {
+            for &id in links.iter() {
+                for drop in net.link(id).drops() {
+                    out.push(LocatedDrop {
+                        time: drop.time,
+                        seq: drop.seq,
+                        had_payload: drop.had_payload,
+                        reason: drop.reason,
+                        location,
+                    });
+                }
+            }
+        }
+        out.sort_by_key(|d| (d.time, d.seq));
+        out
     }
 }
 
@@ -113,6 +186,7 @@ pub fn monitoring_topology(n_routers: usize, opts: TopologyOptions) -> Monitorin
 
     let mut routers = Vec::with_capacity(n_routers);
     let mut access_links = Vec::with_capacity(n_routers);
+    let mut ack_seen_links = vec![trunk_rev];
     for i in 0..n_routers {
         let addr = router_addr(i);
         let node = net.add_node(format!("router{i}"), vec![addr]);
@@ -123,9 +197,12 @@ pub fn monitoring_topology(n_routers: usize, opts: TopologyOptions) -> Monitorin
         net.add_route(collector, addr, last_rev);
         routers.push((node, addr));
         access_links.push(up);
+        ack_seen_links.push(down);
     }
     net.add_route(switch, collector_addr, trunk_fwd);
 
+    let mut upstream_links = access_links.clone();
+    upstream_links.push(trunk_fwd);
     MonitoringTopology {
         net,
         routers,
@@ -135,6 +212,10 @@ pub fn monitoring_topology(n_routers: usize, opts: TopologyOptions) -> Monitorin
         collector_addr,
         access_links,
         last_hop_link: last_fwd,
+        upstream_links,
+        downstream_links: vec![last_fwd],
+        ack_unseen_links: vec![last_rev],
+        ack_seen_links,
     }
 }
 
@@ -175,6 +256,10 @@ pub fn sender_side_topology(opts: TopologyOptions) -> MonitoringTopology {
         collector_addr,
         access_links: vec![r2s],
         last_hop_link: w2c,
+        upstream_links: vec![r2s],
+        downstream_links: vec![s2w, w2c],
+        ack_unseen_links: vec![c2w, w2s],
+        ack_seen_links: vec![s2r],
     }
 }
 

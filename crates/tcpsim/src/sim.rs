@@ -385,6 +385,13 @@ impl Simulation {
                 taps.push((node.name.clone(), tap.frames));
             }
         }
+        // Close any ground-truth spans still open at simulation end so
+        // the reports carry exact, fully accounted truth.
+        let now = self.now;
+        for c in &mut self.conns {
+            c.sender.finalize_truth(now);
+            c.receiver.finalize_truth(now);
+        }
         let connections = self
             .conns
             .into_iter()

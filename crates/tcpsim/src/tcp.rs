@@ -60,6 +60,43 @@ pub struct TimerRequest {
     pub epoch: u64,
 }
 
+/// What triggered a (re)transmission outside the normal ACK clock —
+/// ground truth for the differential oracle.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum RetxCause {
+    /// Retransmission-timeout expiry.
+    Timeout,
+    /// Third duplicate ACK (fast retransmit).
+    FastRetransmit,
+    /// NewReno partial-ACK retransmission during recovery.
+    PartialAck,
+    /// Zero-window persist probe.
+    WindowProbe,
+}
+
+/// One ground-truth retransmission (or probe) event.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct RetxEvent {
+    /// When the segment left the endpoint.
+    pub time: Micros,
+    /// First sequence number of the re-sent range.
+    pub seq: u32,
+    /// What triggered it.
+    pub cause: RetxCause,
+}
+
+/// What was limiting the send half of an endpoint, for ground-truth
+/// span accounting.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum SendLimit {
+    /// Nothing queued, nothing in flight: the application is the limit.
+    App,
+    /// The congestion window forbids sending queued data.
+    Cwnd,
+    /// The peer's advertised window forbids sending queued data.
+    Rwnd,
+}
+
 /// Ground-truth counters the simulator exposes for validating the
 /// analyzer (never consulted by T-DAT itself).
 #[derive(Debug, Clone, Default, PartialEq)]
@@ -89,6 +126,19 @@ pub struct TcpStats {
     /// Smallest peer window seen on an ACK while data was outstanding
     /// (diagnostics).
     pub min_peer_window_in_flight: u32,
+    /// Exact periods the send half sat idle because the application had
+    /// queued nothing (everything sent and acknowledged).
+    pub app_limited_spans: Vec<Span>,
+    /// Exact periods the congestion window was the binding constraint
+    /// on queued data.
+    pub cwnd_limited_spans: Vec<Span>,
+    /// Exact periods the peer's advertised window was the binding
+    /// constraint on queued data (zero-window periods included; when
+    /// both windows bind equally the advertised window is charged).
+    pub rwnd_limited_spans: Vec<Span>,
+    /// Ground-truth retransmission/probe log with causes, in time
+    /// order.
+    pub retx_log: Vec<RetxEvent>,
 }
 
 #[derive(Debug, Default)]
@@ -164,6 +214,9 @@ pub struct TcpEndpoint {
     /// pending; the next persist decision discards the probe.
     window_opened_during_probe: bool,
     zero_window_since: Option<Micros>,
+    /// What has been limiting the send half since when (ground-truth
+    /// span accounting; closed into `stats` on every transition).
+    limit_state: Option<(SendLimit, Micros)>,
 
     // ---- receive half ----
     irs: u32,
@@ -251,6 +304,7 @@ impl TcpEndpoint {
             probing: false,
             window_opened_during_probe: false,
             zero_window_since: None,
+            limit_state: None,
             irs: 0,
             rcv_nxt: 0,
             recv_buf: Vec::new(),
@@ -361,6 +415,7 @@ impl TcpEndpoint {
         }
         self.close_pending = true;
         self.try_send(now);
+        self.note_limit(now);
     }
 
     /// True once this endpoint's FIN was acknowledged.
@@ -397,6 +452,7 @@ impl TcpEndpoint {
         self.rto_timer.cancel();
         self.persist_timer.cancel();
         self.delack_timer.cancel();
+        self.note_limit(now);
     }
 
     // ------------------------------------------------------------------
@@ -412,6 +468,7 @@ impl TcpEndpoint {
         if self.state == TcpState::Established {
             self.try_send(now);
         }
+        self.note_limit(now);
         n
     }
 
@@ -459,6 +516,7 @@ impl TcpEndpoint {
             self.rto_timer.cancel();
             self.persist_timer.cancel();
             self.delack_timer.cancel();
+            self.note_limit(now);
             return;
         }
         match self.state {
@@ -468,6 +526,7 @@ impl TcpEndpoint {
             TcpState::SynReceived => self.on_frame_syn_received(now, frame),
             TcpState::Established => self.on_frame_established(now, frame),
         }
+        self.note_limit(now);
     }
 
     /// Processes a timer expiration previously requested via
@@ -495,6 +554,7 @@ impl TcpEndpoint {
                 }
             }
         }
+        self.note_limit(now);
     }
 
     // ------------------------------------------------------------------
@@ -697,7 +757,7 @@ impl TcpEndpoint {
                         self.dup_acks = 0;
                     } else {
                         // Partial ACK: retransmit the next hole, deflate.
-                        self.retransmit_one(now);
+                        self.retransmit_one(now, RetxCause::PartialAck);
                         self.cwnd = (self.cwnd - acked as f64 + mss).max(mss);
                     }
                 }
@@ -746,13 +806,13 @@ impl TcpEndpoint {
                     // out-of-order data the receiver already buffered
                     // must remain valid against snd_nxt.)
                     self.cwnd = mss;
-                    self.retransmit_one(now);
+                    self.retransmit_one(now, RetxCause::FastRetransmit);
                 }
                 TcpFlavor::Reno | TcpFlavor::NewReno => {
                     self.in_recovery = true;
                     self.recover = self.snd_nxt;
                     self.cwnd = self.ssthresh + 3.0 * mss;
-                    self.retransmit_one(now);
+                    self.retransmit_one(now, RetxCause::FastRetransmit);
                 }
             }
         }
@@ -807,6 +867,11 @@ impl TcpEndpoint {
                 .build();
             self.outbox.push(probe);
             self.stats.probes += 1;
+            self.stats.retx_log.push(RetxEvent {
+                time: now,
+                seq: self.snd_nxt,
+                cause: RetxCause::WindowProbe,
+            });
         }
         let deadline = now + self.config.persist_interval;
         self.persist_timer
@@ -857,7 +922,7 @@ impl TcpEndpoint {
                 self.in_recovery = false;
                 self.dup_acks = 0;
                 self.rtt_sample = None; // Karn
-                self.retransmit_one(now);
+                self.retransmit_one(now, RetxCause::Timeout);
                 let deadline = now + self.current_rto();
                 self.rto_timer
                     .arm(deadline, &mut self.timer_requests, TimerKind::Rto);
@@ -893,7 +958,7 @@ impl TcpEndpoint {
         self.scoreboard = merged;
     }
 
-    fn retransmit_one(&mut self, now: Micros) {
+    fn retransmit_one(&mut self, now: Micros, cause: RetxCause) {
         let outstanding = self.flight_size();
         if outstanding == 0 {
             return;
@@ -909,6 +974,11 @@ impl TcpEndpoint {
             let fin = self.with_timestamps(builder, now).build();
             self.outbox.push(fin);
             self.stats.retransmissions += 1;
+            self.stats.retx_log.push(RetxEvent {
+                time: now,
+                seq: self.snd_una,
+                cause,
+            });
             self.rtt_sample = None;
             return;
         }
@@ -939,6 +1009,11 @@ impl TcpEndpoint {
         let frame = self.with_timestamps(builder, now).build();
         self.outbox.push(frame);
         self.stats.retransmissions += 1;
+        self.stats.retx_log.push(RetxEvent {
+            time: now,
+            seq: self.snd_una,
+            cause,
+        });
         self.rtt_sample = None; // Karn: never time a retransmitted range
     }
 
@@ -1230,6 +1305,76 @@ impl TcpEndpoint {
         if let Some(since) = self.zero_window_since.take() {
             self.stats.zero_window_spans.push(Span::new(since, now));
         }
+    }
+
+    /// What is limiting the send half right now, judged on post-event
+    /// state. Between discrete events the state cannot change, so the
+    /// post-event classification is exact over the inter-event span.
+    fn current_limit(&self) -> Option<SendLimit> {
+        if self.state != TcpState::Established {
+            return None;
+        }
+        let avail = self.unsent_bytes();
+        if avail == 0 {
+            // Nothing queued. With data still in flight the transfer is
+            // paced by the network, not by any local constraint; fully
+            // drained and not closing, the application is the limit.
+            if self.flight_size() == 0 && !self.close_pending && self.fin_seq.is_none() {
+                return Some(SendLimit::App);
+            }
+            return None;
+        }
+        if self.peer_window == 0 {
+            return Some(SendLimit::Rwnd);
+        }
+        let window = (self.cwnd as u32).min(self.peer_window);
+        let usable = window as i64 - self.flight_size() as i64;
+        if usable < self.mss() as i64 {
+            if (self.cwnd as u32) < self.peer_window {
+                return Some(SendLimit::Cwnd);
+            }
+            return Some(SendLimit::Rwnd);
+        }
+        None
+    }
+
+    /// Re-evaluates the binding send-side constraint and closes the
+    /// previous ground-truth span on any transition. Called at the end
+    /// of every externally driven transition (frame, timer,
+    /// application call, teardown).
+    fn note_limit(&mut self, now: Micros) {
+        let next = self.current_limit();
+        if let Some((cur, _)) = self.limit_state {
+            if Some(cur) == next {
+                return;
+            }
+        }
+        if let Some((kind, since)) = self.limit_state.take() {
+            self.log_limit(kind, since, now);
+        }
+        self.limit_state = next.map(|kind| (kind, now));
+    }
+
+    fn log_limit(&mut self, kind: SendLimit, since: Micros, now: Micros) {
+        if now <= since {
+            return;
+        }
+        let span = Span::new(since, now);
+        match kind {
+            SendLimit::App => self.stats.app_limited_spans.push(span),
+            SendLimit::Cwnd => self.stats.cwnd_limited_spans.push(span),
+            SendLimit::Rwnd => self.stats.rwnd_limited_spans.push(span),
+        }
+    }
+
+    /// Closes any ground-truth span still open at `now` (end of
+    /// simulation). Safe to call more than once; events arriving later
+    /// simply reopen spans.
+    pub fn finalize_truth(&mut self, now: Micros) {
+        if let Some((kind, since)) = self.limit_state.take() {
+            self.log_limit(kind, since, now);
+        }
+        self.close_zero_window_span(now);
     }
 
     /// Activates window scaling when both sides offered it (RFC 1323).

@@ -110,16 +110,36 @@ pub fn rtt_samples_from_timestamps(
         }
     }
     let mut samples = Vec::new();
-    let mut last_ecr: Option<u32> = None;
-    for seg in conn.ack_segments() {
+    // A TSval is timed once, by the first segment that both carries the
+    // ACK flag and advances the cumulative ACK point while echoing it.
+    // Segments without ACK (e.g. a bare RST) have no acknowledgment
+    // semantics, and an ACK delivered out of order behind a newer one
+    // echoes a stale TSecr — timing either against the original
+    // transmission would fabricate an inflated sample. The per-value
+    // `sampled` set scopes the dedup to each TSval: a dedup keyed only
+    // on the immediately preceding echo both re-samples a TSval that
+    // recurs after reordering and suppresses fresh values interleaved
+    // with echoes of an older one.
+    let mut sampled: std::collections::HashSet<u32> = std::collections::HashSet::new();
+    let mut highest_ack: Option<u32> = None;
+    for seg in conn
+        .ack_segments()
+        .filter(|s| s.flags.contains(tdat_packet::TcpFlags::ACK))
+    {
+        let advanced = match highest_ack {
+            None => true,
+            Some(h) => seq_diff(seg.ack, h) > 0,
+        };
+        if !advanced {
+            continue;
+        }
+        highest_ack = Some(seg.ack);
         let frame = &frames[seg.frame_index];
         for opt in &frame.tcp.options {
             if let tdat_packet::TcpOption::Timestamps(_, ecr) = opt {
-                // Only the first ACK echoing a given TSval samples it.
-                if last_ecr == Some(*ecr) {
+                if !sampled.insert(*ecr) {
                     continue;
                 }
-                last_ecr = Some(*ecr);
                 if let Some(&(at, seq_end)) = sent_at.get(ecr) {
                     if seg.time >= at {
                         samples.push(RttSample {
@@ -229,5 +249,85 @@ mod tests {
         let conns = extract_connections(&frames);
         assert!(rtt_samples(&conns[0]).is_empty());
         assert_eq!(rtt_stats(&[]), None);
+    }
+
+    use tdat_packet::{TcpFlags, TcpOption};
+
+    fn ts_data(t: i64, seq: u32, len: usize, tsval: u32) -> TcpFrame {
+        FrameBuilder::new(a(), b())
+            .at(Micros(t))
+            .ports(179, 40000)
+            .seq(seq)
+            .ack_to(1)
+            .payload(vec![0; len])
+            .option(TcpOption::Timestamps(tsval, 0))
+            .build()
+    }
+    fn ts_ack(t: i64, ackn: u32, ecr: u32) -> TcpFrame {
+        FrameBuilder::new(b(), a())
+            .at(Micros(t))
+            .ports(40000, 179)
+            .seq(1)
+            .ack_to(ackn)
+            .window(65535)
+            .option(TcpOption::Timestamps(7777, ecr))
+            .build()
+    }
+
+    #[test]
+    fn timestamp_samples_work_through_retransmissions() {
+        // The retransmitted copy carries a fresh TSval, so the echo
+        // disambiguates which copy the ACK covers — no Karn exclusion.
+        let frames = vec![
+            ts_data(0, 1000, 100, 10),
+            ts_data(300_000, 1000, 100, 310), // retransmission, new TSval
+            ts_ack(300_400, 1100, 310),
+        ];
+        let conns = extract_connections(&frames);
+        let samples = rtt_samples_from_timestamps(&conns[0], &frames);
+        assert_eq!(samples.len(), 1);
+        assert_eq!(samples[0].rtt, Micros(400));
+        // Plain sampling must exclude the whole range (Karn).
+        assert!(rtt_samples(&conns[0]).is_empty());
+    }
+
+    #[test]
+    fn timestamp_samples_require_ack_flag() {
+        // A bare RST (no ACK flag) may still carry a timestamps option;
+        // it acknowledges nothing and must not produce a sample.
+        let rst = FrameBuilder::new(b(), a())
+            .at(Micros(900))
+            .ports(40000, 179)
+            .seq(1)
+            .flags(TcpFlags::RST)
+            .option(TcpOption::Timestamps(7777, 10))
+            .build();
+        let frames = vec![ts_data(0, 1000, 100, 10), rst];
+        let conns = extract_connections(&frames);
+        assert!(rtt_samples_from_timestamps(&conns[0], &frames).is_empty());
+    }
+
+    #[test]
+    fn stale_reordered_ack_neither_resamples_nor_blocks_fresh_echoes() {
+        let frames = vec![
+            ts_data(0, 1000, 100, 100),
+            ts_data(1_000, 1100, 100, 200),
+            ts_data(1_100, 1200, 100, 200), // same timestamp-clock tick
+            // ACKs arrive reordered: the newest first, then a stale
+            // duplicate of the older one, then a fresh advance echoing
+            // the already-sampled TSval 200 again.
+            ts_ack(1_500, 1200, 200),
+            ts_ack(1_600, 1100, 100), // stale: does not advance the ACK point
+            ts_ack(1_700, 1300, 200),
+        ];
+        let conns = extract_connections(&frames);
+        let samples = rtt_samples_from_timestamps(&conns[0], &frames);
+        // Exactly one sample: TSval 200 timed by the first ACK that
+        // advanced while echoing it. The stale ACK must not fabricate a
+        // 1.6 ms sample for TSval 100, and the final ACK must not time
+        // TSval 200 a second time against its first transmission.
+        assert_eq!(samples.len(), 1);
+        assert_eq!(samples[0].at, Micros(1_500));
+        assert_eq!(samples[0].rtt, Micros(500));
     }
 }
