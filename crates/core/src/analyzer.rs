@@ -3,7 +3,7 @@
 use std::path::Path;
 
 use tdat_bgp::{find_transfer_end, MctConfig, TableTransfer};
-use tdat_packet::TcpFrame;
+use tdat_packet::{AnomalyCounts, TcpFrame};
 use tdat_timeset::Span;
 use tdat_trace::{
     extract_connections, label_segments, ConnProfile, LabelConfig, SegLabel, TcpConnection,
@@ -16,6 +16,7 @@ use crate::detect::{
 };
 use crate::factors::{delay_vector, DelayVector};
 use crate::preprocess::{shift_acks, ShiftedTrace};
+use crate::quarantine::{QuarantineConfig, Verdict};
 use crate::series::{generate_series, SeriesSet};
 
 /// The complete analysis of one TCP connection.
@@ -40,6 +41,12 @@ pub struct Analysis {
     /// The table transfer identified by MCT, if the connection carried
     /// decodable BGP updates.
     pub transfer: Option<TableTransfer>,
+    /// Capture anomalies attributed to this connection (zero on strict
+    /// ingestion paths).
+    pub anomalies: AnomalyCounts,
+    /// Capture-quality classification; [`Verdict::Quarantined`] means
+    /// the factor attribution must not be trusted.
+    pub verdict: Verdict,
 }
 
 impl Analysis {
@@ -97,6 +104,7 @@ pub struct Analyzer {
     config: AnalyzerConfig,
     label_config: LabelConfig,
     mct: MctConfig,
+    quarantine: QuarantineConfig,
 }
 
 impl Analyzer {
@@ -106,12 +114,24 @@ impl Analyzer {
             config,
             label_config: LabelConfig::default(),
             mct: MctConfig::default(),
+            quarantine: QuarantineConfig::default(),
         }
+    }
+
+    /// Replaces the capture-quality quarantine budgets.
+    pub fn with_quarantine(mut self, quarantine: QuarantineConfig) -> Analyzer {
+        self.quarantine = quarantine;
+        self
     }
 
     /// The analyzer configuration.
     pub fn config(&self) -> &AnalyzerConfig {
         &self.config
+    }
+
+    /// The capture-quality quarantine budgets.
+    pub fn quarantine(&self) -> &QuarantineConfig {
+        &self.quarantine
     }
 
     /// Analyzes every TCP connection in a pcap file.
@@ -153,6 +173,19 @@ impl Analyzer {
         conn: TcpConnection,
         extraction: &tdat_pcap2bgp::Extraction,
     ) -> Analysis {
+        self.analyze_extracted_lossy(conn, extraction, AnomalyCounts::default())
+    }
+
+    /// Like [`analyze_extracted`](Self::analyze_extracted), but with
+    /// capture anomalies attributed to this connection by a lossy
+    /// ingestion path; the resulting [`Analysis::verdict`] reflects the
+    /// quarantine budget.
+    pub fn analyze_extracted_lossy(
+        &self,
+        conn: TcpConnection,
+        extraction: &tdat_pcap2bgp::Extraction,
+        anomalies: AnomalyCounts,
+    ) -> Analysis {
         // Identify the transfer end via MCT over the extracted updates.
         let updates = extraction.updates();
         let transfer = find_transfer_end(conn.profile.start, &updates, &self.mct);
@@ -162,7 +195,8 @@ impl Analyzer {
             .unwrap_or(conn.profile.end)
             .max(conn.profile.start);
         let period = Span::new(conn.profile.start, period_end);
-        self.build_analysis(conn, period, transfer)
+        let verdict = self.quarantine.assess(&anomalies, extraction);
+        self.build_analysis(conn, period, transfer, anomalies, verdict)
     }
 
     /// Analyzes a point-in-time snapshot of a *still-open* connection
@@ -182,11 +216,25 @@ impl Analyzer {
         extraction: &tdat_pcap2bgp::Extraction,
         window: Span,
     ) -> Analysis {
+        self.analyze_partial_lossy(conn, extraction, window, AnomalyCounts::default())
+    }
+
+    /// Like [`analyze_partial`](Self::analyze_partial), but with
+    /// capture anomalies attributed to this connection by a lossy
+    /// ingestion path.
+    pub fn analyze_partial_lossy(
+        &self,
+        conn: TcpConnection,
+        extraction: &tdat_pcap2bgp::Extraction,
+        window: Span,
+        anomalies: AnomalyCounts,
+    ) -> Analysis {
         let updates = extraction.updates();
         let transfer = find_transfer_end(conn.profile.start, &updates, &self.mct);
         let start = window.start.max(conn.profile.start);
         let period = Span::new(start, window.end.max(start));
-        self.build_analysis(conn, period, transfer)
+        let verdict = self.quarantine.assess(&anomalies, extraction);
+        self.build_analysis(conn, period, transfer, anomalies, verdict)
     }
 
     /// The shared pipeline tail: label, ACK-shift, generate series over
@@ -196,6 +244,8 @@ impl Analyzer {
         conn: TcpConnection,
         period: Span,
         transfer: Option<TableTransfer>,
+        anomalies: AnomalyCounts,
+        verdict: Verdict,
     ) -> Analysis {
         let labels = label_segments(&conn, &self.label_config);
         let shifted = if self.config.disable_ack_shift {
@@ -235,6 +285,8 @@ impl Analyzer {
             series,
             vector,
             transfer,
+            anomalies,
+            verdict,
         }
     }
 }

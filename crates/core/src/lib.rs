@@ -84,6 +84,7 @@ mod error;
 mod factors;
 pub mod plot;
 pub mod preprocess;
+mod quarantine;
 pub mod report;
 pub mod series;
 mod stream;
@@ -97,7 +98,8 @@ pub use detect::{
 };
 pub use error::{Error, Result};
 pub use factors::{delay_vector, factor_spans, DelayVector, Factor, FactorGroup, FactorSpans};
+pub use quarantine::{QuarantineConfig, Verdict};
 pub use report::Report;
 pub use series::{generate_series, SeriesSet};
-pub use stream::{BgpDemux, StreamAnalyzer, StreamOptions};
+pub use stream::{BgpDemux, LossyRunReport, StreamAnalyzer, StreamOptions};
 pub use tdat_trace::TrackerConfig;

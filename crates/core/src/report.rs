@@ -41,6 +41,12 @@ pub struct Report {
     /// Spurious retransmissions outside loss episodes (delayed-ACK/RTO
     /// race), if detected.
     pub delayed_ack_spurious: usize,
+    /// Capture-quality verdict: `clean`, `degraded`, or `quarantined`.
+    pub verdict: String,
+    /// Why the connection was quarantined, if it was.
+    pub quarantine_reason: Option<String>,
+    /// Total capture anomalies attributed to this connection.
+    pub capture_anomalies: u64,
 }
 
 impl Report {
@@ -80,6 +86,9 @@ impl Report {
                 .delayed_ack_interaction()
                 .map(|d| d.count)
                 .unwrap_or(0),
+            verdict: analysis.verdict.as_str().to_string(),
+            quarantine_reason: analysis.verdict.reason().map(str::to_string),
+            capture_anomalies: analysis.anomalies.total(),
         }
     }
 
@@ -137,6 +146,17 @@ impl Report {
             &mut out,
             "delayed_ack_spurious",
             &self.delayed_ack_spurious.to_string(),
+            true,
+        );
+        push_str_field(&mut out, "verdict", &self.verdict, true);
+        match &self.quarantine_reason {
+            Some(reason) => push_str_field(&mut out, "quarantine_reason", reason, true),
+            None => push_raw_field(&mut out, "quarantine_reason", "null", true),
+        }
+        push_raw_field(
+            &mut out,
+            "capture_anomalies",
+            &self.capture_anomalies.to_string(),
             true,
         );
         out.push('}');
@@ -215,6 +235,9 @@ mod tests {
             loss_episodes: vec![(9, 4.2)],
             zero_ack_bug: false,
             delayed_ack_spurious: 1,
+            verdict: "degraded".into(),
+            quarantine_reason: None,
+            capture_anomalies: 2,
         }
     }
 
@@ -230,6 +253,9 @@ mod tests {
         assert!(json.contains("\"loss_episodes\":[[9,4.200000]]"));
         assert!(json.contains("\"zero_ack_bug\":false"));
         assert!(json.contains("\"delayed_ack_spurious\":1"));
+        assert!(json.contains("\"verdict\":\"degraded\""));
+        assert!(json.contains("\"quarantine_reason\":null"));
+        assert!(json.contains("\"capture_anomalies\":2"));
         // Balanced braces/brackets (cheap well-formedness check).
         assert_eq!(json.matches('{').count(), json.matches('}').count());
         assert_eq!(json.matches('[').count(), json.matches(']').count());

@@ -22,7 +22,7 @@ use std::path::Path;
 use std::sync::mpsc;
 use std::sync::{Arc, Mutex};
 
-use tdat_packet::{PcapReader, TcpFrame};
+use tdat_packet::{AnomalyCounts, LossyFrame, LossyReader, PcapReader, TcpFrame};
 use tdat_pcap2bgp::{Extraction, StreamExtractor};
 use tdat_trace::{ConnKey, ConnectionTracker, Endpoint, TrackerConfig};
 
@@ -235,6 +235,134 @@ impl StreamAnalyzer {
         })
         .expect("analysis worker threads do not panic")
     }
+}
+
+/// Summary of a lossy (damage-tolerant) streaming run: what the
+/// decoder survived and how many connections were sealed.
+#[derive(Debug, Clone, Default)]
+pub struct LossyRunReport {
+    /// Every capture anomaly observed, attributed or not.
+    pub counts: AnomalyCounts,
+    /// TCP frames successfully decoded.
+    pub frames: u64,
+    /// Well-formed non-IPv4/non-TCP records skipped (not anomalous).
+    pub cross_traffic: u64,
+    /// Connections whose verdict was
+    /// [`Quarantined`](crate::Verdict::Quarantined).
+    pub quarantined: usize,
+    /// Connections analyzed in total.
+    pub connections: usize,
+}
+
+impl StreamAnalyzer {
+    /// Streams a pcap file through the *lossy* decoder: damaged
+    /// records become typed anomalies attributed to their connection,
+    /// each finalized connection carries a capture-quality
+    /// [`Verdict`](crate::Verdict), and one poisoned stream never
+    /// aborts the run.
+    ///
+    /// # Errors
+    ///
+    /// Fails only on I/O errors, a bad pcap magic, or a capture whose
+    /// tail stays unreadable past the bounded resynchronization scan —
+    /// never on in-stream damage.
+    pub fn analyze_pcap_lossy_with<F>(
+        &self,
+        path: impl AsRef<Path>,
+        on_result: F,
+    ) -> Result<LossyRunReport>
+    where
+        F: FnMut(Analysis),
+    {
+        let reader = LossyReader::open(path)?;
+        self.analyze_lossy_with(reader, on_result)
+    }
+
+    /// Streams a pcap file lossily, collecting analyses in
+    /// finalization order alongside the run report.
+    ///
+    /// # Errors
+    ///
+    /// See [`analyze_pcap_lossy_with`](Self::analyze_pcap_lossy_with).
+    pub fn analyze_pcap_lossy(
+        &self,
+        path: impl AsRef<Path>,
+    ) -> Result<(Vec<Analysis>, LossyRunReport)> {
+        let mut out = Vec::new();
+        let report = self.analyze_pcap_lossy_with(path, |a| out.push(a))?;
+        Ok((out, report))
+    }
+
+    /// Drives an open [`LossyReader`] to exhaustion, analyzing each
+    /// connection as it finalizes and attributing capture anomalies to
+    /// the connection they damaged (unattributable damage counts only
+    /// in the run report).
+    ///
+    /// # Errors
+    ///
+    /// See [`analyze_pcap_lossy_with`](Self::analyze_pcap_lossy_with).
+    pub fn analyze_lossy_with<R, F>(
+        &self,
+        mut reader: LossyReader<R>,
+        mut on_result: F,
+    ) -> Result<LossyRunReport>
+    where
+        R: std::io::Read,
+        F: FnMut(Analysis),
+    {
+        let mut tracker = ConnectionTracker::new(self.options.tracker.clone());
+        let mut demux = BgpDemux::default();
+        let mut quality: HashMap<ConnKey, AnomalyCounts> = HashMap::new();
+        let mut report = LossyRunReport::default();
+        let mut deliver = |analysis: Analysis, report: &mut LossyRunReport| {
+            report.connections += 1;
+            if analysis.verdict.is_quarantined() {
+                report.quarantined += 1;
+            }
+            on_result(analysis);
+        };
+        while let Some(lossy) = reader.next_lossy()? {
+            if let Some(key) = connection_of(&lossy) {
+                let counts = quality.entry(key).or_default();
+                for anomaly in &lossy.anomalies {
+                    counts.note(anomaly);
+                }
+            }
+            let Some(frame) = &lossy.frame else { continue };
+            demux.feed(frame);
+            for fin in tracker.ingest(frame) {
+                let extraction = demux.take(fin.key, fin.connection.sender);
+                let counts = quality.remove(&fin.key).unwrap_or_default();
+                deliver(
+                    self.analyzer
+                        .analyze_extracted_lossy(fin.connection, &extraction, counts),
+                    &mut report,
+                );
+            }
+        }
+        for fin in tracker.finish() {
+            let extraction = demux.take(fin.key, fin.connection.sender);
+            let counts = quality.remove(&fin.key).unwrap_or_default();
+            deliver(
+                self.analyzer
+                    .analyze_extracted_lossy(fin.connection, &extraction, counts),
+                &mut report,
+            );
+        }
+        report.counts = *reader.counts();
+        report.frames = reader.decoder().frames_decoded();
+        report.cross_traffic = reader.decoder().cross_traffic();
+        Ok(report)
+    }
+}
+
+/// The connection a lossy decode outcome is attributable to, if the
+/// frame survived or at least its addresses could be trusted.
+fn connection_of(lossy: &LossyFrame) -> Option<ConnKey> {
+    if let Some(frame) = &lossy.frame {
+        return Some(ConnKey::of(frame));
+    }
+    lossy.endpoints.map(|(x, y)| ConnKey::of_endpoints(x, y))
 }
 
 /// Per-connection incremental BGP reassembly for both endpoints.

@@ -28,16 +28,20 @@ pub enum AlertKind {
     ZeroWindowBug,
     /// An open transfer making no forward progress.
     StalledTransfer,
+    /// The capture itself is too damaged to trust: the connection's
+    /// anomaly budget tripped and its analysis is quarantined.
+    CaptureQuality,
 }
 
 impl AlertKind {
     /// Every kind, in a fixed order (metrics and JSON use it).
-    pub const ALL: [AlertKind; 5] = [
+    pub const ALL: [AlertKind; 6] = [
         AlertKind::TimerGap,
         AlertKind::ConsecutiveRetransmissions,
         AlertKind::PeerGroupBlocking,
         AlertKind::ZeroWindowBug,
         AlertKind::StalledTransfer,
+        AlertKind::CaptureQuality,
     ];
 
     /// Stable snake_case identifier used in the JSONL stream.
@@ -48,6 +52,7 @@ impl AlertKind {
             AlertKind::PeerGroupBlocking => "peer_group_blocking",
             AlertKind::ZeroWindowBug => "zero_window_bug",
             AlertKind::StalledTransfer => "stalled_transfer",
+            AlertKind::CaptureQuality => "capture_quality",
         }
     }
 
@@ -59,6 +64,7 @@ impl AlertKind {
             AlertKind::TimerGap => Severity::Info,
             AlertKind::ConsecutiveRetransmissions => Severity::Warning,
             AlertKind::StalledTransfer => Severity::Warning,
+            AlertKind::CaptureQuality => Severity::Warning,
             AlertKind::PeerGroupBlocking => Severity::Critical,
             AlertKind::ZeroWindowBug => Severity::Critical,
         }
@@ -306,7 +312,9 @@ impl AlertEngine {
             .collect();
         let mut events = Vec::new();
         for key in keys {
-            let state = self.states.remove(&key).expect("selected above");
+            let Some(state) = self.states.remove(&key) else {
+                continue;
+            };
             if state.active {
                 events.push(Alert {
                     at: now,

@@ -126,6 +126,9 @@ fn drive(
     loop {
         match source.poll().map_err(|e| e.to_string())? {
             SourceEvent::Batch { frames, now } => {
+                for anomaly in source.drain_anomalies() {
+                    monitor.note_anomaly(anomaly);
+                }
                 for frame in &frames {
                     monitor.ingest(frame);
                 }

@@ -20,14 +20,17 @@
 use std::collections::HashMap;
 use std::time::Instant;
 
-use tdat::{find_peer_group_blocking_all, report::json, Analysis, Analyzer, BgpDemux, Report};
-use tdat_packet::TcpFrame;
+use tdat::{
+    find_peer_group_blocking_all, report::json, Analysis, Analyzer, BgpDemux, QuarantineConfig,
+    Report,
+};
+use tdat_packet::{AnomalyCounts, TcpFrame};
 use tdat_timeset::{Micros, Span};
 use tdat_trace::{ConnKey, ConnectionTracker, FinalizedConnection, TrackerConfig};
 
 use crate::alerts::{Alert, AlertConfig, AlertEngine, AlertKind, Condition};
 use crate::metrics::MonitorMetrics;
-use crate::source::{PacketSource, SourceEvent};
+use crate::source::{AttributedAnomaly, PacketSource, SourceEvent};
 
 /// Wall-clock wait between polls while a source is
 /// [`Pending`](SourceEvent::Pending).
@@ -49,6 +52,8 @@ pub struct MonitorConfig {
     pub tracker: TrackerConfig,
     /// Alerting thresholds.
     pub alerts: AlertConfig,
+    /// When per-connection capture damage tips into quarantine.
+    pub quarantine: QuarantineConfig,
 }
 
 impl Default for MonitorConfig {
@@ -60,13 +65,19 @@ impl Default for MonitorConfig {
             tracker: TrackerConfig {
                 idle_timeout: Some(Micros::from_secs(600)),
                 close_grace: Some(Micros::from_secs(5)),
+                ..TrackerConfig::streaming()
             },
             alerts: AlertConfig::default(),
+            quarantine: QuarantineConfig::default(),
         }
     }
 }
 
 /// A line of the monitor's event stream.
+// Connection summaries dwarf alerts, but events are produced rarely
+// (finalization/transition) and drained immediately — not worth the
+// indirection of boxing the large variant.
+#[allow(clippy::large_enum_variant)]
 #[derive(Debug, Clone, PartialEq)]
 pub enum MonitorEvent {
     /// An alert raise/clear transition.
@@ -154,6 +165,11 @@ pub struct Monitor {
     /// Per-connection data-progress watermarks for stall detection:
     /// `(data bytes at last progress, tick time of last progress)`.
     progress: HashMap<ConnKey, (u64, Micros)>,
+    /// Capture anomalies attributed to each open connection; consumed
+    /// by the quarantine verdict at every tick and at finalization.
+    quality: HashMap<ConnKey, AnomalyCounts>,
+    /// Capture damage the source could not tie to any connection.
+    unattributed: AnomalyCounts,
     events: Vec<MonitorEvent>,
 }
 
@@ -161,7 +177,7 @@ impl Monitor {
     /// Creates a monitor.
     pub fn new(config: MonitorConfig) -> Monitor {
         Monitor {
-            analyzer: Analyzer::new(config.analyzer),
+            analyzer: Analyzer::new(config.analyzer).with_quarantine(config.quarantine),
             tracker: ConnectionTracker::new(config.tracker.clone()),
             tracker_config: config.tracker,
             demux: BgpDemux::new(),
@@ -172,6 +188,8 @@ impl Monitor {
             now: Micros::ZERO,
             next_tick: None,
             progress: HashMap::new(),
+            quality: HashMap::new(),
+            unattributed: AnomalyCounts::default(),
             events: Vec::new(),
         }
     }
@@ -221,6 +239,22 @@ impl Monitor {
         self.next_tick = Some(boundary);
     }
 
+    /// Notes one capture anomaly the source survived. Attributed
+    /// anomalies count against their connection's quarantine budget;
+    /// unattributable damage is tallied globally.
+    pub fn note_anomaly(&mut self, anomaly: AttributedAnomaly) {
+        self.metrics.record_anomaly();
+        match anomaly.key {
+            Some(key) => self.quality.entry(key).or_default().note(&anomaly.anomaly),
+            None => self.unattributed.note(&anomaly.anomaly),
+        }
+    }
+
+    /// Capture damage the source could not tie to any connection.
+    pub fn unattributed_anomalies(&self) -> &AnomalyCounts {
+        &self.unattributed
+    }
+
     /// Takes the events accumulated since the last drain.
     pub fn drain_events(&mut self) -> Vec<MonitorEvent> {
         std::mem::take(&mut self.events)
@@ -256,6 +290,9 @@ impl Monitor {
         loop {
             match source.poll()? {
                 SourceEvent::Batch { frames, now } => {
+                    for anomaly in source.drain_anomalies() {
+                        self.note_anomaly(anomaly);
+                    }
                     for frame in &frames {
                         self.ingest(frame);
                     }
@@ -283,17 +320,32 @@ impl Monitor {
         let mut analyses = Vec::with_capacity(open);
         for fin in snapshots {
             let extraction = self.demux.snapshot(fin.key, fin.connection.sender);
+            let counts = self.quality.get(&fin.key).copied().unwrap_or_default();
             keys.push(fin.key);
-            analyses.push(
-                self.analyzer
-                    .analyze_partial(fin.connection, &extraction, window),
-            );
+            analyses.push(self.analyzer.analyze_partial_lossy(
+                fin.connection,
+                &extraction,
+                window,
+                counts,
+            ));
         }
 
         let mut conditions = Vec::new();
         let cfg = self.alerts.config().clone();
         for (key, analysis) in keys.iter().zip(&analyses) {
             let session = session_id(analysis);
+            // A quarantined connection's detector outcomes are built on
+            // untrustworthy evidence: surface only the capture-quality
+            // alert for it.
+            if let Some(reason) = analysis.verdict.reason() {
+                conditions.push(Condition {
+                    session,
+                    kind: AlertKind::CaptureQuality,
+                    evidence: analysis.period,
+                    detail: format!("connection quarantined: {reason}"),
+                });
+                continue;
+            }
             if let Some(timer) = analysis.infer_timer(cfg.timer_min_gaps) {
                 conditions.push(Condition {
                     session: session.clone(),
@@ -352,7 +404,14 @@ impl Monitor {
             }
         }
         for (blocked, faulty, incidents) in find_peer_group_blocking_all(&analyses, cfg.min_pause) {
-            let last = incidents.last().expect("non-empty by contract");
+            if analyses[blocked].verdict.is_quarantined()
+                || analyses[faulty].verdict.is_quarantined()
+            {
+                continue;
+            }
+            let Some(last) = incidents.last() else {
+                continue;
+            };
             conditions.push(Condition {
                 session: session_id(&analyses[blocked]),
                 kind: AlertKind::PeerGroupBlocking,
@@ -376,8 +435,11 @@ impl Monitor {
     /// and clear its alerts.
     fn finalize(&mut self, fin: FinalizedConnection) {
         self.progress.remove(&fin.key);
+        let counts = self.quality.remove(&fin.key).unwrap_or_default();
         let extraction = self.demux.take(fin.key, fin.connection.sender);
-        let analysis = self.analyzer.analyze_extracted(fin.connection, &extraction);
+        let analysis = self
+            .analyzer
+            .analyze_extracted_lossy(fin.connection, &extraction, counts);
         let session = session_id(&analysis);
         let at = self.now.max(analysis.profile.end);
         for alert in self.alerts.clear_session(&session, at) {
@@ -527,6 +589,98 @@ mod tests {
             monitor.metrics().alerts_raised(AlertKind::StalledTransfer),
             1
         );
+    }
+
+    #[test]
+    fn quarantined_connection_alerts_and_is_never_reported_clean() {
+        let mut monitor = Monitor::new(config(60, 10));
+        let frames = transfer_frames(20);
+        let key = ConnKey::of(&frames[0]);
+        // Damage well past the default budget, attributed to the
+        // session before any frames arrive (sniffer-side corruption).
+        for _ in 0..32 {
+            monitor.note_anomaly(AttributedAnomaly {
+                key: Some(key),
+                anomaly: tdat_packet::CaptureAnomaly::TruncatedRecord {
+                    detail: "test damage".into(),
+                },
+            });
+        }
+        monitor.note_anomaly(AttributedAnomaly {
+            key: None,
+            anomaly: tdat_packet::CaptureAnomaly::Desynchronized { skipped: 9 },
+        });
+        for frame in &frames {
+            monitor.ingest(frame);
+        }
+        monitor.advance_to(Micros::from_secs(200));
+        let events = monitor.drain_events();
+        let raised: Vec<&Alert> = events
+            .iter()
+            .filter_map(|e| match e {
+                MonitorEvent::Alert(a) if a.action == crate::alerts::AlertAction::Raise => Some(a),
+                _ => None,
+            })
+            .collect();
+        assert_eq!(raised.len(), 1, "only capture_quality fires: {events:?}");
+        assert_eq!(raised[0].kind, AlertKind::CaptureQuality);
+        assert!(
+            raised[0].detail.contains("quarantined"),
+            "{}",
+            raised[0].detail
+        );
+        monitor.finish();
+        let events = monitor.drain_events();
+        let report = events
+            .iter()
+            .find_map(|e| match e {
+                MonitorEvent::Connection(c) => Some(&c.report),
+                _ => None,
+            })
+            .expect("finalization reports the connection");
+        assert_eq!(report.verdict, "quarantined");
+        assert!(report.quarantine_reason.is_some());
+        assert_eq!(report.capture_anomalies, 32);
+        assert_eq!(monitor.metrics().capture_anomalies(), 33);
+        assert_eq!(monitor.unattributed_anomalies().total(), 1);
+        assert_eq!(
+            monitor.metrics().alerts_raised(AlertKind::CaptureQuality),
+            1
+        );
+    }
+
+    #[test]
+    fn anomalies_under_budget_degrade_without_alerting() {
+        let mut monitor = Monitor::new(config(60, 10));
+        let frames = transfer_frames(20);
+        let key = ConnKey::of(&frames[0]);
+        for _ in 0..3 {
+            monitor.note_anomaly(AttributedAnomaly {
+                key: Some(key),
+                anomaly: tdat_packet::CaptureAnomaly::SnapClipped {
+                    captured: 40,
+                    orig_len: 1500,
+                },
+            });
+        }
+        for frame in &frames {
+            monitor.ingest(frame);
+        }
+        monitor.finish();
+        let events = monitor.drain_events();
+        assert!(events.iter().all(|e| !matches!(
+            e,
+            MonitorEvent::Alert(a) if a.kind == AlertKind::CaptureQuality
+        )));
+        let report = events
+            .iter()
+            .find_map(|e| match e {
+                MonitorEvent::Connection(c) => Some(&c.report),
+                _ => None,
+            })
+            .expect("finalization reports the connection");
+        assert_eq!(report.verdict, "degraded");
+        assert_eq!(report.capture_anomalies, 3);
     }
 
     #[test]

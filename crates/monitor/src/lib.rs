@@ -44,6 +44,7 @@
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
+#![cfg_attr(not(test), deny(clippy::unwrap_used, clippy::expect_used))]
 
 pub mod alerts;
 pub mod engine;
@@ -53,4 +54,4 @@ pub mod source;
 pub use alerts::{Alert, AlertAction, AlertConfig, AlertEngine, AlertKind, Condition, Severity};
 pub use engine::{ConnectionSummary, Monitor, MonitorConfig, MonitorEvent};
 pub use metrics::{LatencyHistogram, MonitorMetrics};
-pub use source::{FollowSource, PacketSource, SimSource, SourceEvent};
+pub use source::{AttributedAnomaly, FollowSource, PacketSource, SimSource, SourceEvent};

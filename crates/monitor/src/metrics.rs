@@ -75,6 +75,7 @@ pub struct MonitorMetrics {
     ticks: u64,
     open_connections: usize,
     connections_finalized: u64,
+    capture_anomalies: u64,
     raised: BTreeMap<AlertKind, u64>,
     cleared: BTreeMap<AlertKind, u64>,
     latency: LatencyHistogram,
@@ -98,6 +99,11 @@ impl MonitorMetrics {
     pub(crate) fn record_finalized(&mut self, open_connections: usize) {
         self.connections_finalized += 1;
         self.open_connections = open_connections;
+    }
+
+    /// Records one capture anomaly survived by the source.
+    pub(crate) fn record_anomaly(&mut self) {
+        self.capture_anomalies += 1;
     }
 
     /// Records an alert transition.
@@ -129,6 +135,11 @@ impl MonitorMetrics {
         self.connections_finalized
     }
 
+    /// Capture anomalies survived by the source.
+    pub fn capture_anomalies(&self) -> u64 {
+        self.capture_anomalies
+    }
+
     /// Alerts raised, by kind.
     pub fn alerts_raised(&self, kind: AlertKind) -> u64 {
         self.raised.get(&kind).copied().unwrap_or(0)
@@ -157,8 +168,13 @@ impl fmt::Display for MonitorMetrics {
             "frames ingested      {:>10}\n\
              analysis ticks       {:>10}\n\
              open connections     {:>10}\n\
-             finalized            {:>10}",
-            self.frames, self.ticks, self.open_connections, self.connections_finalized
+             finalized            {:>10}\n\
+             capture anomalies    {:>10}",
+            self.frames,
+            self.ticks,
+            self.open_connections,
+            self.connections_finalized,
+            self.capture_anomalies
         )?;
         for kind in AlertKind::ALL {
             let raised = self.alerts_raised(kind);

@@ -17,10 +17,11 @@
 use std::path::Path;
 use std::time::{Duration, Instant};
 
-use tdat_packet::{PcapFollower, Result, TcpFrame};
+use tdat_packet::{CaptureAnomaly, LossyDecoder, PcapFollower, Result, TcpFrame};
 use tdat_tcpsim::scenario::{build_scenario, ScenarioOptions};
 use tdat_tcpsim::LiveTap;
 use tdat_timeset::Micros;
+use tdat_trace::ConnKey;
 
 /// One poll's outcome.
 #[derive(Debug)]
@@ -41,15 +42,36 @@ pub enum SourceEvent {
     Finished,
 }
 
+/// A capture anomaly the source survived, tied to the connection it
+/// damaged when the addresses were still readable.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct AttributedAnomaly {
+    /// The damaged connection, if the frame (or at least its endpoint
+    /// addresses) could be decoded; `None` for damage the capture lost
+    /// beyond attribution.
+    pub key: Option<ConnKey>,
+    /// What went wrong.
+    pub anomaly: CaptureAnomaly,
+}
+
 /// A pollable producer of captured frames.
 pub trait PacketSource {
     /// Polls for the next event without blocking on packet arrival.
     ///
     /// # Errors
     ///
-    /// Fails on I/O errors or malformed input (a follow-mode file with
-    /// a corrupt record, for example). Errors are terminal.
+    /// Fails on I/O errors or on input damaged beyond the source's
+    /// recovery strategy (a follow-mode tail that stays unreadable past
+    /// the bounded resynchronization scan, for example). Errors are
+    /// terminal.
     fn poll(&mut self) -> Result<SourceEvent>;
+
+    /// Takes the capture anomalies the source survived since the last
+    /// drain. Sources over trustworthy feeds (the simulator) never
+    /// produce any; the default returns nothing.
+    fn drain_anomalies(&mut self) -> Vec<AttributedAnomaly> {
+        Vec::new()
+    }
 }
 
 /// Frames read at most per [`FollowSource`] poll, bounding the latency
@@ -57,10 +79,14 @@ pub trait PacketSource {
 /// first half.
 const FOLLOW_BATCH: usize = 4096;
 
-/// Tails a growing pcap file on disk.
+/// Tails a growing pcap file on disk through the lossy decoder:
+/// damaged records become [`AttributedAnomaly`] entries instead of
+/// terminal errors, so a sniffer glitch never kills the watch.
 #[derive(Debug)]
 pub struct FollowSource {
     follower: PcapFollower<std::fs::File>,
+    decoder: LossyDecoder,
+    anomalies: Vec<AttributedAnomaly>,
     /// Report [`SourceEvent::Finished`] after this long (wall clock)
     /// without a single new record; `None` follows forever.
     exit_idle: Option<Duration>,
@@ -77,6 +103,8 @@ impl FollowSource {
     pub fn open(path: impl AsRef<Path>, exit_idle: Option<Duration>) -> Result<FollowSource> {
         Ok(FollowSource {
             follower: PcapFollower::open(path)?,
+            decoder: LossyDecoder::new(),
+            anomalies: Vec::new(),
             exit_idle,
             last_progress: Instant::now(),
         })
@@ -86,18 +114,39 @@ impl FollowSource {
     pub fn records_read(&self) -> u64 {
         self.follower.records_read()
     }
+
+    /// Total capture anomalies survived so far (drained or not).
+    pub fn anomaly_total(&self) -> u64 {
+        self.decoder.counts().total()
+    }
 }
 
 impl PacketSource for FollowSource {
     fn poll(&mut self) -> Result<SourceEvent> {
         let mut frames = Vec::new();
+        let mut consumed = false;
         while frames.len() < FOLLOW_BATCH {
-            match self.follower.poll_frame()? {
-                Some(frame) => frames.push(frame),
+            match self.follower.poll_lossy(&mut self.decoder)? {
+                Some(lossy) => {
+                    consumed = true;
+                    let key = match &lossy.frame {
+                        Some(frame) => Some(ConnKey::of(frame)),
+                        None => lossy.endpoints.map(|(x, y)| ConnKey::of_endpoints(x, y)),
+                    };
+                    self.anomalies.extend(
+                        lossy
+                            .anomalies
+                            .into_iter()
+                            .map(|anomaly| AttributedAnomaly { key, anomaly }),
+                    );
+                    if let Some(frame) = lossy.frame {
+                        frames.push(frame);
+                    }
+                }
                 None => break,
             }
         }
-        if frames.is_empty() {
+        if !consumed {
             if let Some(limit) = self.exit_idle {
                 if self.last_progress.elapsed() >= limit {
                     return Ok(SourceEvent::Finished);
@@ -107,6 +156,10 @@ impl PacketSource for FollowSource {
         }
         self.last_progress = Instant::now();
         Ok(SourceEvent::Batch { frames, now: None })
+    }
+
+    fn drain_anomalies(&mut self) -> Vec<AttributedAnomaly> {
+        std::mem::take(&mut self.anomalies)
     }
 }
 
@@ -219,6 +272,32 @@ mod tests {
         assert!(matches!(src.poll().expect("poll"), SourceEvent::Pending));
         std::thread::sleep(Duration::from_millis(15));
         assert!(matches!(src.poll().expect("poll"), SourceEvent::Finished));
+    }
+
+    #[test]
+    fn follow_source_survives_mid_file_garbage_and_attributes_damage() {
+        // A good record, then garbage bytes, then another good record:
+        // the source must deliver both frames and surface the damage as
+        // attributed anomalies instead of dying.
+        let mut bytes = capture_bytes();
+        let second = capture_bytes();
+        bytes.extend_from_slice(&[0xde; 200]);
+        bytes.extend_from_slice(&second[24..]); // skip the global header
+        let file = TempPcap::create("follow_garbage", &bytes);
+        let mut src = FollowSource::open(&file.0, Some(Duration::from_millis(10))).expect("open");
+        let mut frames = 0usize;
+        loop {
+            match src.poll().expect("lossy follow never errors on damage") {
+                SourceEvent::Batch { frames: batch, .. } => frames += batch.len(),
+                SourceEvent::Pending => std::thread::sleep(Duration::from_millis(2)),
+                SourceEvent::Finished => break,
+            }
+        }
+        assert!(frames >= 1, "at least the first frame is recovered");
+        let anomalies = src.drain_anomalies();
+        assert!(!anomalies.is_empty(), "the garbage was noted");
+        assert!(src.anomaly_total() >= anomalies.len() as u64);
+        assert!(src.drain_anomalies().is_empty(), "drain empties the buffer");
     }
 
     #[test]

@@ -1,22 +1,28 @@
 //! Runs the differential-oracle sweep and reports accuracy.
 //!
 //! ```text
-//! t-dat-oracle [--seed N] [--filter SUBSTR] [--artifact PATH]
+//! t-dat-oracle [--seed N] [--filter SUBSTR] [--artifact PATH] [--chaos]
 //! ```
 //!
 //! Exits 0 when every acceptance threshold holds, 1 otherwise; the
 //! summary (per-scenario scores plus the aggregated loss-location
 //! confusion matrix) goes to stdout and, with `--artifact`, to a file
-//! for CI upload.
+//! for CI upload. With `--chaos`, every clean scenario is additionally
+//! re-run through seeded sniffer-side damage (survivable and poison
+//! presets) and the quarantine contract is enforced.
 
 use std::process::ExitCode;
 
-use tdat_oracle::{evaluate, render, run_scenario, scenario_matrix, Thresholds};
+use tdat_oracle::{
+    evaluate, evaluate_chaos, render, render_chaos, run_chaos_axis, run_scenario, scenario_matrix,
+    Thresholds,
+};
 
 fn main() -> ExitCode {
     let mut seed = 1u64;
     let mut filter: Option<String> = None;
     let mut artifact: Option<String> = None;
+    let mut chaos = false;
     let mut args = std::env::args().skip(1);
     while let Some(arg) = args.next() {
         match arg.as_str() {
@@ -32,8 +38,11 @@ fn main() -> ExitCode {
                 Some(v) => artifact = Some(v),
                 None => return usage("--artifact needs a path"),
             },
+            "--chaos" => chaos = true,
             "--help" | "-h" => {
-                println!("usage: t-dat-oracle [--seed N] [--filter SUBSTR] [--artifact PATH]");
+                println!(
+                    "usage: t-dat-oracle [--seed N] [--filter SUBSTR] [--artifact PATH] [--chaos]"
+                );
                 return ExitCode::SUCCESS;
             }
             other => return usage(&format!("unknown argument {other:?}")),
@@ -54,8 +63,15 @@ fn main() -> ExitCode {
         reports.push(run_scenario(sc));
     }
 
-    let failures = evaluate(&reports, &Thresholds::default());
-    let summary = render(&reports, &failures);
+    let mut failures = evaluate(&reports, &Thresholds::default());
+    let mut summary = render(&reports, &failures);
+    if chaos {
+        eprintln!("running chaos axis ...");
+        let chaos_reports = run_chaos_axis(&scenarios);
+        let chaos_failures = evaluate_chaos(&chaos_reports);
+        summary.push_str(&render_chaos(&chaos_reports, &chaos_failures));
+        failures.extend(chaos_failures);
+    }
     print!("{summary}");
     if let Some(path) = artifact {
         if let Err(e) = std::fs::write(&path, &summary) {

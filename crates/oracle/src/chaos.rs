@@ -1,0 +1,285 @@
+//! The chaos axis: scenarios re-run through seeded sniffer-side
+//! damage, proving the lossy pipeline degrades the way the quarantine
+//! contract promises.
+//!
+//! Each chaos run takes a monitored scenario's clean sniffer frames,
+//! damages them with a [`ChaosSpec`] at the pcap-byte level, and drives
+//! the damaged capture through the lossy streaming pipeline
+//! ([`StreamAnalyzer::analyze_lossy_with`]). Two modes per scenario:
+//!
+//! * **survivable** — a small fixed budget of duplicated records. The
+//!   lossy decoder must absorb them: factor F1 scores stay within a
+//!   tight tolerance of the undamaged run, and the connection comes out
+//!   *degraded*, never quarantined and never (falsely) clean.
+//! * **poison** — heavy mixed damage (truncation, clipping, corruption,
+//!   duplication, reordering, clock jumps). The pipeline must not
+//!   panic, must still produce analyses, and must quarantine the
+//!   damaged connection with a typed reason — never label it clean.
+
+use tdat::{Analysis, LossyRunReport, StreamAnalyzer};
+use tdat_packet::LossyReader;
+use tdat_tcpsim::{apply_chaos, ChaosSpec, ChaosStats};
+
+use crate::matrix::OracleScenario;
+use crate::run::{score_connection, simulate_monitored};
+use crate::score::SpanScore;
+
+/// Which damage preset a chaos run used.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ChaosMode {
+    /// Damage the pipeline must absorb without quarantining.
+    Survivable,
+    /// Damage that must trip quarantine.
+    Poison,
+}
+
+impl ChaosMode {
+    /// Stable lowercase name used in report rows.
+    pub fn as_str(self) -> &'static str {
+        match self {
+            ChaosMode::Survivable => "survivable",
+            ChaosMode::Poison => "poison",
+        }
+    }
+
+    fn spec(self, seed: u64) -> ChaosSpec {
+        match self {
+            ChaosMode::Survivable => ChaosSpec::survivable(seed),
+            ChaosMode::Poison => ChaosSpec::poison(seed),
+        }
+    }
+}
+
+/// Outcome of one scenario × chaos-mode run.
+#[derive(Debug, Clone)]
+pub struct ChaosReport {
+    /// `<scenario>+<mode>`.
+    pub name: String,
+    /// The damage preset used.
+    pub mode: ChaosMode,
+    /// Damage events injected, by the engine's own tally.
+    pub injected: ChaosStats,
+    /// The lossy run's summary (anomalies survived, quarantine count).
+    pub run: LossyRunReport,
+    /// Verdict of the monitored connection (`degraded`, `quarantined`,
+    /// or — a failure — `clean`), with the quarantine reason if sealed.
+    pub verdict: String,
+    /// Typed quarantine reason, when sealed.
+    pub reason: Option<String>,
+    /// Worst absolute factor-F1 drift vs the undamaged analysis
+    /// (survivable mode only; poison scoring is meaningless).
+    pub worst_f1_drift: Option<f64>,
+    /// Connections the lossy run produced.
+    pub connections: usize,
+}
+
+fn f1_drift(clean: &SpanScore, chaos: &SpanScore) -> f64 {
+    (clean.f1() - chaos.f1()).abs()
+}
+
+/// The analysis carrying the monitored connection's data (the one with
+/// the most transferred bytes — damage can split a stream).
+fn primary(analyses: &[Analysis]) -> Option<&Analysis> {
+    analyses.iter().max_by_key(|a| a.profile.data_bytes)
+}
+
+/// Runs pcap bytes through the lossy streaming pipeline.
+fn lossy_analyses(bytes: &[u8]) -> (Vec<Analysis>, LossyRunReport) {
+    let mut analyses = Vec::new();
+    let reader =
+        LossyReader::new(bytes).expect("chaos output always starts with a valid global header");
+    let run = StreamAnalyzer::new(Default::default())
+        .analyze_lossy_with(reader, |a| analyses.push(a))
+        .expect("the lossy pipeline never fails on in-stream damage");
+    (analyses, run)
+}
+
+/// Runs one scenario through one chaos mode.
+pub fn run_chaos(sc: &OracleScenario, mode: ChaosMode) -> ChaosReport {
+    let sim = simulate_monitored(sc);
+    let (damaged, injected) = apply_chaos(&sim.frames, &mode.spec(sc.seed));
+    let (analyses, run) = lossy_analyses(&damaged);
+
+    let (verdict, reason, worst_f1_drift) = match primary(&analyses) {
+        Some(analysis) => {
+            let drift = (mode == ChaosMode::Survivable).then(|| {
+                // The baseline is the *same* streaming pipeline over
+                // undamaged bytes, so the drift isolates the damage
+                // itself rather than batch-vs-streaming differences.
+                let (baseline, _) =
+                    lossy_analyses(&apply_chaos(&sim.frames, &ChaosSpec::quiet(0)).0);
+                let base = primary(&baseline).expect("undamaged capture analyzes");
+                let clean = score_connection(sc, base, &sim.report, &sim.drops);
+                let chaos = score_connection(sc, analysis, &sim.report, &sim.drops);
+                f1_drift(&clean.app_idle, &chaos.app_idle)
+                    .max(f1_drift(&clean.cwnd, &chaos.cwnd))
+                    .max(f1_drift(&clean.rwnd, &chaos.rwnd))
+            });
+            (
+                analysis.verdict.as_str().to_string(),
+                analysis.verdict.reason().map(str::to_string),
+                drift,
+            )
+        }
+        None => ("missing".to_string(), None, None),
+    };
+
+    ChaosReport {
+        name: format!("{}+{}", sc.name, mode.as_str()),
+        mode,
+        injected,
+        run,
+        verdict,
+        reason,
+        worst_f1_drift,
+        connections: analyses.len(),
+    }
+}
+
+/// Runs the chaos axis over every clean scenario of the matrix slice.
+pub fn run_chaos_axis(scenarios: &[OracleScenario]) -> Vec<ChaosReport> {
+    let mut reports = Vec::new();
+    for sc in scenarios.iter().filter(|s| s.is_clean()) {
+        for mode in [ChaosMode::Survivable, ChaosMode::Poison] {
+            reports.push(run_chaos(sc, mode));
+        }
+    }
+    reports
+}
+
+/// Maximum factor-F1 drift a survivable chaos run may show.
+pub const SURVIVABLE_F1_TOLERANCE: f64 = 0.02;
+
+/// Checks every chaos report against the quarantine contract, returning
+/// human-readable failures (empty = the axis passed).
+pub fn evaluate_chaos(reports: &[ChaosReport]) -> Vec<String> {
+    let mut failures = Vec::new();
+    for r in reports {
+        if r.injected.total() == 0 {
+            failures.push(format!("{}: no damage was injected", r.name));
+            continue;
+        }
+        if r.verdict == "clean" {
+            failures.push(format!("{}: damaged connection labeled clean", r.name));
+        }
+        match r.mode {
+            ChaosMode::Survivable => {
+                if r.verdict != "degraded" {
+                    failures.push(format!(
+                        "{}: expected a degraded verdict, got {}",
+                        r.name, r.verdict
+                    ));
+                }
+                match r.worst_f1_drift {
+                    Some(drift) if drift > SURVIVABLE_F1_TOLERANCE => {
+                        failures.push(format!(
+                            "{}: factor F1 drifted {:.3} (> {:.3}) under survivable damage",
+                            r.name, drift, SURVIVABLE_F1_TOLERANCE
+                        ));
+                    }
+                    None => failures.push(format!("{}: no connection to score", r.name)),
+                    _ => {}
+                }
+            }
+            ChaosMode::Poison => {
+                if r.verdict != "quarantined" {
+                    failures.push(format!(
+                        "{}: poison damage was not quarantined (verdict {})",
+                        r.name, r.verdict
+                    ));
+                }
+                if r.verdict == "quarantined" && r.reason.as_deref().unwrap_or("").is_empty() {
+                    failures.push(format!("{}: quarantine carries no typed reason", r.name));
+                }
+            }
+        }
+    }
+    failures
+}
+
+/// Renders the chaos-axis table (appended to the sweep summary).
+pub fn render_chaos(reports: &[ChaosReport], failures: &[String]) -> String {
+    use std::fmt::Write as _;
+    let mut out = String::new();
+    let _ = writeln!(out, "\nchaos axis ({} runs)", reports.len());
+    let _ = writeln!(
+        out,
+        "{:<34} {:>7} {:>9} {:>12} {:>6} {:>8}",
+        "scenario+mode", "events", "anomalies", "verdict", "conns", "f1drift"
+    );
+    for r in reports {
+        let drift = r
+            .worst_f1_drift
+            .map(|d| format!("{d:.3}"))
+            .unwrap_or_else(|| "-".to_string());
+        let _ = writeln!(
+            out,
+            "{:<34} {:>7} {:>9} {:>12} {:>6} {:>8}",
+            r.name,
+            r.injected.total(),
+            r.run.counts.total(),
+            r.verdict,
+            r.connections,
+            drift
+        );
+    }
+    if failures.is_empty() {
+        let _ = writeln!(out, "chaos axis: PASS");
+    } else {
+        let _ = writeln!(out, "chaos axis: FAIL");
+        for f in failures {
+            let _ = writeln!(out, "  {f}");
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::matrix::scenario_matrix;
+
+    /// A clean matrix scenario shrunk to a fast transfer.
+    fn small_clean() -> OracleScenario {
+        let mut sc = scenario_matrix(1)
+            .into_iter()
+            .find(|s| s.is_clean())
+            .expect("the matrix has clean scenarios");
+        sc.routes = 2_000;
+        sc
+    }
+
+    #[test]
+    fn survivable_chaos_degrades_without_drifting() {
+        let report = run_chaos(&small_clean(), ChaosMode::Survivable);
+        assert!(report.injected.total() > 0, "damage was injected");
+        assert_eq!(report.verdict, "degraded", "{report:?}");
+        let drift = report.worst_f1_drift.expect("survivable runs are scored");
+        assert!(
+            drift <= SURVIVABLE_F1_TOLERANCE,
+            "duplicate-only damage must not move factor inference: {drift}"
+        );
+        assert!(evaluate_chaos(&[report]).is_empty());
+    }
+
+    #[test]
+    fn poison_chaos_is_quarantined_with_typed_reason() {
+        let report = run_chaos(&small_clean(), ChaosMode::Poison);
+        assert!(report.injected.total() > 0);
+        assert_eq!(report.verdict, "quarantined", "{report:?}");
+        assert!(
+            report.reason.as_deref().is_some_and(|r| !r.is_empty()),
+            "quarantine carries a typed reason"
+        );
+        assert!(evaluate_chaos(&[report]).is_empty());
+    }
+
+    #[test]
+    fn render_marks_failures() {
+        let sc = small_clean();
+        let ok = run_chaos(&sc, ChaosMode::Poison);
+        assert!(render_chaos(std::slice::from_ref(&ok), &[]).contains("chaos axis: PASS"));
+        let failures = vec!["x: damaged connection labeled clean".to_string()];
+        assert!(render_chaos(&[ok], &failures).contains("chaos axis: FAIL"));
+    }
+}

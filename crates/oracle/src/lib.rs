@@ -27,11 +27,16 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+pub mod chaos;
 pub mod matrix;
 pub mod report;
 pub mod run;
 pub mod score;
 
+pub use chaos::{
+    evaluate_chaos, render_chaos, run_chaos, run_chaos_axis, ChaosMode, ChaosReport,
+    SURVIVABLE_F1_TOLERANCE,
+};
 pub use matrix::{scenario_matrix, Fault, LossSpec, OracleScenario};
 pub use report::{aggregate, evaluate, render, Thresholds};
 pub use run::{run_scenario, ScenarioReport};

@@ -144,7 +144,7 @@ fn labeled_segments(analysis: &Analysis) -> Vec<LabeledSeg> {
 }
 
 /// Scores one analyzed connection against its simulator report.
-fn score_connection(
+pub(crate) fn score_connection(
     sc: &OracleScenario,
     analysis: &Analysis,
     report: &ConnReport,
@@ -203,7 +203,21 @@ fn score_connection(
     }
 }
 
-fn run_monitored(sc: &OracleScenario) -> ScenarioReport {
+/// The raw material of a monitored-scenario run: the sniffer frames
+/// and the simulator's ground truth. Shared by the plain sweep and the
+/// chaos axis (which damages the frames before analysis).
+pub(crate) struct MonitoredRun {
+    /// The sniffer's clean capture.
+    pub frames: Vec<tdat_packet::TcpFrame>,
+    /// Ground-truth report of the monitored connection.
+    pub report: ConnReport,
+    /// Ground-truth payload drops by tap side.
+    pub drops: Vec<TruthDrop>,
+}
+
+/// Builds and runs the simulation for a monitored (single-connection)
+/// scenario, returning frames plus ground truth.
+pub(crate) fn simulate_monitored(sc: &OracleScenario) -> MonitoredRun {
     let stream = stream_for(sc);
     let mut topo = monitoring_topology(1, topology_options(sc, stream.len()));
     let mut spec = tdat_tcpsim::scenario::transfer_spec(&topo, 0, stream);
@@ -224,8 +238,20 @@ fn run_monitored(sc: &OracleScenario) -> ScenarioReport {
     sim.run(Micros::from_secs(1800));
     let drops = truth_drops(&topo, sim.network());
     let mut out = sim.into_output();
-    let frames = out.taps.remove(0).1;
-    let report = &out.connections[0];
+    MonitoredRun {
+        frames: out.taps.remove(0).1,
+        report: out.connections.remove(0),
+        drops,
+    }
+}
+
+fn run_monitored(sc: &OracleScenario) -> ScenarioReport {
+    let MonitoredRun {
+        frames,
+        report,
+        drops,
+    } = simulate_monitored(sc);
+    let report = &report;
 
     let analyses = Analyzer::default().analyze_frames(&frames);
     assert_eq!(

@@ -23,7 +23,10 @@ use std::path::Path;
 
 use crate::error::{PacketError, Result};
 use crate::frame::TcpFrame;
-use crate::pcap::{RawRecord, LINKTYPE_ETHERNET, MAGIC_MICROS, MAGIC_NANOS};
+use crate::lossy::{
+    plausible_record_header, CaptureAnomaly, LossyDecoder, LossyFrame, RESYNC_SCAN_LIMIT,
+};
+use crate::pcap::{Endianness, RawRecord, LINKTYPE_ETHERNET, MAGIC_MICROS, MAGIC_NANOS};
 use tdat_timeset::Micros;
 
 /// Parsed global-header state, established once 24 bytes are available.
@@ -40,6 +43,14 @@ impl FileHeader {
             u32::from_le_bytes(b)
         } else {
             u32::from_be_bytes(b)
+        }
+    }
+
+    fn endianness(&self) -> Endianness {
+        if self.little_endian {
+            Endianness::Little
+        } else {
+            Endianness::Big
         }
     }
 }
@@ -77,6 +88,9 @@ pub struct PcapFollower<R> {
     header: Option<FileHeader>,
     /// Timestamp of the first record (the trace epoch).
     epoch: Option<i64>,
+    /// Whole-seconds timestamp of the last record read, used to judge
+    /// resynchronization candidates in lossy mode.
+    last_ts_sec: Option<i64>,
     records_read: u64,
     /// Largest file length ever observed. A followed capture only ever
     /// grows; any decrease means it was rotated or truncated.
@@ -109,6 +123,7 @@ impl<R: Read + Seek> PcapFollower<R> {
             offset: 0,
             header: None,
             epoch: None,
+            last_ts_sec: None,
             records_read: 0,
             high_water: 0,
             truncated: false,
@@ -217,7 +232,9 @@ impl<R: Read + Seek> PcapFollower<R> {
         if !self.ensure_header()? {
             return Ok(None);
         }
-        let header = self.header.expect("ensured above");
+        let Some(header) = self.header else {
+            return Ok(None);
+        };
         self.input.seek(SeekFrom::Start(self.offset))?;
         let mut rec_header = [0u8; 16];
         if !self.read_full(&mut rec_header)? {
@@ -246,6 +263,7 @@ impl<R: Read + Seek> PcapFollower<R> {
         }
         self.offset += 16 + incl_len as u64;
         self.records_read += 1;
+        self.last_ts_sec = Some(ts_sec);
         let micros = if header.nanos {
             ts_frac / 1000
         } else {
@@ -271,14 +289,133 @@ impl<R: Read + Seek> PcapFollower<R> {
     pub fn poll_frame(&mut self) -> Result<Option<TcpFrame>> {
         match self.poll_record()? {
             Some(record) => {
-                let header = self.header.expect("record implies header");
-                if header.link_type != LINKTYPE_ETHERNET {
-                    return Err(PacketError::UnsupportedLinkType(header.link_type));
+                if let Some(header) = self.header {
+                    if header.link_type != LINKTYPE_ETHERNET {
+                        return Err(PacketError::UnsupportedLinkType(header.link_type));
+                    }
                 }
                 TcpFrame::parse(record.timestamp, &record.data).map(Some)
             }
             None => Ok(None),
         }
+    }
+
+    /// Attempts to read the next record lossily: capture damage becomes
+    /// typed [`CaptureAnomaly`] items on the returned [`LossyFrame`]
+    /// instead of errors, and garbage at the committed offset triggers
+    /// a bounded forward scan for the next plausible record header
+    /// rather than an eternal retry.
+    ///
+    /// `Ok(None)` still means "not yet": either the tail is a clean
+    /// partial record, or it is garbage for which no resynchronization
+    /// target has been written yet. `Ok(Some(..))` may carry a frame,
+    /// anomalies, both, or neither (a consumed cross-traffic record) —
+    /// poll again for more.
+    ///
+    /// # Errors
+    ///
+    /// Fails on I/O errors, a bad magic number, a non-Ethernet link
+    /// type, [`PacketError::SourceTruncated`] after a shrink, or when a
+    /// resynchronization scan exhausts its byte budget without finding
+    /// a plausible record header (the file is garbage from the
+    /// committed offset on, and retrying cannot fix it).
+    pub fn poll_lossy(&mut self, decoder: &mut LossyDecoder) -> Result<Option<LossyFrame>> {
+        self.check_shrink()?;
+        if !self.ensure_header()? {
+            return Ok(None);
+        }
+        let Some(header) = self.header else {
+            return Ok(None);
+        };
+        if header.link_type != LINKTYPE_ETHERNET {
+            return Err(PacketError::UnsupportedLinkType(header.link_type));
+        }
+        self.input.seek(SeekFrom::Start(self.offset))?;
+        let mut rec_header = [0u8; 16];
+        if !self.read_full(&mut rec_header)? {
+            return Ok(None);
+        }
+        let Some(parsed) = plausible_record_header(
+            header.endianness(),
+            header.nanos,
+            &rec_header,
+            self.last_ts_sec,
+        ) else {
+            return self.resync_lossy(&header, decoder);
+        };
+        let mut data = vec![0u8; parsed.incl_len as usize];
+        if !self.read_full(&mut data)? {
+            return Ok(None);
+        }
+        self.offset += 16 + parsed.incl_len as u64;
+        self.records_read += 1;
+        self.last_ts_sec = Some(parsed.ts_sec);
+        let abs = parsed.abs_micros(header.nanos);
+        let epoch = *self.epoch.get_or_insert(abs);
+        let record = RawRecord {
+            timestamp: Micros(abs - epoch),
+            orig_len: parsed.orig_len,
+            data,
+        };
+        Ok(Some(decoder.decode_record(&record)))
+    }
+
+    /// Scans forward from the committed offset for a plausible record
+    /// header. Finding one commits the skip and reports it as a
+    /// [`CaptureAnomaly::Desynchronized`]; running out of written bytes
+    /// first leaves the offset alone and reports pending (the target
+    /// may simply not have been appended yet); exhausting the scan
+    /// budget is a hard error — the bound that replaces retry-forever.
+    fn resync_lossy(
+        &mut self,
+        header: &FileHeader,
+        decoder: &mut LossyDecoder,
+    ) -> Result<Option<LossyFrame>> {
+        self.input.seek(SeekFrom::Start(self.offset))?;
+        let mut window = Vec::with_capacity(4096);
+        let mut chunk = [0u8; 4096];
+        while window.len() < RESYNC_SCAN_LIMIT + 16 {
+            match self.input.read(&mut chunk) {
+                Ok(0) => break,
+                Ok(n) => window.extend_from_slice(&chunk[..n]),
+                Err(e) if e.kind() == io::ErrorKind::Interrupted => {}
+                Err(e) => return Err(e.into()),
+            }
+        }
+        for pos in 1..=window.len().saturating_sub(16) {
+            if pos > RESYNC_SCAN_LIMIT {
+                break;
+            }
+            let mut candidate = [0u8; 16];
+            candidate.copy_from_slice(&window[pos..pos + 16]);
+            if plausible_record_header(
+                header.endianness(),
+                header.nanos,
+                &candidate,
+                self.last_ts_sec,
+            )
+            .is_some()
+            {
+                self.offset += pos as u64;
+                let anomaly = CaptureAnomaly::Desynchronized {
+                    skipped: pos as u64,
+                };
+                decoder.note(&anomaly);
+                let mut item = LossyFrame::default();
+                item.anomalies.push(anomaly);
+                return Ok(Some(item));
+            }
+        }
+        if window.len() > RESYNC_SCAN_LIMIT {
+            return Err(PacketError::Malformed {
+                what: "pcap stream",
+                detail: format!(
+                    "no plausible record header within {RESYNC_SCAN_LIMIT} bytes of offset {}",
+                    self.offset
+                ),
+            });
+        }
+        Ok(None)
     }
 }
 
@@ -461,6 +598,79 @@ mod tests {
             follower.poll_frame().unwrap().unwrap().timestamp,
             Micros::from_millis(500)
         );
+    }
+
+    #[test]
+    fn garbage_tail_resyncs_instead_of_retrying_forever() {
+        // The satellite fix this test pins: the tail of the file is
+        // mid-record *garbage* (an implausible record header), not a
+        // clean partial record. Strict polling would error; the old
+        // lossy behaviour would be to wait forever for bytes that are
+        // never coming. Lossy polling must (a) stay pending while no
+        // resync target exists, then (b) skip the garbage and resume
+        // at the first plausible record appended after it.
+        let first = frame(0, 80);
+        let second = frame(15, 120);
+        let mut file = GrowingFile::create("garbage_tail.pcap");
+        file.append(&encode(std::slice::from_ref(&first)));
+        file.append(&[0xff; 41]); // mid-record garbage, implausible header
+        let mut follower = PcapFollower::open(&file.path).unwrap();
+        let mut decoder = LossyDecoder::new();
+        let got = follower.poll_lossy(&mut decoder).unwrap().unwrap();
+        assert_eq!(got.frame, Some(first));
+        // Garbage tail with nothing to resync onto: pending, not error,
+        // and crucially not an infinite busy success.
+        for _ in 0..3 {
+            assert!(follower.poll_lossy(&mut decoder).unwrap().is_none());
+        }
+        // A real record lands after the garbage: the follower skips the
+        // garbage (counted) and resumes.
+        let tail = encode(std::slice::from_ref(&second));
+        file.append(&tail[24..]);
+        let resync = follower.poll_lossy(&mut decoder).unwrap().unwrap();
+        assert!(matches!(
+            resync.anomalies[0],
+            CaptureAnomaly::Desynchronized { skipped: 41 }
+        ));
+        let got = follower.poll_lossy(&mut decoder).unwrap().unwrap();
+        let got_frame = got.frame.unwrap();
+        assert_eq!(got_frame.payload_len(), 120);
+        assert_eq!(decoder.counts().desynchronizations, 1);
+    }
+
+    #[test]
+    fn resync_scan_is_bounded_not_eternal() {
+        let mut file = GrowingFile::create("unbounded_garbage.pcap");
+        file.append(&encode(&[frame(0, 10)]));
+        // Way past the scan budget, all implausible.
+        file.append(&vec![0xee; RESYNC_SCAN_LIMIT + 64]);
+        let mut follower = PcapFollower::open(&file.path).unwrap();
+        let mut decoder = LossyDecoder::new();
+        assert!(follower
+            .poll_lossy(&mut decoder)
+            .unwrap()
+            .unwrap()
+            .frame
+            .is_some());
+        assert!(matches!(
+            follower.poll_lossy(&mut decoder),
+            Err(PacketError::Malformed { .. })
+        ));
+    }
+
+    #[test]
+    fn lossy_poll_reads_clean_files_like_strict() {
+        let frames = vec![frame(0, 10), frame(5, 0), frame(12, 300)];
+        let mut file = GrowingFile::create("lossy_clean.pcap");
+        file.append(&encode(&frames));
+        let mut follower = PcapFollower::open(&file.path).unwrap();
+        let mut decoder = LossyDecoder::new();
+        let mut got = Vec::new();
+        while let Some(item) = follower.poll_lossy(&mut decoder).unwrap() {
+            got.extend(item.frame);
+        }
+        assert_eq!(got, frames);
+        assert_eq!(decoder.counts().total(), 0);
     }
 
     #[test]

@@ -38,12 +38,14 @@
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
+#![cfg_attr(not(test), deny(clippy::unwrap_used, clippy::expect_used))]
 
 mod error;
 mod eth;
 mod follow;
 mod frame;
 mod ipv4;
+mod lossy;
 mod pcap;
 mod tcp;
 
@@ -52,6 +54,7 @@ pub use eth::{EthernetHeader, MacAddr, ETHERNET_HEADER_LEN, ETHERTYPE_IPV4};
 pub use follow::PcapFollower;
 pub use frame::{FrameBuilder, TcpFrame};
 pub use ipv4::{internet_checksum, Ipv4Header, IPPROTO_TCP, IPV4_HEADER_LEN};
+pub use lossy::{AnomalyCounts, CaptureAnomaly, LossyDecoder, LossyFrame, LossyParse, LossyReader};
 pub use pcap::{
     read_pcap_file, write_pcap_file, Frames, IntoFrames, PcapReader, PcapWriter, RawRecord,
     LINKTYPE_ETHERNET, MAGIC_MICROS, MAGIC_NANOS,

@@ -1,0 +1,966 @@
+//! Lossy capture decoding: typed anomalies instead of errors.
+//!
+//! Operational sniffer output is hostile in ways the simulator's
+//! pristine pcaps never are: records truncated by a dying capture
+//! process, payloads clipped to a snap length, headers corrupted in
+//! the capture path, records duplicated or reordered by a mirroring
+//! switch, and capture clocks that step backwards. The strict decoders
+//! ([`PcapReader`](crate::PcapReader), [`TcpFrame::parse`]) turn any of
+//! those into a hard error, which is right for golden traces and wrong
+//! for production: one damaged record must not abort an analysis run
+//! over hours of good capture.
+//!
+//! This module is the lossy counterpart. Damage becomes a typed
+//! [`CaptureAnomaly`] carried alongside whatever could still be
+//! decoded:
+//!
+//! * [`LossyDecoder`] turns raw records into [`LossyFrame`]s, detecting
+//!   duplicates, timestamp regressions, snap clipping, and header or
+//!   checksum corruption, and keeping running [`AnomalyCounts`];
+//! * [`LossyReader`] reads a whole pcap stream this way, surviving a
+//!   truncated tail and resynchronizing (bounded scan) after mid-file
+//!   garbage instead of erroring out.
+//!
+//! Cross traffic (non-IPv4, non-TCP) is *not* an anomaly: a production
+//! tap sees ARP, IPv6, and UDP all day. It is counted separately and
+//! skipped.
+
+use std::collections::VecDeque;
+use std::fmt;
+use std::fs::File;
+use std::io::{self, BufReader, Read};
+use std::net::Ipv4Addr;
+use std::path::Path;
+
+use crate::error::Result;
+use crate::eth::{EthernetHeader, ETHERTYPE_IPV4};
+use crate::frame::TcpFrame;
+use crate::ipv4::{internet_checksum, Ipv4Header, IPPROTO_TCP};
+use crate::pcap::{parse_global_header, Endianness, RawRecord, RecordHeader};
+use crate::tcp::{tcp_checksum, TcpHeader};
+use tdat_timeset::Micros;
+
+/// Largest captured length the lossy reader treats as a believable
+/// record rather than corruption of the length field. Ethernet frames
+/// top out at 64 kB even with jumbo encapsulation; 128 kB leaves slack.
+const PLAUSIBLE_RECORD_BYTES: u32 = 0x0002_0000;
+
+/// How far a resynchronization scan may advance before giving up.
+pub(crate) const RESYNC_SCAN_LIMIT: usize = 1 << 20;
+
+/// How many recent record signatures the duplicate detector remembers.
+const DUP_WINDOW: usize = 32;
+
+/// Largest believable forward step of the capture clock between
+/// adjacent records (one day, in seconds). Used only to judge resync
+/// candidates, not in-sequence records.
+const PLAUSIBLE_CLOCK_STEP_SECS: i64 = 86_400;
+
+/// One observed unit of capture damage.
+///
+/// Anomalies are facts about the *capture*, not about TCP behaviour:
+/// a retransmitted segment is normal traffic, but the same record
+/// bytes appearing twice with the same timestamp is a sniffer artifact.
+#[derive(Debug, Clone, PartialEq, Eq)]
+#[non_exhaustive]
+pub enum CaptureAnomaly {
+    /// The capture ended (or a record was cut) before a complete
+    /// structure: a partial record header or fewer captured bytes than
+    /// the header promised.
+    TruncatedRecord {
+        /// What was incomplete.
+        detail: String,
+    },
+    /// The record captured fewer bytes than were on the wire
+    /// (`incl_len < orig_len`): a snap length clipped the payload.
+    SnapClipped {
+        /// Bytes actually captured.
+        captured: usize,
+        /// Bytes originally on the wire.
+        orig_len: usize,
+    },
+    /// A link/network/transport header failed to decode or failed its
+    /// checksum; the damaged portion cannot be trusted.
+    BadHeader {
+        /// Which layer was damaged (`"ethernet"`, `"ipv4"`, `"tcp"`).
+        layer: &'static str,
+        /// Description of the damage.
+        detail: String,
+    },
+    /// The capture clock stepped backwards between adjacent records.
+    /// The observed timestamp is clamped to the previous one so
+    /// downstream time stays monotonic.
+    TimestampRegression {
+        /// Timestamp of the preceding record.
+        previous: Micros,
+        /// The regressed timestamp observed.
+        observed: Micros,
+    },
+    /// The exact same record bytes (and timestamp) were captured twice
+    /// in close succession — a mirror/bonding artifact, not a TCP
+    /// retransmission. The copy is dropped.
+    DuplicateRecord {
+        /// Timestamp of the duplicated record.
+        timestamp: Micros,
+    },
+    /// Bytes between records did not parse as a record header; the
+    /// reader scanned forward and resynchronized onto a plausible one.
+    Desynchronized {
+        /// Garbage bytes skipped to regain synchronization.
+        skipped: u64,
+    },
+}
+
+impl CaptureAnomaly {
+    /// Stable snake_case name of the anomaly class, for counters and
+    /// reports.
+    pub fn kind(&self) -> &'static str {
+        match self {
+            CaptureAnomaly::TruncatedRecord { .. } => "truncated_record",
+            CaptureAnomaly::SnapClipped { .. } => "snap_clipped",
+            CaptureAnomaly::BadHeader { .. } => "bad_header",
+            CaptureAnomaly::TimestampRegression { .. } => "timestamp_regression",
+            CaptureAnomaly::DuplicateRecord { .. } => "duplicate_record",
+            CaptureAnomaly::Desynchronized { .. } => "desynchronized",
+        }
+    }
+}
+
+impl fmt::Display for CaptureAnomaly {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            CaptureAnomaly::TruncatedRecord { detail } => write!(f, "truncated record: {detail}"),
+            CaptureAnomaly::SnapClipped { captured, orig_len } => {
+                write!(f, "snap-clipped record: {captured} of {orig_len} bytes")
+            }
+            CaptureAnomaly::BadHeader { layer, detail } => {
+                write!(f, "bad {layer} header: {detail}")
+            }
+            CaptureAnomaly::TimestampRegression { previous, observed } => write!(
+                f,
+                "timestamp regression: {observed} after {previous} (clamped)"
+            ),
+            CaptureAnomaly::DuplicateRecord { timestamp } => {
+                write!(f, "duplicate record at {timestamp} (dropped)")
+            }
+            CaptureAnomaly::Desynchronized { skipped } => {
+                write!(f, "desynchronized: skipped {skipped} garbage bytes")
+            }
+        }
+    }
+}
+
+/// Running tally of anomalies by class.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct AnomalyCounts {
+    /// Records cut short (partial header or partial body).
+    pub truncated_records: u64,
+    /// Records clipped by a snap length.
+    pub snap_clipped: u64,
+    /// Header decode or checksum failures.
+    pub bad_headers: u64,
+    /// Capture-clock regressions (clamped).
+    pub timestamp_regressions: u64,
+    /// Exact duplicate records (dropped).
+    pub duplicate_records: u64,
+    /// Resynchronization events after mid-stream garbage.
+    pub desynchronizations: u64,
+}
+
+impl AnomalyCounts {
+    /// Tallies one anomaly.
+    pub fn note(&mut self, anomaly: &CaptureAnomaly) {
+        match anomaly {
+            CaptureAnomaly::TruncatedRecord { .. } => self.truncated_records += 1,
+            CaptureAnomaly::SnapClipped { .. } => self.snap_clipped += 1,
+            CaptureAnomaly::BadHeader { .. } => self.bad_headers += 1,
+            CaptureAnomaly::TimestampRegression { .. } => self.timestamp_regressions += 1,
+            CaptureAnomaly::DuplicateRecord { .. } => self.duplicate_records += 1,
+            CaptureAnomaly::Desynchronized { .. } => self.desynchronizations += 1,
+        }
+    }
+
+    /// Adds another tally into this one.
+    pub fn merge(&mut self, other: &AnomalyCounts) {
+        self.truncated_records += other.truncated_records;
+        self.snap_clipped += other.snap_clipped;
+        self.bad_headers += other.bad_headers;
+        self.timestamp_regressions += other.timestamp_regressions;
+        self.duplicate_records += other.duplicate_records;
+        self.desynchronizations += other.desynchronizations;
+    }
+
+    /// Total anomalies across all classes.
+    pub fn total(&self) -> u64 {
+        self.truncated_records
+            + self.snap_clipped
+            + self.bad_headers
+            + self.timestamp_regressions
+            + self.duplicate_records
+            + self.desynchronizations
+    }
+}
+
+impl fmt::Display for AnomalyCounts {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "truncated={} clipped={} bad_header={} ts_regression={} duplicate={} desync={}",
+            self.truncated_records,
+            self.snap_clipped,
+            self.bad_headers,
+            self.timestamp_regressions,
+            self.duplicate_records,
+            self.desynchronizations
+        )
+    }
+}
+
+/// Outcome of decoding one capture record lossily.
+///
+/// At most one of the fields is "interesting": a clean record yields
+/// `frame: Some(..)` with no anomalies; a damaged-but-usable record
+/// yields both; an unrecoverable one yields only anomalies. `endpoints`
+/// attributes the damage to a connection whenever the addresses could
+/// still be trusted, even if the frame itself was dropped.
+#[derive(Debug, Clone, Default)]
+pub struct LossyFrame {
+    /// The decoded frame, when one could be recovered.
+    pub frame: Option<TcpFrame>,
+    /// Capture damage observed on this record.
+    pub anomalies: Vec<CaptureAnomaly>,
+    /// `(src, dst)` endpoints the damage belongs to, when identifiable.
+    pub endpoints: Option<((Ipv4Addr, u16), (Ipv4Addr, u16))>,
+}
+
+impl LossyFrame {
+    fn anomaly(anomaly: CaptureAnomaly) -> LossyFrame {
+        LossyFrame {
+            frame: None,
+            anomalies: vec![anomaly],
+            endpoints: None,
+        }
+    }
+
+    /// True when nothing was decoded and nothing was wrong: valid
+    /// cross traffic (non-IPv4 / non-TCP), already counted upstream.
+    pub fn is_cross_traffic(&self) -> bool {
+        self.frame.is_none() && self.anomalies.is_empty()
+    }
+}
+
+/// Result of [`TcpFrame::parse_lossy`].
+#[derive(Debug, Clone)]
+pub enum LossyParse {
+    /// A usable frame; `Some` when payload-level damage (a failed TCP
+    /// checksum) was detected but the headers were trustworthy.
+    Frame(TcpFrame, Option<CaptureAnomaly>),
+    /// Structurally valid but not TCP over IPv4 — cross traffic, not
+    /// damage.
+    NonTcp,
+    /// Unrecoverable: a header was truncated, malformed, or failed its
+    /// checksum.
+    Damaged(CaptureAnomaly),
+}
+
+impl TcpFrame {
+    /// Parses wire bytes tolerantly, classifying damage instead of
+    /// erroring.
+    ///
+    /// Unlike [`TcpFrame::parse`] this verifies the IPv4 header
+    /// checksum (so corrupted addresses cannot fabricate phantom
+    /// connections) and, when the full segment was captured, the TCP
+    /// checksum (so corrupted payload bytes are flagged rather than
+    /// silently fed to the BGP parser). `clipped` marks a record whose
+    /// captured bytes were cut by a snap length; the TCP checksum is
+    /// then unverifiable and skipped.
+    pub fn parse_lossy(timestamp: Micros, wire: &[u8], clipped: bool) -> LossyParse {
+        let mut buf = wire;
+        let eth = match EthernetHeader::decode(&mut buf) {
+            Ok(eth) => eth,
+            Err(e) => {
+                return LossyParse::Damaged(CaptureAnomaly::BadHeader {
+                    layer: "ethernet",
+                    detail: e.to_string(),
+                })
+            }
+        };
+        if eth.ethertype != ETHERTYPE_IPV4 {
+            return LossyParse::NonTcp;
+        }
+        let ip_bytes = buf;
+        let ip = match Ipv4Header::decode(&mut buf) {
+            Ok(ip) => ip,
+            Err(e) => {
+                return LossyParse::Damaged(CaptureAnomaly::BadHeader {
+                    layer: "ipv4",
+                    detail: e.to_string(),
+                })
+            }
+        };
+        if internet_checksum(&ip_bytes[..ip.header_len()]) != 0 {
+            return LossyParse::Damaged(CaptureAnomaly::BadHeader {
+                layer: "ipv4",
+                detail: "header checksum mismatch".to_string(),
+            });
+        }
+        if ip.protocol != IPPROTO_TCP {
+            return LossyParse::NonTcp;
+        }
+        let tcp_len = (ip.total_len as usize).saturating_sub(ip.header_len());
+        let available = tcp_len.min(buf.len());
+        let segment = &buf[..available];
+        let mut tcp_buf = segment;
+        let tcp = match TcpHeader::decode(&mut tcp_buf) {
+            Ok(tcp) => tcp,
+            Err(e) => {
+                return LossyParse::Damaged(CaptureAnomaly::BadHeader {
+                    layer: "tcp",
+                    detail: e.to_string(),
+                })
+            }
+        };
+        let consumed = segment.len() - tcp_buf.len();
+        let payload = segment[consumed..].to_vec();
+        // The TCP checksum covers header and payload; a mismatch on a
+        // fully captured segment means the bytes were damaged after the
+        // endpoint sent them. The frame structure is still usable, so
+        // keep it and flag the damage.
+        let damage = if !clipped
+            && available == tcp_len
+            && tcp_checksum(ip.src, ip.dst, segment, &[]) != 0
+        {
+            Some(CaptureAnomaly::BadHeader {
+                layer: "tcp",
+                detail: "checksum mismatch (header or payload corrupted)".to_string(),
+            })
+        } else {
+            None
+        };
+        let frame = TcpFrame {
+            timestamp,
+            eth,
+            ip,
+            tcp,
+            payload,
+        };
+        LossyParse::Frame(frame, damage)
+    }
+}
+
+/// Signature used for duplicate-record detection: a cheap FNV-1a hash
+/// over the timestamp and captured bytes.
+fn record_signature(record: &RawRecord) -> u64 {
+    let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+    let mut eat = |byte: u8| {
+        h ^= u64::from(byte);
+        h = h.wrapping_mul(0x0000_0100_0000_01b3);
+    };
+    for byte in record.timestamp.0.to_le_bytes() {
+        eat(byte);
+    }
+    for byte in record.orig_len.to_le_bytes() {
+        eat(byte);
+    }
+    for &byte in &record.data {
+        eat(byte);
+    }
+    h
+}
+
+/// Stateful lossy record-to-frame decoder.
+///
+/// Detects duplicates (signature ring over the last 32
+/// records), clamps timestamp regressions, flags snap clipping, and
+/// delegates byte-level damage classification to
+/// [`TcpFrame::parse_lossy`]. Keeps running totals so a whole-capture
+/// summary costs nothing extra.
+#[derive(Debug, Default)]
+pub struct LossyDecoder {
+    last_timestamp: Option<Micros>,
+    recent: VecDeque<u64>,
+    counts: AnomalyCounts,
+    frames: u64,
+    cross_traffic: u64,
+}
+
+impl LossyDecoder {
+    /// Creates a fresh decoder.
+    pub fn new() -> LossyDecoder {
+        LossyDecoder::default()
+    }
+
+    /// Anomalies observed so far, by class.
+    pub fn counts(&self) -> &AnomalyCounts {
+        &self.counts
+    }
+
+    /// Frames successfully decoded so far.
+    pub fn frames_decoded(&self) -> u64 {
+        self.frames
+    }
+
+    /// Valid non-IPv4/non-TCP records skipped so far.
+    pub fn cross_traffic(&self) -> u64 {
+        self.cross_traffic
+    }
+
+    /// Tallies an anomaly produced outside record decoding (truncated
+    /// tails, resync scans) so [`counts`](Self::counts) stays complete.
+    pub fn note(&mut self, anomaly: &CaptureAnomaly) {
+        self.counts.note(anomaly);
+    }
+
+    /// Decodes one raw record, never failing.
+    pub fn decode_record(&mut self, record: &RawRecord) -> LossyFrame {
+        let mut out = LossyFrame::default();
+
+        let sig = record_signature(record);
+        if self.recent.contains(&sig) {
+            // An exact duplicate: drop the copy, but still attribute it
+            // to its connection if the headers are intact.
+            let anomaly = CaptureAnomaly::DuplicateRecord {
+                timestamp: record.timestamp,
+            };
+            self.counts.note(&anomaly);
+            out.anomalies.push(anomaly);
+            if let LossyParse::Frame(frame, _) =
+                TcpFrame::parse_lossy(record.timestamp, &record.data, false)
+            {
+                out.endpoints = Some((frame.src(), frame.dst()));
+            }
+            return out;
+        }
+        self.recent.push_back(sig);
+        if self.recent.len() > DUP_WINDOW {
+            self.recent.pop_front();
+        }
+
+        let mut timestamp = record.timestamp;
+        if let Some(last) = self.last_timestamp {
+            if timestamp < last {
+                let anomaly = CaptureAnomaly::TimestampRegression {
+                    previous: last,
+                    observed: timestamp,
+                };
+                self.counts.note(&anomaly);
+                out.anomalies.push(anomaly);
+                timestamp = last;
+            }
+        }
+        self.last_timestamp = Some(timestamp);
+
+        let clipped = record.data.len() < record.orig_len as usize;
+        if clipped {
+            let anomaly = CaptureAnomaly::SnapClipped {
+                captured: record.data.len(),
+                orig_len: record.orig_len as usize,
+            };
+            self.counts.note(&anomaly);
+            out.anomalies.push(anomaly);
+        }
+
+        match TcpFrame::parse_lossy(timestamp, &record.data, clipped) {
+            LossyParse::Frame(frame, damage) => {
+                if let Some(anomaly) = damage {
+                    self.counts.note(&anomaly);
+                    out.anomalies.push(anomaly);
+                }
+                out.endpoints = Some((frame.src(), frame.dst()));
+                out.frame = Some(frame);
+                self.frames += 1;
+            }
+            LossyParse::NonTcp => {
+                self.cross_traffic += 1;
+            }
+            LossyParse::Damaged(anomaly) => {
+                self.counts.note(&anomaly);
+                out.anomalies.push(anomaly);
+            }
+        }
+        out
+    }
+}
+
+/// Judges whether 16 bytes look like a believable record header.
+/// Used both as the lossy reader's sanity gate and as the resync
+/// scanner's match condition.
+pub(crate) fn plausible_record_header(
+    endianness: Endianness,
+    nanos: bool,
+    bytes: &[u8; 16],
+    last_ts_sec: Option<i64>,
+) -> Option<RecordHeader> {
+    let h = RecordHeader::parse(endianness, bytes);
+    if h.incl_len > PLAUSIBLE_RECORD_BYTES || h.orig_len > PLAUSIBLE_RECORD_BYTES {
+        return None;
+    }
+    let frac_limit = if nanos { 1_000_000_000 } else { 1_000_000 };
+    if h.ts_frac >= frac_limit {
+        return None;
+    }
+    if let Some(last) = last_ts_sec {
+        if (h.ts_sec - last).abs() > PLAUSIBLE_CLOCK_STEP_SECS {
+            return None;
+        }
+    }
+    Some(h)
+}
+
+/// A lossy streaming pcap reader: the batch counterpart of
+/// [`PcapReader`](crate::PcapReader) that degrades instead of failing.
+///
+/// * A truncated tail (partial record header or body at end of file)
+///   ends the stream with a [`CaptureAnomaly::TruncatedRecord`] rather
+///   than an error.
+/// * An implausible record header mid-file triggers a bounded forward
+///   scan for the next plausible one
+///   ([`CaptureAnomaly::Desynchronized`]); only a scan that exhausts
+///   its budget ends the stream.
+/// * Per-record damage is classified by a shared [`LossyDecoder`].
+///
+/// Construction still fails hard on a bad magic number: without the
+/// global header nothing downstream is interpretable.
+///
+/// # Examples
+///
+/// ```no_run
+/// use tdat_packet::LossyReader;
+///
+/// let mut reader = LossyReader::open("hostile.pcap")?;
+/// while let Some(item) = reader.next_lossy()? {
+///     if let Some(frame) = item.frame {
+///         println!("{frame}");
+///     }
+/// }
+/// println!("damage: {}", reader.counts());
+/// # Ok::<(), Box<dyn std::error::Error>>(())
+/// ```
+#[derive(Debug)]
+pub struct LossyReader<R> {
+    input: R,
+    endianness: Endianness,
+    nanos: bool,
+    link_type: u32,
+    epoch: Option<i64>,
+    last_ts_sec: Option<i64>,
+    /// Bytes read ahead of the parse position during a resync scan.
+    carry: VecDeque<u8>,
+    decoder: LossyDecoder,
+    done: bool,
+}
+
+impl LossyReader<BufReader<File>> {
+    /// Opens a pcap file for lossy reading.
+    ///
+    /// # Errors
+    ///
+    /// Fails on I/O errors or a bad magic number.
+    pub fn open(path: impl AsRef<Path>) -> Result<Self> {
+        LossyReader::new(BufReader::new(File::open(path)?))
+    }
+}
+
+impl<R: Read> LossyReader<R> {
+    /// Wraps any reader positioned at the start of a pcap stream.
+    ///
+    /// # Errors
+    ///
+    /// Fails if the global header cannot be read or has a bad magic.
+    pub fn new(mut input: R) -> Result<Self> {
+        let mut header = [0u8; 24];
+        input.read_exact(&mut header)?;
+        let (endianness, nanos, link_type) = parse_global_header(&header)?;
+        Ok(LossyReader {
+            input,
+            endianness,
+            nanos,
+            link_type,
+            epoch: None,
+            last_ts_sec: None,
+            carry: VecDeque::new(),
+            decoder: LossyDecoder::new(),
+            done: false,
+        })
+    }
+
+    /// The file's link type.
+    pub fn link_type(&self) -> u32 {
+        self.link_type
+    }
+
+    /// Anomaly tally so far.
+    pub fn counts(&self) -> &AnomalyCounts {
+        self.decoder.counts()
+    }
+
+    /// The shared per-record decoder (frame/cross-traffic counters).
+    pub fn decoder(&self) -> &LossyDecoder {
+        &self.decoder
+    }
+
+    /// Reads into `buf` from the carry buffer first, then the input.
+    /// Returns the number of bytes filled (short only at end of input).
+    fn fill(&mut self, buf: &mut [u8]) -> Result<usize> {
+        let mut filled = 0;
+        while filled < buf.len() {
+            if let Some(byte) = self.carry.pop_front() {
+                buf[filled] = byte;
+                filled += 1;
+                continue;
+            }
+            match self.input.read(&mut buf[filled..]) {
+                Ok(0) => break,
+                Ok(n) => filled += n,
+                Err(e) if e.kind() == io::ErrorKind::Interrupted => {}
+                Err(e) => return Err(e.into()),
+            }
+        }
+        Ok(filled)
+    }
+
+    /// Scans forward for a plausible record header, starting from the
+    /// 16 already-consumed garbage bytes in `window`. On success the
+    /// unconsumed tail is pushed back onto the carry buffer and the
+    /// number of skipped bytes is returned; `None` means the scan
+    /// budget (or the input) was exhausted.
+    fn resync(&mut self, mut window: Vec<u8>) -> Result<Option<u64>> {
+        let mut pos = 1usize;
+        loop {
+            while window.len() < pos + 16 {
+                let mut byte = [0u8; 1];
+                if self.fill(&mut byte)? == 0 {
+                    return Ok(None);
+                }
+                window.push(byte[0]);
+            }
+            let mut candidate = [0u8; 16];
+            candidate.copy_from_slice(&window[pos..pos + 16]);
+            if plausible_record_header(self.endianness, self.nanos, &candidate, self.last_ts_sec)
+                .is_some()
+            {
+                for &byte in window[pos..].iter().rev() {
+                    self.carry.push_front(byte);
+                }
+                return Ok(Some(pos as u64));
+            }
+            pos += 1;
+            if pos > RESYNC_SCAN_LIMIT {
+                return Ok(None);
+            }
+        }
+    }
+
+    /// Reads and decodes the next record, or `None` once the stream is
+    /// exhausted. Cross traffic is skipped internally, so every
+    /// returned item carries a frame, an anomaly, or both.
+    ///
+    /// # Errors
+    ///
+    /// Fails only on real I/O errors; capture damage never errors.
+    pub fn next_lossy(&mut self) -> Result<Option<LossyFrame>> {
+        loop {
+            if self.done {
+                return Ok(None);
+            }
+            let mut rec_header = [0u8; 16];
+            let got = self.fill(&mut rec_header)?;
+            if got == 0 {
+                self.done = true;
+                return Ok(None);
+            }
+            if got < 16 {
+                self.done = true;
+                let anomaly = CaptureAnomaly::TruncatedRecord {
+                    detail: format!("{got} of 16 record-header bytes at end of capture"),
+                };
+                self.decoder.note(&anomaly);
+                return Ok(Some(LossyFrame::anomaly(anomaly)));
+            }
+            let header = match plausible_record_header(
+                self.endianness,
+                self.nanos,
+                &rec_header,
+                self.last_ts_sec,
+            ) {
+                Some(h) => h,
+                None => {
+                    match self.resync(rec_header.to_vec())? {
+                        Some(skipped) => {
+                            let anomaly = CaptureAnomaly::Desynchronized { skipped };
+                            self.decoder.note(&anomaly);
+                            return Ok(Some(LossyFrame::anomaly(anomaly)));
+                        }
+                        None => {
+                            // Scan budget or input exhausted: the rest of
+                            // the capture is unreadable.
+                            self.done = true;
+                            let anomaly = CaptureAnomaly::TruncatedRecord {
+                                detail: "unreadable tail: no plausible record header found"
+                                    .to_string(),
+                            };
+                            self.decoder.note(&anomaly);
+                            return Ok(Some(LossyFrame::anomaly(anomaly)));
+                        }
+                    }
+                }
+            };
+            let mut data = vec![0u8; header.incl_len as usize];
+            let got = self.fill(&mut data)?;
+            if got < data.len() {
+                self.done = true;
+                let anomaly = CaptureAnomaly::TruncatedRecord {
+                    detail: format!(
+                        "{got} of {} record bytes at end of capture",
+                        header.incl_len
+                    ),
+                };
+                self.decoder.note(&anomaly);
+                return Ok(Some(LossyFrame::anomaly(anomaly)));
+            }
+            self.last_ts_sec = Some(header.ts_sec);
+            let abs = header.abs_micros(self.nanos);
+            let epoch = *self.epoch.get_or_insert(abs);
+            let record = RawRecord {
+                timestamp: Micros(abs - epoch),
+                orig_len: header.orig_len,
+                data,
+            };
+            let item = self.decoder.decode_record(&record);
+            if item.is_cross_traffic() {
+                continue;
+            }
+            return Ok(Some(item));
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::frame::FrameBuilder;
+    use crate::pcap::PcapWriter;
+    use crate::tcp::TcpFlags;
+
+    fn frame(t_ms: i64, len: usize) -> TcpFrame {
+        FrameBuilder::new(Ipv4Addr::new(10, 0, 0, 1), Ipv4Addr::new(10, 0, 0, 2))
+            .at(Micros::from_millis(t_ms))
+            .ports(179, 40000)
+            .seq(1)
+            .flags(TcpFlags::ACK | TcpFlags::PSH)
+            .payload(vec![0xab; len])
+            .build()
+    }
+
+    fn encode(frames: &[TcpFrame]) -> Vec<u8> {
+        let mut buf = Vec::new();
+        {
+            let mut w = PcapWriter::new(&mut buf).unwrap();
+            for f in frames {
+                w.write_frame(f).unwrap();
+            }
+        }
+        buf
+    }
+
+    fn drain(bytes: &[u8]) -> (Vec<TcpFrame>, AnomalyCounts) {
+        let mut reader = LossyReader::new(bytes).unwrap();
+        let mut frames = Vec::new();
+        while let Some(item) = reader.next_lossy().unwrap() {
+            frames.extend(item.frame);
+        }
+        (frames, *reader.counts())
+    }
+
+    #[test]
+    fn clean_file_decodes_without_anomalies() {
+        let frames = vec![frame(0, 10), frame(5, 0), frame(12, 1448)];
+        let (got, counts) = drain(&encode(&frames));
+        assert_eq!(got, frames);
+        assert_eq!(counts.total(), 0);
+    }
+
+    #[test]
+    fn truncated_tail_is_an_anomaly_not_an_error() {
+        let mut bytes = encode(&[frame(0, 100), frame(5, 200)]);
+        bytes.truncate(bytes.len() - 10);
+        let (got, counts) = drain(&bytes);
+        assert_eq!(got.len(), 1, "first record still decodes");
+        assert_eq!(counts.truncated_records, 1);
+    }
+
+    #[test]
+    fn truncated_record_header_is_an_anomaly() {
+        let mut bytes = encode(&[frame(0, 10)]);
+        bytes.extend_from_slice(&[1, 2, 3, 4, 5]); // 5 bytes of a next header
+        let (got, counts) = drain(&bytes);
+        assert_eq!(got.len(), 1);
+        assert_eq!(counts.truncated_records, 1);
+    }
+
+    #[test]
+    fn snap_clipped_record_still_yields_a_frame() {
+        let f = frame(0, 600);
+        let wire = f.to_wire();
+        let mut buf = Vec::new();
+        {
+            let mut w = PcapWriter::new(&mut buf).unwrap();
+            // Capture only the first 100 bytes of a 600-byte payload.
+            w.write_record(Micros::ZERO, &wire[..100], wire.len() as u32)
+                .unwrap();
+        }
+        let mut reader = LossyReader::new(&buf[..]).unwrap();
+        let item = reader.next_lossy().unwrap().unwrap();
+        let got = item.frame.expect("clipped frame still decodes");
+        assert!(got.payload_len() < 600);
+        assert_eq!(got.src(), f.src());
+        assert!(matches!(
+            item.anomalies[0],
+            CaptureAnomaly::SnapClipped { .. }
+        ));
+        assert_eq!(reader.counts().snap_clipped, 1);
+    }
+
+    #[test]
+    fn corrupted_payload_is_flagged_but_frame_survives() {
+        let f = frame(0, 50);
+        let mut wire = f.to_wire();
+        let n = wire.len();
+        wire[n - 5] ^= 0xff; // flip a payload byte
+        let mut buf = Vec::new();
+        {
+            let mut w = PcapWriter::new(&mut buf).unwrap();
+            w.write_record(Micros::ZERO, &wire, wire.len() as u32)
+                .unwrap();
+        }
+        let mut reader = LossyReader::new(&buf[..]).unwrap();
+        let item = reader.next_lossy().unwrap().unwrap();
+        assert!(item.frame.is_some(), "structure intact, frame kept");
+        assert!(matches!(
+            item.anomalies[0],
+            CaptureAnomaly::BadHeader { layer: "tcp", .. }
+        ));
+    }
+
+    #[test]
+    fn corrupted_ip_header_drops_the_frame() {
+        let f = frame(0, 20);
+        let mut wire = f.to_wire();
+        wire[26] ^= 0xff; // first byte of the IP source address
+        let mut buf = Vec::new();
+        {
+            let mut w = PcapWriter::new(&mut buf).unwrap();
+            w.write_record(Micros::ZERO, &wire, wire.len() as u32)
+                .unwrap();
+        }
+        let mut reader = LossyReader::new(&buf[..]).unwrap();
+        let item = reader.next_lossy().unwrap().unwrap();
+        assert!(item.frame.is_none(), "untrustworthy addresses: dropped");
+        assert!(matches!(
+            item.anomalies[0],
+            CaptureAnomaly::BadHeader { layer: "ipv4", .. }
+        ));
+    }
+
+    #[test]
+    fn duplicate_record_is_dropped_and_attributed() {
+        let f = frame(0, 30);
+        let wire = f.to_wire();
+        let mut buf = Vec::new();
+        {
+            let mut w = PcapWriter::new(&mut buf).unwrap();
+            w.write_record(Micros::ZERO, &wire, wire.len() as u32)
+                .unwrap();
+            w.write_record(Micros::ZERO, &wire, wire.len() as u32)
+                .unwrap();
+        }
+        let (got, counts) = drain(&buf);
+        assert_eq!(got.len(), 1, "the copy is dropped");
+        assert_eq!(counts.duplicate_records, 1);
+        // And the dropped copy still names its connection.
+        let mut reader = LossyReader::new(&buf[..]).unwrap();
+        reader.next_lossy().unwrap();
+        let dup = reader.next_lossy().unwrap().unwrap();
+        assert_eq!(dup.endpoints, Some((f.src(), f.dst())));
+    }
+
+    #[test]
+    fn retransmission_with_new_timestamp_is_not_a_duplicate() {
+        let mut a = frame(0, 30);
+        a.timestamp = Micros::ZERO;
+        let mut b = a.clone();
+        b.timestamp = Micros::from_millis(200); // retransmit, same bytes
+        let (got, counts) = drain(&encode(&[a, b]));
+        assert_eq!(got.len(), 2);
+        assert_eq!(counts.duplicate_records, 0);
+    }
+
+    #[test]
+    fn timestamp_regression_is_clamped_monotonic() {
+        let mut buf = Vec::new();
+        {
+            let mut w = PcapWriter::new(&mut buf).unwrap();
+            w.write_frame(&frame(1000, 10)).unwrap();
+            w.write_frame(&frame(400, 11)).unwrap(); // clock stepped back
+            w.write_frame(&frame(1200, 12)).unwrap();
+        }
+        let (got, counts) = drain(&buf);
+        assert_eq!(counts.timestamp_regressions, 1);
+        assert_eq!(got.len(), 3);
+        assert!(got[1].timestamp >= got[0].timestamp, "clamped");
+        assert!(got[2].timestamp >= got[1].timestamp);
+    }
+
+    #[test]
+    fn cross_traffic_is_counted_not_anomalous() {
+        let mut udp = frame(0, 10);
+        udp.ip.protocol = 17;
+        let mut buf = Vec::new();
+        {
+            let mut w = PcapWriter::new(&mut buf).unwrap();
+            w.write_frame(&udp).unwrap();
+            w.write_frame(&frame(5, 10)).unwrap();
+        }
+        let mut reader = LossyReader::new(&buf[..]).unwrap();
+        let mut got = Vec::new();
+        while let Some(item) = reader.next_lossy().unwrap() {
+            got.extend(item.frame);
+        }
+        assert_eq!(got.len(), 1);
+        assert_eq!(reader.decoder().cross_traffic(), 1);
+        assert_eq!(reader.counts().total(), 0);
+    }
+
+    #[test]
+    fn mid_file_garbage_resyncs_with_bounded_scan() {
+        let before = frame(0, 40);
+        let after = frame(10, 60);
+        let mut buf = encode(std::slice::from_ref(&before));
+        buf.extend_from_slice(&[0xffu8; 37]); // garbage between records
+                                              // Append the second record's bytes (header + body) verbatim.
+        let mut tail = Vec::new();
+        {
+            let mut w = PcapWriter::new(&mut tail).unwrap();
+            w.write_frame(&after).unwrap();
+        }
+        buf.extend_from_slice(&tail[24..]);
+        let (got, counts) = drain(&buf);
+        assert_eq!(got.len(), 2, "resynced onto the record after the garbage");
+        assert_eq!(counts.desynchronizations, 1);
+        assert_eq!(got[1].payload_len(), 60);
+    }
+
+    #[test]
+    fn all_garbage_tail_ends_the_stream() {
+        let mut buf = encode(&[frame(0, 10)]);
+        buf.extend_from_slice(&[0xee; 500]);
+        let (got, counts) = drain(&buf);
+        assert_eq!(got.len(), 1);
+        assert_eq!(counts.truncated_records, 1, "no resync target: stream ends");
+    }
+
+    #[test]
+    fn bad_magic_still_fails_construction() {
+        assert!(LossyReader::new(&[0u8; 64][..]).is_err());
+    }
+}

@@ -36,17 +36,65 @@ pub struct RawRecord {
 
 /// Byte-order-aware integer reading.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
-enum Endianness {
+pub(crate) enum Endianness {
     Little,
     Big,
 }
 
 impl Endianness {
-    fn u32(self, b: [u8; 4]) -> u32 {
+    pub(crate) fn u32(self, b: [u8; 4]) -> u32 {
         match self {
             Endianness::Little => u32::from_le_bytes(b),
             Endianness::Big => u32::from_be_bytes(b),
         }
+    }
+}
+
+/// Parses the 24-byte pcap global header into (endianness, nanosecond
+/// resolution, link type). Shared by the strict reader, the follower,
+/// and the lossy reader.
+pub(crate) fn parse_global_header(header: &[u8; 24]) -> Result<(Endianness, bool, u32)> {
+    let magic_le = u32::from_le_bytes([header[0], header[1], header[2], header[3]]);
+    let magic_be = u32::from_be_bytes([header[0], header[1], header[2], header[3]]);
+    let (endianness, nanos) = match (magic_le, magic_be) {
+        (MAGIC_MICROS, _) => (Endianness::Little, false),
+        (MAGIC_NANOS, _) => (Endianness::Little, true),
+        (_, MAGIC_MICROS) => (Endianness::Big, false),
+        (_, MAGIC_NANOS) => (Endianness::Big, true),
+        _ => return Err(PacketError::BadMagic(magic_le)),
+    };
+    let link_type = endianness.u32([header[20], header[21], header[22], header[23]]);
+    Ok((endianness, nanos, link_type))
+}
+
+/// Decoded fields of a 16-byte pcap record header.
+#[derive(Debug, Clone, Copy)]
+pub(crate) struct RecordHeader {
+    pub(crate) ts_sec: i64,
+    pub(crate) ts_frac: i64,
+    pub(crate) incl_len: u32,
+    pub(crate) orig_len: u32,
+}
+
+impl RecordHeader {
+    pub(crate) fn parse(e: Endianness, h: &[u8; 16]) -> RecordHeader {
+        RecordHeader {
+            ts_sec: e.u32([h[0], h[1], h[2], h[3]]) as i64,
+            ts_frac: e.u32([h[4], h[5], h[6], h[7]]) as i64,
+            incl_len: e.u32([h[8], h[9], h[10], h[11]]),
+            orig_len: e.u32([h[12], h[13], h[14], h[15]]),
+        }
+    }
+
+    /// Absolute timestamp in microseconds, regardless of the file's
+    /// native resolution.
+    pub(crate) fn abs_micros(&self, nanos: bool) -> i64 {
+        let micros = if nanos {
+            self.ts_frac / 1000
+        } else {
+            self.ts_frac
+        };
+        self.ts_sec * 1_000_000 + micros
     }
 }
 
@@ -96,16 +144,7 @@ impl<R: Read> PcapReader<R> {
     pub fn new(mut input: R) -> Result<Self> {
         let mut header = [0u8; 24];
         input.read_exact(&mut header)?;
-        let magic_le = u32::from_le_bytes([header[0], header[1], header[2], header[3]]);
-        let magic_be = u32::from_be_bytes([header[0], header[1], header[2], header[3]]);
-        let (endianness, nanos) = match (magic_le, magic_be) {
-            (MAGIC_MICROS, _) => (Endianness::Little, false),
-            (MAGIC_NANOS, _) => (Endianness::Little, true),
-            (_, MAGIC_MICROS) => (Endianness::Big, false),
-            (_, MAGIC_NANOS) => (Endianness::Big, true),
-            _ => return Err(PacketError::BadMagic(magic_le)),
-        };
-        let link_type = endianness.u32([header[20], header[21], header[22], header[23]]);
+        let (endianness, nanos, link_type) = parse_global_header(&header)?;
         Ok(PcapReader {
             input,
             endianness,
@@ -135,30 +174,20 @@ impl<R: Read> PcapReader<R> {
             Err(e) if e.kind() == io::ErrorKind::UnexpectedEof => return Ok(None),
             Err(e) => return Err(e.into()),
         }
-        let e = self.endianness;
-        let ts_sec = e.u32([rec_header[0], rec_header[1], rec_header[2], rec_header[3]]) as i64;
-        let ts_frac = e.u32([rec_header[4], rec_header[5], rec_header[6], rec_header[7]]) as i64;
-        let incl_len = e.u32([rec_header[8], rec_header[9], rec_header[10], rec_header[11]]);
-        let orig_len = e.u32([
-            rec_header[12],
-            rec_header[13],
-            rec_header[14],
-            rec_header[15],
-        ]);
-        if incl_len > 0x0400_0000 {
+        let h = RecordHeader::parse(self.endianness, &rec_header);
+        if h.incl_len > 0x0400_0000 {
             return Err(PacketError::Malformed {
                 what: "pcap record",
-                detail: format!("implausible captured length {incl_len}"),
+                detail: format!("implausible captured length {}", h.incl_len),
             });
         }
-        let mut data = vec![0u8; incl_len as usize];
+        let mut data = vec![0u8; h.incl_len as usize];
         self.input.read_exact(&mut data)?;
-        let micros = if self.nanos { ts_frac / 1000 } else { ts_frac };
-        let abs = ts_sec * 1_000_000 + micros;
+        let abs = h.abs_micros(self.nanos);
         let epoch = *self.epoch.get_or_insert(abs);
         Ok(Some(RawRecord {
             timestamp: Micros(abs - epoch),
-            orig_len,
+            orig_len: h.orig_len,
             data,
         }))
     }

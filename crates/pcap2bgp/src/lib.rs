@@ -29,6 +29,7 @@
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
+#![cfg_attr(not(test), deny(clippy::unwrap_used, clippy::expect_used))]
 
 use std::collections::BTreeMap;
 
@@ -43,7 +44,7 @@ use tdat_trace::{Direction, TcpConnection};
 /// the contiguous byte stream, discarding retransmitted overlap and
 /// holding out-of-order data until the gap fills. Works online: bytes
 /// can be taken incrementally with [`take_ready`](Self::take_ready).
-#[derive(Debug, Default)]
+#[derive(Debug)]
 pub struct StreamReassembler {
     /// Next expected sequence number (`None` until anchored).
     next_seq: Option<u32>,
@@ -57,17 +58,47 @@ pub struct StreamReassembler {
     duplicate_bytes: u64,
     /// Bytes currently parked out of order.
     pending_bytes: usize,
+    /// Cap on `pending_bytes`; see [`MAX_PENDING_BYTES`].
+    pending_cap: usize,
+    /// Parked bytes dropped because the cap was hit.
+    overflow_bytes: u64,
 }
 
-/// Cap on parked out-of-order data; beyond it the earliest pending
-/// segments are dropped (they will reappear as retransmissions).
-const MAX_PENDING_BYTES: usize = 4 << 20;
+/// Default cap on parked out-of-order data; beyond it the earliest
+/// pending segments are dropped (they will reappear as retransmissions,
+/// or surface as an unfillable hole an adversarial seq-gap flood left
+/// behind — in either case memory stays bounded).
+pub const MAX_PENDING_BYTES: usize = 4 << 20;
+
+impl Default for StreamReassembler {
+    fn default() -> StreamReassembler {
+        StreamReassembler::with_pending_cap(MAX_PENDING_BYTES)
+    }
+}
 
 impl StreamReassembler {
     /// Creates an empty reassembler; the first pushed segment anchors
     /// the sequence space unless [`anchor`](Self::anchor) was called.
     pub fn new() -> StreamReassembler {
         StreamReassembler::default()
+    }
+
+    /// Creates a reassembler with a custom out-of-order window cap
+    /// (bytes). A segment flood with sequence gaps can otherwise park
+    /// unbounded data; beyond the cap the lowest-sequence parked
+    /// segments are dropped and counted in
+    /// [`overflow_bytes`](Self::overflow_bytes).
+    pub fn with_pending_cap(cap: usize) -> StreamReassembler {
+        StreamReassembler {
+            next_seq: None,
+            pending: BTreeMap::new(),
+            ready: Vec::new(),
+            emitted: 0,
+            duplicate_bytes: 0,
+            pending_bytes: 0,
+            pending_cap: cap.max(1),
+            overflow_bytes: 0,
+        }
     }
 
     /// Anchors the stream at `seq` (the byte after the SYN).
@@ -105,11 +136,19 @@ impl StreamReassembler {
                         self.pending_bytes -= old.len();
                         self.duplicate_bytes += old.len() as u64;
                     }
-                    // Bound memory under pathological holes.
-                    while self.pending_bytes > MAX_PENDING_BYTES {
-                        let (&k, _) = self.pending.iter().next().expect("nonempty");
-                        let dropped = self.pending.remove(&k).expect("key exists");
+                    // Bound memory under pathological holes: evict the
+                    // parked data farthest ahead of the stream head
+                    // (an adversarial flood lands far from the head;
+                    // near-head data is about to drain).
+                    while self.pending_bytes > self.pending_cap {
+                        let Some(victim) = self.farthest_pending(next) else {
+                            break;
+                        };
+                        let Some(dropped) = self.pending.remove(&victim) else {
+                            break;
+                        };
                         self.pending_bytes -= dropped.len();
+                        self.overflow_bytes += dropped.len() as u64;
                     }
                 }
             }
@@ -117,16 +156,52 @@ impl StreamReassembler {
         self.drain_pending();
     }
 
+    /// The parked key farthest ahead of `next` in wrapped sequence
+    /// space — the eviction victim when the window cap trips. Keys are
+    /// compared by circular distance from the stream head, so the
+    /// choice is invariant under sequence-space translation (and thus
+    /// under wraparound).
+    fn farthest_pending(&self, next: u32) -> Option<u32> {
+        let horizon = next.wrapping_add(1 << 31); // exclusive future bound
+        let future = match next.checked_add(1) {
+            Some(lo) if lo < horizon => {
+                // Future keys occupy the contiguous raw range (next, horizon).
+                self.pending.range(lo..horizon).next_back()
+            }
+            Some(lo) => {
+                // Future range wraps: (next, u32::MAX] ∪ [0, horizon);
+                // the wrapped-low keys are the farther ones.
+                self.pending
+                    .range(..horizon)
+                    .next_back()
+                    .or_else(|| self.pending.range(lo..).next_back())
+            }
+            // next == u32::MAX: future is [0, horizon) only.
+            None => self.pending.range(..horizon).next_back(),
+        }
+        .map(|(k, _)| *k);
+        future.or_else(|| {
+            // Only past/overlapping keys remain (rare: the stale sweep
+            // usually clears them); evict the most-negative offset.
+            self.pending
+                .keys()
+                .min_by_key(|k| seq_diff(**k, next))
+                .copied()
+        })
+    }
+
     fn accept_at_head(&mut self, bytes: &[u8]) {
+        let Some(next) = self.next_seq else {
+            return; // unanchored: push() always anchors before this
+        };
         self.ready.extend_from_slice(bytes);
         self.emitted += bytes.len() as u64;
-        let next = self.next_seq.expect("anchored by caller");
         self.next_seq = Some(next.wrapping_add(bytes.len() as u32));
     }
 
     fn drain_pending(&mut self) {
         loop {
-            let next = self.next_seq.expect("anchored before drain");
+            let Some(next) = self.next_seq else { return };
             // A parked segment is usable if it starts at or before the
             // stream head and extends beyond it.
             let usable = self
@@ -138,7 +213,9 @@ impl StreamReassembler {
                 })
                 .map(|(k, _)| *k);
             let Some(start) = usable else { break };
-            let data = self.pending.remove(&start).expect("key exists");
+            let Some(data) = self.pending.remove(&start) else {
+                break;
+            };
             self.pending_bytes -= data.len();
             let offset = seq_diff(next, start);
             if offset > 0 {
@@ -147,7 +224,7 @@ impl StreamReassembler {
             self.accept_at_head(&data[offset.max(0) as usize..]);
         }
         // Discard parked segments the stream head has passed entirely.
-        let next = self.next_seq.expect("anchored");
+        let Some(next) = self.next_seq else { return };
         let stale: Vec<u32> = self
             .pending
             .iter()
@@ -155,9 +232,10 @@ impl StreamReassembler {
             .map(|(k, _)| *k)
             .collect();
         for k in stale {
-            let dropped = self.pending.remove(&k).expect("key exists");
-            self.pending_bytes -= dropped.len();
-            self.duplicate_bytes += dropped.len() as u64;
+            if let Some(dropped) = self.pending.remove(&k) {
+                self.pending_bytes -= dropped.len();
+                self.duplicate_bytes += dropped.len() as u64;
+            }
         }
     }
 
@@ -180,6 +258,13 @@ impl StreamReassembler {
     pub fn pending_bytes(&self) -> usize {
         self.pending_bytes
     }
+
+    /// Parked bytes dropped because the out-of-order window cap was
+    /// hit — nonzero means the capture had sequence gaps no window
+    /// could bridge (loss, clipping, or an adversarial flood).
+    pub fn overflow_bytes(&self) -> u64 {
+        self.overflow_bytes
+    }
 }
 
 /// Result of BGP extraction from one connection.
@@ -193,6 +278,10 @@ pub struct Extraction {
     pub unparsed_bytes: u64,
     /// Duplicate bytes the reassembler discarded.
     pub duplicate_bytes: u64,
+    /// Bytes dropped by the reassembly window and pre-anchor caps —
+    /// nonzero means resource bounds kicked in and the stream has
+    /// irrecoverable holes.
+    pub overflow_bytes: u64,
 }
 
 impl Extraction {
@@ -235,8 +324,11 @@ pub struct StreamExtractor {
     reasm: StreamReassembler,
     anchored: bool,
     /// Pre-anchor segments of a SYN-less capture, held until the anchor
-    /// can be chosen (bounded to 64 buffered segments).
+    /// can be chosen (bounded to 64 buffered segments or
+    /// [`PREANCHOR_BYTES`], whichever trips first).
     prebuf: Vec<(Micros, u32, Vec<u8>)>,
+    /// Bytes currently held in `prebuf`.
+    prebuf_bytes: usize,
     /// Contiguous bytes not yet framed as a whole message.
     buffer: Vec<u8>,
     messages: Vec<(Micros, BgpMessage)>,
@@ -247,10 +339,23 @@ pub struct StreamExtractor {
 /// the lowest sequence seen so far becomes the anchor.
 const PREANCHOR_SEGMENTS: usize = 64;
 
+/// Byte cap on the pre-anchor buffer: a flood of large un-anchorable
+/// segments must force an anchor rather than hoard memory.
+pub const PREANCHOR_BYTES: usize = 256 << 10;
+
 impl StreamExtractor {
     /// Creates an extractor with an unanchored sequence space.
     pub fn new() -> StreamExtractor {
         StreamExtractor::default()
+    }
+
+    /// Creates an extractor whose reassembler uses a custom
+    /// out-of-order window cap (bytes).
+    pub fn with_pending_cap(cap: usize) -> StreamExtractor {
+        StreamExtractor {
+            reasm: StreamReassembler::with_pending_cap(cap),
+            ..StreamExtractor::default()
+        }
     }
 
     /// Anchors the stream at `seq` (the first data byte), flushing any
@@ -259,6 +364,7 @@ impl StreamExtractor {
         if !self.anchored {
             self.reasm.anchor(seq);
             self.anchored = true;
+            self.prebuf_bytes = 0;
             for (time, seq, payload) in std::mem::take(&mut self.prebuf) {
                 self.feed(time, seq, &payload);
             }
@@ -274,8 +380,9 @@ impl StreamExtractor {
             if flags.contains(TcpFlags::SYN) {
                 self.anchor(seq.wrapping_add(1));
             } else if !payload.is_empty() {
+                self.prebuf_bytes += payload.len();
                 self.prebuf.push((time, seq, payload.to_vec()));
-                if self.prebuf.len() >= PREANCHOR_SEGMENTS {
+                if self.prebuf.len() >= PREANCHOR_SEGMENTS || self.prebuf_bytes >= PREANCHOR_BYTES {
                     self.anchor_at_min();
                 }
                 return;
@@ -290,7 +397,9 @@ impl StreamExtractor {
     /// capture: the first captured segment may have arrived out of
     /// order).
     fn anchor_at_min(&mut self) {
-        let ref_seq = self.prebuf[0].1;
+        let Some(&(_, ref_seq, _)) = self.prebuf.first() else {
+            return;
+        };
         let min_rel = self
             .prebuf
             .iter()
@@ -352,6 +461,7 @@ impl StreamExtractor {
             messages: self.messages.clone(),
             unparsed_bytes: self.unparsed_bytes,
             duplicate_bytes: self.reasm.duplicate_bytes(),
+            overflow_bytes: self.reasm.overflow_bytes(),
         }
     }
 
@@ -366,6 +476,7 @@ impl StreamExtractor {
             messages: self.messages,
             unparsed_bytes: self.unparsed_bytes + self.buffer.len() as u64,
             duplicate_bytes: self.reasm.duplicate_bytes(),
+            overflow_bytes: self.reasm.overflow_bytes(),
         }
     }
 }
@@ -685,6 +796,95 @@ mod tests {
         // In-order stream: never more than one partial message pending.
         assert!(max_buffered < 4096, "{max_buffered}");
         assert!(ex.messages_decoded() > 0);
+    }
+
+    #[test]
+    fn reassembler_cap_drops_lowest_parked_segments() {
+        let mut r = StreamReassembler::with_pending_cap(1024);
+        r.anchor(0);
+        // Flood of future segments behind an unfillable hole at seq 0.
+        for i in 0..8u32 {
+            r.push(1_000 + i * 512, &[b'x'; 512]);
+        }
+        assert!(r.pending_bytes() <= 1024, "{}", r.pending_bytes());
+        assert!(r.overflow_bytes() > 0);
+        // Filling the hole still drains whatever survived, no panic.
+        r.push(0, &[b'y'; 1_000]);
+        let out = r.take_ready();
+        assert!(out.len() >= 1_000);
+    }
+
+    #[test]
+    fn reassembler_cap_never_evicts_head_adjacent_data() {
+        // The cap evicts lowest-seq parked segments; data that the
+        // head is about to reach must survive when it fits the cap.
+        let mut r = StreamReassembler::with_pending_cap(64);
+        r.anchor(0);
+        r.push(10, b"near-head");
+        r.push(5_000, &[b'z'; 200]); // far segment blows the cap
+        assert!(r.pending_bytes() <= 64);
+        r.push(0, b"0123456789");
+        assert_eq!(r.take_ready(), b"0123456789near-head");
+    }
+
+    #[test]
+    fn preanchor_byte_cap_forces_anchor_instead_of_hoarding() {
+        let ka = BgpMessage::Keepalive.to_bytes(); // 19 bytes
+        let per_chunk = 1_700usize;
+        let chunk: Vec<u8> = ka.iter().cycle().take(19 * per_chunk).cloned().collect();
+        let mut ex = StreamExtractor::new();
+        let mut seq = 5_000u32;
+        let mut pushes = 0usize;
+        // SYN-less capture of large segments: the byte cap must trip
+        // long before the 64-segment bound.
+        while ex.messages_decoded() == 0 {
+            ex.push(Micros(0), seq, TcpFlags::ACK, &chunk);
+            seq = seq.wrapping_add(chunk.len() as u32);
+            pushes += 1;
+            assert!(pushes < PREANCHOR_SEGMENTS, "segment bound hit first");
+        }
+        assert!(pushes * chunk.len() >= PREANCHOR_BYTES);
+        let out = ex.finish();
+        assert_eq!(out.messages.len(), pushes * per_chunk);
+        assert_eq!(out.unparsed_bytes, 0);
+    }
+
+    proptest::proptest! {
+        #![proptest_config(proptest::prelude::ProptestConfig::with_cases(64))]
+
+        /// Satellite: the reassembly byte cap interacts correctly with
+        /// sequence wraparound — shifting every sequence number by
+        /// 2^31 (so comparisons cross the wrap point) changes nothing
+        /// about what is emitted, deduplicated, or evicted.
+        #[test]
+        fn cap_enforcement_is_translation_invariant(
+            base in proptest::prelude::any::<u32>(),
+            segs in proptest::prop::collection::vec(
+                (0u32..100_000, 1usize..600),
+                1..40,
+            ),
+        ) {
+            let run = |offset: u32| {
+                let start = base.wrapping_add(offset);
+                let mut r = StreamReassembler::with_pending_cap(2_048);
+                r.anchor(start);
+                for (rel, len) in &segs {
+                    let payload = vec![0xAB; *len];
+                    r.push(start.wrapping_add(*rel), &payload);
+                }
+                (
+                    r.take_ready().len(),
+                    r.emitted(),
+                    r.duplicate_bytes(),
+                    r.overflow_bytes(),
+                    r.pending_bytes(),
+                )
+            };
+            let plain = run(0);
+            let shifted = run(1 << 31);
+            proptest::prop_assert_eq!(plain, shifted);
+            proptest::prop_assert!(plain.4 <= 2_048);
+        }
     }
 
     #[test]

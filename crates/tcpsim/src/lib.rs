@@ -41,6 +41,7 @@
 #![warn(missing_docs)]
 
 pub mod bgpapp;
+pub mod chaos;
 pub mod config;
 pub mod live;
 pub mod net;
@@ -48,6 +49,7 @@ pub mod scenario;
 pub mod sim;
 pub mod tcp;
 
+pub use chaos::{apply_chaos, ChaosEngine, ChaosSpec, ChaosStats, ChaosTap};
 pub use config::{BgpReceiverConfig, BgpSenderConfig, SenderTimer, TcpConfig, TcpFlavor};
 pub use live::LiveTap;
 pub use sim::{

@@ -21,12 +21,16 @@ pub struct ConnKey {
 impl ConnKey {
     /// Builds the normalized key for a frame's 4-tuple.
     pub fn of(frame: &TcpFrame) -> ConnKey {
-        let src = frame.src();
-        let dst = frame.dst();
-        if src <= dst {
-            ConnKey { a: src, b: dst }
+        ConnKey::of_endpoints(frame.src(), frame.dst())
+    }
+
+    /// Builds the normalized key for a pair of endpoints in either
+    /// order (e.g. from a lossy decode that salvaged only addresses).
+    pub fn of_endpoints(x: Endpoint, y: Endpoint) -> ConnKey {
+        if x <= y {
+            ConnKey { a: x, b: y }
         } else {
-            ConnKey { a: dst, b: src }
+            ConnKey { a: y, b: x }
         }
     }
 }

@@ -57,4 +57,4 @@ pub use flight::{default_flight_gap, group_flights, Flight};
 pub use label::{label_segments, loss_episodes, LabelConfig, LossEpisode, SegLabel};
 pub use rtt::{rtt_samples, rtt_samples_from_timestamps, rtt_stats, RttSample, RttStats};
 pub use throughput::{throughput_series, RateSample};
-pub use tracker::{ConnectionTracker, FinalizedConnection, TrackerConfig};
+pub use tracker::{ConnectionTracker, FinalizedConnection, TrackerConfig, DEFAULT_MAX_CONNECTIONS};

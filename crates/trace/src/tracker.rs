@@ -30,7 +30,18 @@ pub struct TrackerConfig {
     /// RST), keeping straggling retransmissions attached (`None`
     /// disables close finalization).
     pub close_grace: Option<Micros>,
+    /// Hard cap on simultaneously tracked connections (`None` is
+    /// unbounded). A SYN flood otherwise grows the open map without
+    /// limit; past the cap the least-recently-active connection is
+    /// finalized early (LRU eviction) and counted in
+    /// [`evicted_connections`](ConnectionTracker::evicted_connections).
+    pub max_connections: Option<usize>,
 }
+
+/// Default for [`TrackerConfig::max_connections`] in streaming mode: a
+/// real vantage point tracks a handful of BGP sessions; thousands of
+/// simultaneous connections only happen under address-spoofing floods.
+pub const DEFAULT_MAX_CONNECTIONS: usize = 8_192;
 
 impl Default for TrackerConfig {
     fn default() -> TrackerConfig {
@@ -39,11 +50,13 @@ impl Default for TrackerConfig {
 }
 
 impl TrackerConfig {
-    /// Streaming defaults: close + 5 s grace, 60 s idle timeout.
+    /// Streaming defaults: close + 5 s grace, 60 s idle timeout,
+    /// [`DEFAULT_MAX_CONNECTIONS`] tracked connections.
     pub fn streaming() -> TrackerConfig {
         TrackerConfig {
             idle_timeout: Some(Micros::from_secs(60)),
             close_grace: Some(Micros::from_secs(5)),
+            max_connections: Some(DEFAULT_MAX_CONNECTIONS),
         }
     }
 
@@ -55,6 +68,7 @@ impl TrackerConfig {
         TrackerConfig {
             idle_timeout: None,
             close_grace: None,
+            max_connections: None,
         }
     }
 }
@@ -92,6 +106,7 @@ pub struct ConnectionTracker {
     frames_seen: usize,
     now: Micros,
     last_sweep: Micros,
+    evicted: u64,
 }
 
 /// How often (in trace time) expiry conditions are re-checked.
@@ -107,6 +122,7 @@ impl ConnectionTracker {
             frames_seen: 0,
             now: Micros::ZERO,
             last_sweep: Micros::ZERO,
+            evicted: 0,
         }
     }
 
@@ -118,6 +134,12 @@ impl ConnectionTracker {
     /// Total frames ingested so far.
     pub fn frames_seen(&self) -> usize {
         self.frames_seen
+    }
+
+    /// Connections finalized early because the
+    /// [`max_connections`](TrackerConfig::max_connections) cap tripped.
+    pub fn evicted_connections(&self) -> u64 {
+        self.evicted
     }
 
     /// Ingests one frame (in capture order), returning any connections
@@ -159,12 +181,52 @@ impl ConnectionTracker {
             state.closed_at.get_or_insert(frame.timestamp);
         }
 
-        if self.now - self.last_sweep >= SWEEP_INTERVAL {
+        let mut finalized = if self.now - self.last_sweep >= SWEEP_INTERVAL {
             self.last_sweep = self.now;
             self.sweep(Some(key))
         } else {
             Vec::new()
+        };
+        finalized.extend(self.evict_over_cap(key));
+        finalized
+    }
+
+    /// Enforces [`TrackerConfig::max_connections`]: finalizes the
+    /// least-recently-active connections (never `keep`, the one just
+    /// touched) until the open map fits the cap. Evicted connections
+    /// are complete for the frames they received — in-flight state is
+    /// built with the normal finalization path, not discarded.
+    fn evict_over_cap(&mut self, keep: ConnKey) -> Vec<FinalizedConnection> {
+        let Some(cap) = self.config.max_connections else {
+            return Vec::new();
+        };
+        let cap = cap.max(1);
+        if self.open.len() <= cap {
+            return Vec::new();
         }
+        let mut candidates: Vec<(Micros, u64, ConnKey)> = self
+            .open
+            .iter()
+            .filter(|(k, _)| **k != keep)
+            .map(|(k, s)| (s.last_seen, s.ordinal, *k))
+            .collect();
+        candidates.sort_unstable_by_key(|(last_seen, ordinal, _)| (*last_seen, *ordinal));
+        let excess = self.open.len() - cap;
+        let mut out: Vec<FinalizedConnection> = candidates
+            .into_iter()
+            .take(excess)
+            .filter_map(|(_, _, key)| {
+                let state = self.open.remove(&key)?;
+                self.evicted += 1;
+                Some(FinalizedConnection {
+                    ordinal: state.ordinal,
+                    key,
+                    connection: build_connection(&state.metas),
+                })
+            })
+            .collect();
+        out.sort_unstable_by_key(|f| f.ordinal);
+        out
     }
 
     /// Finalizes every connection whose close grace or idle timeout has
@@ -442,6 +504,83 @@ mod tests {
         for (got, want) in finished.iter().zip(&batch) {
             assert_eq!(&got.connection, want);
         }
+    }
+
+    #[test]
+    fn connection_cap_evicts_least_recently_active() {
+        // Four connections opened in order, oldest going quiet first;
+        // a cap of 2 must evict the two least-recently-active ones.
+        let mut frames = Vec::new();
+        for i in 0..4u8 {
+            frames.extend(exchange(addr(10 + i), addr(2), i as i64 * 1_000));
+        }
+        frames.sort_by_key(|f| f.timestamp);
+        let mut tracker = ConnectionTracker::new(TrackerConfig {
+            max_connections: Some(2),
+            ..TrackerConfig::batch()
+        });
+        let mut evicted = Vec::new();
+        for f in &frames {
+            evicted.extend(tracker.ingest(f));
+        }
+        assert_eq!(tracker.open_connections(), 2);
+        assert_eq!(tracker.evicted_connections(), 2);
+        assert_eq!(
+            evicted.iter().map(|f| f.ordinal).collect::<Vec<_>>(),
+            vec![0, 1],
+            "oldest-activity connections evicted first"
+        );
+        let rest = tracker.finish();
+        assert_eq!(rest.len(), 2);
+    }
+
+    #[test]
+    fn eviction_does_not_corrupt_in_flight_connections() {
+        // A long-lived "victim-adjacent" connection keeps receiving
+        // frames while a flood of short connections churns through the
+        // cap: the survivor's finalized form must equal the batch
+        // extraction of exactly its own frames.
+        let a = addr(1);
+        let b = addr(2);
+        let keeper = exchange(a, b, 0);
+        let mut tracker = ConnectionTracker::new(TrackerConfig {
+            max_connections: Some(3),
+            ..TrackerConfig::batch()
+        });
+        let mut keeper_global: Vec<TcpFrame> = Vec::new();
+        // Interleave: one keeper frame, then a burst of single-SYN
+        // flood connections that overflows the cap. The flood frames
+        // are captured marginally *before* the keeper's latest frame,
+        // so the keeper is always the most recently active connection
+        // and must never be the LRU victim.
+        for (i, kf) in keeper.iter().enumerate() {
+            keeper_global.push(kf.clone());
+            tracker.ingest(kf);
+            for j in 0..5u8 {
+                let syn = FrameBuilder::new(addr(100 + (i as u8 * 5) + j), addr(2))
+                    .at(Micros(kf.timestamp.0 - 1))
+                    .ports(179, 45_000)
+                    .seq(7)
+                    .flags(TcpFlags::SYN)
+                    .build();
+                tracker.ingest(&syn);
+            }
+        }
+        assert!(tracker.evicted_connections() > 0, "flood must trip the cap");
+        let finished = tracker.finish();
+        let keeper_final = finished
+            .iter()
+            .find(|f| f.key == ConnKey::of(&keeper[0]))
+            .expect("keeper never evicted (always most recently active)");
+        // Rebuild the keeper from its frames alone: segment count,
+        // profile and timing must be untouched by the churn around it.
+        let batch = extract_connections(&keeper_global);
+        let want = batch
+            .iter()
+            .find(|c| (c.sender.0, c.receiver.0) == (a, b) || (c.sender.0, c.receiver.0) == (b, a))
+            .expect("keeper in batch extraction");
+        assert_eq!(keeper_final.connection.segments.len(), want.segments.len());
+        assert_eq!(keeper_final.connection.profile, want.profile);
     }
 
     #[test]

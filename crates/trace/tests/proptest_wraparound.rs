@@ -150,6 +150,7 @@ proptest! {
         let mut tracker = ConnectionTracker::new(TrackerConfig {
             idle_timeout: None,
             close_grace: None,
+            max_connections: None,
         });
         let mut streamed = Vec::new();
         for f in &frames {
