@@ -1,0 +1,79 @@
+//! Hot-path micro-benches for the zero-copy / scratch-buffer /
+//! incremental-monitor work: decode alone, each analysis stage alone,
+//! and monitor tick cost as the idle-connection population grows.
+//!
+//! The machine-readable twin of this bench is the `bench-json` binary,
+//! which times the same `tdat_bench::hotpath` workloads and writes
+//! `BENCH_*.json` for CI regression gating.
+
+use criterion::{black_box, criterion_group, criterion_main, Criterion, Throughput};
+use tdat_bench::hotpath::{
+    batch_analyze, decode_owned, decode_views, interleaved_pcap, MonitorScenario, StageInputs,
+};
+use tdat_timeset::SpanScratch;
+
+fn bench_decode(c: &mut Criterion) {
+    let (pcap, wire_bytes) = interleaved_pcap(8_000);
+    let mut group = c.benchmark_group("hot_decode");
+    group.throughput(Throughput::Bytes(wire_bytes));
+    group.bench_function("decode_views", |b| {
+        b.iter(|| black_box(decode_views(&pcap)))
+    });
+    group.bench_function("decode_owned", |b| {
+        b.iter(|| black_box(decode_owned(&pcap)))
+    });
+    group.finish();
+}
+
+fn bench_stages(c: &mut Criterion) {
+    let inputs = StageInputs::prepare();
+    let mut scratch = SpanScratch::new();
+    let mut group = c.benchmark_group("hot_stages");
+    group.bench_function("series_only", |b| {
+        b.iter(|| black_box(inputs.series_only(&mut scratch)))
+    });
+    group.bench_function("factors_only", |b| {
+        b.iter(|| black_box(inputs.factors_only(&mut scratch)))
+    });
+    group.finish();
+}
+
+fn bench_batch(c: &mut Criterion) {
+    let (pcap, wire_bytes) = interleaved_pcap(8_000);
+    let analyzer = tdat::Analyzer::default();
+    let mut group = c.benchmark_group("hot_batch");
+    group.throughput(Throughput::Bytes(wire_bytes));
+    group.bench_function("batch_read_all", |b| {
+        b.iter(|| black_box(batch_analyze(&analyzer, &pcap)))
+    });
+    group.finish();
+}
+
+fn bench_monitor_ticks(c: &mut Criterion) {
+    // Same transfer, same tick schedule; only the open-connection
+    // population differs. Incremental snapshots must keep the 500-idle
+    // run within 2x of the 0-idle run (the idle sessions are clean
+    // after their first tick and are served from cache).
+    let alone = MonitorScenario::prepare(0);
+    let crowded = MonitorScenario::prepare(500);
+    let mut group = c.benchmark_group("hot_monitor");
+    group.bench_function("ticks_1_active_0_idle", |b| {
+        b.iter(|| black_box(alone.run(false)))
+    });
+    group.bench_function("ticks_1_active_500_idle", |b| {
+        b.iter(|| black_box(crowded.run(false)))
+    });
+    group.bench_function("ticks_1_active_500_idle_recompute_all", |b| {
+        b.iter(|| black_box(crowded.run(true)))
+    });
+    group.finish();
+}
+
+criterion_group!(
+    benches,
+    bench_decode,
+    bench_stages,
+    bench_batch,
+    bench_monitor_ticks
+);
+criterion_main!(benches);

@@ -1,0 +1,209 @@
+//! Machine-readable hot-path benchmark runner.
+//!
+//! Times the `tdat_bench::hotpath` workloads (the same code the
+//! `hot_path` criterion bench exercises) and writes a `BENCH_*.json`
+//! file CI can diff against a checked-in baseline:
+//!
+//! ```text
+//! cargo run -p tdat-bench --release --bin bench-json -- --out BENCH_pr.json
+//! cargo run -p tdat-bench --release --bin bench-json -- \
+//!     --out BENCH_pr.json --baseline bench_results/BENCH_baseline.json --max-ratio 2.0
+//! ```
+//!
+//! With `--baseline`, any workload whose median exceeds
+//! `max-ratio × baseline` fails the run (exit code 1). `--quick` cuts
+//! the sample count for CI smoke use. The JSON schema is documented in
+//! `EXPERIMENTS.md`.
+
+use std::time::Instant;
+
+use tdat_bench::hotpath::{
+    batch_analyze, decode_owned, decode_views, interleaved_pcap, MonitorScenario, StageInputs,
+};
+use tdat_timeset::SpanScratch;
+
+const SCHEMA: &str = "tdat-bench-json/1";
+
+struct Options {
+    out: String,
+    baseline: Option<String>,
+    max_ratio: f64,
+    samples: usize,
+}
+
+fn parse_args() -> Options {
+    let mut opts = Options {
+        out: "BENCH_pr.json".to_string(),
+        baseline: None,
+        max_ratio: 2.0,
+        samples: 7,
+    };
+    let mut args = std::env::args().skip(1);
+    while let Some(arg) = args.next() {
+        match arg.as_str() {
+            "--out" => opts.out = args.next().expect("--out takes a path"),
+            "--baseline" => opts.baseline = Some(args.next().expect("--baseline takes a path")),
+            "--max-ratio" => {
+                opts.max_ratio = args
+                    .next()
+                    .expect("--max-ratio takes a number")
+                    .parse()
+                    .expect("--max-ratio takes a number")
+            }
+            "--quick" => opts.samples = 3,
+            other => {
+                eprintln!("unknown argument: {other}");
+                std::process::exit(2);
+            }
+        }
+    }
+    opts
+}
+
+/// Runs `work` once as warm-up, then `samples` timed runs; returns the
+/// median duration in nanoseconds.
+fn measure(samples: usize, mut work: impl FnMut()) -> u64 {
+    measure_durations(samples, || {
+        let start = Instant::now();
+        work();
+        start.elapsed()
+    })
+}
+
+/// Like [`measure`], for workloads that clock a sub-section themselves
+/// (the monitor steady-phase runs, whose setup must stay off the
+/// clock). Returns the median of the reported durations in ns.
+fn measure_durations(samples: usize, mut work: impl FnMut() -> std::time::Duration) -> u64 {
+    work();
+    let mut times: Vec<u64> = (0..samples).map(|_| work().as_nanos() as u64).collect();
+    times.sort_unstable();
+    times[times.len() / 2]
+}
+
+/// Extracts `"name": {"median_ns": N` from a `BENCH_*.json` file
+/// written by this binary. Minimal by design: the format is ours.
+fn baseline_median(json: &str, name: &str) -> Option<u64> {
+    let key = format!("\"{name}\"");
+    let at = json.find(&key)? + key.len();
+    let rest = &json[at..];
+    let field = "\"median_ns\":";
+    let at = rest.find(field)? + field.len();
+    let digits: String = rest[at..]
+        .chars()
+        .skip_while(|c| c.is_whitespace())
+        .take_while(|c| c.is_ascii_digit())
+        .collect();
+    digits.parse().ok()
+}
+
+fn main() {
+    let opts = parse_args();
+
+    eprintln!("preparing corpora...");
+    let (pcap, wire_bytes) = interleaved_pcap(8_000);
+    let stages = StageInputs::prepare();
+    let mut scratch = SpanScratch::new();
+    let analyzer = tdat::Analyzer::default();
+    let monitor_alone = MonitorScenario::prepare(0);
+    let monitor_crowded = MonitorScenario::prepare(500);
+
+    let mut results: Vec<(&str, u64)> = Vec::new();
+    let mut run = |name: &'static str, work: &mut dyn FnMut()| {
+        let median = measure(opts.samples, &mut *work);
+        eprintln!("{name:<40} {:>12.3} ms", median as f64 / 1e6);
+        results.push((name, median));
+    };
+
+    run("decode_views", &mut || {
+        std::hint::black_box(decode_views(&pcap));
+    });
+    run("decode_owned", &mut || {
+        std::hint::black_box(decode_owned(&pcap));
+    });
+    run("series_only", &mut || {
+        std::hint::black_box(stages.series_only(&mut scratch));
+    });
+    run("factors_only", &mut || {
+        std::hint::black_box(stages.factors_only(&mut scratch));
+    });
+    run("batch_read_all", &mut || {
+        std::hint::black_box(batch_analyze(&analyzer, &pcap));
+    });
+    run("monitor_ticks_1_active_0_idle", &mut || {
+        std::hint::black_box(monitor_alone.run(false));
+    });
+    run("monitor_ticks_1_active_500_idle", &mut || {
+        std::hint::black_box(monitor_crowded.run(false));
+    });
+    let mut run_steady = |name: &'static str, scenario: &MonitorScenario| {
+        let median = measure_durations(opts.samples, || scenario.run_steady(false));
+        eprintln!("{name:<40} {:>12.3} ms", median as f64 / 1e6);
+        results.push((name, median));
+    };
+    run_steady("monitor_steady_1_active_0_idle", &monitor_alone);
+    run_steady("monitor_steady_1_active_500_idle", &monitor_crowded);
+
+    let lookup = |name: &str| {
+        results
+            .iter()
+            .find(|(n, _)| *n == name)
+            .map(|&(_, ns)| ns as f64)
+            .unwrap_or(f64::NAN)
+    };
+    eprintln!(
+        "derived: decode zero-copy speedup {:.2}x, monitor 500-idle/0-idle ratio {:.2}x, \
+         decode_views {:.3} GiB/s",
+        lookup("decode_owned") / lookup("decode_views"),
+        lookup("monitor_steady_1_active_500_idle") / lookup("monitor_steady_1_active_0_idle"),
+        wire_bytes as f64 / lookup("decode_views") * 1e9 / (1024.0 * 1024.0 * 1024.0),
+    );
+
+    let mut json = String::new();
+    json.push_str(&format!(
+        "{{\n  \"schema\": \"{SCHEMA}\",\n  \"samples\": {},\n  \"benches\": {{\n",
+        opts.samples
+    ));
+    for (i, (name, ns)) in results.iter().enumerate() {
+        let comma = if i + 1 < results.len() { "," } else { "" };
+        json.push_str(&format!("    \"{name}\": {{\"median_ns\": {ns}}}{comma}\n"));
+    }
+    json.push_str("  }\n}\n");
+    std::fs::write(&opts.out, &json).expect("write results json");
+    eprintln!("wrote {}", opts.out);
+
+    let Some(baseline_path) = opts.baseline else {
+        return;
+    };
+    let baseline = std::fs::read_to_string(&baseline_path).expect("read baseline json");
+    let mut failed = false;
+    for (name, ns) in &results {
+        match baseline_median(&baseline, name) {
+            Some(base) => {
+                let ratio = *ns as f64 / base as f64;
+                let verdict = if ratio > opts.max_ratio {
+                    failed = true;
+                    "REGRESSION"
+                } else {
+                    "ok"
+                };
+                eprintln!(
+                    "{name:<40} {:>9.3} ms vs baseline {:>9.3} ms  ({ratio:.2}x)  {verdict}",
+                    *ns as f64 / 1e6,
+                    base as f64 / 1e6
+                );
+            }
+            None => eprintln!("{name:<40} not in baseline (new bench), skipping"),
+        }
+    }
+    if failed {
+        eprintln!(
+            "FAIL: at least one workload regressed more than {:.1}x vs {baseline_path}",
+            opts.max_ratio
+        );
+        std::process::exit(1);
+    }
+    eprintln!(
+        "all workloads within {:.1}x of {baseline_path}",
+        opts.max_ratio
+    );
+}

@@ -1,0 +1,280 @@
+//! Reusable hot-path workloads shared by the criterion benches
+//! (`benches/hot_path.rs`) and the machine-readable `bench-json`
+//! binary, so both measure exactly the same code paths:
+//!
+//! - **decode** — pcap bytes to frames, zero-copy ([`decode_views`])
+//!   vs. allocating ([`decode_owned`]);
+//! - **analysis stages** — series generation and factor classification
+//!   in isolation, with a reused scratch pool ([`StageInputs`]);
+//! - **end to end** — the batch analyzer over a multi-connection
+//!   capture ([`batch_analyze`]), the workload the PR's ≥1.5×
+//!   acceptance criterion is stated against;
+//! - **monitor ticks** — a live [`Monitor`] driven through a fixed
+//!   tick schedule with a configurable idle-connection population
+//!   ([`MonitorScenario`]), demonstrating that steady-state tick cost
+//!   tracks new traffic, not open-connection count.
+
+use std::net::Ipv4Addr;
+
+use tdat::{Analyzer, AnalyzerConfig, DelayVector, SeriesSet};
+use tdat_monitor::{Monitor, MonitorConfig};
+use tdat_packet::{FrameBuilder, PcapReader, PcapWriter, TcpFlags, TcpFrame};
+use tdat_timeset::{Micros, Span, SpanScratch};
+use tdat_trace::{extract_connections, label_segments, LabelConfig, SegLabel};
+
+use crate::{generate_transfer, Dataset, Scenario};
+
+/// A multi-connection capture: four independent clean transfers
+/// interleaved by timestamp, serialized as one in-memory pcap stream.
+/// Returns the pcap bytes and the wire byte count (for throughput).
+pub fn interleaved_pcap(per_conn_routes: usize) -> (Vec<u8>, u64) {
+    let mut frames: Vec<TcpFrame> = Vec::new();
+    for i in 0..4 {
+        frames.extend(
+            generate_transfer(
+                Dataset::IspAQuagga,
+                i,
+                Scenario::Clean,
+                per_conn_routes,
+                9_000 + i as u64,
+            )
+            .frames,
+        );
+    }
+    frames.sort_by_key(|f| f.timestamp);
+    let wire_bytes: u64 = frames.iter().map(|f| f.to_wire().len() as u64 + 16).sum();
+    let mut pcap = Vec::new();
+    {
+        let mut w = PcapWriter::new(&mut pcap).expect("in-memory pcap");
+        for f in &frames {
+            w.write_frame(f).expect("in-memory pcap");
+        }
+    }
+    (pcap, wire_bytes)
+}
+
+/// Zero-copy decode: walks the capture with [`PcapReader::next_view`],
+/// borrowing each frame from the reader's record buffer, and folds the
+/// payload bytes so the work cannot be optimized away.
+pub fn decode_views(pcap: &[u8]) -> u64 {
+    let mut reader = PcapReader::new(pcap).expect("valid pcap header");
+    let mut sum = 0u64;
+    while let Some(view) = reader.next_view().expect("valid pcap record") {
+        sum += view.payload.len() as u64;
+    }
+    sum
+}
+
+/// Allocating decode: materializes every frame as an owned
+/// [`TcpFrame`] (`read_all`), then folds the same payload byte count.
+pub fn decode_owned(pcap: &[u8]) -> u64 {
+    PcapReader::new(pcap)
+        .expect("valid pcap header")
+        .read_all()
+        .expect("valid pcap records")
+        .iter()
+        .map(|f| f.payload.len() as u64)
+        .sum()
+}
+
+/// Batch pipeline end to end: decode the capture into owned frames and
+/// run the full per-connection analysis. Returns the connection count.
+pub fn batch_analyze(analyzer: &Analyzer, pcap: &[u8]) -> usize {
+    let frames = PcapReader::new(pcap)
+        .expect("valid pcap header")
+        .read_all()
+        .expect("valid pcap records");
+    analyzer.analyze_frames(&frames).len()
+}
+
+/// Pre-extracted inputs for benchmarking the analysis stages in
+/// isolation: one labeled, ACK-shifted connection trace plus the
+/// series set derived from it.
+pub struct StageInputs {
+    trace: tdat::preprocess::ShiftedTrace,
+    labels: Vec<SegLabel>,
+    period: Span,
+    mss: u32,
+    max_adv_window: u32,
+    rtt: Option<Micros>,
+    config: AnalyzerConfig,
+    series: SeriesSet,
+}
+
+impl StageInputs {
+    /// Extracts and preprocesses the stage inputs from a mid-size
+    /// transfer with loss episodes (the interesting case for series
+    /// generation cost).
+    pub fn prepare() -> StageInputs {
+        let frames = generate_transfer(
+            Dataset::IspAQuagga,
+            0,
+            Scenario::DownstreamBurst { at: 0.3, len: 0.08 },
+            20_000,
+            4_242,
+        )
+        .frames;
+        let mut conns = extract_connections(&frames);
+        assert!(!conns.is_empty(), "corpus transfer yields one connection");
+        let conn = conns.remove(0);
+        let config = AnalyzerConfig::default();
+        let labels = label_segments(&conn, &LabelConfig::default());
+        let trace = tdat::preprocess::shift_acks(&conn);
+        let period = trace.span();
+        let mut inputs = StageInputs {
+            trace,
+            labels,
+            period,
+            mss: conn.profile.mss.unwrap_or(1448),
+            max_adv_window: conn.profile.max_receiver_window,
+            rtt: conn.profile.rtt,
+            config,
+            series: SeriesSet::default(),
+        };
+        let mut scratch = SpanScratch::new();
+        inputs.series = inputs.series_only(&mut scratch);
+        inputs
+    }
+
+    /// Series generation alone (extraction + interpretation +
+    /// operation rules) with a caller-reused scratch pool.
+    pub fn series_only(&self, scratch: &mut SpanScratch) -> SeriesSet {
+        tdat::generate_series_with(
+            &self.trace,
+            &self.labels,
+            self.period,
+            self.mss,
+            self.max_adv_window,
+            self.rtt,
+            &self.config,
+            scratch,
+        )
+    }
+
+    /// Factor classification alone (span algebra over the prepared
+    /// series set) with a caller-reused scratch pool.
+    pub fn factors_only(&self, scratch: &mut SpanScratch) -> DelayVector {
+        tdat::delay_vector_with(&self.series, &self.config, scratch)
+    }
+}
+
+/// A live-monitoring workload: one active table transfer plus `idle`
+/// established-but-silent BGP sessions, driven through a fixed number
+/// of analysis ticks. Comparing `idle = 0` against `idle = 500` is the
+/// incremental-snapshot acceptance check — with caching, the extra
+/// open connections must not dominate tick cost.
+pub struct MonitorScenario {
+    /// Frames up to and including the first tick boundary: every
+    /// session's handshake plus the transfer's first interval. The
+    /// first tick analyzes the whole population once — that is new
+    /// traffic, not steady-state overhead.
+    setup: Vec<TcpFrame>,
+    /// The remaining frames, spanning [`MONITOR_TICKS`]` - 1` further
+    /// ticks during which the idle sessions never become dirty again.
+    steady: Vec<TcpFrame>,
+    interval: Micros,
+    end: Micros,
+}
+
+/// Ticks a [`MonitorScenario`] drives through its transfer.
+pub const MONITOR_TICKS: i64 = 16;
+
+impl MonitorScenario {
+    /// Builds the frame schedule: a clean 8k-route transfer and `idle`
+    /// handshake-only sessions on distinct endpoints, merged in
+    /// timestamp order. The tick interval divides the transfer into
+    /// [`MONITOR_TICKS`] analysis rounds.
+    pub fn prepare(idle: usize) -> MonitorScenario {
+        assert!(idle <= 40_000, "idle endpoint space is 200*200");
+        let mut frames =
+            generate_transfer(Dataset::IspAQuagga, 0, Scenario::Clean, 8_000, 31_337).frames;
+        let end = frames.last().expect("non-empty transfer").timestamp;
+        for i in 0..idle {
+            let a = Ipv4Addr::new(10, (100 + i / 200) as u8, (i % 200) as u8, 9);
+            let b = Ipv4Addr::new(172, 16, (i / 200) as u8, (i % 200) as u8);
+            let sport = 40_000 + (i % 20_000) as u16;
+            let t0 = Micros(10 + i as i64);
+            frames.push(
+                FrameBuilder::new(a, b)
+                    .ports(sport, 179)
+                    .at(t0)
+                    .seq(0)
+                    .flags(TcpFlags::SYN)
+                    .build(),
+            );
+            frames.push(
+                FrameBuilder::new(b, a)
+                    .ports(179, sport)
+                    .at(t0 + Micros(200))
+                    .seq(0)
+                    .ack_to(1)
+                    .flags(TcpFlags::SYN | TcpFlags::ACK)
+                    .build(),
+            );
+            frames.push(
+                FrameBuilder::new(a, b)
+                    .ports(sport, 179)
+                    .at(t0 + Micros(400))
+                    .seq(1)
+                    .ack_to(1)
+                    .flags(TcpFlags::ACK)
+                    .build(),
+            );
+        }
+        frames.sort_by_key(|f| f.timestamp);
+        let interval = Micros((end.0 / MONITOR_TICKS).max(1));
+        let split = frames.partition_point(|f| f.timestamp <= interval);
+        let steady = frames.split_off(split);
+        MonitorScenario {
+            setup: frames,
+            steady,
+            interval,
+            end,
+        }
+    }
+
+    /// Ingests the setup phase into a fresh [`Monitor`] and runs the
+    /// first tick, leaving every session analyzed once and cached.
+    fn warmed(&self, recompute_all: bool) -> Monitor {
+        let mut monitor = Monitor::new(MonitorConfig {
+            interval: self.interval,
+            recompute_all,
+            ..MonitorConfig::default()
+        });
+        for f in &self.setup {
+            monitor.ingest(f);
+        }
+        monitor.advance_to(self.interval);
+        monitor
+    }
+
+    /// Drives a warmed monitor through the steady phase.
+    fn drive(&self, monitor: &mut Monitor) -> usize {
+        for f in &self.steady {
+            monitor.ingest(f);
+        }
+        monitor.advance_to(self.end + self.interval);
+        monitor.drain_events().len()
+    }
+
+    /// Runs the whole schedule through a fresh [`Monitor`] and returns
+    /// the number of events it produced. `recompute_all` selects the
+    /// validation mode that re-analyzes every open connection per tick.
+    pub fn run(&self, recompute_all: bool) -> usize {
+        let mut monitor = self.warmed(recompute_all);
+        self.drive(&mut monitor)
+    }
+
+    /// Times the steady phase alone: setup and the first tick (the
+    /// population's one-time analysis — new traffic by definition)
+    /// happen outside the clock, so the result is the cost of
+    /// [`MONITOR_TICKS`]` - 1` steady-state ticks. This is the number
+    /// the "500 idle sessions within 2x of 1 session" criterion is
+    /// stated against.
+    pub fn run_steady(&self, recompute_all: bool) -> std::time::Duration {
+        let mut monitor = self.warmed(recompute_all);
+        let started = std::time::Instant::now();
+        std::hint::black_box(self.drive(&mut monitor));
+        started.elapsed()
+    }
+}

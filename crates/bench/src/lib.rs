@@ -12,6 +12,7 @@
 
 pub mod corpus;
 pub mod experiments;
+pub mod hotpath;
 
 pub use corpus::{
     generate_transfer, generate_transfer_with, parallel_map, router_profile, Corpus, Dataset,

@@ -1,0 +1,142 @@
+//! Steady-state zero-copy decode performs **zero heap allocations per
+//! frame**: after the reader's record buffer has grown to the largest
+//! record, `next_view` borrows every frame from it — no `Vec` per
+//! payload, no per-frame header boxes.
+//!
+//! The counting allocator lives here because the packet crate itself
+//! (rightly) forbids `unsafe`; an integration test is its own crate,
+//! so the `#[global_allocator]` below scopes to this binary only.
+
+use std::alloc::{GlobalAlloc, Layout, System};
+use std::net::Ipv4Addr;
+use std::sync::atomic::{AtomicU64, Ordering};
+
+use tdat_packet::{FrameBuilder, PcapReader, PcapWriter, TcpFlags};
+use tdat_timeset::Micros;
+
+struct CountingAllocator;
+
+static ALLOCATIONS: AtomicU64 = AtomicU64::new(0);
+
+// SAFETY: delegates every operation to `System`; the counter is the
+// only addition and is atomic.
+unsafe impl GlobalAlloc for CountingAllocator {
+    unsafe fn alloc(&self, layout: Layout) -> *mut u8 {
+        ALLOCATIONS.fetch_add(1, Ordering::Relaxed);
+        unsafe { System.alloc(layout) }
+    }
+    unsafe fn alloc_zeroed(&self, layout: Layout) -> *mut u8 {
+        ALLOCATIONS.fetch_add(1, Ordering::Relaxed);
+        unsafe { System.alloc_zeroed(layout) }
+    }
+    unsafe fn realloc(&self, ptr: *mut u8, layout: Layout, new_size: usize) -> *mut u8 {
+        ALLOCATIONS.fetch_add(1, Ordering::Relaxed);
+        unsafe { System.realloc(ptr, layout, new_size) }
+    }
+    unsafe fn dealloc(&self, ptr: *mut u8, layout: Layout) {
+        unsafe { System.dealloc(ptr, layout) }
+    }
+}
+
+#[global_allocator]
+static GLOBAL: CountingAllocator = CountingAllocator;
+
+/// An in-memory capture whose *first* data frame carries the largest
+/// payload, so one warm-up decode grows the record buffer to its
+/// steady-state size.
+fn capture(frames_after_warmup: usize) -> Vec<u8> {
+    let a = Ipv4Addr::new(10, 0, 0, 1);
+    let b = Ipv4Addr::new(10, 0, 0, 2);
+    let mut pcap = Vec::new();
+    let mut writer = PcapWriter::new(&mut pcap).expect("in-memory pcap");
+    let mut write = |frame| writer.write_frame(&frame).expect("in-memory pcap");
+    write(
+        FrameBuilder::new(a, b)
+            .ports(179, 40000)
+            .at(Micros(0))
+            .seq(0)
+            .flags(TcpFlags::SYN)
+            .build(),
+    );
+    // Warm-up data frame: the largest record in the capture.
+    write(
+        FrameBuilder::new(a, b)
+            .ports(179, 40000)
+            .at(Micros(100))
+            .seq(1)
+            .flags(TcpFlags::ACK)
+            .payload(vec![0xAB; 1448])
+            .build(),
+    );
+    let mut seq = 1 + 1448u32;
+    for i in 0..frames_after_warmup {
+        let len = 600 + (i % 3) * 400; // 600/1000/1400: all ≤ warm-up size
+        write(
+            FrameBuilder::new(a, b)
+                .ports(179, 40000)
+                .at(Micros(200 + i as i64 * 50))
+                .seq(seq)
+                .ack_to(1)
+                .flags(TcpFlags::ACK)
+                .payload(vec![0xCD; len])
+                .build(),
+        );
+        seq += len as u32;
+    }
+    let _ = &mut write;
+    pcap
+}
+
+#[test]
+fn steady_state_decode_allocates_nothing_per_frame() {
+    const FRAMES: usize = 256;
+    let pcap = capture(FRAMES);
+
+    let mut reader = PcapReader::new(&pcap[..]).expect("valid pcap");
+    // Warm-up: SYN plus the largest data frame sizes the record buffer.
+    for _ in 0..2 {
+        let view = reader.next_view().expect("valid record");
+        assert!(view.is_some(), "warm-up frames present");
+    }
+
+    let before = ALLOCATIONS.load(Ordering::SeqCst);
+    let mut frames = 0usize;
+    let mut payload_bytes = 0u64;
+    while let Some(view) = reader.next_view().expect("valid record") {
+        frames += 1;
+        payload_bytes += view.payload.len() as u64;
+    }
+    let after = ALLOCATIONS.load(Ordering::SeqCst);
+
+    assert_eq!(frames, FRAMES);
+    assert!(payload_bytes > 0);
+    assert_eq!(
+        after - before,
+        0,
+        "steady-state zero-copy decode must not allocate \
+         ({} allocations over {frames} frames)",
+        after - before
+    );
+}
+
+/// The allocating path, for contrast: `read_all` must allocate at
+/// least one payload `Vec` per data frame. This guards the test
+/// itself — if the counting allocator ever stopped observing the
+/// decode path, this assertion would fail first.
+#[test]
+fn owned_decode_allocates_per_frame() {
+    const FRAMES: usize = 64;
+    let pcap = capture(FRAMES);
+    let before = ALLOCATIONS.load(Ordering::SeqCst);
+    let frames = PcapReader::new(&pcap[..])
+        .expect("valid pcap")
+        .read_all()
+        .expect("valid records");
+    let after = ALLOCATIONS.load(Ordering::SeqCst);
+    assert_eq!(frames.len(), FRAMES + 2);
+    assert!(
+        after - before >= FRAMES as u64,
+        "owned decode should allocate per frame (saw {})",
+        after - before
+    );
+}

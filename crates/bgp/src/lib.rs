@@ -46,7 +46,7 @@ mod table;
 
 pub use attrs::{AsPath, AsPathSegment, Origin, PathAttribute};
 pub use error::{BgpError, Result};
-pub use mct::{find_transfer_end, MctConfig, TableTransfer};
+pub use mct::{find_transfer_end, find_transfer_end_ref, MctConfig, TableTransfer};
 pub use message::{
     BgpMessage, NotificationMessage, OpenMessage, UpdateMessage, BGP_HEADER_LEN,
     BGP_MAX_MESSAGE_LEN, KEEPALIVE_LEN,

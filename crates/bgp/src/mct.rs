@@ -99,53 +99,112 @@ pub fn find_transfer_end(
     updates: &[(Micros, UpdateMessage)],
     config: &MctConfig,
 ) -> Option<TableTransfer> {
-    let mut seen: HashSet<Prefix> = HashSet::new();
-    let mut end = None;
+    find_transfer_end_ref(start, updates.iter().map(|(t, u)| (*t, u)), config)
+}
+
+/// A `/len` prefix packed into one word: the set of prefixes seen so
+/// far is hot (one membership probe per announced prefix of every
+/// update), so it is keyed by this packed form under a multiplicative
+/// hasher instead of hashing the struct field-by-field with SipHash.
+fn packed(p: &Prefix) -> u64 {
+    (u64::from(u32::from(p.network())) << 8) | u64::from(p.len())
+}
+
+/// Multiplicative hasher for already-well-distributed packed prefixes
+/// (Fibonacci hashing). Not DoS-hardened — fine here: the set is
+/// per-call scratch over a bounded update stream, not a long-lived map
+/// keyed by attacker-controlled input.
+#[derive(Default)]
+struct PackedHasher(u64);
+
+impl std::hash::Hasher for PackedHasher {
+    fn finish(&self) -> u64 {
+        self.0
+    }
+    fn write(&mut self, bytes: &[u8]) {
+        // Generic fallback (unused by u64 keys): FNV-1a.
+        let mut h = self.0 ^ 0xcbf2_9ce4_8422_2325;
+        for &b in bytes {
+            h = (h ^ u64::from(b)).wrapping_mul(0x100_0000_01b3);
+        }
+        self.0 = h;
+    }
+    fn write_u64(&mut self, n: u64) {
+        self.0 = n.wrapping_mul(0x9e37_79b9_7f4a_7c15).rotate_right(23);
+    }
+}
+
+type PackedSet = HashSet<u64, std::hash::BuildHasherDefault<PackedHasher>>;
+
+/// [`find_transfer_end`] over borrowed updates, so callers holding an
+/// extraction can run MCT without deep-cloning every message. The
+/// distinct-prefix count is maintained inline during the single scan
+/// instead of re-counting in a second pass.
+pub fn find_transfer_end_ref<'a, I>(
+    start: Micros,
+    updates: I,
+    config: &MctConfig,
+) -> Option<TableTransfer>
+where
+    I: IntoIterator<Item = (Micros, &'a UpdateMessage)>,
+{
+    let mut seen = PackedSet::default();
+    let mut end: Option<Micros> = None;
     let mut update_count = 0;
     let mut counted = 0;
     let mut dup_run = 0;
     let mut last_time = start;
-    for (time, update) in updates {
+    let mut prefix_count = 0;
+    let mut iter = updates.into_iter();
+    for (time, update) in iter.by_ref() {
         if update.announced.is_empty() && update.withdrawn.is_empty() {
             continue; // keepalive-equivalent / attribute-only updates
         }
-        if *time - last_time > config.max_gap {
+        if time - last_time > config.max_gap {
             break;
         }
         counted += 1;
         let new = update
             .announced
             .iter()
-            .filter(|p| !seen.contains(*p))
+            .filter(|p| !seen.contains(&packed(p)))
             .count();
         let dup_frac = 1.0 - new as f64 / update.announced.len().max(1) as f64;
-        seen.extend(update.announced.iter().copied());
-        last_time = *time;
+        seen.extend(update.announced.iter().map(packed));
+        last_time = time;
         if new > 0 && dup_frac <= config.dup_tolerance {
-            end = Some(*time);
+            end = Some(time);
             update_count = counted;
             dup_run = 0;
+            prefix_count = seen.len();
         } else {
+            // A rejected update sharing the current end's timestamp is
+            // still inside the transfer period, so its prefixes belong
+            // in the distinct count.
+            if end.is_some_and(|e| time <= e) {
+                prefix_count = seen.len();
+            }
             dup_run += 1;
             if dup_run >= config.max_dup_run {
                 break;
             }
         }
     }
-    end.map(|end| {
-        // Re-count the distinct prefixes up to the chosen end.
-        let mut prefixes: HashSet<Prefix> = HashSet::new();
-        for (time, update) in updates {
-            if *time > end {
-                break;
-            }
-            prefixes.extend(update.announced.iter().copied());
+    let end = end?;
+    // Updates past an early duplicate-run break can still share the
+    // end timestamp; the distinct-prefix count covers every update
+    // within the transfer period.
+    for (time, update) in iter {
+        if time > end {
+            break;
         }
-        TableTransfer {
-            span: Span::new(start, end),
-            update_count,
-            prefix_count: prefixes.len(),
-        }
+        seen.extend(update.announced.iter().map(packed));
+        prefix_count = seen.len();
+    }
+    Some(TableTransfer {
+        span: Span::new(start, end),
+        update_count,
+        prefix_count,
     })
 }
 

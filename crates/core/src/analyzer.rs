@@ -2,7 +2,7 @@
 
 use std::path::Path;
 
-use tdat_bgp::{find_transfer_end, MctConfig, TableTransfer};
+use tdat_bgp::{find_transfer_end_ref, MctConfig, TableTransfer};
 use tdat_packet::{AnomalyCounts, TcpFrame};
 use tdat_timeset::Span;
 use tdat_trace::{
@@ -14,10 +14,10 @@ use crate::detect::{
     find_consecutive_losses, find_delayed_ack_interaction, find_zero_ack_bug, infer_timer,
     ConsecutiveLosses, DelayedAckInteraction, InferredTimer, ZeroAckBug,
 };
-use crate::factors::{delay_vector, DelayVector};
+use crate::factors::{delay_vector_with, DelayVector};
 use crate::preprocess::{shift_acks, ShiftedTrace};
 use crate::quarantine::{QuarantineConfig, Verdict};
-use crate::series::{generate_series, SeriesSet};
+use crate::series::{generate_series_with, SeriesSet};
 
 /// The complete analysis of one TCP connection.
 #[derive(Debug)]
@@ -186,9 +186,10 @@ impl Analyzer {
         extraction: &tdat_pcap2bgp::Extraction,
         anomalies: AnomalyCounts,
     ) -> Analysis {
-        // Identify the transfer end via MCT over the extracted updates.
-        let updates = extraction.updates();
-        let transfer = find_transfer_end(conn.profile.start, &updates, &self.mct);
+        // Identify the transfer end via MCT over the extracted updates
+        // (borrowed: MCT scans them without cloning the table).
+        let transfer =
+            find_transfer_end_ref(conn.profile.start, extraction.updates_iter(), &self.mct);
         let period_end = transfer
             .as_ref()
             .map(|t| t.span.end)
@@ -229,8 +230,8 @@ impl Analyzer {
         window: Span,
         anomalies: AnomalyCounts,
     ) -> Analysis {
-        let updates = extraction.updates();
-        let transfer = find_transfer_end(conn.profile.start, &updates, &self.mct);
+        let transfer =
+            find_transfer_end_ref(conn.profile.start, extraction.updates_iter(), &self.mct);
         let start = window.start.max(conn.profile.start);
         let period = Span::new(start, window.end.max(start));
         let verdict = self.quarantine.assess(&anomalies, extraction);
@@ -265,7 +266,12 @@ impl Analyzer {
             segments,
             shifts: Vec::new(),
         });
-        let series = generate_series(
+        // One scratch pool serves the whole analysis: every span-set
+        // intermediate in series generation and factor classification
+        // draws from it, so buffer count stays constant per connection
+        // regardless of how many set operations run.
+        let mut scratch = tdat_timeset::SpanScratch::new();
+        let series = generate_series_with(
             &trace,
             &labels,
             period,
@@ -273,8 +279,9 @@ impl Analyzer {
             profile.max_receiver_window,
             profile.rtt,
             &self.config,
+            &mut scratch,
         );
-        let vector = delay_vector(&series, &self.config);
+        let vector = delay_vector_with(&series, &self.config, &mut scratch);
         Analysis {
             profile,
             sender,

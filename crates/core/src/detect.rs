@@ -227,22 +227,35 @@ pub fn find_peer_group_blocking(
 /// Scans every ordered pair of analyses for peer-group blocking — the
 /// whole-capture convenience over [`find_peer_group_blocking`]:
 /// returns `(blocked index, faulty index, incidents)` for each pair
-/// with at least one incident.
-pub fn find_peer_group_blocking_all(
-    analyses: &[crate::Analysis],
+/// with at least one incident. Accepts owned or borrowed analyses
+/// (`&[Analysis]` or `&[&Analysis]`), so callers holding a cache can
+/// scan without cloning.
+pub fn find_peer_group_blocking_all<B: std::borrow::Borrow<crate::Analysis>>(
+    analyses: &[B],
     min_pause: Micros,
 ) -> Vec<(usize, usize, Vec<PeerGroupBlocking>)> {
+    // Peer groups replicate from one router: only sessions sharing a
+    // sender address can pair. Bucket by sender first so a population
+    // of unrelated sessions (the common live-monitor case) costs one
+    // hash insert each instead of an O(n²) pair scan.
+    let mut groups: std::collections::HashMap<std::net::Ipv4Addr, Vec<usize>> =
+        std::collections::HashMap::new();
+    for (i, a) in analyses.iter().enumerate() {
+        groups.entry(a.borrow().sender.0).or_default().push(i);
+    }
     let mut hits = Vec::new();
     for (i, blocked) in analyses.iter().enumerate() {
-        for (j, faulty) in analyses.iter().enumerate() {
+        let blocked = blocked.borrow();
+        let Some(group) = groups.get(&blocked.sender.0) else {
+            continue;
+        };
+        // Group indices ascend, so hits keep the (blocked asc, faulty
+        // asc) order of the full pair scan.
+        for &j in group {
             if i == j {
                 continue;
             }
-            // Peer groups replicate from one router: require the same
-            // sender address on both sessions.
-            if blocked.sender.0 != faulty.sender.0 {
-                continue;
-            }
+            let faulty = analyses[j].borrow();
             let incidents = find_peer_group_blocking(&blocked.series, &faulty.series, min_pause);
             if !incidents.is_empty() {
                 hits.push((i, j, incidents));

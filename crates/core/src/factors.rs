@@ -8,7 +8,7 @@
 
 use std::fmt;
 
-use tdat_timeset::SpanSet;
+use tdat_timeset::{SpanScratch, SpanSet};
 
 use crate::config::AnalyzerConfig;
 use crate::series::SeriesSet;
@@ -201,7 +201,47 @@ pub struct FactorSpans {
 
 /// Computes the factor spans from a series set.
 pub fn factor_spans(series: &SeriesSet) -> FactorSpans {
-    let bgp_receiver = series.small_adv_bnd_out().union(&series.zero_adv_bnd_out());
+    let mut scratch = SpanScratch::new();
+    factor_spans_with(series, &mut scratch)
+}
+
+/// [`factor_spans`] with a caller-provided scratch pool. The shared
+/// intermediates (`AdvBndOut` flattened, `SmallAdvBndOut`) are computed
+/// once into pooled buffers instead of once per factor that needs them.
+pub fn factor_spans_with(series: &SeriesSet, scratch: &mut SpanScratch) -> FactorSpans {
+    let mut adv = scratch.take();
+    series.adv_bnd_out.span_set_into(&mut adv);
+    let mut tmp = scratch.take();
+
+    // SmallAdvBndOut = AdvBndOut ∩ SmallAdvWindow, computed once and
+    // shared between the BgpReceiverApp and TcpAdvertisedWindow rows.
+    let mut small = scratch.take();
+    series.small_adv_window.span_set_into(&mut tmp);
+    adv.intersect_into(&tmp, &mut small);
+
+    // BgpReceiverApp = SmallAdvBndOut ∪ ZeroAdvBndOut.
+    let mut zero = scratch.take();
+    series.zero_window.span_set_into(&mut tmp);
+    tmp.clipped_into(series.period, &mut zero);
+    let mut bgp_receiver = SpanSet::new();
+    small.union_into(&zero, &mut bgp_receiver);
+
+    // TcpAdvertisedWindow = LargeAdvBndOut ∪ (AdvBndOut ∖ SmallAdvBndOut).
+    let mut large = scratch.take();
+    series.large_adv_window.span_set_into(&mut tmp);
+    adv.intersect_into(&tmp, &mut large);
+    let mut rest = scratch.take();
+    adv.difference_into(&small, &mut rest);
+    let mut tcp_adv = SpanSet::new();
+    large.union_into(&rest, &mut tcp_adv);
+
+    scratch.put(adv);
+    scratch.put(tmp);
+    scratch.put(small);
+    scratch.put(zero);
+    scratch.put(large);
+    scratch.put(rest);
+
     let spans = vec![
         (Factor::BgpSenderApp, series.send_app_limited.to_span_set()),
         (
@@ -213,15 +253,7 @@ pub fn factor_spans(series: &SeriesSet) -> FactorSpans {
             series.send_local_loss.to_span_set(),
         ),
         (Factor::BgpReceiverApp, bgp_receiver),
-        (
-            Factor::TcpAdvertisedWindow,
-            series.large_adv_bnd_out().union(
-                &series
-                    .adv_bnd_out
-                    .to_span_set()
-                    .difference(&series.small_adv_bnd_out()),
-            ),
-        ),
+        (Factor::TcpAdvertisedWindow, tcp_adv),
         (
             Factor::ReceiverLocalLoss,
             series.recv_local_loss.to_span_set(),
@@ -233,27 +265,46 @@ pub fn factor_spans(series: &SeriesSet) -> FactorSpans {
 }
 
 /// Computes the delay vector for `series` over its analysis period.
-pub fn delay_vector(series: &SeriesSet, _config: &AnalyzerConfig) -> DelayVector {
+pub fn delay_vector(series: &SeriesSet, config: &AnalyzerConfig) -> DelayVector {
+    let mut scratch = SpanScratch::new();
+    delay_vector_with(series, config, &mut scratch)
+}
+
+/// [`delay_vector`] with a caller-provided scratch pool; the group
+/// unions run through pooled buffers instead of allocating per member.
+pub fn delay_vector_with(
+    series: &SeriesSet,
+    _config: &AnalyzerConfig,
+    scratch: &mut SpanScratch,
+) -> DelayVector {
     let period = series.period;
-    let spans = factor_spans(series);
+    let spans = factor_spans_with(series, scratch);
     let mut factors = [(Factor::BgpSenderApp, 0.0); 8];
     for (i, (factor, set)) in spans.spans.iter().enumerate() {
         factors[i] = (*factor, set.ratio(period));
     }
-    let group_union = |group: FactorGroup| -> f64 {
-        let mut union = SpanSet::new();
+    let mut group_union = |group: FactorGroup| -> f64 {
+        let mut union = scratch.take();
+        let mut out = scratch.take();
         for (factor, set) in &spans.spans {
             if factor.group() == group {
-                union = union.union(set);
+                union.union_into(set, &mut out);
+                std::mem::swap(&mut union, &mut out);
             }
         }
-        union.ratio(period)
+        let ratio = union.ratio(period);
+        scratch.put(union);
+        scratch.put(out);
+        ratio
     };
+    let sender = group_union(FactorGroup::Sender);
+    let receiver = group_union(FactorGroup::Receiver);
+    let network = group_union(FactorGroup::Network);
     DelayVector {
         factors,
-        sender: group_union(FactorGroup::Sender),
-        receiver: group_union(FactorGroup::Receiver),
-        network: group_union(FactorGroup::Network),
+        sender,
+        receiver,
+        network,
     }
 }
 

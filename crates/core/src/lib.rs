@@ -97,9 +97,12 @@ pub use detect::{
     DelayedAckInteraction, InferredTimer, PeerGroupBlocking, ZeroAckBug,
 };
 pub use error::{Error, Result};
-pub use factors::{delay_vector, factor_spans, DelayVector, Factor, FactorGroup, FactorSpans};
+pub use factors::{
+    delay_vector, delay_vector_with, factor_spans, factor_spans_with, DelayVector, Factor,
+    FactorGroup, FactorSpans,
+};
 pub use quarantine::{QuarantineConfig, Verdict};
 pub use report::Report;
-pub use series::{generate_series, SeriesSet};
+pub use series::{generate_series, generate_series_with, SeriesSet};
 pub use stream::{BgpDemux, LossyRunReport, StreamAnalyzer, StreamOptions};
 pub use tdat_trace::TrackerConfig;

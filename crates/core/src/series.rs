@@ -11,7 +11,7 @@
 //! can be cross-referenced back to the packets.
 
 use tdat_packet::seq_diff;
-use tdat_timeset::{EventSeries, Micros, Span, SpanSet};
+use tdat_timeset::{EventSeries, Micros, Span, SpanScratch, SpanSet};
 use tdat_trace::{group_flights, Direction, SegLabel, Segment};
 
 use crate::config::{AnalyzerConfig, SnifferLocation};
@@ -157,6 +157,33 @@ pub fn generate_series(
     rtt: Option<Micros>,
     config: &AnalyzerConfig,
 ) -> SeriesSet {
+    let mut scratch = SpanScratch::new();
+    generate_series_with(
+        trace,
+        labels,
+        period,
+        mss,
+        max_adv_window,
+        rtt,
+        config,
+        &mut scratch,
+    )
+}
+
+/// [`generate_series`] with a caller-provided scratch pool, so the
+/// intermediate span sets of the Operation rules reuse buffers instead
+/// of allocating per series op.
+#[allow(clippy::too_many_arguments)]
+pub fn generate_series_with(
+    trace: &ShiftedTrace,
+    labels: &[SegLabel],
+    period: Span,
+    mss: u32,
+    max_adv_window: u32,
+    rtt: Option<Micros>,
+    config: &AnalyzerConfig,
+    scratch: &mut SpanScratch,
+) -> SeriesSet {
     let mut set = SeriesSet {
         period,
         mss,
@@ -174,8 +201,19 @@ pub fn generate_series(
 
     extraction(&mut set, trace, labels, &data, &acks, rtt, config);
     interpretation(&mut set, config);
-    operation(&mut set, &data, &acks, rtt, config);
+    operation(&mut set, &data, &acks, rtt, config, scratch);
     set
+}
+
+/// Flattens `series` and unions it into `acc` using pooled buffers.
+fn union_series_into(acc: &mut SpanSet, series: &EventSeries<u32>, scratch: &mut SpanScratch) {
+    let mut flat = scratch.take();
+    series.span_set_into(&mut flat);
+    let mut out = scratch.take();
+    acc.union_into(&flat, &mut out);
+    std::mem::swap(acc, &mut out);
+    scratch.put(flat);
+    scratch.put(out);
 }
 
 // ----------------------------------------------------------------------
@@ -198,9 +236,8 @@ fn extraction(
 
     // Transmission: data flights.
     set.transmission = EventSeries::new("Transmission");
-    let owned: Vec<Segment> = data.iter().map(|s| (*s).clone()).collect();
-    for flight in group_flights(&owned, flight_gap) {
-        let bytes: u32 = flight.members.iter().map(|&i| owned[i].payload_len).sum();
+    for flight in group_flights(data, flight_gap) {
+        let bytes: u32 = flight.members.iter().map(|&i| data[i].payload_len).sum();
         // Give an instantaneous burst a minimal width of one
         // microsecond so it is visible to the set algebra.
         let end = flight.end.max(flight.start + Micros(1));
@@ -343,6 +380,7 @@ fn operation(
     acks: &[&Segment],
     rtt: Option<Micros>,
     config: &AnalyzerConfig,
+    scratch: &mut SpanScratch,
 ) {
     let mss = set.mss.max(1);
     let small = (config.small_window_mss * mss as f64) as u32;
@@ -371,33 +409,37 @@ fn operation(
     };
     {
         // Times at which outstanding hit zero = ends of outstanding
-        // events; next data transmission after each.
-        let outstanding_set = set.outstanding.to_span_set();
-        for (i, span) in outstanding_set.iter().enumerate() {
+        // events; next data transmission after each. Outstanding spans
+        // end in strictly increasing order, so the data and ack lookups
+        // are monotone cursors rather than per-span scans from the
+        // front.
+        let mut outstanding_set = scratch.take();
+        set.outstanding.span_set_into(&mut outstanding_set);
+        let mut di = 0usize;
+        let mut ai = 0usize;
+        let mut last_window: Option<u32> = None;
+        for span in outstanding_set.iter() {
             // Find the next data segment after this outstanding period.
-            let next_data = data.iter().find(|s| s.time > span.end).map(|s| s.time);
-            let gap_end = match next_data {
-                Some(t) => t,
-                None => {
-                    let _ = i;
-                    break;
-                }
-            };
+            while di < data.len() && data[di].time <= span.end {
+                di += 1;
+            }
+            let Some(next) = data.get(di) else { break };
+            let gap_end = next.time;
+            // Window at the gap: last ACK at or before the gap start.
+            while ai < acks.len() && acks[ai].time <= span.end {
+                last_window = Some(acks[ai].window);
+                ai += 1;
+            }
             if gap_end - span.end < idle_threshold {
                 continue;
             }
-            // Window at the gap: last ACK at or before the gap start.
-            let window = acks
-                .iter()
-                .take_while(|a| a.time <= span.end)
-                .last()
-                .map(|a| a.window)
-                .unwrap_or(set.max_adv_window);
+            let window = last_window.unwrap_or(set.max_adv_window);
             if window == 0 {
                 continue; // that is flow control, not the application
             }
             set.send_app_limited.push(Span::new(span.end, gap_end), 0);
         }
+        scratch.put(outstanding_set);
     }
 
     // Advertised-window-bounded outstanding, as a continuous check:
@@ -488,33 +530,44 @@ fn operation(
         Some(rtt) if rtt > Micros::ZERO => (rtt / 2).max(Micros::from_millis(1)),
         _ => config.fallback_flight_gap,
     };
-    let owned: Vec<Segment> = data.iter().map(|s| (*s).clone()).collect();
-    let flights = group_flights(&owned, flight_gap);
-    let adv_bound_set = set.adv_bnd_out.to_span_set();
+    let flights = group_flights(data, flight_gap);
+    let mut adv_bound_set = scratch.take();
+    set.adv_bnd_out.span_set_into(&mut adv_bound_set);
+    // Flights end in strictly increasing order, so the "last ACK at or
+    // before the flight end" lookup is a monotone cursor, and the
+    // forward scans for the covering ACK start at the cursor instead of
+    // re-walking the whole ack stream per flight.
+    let mut ai = 0usize;
+    let mut cursor_ack: Option<&Segment> = None;
     for (k, flight) in flights.iter().enumerate() {
-        let mut members = flight.members.iter().map(|&i| owned[i].seq_end);
+        let mut members = flight.members.iter().map(|&i| data[i].seq_end);
         let first = members.next().expect("flights are nonempty");
         let flight_top = members.fold(first, |acc, s| if seq_diff(s, acc) > 0 { s } else { acc });
-        let last_ack = acks.iter().take_while(|a| a.time <= flight.end).last();
-        let Some(last_ack) = last_ack else { continue };
+        while ai < acks.len() && acks[ai].time <= flight.end {
+            cursor_ack = Some(acks[ai]);
+            ai += 1;
+        }
+        let Some(last_ack) = cursor_ack else { continue };
         let ack_level = last_ack.ack;
         let out = seq_diff(flight_top, ack_level).max(0);
         if out == 0 || adv_bound_set.contains(flight.end) {
             continue;
         }
-        // When does an ACK cover this flight?
-        let covered_at = acks
+        // When does an ACK cover this flight? Every ack before the
+        // cursor is at or before the flight end, so the scan starts
+        // there.
+        let covered_at = acks[ai..]
             .iter()
-            .find(|a| a.time > flight.end && seq_diff(a.ack, flight_top) >= 0)
+            .find(|a| seq_diff(a.ack, flight_top) >= 0)
             .map(|a| a.time);
         let span_end = covered_at.unwrap_or(set.period.end);
         let span = Span::new(flight.start, span_end);
         // Congestion-window bound: the next flight left immediately
         // after this flight's ACKs arrived.
         if let (Some(next), Some(cov)) = (flights.get(k + 1), covered_at) {
-            let first_ack_after = acks
+            let first_ack_after = acks[ai..]
                 .iter()
-                .find(|a| a.time > flight.end && seq_diff(a.ack, ack_level) > 0)
+                .find(|a| seq_diff(a.ack, ack_level) > 0)
                 .map(|a| a.time)
                 .unwrap_or(cov);
             if next.start >= first_ack_after
@@ -524,6 +577,7 @@ fn operation(
             }
         }
     }
+    scratch.put(adv_bound_set);
 
     // Bandwidth-limited: long continuous transmission not explained by
     // windows or losses.
@@ -533,17 +587,25 @@ fn operation(
         _ => Micros::from_millis(1),
     };
     let min_len = rtt.unwrap_or(Micros::from_millis(10)) * 2;
-    let continuous = group_flights(&owned, bw_gap);
-    let explained = set
-        .adv_bnd_out
-        .to_span_set()
-        .union(&set.cwd_bnd_out.to_span_set())
-        .union(&set.all_loss())
-        .union(&set.send_app_limited.to_span_set());
+    let continuous = group_flights(data, bw_gap);
+    // `explained` = AdvBndOut ∪ CwdBndOut ∪ AllLoss ∪ SendAppLimited,
+    // built by repeated union into pooled buffers (union is associative
+    // and SpanSets are normalized, so the grouping doesn't matter).
+    let mut explained = scratch.take();
+    set.adv_bnd_out.span_set_into(&mut explained);
+    union_series_into(&mut explained, &set.cwd_bnd_out, scratch);
+    union_series_into(&mut explained, &set.upstream_loss, scratch);
+    union_series_into(&mut explained, &set.downstream_loss, scratch);
+    union_series_into(&mut explained, &set.spurious_retx, scratch);
+    union_series_into(&mut explained, &set.send_app_limited, scratch);
+    let mut single = scratch.take();
+    let mut unexplained = scratch.take();
     for burst in continuous {
         let span = Span::new(burst.start, burst.end);
         if span.duration() >= min_len {
-            let unexplained = SpanSet::from_span(span).difference(&explained);
+            single.clear();
+            single.insert(span);
+            single.difference_into(&explained, &mut unexplained);
             for s in unexplained.iter() {
                 if s.duration() >= min_len {
                     set.bandwidth_limited.push(*s, 0);
@@ -551,6 +613,9 @@ fn operation(
             }
         }
     }
+    scratch.put(single);
+    scratch.put(unexplained);
+    scratch.put(explained);
 }
 
 #[cfg(test)]

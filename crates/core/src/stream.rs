@@ -2,12 +2,13 @@
 //! with parallel analysis workers.
 //!
 //! [`StreamAnalyzer`] is the primary entry point of the crate. It
-//! consumes [`TcpFrame`]s one at a time (for example from
-//! [`PcapReader::into_frames`](tdat_packet::PcapReader::into_frames)),
-//! demultiplexes them into per-connection state with a
-//! [`ConnectionTracker`], feeds payload bytes straight into incremental
-//! BGP reassembly ([`tdat_pcap2bgp::StreamExtractor`]), and hands each
-//! finalized connection to a pool of worker threads running the
+//! consumes frames one at a time — zero-copy [`FrameView`](tdat_packet::FrameView)s borrowed
+//! from a [`PcapReader`]'s internal record buffer on the pcap paths, or
+//! owned [`TcpFrame`]s from any iterator — demultiplexes them into
+//! per-connection state with a [`ConnectionTracker`], feeds payload
+//! bytes straight into incremental BGP reassembly
+//! ([`tdat_pcap2bgp::StreamExtractor`]), and hands each finalized
+//! connection to a pool of worker threads running the
 //! series/factor/detector pipeline. [`Analysis`] results are delivered
 //! to a callback (or collected) in the deterministic order connections
 //! were finalized.
@@ -22,7 +23,7 @@ use std::path::Path;
 use std::sync::mpsc;
 use std::sync::{Arc, Mutex};
 
-use tdat_packet::{AnomalyCounts, LossyFrame, LossyReader, PcapReader, TcpFrame};
+use tdat_packet::{AnomalyCounts, FrameLike, LossyFrameView, LossyReader, PcapReader, TcpFrame};
 use tdat_pcap2bgp::{Extraction, StreamExtractor};
 use tdat_trace::{ConnKey, ConnectionTracker, Endpoint, TrackerConfig};
 
@@ -34,10 +35,41 @@ use crate::error::{Error, Result};
 #[derive(Debug, Clone, Default)]
 pub struct StreamOptions {
     /// Analysis worker threads; `0` picks the machine's available
-    /// parallelism.
+    /// parallelism. Explicit counts are capped at the available
+    /// parallelism — oversubscribing analysis workers only adds
+    /// scheduling overhead.
     pub workers: usize,
     /// When connections are finalized (close/idle policy).
     pub tracker: TrackerConfig,
+}
+
+/// A pull source of frames for the streaming drivers: either borrowed
+/// [`FrameView`](tdat_packet::FrameView)s decoded in place against a reader's record buffer, or
+/// owned [`TcpFrame`]s from an iterator. The drivers only need the
+/// [`FrameLike`] accessors, so both run through the same code with the
+/// zero-copy path never materializing a frame.
+trait FrameSource {
+    /// The next frame, `Ok(None)` at end of stream.
+    fn next_like(&mut self) -> tdat_packet::Result<Option<impl FrameLike + '_>>;
+}
+
+/// Zero-copy source: frames are decoded against the reader's reusable
+/// record buffer and borrowed per call.
+struct ReaderSource<R: std::io::Read>(PcapReader<R>);
+
+impl<R: std::io::Read> FrameSource for ReaderSource<R> {
+    fn next_like(&mut self) -> tdat_packet::Result<Option<impl FrameLike + '_>> {
+        self.0.next_view()
+    }
+}
+
+/// Owned-frame source wrapping any fallible frame iterator.
+struct IterSource<I>(I);
+
+impl<I: Iterator<Item = tdat_packet::Result<TcpFrame>>> FrameSource for IterSource<I> {
+    fn next_like(&mut self) -> tdat_packet::Result<Option<impl FrameLike + '_>> {
+        self.0.next().transpose()
+    }
 }
 
 /// The streaming analysis engine: incremental per-connection frame
@@ -86,17 +118,20 @@ impl StreamAnalyzer {
     }
 
     fn effective_workers(&self) -> usize {
+        let hw = std::thread::available_parallelism()
+            .map(|n| n.get())
+            .unwrap_or(1);
         if self.options.workers > 0 {
-            self.options.workers
+            self.options.workers.min(hw)
         } else {
-            std::thread::available_parallelism()
-                .map(|n| n.get())
-                .unwrap_or(1)
+            hw
         }
     }
 
     /// Streams a pcap file, invoking `on_result` for each analyzed
-    /// connection in finalization order.
+    /// connection in finalization order. Frames are decoded zero-copy
+    /// against the reader's record buffer; nothing is materialized per
+    /// frame.
     ///
     /// # Errors
     ///
@@ -105,8 +140,12 @@ impl StreamAnalyzer {
     where
         F: FnMut(Analysis),
     {
-        let reader = PcapReader::open(path)?;
-        self.analyze_stream(reader.into_frames(), on_result)
+        let source = ReaderSource(PcapReader::open(path)?);
+        if self.effective_workers() <= 1 {
+            self.drive_inline(source, on_result)
+        } else {
+            self.drive_pooled(source, on_result)
+        }
     }
 
     /// Streams a pcap file, collecting the analyses in finalization
@@ -132,24 +171,24 @@ impl StreamAnalyzer {
         I: IntoIterator<Item = tdat_packet::Result<TcpFrame>>,
         F: FnMut(Analysis),
     {
+        let source = IterSource(frames.into_iter());
         if self.effective_workers() <= 1 {
-            self.analyze_stream_inline(frames, on_result)
+            self.drive_inline(source, on_result)
         } else {
-            self.analyze_stream_pooled(frames, on_result)
+            self.drive_pooled(source, on_result)
         }
     }
 
     /// Single-threaded driver: analyze each connection as it
     /// finalizes.
-    fn analyze_stream_inline<I, F>(&self, frames: I, mut on_result: F) -> Result<()>
+    fn drive_inline<S, F>(&self, mut source: S, mut on_result: F) -> Result<()>
     where
-        I: IntoIterator<Item = tdat_packet::Result<TcpFrame>>,
+        S: FrameSource,
         F: FnMut(Analysis),
     {
-        let mut tracker = ConnectionTracker::new(self.options.tracker.clone());
+        let mut tracker = ConnectionTracker::new(self.options.tracker);
         let mut demux = BgpDemux::default();
-        for frame in frames {
-            let frame = frame?;
+        while let Some(frame) = source.next_like()? {
             demux.feed(&frame);
             for fin in tracker.ingest(&frame) {
                 let extraction = demux.take(fin.key, fin.connection.sender);
@@ -166,9 +205,9 @@ impl StreamAnalyzer {
     /// Pooled driver: the calling thread demultiplexes and dispatches
     /// finalized connections to scoped workers, re-ordering results to
     /// dispatch order for deterministic delivery.
-    fn analyze_stream_pooled<I, F>(&self, frames: I, mut on_result: F) -> Result<()>
+    fn drive_pooled<S, F>(&self, mut source: S, mut on_result: F) -> Result<()>
     where
-        I: IntoIterator<Item = tdat_packet::Result<TcpFrame>>,
+        S: FrameSource,
         F: FnMut(Analysis),
     {
         let workers = self.effective_workers();
@@ -198,7 +237,7 @@ impl StreamAnalyzer {
             }
             drop(res_tx);
 
-            let mut tracker = ConnectionTracker::new(self.options.tracker.clone());
+            let mut tracker = ConnectionTracker::new(self.options.tracker);
             let mut demux = BgpDemux::default();
             let mut reorder = ReorderBuffer::default();
             let mut dispatched = 0usize;
@@ -211,8 +250,7 @@ impl StreamAnalyzer {
                     .send((seq, fin.connection, extraction))
                     .map_err(|_| Error::WorkerLost)
             };
-            for frame in frames {
-                let frame = frame?;
+            while let Some(frame) = source.next_like()? {
                 demux.feed(&frame);
                 for fin in tracker.ingest(&frame) {
                     dispatch(fin, &mut demux, dispatched)?;
@@ -310,7 +348,7 @@ impl StreamAnalyzer {
         R: std::io::Read,
         F: FnMut(Analysis),
     {
-        let mut tracker = ConnectionTracker::new(self.options.tracker.clone());
+        let mut tracker = ConnectionTracker::new(self.options.tracker);
         let mut demux = BgpDemux::default();
         let mut quality: HashMap<ConnKey, AnomalyCounts> = HashMap::new();
         let mut report = LossyRunReport::default();
@@ -321,7 +359,14 @@ impl StreamAnalyzer {
             }
             on_result(analysis);
         };
-        while let Some(lossy) = reader.next_lossy()? {
+        // Decode outcomes are borrowed views against the reader's
+        // record buffer; cross traffic is skipped here (the decoder has
+        // already counted it) and surviving frames are ingested without
+        // ever being materialized.
+        while let Some(lossy) = reader.next_lossy_view()? {
+            if lossy.is_cross_traffic() {
+                continue;
+            }
             if let Some(key) = connection_of(&lossy) {
                 let counts = quality.entry(key).or_default();
                 for anomaly in &lossy.anomalies {
@@ -358,7 +403,7 @@ impl StreamAnalyzer {
 
 /// The connection a lossy decode outcome is attributable to, if the
 /// frame survived or at least its addresses could be trusted.
-fn connection_of(lossy: &LossyFrame) -> Option<ConnKey> {
+fn connection_of(lossy: &LossyFrameView<'_>) -> Option<ConnKey> {
     if let Some(frame) = &lossy.frame {
         return Some(ConnKey::of(frame));
     }
@@ -393,8 +438,10 @@ impl BgpDemux {
     }
 
     /// Feeds one frame's payload into its connection's reassembly
-    /// (capture order).
-    pub fn feed(&mut self, frame: &TcpFrame) {
+    /// (capture order). Accepts borrowed [`FrameView`](tdat_packet::FrameView)s as well as
+    /// owned frames; the payload bytes are copied only if the stream's
+    /// reassembler retains them.
+    pub fn feed(&mut self, frame: &impl FrameLike) {
         let key = ConnKey::of(frame);
         let pair = self.streams.entry(key).or_default();
         let side = if frame.src() == key.a {
@@ -402,12 +449,8 @@ impl BgpDemux {
         } else {
             &mut pair.from_b
         };
-        side.push(
-            frame.timestamp,
-            frame.tcp.seq,
-            frame.tcp.flags,
-            &frame.payload,
-        );
+        let tcp = frame.tcp();
+        side.push(frame.timestamp(), tcp.seq, tcp.flags, frame.payload());
     }
 
     /// Removes the connection's streams and finishes the data-sender
@@ -466,8 +509,11 @@ mod tests {
 
     #[test]
     fn worker_count_auto_detects() {
+        let hw = std::thread::available_parallelism()
+            .map(|n| n.get())
+            .unwrap_or(1);
         let engine = StreamAnalyzer::new(AnalyzerConfig::default());
-        assert!(engine.effective_workers() >= 1);
+        assert_eq!(engine.effective_workers(), hw);
         let engine = StreamAnalyzer::with_options(
             AnalyzerConfig::default(),
             StreamOptions {
@@ -475,6 +521,10 @@ mod tests {
                 tracker: TrackerConfig::default(),
             },
         );
-        assert_eq!(engine.effective_workers(), 3);
+        assert_eq!(
+            engine.effective_workers(),
+            3.min(hw),
+            "explicit counts are capped at available parallelism"
+        );
     }
 }

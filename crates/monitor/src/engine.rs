@@ -6,9 +6,12 @@
 //! * frames from any [`PacketSource`] feed a
 //!   [`ConnectionTracker`] (per-connection state) and a [`BgpDemux`]
 //!   (incremental BGP reassembly for both directions);
-//! * every `interval` of *trace* time it snapshots the open
-//!   connections and runs the full analysis pipeline over a trailing
-//!   `window` via [`Analyzer::analyze_partial`];
+//! * every `interval` of *trace* time it re-analyzes the connections
+//!   that saw traffic (or new capture damage) since their last
+//!   analysis over a trailing `window` via
+//!   [`Analyzer::analyze_partial`], reusing cached analyses for idle
+//!   connections — steady-state tick cost follows new traffic, not the
+//!   open-connection count;
 //! * the detector outcomes become [`Condition`]s fed to an
 //!   [`AlertEngine`], whose raise/clear transitions — plus a final
 //!   report for every connection that closes — surface as
@@ -17,7 +20,7 @@
 //!   given input always produces byte-identical output; wall-clock
 //!   readings go to [`MonitorMetrics`] instead.
 
-use std::collections::HashMap;
+use std::collections::{HashMap, HashSet};
 use std::time::Instant;
 
 use tdat::{
@@ -54,6 +57,13 @@ pub struct MonitorConfig {
     pub alerts: AlertConfig,
     /// When per-connection capture damage tips into quarantine.
     pub quarantine: QuarantineConfig,
+    /// Validation mode: re-analyze *every* open connection at each tick
+    /// instead of only the dirty ones. Results are identical to the
+    /// incremental default by construction (each connection is analyzed
+    /// at its last-dirty anchor either way); the flag exists so
+    /// differential tests can prove that, at the cost of tick time
+    /// proportional to the open-connection count.
+    pub recompute_all: bool,
 }
 
 impl Default for MonitorConfig {
@@ -69,6 +79,7 @@ impl Default for MonitorConfig {
             },
             alerts: AlertConfig::default(),
             quarantine: QuarantineConfig::default(),
+            recompute_all: false,
         }
     }
 }
@@ -147,6 +158,90 @@ fn session_id(analysis: &Analysis) -> String {
     )
 }
 
+/// One connection's cached tick analysis.
+#[derive(Debug)]
+struct CachedAnalysis {
+    /// The tracker's insertion ordinal — deterministic iteration order
+    /// for condition evaluation regardless of hash-map layout.
+    ordinal: u64,
+    /// The tick time this analysis was computed at (the connection's
+    /// last-dirty tick); its window is `[anchor - window, anchor]`.
+    anchor: Micros,
+    /// The session id, formatted once per refresh instead of per tick.
+    session: String,
+    /// Conditions derived purely from the analysis (timer gaps, loss
+    /// episodes, zero-window bug, quarantine). Computed at refresh
+    /// time: a clean connection contributes *zero* detector work to
+    /// subsequent ticks. Stall and peer-group-blocking conditions
+    /// depend on the current tick time or on other connections, so
+    /// they stay in the per-tick sweep.
+    conditions: Vec<Condition>,
+    analysis: Analysis,
+}
+
+/// Evaluates the detectors whose outcome depends only on the analysis
+/// itself, producing the cacheable subset of a connection's alert
+/// conditions.
+fn analysis_conditions(
+    analysis: &Analysis,
+    session: &str,
+    timer_min_gaps: usize,
+    config: &tdat::AnalyzerConfig,
+) -> Vec<Condition> {
+    let mut conditions = Vec::new();
+    // A quarantined connection's detector outcomes are built on
+    // untrustworthy evidence: surface only the capture-quality alert.
+    if let Some(reason) = analysis.verdict.reason() {
+        conditions.push(Condition {
+            session: session.to_string(),
+            kind: AlertKind::CaptureQuality,
+            evidence: analysis.period,
+            detail: format!("connection quarantined: {reason}"),
+        });
+        return conditions;
+    }
+    if let Some(timer) = analysis.infer_timer(timer_min_gaps) {
+        conditions.push(Condition {
+            session: session.to_string(),
+            kind: AlertKind::TimerGap,
+            evidence: analysis.period,
+            detail: format!(
+                "pacing timer ~{:.1} ms over {} gaps",
+                timer.period.as_millis_f64(),
+                timer.gap_count
+            ),
+        });
+    }
+    let episodes = analysis.consecutive_losses(config);
+    if let Some(worst) = episodes.iter().max_by_key(|e| e.retransmissions) {
+        let evidence = episodes
+            .iter()
+            .fold(worst.span, |hull, e| hull.hull(e.span));
+        conditions.push(Condition {
+            session: session.to_string(),
+            kind: AlertKind::ConsecutiveRetransmissions,
+            evidence,
+            detail: format!(
+                "{} episode(s), worst {} retransmissions",
+                episodes.len(),
+                worst.retransmissions
+            ),
+        });
+    }
+    if let Some(bug) = analysis.zero_ack_bug() {
+        conditions.push(Condition {
+            session: session.to_string(),
+            kind: AlertKind::ZeroWindowBug,
+            evidence: bug.spans.hull().unwrap_or(analysis.period),
+            detail: format!(
+                "zero-window and upstream-loss series conflict for {:.1} s",
+                bug.spans.size().as_secs_f64()
+            ),
+        });
+    }
+    conditions
+}
+
 /// The long-running monitoring engine; see the module docs.
 #[derive(Debug)]
 pub struct Monitor {
@@ -168,8 +263,15 @@ pub struct Monitor {
     /// Capture anomalies attributed to each open connection; consumed
     /// by the quarantine verdict at every tick and at finalization.
     quality: HashMap<ConnKey, AnomalyCounts>,
+    /// Connections whose `quality` entry changed since their last
+    /// analysis — they must be re-analyzed even without new traffic.
+    quality_dirty: HashSet<ConnKey>,
     /// Capture damage the source could not tie to any connection.
     unattributed: AnomalyCounts,
+    /// Cached per-connection analyses from previous ticks; entries are
+    /// refreshed only when their connection is dirty.
+    cache: HashMap<ConnKey, CachedAnalysis>,
+    recompute_all: bool,
     events: Vec<MonitorEvent>,
 }
 
@@ -178,7 +280,7 @@ impl Monitor {
     pub fn new(config: MonitorConfig) -> Monitor {
         Monitor {
             analyzer: Analyzer::new(config.analyzer).with_quarantine(config.quarantine),
-            tracker: ConnectionTracker::new(config.tracker.clone()),
+            tracker: ConnectionTracker::new(config.tracker),
             tracker_config: config.tracker,
             demux: BgpDemux::new(),
             alerts: AlertEngine::new(config.alerts),
@@ -189,7 +291,10 @@ impl Monitor {
             next_tick: None,
             progress: HashMap::new(),
             quality: HashMap::new(),
+            quality_dirty: HashSet::new(),
             unattributed: AnomalyCounts::default(),
+            cache: HashMap::new(),
+            recompute_all: config.recompute_all,
             events: Vec::new(),
         }
     }
@@ -245,7 +350,13 @@ impl Monitor {
     pub fn note_anomaly(&mut self, anomaly: AttributedAnomaly) {
         self.metrics.record_anomaly();
         match anomaly.key {
-            Some(key) => self.quality.entry(key).or_default().note(&anomaly.anomaly),
+            Some(key) => {
+                self.quality.entry(key).or_default().note(&anomaly.anomaly);
+                // New damage changes the quarantine verdict; the
+                // connection must be re-analyzed at the next tick even
+                // if it saw no traffic.
+                self.quality_dirty.insert(key);
+            }
             None => self.unattributed.note(&anomaly.anomaly),
         }
     }
@@ -260,13 +371,37 @@ impl Monitor {
         std::mem::take(&mut self.events)
     }
 
+    /// The per-connection analyses as of the last tick, rendered as
+    /// `(session, report JSON)` in tracker-insertion order — a
+    /// point-in-time view of the monitor's working state, used by the
+    /// differential tests proving incremental ticks equal full
+    /// recomputation.
+    pub fn snapshot_reports(&self) -> Vec<(String, String)> {
+        let mut entries: Vec<(u64, String, String)> = self
+            .cache
+            .values()
+            .map(|cached| {
+                (
+                    cached.ordinal,
+                    cached.session.clone(),
+                    Report::from_analysis(&cached.analysis, self.analyzer.config()).to_json(),
+                )
+            })
+            .collect();
+        entries.sort_unstable_by_key(|(ordinal, _, _)| *ordinal);
+        entries
+            .into_iter()
+            .map(|(_, session, report)| (session, report))
+            .collect()
+    }
+
     /// Ends the watch: finalizes every still-open connection (emitting
     /// its report and clearing its alerts). The monitor is reusable
     /// afterwards, fresh.
     pub fn finish(&mut self) {
         let tracker = std::mem::replace(
             &mut self.tracker,
-            ConnectionTracker::new(self.tracker_config.clone()),
+            ConnectionTracker::new(self.tracker_config),
         );
         for fin in tracker.finish() {
             self.finalize(fin);
@@ -308,91 +443,118 @@ impl Monitor {
         Ok(self.drain_events())
     }
 
-    /// One analysis tick at trace time `at`: snapshot open connections,
-    /// analyze the trailing window, evaluate detectors, update alerts.
+    /// One analysis tick at trace time `at`: re-analyze the *dirty*
+    /// connections (new traffic or new capture damage since their last
+    /// analysis), reuse cached analyses for the rest, evaluate
+    /// detectors over the full cache, update alerts.
+    ///
+    /// Each connection's analysis window is anchored at its last-dirty
+    /// tick (`[anchor - window, anchor]`), so a cached entry is exactly
+    /// what re-analysis would produce — steady-state tick cost scales
+    /// with new traffic, not with the open-connection count.
     fn tick(&mut self, at: Micros) {
         let started = Instant::now();
-        let window = Span::new(at.saturating_sub(self.window), at);
-        let snapshots = self.tracker.snapshot();
-        let open = snapshots.len();
 
-        let mut keys = Vec::with_capacity(open);
-        let mut analyses = Vec::with_capacity(open);
-        for fin in snapshots {
-            let extraction = self.demux.snapshot(fin.key, fin.connection.sender);
-            let counts = self.quality.get(&fin.key).copied().unwrap_or_default();
-            keys.push(fin.key);
-            analyses.push(self.analyzer.analyze_partial_lossy(
-                fin.connection,
-                &extraction,
-                window,
-                counts,
-            ));
+        // Dirty set: tracker-dirty (saw frames) plus quality-dirty
+        // (new capture damage), deduplicated, still-open only. This is
+        // computed identically in incremental and recompute-all modes
+        // so both assign the same anchors.
+        let mut dirty = self.tracker.take_dirty();
+        if !self.quality_dirty.is_empty() {
+            let seen: HashSet<ConnKey> = dirty.iter().copied().collect();
+            let mut extra: Vec<(u64, ConnKey)> = Vec::new();
+            for key in self.quality_dirty.drain() {
+                if seen.contains(&key) {
+                    continue;
+                }
+                // A key the tracker does not know (damage attributed to
+                // a connection that never produced a decodable frame,
+                // or one that already finalized) has nothing to
+                // analyze.
+                if let Some(ordinal) = self.tracker.ordinal_of(key) {
+                    extra.push((ordinal, key));
+                }
+            }
+            extra.sort_unstable();
+            dirty.extend(extra.into_iter().map(|(_, key)| key));
         }
 
-        let mut conditions = Vec::new();
-        let cfg = self.alerts.config().clone();
-        for (key, analysis) in keys.iter().zip(&analyses) {
-            let session = session_id(analysis);
-            // A quarantined connection's detector outcomes are built on
-            // untrustworthy evidence: surface only the capture-quality
-            // alert for it.
-            if let Some(reason) = analysis.verdict.reason() {
-                conditions.push(Condition {
+        let work: Vec<(ConnKey, Micros)> = if self.recompute_all {
+            let dirty_set: HashSet<ConnKey> = dirty.iter().copied().collect();
+            self.tracker
+                .open_keys()
+                .into_iter()
+                .map(|key| {
+                    let anchor = if dirty_set.contains(&key) {
+                        at
+                    } else {
+                        self.cache.get(&key).map(|c| c.anchor).unwrap_or(at)
+                    };
+                    (key, anchor)
+                })
+                .collect()
+        } else {
+            dirty.into_iter().map(|key| (key, at)).collect()
+        };
+
+        let timer_min_gaps = self.alerts.config().timer_min_gaps;
+        for (key, anchor) in work {
+            let (Some(fin), Some(ordinal)) =
+                (self.tracker.snapshot_of(key), self.tracker.ordinal_of(key))
+            else {
+                continue;
+            };
+            let window = Span::new(anchor.saturating_sub(self.window), anchor);
+            let extraction = self.demux.snapshot(key, fin.connection.sender);
+            let counts = self.quality.get(&key).copied().unwrap_or_default();
+            let analysis =
+                self.analyzer
+                    .analyze_partial_lossy(fin.connection, &extraction, window, counts);
+            let session = session_id(&analysis);
+            let conditions =
+                analysis_conditions(&analysis, &session, timer_min_gaps, self.analyzer.config());
+            self.cache.insert(
+                key,
+                CachedAnalysis {
+                    ordinal,
+                    anchor,
                     session,
-                    kind: AlertKind::CaptureQuality,
-                    evidence: analysis.period,
-                    detail: format!("connection quarantined: {reason}"),
-                });
+                    conditions,
+                    analysis,
+                },
+            );
+        }
+
+        // Condition evaluation runs over the whole cache (cheap: no
+        // re-analysis), in tracker-insertion order for determinism.
+        let mut entries: Vec<(&ConnKey, &CachedAnalysis)> = self.cache.iter().collect();
+        entries.sort_unstable_by_key(|(_, cached)| cached.ordinal);
+        let open = entries.len();
+
+        let mut conditions = Vec::new();
+        let cfg = self.alerts.config();
+        let (stall_after, min_pause) = (cfg.stall_after, cfg.min_pause);
+        for (key, cached) in &entries {
+            let analysis = &cached.analysis;
+            // Analysis-derived conditions were evaluated once at the
+            // entry's last refresh; a clean, idle connection costs
+            // nothing here beyond the stall watermark check below.
+            conditions.extend(cached.conditions.iter().cloned());
+            // Stall detection: trace-time watermark on data progress.
+            // Independent of analysis caching — an idle connection's
+            // byte count cannot have changed, and the comparison runs
+            // against the *current* tick time. Quarantined connections
+            // only surface the capture-quality condition.
+            if analysis.verdict.is_quarantined() {
                 continue;
             }
-            if let Some(timer) = analysis.infer_timer(cfg.timer_min_gaps) {
-                conditions.push(Condition {
-                    session: session.clone(),
-                    kind: AlertKind::TimerGap,
-                    evidence: analysis.period,
-                    detail: format!(
-                        "pacing timer ~{:.1} ms over {} gaps",
-                        timer.period.as_millis_f64(),
-                        timer.gap_count
-                    ),
-                });
-            }
-            let episodes = analysis.consecutive_losses(self.analyzer.config());
-            if let Some(worst) = episodes.iter().max_by_key(|e| e.retransmissions) {
-                let evidence = episodes
-                    .iter()
-                    .fold(worst.span, |hull, e| hull.hull(e.span));
-                conditions.push(Condition {
-                    session: session.clone(),
-                    kind: AlertKind::ConsecutiveRetransmissions,
-                    evidence,
-                    detail: format!(
-                        "{} episode(s), worst {} retransmissions",
-                        episodes.len(),
-                        worst.retransmissions
-                    ),
-                });
-            }
-            if let Some(bug) = analysis.zero_ack_bug() {
-                conditions.push(Condition {
-                    session: session.clone(),
-                    kind: AlertKind::ZeroWindowBug,
-                    evidence: bug.spans.hull().unwrap_or(analysis.period),
-                    detail: format!(
-                        "zero-window and upstream-loss series conflict for {:.1} s",
-                        bug.spans.size().as_secs_f64()
-                    ),
-                });
-            }
-            // Stall detection: trace-time watermark on data progress.
             let bytes = analysis.profile.data_bytes;
-            let mark = self.progress.entry(*key).or_insert((bytes, at));
+            let mark = self.progress.entry(**key).or_insert((bytes, at));
             if bytes > mark.0 {
                 *mark = (bytes, at);
-            } else if bytes > 0 && at - mark.1 >= cfg.stall_after {
+            } else if bytes > 0 && at - mark.1 >= stall_after {
                 conditions.push(Condition {
-                    session,
+                    session: cached.session.clone(),
                     kind: AlertKind::StalledTransfer,
                     evidence: Span::new(mark.1, at),
                     detail: format!(
@@ -403,7 +565,8 @@ impl Monitor {
                 });
             }
         }
-        for (blocked, faulty, incidents) in find_peer_group_blocking_all(&analyses, cfg.min_pause) {
+        let analyses: Vec<&Analysis> = entries.iter().map(|(_, c)| &c.analysis).collect();
+        for (blocked, faulty, incidents) in find_peer_group_blocking_all(&analyses, min_pause) {
             if analyses[blocked].verdict.is_quarantined()
                 || analyses[faulty].verdict.is_quarantined()
             {
@@ -413,16 +576,17 @@ impl Monitor {
                 continue;
             };
             conditions.push(Condition {
-                session: session_id(&analyses[blocked]),
+                session: entries[blocked].1.session.clone(),
                 kind: AlertKind::PeerGroupBlocking,
                 evidence: last.pause,
                 detail: format!(
                     "paused behind faulty group member {} ({:.0} s overlap with its losses)",
-                    session_id(&analyses[faulty]),
+                    entries[faulty].1.session,
                     last.overlap.duration().as_secs_f64()
                 ),
             });
         }
+        drop(entries);
 
         for alert in self.alerts.observe(at, &conditions) {
             self.metrics.record_alert(&alert);
@@ -435,6 +599,8 @@ impl Monitor {
     /// and clear its alerts.
     fn finalize(&mut self, fin: FinalizedConnection) {
         self.progress.remove(&fin.key);
+        self.cache.remove(&fin.key);
+        self.quality_dirty.remove(&fin.key);
         let counts = self.quality.remove(&fin.key).unwrap_or_default();
         let extraction = self.demux.take(fin.key, fin.connection.sender);
         let analysis = self

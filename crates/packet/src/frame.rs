@@ -40,38 +40,7 @@ impl TcpFrame {
     /// `total_len` is shorter than the captured bytes are trimmed to
     /// `total_len` (trailing link padding is legal and common).
     pub fn parse(timestamp: Micros, wire: &[u8]) -> Result<TcpFrame> {
-        let mut buf = wire;
-        let eth = EthernetHeader::decode(&mut buf)?;
-        if eth.ethertype != ETHERTYPE_IPV4 {
-            return Err(crate::PacketError::Malformed {
-                what: "ethernet header",
-                detail: format!("ethertype {:#06x} is not ipv4", eth.ethertype),
-            });
-        }
-        let ip_start_len = buf.len();
-        let ip = Ipv4Header::decode(&mut buf)?;
-        if ip.protocol != IPPROTO_TCP {
-            return Err(crate::PacketError::Malformed {
-                what: "ipv4 header",
-                detail: format!("protocol {} is not tcp", ip.protocol),
-            });
-        }
-        let tcp_plus_payload = (ip.total_len as usize)
-            .saturating_sub(ip.header_len())
-            .min(buf.len());
-        let mut tcp_buf = &buf[..tcp_plus_payload];
-        let before = tcp_buf.len();
-        let tcp = TcpHeader::decode(&mut tcp_buf)?;
-        let consumed = before - tcp_buf.len();
-        let payload = buf[consumed..tcp_plus_payload].to_vec();
-        let _ = ip_start_len;
-        Ok(TcpFrame {
-            timestamp,
-            eth,
-            ip,
-            tcp,
-            payload,
-        })
+        FrameView::parse(timestamp, wire).map(|view| view.to_frame())
     }
 
     /// Encodes the frame to wire bytes, recomputing lengths and
@@ -130,6 +99,192 @@ impl TcpFrame {
                 .tcp
                 .flags
                 .intersects(TcpFlags::SYN | TcpFlags::FIN | TcpFlags::RST)
+    }
+}
+
+/// A borrowed, zero-copy view of a parsed TCP/IPv4 Ethernet frame.
+///
+/// Identical to [`TcpFrame`] except that the payload is a slice into
+/// the decode buffer instead of an owned `Vec<u8>`. This is what the
+/// hot path hands to the connection tracker and the BGP demultiplexer:
+/// per-frame facts are extracted and reassembly copies only the payload
+/// spans it actually retains, so steady-state decode performs zero heap
+/// allocations per frame. Use [`FrameView::to_frame`] when the frame
+/// must outlive the decode buffer.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct FrameView<'a> {
+    /// Capture timestamp relative to the trace epoch.
+    pub timestamp: Micros,
+    /// Link layer header.
+    pub eth: EthernetHeader,
+    /// Network layer header.
+    pub ip: Ipv4Header,
+    /// Transport layer header.
+    pub tcp: TcpHeader,
+    /// TCP payload bytes, borrowed from the decode buffer.
+    pub payload: &'a [u8],
+}
+
+impl<'a> FrameView<'a> {
+    /// Parses an Ethernet frame carrying TCP over IPv4 without copying
+    /// the payload. Same validation and trimming rules as
+    /// [`TcpFrame::parse`] (which delegates here).
+    ///
+    /// # Errors
+    ///
+    /// Fails for truncated input, a non-IPv4 EtherType, a non-TCP
+    /// protocol number, or malformed headers.
+    pub fn parse(timestamp: Micros, wire: &'a [u8]) -> Result<FrameView<'a>> {
+        let mut buf = wire;
+        let eth = EthernetHeader::decode(&mut buf)?;
+        if eth.ethertype != ETHERTYPE_IPV4 {
+            return Err(crate::PacketError::Malformed {
+                what: "ethernet header",
+                detail: format!("ethertype {:#06x} is not ipv4", eth.ethertype),
+            });
+        }
+        let ip = Ipv4Header::decode(&mut buf)?;
+        if ip.protocol != IPPROTO_TCP {
+            return Err(crate::PacketError::Malformed {
+                what: "ipv4 header",
+                detail: format!("protocol {} is not tcp", ip.protocol),
+            });
+        }
+        let tcp_plus_payload = (ip.total_len as usize)
+            .saturating_sub(ip.header_len())
+            .min(buf.len());
+        let mut tcp_buf = &buf[..tcp_plus_payload];
+        let before = tcp_buf.len();
+        let tcp = TcpHeader::decode(&mut tcp_buf)?;
+        let consumed = before - tcp_buf.len();
+        let payload = &buf[consumed..tcp_plus_payload];
+        Ok(FrameView {
+            timestamp,
+            eth,
+            ip,
+            tcp,
+            payload,
+        })
+    }
+
+    /// Copies the view into an owned [`TcpFrame`]. The result is
+    /// byte-identical to what [`TcpFrame::parse`] returns for the same
+    /// wire bytes.
+    pub fn to_frame(&self) -> TcpFrame {
+        TcpFrame {
+            timestamp: self.timestamp,
+            eth: self.eth,
+            ip: self.ip.clone(),
+            tcp: self.tcp.clone(),
+            payload: self.payload.to_vec(),
+        }
+    }
+}
+
+/// Read-only access to the frame fields shared by owned [`TcpFrame`]s
+/// and borrowed [`FrameView`]s.
+///
+/// Consumers on the hot path (connection tracking, BGP demultiplexing)
+/// are generic over this trait so the zero-copy decode loop and the
+/// batch `Vec<TcpFrame>` path go through the same code.
+pub trait FrameLike {
+    /// Capture timestamp relative to the trace epoch.
+    fn timestamp(&self) -> Micros;
+    /// Network layer header.
+    fn ip(&self) -> &Ipv4Header;
+    /// Transport layer header.
+    fn tcp(&self) -> &TcpHeader;
+    /// TCP payload bytes.
+    fn payload(&self) -> &[u8];
+
+    /// Source `(address, port)` endpoint.
+    fn src(&self) -> (Ipv4Addr, u16) {
+        (self.ip().src, self.tcp().src_port)
+    }
+
+    /// Destination `(address, port)` endpoint.
+    fn dst(&self) -> (Ipv4Addr, u16) {
+        (self.ip().dst, self.tcp().dst_port)
+    }
+
+    /// Number of TCP payload bytes.
+    fn payload_len(&self) -> usize {
+        self.payload().len()
+    }
+
+    /// The sequence number of the byte *after* this segment's payload,
+    /// counting SYN and FIN as one sequence unit each.
+    fn seq_end(&self) -> u32 {
+        let tcp = self.tcp();
+        let mut advance = self.payload().len() as u32;
+        if tcp.flags.contains(TcpFlags::SYN) {
+            advance = advance.wrapping_add(1);
+        }
+        if tcp.flags.contains(TcpFlags::FIN) {
+            advance = advance.wrapping_add(1);
+        }
+        tcp.seq.wrapping_add(advance)
+    }
+
+    /// True if the frame carries data (or SYN/FIN) that occupies
+    /// sequence space.
+    fn occupies_seq_space(&self) -> bool {
+        FrameLike::seq_end(self) != self.tcp().seq
+    }
+
+    /// True if this is a pure ACK: no payload, no SYN/FIN/RST.
+    fn is_pure_ack(&self) -> bool {
+        let tcp = self.tcp();
+        self.payload().is_empty()
+            && tcp.flags.contains(TcpFlags::ACK)
+            && !tcp
+                .flags
+                .intersects(TcpFlags::SYN | TcpFlags::FIN | TcpFlags::RST)
+    }
+}
+
+impl FrameLike for TcpFrame {
+    fn timestamp(&self) -> Micros {
+        self.timestamp
+    }
+    fn ip(&self) -> &Ipv4Header {
+        &self.ip
+    }
+    fn tcp(&self) -> &TcpHeader {
+        &self.tcp
+    }
+    fn payload(&self) -> &[u8] {
+        &self.payload
+    }
+}
+
+impl FrameLike for FrameView<'_> {
+    fn timestamp(&self) -> Micros {
+        self.timestamp
+    }
+    fn ip(&self) -> &Ipv4Header {
+        &self.ip
+    }
+    fn tcp(&self) -> &TcpHeader {
+        &self.tcp
+    }
+    fn payload(&self) -> &[u8] {
+        self.payload
+    }
+}
+
+impl<F: FrameLike + ?Sized> FrameLike for &F {
+    fn timestamp(&self) -> Micros {
+        (**self).timestamp()
+    }
+    fn ip(&self) -> &Ipv4Header {
+        (**self).ip()
+    }
+    fn tcp(&self) -> &TcpHeader {
+        (**self).tcp()
+    }
+    fn payload(&self) -> &[u8] {
+        (**self).payload()
     }
 }
 

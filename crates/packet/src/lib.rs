@@ -52,9 +52,12 @@ mod tcp;
 pub use error::{PacketError, Result};
 pub use eth::{EthernetHeader, MacAddr, ETHERNET_HEADER_LEN, ETHERTYPE_IPV4};
 pub use follow::PcapFollower;
-pub use frame::{FrameBuilder, TcpFrame};
+pub use frame::{FrameBuilder, FrameLike, FrameView, TcpFrame};
 pub use ipv4::{internet_checksum, Ipv4Header, IPPROTO_TCP, IPV4_HEADER_LEN};
-pub use lossy::{AnomalyCounts, CaptureAnomaly, LossyDecoder, LossyFrame, LossyParse, LossyReader};
+pub use lossy::{
+    AnomalyCounts, CaptureAnomaly, LossyDecoder, LossyFrame, LossyFrameView, LossyParse,
+    LossyParseView, LossyReader,
+};
 pub use pcap::{
     read_pcap_file, write_pcap_file, Frames, IntoFrames, PcapReader, PcapWriter, RawRecord,
     LINKTYPE_ETHERNET, MAGIC_MICROS, MAGIC_NANOS,

@@ -34,7 +34,7 @@ use std::path::Path;
 
 use crate::error::Result;
 use crate::eth::{EthernetHeader, ETHERTYPE_IPV4};
-use crate::frame::TcpFrame;
+use crate::frame::{FrameLike, FrameView, TcpFrame};
 use crate::ipv4::{internet_checksum, Ipv4Header, IPPROTO_TCP};
 use crate::pcap::{parse_global_header, Endianness, RawRecord, RecordHeader};
 use crate::tcp::{tcp_checksum, TcpHeader};
@@ -234,8 +234,29 @@ pub struct LossyFrame {
 }
 
 impl LossyFrame {
-    fn anomaly(anomaly: CaptureAnomaly) -> LossyFrame {
-        LossyFrame {
+    /// True when nothing was decoded and nothing was wrong: valid
+    /// cross traffic (non-IPv4 / non-TCP), already counted upstream.
+    pub fn is_cross_traffic(&self) -> bool {
+        self.frame.is_none() && self.anomalies.is_empty()
+    }
+}
+
+/// Zero-copy counterpart of [`LossyFrame`]: the decoded frame borrows
+/// the record buffer. Valid until the next read/decode call; use
+/// [`LossyFrameView::to_lossy_frame`] to keep it.
+#[derive(Debug, Clone, Default)]
+pub struct LossyFrameView<'a> {
+    /// The decoded frame view, when one could be recovered.
+    pub frame: Option<FrameView<'a>>,
+    /// Capture damage observed on this record.
+    pub anomalies: Vec<CaptureAnomaly>,
+    /// `(src, dst)` endpoints the damage belongs to, when identifiable.
+    pub endpoints: Option<((Ipv4Addr, u16), (Ipv4Addr, u16))>,
+}
+
+impl LossyFrameView<'_> {
+    fn anomaly(anomaly: CaptureAnomaly) -> LossyFrameView<'static> {
+        LossyFrameView {
             frame: None,
             anomalies: vec![anomaly],
             endpoints: None,
@@ -246,6 +267,15 @@ impl LossyFrame {
     /// cross traffic (non-IPv4 / non-TCP), already counted upstream.
     pub fn is_cross_traffic(&self) -> bool {
         self.frame.is_none() && self.anomalies.is_empty()
+    }
+
+    /// Copies the view into an owned [`LossyFrame`].
+    pub fn to_lossy_frame(&self) -> LossyFrame {
+        LossyFrame {
+            frame: self.frame.as_ref().map(FrameView::to_frame),
+            anomalies: self.anomalies.clone(),
+            endpoints: self.endpoints,
+        }
     }
 }
 
@@ -263,49 +293,77 @@ pub enum LossyParse {
     Damaged(CaptureAnomaly),
 }
 
+/// Result of [`FrameView::parse_lossy`]: [`LossyParse`] without the
+/// payload copy.
+#[derive(Debug, Clone)]
+pub enum LossyParseView<'a> {
+    /// A usable frame view; `Some` when payload-level damage (a failed
+    /// TCP checksum) was detected but the headers were trustworthy.
+    Frame(FrameView<'a>, Option<CaptureAnomaly>),
+    /// Structurally valid but not TCP over IPv4 — cross traffic, not
+    /// damage.
+    NonTcp,
+    /// Unrecoverable: a header was truncated, malformed, or failed its
+    /// checksum.
+    Damaged(CaptureAnomaly),
+}
+
 impl TcpFrame {
     /// Parses wire bytes tolerantly, classifying damage instead of
-    /// erroring.
+    /// erroring. Delegates to [`FrameView::parse_lossy`] and copies the
+    /// payload out.
+    pub fn parse_lossy(timestamp: Micros, wire: &[u8], clipped: bool) -> LossyParse {
+        match FrameView::parse_lossy(timestamp, wire, clipped) {
+            LossyParseView::Frame(view, damage) => LossyParse::Frame(view.to_frame(), damage),
+            LossyParseView::NonTcp => LossyParse::NonTcp,
+            LossyParseView::Damaged(anomaly) => LossyParse::Damaged(anomaly),
+        }
+    }
+}
+
+impl<'a> FrameView<'a> {
+    /// Parses wire bytes tolerantly without copying the payload,
+    /// classifying damage instead of erroring.
     ///
-    /// Unlike [`TcpFrame::parse`] this verifies the IPv4 header
+    /// Unlike [`FrameView::parse`] this verifies the IPv4 header
     /// checksum (so corrupted addresses cannot fabricate phantom
     /// connections) and, when the full segment was captured, the TCP
     /// checksum (so corrupted payload bytes are flagged rather than
     /// silently fed to the BGP parser). `clipped` marks a record whose
     /// captured bytes were cut by a snap length; the TCP checksum is
     /// then unverifiable and skipped.
-    pub fn parse_lossy(timestamp: Micros, wire: &[u8], clipped: bool) -> LossyParse {
+    pub fn parse_lossy(timestamp: Micros, wire: &'a [u8], clipped: bool) -> LossyParseView<'a> {
         let mut buf = wire;
         let eth = match EthernetHeader::decode(&mut buf) {
             Ok(eth) => eth,
             Err(e) => {
-                return LossyParse::Damaged(CaptureAnomaly::BadHeader {
+                return LossyParseView::Damaged(CaptureAnomaly::BadHeader {
                     layer: "ethernet",
                     detail: e.to_string(),
                 })
             }
         };
         if eth.ethertype != ETHERTYPE_IPV4 {
-            return LossyParse::NonTcp;
+            return LossyParseView::NonTcp;
         }
         let ip_bytes = buf;
         let ip = match Ipv4Header::decode(&mut buf) {
             Ok(ip) => ip,
             Err(e) => {
-                return LossyParse::Damaged(CaptureAnomaly::BadHeader {
+                return LossyParseView::Damaged(CaptureAnomaly::BadHeader {
                     layer: "ipv4",
                     detail: e.to_string(),
                 })
             }
         };
         if internet_checksum(&ip_bytes[..ip.header_len()]) != 0 {
-            return LossyParse::Damaged(CaptureAnomaly::BadHeader {
+            return LossyParseView::Damaged(CaptureAnomaly::BadHeader {
                 layer: "ipv4",
                 detail: "header checksum mismatch".to_string(),
             });
         }
         if ip.protocol != IPPROTO_TCP {
-            return LossyParse::NonTcp;
+            return LossyParseView::NonTcp;
         }
         let tcp_len = (ip.total_len as usize).saturating_sub(ip.header_len());
         let available = tcp_len.min(buf.len());
@@ -314,14 +372,14 @@ impl TcpFrame {
         let tcp = match TcpHeader::decode(&mut tcp_buf) {
             Ok(tcp) => tcp,
             Err(e) => {
-                return LossyParse::Damaged(CaptureAnomaly::BadHeader {
+                return LossyParseView::Damaged(CaptureAnomaly::BadHeader {
                     layer: "tcp",
                     detail: e.to_string(),
                 })
             }
         };
         let consumed = segment.len() - tcp_buf.len();
-        let payload = segment[consumed..].to_vec();
+        let payload = &segment[consumed..];
         // The TCP checksum covers header and payload; a mismatch on a
         // fully captured segment means the bytes were damaged after the
         // endpoint sent them. The frame structure is still usable, so
@@ -337,32 +395,32 @@ impl TcpFrame {
         } else {
             None
         };
-        let frame = TcpFrame {
+        let frame = FrameView {
             timestamp,
             eth,
             ip,
             tcp,
             payload,
         };
-        LossyParse::Frame(frame, damage)
+        LossyParseView::Frame(frame, damage)
     }
 }
 
 /// Signature used for duplicate-record detection: a cheap FNV-1a hash
 /// over the timestamp and captured bytes.
-fn record_signature(record: &RawRecord) -> u64 {
+fn record_signature(timestamp: Micros, orig_len: u32, data: &[u8]) -> u64 {
     let mut h: u64 = 0xcbf2_9ce4_8422_2325;
     let mut eat = |byte: u8| {
         h ^= u64::from(byte);
         h = h.wrapping_mul(0x0000_0100_0000_01b3);
     };
-    for byte in record.timestamp.0.to_le_bytes() {
+    for byte in timestamp.0.to_le_bytes() {
         eat(byte);
     }
-    for byte in record.orig_len.to_le_bytes() {
+    for byte in orig_len.to_le_bytes() {
         eat(byte);
     }
-    for &byte in &record.data {
+    for &byte in data {
         eat(byte);
     }
     h
@@ -411,21 +469,32 @@ impl LossyDecoder {
         self.counts.note(anomaly);
     }
 
-    /// Decodes one raw record, never failing.
+    /// Decodes one raw record, never failing. Delegates to
+    /// [`decode_wire`](Self::decode_wire) and copies the frame out.
     pub fn decode_record(&mut self, record: &RawRecord) -> LossyFrame {
-        let mut out = LossyFrame::default();
+        self.decode_wire(record.timestamp, record.orig_len, &record.data)
+            .to_lossy_frame()
+    }
 
-        let sig = record_signature(record);
+    /// Decodes one record's wire bytes without copying the payload: the
+    /// returned view borrows `data`, so the hot path performs no heap
+    /// allocation for clean records.
+    pub fn decode_wire<'a>(
+        &mut self,
+        timestamp: Micros,
+        orig_len: u32,
+        data: &'a [u8],
+    ) -> LossyFrameView<'a> {
+        let mut out = LossyFrameView::default();
+
+        let sig = record_signature(timestamp, orig_len, data);
         if self.recent.contains(&sig) {
             // An exact duplicate: drop the copy, but still attribute it
             // to its connection if the headers are intact.
-            let anomaly = CaptureAnomaly::DuplicateRecord {
-                timestamp: record.timestamp,
-            };
+            let anomaly = CaptureAnomaly::DuplicateRecord { timestamp };
             self.counts.note(&anomaly);
             out.anomalies.push(anomaly);
-            if let LossyParse::Frame(frame, _) =
-                TcpFrame::parse_lossy(record.timestamp, &record.data, false)
+            if let LossyParseView::Frame(frame, _) = FrameView::parse_lossy(timestamp, data, false)
             {
                 out.endpoints = Some((frame.src(), frame.dst()));
             }
@@ -436,7 +505,7 @@ impl LossyDecoder {
             self.recent.pop_front();
         }
 
-        let mut timestamp = record.timestamp;
+        let mut timestamp = timestamp;
         if let Some(last) = self.last_timestamp {
             if timestamp < last {
                 let anomaly = CaptureAnomaly::TimestampRegression {
@@ -450,18 +519,18 @@ impl LossyDecoder {
         }
         self.last_timestamp = Some(timestamp);
 
-        let clipped = record.data.len() < record.orig_len as usize;
+        let clipped = data.len() < orig_len as usize;
         if clipped {
             let anomaly = CaptureAnomaly::SnapClipped {
-                captured: record.data.len(),
-                orig_len: record.orig_len as usize,
+                captured: data.len(),
+                orig_len: orig_len as usize,
             };
             self.counts.note(&anomaly);
             out.anomalies.push(anomaly);
         }
 
-        match TcpFrame::parse_lossy(timestamp, &record.data, clipped) {
-            LossyParse::Frame(frame, damage) => {
+        match FrameView::parse_lossy(timestamp, data, clipped) {
+            LossyParseView::Frame(frame, damage) => {
                 if let Some(anomaly) = damage {
                     self.counts.note(&anomaly);
                     out.anomalies.push(anomaly);
@@ -470,10 +539,10 @@ impl LossyDecoder {
                 out.frame = Some(frame);
                 self.frames += 1;
             }
-            LossyParse::NonTcp => {
+            LossyParseView::NonTcp => {
                 self.cross_traffic += 1;
             }
-            LossyParse::Damaged(anomaly) => {
+            LossyParseView::Damaged(anomaly) => {
                 self.counts.note(&anomaly);
                 out.anomalies.push(anomaly);
             }
@@ -546,6 +615,8 @@ pub struct LossyReader<R> {
     last_ts_sec: Option<i64>,
     /// Bytes read ahead of the parse position during a resync scan.
     carry: VecDeque<u8>,
+    /// Reusable record body buffer for the zero-copy view path.
+    record_buf: Vec<u8>,
     decoder: LossyDecoder,
     done: bool,
 }
@@ -579,6 +650,7 @@ impl<R: Read> LossyReader<R> {
             epoch: None,
             last_ts_sec: None,
             carry: VecDeque::new(),
+            record_buf: Vec::new(),
             decoder: LossyDecoder::new(),
             done: false,
         })
@@ -660,78 +732,98 @@ impl<R: Read> LossyReader<R> {
     /// Fails only on real I/O errors; capture damage never errors.
     pub fn next_lossy(&mut self) -> Result<Option<LossyFrame>> {
         loop {
-            if self.done {
-                return Ok(None);
+            match self.next_lossy_view()? {
+                None => return Ok(None),
+                Some(item) if item.is_cross_traffic() => continue,
+                Some(item) => return Ok(Some(item.to_lossy_frame())),
             }
-            let mut rec_header = [0u8; 16];
-            let got = self.fill(&mut rec_header)?;
-            if got == 0 {
-                self.done = true;
-                return Ok(None);
-            }
-            if got < 16 {
-                self.done = true;
-                let anomaly = CaptureAnomaly::TruncatedRecord {
-                    detail: format!("{got} of 16 record-header bytes at end of capture"),
-                };
-                self.decoder.note(&anomaly);
-                return Ok(Some(LossyFrame::anomaly(anomaly)));
-            }
-            let header = match plausible_record_header(
-                self.endianness,
-                self.nanos,
-                &rec_header,
-                self.last_ts_sec,
-            ) {
-                Some(h) => h,
-                None => {
-                    match self.resync(rec_header.to_vec())? {
-                        Some(skipped) => {
-                            let anomaly = CaptureAnomaly::Desynchronized { skipped };
-                            self.decoder.note(&anomaly);
-                            return Ok(Some(LossyFrame::anomaly(anomaly)));
-                        }
-                        None => {
-                            // Scan budget or input exhausted: the rest of
-                            // the capture is unreadable.
-                            self.done = true;
-                            let anomaly = CaptureAnomaly::TruncatedRecord {
-                                detail: "unreadable tail: no plausible record header found"
-                                    .to_string(),
-                            };
-                            self.decoder.note(&anomaly);
-                            return Ok(Some(LossyFrame::anomaly(anomaly)));
-                        }
+        }
+    }
+
+    /// Reads and decodes the next record against the reader's reusable
+    /// internal buffer, or `None` once the stream is exhausted. The
+    /// view borrows that buffer, so the steady-state decode path
+    /// performs no per-record heap allocation.
+    ///
+    /// Unlike [`next_lossy`](Self::next_lossy), cross traffic is *not*
+    /// skipped here — a borrowed return value cannot be discarded and
+    /// re-fetched inside this method — so callers must check
+    /// [`LossyFrameView::is_cross_traffic`] and skip such items
+    /// themselves.
+    ///
+    /// # Errors
+    ///
+    /// Fails only on real I/O errors; capture damage never errors.
+    pub fn next_lossy_view(&mut self) -> Result<Option<LossyFrameView<'_>>> {
+        if self.done {
+            return Ok(None);
+        }
+        let mut rec_header = [0u8; 16];
+        let got = self.fill(&mut rec_header)?;
+        if got == 0 {
+            self.done = true;
+            return Ok(None);
+        }
+        if got < 16 {
+            self.done = true;
+            let anomaly = CaptureAnomaly::TruncatedRecord {
+                detail: format!("{got} of 16 record-header bytes at end of capture"),
+            };
+            self.decoder.note(&anomaly);
+            return Ok(Some(LossyFrameView::anomaly(anomaly)));
+        }
+        let header = match plausible_record_header(
+            self.endianness,
+            self.nanos,
+            &rec_header,
+            self.last_ts_sec,
+        ) {
+            Some(h) => h,
+            None => {
+                match self.resync(rec_header.to_vec())? {
+                    Some(skipped) => {
+                        let anomaly = CaptureAnomaly::Desynchronized { skipped };
+                        self.decoder.note(&anomaly);
+                        return Ok(Some(LossyFrameView::anomaly(anomaly)));
+                    }
+                    None => {
+                        // Scan budget or input exhausted: the rest of
+                        // the capture is unreadable.
+                        self.done = true;
+                        let anomaly = CaptureAnomaly::TruncatedRecord {
+                            detail: "unreadable tail: no plausible record header found".to_string(),
+                        };
+                        self.decoder.note(&anomaly);
+                        return Ok(Some(LossyFrameView::anomaly(anomaly)));
                     }
                 }
-            };
-            let mut data = vec![0u8; header.incl_len as usize];
-            let got = self.fill(&mut data)?;
-            if got < data.len() {
-                self.done = true;
-                let anomaly = CaptureAnomaly::TruncatedRecord {
-                    detail: format!(
-                        "{got} of {} record bytes at end of capture",
-                        header.incl_len
-                    ),
-                };
-                self.decoder.note(&anomaly);
-                return Ok(Some(LossyFrame::anomaly(anomaly)));
             }
-            self.last_ts_sec = Some(header.ts_sec);
-            let abs = header.abs_micros(self.nanos);
-            let epoch = *self.epoch.get_or_insert(abs);
-            let record = RawRecord {
-                timestamp: Micros(abs - epoch),
-                orig_len: header.orig_len,
-                data,
+        };
+        // `fill` needs `&mut self`, so temporarily move the reusable
+        // buffer out rather than borrowing it across the call.
+        let mut data = std::mem::take(&mut self.record_buf);
+        data.resize(header.incl_len as usize, 0);
+        let got = self.fill(&mut data)?;
+        self.record_buf = data;
+        if got < self.record_buf.len() {
+            self.done = true;
+            let anomaly = CaptureAnomaly::TruncatedRecord {
+                detail: format!(
+                    "{got} of {} record bytes at end of capture",
+                    header.incl_len
+                ),
             };
-            let item = self.decoder.decode_record(&record);
-            if item.is_cross_traffic() {
-                continue;
-            }
-            return Ok(Some(item));
+            self.decoder.note(&anomaly);
+            return Ok(Some(LossyFrameView::anomaly(anomaly)));
         }
+        self.last_ts_sec = Some(header.ts_sec);
+        let abs = header.abs_micros(self.nanos);
+        let epoch = *self.epoch.get_or_insert(abs);
+        Ok(Some(self.decoder.decode_wire(
+            Micros(abs - epoch),
+            header.orig_len,
+            &self.record_buf,
+        )))
     }
 }
 

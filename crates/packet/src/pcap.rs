@@ -12,7 +12,7 @@ use std::io::{self, BufReader, BufWriter, Read, Write};
 use std::path::Path;
 
 use crate::error::{PacketError, Result};
-use crate::frame::TcpFrame;
+use crate::frame::{FrameView, TcpFrame};
 use tdat_timeset::Micros;
 
 /// Microsecond-resolution pcap magic, as written by tcpdump.
@@ -121,16 +121,27 @@ pub struct PcapReader<R> {
     /// Timestamp of the first record, used as the trace epoch so that
     /// in-memory timestamps stay small. `None` until the first record.
     epoch: Option<i64>,
+    /// Reusable record buffer: every record is decoded in place here,
+    /// so the steady-state read path performs no per-record allocation.
+    record_buf: Vec<u8>,
+    /// Total input size in bytes when known (file size, slice length),
+    /// used to pre-size [`read_all`](PcapReader::read_all)'s vector.
+    len_hint: Option<u64>,
 }
 
 impl PcapReader<BufReader<File>> {
-    /// Opens a pcap file from disk.
+    /// Opens a pcap file from disk. The file size becomes the length
+    /// hint used to pre-size [`read_all`](PcapReader::read_all).
     ///
     /// # Errors
     ///
     /// Fails on I/O errors or an unrecognized magic number.
     pub fn open(path: impl AsRef<Path>) -> Result<Self> {
-        PcapReader::new(BufReader::new(File::open(path)?))
+        let file = File::open(path)?;
+        let len = file.metadata().map(|m| m.len()).ok();
+        let mut reader = PcapReader::new(BufReader::new(file))?;
+        reader.len_hint = len;
+        Ok(reader)
     }
 }
 
@@ -151,7 +162,18 @@ impl<R: Read> PcapReader<R> {
             nanos,
             link_type,
             epoch: None,
+            record_buf: Vec::new(),
+            len_hint: None,
         })
+    }
+
+    /// Sets the total input size in bytes, which
+    /// [`read_all`](PcapReader::read_all) uses to pre-size its frame
+    /// vector. [`open`](PcapReader::open) sets this from the file size
+    /// automatically; in-memory callers can pass the slice length.
+    pub fn with_len_hint(mut self, total_bytes: u64) -> Self {
+        self.len_hint = Some(total_bytes);
+        self
     }
 
     /// The file's link type (e.g. [`LINKTYPE_ETHERNET`]).
@@ -159,15 +181,10 @@ impl<R: Read> PcapReader<R> {
         self.link_type
     }
 
-    /// Reads the next raw record, or `None` at a clean end of file.
-    ///
-    /// Timestamps are reported relative to the first record in the file
-    /// (the trace epoch), in microseconds.
-    ///
-    /// # Errors
-    ///
-    /// Fails on I/O errors or a record that ends mid-header/mid-data.
-    pub fn next_record(&mut self) -> Result<Option<RawRecord>> {
+    /// Reads the next record header and body into the internal reusable
+    /// buffer. Returns the record timestamp and original length, or
+    /// `None` at a clean end of file; the body is in `self.record_buf`.
+    fn fill_record(&mut self) -> Result<Option<(Micros, u32)>> {
         let mut rec_header = [0u8; 16];
         match self.input.read_exact(&mut rec_header) {
             Ok(()) => {}
@@ -181,15 +198,30 @@ impl<R: Read> PcapReader<R> {
                 detail: format!("implausible captured length {}", h.incl_len),
             });
         }
-        let mut data = vec![0u8; h.incl_len as usize];
-        self.input.read_exact(&mut data)?;
+        self.record_buf.resize(h.incl_len as usize, 0);
+        self.input.read_exact(&mut self.record_buf)?;
         let abs = h.abs_micros(self.nanos);
         let epoch = *self.epoch.get_or_insert(abs);
-        Ok(Some(RawRecord {
-            timestamp: Micros(abs - epoch),
-            orig_len: h.orig_len,
-            data,
-        }))
+        Ok(Some((Micros(abs - epoch), h.orig_len)))
+    }
+
+    /// Reads the next raw record, or `None` at a clean end of file.
+    ///
+    /// Timestamps are reported relative to the first record in the file
+    /// (the trace epoch), in microseconds.
+    ///
+    /// # Errors
+    ///
+    /// Fails on I/O errors or a record that ends mid-header/mid-data.
+    pub fn next_record(&mut self) -> Result<Option<RawRecord>> {
+        match self.fill_record()? {
+            Some((timestamp, orig_len)) => Ok(Some(RawRecord {
+                timestamp,
+                orig_len,
+                data: self.record_buf.clone(),
+            })),
+            None => Ok(None),
+        }
     }
 
     /// Reads the next record and parses it as a TCP/IPv4 Ethernet
@@ -203,11 +235,37 @@ impl<R: Read> PcapReader<R> {
     ///
     /// [`next_record`]: PcapReader::next_record
     pub fn next_frame(&mut self) -> Result<Option<TcpFrame>> {
+        match self.next_view()? {
+            Some(view) => Ok(Some(view.to_frame())),
+            None => Ok(None),
+        }
+    }
+
+    /// Reads the next record and parses it as a borrowed, zero-copy
+    /// [`FrameView`] over the reader's internal record buffer. The view
+    /// is valid until the next read call; the steady-state loop
+    /// performs no heap allocation per frame.
+    ///
+    /// ```no_run
+    /// use tdat_packet::PcapReader;
+    ///
+    /// let mut reader = PcapReader::open("trace.pcap")?;
+    /// while let Some(view) = reader.next_view()? {
+    ///     // hand `view` to a tracker/demux; copy only what's retained
+    ///     let _ = view.payload.len();
+    /// }
+    /// # Ok::<(), Box<dyn std::error::Error>>(())
+    /// ```
+    ///
+    /// # Errors
+    ///
+    /// Same failure modes as [`next_frame`](PcapReader::next_frame).
+    pub fn next_view(&mut self) -> Result<Option<FrameView<'_>>> {
         if self.link_type != LINKTYPE_ETHERNET {
             return Err(PacketError::UnsupportedLinkType(self.link_type));
         }
-        match self.next_record()? {
-            Some(record) => TcpFrame::parse(record.timestamp, &record.data).map(Some),
+        match self.fill_record()? {
+            Some((timestamp, _orig_len)) => FrameView::parse(timestamp, &self.record_buf).map(Some),
             None => Ok(None),
         }
     }
@@ -223,13 +281,30 @@ impl<R: Read> PcapReader<R> {
         IntoFrames { reader: self }
     }
 
-    /// Reads all frames into memory.
+    /// Reads all frames into memory. When a length hint is available
+    /// (set by [`open`](PcapReader::open) or
+    /// [`with_len_hint`](PcapReader::with_len_hint)), the frame vector
+    /// is pre-sized from it, assuming a typical trace mix of pure-ACK
+    /// and MSS-sized data records.
     ///
     /// # Errors
     ///
     /// Propagates the first decode or I/O error.
     pub fn read_all(&mut self) -> Result<Vec<TcpFrame>> {
-        self.frames().collect()
+        // A BGP monitoring trace alternates ~70-byte ACK records with
+        // up-to-MSS data records; ~330 bytes/record is a conservative
+        // middle that avoids both gross over-reservation on data-heavy
+        // captures and repeated regrowth on ACK-heavy ones.
+        const TYPICAL_RECORD_BYTES: u64 = 330;
+        let capacity = self
+            .len_hint
+            .map(|bytes| (bytes / TYPICAL_RECORD_BYTES) as usize)
+            .unwrap_or(0);
+        let mut frames = Vec::with_capacity(capacity);
+        while let Some(view) = self.next_view()? {
+            frames.push(view.to_frame());
+        }
+        Ok(frames)
     }
 }
 

@@ -244,6 +244,14 @@ impl StreamReassembler {
         std::mem::take(&mut self.ready)
     }
 
+    /// Appends the reassembled bytes accumulated so far to `out` and
+    /// clears the internal ready buffer, retaining its capacity. The
+    /// per-segment drain path: after warm-up neither buffer reallocates.
+    pub fn take_ready_into(&mut self, out: &mut Vec<u8>) {
+        out.extend_from_slice(&self.ready);
+        self.ready.clear();
+    }
+
     /// Contiguous bytes emitted over the reassembler's lifetime.
     pub fn emitted(&self) -> u64 {
         self.emitted
@@ -298,13 +306,17 @@ impl Extraction {
 
     /// The update messages with their timestamps (the MCT input).
     pub fn updates(&self) -> Vec<(Micros, tdat_bgp::UpdateMessage)> {
-        self.messages
-            .iter()
-            .filter_map(|(t, m)| match m {
-                BgpMessage::Update(u) => Some((*t, u.clone())),
-                _ => None,
-            })
-            .collect()
+        self.updates_iter().map(|(t, u)| (t, u.clone())).collect()
+    }
+
+    /// The timestamped UPDATE messages, borrowed — the hot path for
+    /// per-tick MCT runs, which must not deep-clone every prefix and
+    /// path attribute of the table just to scan them.
+    pub fn updates_iter(&self) -> impl Iterator<Item = (Micros, &tdat_bgp::UpdateMessage)> {
+        self.messages.iter().filter_map(|(t, m)| match m {
+            BgpMessage::Update(u) => Some((*t, u)),
+            _ => None,
+        })
     }
 }
 
@@ -414,11 +426,11 @@ impl StreamExtractor {
             return;
         }
         self.reasm.push(seq, payload);
-        let fresh = self.reasm.take_ready();
-        if fresh.is_empty() {
+        let before = self.buffer.len();
+        self.reasm.take_ready_into(&mut self.buffer);
+        if self.buffer.len() == before {
             return;
         }
-        self.buffer.extend_from_slice(&fresh);
         let mut cursor = &self.buffer[..];
         loop {
             match BgpMessage::decode(&mut cursor) {

@@ -44,5 +44,5 @@ mod set;
 mod time;
 
 pub use series::{Event, EventSeries};
-pub use set::{Gaps, SpanSet};
+pub use set::{Gaps, SpanScratch, SpanSet};
 pub use time::{Micros, Span};

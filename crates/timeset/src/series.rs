@@ -125,17 +125,57 @@ impl<T> EventSeries<T> {
 
     /// Flattens the series into a normalized [`SpanSet`].
     pub fn to_span_set(&self) -> SpanSet {
-        SpanSet::from_spans(self.events.iter().map(|e| e.span))
+        let mut out = SpanSet::new();
+        self.span_set_into(&mut out);
+        out
+    }
+
+    /// Flattens the series into `out` (cleared first). Because events
+    /// are kept sorted by start, this is a linear coalescing pass — no
+    /// sort and no allocation beyond growing `out` once.
+    pub fn span_set_into(&self, out: &mut SpanSet) {
+        out.clear();
+        for event in &self.events {
+            out.push_sorted(event.span);
+        }
     }
 
     /// Total covered duration (flattened; overlap counted once).
+    /// Allocation-free: a linear pass over the sorted events.
     pub fn size(&self) -> Micros {
-        self.to_span_set().size()
+        let mut total = Micros::ZERO;
+        let mut covered_to = Micros::MIN;
+        for event in &self.events {
+            let span = event.span;
+            if span.is_empty() {
+                continue;
+            }
+            if span.end > covered_to {
+                total += span.end - span.start.max(covered_to);
+                covered_to = span.end;
+            }
+        }
+        total
     }
 
     /// Fraction of `window` covered by this series — its *delay ratio*.
     pub fn ratio(&self, window: Span) -> f64 {
-        self.to_span_set().ratio(window)
+        let denom = window.duration().as_micros();
+        if denom <= 0 {
+            return 0.0;
+        }
+        let mut covered = Micros::ZERO;
+        let mut covered_to = Micros::MIN;
+        for event in &self.events {
+            let Some(span) = event.span.intersect(window) else {
+                continue;
+            };
+            if span.end > covered_to {
+                covered += span.end - span.start.max(covered_to);
+                covered_to = span.end;
+            }
+        }
+        covered.as_micros() as f64 / denom as f64
     }
 
     /// Events overlapping `span`, for drilling from a high-level

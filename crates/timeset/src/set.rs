@@ -173,15 +173,83 @@ impl SpanSet {
             .is_some_and(|s| s.contains_span(span))
     }
 
+    /// Empties the set, keeping its allocation for reuse.
+    pub fn clear(&mut self) {
+        self.spans.clear();
+    }
+
+    /// Replaces this set's contents with `other`'s, reusing the existing
+    /// allocation when capacity allows (no heap traffic in steady state).
+    pub fn assign(&mut self, other: &SpanSet) {
+        self.spans.clear();
+        self.spans.extend_from_slice(&other.spans);
+    }
+
+    /// Appends a span with a start no earlier than any span already
+    /// present, skipping empty spans. Used to flatten an already-sorted
+    /// event series without the sort in [`from_spans`](SpanSet::from_spans).
+    pub(crate) fn push_sorted(&mut self, span: Span) {
+        if span.is_empty() {
+            return;
+        }
+        self.push_coalesced(span);
+    }
+
+    /// Appends a span known to start at or after every span already in
+    /// the buffer, coalescing with the last span when they touch.
+    fn push_coalesced(&mut self, span: Span) {
+        debug_assert!(self
+            .spans
+            .last()
+            .is_none_or(|last| last.start <= span.start));
+        match self.spans.last_mut() {
+            Some(last) if last.touches(span) => *last = last.hull(span),
+            _ => self.spans.push(span),
+        }
+    }
+
     /// Set union.
     pub fn union(&self, other: &SpanSet) -> SpanSet {
-        SpanSet::from_spans(self.spans.iter().chain(other.spans.iter()).copied())
+        let mut out = SpanSet::new();
+        self.union_into(other, &mut out);
+        out
+    }
+
+    /// Set union written into `out` (cleared first). A linear merge of
+    /// the two sorted span lists: no sort, and no allocation once `out`
+    /// has grown to the working-set size.
+    pub fn union_into(&self, other: &SpanSet, out: &mut SpanSet) {
+        out.clear();
+        let (mut i, mut j) = (0, 0);
+        while i < self.spans.len() && j < other.spans.len() {
+            let (a, b) = (self.spans[i], other.spans[j]);
+            if a.start <= b.start {
+                out.push_coalesced(a);
+                i += 1;
+            } else {
+                out.push_coalesced(b);
+                j += 1;
+            }
+        }
+        for &a in &self.spans[i..] {
+            out.push_coalesced(a);
+        }
+        for &b in &other.spans[j..] {
+            out.push_coalesced(b);
+        }
     }
 
     /// Set intersection via a linear merge of the two sorted span lists.
     pub fn intersection(&self, other: &SpanSet) -> SpanSet {
-        let (mut i, mut j) = (0, 0);
         let mut out = SpanSet::new();
+        self.intersect_into(other, &mut out);
+        out
+    }
+
+    /// Set intersection written into `out` (cleared first).
+    pub fn intersect_into(&self, other: &SpanSet, out: &mut SpanSet) {
+        out.clear();
+        let (mut i, mut j) = (0, 0);
         while i < self.spans.len() && j < other.spans.len() {
             let (a, b) = (self.spans[i], other.spans[j]);
             if let Some(common) = a.intersect(b) {
@@ -195,27 +263,74 @@ impl SpanSet {
                 j += 1;
             }
         }
-        out
     }
 
     /// Set difference: time covered by `self` but not by `other`.
     pub fn difference(&self, other: &SpanSet) -> SpanSet {
-        let mut out = self.clone();
-        for span in &other.spans {
-            out.remove(*span);
-        }
+        let mut out = SpanSet::new();
+        self.difference_into(other, &mut out);
         out
+    }
+
+    /// Set difference written into `out` (cleared first). Linear in the
+    /// two span counts — unlike repeated [`remove`](SpanSet::remove),
+    /// which splices the backing vector per removed span.
+    pub fn difference_into(&self, other: &SpanSet, out: &mut SpanSet) {
+        out.clear();
+        let mut j = 0;
+        for &a in &self.spans {
+            // Skip subtrahend spans entirely before `a`; they cannot
+            // overlap later spans of `self` either (both lists sorted).
+            while j < other.spans.len() && other.spans[j].end <= a.start {
+                j += 1;
+            }
+            let mut cursor = a.start;
+            let mut k = j;
+            while k < other.spans.len() && other.spans[k].start < a.end {
+                let b = other.spans[k];
+                if b.start > cursor {
+                    out.spans.push(Span::new(cursor, b.start));
+                }
+                cursor = cursor.max(b.end);
+                if b.end >= a.end {
+                    break;
+                }
+                k += 1;
+            }
+            if cursor < a.end {
+                out.spans.push(Span::new(cursor, a.end));
+            }
+        }
     }
 
     /// Complement within `window`: time in `window` not covered by the
     /// set. This yields the *gaps* of a series (used to find sender idle
     /// periods and timer gaps, §IV-B).
     pub fn complement(&self, window: Span) -> SpanSet {
-        let mut out = SpanSet::from_span(window);
-        for span in &self.spans {
-            out.remove(*span);
-        }
+        let mut out = SpanSet::new();
+        self.complement_into(window, &mut out);
         out
+    }
+
+    /// Complement within `window`, written into `out` (cleared first).
+    pub fn complement_into(&self, window: Span, out: &mut SpanSet) {
+        out.clear();
+        if window.is_empty() {
+            return;
+        }
+        let mut cursor = window.start;
+        for &s in self.overlapping(window) {
+            if s.start > cursor {
+                out.spans.push(Span::new(cursor, s.start));
+            }
+            cursor = cursor.max(s.end);
+            if cursor >= window.end {
+                break;
+            }
+        }
+        if cursor < window.end {
+            out.spans.push(Span::new(cursor, window.end));
+        }
     }
 
     /// The contiguous run of spans overlapping `span`, located by
@@ -240,7 +355,19 @@ impl SpanSet {
 
     /// Clips the set to `window`.
     pub fn clipped(&self, window: Span) -> SpanSet {
-        self.intersection(&SpanSet::from_span(window))
+        let mut out = SpanSet::new();
+        self.clipped_into(window, &mut out);
+        out
+    }
+
+    /// Clips the set to `window`, written into `out` (cleared first).
+    pub fn clipped_into(&self, window: Span, out: &mut SpanSet) {
+        out.clear();
+        for &s in self.overlapping(window) {
+            if let Some(common) = s.intersect(window) {
+                out.spans.push(common);
+            }
+        }
     }
 
     /// Expands every span by `margin` on both sides (merging spans that
@@ -263,13 +390,71 @@ impl SpanSet {
 
     /// The fraction of `window` covered by this set, in `[0, 1]`.
     /// Returns 0 for an empty window. This is the paper's *delay ratio*
-    /// (§III-D) when `window` is the analysis period.
+    /// (§III-D) when `window` is the analysis period. Allocation-free:
+    /// sums clipped durations directly off the overlapping spans.
     pub fn ratio(&self, window: Span) -> f64 {
         let denom = window.duration().as_micros();
         if denom <= 0 {
             return 0.0;
         }
-        self.clipped(window).size().as_micros() as f64 / denom as f64
+        let covered: i64 = self
+            .overlapping(window)
+            .iter()
+            .filter_map(|s| s.intersect(window))
+            .map(|s| s.duration().as_micros())
+            .sum();
+        covered as f64 / denom as f64
+    }
+}
+
+/// A pool of reusable [`SpanSet`] buffers for allocation-free set
+/// algebra on a hot path.
+///
+/// The analyzer performs hundreds of unions/intersections/differences
+/// per connection; with a scratch pool the intermediate sets are taken
+/// from and returned to the pool, so steady-state analysis performs
+/// O(1) allocations instead of one per set operation.
+///
+/// # Examples
+///
+/// ```
+/// use tdat_timeset::{Span, SpanScratch, SpanSet};
+///
+/// let a = SpanSet::from_span(Span::from_micros(0, 10));
+/// let b = SpanSet::from_span(Span::from_micros(5, 20));
+/// let mut scratch = SpanScratch::new();
+/// let mut out = scratch.take();
+/// a.union_into(&b, &mut out);
+/// assert_eq!(out, a.union(&b));
+/// scratch.put(out); // buffer returns to the pool for the next op
+/// ```
+#[derive(Debug, Default)]
+pub struct SpanScratch {
+    pool: Vec<SpanSet>,
+}
+
+impl SpanScratch {
+    /// Creates an empty pool.
+    pub fn new() -> SpanScratch {
+        SpanScratch::default()
+    }
+
+    /// Takes an empty set from the pool (allocating only if the pool is
+    /// dry).
+    pub fn take(&mut self) -> SpanSet {
+        let mut set = self.pool.pop().unwrap_or_default();
+        set.clear();
+        set
+    }
+
+    /// Returns a set to the pool, keeping its allocation for reuse.
+    pub fn put(&mut self, set: SpanSet) {
+        self.pool.push(set);
+    }
+
+    /// Number of pooled buffers (for tests).
+    pub fn pooled(&self) -> usize {
+        self.pool.len()
     }
 }
 

@@ -7,7 +7,7 @@
 
 use proptest::prelude::*;
 use std::collections::BTreeSet;
-use tdat_timeset::{Micros, Span, SpanSet};
+use tdat_timeset::{EventSeries, Micros, Span, SpanScratch, SpanSet};
 
 /// Universe window used for complements in these tests.
 const WINDOW: Span = Span::from_micros(0, 200);
@@ -178,5 +178,57 @@ proptest! {
         let via_query: Vec<Span> = a.overlapping(s).to_vec();
         let via_filter: Vec<Span> = a.iter().copied().filter(|sp| sp.overlaps(s)).collect();
         prop_assert_eq!(via_query, via_filter);
+    }
+
+    /// The into-buffer variants must clear whatever the reused buffer
+    /// held and produce results identical to the allocating algebra,
+    /// regardless of the buffer's prior contents.
+    #[test]
+    fn into_ops_ignore_dirty_buffers(a in arb_set(), b in arb_set(), junk in arb_set(), s in arb_span()) {
+        let mut out = junk;
+        a.union_into(&b, &mut out);
+        prop_assert_eq!(&out, &a.union(&b));
+        a.intersect_into(&b, &mut out);
+        prop_assert_eq!(&out, &a.intersection(&b));
+        a.difference_into(&b, &mut out);
+        prop_assert_eq!(&out, &a.difference(&b));
+        a.complement_into(s, &mut out);
+        prop_assert_eq!(&out, &a.complement(s));
+        a.clipped_into(s, &mut out);
+        prop_assert_eq!(&out, &a.clipped(s));
+    }
+
+    /// A scratch pool hands out buffers that behave like fresh sets.
+    #[test]
+    fn scratch_pool_round_trip(a in arb_set(), b in arb_set()) {
+        let mut scratch = SpanScratch::new();
+        let mut out = scratch.take();
+        a.union_into(&b, &mut out);
+        let expect = a.union(&b);
+        prop_assert_eq!(&out, &expect);
+        scratch.put(out);
+        // Reuse the same (now dirty) pooled buffer for a different op.
+        let mut out = scratch.take();
+        a.difference_into(&b, &mut out);
+        prop_assert_eq!(&out, &a.difference(&b));
+        scratch.put(out);
+        prop_assert_eq!(scratch.pooled(), 1);
+    }
+
+    /// Series flattening, size, and ratio agree with the definitional
+    /// (sort + flatten) path for arbitrary, possibly overlapping events.
+    #[test]
+    fn series_fast_paths_match_flatten(spans in prop::collection::vec(arb_span(), 0..12), w in arb_span()) {
+        let mut series: EventSeries<u32> = EventSeries::new("t");
+        for (i, s) in spans.iter().enumerate() {
+            series.push(*s, i as u32);
+        }
+        let reference = SpanSet::from_spans(spans.iter().copied());
+        prop_assert_eq!(&series.to_span_set(), &reference);
+        let mut out = SpanSet::from_span(Span::from_micros(0, 1)); // dirty
+        series.span_set_into(&mut out);
+        prop_assert_eq!(&out, &reference);
+        prop_assert_eq!(series.size(), reference.size());
+        prop_assert_eq!(series.ratio(w), reference.ratio(w));
     }
 }

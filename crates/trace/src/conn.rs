@@ -3,7 +3,7 @@
 use std::collections::HashMap;
 use std::net::Ipv4Addr;
 
-use tdat_packet::{seq_diff, TcpFlags, TcpFrame};
+use tdat_packet::{seq_diff, FrameLike, TcpFlags, TcpFrame};
 use tdat_timeset::Micros;
 
 /// One endpoint of a connection.
@@ -19,8 +19,10 @@ pub struct ConnKey {
 }
 
 impl ConnKey {
-    /// Builds the normalized key for a frame's 4-tuple.
-    pub fn of(frame: &TcpFrame) -> ConnKey {
+    /// Builds the normalized key for a frame's 4-tuple. Accepts any
+    /// [`FrameLike`], so borrowed zero-copy views work without an owned
+    /// [`TcpFrame`].
+    pub fn of(frame: &impl FrameLike) -> ConnKey {
         ConnKey::of_endpoints(frame.src(), frame.dst())
     }
 
@@ -173,19 +175,20 @@ pub(crate) struct FrameMeta {
 
 impl FrameMeta {
     /// Captures the fields of `frame`, recorded as trace index `index`.
-    pub(crate) fn of(frame: &TcpFrame, index: usize) -> FrameMeta {
+    pub(crate) fn of(frame: &impl FrameLike, index: usize) -> FrameMeta {
+        let tcp = frame.tcp();
         FrameMeta {
-            time: frame.timestamp,
+            time: frame.timestamp(),
             src: frame.src(),
             dst: frame.dst(),
-            seq: frame.tcp.seq,
+            seq: tcp.seq,
             seq_end: frame.seq_end(),
-            ack: frame.tcp.ack,
-            window: frame.tcp.window,
+            ack: tcp.ack,
+            window: tcp.window,
             payload_len: frame.payload_len() as u32,
-            flags: frame.tcp.flags,
-            mss: frame.tcp.mss(),
-            wscale: frame.tcp.window_scale(),
+            flags: tcp.flags,
+            mss: tcp.mss(),
+            wscale: tcp.window_scale(),
             frame_index: index,
         }
     }

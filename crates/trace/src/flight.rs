@@ -61,9 +61,10 @@ impl Flight {
 /// assert_eq!(flights[0].len(), 3);
 /// assert_eq!(flights[1].len(), 2);
 /// ```
-pub fn group_flights(segments: &[Segment], gap: Micros) -> Vec<Flight> {
+pub fn group_flights<S: std::borrow::Borrow<Segment>>(segments: &[S], gap: Micros) -> Vec<Flight> {
     let mut flights: Vec<Flight> = Vec::new();
     for (idx, seg) in segments.iter().enumerate() {
+        let seg = seg.borrow();
         match flights.last_mut() {
             Some(f) if seg.time - f.end <= gap => {
                 f.members.push(idx);
@@ -110,7 +111,7 @@ mod tests {
 
     #[test]
     fn empty_input_no_flights() {
-        assert!(group_flights(&[], Micros::from_millis(1)).is_empty());
+        assert!(group_flights::<Segment>(&[], Micros::from_millis(1)).is_empty());
     }
 
     #[test]

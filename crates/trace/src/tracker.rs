@@ -15,13 +15,13 @@
 
 use std::collections::HashMap;
 
-use tdat_packet::{TcpFlags, TcpFrame};
+use tdat_packet::{FrameLike, TcpFlags};
 use tdat_timeset::Micros;
 
 use crate::conn::{build_connection, ConnKey, FrameMeta, TcpConnection};
 
 /// When a tracked connection is considered finished.
-#[derive(Debug, Clone, PartialEq, Eq)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub struct TrackerConfig {
     /// Finalize a connection when no frame has been seen for this long
     /// (`None` disables idle finalization).
@@ -93,6 +93,8 @@ struct ConnState {
     fin_low: bool,
     fin_high: bool,
     closed_at: Option<Micros>,
+    /// New frames since the last [`ConnectionTracker::take_dirty`].
+    dirty: bool,
 }
 
 /// Streaming connection demultiplexer: ingests frames one at a time,
@@ -149,10 +151,11 @@ impl ConnectionTracker {
     /// The frame's global ingest index becomes its segments'
     /// `frame_index`, matching the batch extractor's indices into the
     /// full trace slice.
-    pub fn ingest(&mut self, frame: &TcpFrame) -> Vec<FinalizedConnection> {
+    pub fn ingest(&mut self, frame: &impl FrameLike) -> Vec<FinalizedConnection> {
         let index = self.frames_seen;
         self.frames_seen += 1;
-        self.now = self.now.max(frame.timestamp);
+        let timestamp = frame.timestamp();
+        self.now = self.now.max(timestamp);
 
         let key = ConnKey::of(frame);
         let next_ordinal = &mut self.next_ordinal;
@@ -162,23 +165,26 @@ impl ConnectionTracker {
             ConnState {
                 ordinal,
                 metas: Vec::new(),
-                last_seen: frame.timestamp,
+                last_seen: timestamp,
                 fin_low: false,
                 fin_high: false,
                 closed_at: None,
+                dirty: true,
             }
         });
         state.metas.push(FrameMeta::of(frame, index));
-        state.last_seen = state.last_seen.max(frame.timestamp);
-        if frame.tcp.flags.contains(TcpFlags::FIN) {
+        state.last_seen = state.last_seen.max(timestamp);
+        state.dirty = true;
+        let flags = frame.tcp().flags;
+        if flags.contains(TcpFlags::FIN) {
             if frame.src() == key.a {
                 state.fin_low = true;
             } else {
                 state.fin_high = true;
             }
         }
-        if frame.tcp.flags.contains(TcpFlags::RST) || (state.fin_low && state.fin_high) {
-            state.closed_at.get_or_insert(frame.timestamp);
+        if flags.contains(TcpFlags::RST) || (state.fin_low && state.fin_high) {
+            state.closed_at.get_or_insert(timestamp);
         }
 
         let mut finalized = if self.now - self.last_sweep >= SWEEP_INTERVAL {
@@ -286,6 +292,49 @@ impl ConnectionTracker {
             .collect()
     }
 
+    /// Builds a snapshot of one open connection (see
+    /// [`snapshot`](Self::snapshot)), or `None` if `key` is not open.
+    pub fn snapshot_of(&self, key: ConnKey) -> Option<FinalizedConnection> {
+        self.open.get(&key).map(|state| FinalizedConnection {
+            ordinal: state.ordinal,
+            key,
+            connection: build_connection(&state.metas),
+        })
+    }
+
+    /// Keys of open connections that received frames since the last
+    /// `take_dirty` call (or since they opened), by ordinal, clearing
+    /// their dirty marks. The incremental-monitor hook: a tick only
+    /// needs to re-snapshot these; every other open connection is
+    /// byte-identical to its previous snapshot.
+    pub fn take_dirty(&mut self) -> Vec<ConnKey> {
+        let mut dirty: Vec<(u64, ConnKey)> = self
+            .open
+            .iter_mut()
+            .filter(|(_, s)| s.dirty)
+            .map(|(k, s)| {
+                s.dirty = false;
+                (s.ordinal, *k)
+            })
+            .collect();
+        dirty.sort_unstable();
+        dirty.into_iter().map(|(_, k)| k).collect()
+    }
+
+    /// Keys of every open connection, by ordinal.
+    pub fn open_keys(&self) -> Vec<ConnKey> {
+        let mut keys: Vec<(u64, ConnKey)> =
+            self.open.iter().map(|(k, s)| (s.ordinal, *k)).collect();
+        keys.sort_unstable();
+        keys.into_iter().map(|(_, k)| k).collect()
+    }
+
+    /// The ordinal of an open connection, or `None` if `key` is not
+    /// open.
+    pub fn ordinal_of(&self, key: ConnKey) -> Option<u64> {
+        self.open.get(&key).map(|s| s.ordinal)
+    }
+
     /// The latest trace timestamp seen so far.
     pub fn now(&self) -> Micros {
         self.now
@@ -311,7 +360,7 @@ mod tests {
     use super::*;
     use crate::extract_connections;
     use std::net::Ipv4Addr;
-    use tdat_packet::FrameBuilder;
+    use tdat_packet::{FrameBuilder, TcpFrame};
 
     fn addr(last: u8) -> Ipv4Addr {
         Ipv4Addr::new(10, 0, 0, last)
