@@ -164,7 +164,9 @@ impl Report {
     }
 }
 
-pub use self::json::{escape, fmt_num, push_num_field, push_raw_field, push_str_field};
+pub use self::json::{
+    escape, fmt_num, push_num_field, push_raw_field, push_str_array_field, push_str_field,
+};
 
 /// Minimal dependency-free JSON encoding helpers, shared by every
 /// JSON-emitting surface of the suite (`t-dat --json` reports, the
@@ -212,6 +214,27 @@ pub mod json {
             out.push(',');
         }
         out.push_str(&format!("\"{}\":{}", key, raw));
+    }
+
+    /// Appends `"key":["a","b",…]` (each element escaped), preceded by
+    /// a comma if `comma`.
+    pub fn push_str_array_field<S: AsRef<str>>(
+        out: &mut String,
+        key: &str,
+        values: &[S],
+        comma: bool,
+    ) {
+        if comma {
+            out.push(',');
+        }
+        out.push_str(&format!("\"{}\":[", key));
+        for (i, value) in values.iter().enumerate() {
+            if i > 0 {
+                out.push(',');
+            }
+            out.push_str(&format!("\"{}\"", escape(value.as_ref())));
+        }
+        out.push(']');
     }
 }
 
@@ -276,5 +299,14 @@ mod tests {
         let mut r = sample();
         r.sender = "evil\"quote".into();
         assert!(r.to_json().contains("evil\\\"quote"));
+    }
+
+    #[test]
+    fn str_array_field_escapes_and_separates() {
+        let mut out = String::from("{");
+        json::push_str_array_field(&mut out, "sources", &["a.pcap", "b\"c"], false);
+        json::push_str_array_field::<&str>(&mut out, "empty", &[], true);
+        out.push('}');
+        assert_eq!(out, "{\"sources\":[\"a.pcap\",\"b\\\"c\"],\"empty\":[]}");
     }
 }

@@ -38,7 +38,7 @@ use std::time::Duration;
 
 use tdat::{Analysis, QuarantineConfig, StreamAnalyzer};
 use tdat_bgp::TableGenerator;
-use tdat_monitor::{FollowSource, Monitor, MonitorConfig, MonitorEvent};
+use tdat_monitor::{Monitor, MonitorConfig, MonitorEvent, SourceSet, SourceSpec};
 use tdat_packet::{LossyReader, TcpFrame};
 use tdat_tcpsim::scenario::{monitoring_topology, transfer_spec, TopologyOptions};
 use tdat_tcpsim::{apply_chaos, ChaosSpec, ChaosStats, Simulation};
@@ -246,12 +246,26 @@ pub fn run_streaming(entry: &CorpusEntry) -> PipelineOutcome {
 pub fn run_follow(entry: &CorpusEntry) -> PipelineOutcome {
     let path = temp_path(&format!("follow-{}", entry.class));
     std::fs::write(&path, &entry.bytes).expect("scratch pcap is writable");
-    let mut source = FollowSource::open(&path, Some(Duration::ZERO))
+    let spec = SourceSpec::follow(&path)
+        .with_exit_idle(Duration::ZERO)
+        .with_idle_from_open();
+    let mut set = SourceSet::builder()
+        .source(spec)
+        .build()
         .expect("follow source opens the scratch capture");
     let mut monitor = Monitor::new(MonitorConfig::default());
-    let events = monitor.run(&mut source);
+    let events = monitor.run_set(&mut set);
     let _ = std::fs::remove_file(&path);
-    let events = events.expect("follow-mode monitoring survives in-stream damage");
+    // The lossy decoder's whole contract is that in-stream damage
+    // degrades, never kills: a SourceDown here is a contract breach.
+    assert!(
+        !events
+            .iter()
+            .any(|e| matches!(e, MonitorEvent::SourceDown(_))),
+        "follow/{}: in-stream damage killed the source: {:?}",
+        entry.class,
+        set.failures()
+    );
 
     let mut outcome = PipelineOutcome {
         anomalies: monitor.metrics().capture_anomalies(),

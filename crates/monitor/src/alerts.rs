@@ -11,6 +11,7 @@
 
 use std::collections::{BTreeMap, BTreeSet};
 use std::fmt;
+use std::sync::Arc;
 
 use tdat_timeset::{Micros, Span};
 
@@ -138,6 +139,10 @@ impl Default for AlertConfig {
 /// raise/clear memory.
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub struct Condition {
+    /// The packet source whose capture produced the evidence. Alert
+    /// state is keyed per source: the same session name observed by two
+    /// collectors is two independent alerts.
+    pub source: Arc<str>,
     /// The session the condition applies to (`ip:port->ip:port`).
     pub session: String,
     /// Which problem class fired.
@@ -172,6 +177,8 @@ impl AlertAction {
 pub struct Alert {
     /// Trace time of the transition.
     pub at: Micros,
+    /// The packet source whose capture produced the evidence.
+    pub source: Arc<str>,
     /// Raise or clear.
     pub action: AlertAction,
     /// Problem class.
@@ -199,11 +206,17 @@ struct KeyState {
     detail: String,
 }
 
-/// Per-(session, kind) hysteresis state machine; see the module docs.
+/// Hysteresis state key: one alert per (source, session, kind). The
+/// source comes first so a single-source engine's key order matches the
+/// historical (session, kind) order exactly.
+type AlertKey = (Arc<str>, String, AlertKind);
+
+/// Per-(source, session, kind) hysteresis state machine; see the module
+/// docs.
 #[derive(Debug)]
 pub struct AlertEngine {
     config: AlertConfig,
-    states: BTreeMap<(String, AlertKind), KeyState>,
+    states: BTreeMap<AlertKey, KeyState>,
 }
 
 impl AlertEngine {
@@ -230,9 +243,9 @@ impl AlertEngine {
     /// key order for clears).
     pub fn observe(&mut self, now: Micros, conditions: &[Condition]) -> Vec<Alert> {
         let mut events = Vec::new();
-        let mut present: BTreeSet<(String, AlertKind)> = BTreeSet::new();
+        let mut present: BTreeSet<AlertKey> = BTreeSet::new();
         for c in conditions {
-            let key = (c.session.clone(), c.kind);
+            let key = (c.source.clone(), c.session.clone(), c.kind);
             let first_this_tick = present.insert(key.clone());
             let state = self.states.entry(key).or_insert(KeyState {
                 hits: 0,
@@ -257,6 +270,7 @@ impl AlertEngine {
                 state.since = now;
                 events.push(Alert {
                     at: now,
+                    source: c.source.clone(),
                     action: AlertAction::Raise,
                     kind: c.kind,
                     severity: c.kind.severity(),
@@ -279,10 +293,11 @@ impl AlertEngine {
                 if state.misses >= self.config.clear_after {
                     events.push(Alert {
                         at: now,
+                        source: key.0.clone(),
                         action: AlertAction::Clear,
-                        kind: key.1,
-                        severity: key.1.severity(),
-                        session: key.0.clone(),
+                        kind: key.2,
+                        severity: key.2.severity(),
+                        session: key.1.clone(),
                         since: state.since,
                         evidence: state.evidence,
                         detail: state.detail.clone(),
@@ -301,13 +316,14 @@ impl AlertEngine {
         events
     }
 
-    /// Clears every alert of a session that ended (finalized), emitting
-    /// clear transitions for the active ones.
-    pub fn clear_session(&mut self, session: &str, now: Micros) -> Vec<Alert> {
-        let keys: Vec<(String, AlertKind)> = self
+    /// Clears every alert of a session (on one source) that ended
+    /// (finalized), emitting clear transitions for the active ones. The
+    /// same session name observed by a sibling source is untouched.
+    pub fn clear_session(&mut self, source: &str, session: &str, now: Micros) -> Vec<Alert> {
+        let keys: Vec<AlertKey> = self
             .states
             .keys()
-            .filter(|(s, _)| s == session)
+            .filter(|(src, s, _)| src.as_ref() == source && s == session)
             .cloned()
             .collect();
         let mut events = Vec::new();
@@ -318,10 +334,11 @@ impl AlertEngine {
             if state.active {
                 events.push(Alert {
                     at: now,
+                    source: key.0,
                     action: AlertAction::Clear,
-                    kind: key.1,
-                    severity: key.1.severity(),
-                    session: key.0,
+                    kind: key.2,
+                    severity: key.2.severity(),
+                    session: key.1,
                     since: state.since,
                     evidence: state.evidence,
                     detail: "session ended".to_string(),
@@ -337,7 +354,12 @@ mod tests {
     use super::*;
 
     fn cond(session: &str, kind: AlertKind) -> Condition {
+        cond_from("cap", session, kind)
+    }
+
+    fn cond_from(source: &str, session: &str, kind: AlertKind) -> Condition {
         Condition {
+            source: Arc::from(source),
             session: session.to_string(),
             kind,
             evidence: Span::new(Micros::ZERO, Micros::from_secs(1)),
@@ -433,12 +455,30 @@ mod tests {
         ];
         e.observe(Micros::from_secs(1), &both);
         e.observe(Micros::from_secs(2), &both);
-        let cleared = e.clear_session("a", Micros::from_secs(3));
+        let cleared = e.clear_session("cap", "a", Micros::from_secs(3));
         assert_eq!(cleared.len(), 2);
         assert!(cleared.iter().all(|a| a.action == AlertAction::Clear));
         assert!(cleared.iter().all(|a| a.detail == "session ended"));
         assert_eq!(e.active_alerts(), 0);
-        assert!(e.clear_session("a", Micros::from_secs(4)).is_empty());
+        assert!(e.clear_session("cap", "a", Micros::from_secs(4)).is_empty());
+    }
+
+    #[test]
+    fn sources_are_independent_for_the_same_session_name() {
+        let mut e = engine();
+        let both = [
+            cond_from("left", "s", AlertKind::StalledTransfer),
+            cond_from("right", "s", AlertKind::StalledTransfer),
+        ];
+        e.observe(Micros::from_secs(1), &both);
+        let raised = e.observe(Micros::from_secs(2), &both);
+        assert_eq!(raised.len(), 2, "one alert per source");
+        // Ending the session on one source clears only that source's
+        // alert; the sibling's stays active.
+        let cleared = e.clear_session("left", "s", Micros::from_secs(3));
+        assert_eq!(cleared.len(), 1);
+        assert_eq!(cleared[0].source.as_ref(), "left");
+        assert_eq!(e.active_alerts(), 1);
     }
 
     #[test]

@@ -1,24 +1,41 @@
 //! `t-dat-monitor` — watch BGP sessions live and stream JSONL events.
 //!
 //! ```text
-//! t-dat-monitor --follow <pcap> [--exit-idle SECS]
-//! t-dat-monitor --sim <scenario> [--routes N] [--seed S] [--pace F]
+//! t-dat-monitor --follow <pcap> [--follow <pcap> ...] [--sim <scenario> ...]
+//! t-dat-monitor --sweep <dir> [--jobs N]
+//!
+//! source options (repeatable, freely mixed):
+//!   --follow PATH     tail a growing pcap file
+//!   --sim SPEC        drive a simulated scenario as a live tap
+//!   --sweep DIR       batch-drain every *.pcap/*.cap in DIR
 //!
 //! common options:
 //!   --window SECS     trailing analysis window      (default 120)
 //!   --interval SECS   trace time between ticks      (default 10)
 //!   --events PATH     JSONL output, "-" for stdout  (default -)
+//!   --schema 1|2      event schema (default: 1 for a single source,
+//!                     2 whenever sources are plural or swept)
+//!   --exit-idle SECS  follow mode: finish after SECS without records
+//!   --stale SECS      multi-source: drop a silent source from the
+//!                     merge clock after SECS (default 5 when plural)
+//!   --pace F          sim mode: F virtual seconds per wall second
+//!   --routes N        sim table size   --seed S   sim RNG seed
+//!   --jobs N          sweep worker threads (default: CPU count)
 //! ```
 //!
-//! `--follow` tails a growing pcap file (a sniffer writing tcpdump
-//! output); partial trailing records are retried as the file grows.
-//! With `--exit-idle` the monitor exits after that many wall-clock
-//! seconds without new records — otherwise it follows forever.
+//! Every `--follow` and `--sim` becomes one named source in a merged
+//! watch: frames release in global timestamp order (a watermark merge
+//! holds a fast source back until its slowest sibling catches up), and
+//! every alert, report, and failure is attributed to the source that
+//! produced it. One dying source degrades only its own view — the
+//! siblings keep streaming. `--sweep` instead drains a directory of
+//! finished captures in parallel, one independent monitor per file,
+//! and concatenates the streams in file-name order.
 //!
-//! `--sim` runs a canonical scenario from the shared `bgpsim`
-//! vocabulary as the packet feed. `--pace F` makes `F` virtual seconds
-//! elapse per wall second (for example `--pace 1` tracks real time);
-//! without it the scenario runs as fast as possible.
+//! Schema 2 prefixes the stream with a `meta` line naming the sources
+//! and adds a `source` field to every event; schema 1 is the
+//! historical single-source format (byte-identical to prior releases)
+//! and refuses to run with more than one source.
 //!
 //! Events use trace (virtual) time only, so a given input produces
 //! byte-identical output. A metrics summary goes to stderr on exit.
@@ -27,31 +44,51 @@ use std::io::Write;
 use std::process::ExitCode;
 use std::time::Duration;
 
-use tdat_monitor::{FollowSource, Monitor, MonitorConfig, PacketSource, SimSource, SourceEvent};
+use tdat_monitor::{
+    sweep_directory, EventSchema, Monitor, MonitorConfig, MonitorEvent, SetEvent, SourceSet,
+    SourceSpec,
+};
 use tdat_tcpsim::scenario::{ScenarioOptions, SCENARIO_USAGE};
 use tdat_timeset::Micros;
 
+/// Wall-clock wait between polls while every source is pending.
+const IDLE_BACKOFF: Duration = Duration::from_millis(100);
+
+/// Default stale valve with plural sources: a silent feed stops
+/// holding back its siblings' analysis after this long.
+const DEFAULT_STALE: Duration = Duration::from_secs(5);
+
 fn main() -> ExitCode {
     let mut args = std::env::args().skip(1);
-    let mut follow: Option<String> = None;
-    let mut sim: Option<String> = None;
+    let mut specs: Vec<SourceSpec> = Vec::new();
+    let mut sweep: Option<String> = None;
     let mut events = String::from("-");
     let mut window_s = 120.0f64;
     let mut interval_s = 10.0f64;
     let mut exit_idle: Option<f64> = None;
+    let mut stale: Option<f64> = None;
     let mut pace: Option<f64> = None;
+    let mut schema: Option<u32> = None;
+    let mut jobs = 0usize;
     let mut opts = ScenarioOptions::default();
+    let mut sims: Vec<String> = Vec::new();
     while let Some(arg) = args.next() {
         let mut take = |what: &str| args.next().ok_or_else(|| format!("{what} needs a value"));
         let result: Result<(), String> = (|| {
             match arg.as_str() {
-                "--follow" => follow = Some(take("--follow")?),
-                "--sim" => sim = Some(take("--sim")?),
+                "--follow" => specs.push(SourceSpec::follow(take("--follow")?)),
+                // Sim specs are validated after the whole command line
+                // is parsed, so --routes/--seed order does not matter.
+                "--sim" => sims.push(take("--sim")?),
+                "--sweep" => sweep = Some(take("--sweep")?),
                 "--events" => events = take("--events")?,
                 "--window" => window_s = parse(&take("--window")?, "--window")?,
                 "--interval" => interval_s = parse(&take("--interval")?, "--interval")?,
                 "--exit-idle" => exit_idle = Some(parse(&take("--exit-idle")?, "--exit-idle")?),
+                "--stale" => stale = Some(parse(&take("--stale")?, "--stale")?),
                 "--pace" => pace = Some(parse(&take("--pace")?, "--pace")?),
+                "--schema" => schema = Some(parse(&take("--schema")?, "--schema")?),
+                "--jobs" => jobs = parse(&take("--jobs")?, "--jobs")?,
                 "--routes" => opts.routes = parse(&take("--routes")?, "--routes")?,
                 "--seed" => opts.seed = parse(&take("--seed")?, "--seed")?,
                 "--help" | "-h" => return Err(String::new()),
@@ -68,28 +105,48 @@ fn main() -> ExitCode {
             return usage("--window and --interval must be positive");
         }
     }
-
-    let config = MonitorConfig {
-        window: Micros::from_secs_f64(window_s),
-        interval: Micros::from_secs_f64(interval_s),
-        ..MonitorConfig::default()
+    let config = match MonitorConfig::builder()
+        .window(Micros::from_secs_f64(window_s))
+        .interval(Micros::from_secs_f64(interval_s))
+        .build()
+    {
+        Ok(config) => config,
+        Err(e) => return usage(&e.to_string()),
     };
-    let mut source: Box<dyn PacketSource> = match (follow, sim) {
-        (Some(path), None) => {
-            let idle = exit_idle.map(Duration::from_secs_f64);
-            match FollowSource::open(&path, idle) {
-                Ok(src) => Box::new(src),
-                Err(e) => {
-                    eprintln!("t-dat-monitor: {path}: {e}");
-                    return ExitCode::FAILURE;
+    for spec in sims {
+        match SourceSpec::sim(&spec, opts.clone(), config.interval) {
+            Ok(mut sim) => {
+                if let Some(factor) = pace {
+                    sim = sim.with_pace(factor);
                 }
+                specs.push(sim);
             }
-        }
-        (None, Some(spec)) => match SimSource::from_scenario(&spec, &opts, config.interval, pace) {
-            Ok(src) => Box::new(src),
             Err(e) => return usage(&format!("--sim: {e}")),
-        },
-        _ => return usage("exactly one of --follow or --sim is required"),
+        }
+    }
+    if let Some(budget) = exit_idle {
+        specs = specs
+            .into_iter()
+            .map(|s| s.with_exit_idle(Duration::from_secs_f64(budget)))
+            .collect();
+    }
+    if specs.is_empty() && sweep.is_none() {
+        return usage("at least one of --follow, --sim, or --sweep is required");
+    }
+
+    // Schema selection: v1 only exists for the historical single-source
+    // shape; anything plural (or a sweep, whose corpus size is not
+    // known to the reader up front) defaults to v2.
+    let plural = specs.len() > 1 || sweep.is_some();
+    let schema = match schema {
+        None if plural => EventSchema::V2,
+        None => EventSchema::V1,
+        Some(1) if plural => {
+            return usage("--schema 1 is single-source only; use --schema 2");
+        }
+        Some(1) => EventSchema::V1,
+        Some(2) => EventSchema::V2,
+        Some(other) => return usage(&format!("--schema: unknown schema {other}")),
     };
 
     let stdout = std::io::stdout();
@@ -105,11 +162,87 @@ fn main() -> ExitCode {
         }
     };
 
+    // Sweep mode: drain the corpus, then (optionally) keep watching the
+    // live sources. Exit failure if any swept file failed.
+    let mut failed = false;
+    if let Some(dir) = &sweep {
+        match sweep_directory(dir, &config, jobs) {
+            Ok(report) => {
+                if let Some(preamble) = schema.preamble(
+                    &report
+                        .outcomes
+                        .iter()
+                        .map(|o| o.source.as_str())
+                        .collect::<Vec<_>>(),
+                ) {
+                    if writeln!(out, "{preamble}").is_err() {
+                        return ExitCode::FAILURE;
+                    }
+                }
+                for outcome in &report.outcomes {
+                    match &outcome.result {
+                        Ok(events) => {
+                            for event in events {
+                                if writeln!(out, "{}", schema.render(event)).is_err() {
+                                    return ExitCode::FAILURE;
+                                }
+                            }
+                        }
+                        Err(e) => {
+                            failed = true;
+                            eprintln!("t-dat-monitor: sweep: {}: {e}", outcome.file.display());
+                        }
+                    }
+                }
+                eprintln!(
+                    "t-dat-monitor: swept {} file(s), {} failed",
+                    report.outcomes.len(),
+                    report.failed()
+                );
+                failed |= report.failed() > 0;
+            }
+            Err(e) => {
+                eprintln!("t-dat-monitor: sweep: {e}");
+                return ExitCode::FAILURE;
+            }
+        }
+    }
+
+    if specs.is_empty() {
+        if out.flush().is_err() {
+            return ExitCode::FAILURE;
+        }
+        return if failed {
+            ExitCode::FAILURE
+        } else {
+            ExitCode::SUCCESS
+        };
+    }
+
+    let mut builder = SourceSet::builder();
+    for spec in specs {
+        builder = builder.source(spec);
+    }
+    if plural {
+        builder = builder.stale_after(stale.map(Duration::from_secs_f64).unwrap_or(DEFAULT_STALE));
+    } else if let Some(valve) = stale {
+        builder = builder.stale_after(Duration::from_secs_f64(valve));
+    }
+    let mut set = match builder.build() {
+        Ok(set) => set,
+        Err(e) => {
+            eprintln!("t-dat-monitor: {e}");
+            return ExitCode::FAILURE;
+        }
+    };
+
     let mut monitor = Monitor::new(config);
-    let status = drive(&mut monitor, source.as_mut(), &mut out);
+    let status = drive(&mut monitor, &mut set, schema, &mut out);
     eprint!("{}", monitor.metrics());
+    failed |= !set.failures().is_empty();
     match status {
-        Ok(()) => ExitCode::SUCCESS,
+        Ok(()) if !failed => ExitCode::SUCCESS,
+        Ok(()) => ExitCode::FAILURE,
         Err(e) => {
             eprintln!("t-dat-monitor: {e}");
             ExitCode::FAILURE
@@ -117,42 +250,83 @@ fn main() -> ExitCode {
     }
 }
 
-/// The streaming main loop: poll, ingest, write events as they happen.
+/// The streaming main loop: poll the set, ingest each released run
+/// under its source's scope, write events as they happen. Per-source
+/// failures are reported and the loop keeps going.
 fn drive(
     monitor: &mut Monitor,
-    source: &mut dyn PacketSource,
+    set: &mut SourceSet,
+    schema: EventSchema,
     out: &mut Box<dyn Write>,
 ) -> Result<(), String> {
+    let ids: Vec<_> = set
+        .names()
+        .iter()
+        .map(|name| monitor.register_source(name))
+        .collect();
+    if let Some(preamble) = schema.preamble(&set.names()) {
+        writeln!(out, "{preamble}").map_err(|e| e.to_string())?;
+    }
     loop {
-        match source.poll().map_err(|e| e.to_string())? {
-            SourceEvent::Batch { frames, now } => {
-                for anomaly in source.drain_anomalies() {
-                    monitor.note_anomaly(anomaly);
-                }
-                for frame in &frames {
-                    monitor.ingest(frame);
+        let event = set.poll();
+        for (sid, anomaly) in set.drain_anomalies() {
+            if let Some(&id) = ids.get(sid.index()) {
+                monitor.note_anomaly_from(id, anomaly);
+            }
+        }
+        match event {
+            SetEvent::Batch { runs, now } => {
+                for run in runs {
+                    let Some(&id) = ids.get(run.source.index()) else {
+                        continue;
+                    };
+                    for frame in &run.frames {
+                        monitor.ingest_from(id, frame);
+                    }
                 }
                 if let Some(now) = now {
                     monitor.advance_to(now);
                 }
-                write_events(monitor, out)?;
+                write_events(monitor, schema, out)?;
             }
-            SourceEvent::Pending => {
+            SetEvent::SourceFailed { source, error } => {
+                let name = set
+                    .name(source)
+                    .map(|n| n.to_string())
+                    .unwrap_or_else(|| source.to_string());
+                eprintln!("t-dat-monitor: source {name}: {error}");
+                monitor
+                    .note_source_failure(ids.get(source.index()).copied().unwrap_or(source), error);
+                write_events(monitor, schema, out)?;
+            }
+            SetEvent::Pending => {
                 // Keep downstream consumers (tail -f) current while idle.
                 out.flush().map_err(|e| e.to_string())?;
-                std::thread::sleep(Duration::from_millis(100));
+                std::thread::sleep(IDLE_BACKOFF);
             }
-            SourceEvent::Finished => break,
+            SetEvent::Finished => break,
         }
     }
     monitor.finish();
-    write_events(monitor, out)?;
+    write_events(monitor, schema, out)?;
     out.flush().map_err(|e| e.to_string())
 }
 
-fn write_events(monitor: &mut Monitor, out: &mut Box<dyn Write>) -> Result<(), String> {
+fn write_events(
+    monitor: &mut Monitor,
+    schema: EventSchema,
+    out: &mut Box<dyn Write>,
+) -> Result<(), String> {
     for event in monitor.drain_events() {
-        writeln!(out, "{}", event.to_json()).map_err(|e| e.to_string())?;
+        if schema == EventSchema::V1 {
+            if let MonitorEvent::SourceDown(down) = &event {
+                // v1 has no source_down line; the failure already went
+                // to stderr. Keep the stream schema-clean.
+                let _ = down;
+                continue;
+            }
+        }
+        writeln!(out, "{}", schema.render(&event)).map_err(|e| e.to_string())?;
     }
     Ok(())
 }
@@ -168,9 +342,10 @@ fn usage(message: &str) -> ExitCode {
         eprintln!("t-dat-monitor: {message}");
     }
     eprintln!(
-        "usage: t-dat-monitor (--follow <pcap> [--exit-idle SECS] | \
-         --sim <{SCENARIO_USAGE}> [--routes N] [--seed S] [--pace F]) \
-         [--window SECS] [--interval SECS] [--events PATH]"
+        "usage: t-dat-monitor [--follow <pcap>]... [--sim <{SCENARIO_USAGE}>]... \
+         [--sweep <dir> [--jobs N]] [--exit-idle SECS] [--stale SECS] \
+         [--routes N] [--seed S] [--pace F] \
+         [--window SECS] [--interval SECS] [--events PATH] [--schema 1|2]"
     );
     ExitCode::from(2)
 }

@@ -3,9 +3,11 @@
 //! [`Monitor`] glues the suite's streaming pieces into a long-running
 //! watcher:
 //!
-//! * frames from any [`PacketSource`] feed a
-//!   [`ConnectionTracker`] (per-connection state) and a [`BgpDemux`]
-//!   (incremental BGP reassembly for both directions);
+//! * frames arrive from one or more packet sources, each registered as
+//!   a named *scope* ([`register_source`](Monitor::register_source));
+//!   every scope gets its own [`ConnectionTracker`] (per-connection
+//!   state) and [`BgpDemux`] (incremental BGP reassembly for both
+//!   directions), so one damaged collector degrades only its own view;
 //! * every `interval` of *trace* time it re-analyzes the connections
 //!   that saw traffic (or new capture damage) since their last
 //!   analysis over a trailing `window` via
@@ -13,14 +15,24 @@
 //!   connections — steady-state tick cost follows new traffic, not the
 //!   open-connection count;
 //! * the detector outcomes become [`Condition`]s fed to an
-//!   [`AlertEngine`], whose raise/clear transitions — plus a final
-//!   report for every connection that closes — surface as
-//!   [`MonitorEvent`]s;
+//!   [`AlertEngine`] keyed per (source, session, kind); peer-group
+//!   blocking correlates across the whole fleet of scopes, but
+//!   quarantined connections are excluded, so a poisoned source never
+//!   contaminates its siblings' correlation;
+//! * alert raise/clear transitions — plus a final report for every
+//!   connection that closes and a notice for every source that dies —
+//!   surface as [`MonitorEvent`]s, each carrying its originating
+//!   source;
 //! * events encode to JSON Lines using only trace (virtual) time, so a
 //!   given input always produces byte-identical output; wall-clock
-//!   readings go to [`MonitorMetrics`] instead.
+//!   readings go to [`MonitorMetrics`] instead. Two wire schemas
+//!   exist: [`EventSchema::V1`] (the historical single-source lines,
+//!   byte-identical to pre-source-set releases) and
+//!   [`EventSchema::V2`] (adds a `source` field and a `meta`
+//!   preamble).
 
 use std::collections::{HashMap, HashSet};
+use std::sync::Arc;
 use std::time::Instant;
 
 use tdat::{
@@ -33,13 +45,21 @@ use tdat_trace::{ConnKey, ConnectionTracker, FinalizedConnection, TrackerConfig}
 
 use crate::alerts::{Alert, AlertConfig, AlertEngine, AlertKind, Condition};
 use crate::metrics::MonitorMetrics;
+use crate::set::{SetEvent, SourceId, SourceSet};
 use crate::source::{AttributedAnomaly, PacketSource, SourceEvent};
 
 /// Wall-clock wait between polls while a source is
 /// [`Pending`](SourceEvent::Pending).
 const PENDING_BACKOFF: std::time::Duration = std::time::Duration::from_millis(50);
 
-/// Monitor tuning.
+/// The scope name the single-source convenience APIs
+/// ([`Monitor::ingest`], [`Monitor::note_anomaly`]) register on first
+/// use.
+pub const DEFAULT_SOURCE: &str = "capture";
+
+/// Monitor tuning. Build one with [`MonitorConfig::builder`] for
+/// validation, or use `Default` / struct update syntax for the
+/// historical permissive path.
 #[derive(Debug, Clone)]
 pub struct MonitorConfig {
     /// Trailing analysis window each tick looks at.
@@ -84,6 +104,138 @@ impl Default for MonitorConfig {
     }
 }
 
+impl MonitorConfig {
+    /// Starts a builder seeded with the defaults; [`build`]
+    /// (MonitorConfigBuilder::build) validates the window, interval,
+    /// alert hysteresis, tracker timeouts, and quarantine budgets.
+    pub fn builder() -> MonitorConfigBuilder {
+        MonitorConfigBuilder {
+            config: MonitorConfig::default(),
+        }
+    }
+}
+
+/// Validating builder for [`MonitorConfig`]; created by
+/// [`MonitorConfig::builder`]. Mirrors
+/// [`AnalyzerConfig::builder`](tdat::AnalyzerConfig::builder).
+#[derive(Debug, Clone)]
+pub struct MonitorConfigBuilder {
+    config: MonitorConfig,
+}
+
+impl MonitorConfigBuilder {
+    /// Sets the trailing analysis window.
+    pub fn window(mut self, window: Micros) -> MonitorConfigBuilder {
+        self.config.window = window;
+        self
+    }
+
+    /// Sets the trace time between analysis ticks.
+    pub fn interval(mut self, interval: Micros) -> MonitorConfigBuilder {
+        self.config.interval = interval;
+        self
+    }
+
+    /// Sets the analysis pipeline configuration.
+    pub fn analyzer(mut self, analyzer: tdat::AnalyzerConfig) -> MonitorConfigBuilder {
+        self.config.analyzer = analyzer;
+        self
+    }
+
+    /// Sets the connection-finalization policy.
+    pub fn tracker(mut self, tracker: TrackerConfig) -> MonitorConfigBuilder {
+        self.config.tracker = tracker;
+        self
+    }
+
+    /// Sets the alerting thresholds.
+    pub fn alerts(mut self, alerts: AlertConfig) -> MonitorConfigBuilder {
+        self.config.alerts = alerts;
+        self
+    }
+
+    /// Sets the quarantine budgets.
+    pub fn quarantine(mut self, quarantine: QuarantineConfig) -> MonitorConfigBuilder {
+        self.config.quarantine = quarantine;
+        self
+    }
+
+    /// Sets the recompute-all validation mode.
+    pub fn recompute_all(mut self, recompute_all: bool) -> MonitorConfigBuilder {
+        self.config.recompute_all = recompute_all;
+        self
+    }
+
+    /// Validates and returns the configuration.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`tdat::Error::Config`] when the window or interval is
+    /// non-positive, the interval exceeds the window (traffic between
+    /// consecutive windows would never be analyzed), a hysteresis or
+    /// detector threshold is zero, a tracker timeout is set to zero, or
+    /// a quarantine budget is zero (which would quarantine every
+    /// connection on its first anomaly byte).
+    pub fn build(self) -> tdat::Result<MonitorConfig> {
+        let fail = |reason: String| Err(tdat::Error::Config(reason));
+        let c = &self.config;
+        if c.window <= Micros::ZERO {
+            return fail(format!(
+                "analysis window must be positive, got {} µs",
+                c.window.0
+            ));
+        }
+        if c.interval <= Micros::ZERO {
+            return fail(format!(
+                "tick interval must be positive, got {} µs",
+                c.interval.0
+            ));
+        }
+        if c.interval > c.window {
+            return fail(format!(
+                "tick interval ({:.1} s) exceeds the analysis window ({:.1} s): traffic \
+                 between consecutive windows would never be analyzed",
+                c.interval.as_secs_f64(),
+                c.window.as_secs_f64()
+            ));
+        }
+        if c.alerts.raise_after == 0 {
+            return fail("alert raise_after must be at least 1 tick".to_string());
+        }
+        if c.alerts.clear_after == 0 {
+            return fail("alert clear_after must be at least 1 tick".to_string());
+        }
+        if c.alerts.stall_after <= Micros::ZERO {
+            return fail("stall_after must be positive".to_string());
+        }
+        if c.alerts.min_pause <= Micros::ZERO {
+            return fail("min_pause must be positive".to_string());
+        }
+        for (name, timeout) in [
+            ("tracker idle_timeout", c.tracker.idle_timeout),
+            ("tracker close_grace", c.tracker.close_grace),
+        ] {
+            if timeout.is_some_and(|t| t <= Micros::ZERO) {
+                return fail(format!("{name}, when set, must be positive"));
+            }
+        }
+        if c.tracker.max_connections == Some(0) {
+            return fail("tracker max_connections, when set, must be at least 1".to_string());
+        }
+        if c.quarantine.max_anomalies == 0
+            || c.quarantine.max_unparsed_bytes == 0
+            || c.quarantine.max_overflow_bytes == 0
+        {
+            return fail(
+                "quarantine budgets must be at least 1 (a zero budget would quarantine \
+                 every connection immediately)"
+                    .to_string(),
+            );
+        }
+        Ok(self.config)
+    }
+}
+
 /// A line of the monitor's event stream.
 // Connection summaries dwarf alerts, but events are produced rarely
 // (finalization/transition) and drained immediately — not worth the
@@ -96,6 +248,9 @@ pub enum MonitorEvent {
     /// A connection finalized (closed or idle-expired): its full
     /// whole-lifetime analysis report.
     Connection(ConnectionSummary),
+    /// A source died mid-watch (I/O error or unrecoverable capture
+    /// damage); its siblings keep running.
+    SourceDown(SourceDown),
 }
 
 /// The final report of a finalized connection.
@@ -103,21 +258,51 @@ pub enum MonitorEvent {
 pub struct ConnectionSummary {
     /// Trace time of finalization.
     pub at: Micros,
+    /// The packet source whose capture carried the connection.
+    pub source: Arc<str>,
     /// The session (`ip:port->ip:port`, data sender first).
     pub session: String,
     /// The whole-lifetime analysis report.
     pub report: Report,
 }
 
+/// Notice that a source died mid-watch.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct SourceDown {
+    /// Trace time the failure was observed at.
+    pub at: Micros,
+    /// The failed source.
+    pub source: Arc<str>,
+    /// The terminal error.
+    pub detail: String,
+}
+
 impl MonitorEvent {
-    /// Encodes the event as one JSON object (one JSONL line, no
-    /// trailing newline). All times are trace time in seconds.
+    /// Encodes the event as one `tdat-monitor-events/1` JSON object
+    /// (one JSONL line, no trailing newline) — the historical
+    /// single-source wire format, kept byte-identical: alert and
+    /// connection lines carry no `source` field. All times are trace
+    /// time in seconds.
     pub fn to_json(&self) -> String {
+        self.encode(false)
+    }
+
+    /// Encodes the event as one `tdat-monitor-events/2` JSON object:
+    /// identical to [`to_json`](Self::to_json) except every line gains
+    /// a `source` field right after `type`.
+    pub fn to_json_v2(&self) -> String {
+        self.encode(true)
+    }
+
+    fn encode(&self, with_source: bool) -> String {
         let mut out = String::with_capacity(256);
         out.push('{');
         match self {
             MonitorEvent::Alert(a) => {
                 json::push_str_field(&mut out, "type", "alert", false);
+                if with_source {
+                    json::push_str_field(&mut out, "source", &a.source, true);
+                }
                 json::push_num_field(&mut out, "at_s", a.at.as_secs_f64(), true);
                 json::push_str_field(&mut out, "action", a.action.as_str(), true);
                 json::push_str_field(&mut out, "kind", a.kind.as_str(), true);
@@ -140,13 +325,73 @@ impl MonitorEvent {
             }
             MonitorEvent::Connection(c) => {
                 json::push_str_field(&mut out, "type", "connection", false);
+                if with_source {
+                    json::push_str_field(&mut out, "source", &c.source, true);
+                }
                 json::push_num_field(&mut out, "at_s", c.at.as_secs_f64(), true);
                 json::push_str_field(&mut out, "session", &c.session, true);
                 json::push_raw_field(&mut out, "report", &c.report.to_json(), true);
             }
+            MonitorEvent::SourceDown(d) => {
+                json::push_str_field(&mut out, "type", "source_down", false);
+                json::push_str_field(&mut out, "source", &d.source, true);
+                json::push_num_field(&mut out, "at_s", d.at.as_secs_f64(), true);
+                json::push_str_field(&mut out, "detail", &d.detail, true);
+            }
         }
         out.push('}');
         out
+    }
+}
+
+/// The JSONL wire schema for the monitor's event stream.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum EventSchema {
+    /// `tdat-monitor-events/1`: the historical single-source lines,
+    /// byte-identical to pre-source-set releases (no `source` field, no
+    /// preamble).
+    #[default]
+    V1,
+    /// `tdat-monitor-events/2`: every line carries a `source` field,
+    /// and the stream opens with a `meta` preamble listing the
+    /// registered sources.
+    V2,
+}
+
+impl EventSchema {
+    /// The schema identifier written in the v2 preamble.
+    pub const fn name(self) -> &'static str {
+        match self {
+            EventSchema::V1 => "tdat-monitor-events/1",
+            EventSchema::V2 => "tdat-monitor-events/2",
+        }
+    }
+
+    /// Renders one event in this schema (one JSONL line, no trailing
+    /// newline).
+    pub fn render(self, event: &MonitorEvent) -> String {
+        match self {
+            EventSchema::V1 => event.to_json(),
+            EventSchema::V2 => event.to_json_v2(),
+        }
+    }
+
+    /// The stream preamble, if this schema has one: v2 emits a `meta`
+    /// line declaring the schema and the source names (in [`SourceId`]
+    /// order); v1 has no preamble.
+    pub fn preamble<S: AsRef<str>>(self, sources: &[S]) -> Option<String> {
+        match self {
+            EventSchema::V1 => None,
+            EventSchema::V2 => {
+                let mut out = String::with_capacity(128);
+                out.push('{');
+                json::push_str_field(&mut out, "type", "meta", false);
+                json::push_str_field(&mut out, "schema", self.name(), true);
+                json::push_str_array_field(&mut out, "sources", sources, true);
+                out.push('}');
+                Some(out)
+            }
+        }
     }
 }
 
@@ -184,6 +429,7 @@ struct CachedAnalysis {
 /// conditions.
 fn analysis_conditions(
     analysis: &Analysis,
+    source: &Arc<str>,
     session: &str,
     timer_min_gaps: usize,
     config: &tdat::AnalyzerConfig,
@@ -193,6 +439,7 @@ fn analysis_conditions(
     // untrustworthy evidence: surface only the capture-quality alert.
     if let Some(reason) = analysis.verdict.reason() {
         conditions.push(Condition {
+            source: source.clone(),
             session: session.to_string(),
             kind: AlertKind::CaptureQuality,
             evidence: analysis.period,
@@ -202,6 +449,7 @@ fn analysis_conditions(
     }
     if let Some(timer) = analysis.infer_timer(timer_min_gaps) {
         conditions.push(Condition {
+            source: source.clone(),
             session: session.to_string(),
             kind: AlertKind::TimerGap,
             evidence: analysis.period,
@@ -218,6 +466,7 @@ fn analysis_conditions(
             .iter()
             .fold(worst.span, |hull, e| hull.hull(e.span));
         conditions.push(Condition {
+            source: source.clone(),
             session: session.to_string(),
             kind: AlertKind::ConsecutiveRetransmissions,
             evidence,
@@ -230,6 +479,7 @@ fn analysis_conditions(
     }
     if let Some(bug) = analysis.zero_ack_bug() {
         conditions.push(Condition {
+            source: source.clone(),
             session: session.to_string(),
             kind: AlertKind::ZeroWindowBug,
             evidence: bug.spans.hull().unwrap_or(analysis.period),
@@ -242,21 +492,13 @@ fn analysis_conditions(
     conditions
 }
 
-/// The long-running monitoring engine; see the module docs.
+/// Per-source isolation unit: everything whose damage must stay
+/// confined to the source that produced it.
 #[derive(Debug)]
-pub struct Monitor {
-    analyzer: Analyzer,
+struct SourceScope {
+    name: Arc<str>,
     tracker: ConnectionTracker,
-    tracker_config: TrackerConfig,
     demux: BgpDemux,
-    alerts: AlertEngine,
-    metrics: MonitorMetrics,
-    window: Micros,
-    interval: Micros,
-    /// Trace time the monitor has advanced to.
-    now: Micros,
-    /// Next tick boundary; set by the first time advance.
-    next_tick: Option<Micros>,
     /// Per-connection data-progress watermarks for stall detection:
     /// `(data bytes at last progress, tick time of last progress)`.
     progress: HashMap<ConnKey, (u64, Micros)>,
@@ -266,11 +508,30 @@ pub struct Monitor {
     /// Connections whose `quality` entry changed since their last
     /// analysis — they must be re-analyzed even without new traffic.
     quality_dirty: HashSet<ConnKey>,
-    /// Capture damage the source could not tie to any connection.
+    /// Capture damage this source could not tie to any connection.
     unattributed: AnomalyCounts,
     /// Cached per-connection analyses from previous ticks; entries are
     /// refreshed only when their connection is dirty.
     cache: HashMap<ConnKey, CachedAnalysis>,
+}
+
+/// The long-running monitoring engine; see the module docs.
+#[derive(Debug)]
+pub struct Monitor {
+    analyzer: Analyzer,
+    tracker_config: TrackerConfig,
+    alerts: AlertEngine,
+    metrics: MonitorMetrics,
+    window: Micros,
+    interval: Micros,
+    /// Trace time the monitor has advanced to.
+    now: Micros,
+    /// Next tick boundary; set by the first time advance.
+    next_tick: Option<Micros>,
+    /// Per-source isolation units, indexed by [`SourceId`].
+    scopes: Vec<SourceScope>,
+    /// Name → scope index, for idempotent registration.
+    index: HashMap<Arc<str>, SourceId>,
     recompute_all: bool,
     events: Vec<MonitorEvent>,
 }
@@ -280,20 +541,15 @@ impl Monitor {
     pub fn new(config: MonitorConfig) -> Monitor {
         Monitor {
             analyzer: Analyzer::new(config.analyzer).with_quarantine(config.quarantine),
-            tracker: ConnectionTracker::new(config.tracker),
             tracker_config: config.tracker,
-            demux: BgpDemux::new(),
             alerts: AlertEngine::new(config.alerts),
             metrics: MonitorMetrics::default(),
             window: config.window.max(Micros(1)),
             interval: config.interval.max(Micros(1)),
             now: Micros::ZERO,
             next_tick: None,
-            progress: HashMap::new(),
-            quality: HashMap::new(),
-            quality_dirty: HashSet::new(),
-            unattributed: AnomalyCounts::default(),
-            cache: HashMap::new(),
+            scopes: Vec::new(),
+            index: HashMap::new(),
             recompute_all: config.recompute_all,
             events: Vec::new(),
         }
@@ -309,13 +565,62 @@ impl Monitor {
         self.now
     }
 
-    /// Ingests one captured frame (capture order). Runs any analysis
-    /// ticks that became due *before* this frame's timestamp.
+    /// Registers a named source scope (idempotent: a known name returns
+    /// its existing id). Everything ingested under the returned
+    /// [`SourceId`] — connections, capture damage, alerts, reports —
+    /// stays attributed to this source.
+    pub fn register_source(&mut self, name: &str) -> SourceId {
+        if let Some(&id) = self.index.get(name) {
+            return id;
+        }
+        let id = SourceId(self.scopes.len() as u32);
+        let name: Arc<str> = Arc::from(name);
+        self.index.insert(name.clone(), id);
+        self.scopes.push(SourceScope {
+            name,
+            // The tracker stamps the scope index into everything it
+            // finalizes, so a finalized connection routes back to its
+            // source without a lookup.
+            tracker: ConnectionTracker::scoped(self.tracker_config, id.index() as u64),
+            demux: BgpDemux::new(),
+            progress: HashMap::new(),
+            quality: HashMap::new(),
+            quality_dirty: HashSet::new(),
+            unattributed: AnomalyCounts::default(),
+            cache: HashMap::new(),
+        });
+        self.metrics.record_sources(self.scopes.len());
+        id
+    }
+
+    /// The registered source names, in [`SourceId`] order.
+    pub fn source_names(&self) -> Vec<Arc<str>> {
+        self.scopes.iter().map(|s| s.name.clone()).collect()
+    }
+
+    /// Ingests one captured frame (capture order) under the default
+    /// [`DEFAULT_SOURCE`] scope. Runs any analysis ticks that became
+    /// due *before* this frame's timestamp.
     pub fn ingest(&mut self, frame: &TcpFrame) {
+        let id = self.register_source(DEFAULT_SOURCE);
+        self.ingest_from(id, frame);
+    }
+
+    /// Ingests one captured frame under a registered source scope.
+    /// Frames must arrive in capture order *per source*; the caller (or
+    /// a [`SourceSet`]) is responsible for a sensible global
+    /// interleaving. Runs any analysis ticks that became due before
+    /// this frame's timestamp.
+    pub fn ingest_from(&mut self, source: SourceId, frame: &TcpFrame) {
         self.advance_to(frame.timestamp);
-        self.metrics.record_frame();
-        self.demux.feed(frame);
-        let finalized = self.tracker.ingest(frame);
+        let Some(scope) = self.scopes.get_mut(source.index()) else {
+            debug_assert!(false, "unregistered source {source}");
+            return;
+        };
+        let name = scope.name.clone();
+        self.metrics.record_frame_from(&name);
+        scope.demux.feed(frame);
+        let finalized = scope.tracker.ingest(frame);
         for fin in finalized {
             self.finalize(fin);
         }
@@ -344,26 +649,67 @@ impl Monitor {
         self.next_tick = Some(boundary);
     }
 
-    /// Notes one capture anomaly the source survived. Attributed
-    /// anomalies count against their connection's quarantine budget;
-    /// unattributable damage is tallied globally.
+    /// Notes one capture anomaly under the default [`DEFAULT_SOURCE`]
+    /// scope.
     pub fn note_anomaly(&mut self, anomaly: AttributedAnomaly) {
+        let id = self.register_source(DEFAULT_SOURCE);
+        self.note_anomaly_from(id, anomaly);
+    }
+
+    /// Notes one capture anomaly a source survived. Attributed
+    /// anomalies count against their connection's quarantine budget
+    /// *within that source's scope*; unattributable damage is tallied
+    /// per source.
+    pub fn note_anomaly_from(&mut self, source: SourceId, anomaly: AttributedAnomaly) {
         self.metrics.record_anomaly();
+        let Some(scope) = self.scopes.get_mut(source.index()) else {
+            debug_assert!(false, "unregistered source {source}");
+            return;
+        };
         match anomaly.key {
             Some(key) => {
-                self.quality.entry(key).or_default().note(&anomaly.anomaly);
+                scope.quality.entry(key).or_default().note(&anomaly.anomaly);
                 // New damage changes the quarantine verdict; the
                 // connection must be re-analyzed at the next tick even
                 // if it saw no traffic.
-                self.quality_dirty.insert(key);
+                scope.quality_dirty.insert(key);
             }
-            None => self.unattributed.note(&anomaly.anomaly),
+            None => scope.unattributed.note(&anomaly.anomaly),
         }
     }
 
-    /// Capture damage the source could not tie to any connection.
-    pub fn unattributed_anomalies(&self) -> &AnomalyCounts {
-        &self.unattributed
+    /// Notes that a source died mid-watch, emitting a
+    /// [`MonitorEvent::SourceDown`]. Its scope's accumulated state
+    /// stays: already-tracked connections finalize and report normally.
+    pub fn note_source_failure(&mut self, source: SourceId, detail: String) {
+        self.metrics.record_source_failure();
+        let Some(scope) = self.scopes.get(source.index()) else {
+            debug_assert!(false, "unregistered source {source}");
+            return;
+        };
+        self.events.push(MonitorEvent::SourceDown(SourceDown {
+            at: self.now,
+            source: scope.name.clone(),
+            detail,
+        }));
+    }
+
+    /// Capture damage no source could tie to any connection, summed
+    /// across sources.
+    pub fn unattributed_anomalies(&self) -> AnomalyCounts {
+        let mut total = AnomalyCounts::default();
+        for scope in &self.scopes {
+            total.merge(&scope.unattributed);
+        }
+        total
+    }
+
+    /// Open connections across every source scope.
+    pub fn open_connections(&self) -> usize {
+        self.scopes
+            .iter()
+            .map(|s| s.tracker.open_connections())
+            .sum()
     }
 
     /// Takes the events accumulated since the last drain.
@@ -372,55 +718,62 @@ impl Monitor {
     }
 
     /// The per-connection analyses as of the last tick, rendered as
-    /// `(session, report JSON)` in tracker-insertion order — a
-    /// point-in-time view of the monitor's working state, used by the
-    /// differential tests proving incremental ticks equal full
-    /// recomputation.
-    pub fn snapshot_reports(&self) -> Vec<(String, String)> {
-        let mut entries: Vec<(u64, String, String)> = self
-            .cache
-            .values()
-            .map(|cached| {
-                (
-                    cached.ordinal,
-                    cached.session.clone(),
-                    Report::from_analysis(&cached.analysis, self.analyzer.config()).to_json(),
-                )
-            })
-            .collect();
-        entries.sort_unstable_by_key(|(ordinal, _, _)| *ordinal);
-        entries
-            .into_iter()
-            .map(|(_, session, report)| (session, report))
-            .collect()
+    /// `(source, session, report JSON)` in (source, tracker-insertion)
+    /// order — a point-in-time view of the monitor's working state,
+    /// used by the differential tests proving incremental ticks equal
+    /// full recomputation.
+    pub fn snapshot_reports(&self) -> Vec<(String, String, String)> {
+        let mut out = Vec::new();
+        for scope in &self.scopes {
+            let mut entries: Vec<(u64, String, String)> = scope
+                .cache
+                .values()
+                .map(|cached| {
+                    (
+                        cached.ordinal,
+                        cached.session.clone(),
+                        Report::from_analysis(&cached.analysis, self.analyzer.config()).to_json(),
+                    )
+                })
+                .collect();
+            entries.sort_unstable_by_key(|(ordinal, _, _)| *ordinal);
+            out.extend(
+                entries
+                    .into_iter()
+                    .map(|(_, session, report)| (scope.name.to_string(), session, report)),
+            );
+        }
+        out
     }
 
-    /// Ends the watch: finalizes every still-open connection (emitting
-    /// its report and clearing its alerts). The monitor is reusable
-    /// afterwards, fresh.
+    /// Ends the watch: finalizes every still-open connection in every
+    /// scope (emitting its report and clearing its alerts). The monitor
+    /// is reusable afterwards, fresh.
     pub fn finish(&mut self) {
-        let tracker = std::mem::replace(
-            &mut self.tracker,
-            ConnectionTracker::new(self.tracker_config),
-        );
-        for fin in tracker.finish() {
-            self.finalize(fin);
+        for idx in 0..self.scopes.len() {
+            let fresh = ConnectionTracker::scoped(self.tracker_config, idx as u64);
+            let Some(scope) = self.scopes.get_mut(idx) else {
+                continue;
+            };
+            let tracker = std::mem::replace(&mut scope.tracker, fresh);
+            for fin in tracker.finish() {
+                self.finalize(fin);
+            }
         }
         self.next_tick = None;
     }
 
-    /// Drives a source to exhaustion: polls, ingests, sleeps briefly
-    /// when the source is pending, finalizes at the end. Returns every
-    /// event of the run (including any already accumulated but not yet
-    /// drained).
-    ///
-    /// Long-running drivers that want to stream events out as they
-    /// happen should run this loop themselves with
-    /// [`drain_events`](Self::drain_events) between polls.
+    /// Drives a single source to exhaustion under the default
+    /// [`DEFAULT_SOURCE`] scope; superseded by the multi-source
+    /// [`run_set`](Self::run_set).
     ///
     /// # Errors
     ///
     /// Stops at the first source error (I/O or malformed capture).
+    #[deprecated(
+        note = "build a `SourceSet` and use `Monitor::run_set`, which isolates \
+                         per-source failures instead of aborting the watch"
+    )]
     pub fn run(&mut self, source: &mut dyn PacketSource) -> tdat_packet::Result<Vec<MonitorEvent>> {
         loop {
             match source.poll()? {
@@ -443,10 +796,62 @@ impl Monitor {
         Ok(self.drain_events())
     }
 
-    /// One analysis tick at trace time `at`: re-analyze the *dirty*
-    /// connections (new traffic or new capture damage since their last
-    /// analysis), reuse cached analyses for the rest, evaluate
-    /// detectors over the full cache, update alerts.
+    /// Drives a [`SourceSet`] to exhaustion: registers one scope per
+    /// source, polls the set's watermark merge, ingests each released
+    /// run under its source's scope, sleeps briefly while the set is
+    /// pending, finalizes at the end. Per-source failures surface as
+    /// [`MonitorEvent::SourceDown`] while the siblings keep running —
+    /// the run itself never fails. Returns every event of the run
+    /// (including any already accumulated but not yet drained).
+    ///
+    /// Long-running drivers that want to stream events out as they
+    /// happen should run this loop themselves with
+    /// [`drain_events`](Self::drain_events) between polls.
+    pub fn run_set(&mut self, set: &mut SourceSet) -> Vec<MonitorEvent> {
+        let ids: Vec<SourceId> = set
+            .names()
+            .iter()
+            .map(|name| self.register_source(name))
+            .collect();
+        loop {
+            let event = set.poll();
+            for (sid, anomaly) in set.drain_anomalies() {
+                if let Some(&id) = ids.get(sid.index()) {
+                    self.note_anomaly_from(id, anomaly);
+                }
+            }
+            match event {
+                SetEvent::Batch { runs, now } => {
+                    for run in runs {
+                        let Some(&id) = ids.get(run.source.index()) else {
+                            continue;
+                        };
+                        for frame in &run.frames {
+                            self.ingest_from(id, frame);
+                        }
+                    }
+                    if let Some(now) = now {
+                        self.advance_to(now);
+                    }
+                }
+                SetEvent::Pending => std::thread::sleep(PENDING_BACKOFF),
+                SetEvent::SourceFailed { source, error } => {
+                    if let Some(&id) = ids.get(source.index()) {
+                        self.note_source_failure(id, error);
+                    }
+                }
+                SetEvent::Finished => break,
+            }
+        }
+        self.finish();
+        self.drain_events()
+    }
+
+    /// One analysis tick at trace time `at`: per scope, re-analyze the
+    /// *dirty* connections (new traffic or new capture damage since
+    /// their last analysis), reuse cached analyses for the rest;
+    /// evaluate detectors over every scope's cache; correlate
+    /// peer-group blocking across the whole fleet; update alerts.
     ///
     /// Each connection's analysis window is anchored at its last-dirty
     /// tick (`[anchor - window, anchor]`), so a cached entry is exactly
@@ -454,118 +859,154 @@ impl Monitor {
     /// with new traffic, not with the open-connection count.
     fn tick(&mut self, at: Micros) {
         let started = Instant::now();
+        let timer_min_gaps = self.alerts.config().timer_min_gaps;
+        let (stall_after, min_pause) = {
+            let cfg = self.alerts.config();
+            (cfg.stall_after, cfg.min_pause)
+        };
+        let window = self.window;
+        let recompute_all = self.recompute_all;
 
-        // Dirty set: tracker-dirty (saw frames) plus quality-dirty
-        // (new capture damage), deduplicated, still-open only. This is
+        // Phase 1, per scope: refresh the dirty analyses. The dirty
+        // set is tracker-dirty (saw frames) plus quality-dirty (new
+        // capture damage), deduplicated, still-open only. This is
         // computed identically in incremental and recompute-all modes
         // so both assign the same anchors.
-        let mut dirty = self.tracker.take_dirty();
-        if !self.quality_dirty.is_empty() {
-            let seen: HashSet<ConnKey> = dirty.iter().copied().collect();
-            let mut extra: Vec<(u64, ConnKey)> = Vec::new();
-            for key in self.quality_dirty.drain() {
-                if seen.contains(&key) {
+        for scope in &mut self.scopes {
+            let mut dirty = scope.tracker.take_dirty();
+            if !scope.quality_dirty.is_empty() {
+                let seen: HashSet<ConnKey> = dirty.iter().copied().collect();
+                let mut extra: Vec<(u64, ConnKey)> = Vec::new();
+                for key in scope.quality_dirty.drain() {
+                    if seen.contains(&key) {
+                        continue;
+                    }
+                    // A key the tracker does not know (damage attributed
+                    // to a connection that never produced a decodable
+                    // frame, or one that already finalized) has nothing
+                    // to analyze.
+                    if let Some(ordinal) = scope.tracker.ordinal_of(key) {
+                        extra.push((ordinal, key));
+                    }
+                }
+                extra.sort_unstable();
+                dirty.extend(extra.into_iter().map(|(_, key)| key));
+            }
+
+            let work: Vec<(ConnKey, Micros)> = if recompute_all {
+                let dirty_set: HashSet<ConnKey> = dirty.iter().copied().collect();
+                scope
+                    .tracker
+                    .open_keys()
+                    .into_iter()
+                    .map(|key| {
+                        let anchor = if dirty_set.contains(&key) {
+                            at
+                        } else {
+                            scope.cache.get(&key).map(|c| c.anchor).unwrap_or(at)
+                        };
+                        (key, anchor)
+                    })
+                    .collect()
+            } else {
+                dirty.into_iter().map(|key| (key, at)).collect()
+            };
+
+            for (key, anchor) in work {
+                let (Some(fin), Some(ordinal)) = (
+                    scope.tracker.snapshot_of(key),
+                    scope.tracker.ordinal_of(key),
+                ) else {
+                    continue;
+                };
+                let span = Span::new(anchor.saturating_sub(window), anchor);
+                let extraction = scope.demux.snapshot(key, fin.connection.sender);
+                let counts = scope.quality.get(&key).copied().unwrap_or_default();
+                let analysis =
+                    self.analyzer
+                        .analyze_partial_lossy(fin.connection, &extraction, span, counts);
+                let session = session_id(&analysis);
+                let conditions = analysis_conditions(
+                    &analysis,
+                    &scope.name,
+                    &session,
+                    timer_min_gaps,
+                    self.analyzer.config(),
+                );
+                scope.cache.insert(
+                    key,
+                    CachedAnalysis {
+                        ordinal,
+                        anchor,
+                        session,
+                        conditions,
+                        analysis,
+                    },
+                );
+            }
+        }
+
+        // Phase 2, per scope: condition evaluation over the whole cache
+        // (cheap: no re-analysis), in tracker-insertion order for
+        // determinism.
+        let mut conditions: Vec<Condition> = Vec::new();
+        let mut open = 0usize;
+        for scope in &mut self.scopes {
+            let SourceScope {
+                name,
+                progress,
+                cache,
+                ..
+            } = scope;
+            let mut entries: Vec<(&ConnKey, &CachedAnalysis)> = cache.iter().collect();
+            entries.sort_unstable_by_key(|(_, cached)| cached.ordinal);
+            open += entries.len();
+            for (key, cached) in &entries {
+                let analysis = &cached.analysis;
+                // Analysis-derived conditions were evaluated once at the
+                // entry's last refresh; a clean, idle connection costs
+                // nothing here beyond the stall watermark check below.
+                conditions.extend(cached.conditions.iter().cloned());
+                // Stall detection: trace-time watermark on data
+                // progress. Independent of analysis caching — an idle
+                // connection's byte count cannot have changed, and the
+                // comparison runs against the *current* tick time.
+                // Quarantined connections only surface the
+                // capture-quality condition.
+                if analysis.verdict.is_quarantined() {
                     continue;
                 }
-                // A key the tracker does not know (damage attributed to
-                // a connection that never produced a decodable frame,
-                // or one that already finalized) has nothing to
-                // analyze.
-                if let Some(ordinal) = self.tracker.ordinal_of(key) {
-                    extra.push((ordinal, key));
+                let bytes = analysis.profile.data_bytes;
+                let mark = progress.entry(**key).or_insert((bytes, at));
+                if bytes > mark.0 {
+                    *mark = (bytes, at);
+                } else if bytes > 0 && at - mark.1 >= stall_after {
+                    conditions.push(Condition {
+                        source: name.clone(),
+                        session: cached.session.clone(),
+                        kind: AlertKind::StalledTransfer,
+                        evidence: Span::new(mark.1, at),
+                        detail: format!(
+                            "no data progress for {:.0} s ({} bytes transferred)",
+                            (at - mark.1).as_secs_f64(),
+                            bytes
+                        ),
+                    });
                 }
             }
-            extra.sort_unstable();
-            dirty.extend(extra.into_iter().map(|(_, key)| key));
         }
 
-        let work: Vec<(ConnKey, Micros)> = if self.recompute_all {
-            let dirty_set: HashSet<ConnKey> = dirty.iter().copied().collect();
-            self.tracker
-                .open_keys()
-                .into_iter()
-                .map(|key| {
-                    let anchor = if dirty_set.contains(&key) {
-                        at
-                    } else {
-                        self.cache.get(&key).map(|c| c.anchor).unwrap_or(at)
-                    };
-                    (key, anchor)
-                })
-                .collect()
-        } else {
-            dirty.into_iter().map(|key| (key, at)).collect()
-        };
-
-        let timer_min_gaps = self.alerts.config().timer_min_gaps;
-        for (key, anchor) in work {
-            let (Some(fin), Some(ordinal)) =
-                (self.tracker.snapshot_of(key), self.tracker.ordinal_of(key))
-            else {
-                continue;
-            };
-            let window = Span::new(anchor.saturating_sub(self.window), anchor);
-            let extraction = self.demux.snapshot(key, fin.connection.sender);
-            let counts = self.quality.get(&key).copied().unwrap_or_default();
-            let analysis =
-                self.analyzer
-                    .analyze_partial_lossy(fin.connection, &extraction, window, counts);
-            let session = session_id(&analysis);
-            let conditions =
-                analysis_conditions(&analysis, &session, timer_min_gaps, self.analyzer.config());
-            self.cache.insert(
-                key,
-                CachedAnalysis {
-                    ordinal,
-                    anchor,
-                    session,
-                    conditions,
-                    analysis,
-                },
-            );
+        // Phase 3: peer-group blocking correlates across the whole
+        // fleet — a BGP sender paces *all* its group members, wherever
+        // each one was captured. Quarantined connections are excluded,
+        // so a poisoned source cannot contaminate the correlation.
+        let mut fleet: Vec<(&Arc<str>, &CachedAnalysis)> = Vec::new();
+        for scope in &self.scopes {
+            let mut entries: Vec<&CachedAnalysis> = scope.cache.values().collect();
+            entries.sort_unstable_by_key(|cached| cached.ordinal);
+            fleet.extend(entries.into_iter().map(|cached| (&scope.name, cached)));
         }
-
-        // Condition evaluation runs over the whole cache (cheap: no
-        // re-analysis), in tracker-insertion order for determinism.
-        let mut entries: Vec<(&ConnKey, &CachedAnalysis)> = self.cache.iter().collect();
-        entries.sort_unstable_by_key(|(_, cached)| cached.ordinal);
-        let open = entries.len();
-
-        let mut conditions = Vec::new();
-        let cfg = self.alerts.config();
-        let (stall_after, min_pause) = (cfg.stall_after, cfg.min_pause);
-        for (key, cached) in &entries {
-            let analysis = &cached.analysis;
-            // Analysis-derived conditions were evaluated once at the
-            // entry's last refresh; a clean, idle connection costs
-            // nothing here beyond the stall watermark check below.
-            conditions.extend(cached.conditions.iter().cloned());
-            // Stall detection: trace-time watermark on data progress.
-            // Independent of analysis caching — an idle connection's
-            // byte count cannot have changed, and the comparison runs
-            // against the *current* tick time. Quarantined connections
-            // only surface the capture-quality condition.
-            if analysis.verdict.is_quarantined() {
-                continue;
-            }
-            let bytes = analysis.profile.data_bytes;
-            let mark = self.progress.entry(**key).or_insert((bytes, at));
-            if bytes > mark.0 {
-                *mark = (bytes, at);
-            } else if bytes > 0 && at - mark.1 >= stall_after {
-                conditions.push(Condition {
-                    session: cached.session.clone(),
-                    kind: AlertKind::StalledTransfer,
-                    evidence: Span::new(mark.1, at),
-                    detail: format!(
-                        "no data progress for {:.0} s ({} bytes transferred)",
-                        (at - mark.1).as_secs_f64(),
-                        bytes
-                    ),
-                });
-            }
-        }
-        let analyses: Vec<&Analysis> = entries.iter().map(|(_, c)| &c.analysis).collect();
+        let analyses: Vec<&Analysis> = fleet.iter().map(|(_, c)| &c.analysis).collect();
         for (blocked, faulty, incidents) in find_peer_group_blocking_all(&analyses, min_pause) {
             if analyses[blocked].verdict.is_quarantined()
                 || analyses[faulty].verdict.is_quarantined()
@@ -575,18 +1016,29 @@ impl Monitor {
             let Some(last) = incidents.last() else {
                 continue;
             };
+            let (blocked_src, blocked_cached) = fleet[blocked];
+            let (faulty_src, faulty_cached) = fleet[faulty];
+            // Name the faulty member's source only when it differs —
+            // single-source detail stays byte-identical.
+            let cross = if blocked_src == faulty_src {
+                String::new()
+            } else {
+                format!(" [source {faulty_src}]")
+            };
             conditions.push(Condition {
-                session: entries[blocked].1.session.clone(),
+                source: blocked_src.clone(),
+                session: blocked_cached.session.clone(),
                 kind: AlertKind::PeerGroupBlocking,
                 evidence: last.pause,
                 detail: format!(
-                    "paused behind faulty group member {} ({:.0} s overlap with its losses)",
-                    entries[faulty].1.session,
+                    "paused behind faulty group member {}{} ({:.0} s overlap with its losses)",
+                    faulty_cached.session,
+                    cross,
                     last.overlap.duration().as_secs_f64()
                 ),
             });
         }
-        drop(entries);
+        drop(fleet);
 
         for alert in self.alerts.observe(at, &conditions) {
             self.metrics.record_alert(&alert);
@@ -595,29 +1047,40 @@ impl Monitor {
         self.metrics.record_tick(open, started.elapsed());
     }
 
-    /// A connection left the tracker: emit its whole-lifetime report
-    /// and clear its alerts.
+    /// A connection left its scope's tracker: emit its whole-lifetime
+    /// report (attributed to its source) and clear its alerts. The
+    /// tracker stamped the scope index into `fin.scope`.
     fn finalize(&mut self, fin: FinalizedConnection) {
-        self.progress.remove(&fin.key);
-        self.cache.remove(&fin.key);
-        self.quality_dirty.remove(&fin.key);
-        let counts = self.quality.remove(&fin.key).unwrap_or_default();
-        let extraction = self.demux.take(fin.key, fin.connection.sender);
+        let Some(scope) = self.scopes.get_mut(fin.scope as usize) else {
+            debug_assert!(
+                false,
+                "finalized connection from unknown scope {}",
+                fin.scope
+            );
+            return;
+        };
+        scope.progress.remove(&fin.key);
+        scope.cache.remove(&fin.key);
+        scope.quality_dirty.remove(&fin.key);
+        let counts = scope.quality.remove(&fin.key).unwrap_or_default();
+        let extraction = scope.demux.take(fin.key, fin.connection.sender);
+        let source = scope.name.clone();
         let analysis = self
             .analyzer
             .analyze_extracted_lossy(fin.connection, &extraction, counts);
         let session = session_id(&analysis);
         let at = self.now.max(analysis.profile.end);
-        for alert in self.alerts.clear_session(&session, at) {
+        for alert in self.alerts.clear_session(&source, &session, at) {
             self.metrics.record_alert(&alert);
             self.events.push(MonitorEvent::Alert(alert));
         }
         let report = Report::from_analysis(&analysis, self.analyzer.config());
-        self.metrics
-            .record_finalized(self.tracker.open_connections());
+        let open = self.open_connections();
+        self.metrics.record_finalized(open);
         self.events
             .push(MonitorEvent::Connection(ConnectionSummary {
                 at,
+                source,
                 session,
                 report,
             }));
@@ -633,8 +1096,10 @@ mod tests {
     /// Handshake then `n` MSS data/ACK exchanges, 1.5 ms apart — below
     /// the idle-gap threshold, so no `SendAppLimited` (timer) events.
     fn transfer_frames(n: usize) -> Vec<TcpFrame> {
-        let a = Ipv4Addr::new(10, 0, 0, 1);
-        let b = Ipv4Addr::new(10, 0, 0, 2);
+        transfer_frames_between(Ipv4Addr::new(10, 0, 0, 1), Ipv4Addr::new(10, 0, 0, 2), n)
+    }
+
+    fn transfer_frames_between(a: Ipv4Addr, b: Ipv4Addr, n: usize) -> Vec<TcpFrame> {
         let mut frames = Vec::new();
         let mut t = 0i64;
         frames.push(
@@ -709,6 +1174,7 @@ mod tests {
         monitor.advance_to(Micros::from_secs(35));
         assert_eq!(monitor.metrics().ticks(), 3, "boundaries at ~10/20/30 s");
         assert_eq!(monitor.metrics().frames(), 102);
+        assert_eq!(monitor.metrics().frames_from(DEFAULT_SOURCE), 102);
     }
 
     #[test]
@@ -731,6 +1197,7 @@ mod tests {
         assert_eq!(raised.len(), 1, "exactly one alert: {events:?}");
         assert_eq!(raised[0].kind, AlertKind::StalledTransfer);
         assert_eq!(raised[0].session, "10.0.0.1:179->10.0.0.2:40000");
+        assert_eq!(raised[0].source.as_ref(), DEFAULT_SOURCE);
         // Finalization clears the alert and reports the connection.
         monitor.finish();
         let events = monitor.drain_events();
@@ -747,6 +1214,7 @@ mod tests {
             MonitorEvent::Connection(c) => {
                 assert_eq!(c.session, "10.0.0.1:179->10.0.0.2:40000");
                 assert_eq!(c.report.sender, "10.0.0.1:179");
+                assert_eq!(c.source.as_ref(), DEFAULT_SOURCE);
             }
             other => panic!("expected the report, got {other:?}"),
         }
@@ -860,12 +1328,188 @@ mod tests {
         let events = monitor.drain_events();
         assert!(!events.is_empty());
         for event in &events {
-            let line = event.to_json();
-            assert!(!line.contains('\n'));
-            assert!(line.starts_with('{') && line.ends_with('}'));
-            assert_eq!(line.matches('{').count(), line.matches('}').count());
-            assert!(line.contains("\"type\":"));
-            assert!(line.contains("\"at_s\":"));
+            for line in [event.to_json(), event.to_json_v2()] {
+                assert!(!line.contains('\n'));
+                assert!(line.starts_with('{') && line.ends_with('}'));
+                assert_eq!(line.matches('{').count(), line.matches('}').count());
+                assert!(line.contains("\"type\":"));
+                assert!(line.contains("\"at_s\":"));
+            }
+            // v1 carries no source on alert/connection lines; v2 puts
+            // it right after "type".
+            assert!(!event.to_json().contains("\"source\":"));
+            assert!(event
+                .to_json_v2()
+                .contains(&format!("\"source\":\"{DEFAULT_SOURCE}\"")));
         }
+    }
+
+    #[test]
+    fn v2_schema_prefixes_source_after_type() {
+        let summary = SourceDown {
+            at: Micros::from_secs(3),
+            source: Arc::from("a.pcap"),
+            detail: "gone".into(),
+        };
+        let event = MonitorEvent::SourceDown(summary);
+        let v2 = EventSchema::V2.render(&event);
+        assert_eq!(
+            v2,
+            "{\"type\":\"source_down\",\"source\":\"a.pcap\",\"at_s\":3.000000,\
+             \"detail\":\"gone\"}"
+        );
+        let preamble = EventSchema::V2
+            .preamble(&["a.pcap", "sim:clean"])
+            .expect("v2 has a preamble");
+        assert_eq!(
+            preamble,
+            "{\"type\":\"meta\",\"schema\":\"tdat-monitor-events/2\",\
+             \"sources\":[\"a.pcap\",\"sim:clean\"]}"
+        );
+        assert_eq!(EventSchema::V1.preamble(&["a.pcap"]), None);
+    }
+
+    #[test]
+    fn per_source_scopes_isolate_connection_state() {
+        // The same (ip,port) endpoints captured by two different
+        // sources are two distinct connections: finalizing one source's
+        // view must not disturb the other's.
+        let mut monitor = Monitor::new(config(60, 10));
+        let left = monitor.register_source("left.pcap");
+        let right = monitor.register_source("right.pcap");
+        assert_ne!(left, right);
+        assert_eq!(monitor.register_source("left.pcap"), left, "idempotent");
+        let frames = transfer_frames(10);
+        for frame in &frames {
+            monitor.ingest_from(left, frame);
+            monitor.ingest_from(right, frame);
+        }
+        assert_eq!(monitor.open_connections(), 2, "one per scope");
+        assert_eq!(monitor.metrics().frames_from("left.pcap"), 22);
+        assert_eq!(monitor.metrics().frames_from("right.pcap"), 22);
+        monitor.finish();
+        let events = monitor.drain_events();
+        let sources: Vec<String> = events
+            .iter()
+            .filter_map(|e| match e {
+                MonitorEvent::Connection(c) => Some(c.source.to_string()),
+                _ => None,
+            })
+            .collect();
+        assert_eq!(sources, vec!["left.pcap", "right.pcap"]);
+    }
+
+    #[test]
+    fn quarantine_damage_is_confined_to_its_source_scope() {
+        // Poison the connection in scope "bad" far past the quarantine
+        // budget; the identical session in scope "good" must finalize
+        // clean.
+        let mut monitor = Monitor::new(config(60, 10));
+        let good = monitor.register_source("good");
+        let bad = monitor.register_source("bad");
+        let frames = transfer_frames(20);
+        let key = ConnKey::of(&frames[0]);
+        for _ in 0..32 {
+            monitor.note_anomaly_from(
+                bad,
+                AttributedAnomaly {
+                    key: Some(key),
+                    anomaly: tdat_packet::CaptureAnomaly::TruncatedRecord {
+                        detail: "poison".into(),
+                    },
+                },
+            );
+        }
+        for frame in &frames {
+            monitor.ingest_from(good, frame);
+            monitor.ingest_from(bad, frame);
+        }
+        monitor.finish();
+        let events = monitor.drain_events();
+        let verdicts: Vec<(String, String)> = events
+            .iter()
+            .filter_map(|e| match e {
+                MonitorEvent::Connection(c) => {
+                    Some((c.source.to_string(), c.report.verdict.clone()))
+                }
+                _ => None,
+            })
+            .collect();
+        assert_eq!(
+            verdicts,
+            vec![
+                ("good".to_string(), "clean".to_string()),
+                ("bad".to_string(), "quarantined".to_string()),
+            ]
+        );
+    }
+
+    #[test]
+    fn source_failure_emits_source_down_and_keeps_state() {
+        let mut monitor = Monitor::new(config(60, 10));
+        let id = monitor.register_source("flaky.pcap");
+        let frames = transfer_frames(5);
+        for frame in &frames {
+            monitor.ingest_from(id, frame);
+        }
+        monitor.note_source_failure(id, "disk vanished".to_string());
+        monitor.finish();
+        let events = monitor.drain_events();
+        let down: Vec<&SourceDown> = events
+            .iter()
+            .filter_map(|e| match e {
+                MonitorEvent::SourceDown(d) => Some(d),
+                _ => None,
+            })
+            .collect();
+        assert_eq!(down.len(), 1);
+        assert_eq!(down[0].source.as_ref(), "flaky.pcap");
+        assert_eq!(down[0].detail, "disk vanished");
+        assert_eq!(monitor.metrics().source_failures(), 1);
+        // The scope's connections still finalize and report.
+        assert!(events
+            .iter()
+            .any(|e| matches!(e, MonitorEvent::Connection(_))));
+    }
+
+    #[test]
+    fn config_builder_validates() {
+        assert!(MonitorConfig::builder().build().is_ok());
+        let err = MonitorConfig::builder()
+            .window(Micros::ZERO)
+            .build()
+            .expect_err("zero window");
+        assert!(err.to_string().contains("window"), "{err}");
+        let err = MonitorConfig::builder()
+            .window(Micros::from_secs(10))
+            .interval(Micros::from_secs(60))
+            .build()
+            .expect_err("interval exceeding window");
+        assert!(err.to_string().contains("exceeds"), "{err}");
+        let err = MonitorConfig::builder()
+            .alerts(AlertConfig {
+                raise_after: 0,
+                ..AlertConfig::default()
+            })
+            .build()
+            .expect_err("zero raise_after");
+        assert!(err.to_string().contains("raise_after"), "{err}");
+        let err = MonitorConfig::builder()
+            .quarantine(QuarantineConfig {
+                max_anomalies: 0,
+                ..QuarantineConfig::default()
+            })
+            .build()
+            .expect_err("zero quarantine budget");
+        assert!(err.to_string().contains("quarantine"), "{err}");
+        let built = MonitorConfig::builder()
+            .window(Micros::from_secs(30))
+            .interval(Micros::from_secs(5))
+            .recompute_all(true)
+            .build()
+            .expect("valid");
+        assert_eq!(built.window, Micros::from_secs(30));
+        assert_eq!(built.interval, Micros::from_secs(5));
+        assert!(built.recompute_all);
     }
 }

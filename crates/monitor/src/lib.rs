@@ -2,15 +2,23 @@
 //!
 //! The offline analyzer answers "why was that table transfer slow?"
 //! after the fact. This crate answers it *while it is happening*: a
-//! [`Monitor`] ingests frames from a pluggable [`PacketSource`] — a
-//! growing pcap file being written by a sniffer
-//! ([`FollowSource`]) or the discrete-event simulator driven in
-//! virtual time ([`SimSource`]) — and periodically re-analyzes every
-//! open connection over a trailing window. Detector outcomes feed an
-//! [`AlertEngine`] with per-session hysteresis, so alerts raise when a
-//! problem persists and clear when it goes away, once each. Events
-//! stream out as JSON Lines; operational counters (including an
-//! analysis-latency histogram) live in [`MonitorMetrics`].
+//! [`Monitor`] ingests frames from one or more packet sources — a
+//! growing pcap file being written by a sniffer ([`FollowSource`]),
+//! the discrete-event simulator driven in virtual time
+//! ([`SimSource`]), or any custom [`PacketSource`] — and periodically
+//! re-analyzes every open connection over a trailing window. Multiple
+//! sources compose into a [`SourceSet`]: a watermark-based K-way merge
+//! releases frames in global timestamp order while every frame,
+//! anomaly, alert, and report stays attributed to the source that
+//! produced it, so one bad collector degrades only its own view.
+//! Detector outcomes feed an [`AlertEngine`] with per-(source,
+//! session) hysteresis, so alerts raise when a problem persists and
+//! clear when it goes away, once each. Events stream out as JSON Lines
+//! ([`EventSchema::V1`] is the historical single-source format,
+//! [`EventSchema::V2`] adds per-event source attribution);
+//! operational counters (including an analysis-latency histogram and
+//! per-source frame counts) live in [`MonitorMetrics`]. A capture
+//! corpus on disk can be swept in parallel with [`sweep_directory`].
 //!
 //! Determinism: the event stream is keyed exclusively to *trace*
 //! (virtual) time, so the same capture or scenario always produces
@@ -21,25 +29,30 @@
 //!
 //! ```text
 //! t-dat-monitor --follow live.pcap --events alerts.jsonl
-//! t-dat-monitor --sim peergroup --window 300 --interval 10
+//! t-dat-monitor --follow a.pcap --follow b.pcap --sim peergroup --schema 2
+//! t-dat-monitor --sweep captures/ --jobs 4
 //! ```
 //!
 //! # Examples
 //!
-//! Watch a simulated zero-window-bug scenario:
+//! Watch a simulated scenario next to a (hypothetical) live capture:
 //!
 //! ```
-//! use tdat_monitor::{Monitor, MonitorConfig, MonitorEvent, SimSource};
+//! use tdat_monitor::{EventSchema, Monitor, MonitorConfig, SourceSet, SourceSpec};
 //! use tdat_tcpsim::scenario::ScenarioOptions;
 //!
-//! let config = MonitorConfig::default();
+//! let config = MonitorConfig::builder().build()?;
 //! let opts = ScenarioOptions { routes: 500, ..ScenarioOptions::default() };
-//! let mut source = SimSource::from_scenario("clean", &opts, config.interval, None)?;
+//! let spec = SourceSpec::sim("clean", opts, config.interval).map_err(tdat::Error::Config)?;
+//! let mut set = SourceSet::builder()
+//!     .source(spec)
+//!     .build()
+//!     .map_err(tdat::Error::Config)?;
 //! let mut monitor = Monitor::new(config);
-//! for event in monitor.run(&mut source).expect("simulated sources do not fail") {
-//!     println!("{}", event.to_json());
+//! for event in monitor.run_set(&mut set) {
+//!     println!("{}", EventSchema::V1.render(&event));
 //! }
-//! # Ok::<(), String>(())
+//! # Ok::<(), tdat::Error>(())
 //! ```
 
 #![forbid(unsafe_code)]
@@ -49,9 +62,16 @@
 pub mod alerts;
 pub mod engine;
 pub mod metrics;
+pub mod set;
 pub mod source;
+pub mod sweep;
 
 pub use alerts::{Alert, AlertAction, AlertConfig, AlertEngine, AlertKind, Condition, Severity};
-pub use engine::{ConnectionSummary, Monitor, MonitorConfig, MonitorEvent};
+pub use engine::{
+    ConnectionSummary, EventSchema, Monitor, MonitorConfig, MonitorConfigBuilder, MonitorEvent,
+    SourceDown, DEFAULT_SOURCE,
+};
 pub use metrics::{LatencyHistogram, MonitorMetrics};
+pub use set::{SetEvent, SourceId, SourceRun, SourceSet, SourceSetBuilder, SourceSpec};
 pub use source::{AttributedAnomaly, FollowSource, PacketSource, SimSource, SourceEvent};
+pub use sweep::{sweep_directory, SweepOutcome, SweepReport};

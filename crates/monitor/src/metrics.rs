@@ -72,6 +72,9 @@ impl LatencyHistogram {
 #[derive(Debug, Clone, Default, PartialEq, Eq)]
 pub struct MonitorMetrics {
     frames: u64,
+    frames_by_source: BTreeMap<String, u64>,
+    sources: usize,
+    source_failures: u64,
     ticks: u64,
     open_connections: usize,
     connections_finalized: u64,
@@ -82,9 +85,27 @@ pub struct MonitorMetrics {
 }
 
 impl MonitorMetrics {
-    /// Records one ingested frame.
-    pub(crate) fn record_frame(&mut self) {
+    /// Records one frame ingested from a named source.
+    pub(crate) fn record_frame_from(&mut self, source: &str) {
         self.frames += 1;
+        // Fast path: the per-source counter usually exists already, so
+        // the per-frame cost is one short-string map lookup.
+        match self.frames_by_source.get_mut(source) {
+            Some(count) => *count += 1,
+            None => {
+                self.frames_by_source.insert(source.to_string(), 1);
+            }
+        }
+    }
+
+    /// Records the registered-source gauge.
+    pub(crate) fn record_sources(&mut self, sources: usize) {
+        self.sources = self.sources.max(sources);
+    }
+
+    /// Records one source dying mid-watch.
+    pub(crate) fn record_source_failure(&mut self) {
+        self.source_failures += 1;
     }
 
     /// Records one analysis tick: the open-connection gauge and the
@@ -118,6 +139,22 @@ impl MonitorMetrics {
     /// Total frames ingested.
     pub fn frames(&self) -> u64 {
         self.frames
+    }
+
+    /// Frames ingested from one named source.
+    pub fn frames_from(&self, source: &str) -> u64 {
+        self.frames_by_source.get(source).copied().unwrap_or(0)
+    }
+
+    /// Sources ever registered with the monitor.
+    pub fn sources(&self) -> usize {
+        self.sources
+    }
+
+    /// Sources that died mid-watch (I/O error or unrecoverable capture
+    /// damage).
+    pub fn source_failures(&self) -> u64 {
+        self.source_failures
     }
 
     /// Analysis ticks run.
@@ -176,6 +213,16 @@ impl fmt::Display for MonitorMetrics {
             self.connections_finalized,
             self.capture_anomalies
         )?;
+        // Per-source breakdown only when there is something to break
+        // down — single-source output stays as it always was.
+        if self.frames_by_source.len() > 1 {
+            for (source, count) in &self.frames_by_source {
+                writeln!(f, "  from {:<24} {count:>10}", source)?;
+            }
+        }
+        if self.source_failures > 0 {
+            writeln!(f, "source failures      {:>10}", self.source_failures)?;
+        }
         for kind in AlertKind::ALL {
             let raised = self.alerts_raised(kind);
             let cleared = self.alerts_cleared(kind);
@@ -229,12 +276,13 @@ mod tests {
     #[test]
     fn counters_accumulate_and_render() {
         let mut m = MonitorMetrics::default();
-        m.record_frame();
-        m.record_frame();
+        m.record_frame_from("capture");
+        m.record_frame_from("capture");
         m.record_tick(3, Duration::from_micros(500));
         m.record_finalized(2);
         let alert = Alert {
             at: Micros::ZERO,
+            source: std::sync::Arc::from("capture"),
             action: AlertAction::Raise,
             kind: AlertKind::ZeroWindowBug,
             severity: AlertKind::ZeroWindowBug.severity(),
@@ -245,6 +293,8 @@ mod tests {
         };
         m.record_alert(&alert);
         assert_eq!(m.frames(), 2);
+        assert_eq!(m.frames_from("capture"), 2);
+        assert_eq!(m.frames_from("other"), 0);
         assert_eq!(m.ticks(), 1);
         assert_eq!(m.open_connections(), 2);
         assert_eq!(m.connections_finalized(), 1);
@@ -253,5 +303,27 @@ mod tests {
         let text = m.to_string();
         assert!(text.contains("zero_window_bug"));
         assert!(text.contains("frames ingested"));
+        assert!(
+            !text.contains("from capture"),
+            "no per-source breakdown with a single source:\n{text}"
+        );
+    }
+
+    #[test]
+    fn multi_source_render_breaks_down_frames() {
+        let mut m = MonitorMetrics::default();
+        m.record_frame_from("a.pcap");
+        m.record_frame_from("b.pcap");
+        m.record_frame_from("b.pcap");
+        m.record_sources(2);
+        m.record_source_failure();
+        assert_eq!(m.frames(), 3);
+        assert_eq!(m.frames_from("b.pcap"), 2);
+        assert_eq!(m.sources(), 2);
+        assert_eq!(m.source_failures(), 1);
+        let text = m.to_string();
+        assert!(text.contains("a.pcap"), "{text}");
+        assert!(text.contains("b.pcap"), "{text}");
+        assert!(text.contains("source failures"), "{text}");
     }
 }

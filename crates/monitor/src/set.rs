@@ -1,0 +1,811 @@
+//! Multiplexed, identity-carrying source sets.
+//!
+//! One production monitor rarely watches a single capture: a collector
+//! fleet produces one feed per vantage point, plus simulator taps in
+//! testbeds. [`SourceSet`] composes N [`PacketSource`]s behind one
+//! poll loop and assigns each a typed [`SourceId`] plus a stable name,
+//! so every frame, capture anomaly, and failure stays attributed to
+//! the feed it came from — one bad collector degrades only its own
+//! view.
+//!
+//! # Merge discipline
+//!
+//! Sources run on independent clocks; naively interleaving their
+//! batches would let a fast source race the monitor's analysis ticks
+//! ahead of a slow sibling's frames. The set therefore merges by
+//! *watermark*: each source's watermark is the latest trace timestamp
+//! it is known to have passed (its last buffered frame, or its own
+//! clock for simulator taps), and frames are released only up to the
+//! minimum watermark over the live sources — globally ordered by
+//! timestamp, ties broken by source index, FIFO within a source. The
+//! released stream is a pure function of the sources' contents, so a
+//! deterministic set of sources yields a byte-deterministic event
+//! stream.
+//!
+//! A live feed that goes silent would stall that minimum forever;
+//! [`SourceSetBuilder::stale_after`] bounds the damage by excluding a
+//! source from the watermark minimum after that long (wall clock)
+//! without progress. Leave it unset for deterministic offline runs.
+//!
+//! # Failure isolation
+//!
+//! A source whose `poll` errors is marked failed and surfaced once as
+//! [`SetEvent::SourceFailed`]; the set keeps draining its healthy
+//! siblings. The set only reports [`SetEvent::Finished`] when every
+//! source is done (or failed) and every buffered frame was released.
+
+use std::collections::VecDeque;
+use std::fmt;
+use std::path::PathBuf;
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+
+use tdat_packet::TcpFrame;
+use tdat_tcpsim::scenario::{validate_scenario_spec, ScenarioOptions};
+use tdat_timeset::Micros;
+
+use crate::source::{AttributedAnomaly, FollowSource, PacketSource, SimSource, SourceEvent};
+
+/// Identifies one source within a [`SourceSet`] — and the per-source
+/// scope a [`Monitor`](crate::Monitor) opens for it. A dense 0-based
+/// index, stable for the lifetime of the set.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct SourceId(pub(crate) u32);
+
+impl SourceId {
+    /// The dense 0-based index.
+    pub fn index(self) -> usize {
+        self.0 as usize
+    }
+}
+
+impl fmt::Display for SourceId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "#{}", self.0)
+    }
+}
+
+/// Declarative description of one packet source — the builder-facing
+/// half of the source-set API. A spec validates cheaply at
+/// construction and opens into a boxed [`PacketSource`] when the set
+/// is built.
+#[derive(Debug, Clone)]
+pub enum SourceSpec {
+    /// Tail a (possibly still growing) pcap file via the lossy
+    /// follower.
+    Follow {
+        /// The capture file.
+        path: PathBuf,
+        /// Finish after this long (wall clock) without a new record;
+        /// `None` follows forever. The idle clock starts at the first
+        /// consumed record unless `idle_from_open` is set.
+        exit_idle: Option<Duration>,
+        /// Arm the idle clock at open (static-corpus drain mode).
+        idle_from_open: bool,
+    },
+    /// Drive a canonical simulator scenario as a live tap.
+    Sim {
+        /// The scenario spec (`name[:param]` grammar).
+        scenario: String,
+        /// Table size, seed, and RTT knobs.
+        options: ScenarioOptions,
+        /// Virtual-time step per poll.
+        step: Micros,
+        /// Virtual seconds per wall second; `None` runs accelerated.
+        pace: Option<f64>,
+    },
+}
+
+impl SourceSpec {
+    /// A follow-mode source tailing `path` forever (see
+    /// [`with_exit_idle`](Self::with_exit_idle)).
+    pub fn follow(path: impl Into<PathBuf>) -> SourceSpec {
+        SourceSpec::Follow {
+            path: path.into(),
+            exit_idle: None,
+            idle_from_open: false,
+        }
+    }
+
+    /// A simulator-tap source driving `scenario` in `step`-sized
+    /// virtual-time increments. The spec is validated against the
+    /// scenario grammar immediately — without building the simulation.
+    ///
+    /// # Errors
+    ///
+    /// Returns the scenario parser's message for an unknown or
+    /// malformed spec.
+    pub fn sim(
+        scenario: &str,
+        options: ScenarioOptions,
+        step: Micros,
+    ) -> Result<SourceSpec, String> {
+        validate_scenario_spec(scenario)?;
+        Ok(SourceSpec::Sim {
+            scenario: scenario.to_string(),
+            options,
+            step,
+            pace: None,
+        })
+    }
+
+    /// Sets the follow-mode idle budget (no-op for sim sources).
+    pub fn with_exit_idle(mut self, budget: Duration) -> SourceSpec {
+        if let SourceSpec::Follow { exit_idle, .. } = &mut self {
+            *exit_idle = Some(budget);
+        }
+        self
+    }
+
+    /// Arms the follow-mode idle clock at open instead of at the first
+    /// record (no-op for sim sources) — static-corpus drain mode.
+    pub fn with_idle_from_open(mut self) -> SourceSpec {
+        if let SourceSpec::Follow { idle_from_open, .. } = &mut self {
+            *idle_from_open = true;
+        }
+        self
+    }
+
+    /// Sets wall-clock pacing for a sim source (no-op for follow
+    /// sources).
+    pub fn with_pace(mut self, factor: f64) -> SourceSpec {
+        if let SourceSpec::Sim { pace, .. } = &mut self {
+            *pace = Some(factor);
+        }
+        self
+    }
+
+    /// The spec's default source name: the capture's file name for
+    /// follow mode, `sim:<spec>` for simulator taps.
+    pub fn label(&self) -> String {
+        match self {
+            SourceSpec::Follow { path, .. } => path
+                .file_name()
+                .map(|n| n.to_string_lossy().into_owned())
+                .unwrap_or_else(|| path.display().to_string()),
+            SourceSpec::Sim { scenario, .. } => format!("sim:{scenario}"),
+        }
+    }
+
+    /// Opens the described source.
+    ///
+    /// # Errors
+    ///
+    /// Follow specs fail when the file cannot be opened; sim specs fail
+    /// on a spec the validator missed (parameter semantics checked only
+    /// at build time).
+    pub fn open(&self) -> Result<Box<dyn PacketSource>, String> {
+        match self {
+            SourceSpec::Follow {
+                path,
+                exit_idle,
+                idle_from_open,
+            } => {
+                let mut source =
+                    FollowSource::tail(path).map_err(|e| format!("{}: {e}", path.display()))?;
+                if let Some(budget) = exit_idle {
+                    source = source.with_exit_idle(*budget);
+                }
+                if *idle_from_open {
+                    source = source.idle_from_open();
+                }
+                Ok(Box::new(source))
+            }
+            SourceSpec::Sim {
+                scenario,
+                options,
+                step,
+                pace,
+            } => {
+                let mut source = SimSource::scenario(scenario, options, *step)?;
+                if let Some(factor) = pace {
+                    source = source.with_pace(*factor);
+                }
+                Ok(Box::new(source))
+            }
+        }
+    }
+}
+
+/// A maximal run of consecutively released frames from one source, in
+/// capture order. The frames of one [`SetEvent::Batch`] are globally
+/// timestamp-ordered across its runs.
+#[derive(Debug)]
+pub struct SourceRun {
+    /// The originating source.
+    pub source: SourceId,
+    /// The frames, in capture order.
+    pub frames: Vec<TcpFrame>,
+}
+
+/// One poll's outcome for a [`SourceSet`].
+#[derive(Debug)]
+pub enum SetEvent {
+    /// Frames released by the watermark merge (possibly none), plus
+    /// the merged clock after them: trace time every live source is
+    /// known to have passed. Drive the monitor to `now` after
+    /// ingesting the runs.
+    Batch {
+        /// Released frames, grouped per source, globally
+        /// timestamp-ordered.
+        runs: Vec<SourceRun>,
+        /// The merged source clock, when it advanced.
+        now: Option<Micros>,
+    },
+    /// Nothing releasable right now; poll again after a short wait.
+    Pending,
+    /// A source died (I/O error or unrecoverable capture damage). The
+    /// set keeps serving its siblings; the failed source is reported
+    /// exactly once.
+    SourceFailed {
+        /// The failed source.
+        source: SourceId,
+        /// The terminal error.
+        error: String,
+    },
+    /// Every source is exhausted (or failed) and every buffered frame
+    /// was released.
+    Finished,
+}
+
+#[derive(Debug, Clone, PartialEq, Eq)]
+enum EntryState {
+    Live,
+    Done,
+    Failed(String),
+}
+
+struct SetEntry {
+    name: Arc<str>,
+    source: Box<dyn PacketSource>,
+    buffer: VecDeque<TcpFrame>,
+    /// Latest trace timestamp this source is known to have passed.
+    watermark: Option<Micros>,
+    state: EntryState,
+    /// Wall clock of the last productive poll (for the stale valve).
+    last_progress: Instant,
+}
+
+impl fmt::Debug for SetEntry {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("SetEntry")
+            .field("name", &self.name)
+            .field("buffered", &self.buffer.len())
+            .field("watermark", &self.watermark)
+            .field("state", &self.state)
+            .finish()
+    }
+}
+
+/// How far the merge may release frames this poll.
+enum ReleaseLimit {
+    /// A live source has produced nothing yet: nothing may release.
+    Blocked,
+    /// Release frames with timestamps up to (and including) this.
+    Upto(Micros),
+    /// No live constraint remains: release everything buffered.
+    All,
+}
+
+/// A multiplexed set of packet sources with per-source identity; see
+/// the module docs for the merge and failure-isolation rules.
+#[derive(Debug)]
+pub struct SourceSet {
+    entries: Vec<SetEntry>,
+    anomalies: Vec<(SourceId, AttributedAnomaly)>,
+    /// Failures not yet surfaced through [`SetEvent::SourceFailed`].
+    pending_failures: VecDeque<(SourceId, String)>,
+    /// The merged clock last reported in a [`SetEvent::Batch`].
+    last_now: Option<Micros>,
+    stale_after: Option<Duration>,
+}
+
+impl SourceSet {
+    /// Starts an empty builder.
+    pub fn builder() -> SourceSetBuilder {
+        SourceSetBuilder {
+            sources: Vec::new(),
+            stale_after: None,
+        }
+    }
+
+    /// Number of sources in the set.
+    pub fn len(&self) -> usize {
+        self.entries.len()
+    }
+
+    /// Whether the set holds no sources.
+    pub fn is_empty(&self) -> bool {
+        self.entries.is_empty()
+    }
+
+    /// The name of one source.
+    pub fn name(&self, id: SourceId) -> Option<&Arc<str>> {
+        self.entries.get(id.index()).map(|e| &e.name)
+    }
+
+    /// Every source name, by [`SourceId`] index.
+    pub fn names(&self) -> Vec<Arc<str>> {
+        self.entries.iter().map(|e| e.name.clone()).collect()
+    }
+
+    /// Sources that failed so far, with their terminal errors.
+    pub fn failures(&self) -> Vec<(SourceId, String)> {
+        self.entries
+            .iter()
+            .enumerate()
+            .filter_map(|(i, e)| match &e.state {
+                EntryState::Failed(error) => Some((SourceId(i as u32), error.clone())),
+                _ => None,
+            })
+            .collect()
+    }
+
+    /// Takes the capture anomalies collected since the last drain, each
+    /// tagged with its originating source, in poll order.
+    pub fn drain_anomalies(&mut self) -> Vec<(SourceId, AttributedAnomaly)> {
+        std::mem::take(&mut self.anomalies)
+    }
+
+    /// Polls every live source once and releases the frames the
+    /// watermark merge allows. Never fails as a whole: per-source
+    /// errors surface as [`SetEvent::SourceFailed`] and the set keeps
+    /// going.
+    pub fn poll(&mut self) -> SetEvent {
+        if let Some((source, error)) = self.pending_failures.pop_front() {
+            return SetEvent::SourceFailed { source, error };
+        }
+
+        for (i, entry) in self.entries.iter_mut().enumerate() {
+            if entry.state != EntryState::Live {
+                continue;
+            }
+            match entry.source.poll() {
+                Ok(SourceEvent::Batch { frames, now }) => {
+                    entry.last_progress = Instant::now();
+                    for anomaly in entry.source.drain_anomalies() {
+                        self.anomalies.push((SourceId(i as u32), anomaly));
+                    }
+                    for frame in frames {
+                        entry.watermark = Some(match entry.watermark {
+                            Some(w) => w.max(frame.timestamp),
+                            None => frame.timestamp,
+                        });
+                        entry.buffer.push_back(frame);
+                    }
+                    if let Some(clock) = now {
+                        entry.watermark = Some(match entry.watermark {
+                            Some(w) => w.max(clock),
+                            None => clock,
+                        });
+                    }
+                }
+                Ok(SourceEvent::Pending) => {
+                    // Anomalies can only accompany consumption, but
+                    // draining here costs nothing and keeps custom
+                    // sources honest.
+                    for anomaly in entry.source.drain_anomalies() {
+                        self.anomalies.push((SourceId(i as u32), anomaly));
+                    }
+                }
+                Ok(SourceEvent::Finished) => {
+                    for anomaly in entry.source.drain_anomalies() {
+                        self.anomalies.push((SourceId(i as u32), anomaly));
+                    }
+                    entry.state = EntryState::Done;
+                }
+                Err(e) => {
+                    let error = e.to_string();
+                    entry.state = EntryState::Failed(error.clone());
+                    self.pending_failures.push_back((SourceId(i as u32), error));
+                }
+            }
+        }
+
+        if let Some((source, error)) = self.pending_failures.pop_front() {
+            return SetEvent::SourceFailed { source, error };
+        }
+
+        match self.release_limit() {
+            ReleaseLimit::Blocked => SetEvent::Pending,
+            ReleaseLimit::Upto(limit) => {
+                let runs = self.drain_releasable(Some(limit));
+                if runs.is_empty() && Some(limit) <= self.last_now {
+                    return SetEvent::Pending;
+                }
+                self.last_now = Some(self.last_now.map_or(limit, |n| n.max(limit)));
+                SetEvent::Batch {
+                    runs,
+                    now: Some(limit),
+                }
+            }
+            ReleaseLimit::All => {
+                let runs = self.drain_releasable(None);
+                let end = self.entries.iter().filter_map(|e| e.watermark).max();
+                let advanced = match (end, self.last_now) {
+                    (Some(e), Some(n)) => e > n,
+                    (Some(_), None) => true,
+                    (None, _) => false,
+                };
+                if runs.is_empty() && !advanced {
+                    return SetEvent::Finished;
+                }
+                if let Some(e) = end {
+                    self.last_now = Some(self.last_now.map_or(e, |n| n.max(e)));
+                }
+                SetEvent::Batch { runs, now: end }
+            }
+        }
+    }
+
+    /// The watermark rule: the minimum over live (non-stale) sources.
+    fn release_limit(&self) -> ReleaseLimit {
+        let mut min: Option<Micros> = None;
+        let mut constrained = false;
+        for entry in &self.entries {
+            if entry.state != EntryState::Live {
+                continue;
+            }
+            if let Some(valve) = self.stale_after {
+                if entry.last_progress.elapsed() >= valve {
+                    continue;
+                }
+            }
+            constrained = true;
+            match entry.watermark {
+                Some(w) => min = Some(min.map_or(w, |m| m.min(w))),
+                None => return ReleaseLimit::Blocked,
+            }
+        }
+        match (constrained, min) {
+            (true, Some(limit)) => ReleaseLimit::Upto(limit),
+            _ => ReleaseLimit::All,
+        }
+    }
+
+    /// K-way merge of the buffered frames up to `limit` (`None` drains
+    /// everything): globally timestamp-ordered, ties to the lowest
+    /// source index, FIFO within a source.
+    fn drain_releasable(&mut self, limit: Option<Micros>) -> Vec<SourceRun> {
+        let mut runs: Vec<SourceRun> = Vec::new();
+        loop {
+            let mut best: Option<(usize, Micros)> = None;
+            for (i, entry) in self.entries.iter().enumerate() {
+                let Some(frame) = entry.buffer.front() else {
+                    continue;
+                };
+                if limit.is_some_and(|l| frame.timestamp > l) {
+                    continue;
+                }
+                if best.is_none_or(|(_, ts)| frame.timestamp < ts) {
+                    best = Some((i, frame.timestamp));
+                }
+            }
+            let Some((i, _)) = best else { break };
+            let Some(frame) = self.entries.get_mut(i).and_then(|e| e.buffer.pop_front()) else {
+                break;
+            };
+            match runs.last_mut() {
+                Some(run) if run.source.index() == i => run.frames.push(frame),
+                _ => runs.push(SourceRun {
+                    source: SourceId(i as u32),
+                    frames: vec![frame],
+                }),
+            }
+        }
+        runs
+    }
+}
+
+enum PendingSource {
+    Spec(SourceSpec),
+    Custom(Box<dyn PacketSource>),
+}
+
+/// Builder for a [`SourceSet`]; created by [`SourceSet::builder`].
+pub struct SourceSetBuilder {
+    sources: Vec<(Option<String>, PendingSource)>,
+    stale_after: Option<Duration>,
+}
+
+impl fmt::Debug for SourceSetBuilder {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("SourceSetBuilder")
+            .field("sources", &self.sources.len())
+            .field("stale_after", &self.stale_after)
+            .finish()
+    }
+}
+
+impl SourceSetBuilder {
+    /// Adds a source under its default label (see
+    /// [`SourceSpec::label`]).
+    pub fn source(mut self, spec: SourceSpec) -> SourceSetBuilder {
+        self.sources.push((None, PendingSource::Spec(spec)));
+        self
+    }
+
+    /// Adds a source under an explicit name.
+    pub fn named(mut self, name: impl Into<String>, spec: SourceSpec) -> SourceSetBuilder {
+        self.sources
+            .push((Some(name.into()), PendingSource::Spec(spec)));
+        self
+    }
+
+    /// Adds an already-open source under an explicit name — the
+    /// injection point for custom [`PacketSource`] implementations.
+    pub fn custom(
+        mut self,
+        name: impl Into<String>,
+        source: Box<dyn PacketSource>,
+    ) -> SourceSetBuilder {
+        self.sources
+            .push((Some(name.into()), PendingSource::Custom(source)));
+        self
+    }
+
+    /// Excludes a live source from the watermark minimum after this
+    /// long (wall clock) without progress, so one silent feed cannot
+    /// stall its siblings' analysis forever. Leave unset for
+    /// deterministic offline runs.
+    pub fn stale_after(mut self, valve: Duration) -> SourceSetBuilder {
+        self.stale_after = Some(valve);
+        self
+    }
+
+    /// Opens every source and builds the set. Names are deduplicated
+    /// by appending `#2`, `#3`, … to later collisions.
+    ///
+    /// # Errors
+    ///
+    /// Fails on an empty set or when any source fails to open
+    /// (configuration errors fail fast; runtime errors are isolated
+    /// per source instead).
+    pub fn build(self) -> Result<SourceSet, String> {
+        if self.sources.is_empty() {
+            return Err("a source set needs at least one source".to_string());
+        }
+        let mut taken: Vec<String> = Vec::new();
+        let mut entries = Vec::with_capacity(self.sources.len());
+        for (name, pending) in self.sources {
+            let base = match (&name, &pending) {
+                (Some(n), _) => n.clone(),
+                (None, PendingSource::Spec(spec)) => spec.label(),
+                (None, PendingSource::Custom(_)) => "custom".to_string(),
+            };
+            let mut unique = base.clone();
+            let mut serial = 1usize;
+            while taken.contains(&unique) {
+                serial += 1;
+                unique = format!("{base}#{serial}");
+            }
+            taken.push(unique.clone());
+            let source = match pending {
+                PendingSource::Spec(spec) => {
+                    spec.open().map_err(|e| format!("source {unique}: {e}"))?
+                }
+                PendingSource::Custom(source) => source,
+            };
+            entries.push(SetEntry {
+                name: Arc::from(unique.as_str()),
+                source,
+                buffer: VecDeque::new(),
+                watermark: None,
+                state: EntryState::Live,
+                last_progress: Instant::now(),
+            });
+        }
+        Ok(SourceSet {
+            entries,
+            anomalies: Vec::new(),
+            pending_failures: VecDeque::new(),
+            last_now: None,
+            stale_after: self.stale_after,
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::net::Ipv4Addr;
+    use tdat_packet::FrameBuilder;
+
+    /// A scripted source: yields its batches one per poll, then
+    /// finishes (or fails, when `error_after` is set).
+    struct Scripted {
+        batches: VecDeque<(Vec<TcpFrame>, Option<Micros>)>,
+        fail: Option<String>,
+    }
+
+    impl Scripted {
+        fn of(batches: Vec<(Vec<TcpFrame>, Option<Micros>)>) -> Scripted {
+            Scripted {
+                batches: batches.into(),
+                fail: None,
+            }
+        }
+    }
+
+    impl PacketSource for Scripted {
+        fn poll(&mut self) -> tdat_packet::Result<SourceEvent> {
+            match self.batches.pop_front() {
+                Some((frames, now)) => Ok(SourceEvent::Batch { frames, now }),
+                None => match self.fail.take() {
+                    Some(detail) => Err(tdat_packet::PacketError::Malformed {
+                        what: "scripted source",
+                        detail,
+                    }),
+                    None => Ok(SourceEvent::Finished),
+                },
+            }
+        }
+    }
+
+    fn frame(last_octet: u8, at_us: i64) -> TcpFrame {
+        FrameBuilder::new(
+            Ipv4Addr::new(10, 9, 0, last_octet),
+            Ipv4Addr::new(10, 9, 255, 1),
+        )
+        .at(Micros(at_us))
+        .ports(179, 40000)
+        .seq(1)
+        .payload(vec![0xaa; 8])
+        .build()
+    }
+
+    fn stamps(set: &mut SourceSet) -> Vec<(u32, i64)> {
+        let mut out = Vec::new();
+        loop {
+            match set.poll() {
+                SetEvent::Batch { runs, .. } => {
+                    for run in runs {
+                        for f in run.frames {
+                            out.push((run.source.0, f.timestamp.0));
+                        }
+                    }
+                }
+                SetEvent::Pending => panic!("scripted sources never go pending"),
+                SetEvent::SourceFailed { .. } => {}
+                SetEvent::Finished => break,
+            }
+        }
+        out
+    }
+
+    #[test]
+    fn watermark_merge_interleaves_by_timestamp() {
+        // Source 0 has frames at 10/30/50; source 1 at 20/40/60, each
+        // delivered across two polls. The merge must interleave them
+        // globally by timestamp regardless of poll arrival.
+        let a = Scripted::of(vec![
+            (vec![frame(1, 10), frame(1, 30)], None),
+            (vec![frame(1, 50)], None),
+        ]);
+        let b = Scripted::of(vec![
+            (vec![frame(2, 20)], None),
+            (vec![frame(2, 40), frame(2, 60)], None),
+        ]);
+        let mut set = SourceSet::builder()
+            .custom("a", Box::new(a))
+            .custom("b", Box::new(b))
+            .build()
+            .expect("build");
+        assert_eq!(
+            stamps(&mut set),
+            vec![(0, 10), (1, 20), (0, 30), (1, 40), (0, 50), (1, 60)]
+        );
+    }
+
+    #[test]
+    fn ties_release_the_lower_source_index_first() {
+        let a = Scripted::of(vec![(vec![frame(1, 10)], None)]);
+        let b = Scripted::of(vec![(vec![frame(2, 10)], None)]);
+        let mut set = SourceSet::builder()
+            .custom("x", Box::new(a))
+            .custom("y", Box::new(b))
+            .build()
+            .expect("build");
+        assert_eq!(stamps(&mut set), vec![(0, 10), (1, 10)]);
+    }
+
+    #[test]
+    fn slow_source_holds_back_its_siblings_frames() {
+        // Source 0 races ahead to ts 100; source 1's first batch only
+        // reaches ts 5. Nothing past ts 5 may release on the first
+        // poll.
+        let a = Scripted::of(vec![(vec![frame(1, 1), frame(1, 100)], None)]);
+        let b = Scripted::of(vec![(vec![frame(2, 5)], None), (vec![frame(2, 90)], None)]);
+        let mut set = SourceSet::builder()
+            .custom("fast", Box::new(a))
+            .custom("slow", Box::new(b))
+            .build()
+            .expect("build");
+        match set.poll() {
+            SetEvent::Batch { runs, now } => {
+                let released: Vec<i64> = runs
+                    .iter()
+                    .flat_map(|r| r.frames.iter().map(|f| f.timestamp.0))
+                    .collect();
+                assert_eq!(released, vec![1, 5], "ts 100 held behind the slow source");
+                assert_eq!(now, Some(Micros(5)));
+            }
+            other => panic!("expected a batch, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn one_failed_source_never_kills_the_set() {
+        let mut a = Scripted::of(vec![(vec![frame(1, 10)], None)]);
+        a.fail = Some("simulated I/O error".to_string());
+        let b = Scripted::of(vec![(vec![frame(2, 20)], None), (vec![frame(2, 30)], None)]);
+        let mut set = SourceSet::builder()
+            .custom("dying", Box::new(a))
+            .custom("healthy", Box::new(b))
+            .build()
+            .expect("build");
+        let mut released = Vec::new();
+        let mut failures = Vec::new();
+        loop {
+            match set.poll() {
+                SetEvent::Batch { runs, .. } => {
+                    released.extend(
+                        runs.iter()
+                            .flat_map(|r| r.frames.iter().map(|f| f.timestamp.0)),
+                    );
+                }
+                SetEvent::SourceFailed { source, error } => failures.push((source, error)),
+                SetEvent::Pending => panic!("scripted sources never go pending"),
+                SetEvent::Finished => break,
+            }
+        }
+        assert_eq!(failures.len(), 1);
+        assert_eq!(failures[0].0, SourceId(0));
+        assert!(failures[0].1.contains("simulated I/O error"));
+        assert_eq!(released, vec![10, 20, 30], "healthy source fully drained");
+        assert_eq!(set.failures().len(), 1);
+    }
+
+    #[test]
+    fn duplicate_labels_are_deduplicated() {
+        let a = Scripted::of(vec![]);
+        let b = Scripted::of(vec![]);
+        let set = SourceSet::builder()
+            .custom("tap", Box::new(a))
+            .custom("tap", Box::new(b))
+            .build()
+            .expect("build");
+        let names: Vec<String> = set.names().iter().map(|n| n.to_string()).collect();
+        assert_eq!(names, vec!["tap", "tap#2"]);
+    }
+
+    #[test]
+    fn empty_set_is_rejected() {
+        assert!(SourceSet::builder().build().is_err());
+    }
+
+    #[test]
+    fn sim_spec_validates_eagerly() {
+        let err = SourceSpec::sim("nosuch", ScenarioOptions::default(), Micros::from_secs(1))
+            .expect_err("unknown scenario");
+        assert!(err.contains("nosuch"));
+        assert!(SourceSpec::sim(
+            "timer:250",
+            ScenarioOptions::default(),
+            Micros::from_secs(1)
+        )
+        .is_ok());
+    }
+
+    #[test]
+    fn follow_spec_label_uses_the_file_name() {
+        let spec = SourceSpec::follow("/var/captures/collector-7.pcap");
+        assert_eq!(spec.label(), "collector-7.pcap");
+        assert_eq!(
+            SourceSpec::sim("clean", ScenarioOptions::default(), Micros::from_secs(1))
+                .expect("valid")
+                .label(),
+            "sim:clean"
+        );
+    }
+}

@@ -90,24 +90,64 @@ pub struct FollowSource {
     /// Report [`SourceEvent::Finished`] after this long (wall clock)
     /// without a single new record; `None` follows forever.
     exit_idle: Option<Duration>,
-    last_progress: Instant,
+    /// When the source last consumed a record; `None` until the first
+    /// record arrives, so the idle budget never runs against a capture
+    /// that is still slow to start (unless
+    /// [`idle_from_open`](Self::idle_from_open) armed it).
+    last_progress: Option<Instant>,
 }
 
 impl FollowSource {
-    /// Opens a capture file for following. The file must exist but may
-    /// be empty (even mid-header); content is consumed as it grows.
+    /// Opens a capture file for tailing. The file must exist but may be
+    /// empty (even mid-header); content is consumed as it grows. The
+    /// source follows forever until an idle budget is set with
+    /// [`with_exit_idle`](Self::with_exit_idle).
     ///
     /// # Errors
     ///
     /// Fails if the file cannot be opened.
-    pub fn open(path: impl AsRef<Path>, exit_idle: Option<Duration>) -> Result<FollowSource> {
+    pub fn tail(path: impl AsRef<Path>) -> Result<FollowSource> {
         Ok(FollowSource {
             follower: PcapFollower::open(path)?,
             decoder: LossyDecoder::new(),
             anomalies: Vec::new(),
-            exit_idle,
-            last_progress: Instant::now(),
+            exit_idle: None,
+            last_progress: None,
         })
+    }
+
+    /// Opens a capture file for following.
+    ///
+    /// # Errors
+    ///
+    /// Fails if the file cannot be opened.
+    #[deprecated(
+        note = "use `FollowSource::tail(path)` with `with_exit_idle`, or build the \
+                         source through `SourceSpec::follow`"
+    )]
+    pub fn open(path: impl AsRef<Path>, exit_idle: Option<Duration>) -> Result<FollowSource> {
+        let mut source = FollowSource::tail(path)?;
+        source.exit_idle = exit_idle;
+        Ok(source)
+    }
+
+    /// Sets the idle budget: the source reports
+    /// [`SourceEvent::Finished`] after this long (wall clock) without a
+    /// new record. The clock starts at the *first consumed record* —
+    /// not at open — so a slow-to-start capture with a short budget is
+    /// not abandoned before its first frame.
+    pub fn with_exit_idle(mut self, exit_idle: Duration) -> FollowSource {
+        self.exit_idle = Some(exit_idle);
+        self
+    }
+
+    /// Arms the idle clock immediately at open instead of at the first
+    /// consumed record — for draining a *static* capture corpus where a
+    /// file may legitimately hold no records at all and the drain must
+    /// still terminate.
+    pub fn idle_from_open(mut self) -> FollowSource {
+        self.last_progress = Some(Instant::now());
+        self
     }
 
     /// Complete records consumed so far.
@@ -147,14 +187,14 @@ impl PacketSource for FollowSource {
             }
         }
         if !consumed {
-            if let Some(limit) = self.exit_idle {
-                if self.last_progress.elapsed() >= limit {
+            if let (Some(limit), Some(last)) = (self.exit_idle, self.last_progress) {
+                if last.elapsed() >= limit {
                     return Ok(SourceEvent::Finished);
                 }
             }
             return Ok(SourceEvent::Pending);
         }
-        self.last_progress = Instant::now();
+        self.last_progress = Some(Instant::now());
         Ok(SourceEvent::Batch { frames, now: None })
     }
 
@@ -177,25 +217,50 @@ impl SimSource {
 
     /// Builds a canonical scenario (the `bgpsim` vocabulary, see
     /// [`build_scenario`]) and drives it in `step`-sized virtual-time
-    /// increments. `pace` of `Some(f)` makes `f` virtual seconds elapse
-    /// per wall second; `None` runs as fast as possible
-    /// (deterministic).
+    /// increments, as fast as possible (deterministic). Use
+    /// [`with_pace`](Self::with_pace) to track the wall clock instead.
     ///
     /// # Errors
     ///
     /// Returns the scenario parser's message for an unknown spec.
+    pub fn scenario(
+        spec: &str,
+        opts: &ScenarioOptions,
+        step: Micros,
+    ) -> std::result::Result<SimSource, String> {
+        let built = build_scenario(spec, opts)?;
+        let tap = LiveTap::new(built.sim, built.sniffer, step, built.horizon);
+        Ok(SimSource::new(tap))
+    }
+
+    /// Paces the drive against the wall clock: `factor` virtual seconds
+    /// elapse per wall second (1.0 tracks real time).
+    pub fn with_pace(self, factor: f64) -> SimSource {
+        SimSource {
+            tap: self.tap.paced(factor),
+        }
+    }
+
+    /// Builds a canonical scenario as a live packet feed.
+    ///
+    /// # Errors
+    ///
+    /// Returns the scenario parser's message for an unknown spec.
+    #[deprecated(
+        note = "use `SimSource::scenario` with `with_pace`, or build the source \
+                         through `SourceSpec::sim`"
+    )]
     pub fn from_scenario(
         spec: &str,
         opts: &ScenarioOptions,
         step: Micros,
         pace: Option<f64>,
     ) -> std::result::Result<SimSource, String> {
-        let built = build_scenario(spec, opts)?;
-        let mut tap = LiveTap::new(built.sim, built.sniffer, step, built.horizon);
+        let mut source = SimSource::scenario(spec, opts, step)?;
         if let Some(factor) = pace {
-            tap = tap.paced(factor);
+            source = source.with_pace(factor);
         }
-        Ok(SimSource::new(tap))
+        Ok(source)
     }
 
     /// Virtual time the simulation has been driven to.
@@ -260,7 +325,9 @@ mod tests {
     #[test]
     fn follow_source_reads_then_goes_pending_then_idles_out() {
         let file = TempPcap::create("follow_source", &capture_bytes());
-        let mut src = FollowSource::open(&file.0, Some(Duration::from_millis(10))).expect("open");
+        let mut src = FollowSource::tail(&file.0)
+            .expect("open")
+            .with_exit_idle(Duration::from_millis(10));
         match src.poll().expect("poll") {
             SourceEvent::Batch { frames, now } => {
                 assert_eq!(frames.len(), 1);
@@ -284,7 +351,9 @@ mod tests {
         bytes.extend_from_slice(&[0xde; 200]);
         bytes.extend_from_slice(&second[24..]); // skip the global header
         let file = TempPcap::create("follow_garbage", &bytes);
-        let mut src = FollowSource::open(&file.0, Some(Duration::from_millis(10))).expect("open");
+        let mut src = FollowSource::tail(&file.0)
+            .expect("open")
+            .with_exit_idle(Duration::from_millis(10));
         let mut frames = 0usize;
         loop {
             match src.poll().expect("lossy follow never errors on damage") {
@@ -301,13 +370,67 @@ mod tests {
     }
 
     #[test]
+    fn empty_file_with_short_idle_budget_waits_for_its_first_record() {
+        // Regression: the idle clock must start at the first consumed
+        // record, not at open — a slow-to-start capture with a short
+        // budget must keep waiting, not exit empty-handed.
+        let file = TempPcap::create("slow_start", b"");
+        let mut src = FollowSource::tail(&file.0)
+            .expect("open")
+            .with_exit_idle(Duration::from_millis(5));
+        std::thread::sleep(Duration::from_millis(15));
+        assert!(
+            matches!(src.poll().expect("poll"), SourceEvent::Pending),
+            "no record yet: the idle budget must not be running"
+        );
+        // The capture finally starts: the frame is delivered and the
+        // idle clock arms only now.
+        std::fs::write(&file.0, capture_bytes()).expect("write");
+        loop {
+            match src.poll().expect("poll") {
+                SourceEvent::Batch { frames, .. } => {
+                    assert_eq!(frames.len(), 1);
+                    break;
+                }
+                SourceEvent::Pending => std::thread::sleep(Duration::from_millis(1)),
+                SourceEvent::Finished => panic!("finished before the first record"),
+            }
+        }
+        std::thread::sleep(Duration::from_millis(10));
+        assert!(matches!(src.poll().expect("poll"), SourceEvent::Finished));
+    }
+
+    #[test]
+    fn idle_from_open_terminates_on_a_recordless_file() {
+        // Corpus-drain mode: a static file with no records must still
+        // let the drain finish.
+        let file = TempPcap::create("recordless", b"");
+        let mut src = FollowSource::tail(&file.0)
+            .expect("open")
+            .with_exit_idle(Duration::from_millis(5))
+            .idle_from_open();
+        std::thread::sleep(Duration::from_millis(10));
+        assert!(matches!(src.poll().expect("poll"), SourceEvent::Finished));
+    }
+
+    #[test]
+    fn deprecated_open_wrapper_matches_the_new_path() {
+        let file = TempPcap::create("compat_open", &capture_bytes());
+        #[allow(deprecated)]
+        let mut src = FollowSource::open(&file.0, Some(Duration::from_millis(10))).expect("open");
+        match src.poll().expect("poll") {
+            SourceEvent::Batch { frames, .. } => assert_eq!(frames.len(), 1),
+            other => panic!("expected a batch, got {other:?}"),
+        }
+    }
+
+    #[test]
     fn sim_source_streams_a_scenario_to_completion() {
         let opts = ScenarioOptions {
             routes: 200,
             ..ScenarioOptions::default()
         };
-        let mut src =
-            SimSource::from_scenario("clean", &opts, Micros::from_millis(50), None).expect("build");
+        let mut src = SimSource::scenario("clean", &opts, Micros::from_millis(50)).expect("build");
         let mut frames = 0usize;
         let mut last_now = Micros::ZERO;
         loop {
@@ -328,13 +451,8 @@ mod tests {
 
     #[test]
     fn unknown_scenario_is_rejected() {
-        let err = SimSource::from_scenario(
-            "nosuch",
-            &ScenarioOptions::default(),
-            Micros::from_secs(1),
-            None,
-        )
-        .expect_err("unknown scenario");
+        let err = SimSource::scenario("nosuch", &ScenarioOptions::default(), Micros::from_secs(1))
+            .expect_err("unknown scenario");
         assert!(err.contains("nosuch"));
     }
 }

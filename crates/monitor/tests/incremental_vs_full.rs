@@ -21,8 +21,8 @@ fn collect(spec: &str, routes: usize) -> (Vec<TcpFrame>, Micros) {
         routes,
         ..ScenarioOptions::default()
     };
-    let mut source = SimSource::from_scenario(spec, &opts, Micros::from_millis(250), None)
-        .expect("known scenario");
+    let mut source =
+        SimSource::scenario(spec, &opts, Micros::from_millis(250)).expect("known scenario");
     let mut frames = Vec::new();
     let mut now = Micros::ZERO;
     loop {
@@ -46,7 +46,7 @@ fn collect(spec: &str, routes: usize) -> (Vec<TcpFrame>, Micros) {
 /// Everything one monitor run observes: snapshot reports after each
 /// tick boundary, then the final event stream as JSONL.
 struct Observed {
-    snapshots: Vec<Vec<(String, String)>>,
+    snapshots: Vec<Vec<(String, String, String)>>,
     events: String,
 }
 

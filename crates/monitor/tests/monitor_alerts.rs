@@ -5,27 +5,30 @@
 
 use std::collections::BTreeSet;
 
-use tdat_monitor::{AlertAction, AlertKind, Monitor, MonitorConfig, MonitorEvent, SimSource};
+use tdat_monitor::{
+    AlertAction, AlertKind, Monitor, MonitorConfig, MonitorEvent, SourceSet, SourceSpec,
+};
 use tdat_tcpsim::scenario::ScenarioOptions;
 use tdat_timeset::Micros;
 
 /// Runs a scenario under the monitor and returns every event.
 fn run_scenario(spec: &str, routes: usize, window_s: i64, interval_s: i64) -> Vec<MonitorEvent> {
-    let config = MonitorConfig {
-        window: Micros::from_secs(window_s),
-        interval: Micros::from_secs(interval_s),
-        ..MonitorConfig::default()
-    };
+    let config = MonitorConfig::builder()
+        .window(Micros::from_secs(window_s))
+        .interval(Micros::from_secs(interval_s))
+        .build()
+        .expect("valid monitor config");
     let opts = ScenarioOptions {
         routes,
         ..ScenarioOptions::default()
     };
-    let mut source =
-        SimSource::from_scenario(spec, &opts, config.interval, None).expect("known scenario");
+    let sim = SourceSpec::sim(spec, opts, config.interval).expect("known scenario");
+    let mut set = SourceSet::builder()
+        .source(sim)
+        .build()
+        .expect("single-sim sets always build");
     let mut monitor = Monitor::new(config);
-    monitor
-        .run(&mut source)
-        .expect("simulated sources do not fail")
+    monitor.run_set(&mut set)
 }
 
 fn raised(events: &[MonitorEvent]) -> Vec<&tdat_monitor::Alert> {

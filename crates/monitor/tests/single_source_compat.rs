@@ -1,0 +1,116 @@
+//! Compatibility pin: the source-set redesign must not change a single
+//! byte of single-source output. The deprecated single-source entry
+//! points (`Monitor::run` over a `SimSource`/`FollowSource`) and the
+//! new `SourceSet`-based path are run over the same scenario matrix
+//! and their v1 JSONL streams compared byte for byte.
+#![allow(deprecated)]
+
+use tdat_monitor::{
+    FollowSource, Monitor, MonitorConfig, MonitorEvent, SimSource, SourceSet, SourceSpec,
+};
+use tdat_packet::write_pcap_file;
+use tdat_tcpsim::scenario::ScenarioOptions;
+use tdat_timeset::Micros;
+
+/// The pinned scenario matrix: `(spec, routes, window_s, interval_s)`.
+const MATRIX: [(&str, usize, i64, i64); 3] = [
+    ("zwbug", 12_000, 60, 1),
+    ("peergroup", 10_000, 300, 10),
+    ("clean", 10_000, 120, 10),
+];
+
+fn config(window_s: i64, interval_s: i64) -> MonitorConfig {
+    MonitorConfig {
+        window: Micros::from_secs(window_s),
+        interval: Micros::from_secs(interval_s),
+        ..MonitorConfig::default()
+    }
+}
+
+fn jsonl(events: &[MonitorEvent]) -> String {
+    let mut out = String::new();
+    for e in events {
+        out.push_str(&e.to_json());
+        out.push('\n');
+    }
+    out
+}
+
+#[test]
+fn sim_runs_are_byte_identical_through_a_source_set() {
+    for (spec, routes, window_s, interval_s) in MATRIX {
+        let opts = ScenarioOptions {
+            routes,
+            ..ScenarioOptions::default()
+        };
+        let cfg = config(window_s, interval_s);
+
+        let mut source =
+            SimSource::from_scenario(spec, &opts, cfg.interval, None).expect("known scenario");
+        let mut legacy = Monitor::new(cfg.clone());
+        let old = jsonl(
+            &legacy
+                .run(&mut source)
+                .expect("simulated sources do not fail"),
+        );
+
+        let sim = SourceSpec::sim(spec, opts, cfg.interval).expect("known scenario");
+        let mut set = SourceSet::builder()
+            .source(sim)
+            .build()
+            .expect("single-sim sets always build");
+        let mut fresh = Monitor::new(cfg);
+        let new = jsonl(&fresh.run_set(&mut set));
+
+        assert_eq!(old, new, "{spec}: single-source output changed");
+        assert!(!old.is_empty(), "{spec}: the pin is vacuous");
+    }
+}
+
+#[test]
+fn follow_runs_are_byte_identical_through_a_source_set() {
+    // Materialize one scenario's capture to disk and drain it through
+    // both follow paths.
+    let opts = ScenarioOptions {
+        routes: 6_000,
+        ..ScenarioOptions::default()
+    };
+    let cfg = config(60, 1);
+    let mut sim = SimSource::scenario("zwbug", &opts, cfg.interval).expect("known scenario");
+    let mut frames = Vec::new();
+    loop {
+        use tdat_monitor::{PacketSource, SourceEvent};
+        match sim.poll().expect("simulated sources do not fail") {
+            SourceEvent::Batch {
+                frames: mut batch, ..
+            } => frames.append(&mut batch),
+            SourceEvent::Pending => {}
+            SourceEvent::Finished => break,
+        }
+    }
+    assert!(!frames.is_empty());
+    let path = std::env::temp_dir().join(format!("tdat-compat-follow-{}.pcap", std::process::id()));
+    write_pcap_file(&path, &frames).expect("scratch pcap is writable");
+
+    let mut source =
+        FollowSource::open(&path, Some(std::time::Duration::ZERO)).expect("capture opens");
+    let mut legacy = Monitor::new(cfg.clone());
+    let old = jsonl(&legacy.run(&mut source).expect("clean capture"));
+
+    let spec = SourceSpec::follow(&path)
+        .with_exit_idle(std::time::Duration::ZERO)
+        .with_idle_from_open();
+    let mut set = SourceSet::builder()
+        .source(spec)
+        .build()
+        .expect("capture opens");
+    let mut fresh = Monitor::new(cfg);
+    let new = jsonl(&fresh.run_set(&mut set));
+    let _ = std::fs::remove_file(&path);
+
+    assert_eq!(old, new, "follow-mode output changed");
+    assert!(
+        old.contains("\"type\":\"connection\""),
+        "the pin is vacuous: {old}"
+    );
+}

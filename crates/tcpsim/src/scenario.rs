@@ -333,6 +333,42 @@ pub const SCENARIO_NAMES: &[&str] = &[
 pub const SCENARIO_USAGE: &str =
     "clean|timer[:ms]|slow[:rate]|smallwin|uploss[:p]|burst|zwbug|peergroup";
 
+/// Checks a textual scenario spec against the `name[:param]` grammar
+/// without building the simulation — the cheap front-end validation a
+/// source *builder* wants before any table generation happens. Accepts
+/// exactly the specs [`build_scenario`] accepts.
+///
+/// # Errors
+///
+/// Returns the same descriptive messages [`build_scenario`] would for
+/// an unknown name, a parameter on a parameterless scenario, or a
+/// malformed parameter value.
+pub fn validate_scenario_spec(spec: &str) -> Result<(), String> {
+    let (name, param) = match spec.split_once(':') {
+        Some((n, p)) => (n, Some(p)),
+        None => (spec, None),
+    };
+    if !SCENARIO_NAMES.contains(&name) {
+        return Err(format!("unknown scenario {name:?}"));
+    }
+    match param {
+        None => Ok(()),
+        Some(_) if !matches!(name, "timer" | "slow" | "uploss") => {
+            Err(format!("scenario {name} takes no parameter"))
+        }
+        Some(p) => {
+            let what = match name {
+                "timer" => "interval",
+                "slow" => "rate",
+                _ => "loss probability",
+            };
+            p.parse::<f64>()
+                .map(|_| ())
+                .map_err(|_| format!("scenario {name}: bad {what} {p:?}"))
+        }
+    }
+}
+
 /// Builds a canonical fault scenario from its textual spec — the shared
 /// vocabulary of the `bgpsim` trace synthesizer, the `t-dat-monitor`
 /// `--sim` driver, and the integration tests:
@@ -544,6 +580,37 @@ mod tests {
         assert!(build_scenario("nosuch", &opts).is_err());
         assert!(build_scenario("timer:abc", &opts).is_err());
         assert!(build_scenario("clean:1", &opts).is_err(), "stray parameter");
+    }
+
+    #[test]
+    fn spec_validation_agrees_with_building() {
+        let opts = ScenarioOptions {
+            routes: 50,
+            ..ScenarioOptions::default()
+        };
+        for spec in [
+            "clean",
+            "timer",
+            "timer:500",
+            "slow:20000",
+            "uploss:0.05",
+            "peergroup",
+            "nosuch",
+            "timer:abc",
+            "clean:1",
+            "uploss:x",
+        ] {
+            let validated = validate_scenario_spec(spec);
+            let built = build_scenario(spec, &opts).map(|_| ());
+            assert_eq!(
+                validated.is_ok(),
+                built.is_ok(),
+                "{spec}: validator and builder disagree"
+            );
+            if let (Err(v), Err(b)) = (validated, built) {
+                assert_eq!(v, b, "{spec}: error messages diverge");
+            }
+        }
     }
 
     #[test]

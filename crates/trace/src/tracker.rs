@@ -78,6 +78,9 @@ impl TrackerConfig {
 pub struct FinalizedConnection {
     /// 0-based order in which the connection first appeared.
     pub ordinal: u64,
+    /// The opaque scope tag of the tracker that built this connection
+    /// (see [`ConnectionTracker::scoped`]); 0 for unscoped trackers.
+    pub scope: u64,
     /// The connection's normalized key.
     pub key: ConnKey,
     /// The built connection, identical to what the batch extractor
@@ -103,6 +106,10 @@ struct ConnState {
 #[derive(Debug)]
 pub struct ConnectionTracker {
     config: TrackerConfig,
+    /// Opaque tag copied onto every [`FinalizedConnection`]; lets a
+    /// caller running several trackers side by side (one per capture
+    /// source) attribute finalizations without extra bookkeeping.
+    scope: u64,
     open: HashMap<ConnKey, ConnState>,
     next_ordinal: u64,
     frames_seen: usize,
@@ -117,8 +124,17 @@ const SWEEP_INTERVAL: Micros = Micros::from_millis(250);
 impl ConnectionTracker {
     /// Creates a tracker with the given finalization policy.
     pub fn new(config: TrackerConfig) -> ConnectionTracker {
+        ConnectionTracker::scoped(config, 0)
+    }
+
+    /// Creates a tracker whose finalized connections carry `scope` —
+    /// the multi-source hook: one tracker per capture source, each
+    /// tagged so downstream consumers can attribute every
+    /// [`FinalizedConnection`] to its origin.
+    pub fn scoped(config: TrackerConfig, scope: u64) -> ConnectionTracker {
         ConnectionTracker {
             config,
+            scope,
             open: HashMap::new(),
             next_ordinal: 0,
             frames_seen: 0,
@@ -126,6 +142,11 @@ impl ConnectionTracker {
             last_sweep: Micros::ZERO,
             evicted: 0,
         }
+    }
+
+    /// The scope tag stamped onto finalized connections.
+    pub fn scope(&self) -> u64 {
+        self.scope
     }
 
     /// Connections currently held open.
@@ -226,6 +247,7 @@ impl ConnectionTracker {
                 self.evicted += 1;
                 Some(FinalizedConnection {
                     ordinal: state.ordinal,
+                    scope: self.scope,
                     key,
                     connection: build_connection(&state.metas),
                 })
@@ -264,6 +286,7 @@ impl ConnectionTracker {
                 let state = self.open.remove(&key).expect("selected above");
                 FinalizedConnection {
                     ordinal: state.ordinal,
+                    scope: self.scope,
                     key,
                     connection: build_connection(&state.metas),
                 }
@@ -286,6 +309,7 @@ impl ConnectionTracker {
         open.into_iter()
             .map(|(key, state)| FinalizedConnection {
                 ordinal: state.ordinal,
+                scope: self.scope,
                 key: *key,
                 connection: build_connection(&state.metas),
             })
@@ -297,6 +321,7 @@ impl ConnectionTracker {
     pub fn snapshot_of(&self, key: ConnKey) -> Option<FinalizedConnection> {
         self.open.get(&key).map(|state| FinalizedConnection {
             ordinal: state.ordinal,
+            scope: self.scope,
             key,
             connection: build_connection(&state.metas),
         })
@@ -348,6 +373,7 @@ impl ConnectionTracker {
         rest.into_iter()
             .map(|(key, state)| FinalizedConnection {
                 ordinal: state.ordinal,
+                scope: self.scope,
                 key,
                 connection: build_connection(&state.metas),
             })
