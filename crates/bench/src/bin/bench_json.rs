@@ -80,20 +80,14 @@ fn measure_durations(samples: usize, mut work: impl FnMut() -> std::time::Durati
     times[times.len() / 2]
 }
 
-/// Extracts `"name": {"median_ns": N` from a `BENCH_*.json` file
-/// written by this binary. Minimal by design: the format is ours.
-fn baseline_median(json: &str, name: &str) -> Option<u64> {
-    let key = format!("\"{name}\"");
-    let at = json.find(&key)? + key.len();
-    let rest = &json[at..];
-    let field = "\"median_ns\":";
-    let at = rest.find(field)? + field.len();
-    let digits: String = rest[at..]
-        .chars()
-        .skip_while(|c| c.is_whitespace())
-        .take_while(|c| c.is_ascii_digit())
-        .collect();
-    digits.parse().ok()
+/// Extracts `benches.<name>.median_ns` from a parsed `BENCH_*.json`
+/// file (the canonical suite JSON, parsed with [`tdat::json`]).
+fn baseline_median(baseline: &tdat::json::JsonValue, name: &str) -> Option<u64> {
+    baseline
+        .get("benches")?
+        .get(name)?
+        .get("median_ns")?
+        .as_u64()
 }
 
 fn main() {
@@ -143,6 +137,52 @@ fn main() {
     run_steady("monitor_steady_1_active_0_idle", &monitor_alone);
     run_steady("monitor_steady_1_active_500_idle", &monitor_crowded);
 
+    // Report-store workloads: sealing a 10k-session synthetic corpus
+    // into columnar segments, and rollup / filtered-scan query latency
+    // against the sealed snapshot. Corpus generation and store setup
+    // stay off the clock.
+    let store_dir = std::env::temp_dir().join(format!("tdat-bench-store-{}", std::process::id()));
+    let corpus = tdat_store::synth::synth_records(10_000, 1);
+    let query_store = {
+        std::fs::remove_dir_all(&store_dir).ok();
+        let store = tdat_store::Store::create(&store_dir).expect("create bench store");
+        store.ingest(corpus.clone()).expect("seal bench corpus");
+        store
+    };
+    let snapshot = query_store.snapshot();
+    let rollup =
+        tdat_store::Query::parse("group by peer_as,bucket bucket 1h agg count,mean_duration_s")
+            .expect("rollup query parses");
+    let scan = tdat_store::Query::parse("where verdict = quarantined order by duration_s desc")
+        .expect("scan query parses");
+    let ingest_dir =
+        std::env::temp_dir().join(format!("tdat-bench-store-ingest-{}", std::process::id()));
+    let mut run_timed = |name: &'static str, work: &mut dyn FnMut() -> std::time::Duration| {
+        let median = measure_durations(opts.samples, &mut *work);
+        eprintln!("{name:<40} {:>12.3} ms", median as f64 / 1e6);
+        results.push((name, median));
+    };
+    run_timed("store_ingest_10k", &mut || {
+        std::fs::remove_dir_all(&ingest_dir).ok();
+        let store = tdat_store::Store::create(&ingest_dir).expect("create bench store");
+        let records = corpus.clone();
+        let start = Instant::now();
+        store.ingest(records).expect("seal bench corpus");
+        start.elapsed()
+    });
+    run_timed("store_query_rollup_10k", &mut || {
+        let start = Instant::now();
+        std::hint::black_box(rollup.run(&snapshot));
+        start.elapsed()
+    });
+    run_timed("store_query_scan_10k", &mut || {
+        let start = Instant::now();
+        std::hint::black_box(scan.run(&snapshot));
+        start.elapsed()
+    });
+    std::fs::remove_dir_all(&store_dir).ok();
+    std::fs::remove_dir_all(&ingest_dir).ok();
+
     let lookup = |name: &str| {
         results
             .iter()
@@ -160,12 +200,16 @@ fn main() {
 
     let mut json = String::new();
     json.push_str(&format!(
-        "{{\n  \"schema\": \"{SCHEMA}\",\n  \"samples\": {},\n  \"benches\": {{\n",
+        "{{\n  \"schema\": \"{}\",\n  \"samples\": {},\n  \"benches\": {{\n",
+        tdat::json::escape(SCHEMA),
         opts.samples
     ));
     for (i, (name, ns)) in results.iter().enumerate() {
         let comma = if i + 1 < results.len() { "," } else { "" };
-        json.push_str(&format!("    \"{name}\": {{\"median_ns\": {ns}}}{comma}\n"));
+        json.push_str(&format!(
+            "    \"{}\": {{\"median_ns\": {ns}}}{comma}\n",
+            tdat::json::escape(name)
+        ));
     }
     json.push_str("  }\n}\n");
     std::fs::write(&opts.out, &json).expect("write results json");
@@ -175,6 +219,7 @@ fn main() {
         return;
     };
     let baseline = std::fs::read_to_string(&baseline_path).expect("read baseline json");
+    let baseline = tdat::json::parse(&baseline).expect("baseline is valid suite JSON");
     let mut failed = false;
     for (name, ns) in &results {
         match baseline_median(&baseline, name) {

@@ -82,6 +82,7 @@ mod config;
 pub mod detect;
 mod error;
 mod factors;
+pub mod json;
 pub mod plot;
 pub mod preprocess;
 mod quarantine;

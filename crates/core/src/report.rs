@@ -162,81 +162,148 @@ impl Report {
         out.push('}');
         out
     }
+
+    /// Parses a report from its canonical JSON encoding (one
+    /// [`to_json`](Self::to_json) object). This is the conversion the
+    /// report store's ingest path runs on every record, so it accepts
+    /// exactly what `to_json` emits: unknown fields are ignored,
+    /// missing fields are an error, and `parse → to_json` is a
+    /// fixpoint.
+    ///
+    /// # Errors
+    ///
+    /// Returns a description of the first missing or mistyped field.
+    pub fn from_json(value: &json::JsonValue) -> Result<Report, String> {
+        use json::JsonValue;
+        let str_field = |key: &str| -> Result<String, String> {
+            value
+                .get(key)
+                .and_then(JsonValue::as_str)
+                .map(str::to_string)
+                .ok_or_else(|| format!("report field {key:?} missing or not a string"))
+        };
+        let num_field = |key: &str| -> Result<f64, String> {
+            value
+                .get(key)
+                .and_then(JsonValue::as_f64)
+                .ok_or_else(|| format!("report field {key:?} missing or not a number"))
+        };
+        let opt_num_field = |key: &str| -> Result<Option<f64>, String> {
+            match value.get(key) {
+                Some(JsonValue::Null) => Ok(None),
+                Some(v) => v
+                    .as_f64()
+                    .map(Some)
+                    .ok_or_else(|| format!("report field {key:?} is neither number nor null")),
+                None => Err(format!("report field {key:?} missing")),
+            }
+        };
+        let count_field = |key: &str| -> Result<u64, String> {
+            value
+                .get(key)
+                .and_then(JsonValue::as_u64)
+                .ok_or_else(|| format!("report field {key:?} missing or not a count"))
+        };
+
+        let factors = match value.get("factors") {
+            Some(JsonValue::Obj(obj)) => obj
+                .fields()
+                .iter()
+                .map(|(name, ratio)| {
+                    ratio
+                        .as_f64()
+                        .or_else(|| ratio.is_null().then_some(f64::NAN))
+                        .map(|r| (name.clone(), r))
+                        .ok_or_else(|| format!("factor {name:?} ratio is not a number"))
+                })
+                .collect::<Result<Vec<_>, _>>()?,
+            _ => return Err("report field \"factors\" missing or not an object".to_string()),
+        };
+        let major_groups = match value.get("major_groups") {
+            Some(JsonValue::Arr(items)) => items
+                .iter()
+                .map(|g| {
+                    g.as_str()
+                        .map(str::to_string)
+                        .ok_or_else(|| "major_groups entry is not a string".to_string())
+                })
+                .collect::<Result<Vec<_>, _>>()?,
+            _ => return Err("report field \"major_groups\" missing or not an array".to_string()),
+        };
+        let loss_episodes = match value.get("loss_episodes") {
+            Some(JsonValue::Arr(items)) => items
+                .iter()
+                .map(|pair| {
+                    let pair = pair
+                        .as_arr()
+                        .filter(|p| p.len() == 2)
+                        .ok_or_else(|| "loss_episodes entry is not a [n, secs] pair".to_string())?;
+                    let n = pair[0]
+                        .as_u64()
+                        .ok_or_else(|| "loss episode count is not an integer".to_string())?;
+                    let secs = pair[1]
+                        .as_f64()
+                        .ok_or_else(|| "loss episode duration is not a number".to_string())?;
+                    Ok((n as usize, secs))
+                })
+                .collect::<Result<Vec<_>, String>>()?,
+            _ => return Err("report field \"loss_episodes\" missing or not an array".to_string()),
+        };
+        let quarantine_reason = match value.get("quarantine_reason") {
+            Some(JsonValue::Null) => None,
+            Some(v) => Some(
+                v.as_str()
+                    .map(str::to_string)
+                    .ok_or("report field \"quarantine_reason\" is neither string nor null")?,
+            ),
+            None => return Err("report field \"quarantine_reason\" missing".to_string()),
+        };
+        let zero_ack_bug = value
+            .get("zero_ack_bug")
+            .and_then(JsonValue::as_bool)
+            .ok_or("report field \"zero_ack_bug\" missing or not a boolean")?;
+
+        Ok(Report {
+            sender: str_field("sender")?,
+            receiver: str_field("receiver")?,
+            duration_s: num_field("duration_s")?,
+            prefixes: count_field("prefixes")? as usize,
+            rtt_ms: opt_num_field("rtt_ms")?,
+            sender_ratio: num_field("sender_ratio")?,
+            receiver_ratio: num_field("receiver_ratio")?,
+            network_ratio: num_field("network_ratio")?,
+            factors,
+            major_groups,
+            inferred_timer_ms: opt_num_field("inferred_timer_ms")?,
+            loss_episodes,
+            zero_ack_bug,
+            delayed_ack_spurious: count_field("delayed_ack_spurious")? as usize,
+            verdict: str_field("verdict")?,
+            quarantine_reason,
+            capture_anomalies: count_field("capture_anomalies")?,
+        })
+    }
+
+    /// Parses a report from canonical JSON text; see
+    /// [`from_json`](Self::from_json).
+    ///
+    /// # Errors
+    ///
+    /// Returns a description of the parse or field error.
+    pub fn from_json_str(text: &str) -> Result<Report, String> {
+        let value = json::parse(text).map_err(|e| e.to_string())?;
+        Report::from_json(&value)
+    }
 }
+
+/// The canonical JSON helpers, re-exported from [`crate::json`] where
+/// they now live (this alias keeps the historical
+/// `tdat::report::json::…` paths working).
+pub use crate::json;
 
 pub use self::json::{
     escape, fmt_num, push_num_field, push_raw_field, push_str_array_field, push_str_field,
 };
-
-/// Minimal dependency-free JSON encoding helpers, shared by every
-/// JSON-emitting surface of the suite (`t-dat --json` reports, the
-/// monitor's JSONL event stream). The output format is fixed: strings
-/// escape only `\` and `"` (no control characters appear in the data
-/// we encode), numbers print with six decimal places, and non-finite
-/// numbers encode as `null`.
-pub mod json {
-    /// Escapes `\` and `"` for embedding in a JSON string.
-    pub fn escape(s: &str) -> String {
-        s.replace('\\', "\\\\").replace('"', "\\\"")
-    }
-
-    /// Formats a number with fixed six-decimal precision (`null` if
-    /// non-finite), keeping emitted JSON byte-stable.
-    pub fn fmt_num(v: f64) -> String {
-        if v.is_finite() {
-            format!("{v:.6}")
-        } else {
-            "null".to_string()
-        }
-    }
-
-    /// Appends `"key":"value"` (escaped), preceded by a comma if
-    /// `comma`.
-    pub fn push_str_field(out: &mut String, key: &str, value: &str, comma: bool) {
-        if comma {
-            out.push(',');
-        }
-        out.push_str(&format!("\"{}\":\"{}\"", key, escape(value)));
-    }
-
-    /// Appends `"key":1.234567`, preceded by a comma if `comma`.
-    pub fn push_num_field(out: &mut String, key: &str, value: f64, comma: bool) {
-        if comma {
-            out.push(',');
-        }
-        out.push_str(&format!("\"{}\":{}", key, fmt_num(value)));
-    }
-
-    /// Appends `"key":<raw>` verbatim (caller guarantees `raw` is valid
-    /// JSON), preceded by a comma if `comma`.
-    pub fn push_raw_field(out: &mut String, key: &str, raw: &str, comma: bool) {
-        if comma {
-            out.push(',');
-        }
-        out.push_str(&format!("\"{}\":{}", key, raw));
-    }
-
-    /// Appends `"key":["a","b",…]` (each element escaped), preceded by
-    /// a comma if `comma`.
-    pub fn push_str_array_field<S: AsRef<str>>(
-        out: &mut String,
-        key: &str,
-        values: &[S],
-        comma: bool,
-    ) {
-        if comma {
-            out.push(',');
-        }
-        out.push_str(&format!("\"{}\":[", key));
-        for (i, value) in values.iter().enumerate() {
-            if i > 0 {
-                out.push(',');
-            }
-            out.push_str(&format!("\"{}\"", escape(value.as_ref())));
-        }
-        out.push(']');
-    }
-}
 
 #[cfg(test)]
 mod tests {
@@ -299,6 +366,30 @@ mod tests {
         let mut r = sample();
         r.sender = "evil\"quote".into();
         assert!(r.to_json().contains("evil\\\"quote"));
+    }
+
+    #[test]
+    fn json_round_trips_through_the_shared_parser() {
+        let mut r = sample();
+        r.quarantine_reason = Some("anomaly budget".into());
+        r.factors = crate::Factor::ALL
+            .iter()
+            .enumerate()
+            .map(|(i, f)| (f.to_string(), i as f64 * 0.125))
+            .collect();
+        r.loss_episodes = vec![(9, 4.2), (2, 0.5)];
+        let parsed = Report::from_json_str(&r.to_json()).expect("canonical JSON parses");
+        assert_eq!(parsed, r);
+        // And the encoding is a fixpoint under parse → re-encode.
+        assert_eq!(parsed.to_json(), r.to_json());
+    }
+
+    #[test]
+    fn from_json_reports_missing_fields() {
+        let err = Report::from_json_str("{\"sender\":\"a\"}").expect_err("incomplete");
+        assert!(err.contains("missing"), "{err}");
+        let err = Report::from_json_str("not json").expect_err("garbage");
+        assert!(err.contains("invalid JSON"), "{err}");
     }
 
     #[test]

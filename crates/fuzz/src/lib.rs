@@ -14,7 +14,7 @@
 //! * **streaming** — [`StreamAnalyzer::analyze_lossy_with`] over an
 //!   in-memory reader;
 //! * **follow** — the live monitor tailing the file via
-//!   [`FollowSource`].
+//!   [`FollowSource`](tdat_monitor::FollowSource).
 //!
 //! Two invariants are enforced on every run, for every damage class:
 //!

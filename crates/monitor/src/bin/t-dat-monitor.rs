@@ -69,7 +69,7 @@ fn main() -> ExitCode {
     let mut stale: Option<f64> = None;
     let mut pace: Option<f64> = None;
     let mut schema: Option<u32> = None;
-    let mut jobs = 0usize;
+    let mut jobs: Option<usize> = None;
     let mut opts = ScenarioOptions::default();
     let mut sims: Vec<String> = Vec::new();
     while let Some(arg) = args.next() {
@@ -88,7 +88,7 @@ fn main() -> ExitCode {
                 "--stale" => stale = Some(parse(&take("--stale")?, "--stale")?),
                 "--pace" => pace = Some(parse(&take("--pace")?, "--pace")?),
                 "--schema" => schema = Some(parse(&take("--schema")?, "--schema")?),
-                "--jobs" => jobs = parse(&take("--jobs")?, "--jobs")?,
+                "--jobs" => jobs = Some(parse(&take("--jobs")?, "--jobs")?),
                 "--routes" => opts.routes = parse(&take("--routes")?, "--routes")?,
                 "--seed" => opts.seed = parse(&take("--seed")?, "--seed")?,
                 "--help" | "-h" => return Err(String::new()),
@@ -103,6 +103,14 @@ fn main() -> ExitCode {
     for value in [window_s, interval_s] {
         if !value.is_finite() || value <= 0.0 {
             return usage("--window and --interval must be positive");
+        }
+    }
+    if jobs == Some(0) {
+        return usage("--jobs must be at least 1 (omit the flag for auto)");
+    }
+    if let Some(valve) = stale {
+        if !valve.is_finite() || valve <= 0.0 {
+            return usage("--stale must be a positive number of seconds");
         }
     }
     let config = match MonitorConfig::builder()
@@ -166,7 +174,7 @@ fn main() -> ExitCode {
     // live sources. Exit failure if any swept file failed.
     let mut failed = false;
     if let Some(dir) = &sweep {
-        match sweep_directory(dir, &config, jobs) {
+        match sweep_directory(dir, &config, jobs.unwrap_or(0)) {
             Ok(report) => {
                 if let Some(preamble) = schema.preamble(
                     &report

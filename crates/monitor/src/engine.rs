@@ -105,8 +105,8 @@ impl Default for MonitorConfig {
 }
 
 impl MonitorConfig {
-    /// Starts a builder seeded with the defaults; [`build`]
-    /// (MonitorConfigBuilder::build) validates the window, interval,
+    /// Starts a builder seeded with the defaults;
+    /// [`build`](MonitorConfigBuilder::build) validates the window, interval,
     /// alert hysteresis, tracker timeouts, and quarantine budgets.
     pub fn builder() -> MonitorConfigBuilder {
         MonitorConfigBuilder {

@@ -547,7 +547,10 @@ impl SourceSetBuilder {
     /// Excludes a live source from the watermark minimum after this
     /// long (wall clock) without progress, so one silent feed cannot
     /// stall its siblings' analysis forever. Leave unset for
-    /// deterministic offline runs.
+    /// deterministic offline runs. The valve must be positive:
+    /// [`build`](SourceSetBuilder::build) rejects a zero valve, which
+    /// would mark *every* source permanently stale and break merge
+    /// ordering entirely.
     pub fn stale_after(mut self, valve: Duration) -> SourceSetBuilder {
         self.stale_after = Some(valve);
         self
@@ -558,12 +561,19 @@ impl SourceSetBuilder {
     ///
     /// # Errors
     ///
-    /// Fails on an empty set or when any source fails to open
-    /// (configuration errors fail fast; runtime errors are isolated
-    /// per source instead).
+    /// Fails on an empty set, a zero `stale_after` valve, or when any
+    /// source fails to open (configuration errors fail fast; runtime
+    /// errors are isolated per source instead).
     pub fn build(self) -> Result<SourceSet, String> {
         if self.sources.is_empty() {
             return Err("a source set needs at least one source".to_string());
+        }
+        if self.stale_after == Some(Duration::ZERO) {
+            return Err(
+                "stale_after must be positive: a zero valve marks every source \
+                 permanently stale and disables merge ordering"
+                    .to_string(),
+            );
         }
         let mut taken: Vec<String> = Vec::new();
         let mut entries = Vec::with_capacity(self.sources.len());
@@ -782,6 +792,21 @@ mod tests {
     #[test]
     fn empty_set_is_rejected() {
         assert!(SourceSet::builder().build().is_err());
+    }
+
+    #[test]
+    fn zero_stale_valve_is_rejected() {
+        let err = SourceSet::builder()
+            .custom("a", Box::new(Scripted::of(vec![])))
+            .stale_after(Duration::ZERO)
+            .build()
+            .expect_err("zero valve must be rejected");
+        assert!(err.contains("stale_after"), "unhelpful error: {err}");
+        assert!(SourceSet::builder()
+            .custom("a", Box::new(Scripted::of(vec![])))
+            .stale_after(Duration::from_millis(1))
+            .build()
+            .is_ok());
     }
 
     #[test]

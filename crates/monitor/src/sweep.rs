@@ -4,8 +4,8 @@
 //! takes a directory of *finished* captures (a day of rotated collector
 //! output, a regression corpus) and produces every file's full event
 //! stream in one run. Files are analyzed independently — each gets its
-//! own [`Monitor`](crate::Monitor) with a single-source
-//! [`SourceSet`](crate::SourceSet) in static-drain mode — so the work
+//! own [`Monitor`] with a single-source
+//! [`SourceSet`] in static-drain mode — so the work
 //! parallelizes perfectly across worker threads, and the merged report
 //! is simply the per-file streams concatenated in file-name order:
 //! deterministic regardless of worker scheduling.

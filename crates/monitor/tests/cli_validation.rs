@@ -1,0 +1,68 @@
+//! Pins the `t-dat-monitor` command-line validation: nonsensical
+//! `--jobs 0` and `--stale 0` values must be rejected up front with a
+//! usage error (exit code 2), not silently accepted into behaviour
+//! that only breaks later (a zero stale valve marks every source
+//! permanently stale, which disables the multi-source merge).
+
+use std::process::Command;
+
+fn monitor() -> Command {
+    Command::new(env!("CARGO_BIN_EXE_t-dat-monitor"))
+}
+
+fn run_expecting_usage_error(args: &[&str], needle: &str) {
+    let output = monitor().args(args).output().expect("spawn t-dat-monitor");
+    let stderr = String::from_utf8_lossy(&output.stderr);
+    assert_eq!(
+        output.status.code(),
+        Some(2),
+        "{args:?} should exit 2; stderr: {stderr}"
+    );
+    assert!(
+        stderr.contains(needle),
+        "{args:?} stderr should mention {needle:?}; got: {stderr}"
+    );
+    assert!(
+        stderr.contains("usage:"),
+        "{args:?} should print usage; got: {stderr}"
+    );
+}
+
+#[test]
+fn jobs_zero_is_rejected() {
+    run_expecting_usage_error(&["--sim", "clean", "--jobs", "0"], "--jobs");
+}
+
+#[test]
+fn stale_zero_is_rejected() {
+    run_expecting_usage_error(&["--sim", "clean", "--stale", "0"], "--stale");
+}
+
+#[test]
+fn stale_negative_and_non_finite_are_rejected() {
+    run_expecting_usage_error(&["--sim", "clean", "--stale", "-1"], "--stale");
+    run_expecting_usage_error(&["--sim", "clean", "--stale", "nan"], "--stale");
+}
+
+#[test]
+fn positive_jobs_and_stale_still_work() {
+    // A tiny sim run with valid values must exit cleanly — the new
+    // validation must not reject the values it documents as accepted.
+    let output = monitor()
+        .args([
+            "--sim",
+            "clean",
+            "--stale",
+            "5",
+            "--routes",
+            "40",
+            "--exit-idle",
+            "1",
+            "--events",
+            "/dev/null",
+        ])
+        .output()
+        .expect("spawn t-dat-monitor");
+    let stderr = String::from_utf8_lossy(&output.stderr);
+    assert_eq!(output.status.code(), Some(0), "stderr: {stderr}");
+}

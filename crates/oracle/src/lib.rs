@@ -39,7 +39,7 @@ pub use chaos::{
 };
 pub use matrix::{scenario_matrix, Fault, LossSpec, OracleScenario};
 pub use report::{aggregate, evaluate, render, Thresholds};
-pub use run::{run_scenario, ScenarioReport};
+pub use run::{run_scenario, scenario_capture, ScenarioReport};
 pub use score::{
     loss_matrix, span_score, LabeledSeg, LossMatrix, SpanScore, TimerScore, TruthDrop,
 };

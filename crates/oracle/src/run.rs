@@ -245,6 +245,32 @@ pub(crate) fn simulate_monitored(sc: &OracleScenario) -> MonitoredRun {
     }
 }
 
+/// Builds and runs the simulation for `sc` and returns the sniffer's
+/// capture — the tap frames a passive monitor would see. This is the
+/// corpus generator behind the report-store round-trip tests: every
+/// scenario in [`crate::scenario_matrix`] yields a deterministic
+/// capture that can be analyzed, ingested, and queried back.
+pub fn scenario_capture(sc: &OracleScenario) -> Vec<tdat_packet::TcpFrame> {
+    match sc.fault {
+        Fault::PeerGroup => {
+            let built = build_scenario(
+                "peergroup",
+                &ScenarioOptions {
+                    routes: sc.routes,
+                    seed: sc.seed,
+                    rtt_ms: sc.rtt_ms,
+                },
+            )
+            .expect("peergroup scenario builds");
+            let mut sim = built.sim;
+            sim.run(built.horizon);
+            let mut out = sim.into_output();
+            out.taps.remove(0).1
+        }
+        _ => simulate_monitored(sc).frames,
+    }
+}
+
 fn run_monitored(sc: &OracleScenario) -> ScenarioReport {
     let MonitoredRun {
         frames,

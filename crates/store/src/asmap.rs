@@ -1,0 +1,112 @@
+//! Longest-prefix IPv4 → AS-number resolution for peer attribution.
+//!
+//! Deployments usually know which AS announced each peer address (from
+//! the BGP sessions themselves); the store takes that knowledge as a
+//! plain text map — one `prefix/len asn` pair per line, `#` comments —
+//! and resolves each ingested record's peer to its AS so rollups can
+//! group by network rather than by individual address.
+
+use std::net::Ipv4Addr;
+
+use crate::StoreError;
+
+/// A longest-prefix-match IPv4 → ASN table.
+#[derive(Debug, Clone, Default)]
+pub struct AsMap {
+    /// `(network, prefix_len, asn)`, sorted by descending prefix
+    /// length so the first match is the longest.
+    entries: Vec<(u32, u8, u32)>,
+}
+
+impl AsMap {
+    /// Parses the `prefix/len asn` text format.
+    ///
+    /// # Errors
+    ///
+    /// Malformed lines are [`StoreError::Ingest`] errors naming the
+    /// line number.
+    pub fn parse(text: &str) -> Result<AsMap, StoreError> {
+        let mut entries = Vec::new();
+        for (lineno, raw) in text.lines().enumerate() {
+            let line = raw.split('#').next().unwrap_or("").trim();
+            if line.is_empty() {
+                continue;
+            }
+            let err = |detail: &str| {
+                StoreError::Ingest(format!("as-map line {}: {detail}: {raw:?}", lineno + 1))
+            };
+            let (prefix, asn) = line
+                .split_once(char::is_whitespace)
+                .ok_or_else(|| err("expected `prefix/len asn`"))?;
+            let (net, len) = prefix
+                .split_once('/')
+                .ok_or_else(|| err("prefix needs a /len"))?;
+            let net: Ipv4Addr = net.parse().map_err(|_| err("bad IPv4 network"))?;
+            let len: u8 = len.parse().map_err(|_| err("bad prefix length"))?;
+            if len > 32 {
+                return Err(err("prefix length over 32"));
+            }
+            let asn: u32 = asn.trim().parse().map_err(|_| err("bad AS number"))?;
+            entries.push((u32::from(net) & mask(len), len, asn));
+        }
+        entries.sort_by_key(|e| std::cmp::Reverse(e.1));
+        Ok(AsMap { entries })
+    }
+
+    /// Entries in the table.
+    pub fn len(&self) -> usize {
+        self.entries.len()
+    }
+
+    /// True when the table is empty.
+    pub fn is_empty(&self) -> bool {
+        self.entries.is_empty()
+    }
+
+    /// Longest-prefix match for a peer host string; `None` for
+    /// non-IPv4 hosts or unmatched addresses.
+    pub fn lookup(&self, host: &str) -> Option<u32> {
+        let addr: Ipv4Addr = host.parse().ok()?;
+        let addr = u32::from(addr);
+        self.entries
+            .iter()
+            .find(|&&(net, len, _)| addr & mask(len) == net)
+            .map(|&(_, _, asn)| asn)
+    }
+}
+
+fn mask(len: u8) -> u32 {
+    if len == 0 {
+        0
+    } else {
+        u32::MAX << (32 - u32::from(len))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn longest_prefix_wins() {
+        let map = AsMap::parse(
+            "10.0.0.0/8 64500\n\
+             10.1.0.0/16 64501  # a more specific customer\n\
+             0.0.0.0/0 1\n",
+        )
+        .unwrap();
+        assert_eq!(map.lookup("10.1.2.3"), Some(64501));
+        assert_eq!(map.lookup("10.2.2.3"), Some(64500));
+        assert_eq!(map.lookup("192.0.2.1"), Some(1));
+        assert_eq!(map.lookup("not-an-ip"), None);
+        assert_eq!(map.len(), 3);
+    }
+
+    #[test]
+    fn malformed_lines_name_the_line() {
+        let err = AsMap::parse("10.0.0.0/8 64500\nbogus\n").unwrap_err();
+        assert!(err.to_string().contains("line 2"), "{err}");
+        assert!(AsMap::parse("10.0.0.0/40 1").is_err());
+        assert!(AsMap::parse("10.0.0.0/8 notanas").is_err());
+    }
+}

@@ -1,0 +1,128 @@
+//! Concurrent-reader stress: queries race live ingest and compaction.
+//!
+//! One writer seals synthetic segments and periodically compacts while
+//! reader threads hammer snapshots with rollup and record queries. The
+//! store's contract under test: readers never observe a torn segment,
+//! record counts only grow, generations only advance, and two queries
+//! against the same generation return byte-identical output.
+
+use std::collections::HashMap;
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::{Arc, Mutex};
+
+use tdat_store::{synth::synth_records, Query, Store};
+
+const CHUNKS: usize = 24;
+const CHUNK: usize = 200;
+const READERS: usize = 4;
+
+#[test]
+fn readers_race_ingest_and_compaction() {
+    let dir = std::env::temp_dir().join(format!(
+        "tdat-store-race-{}-{:?}",
+        std::process::id(),
+        std::thread::current().id()
+    ));
+    std::fs::remove_dir_all(&dir).ok();
+    let store = Arc::new(Store::create(&dir).expect("create store"));
+    store.ingest(synth_records(CHUNK, 0)).expect("seed segment");
+
+    let rollup = Query::parse("group by verdict agg count").expect("rollup parses");
+    let sample = Query::parse("where verdict = quarantined limit 50").expect("sample parses");
+    let done = AtomicBool::new(false);
+    // generation -> rollup output observed at that generation.
+    let seen: Mutex<HashMap<u64, String>> = Mutex::new(HashMap::new());
+
+    std::thread::scope(|scope| {
+        scope.spawn(|| {
+            for chunk in 1..CHUNKS {
+                store
+                    .ingest(synth_records(CHUNK, chunk as u64))
+                    .expect("ingest chunk");
+                if chunk % 7 == 0 {
+                    store.compact().expect("compact");
+                }
+            }
+            done.store(true, Ordering::Release);
+        });
+        for _ in 0..READERS {
+            scope.spawn(|| {
+                let mut last_records = 0usize;
+                let mut last_generation = 0u64;
+                let mut rounds = 0usize;
+                while !done.load(Ordering::Acquire) || rounds < 20 {
+                    rounds += 1;
+                    let snapshot = store.snapshot();
+                    assert!(
+                        snapshot.records() >= last_records,
+                        "record count went backwards: {} -> {}",
+                        last_records,
+                        snapshot.records()
+                    );
+                    assert!(
+                        snapshot.generation >= last_generation,
+                        "generation went backwards: {} -> {}",
+                        last_generation,
+                        snapshot.generation
+                    );
+                    last_records = snapshot.records();
+                    last_generation = snapshot.generation;
+
+                    let out = rollup.run(&snapshot);
+                    let total: u64 = out
+                        .lines
+                        .iter()
+                        .map(|line| {
+                            tdat::json::parse(line)
+                                .expect("rollup row is JSON")
+                                .get("count")
+                                .and_then(|v| v.as_u64())
+                                .expect("rollup row has a count")
+                        })
+                        .sum();
+                    assert_eq!(
+                        total as usize,
+                        snapshot.records(),
+                        "rollup totals must match the snapshot exactly"
+                    );
+                    let rendered = out.lines.join("\n");
+                    let mut seen = seen.lock().unwrap_or_else(|e| e.into_inner());
+                    if let Some(previous) = seen.get(&snapshot.generation) {
+                        assert_eq!(
+                            previous, &rendered,
+                            "same generation produced different rollups"
+                        );
+                    } else {
+                        seen.insert(snapshot.generation, rendered);
+                    }
+                    drop(seen);
+
+                    // Record-mode scan decodes full reports under the race.
+                    let records = sample.run(&snapshot);
+                    for line in &records.lines {
+                        let value = tdat::json::parse(line).expect("record row is JSON");
+                        assert_eq!(
+                            value
+                                .get("report")
+                                .and_then(|r| r.get("verdict"))
+                                .and_then(|v| v.as_str()),
+                            Some("quarantined")
+                        );
+                    }
+                }
+            });
+        }
+    });
+
+    let final_snapshot = store.snapshot();
+    assert_eq!(final_snapshot.records(), CHUNKS * CHUNK);
+    let generations = seen.into_inner().unwrap_or_else(|e| e.into_inner());
+    assert!(
+        generations.len() >= 2,
+        "readers only ever saw one seal boundary; the race never happened"
+    );
+    store.compact().expect("final compact");
+    assert_eq!(store.snapshot().segments.len(), 1);
+    assert_eq!(store.snapshot().records(), CHUNKS * CHUNK);
+    std::fs::remove_dir_all(&dir).ok();
+}

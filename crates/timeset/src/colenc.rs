@@ -1,0 +1,212 @@
+//! Compact column encoding for timestamps and spans.
+//!
+//! The report store (`tdat-store`) persists millions of session
+//! records in columnar blocks; its time-valued columns — record
+//! timestamps and per-session interval spans — are the largest, and
+//! they compress extremely well because consecutive records are close
+//! in time. This module provides the codec those columns use:
+//!
+//! * LEB128 **varints** for unsigned integers,
+//! * **zigzag** mapping so small negative deltas stay small,
+//! * [`encode_micros_column`] — delta + zigzag + varint over a
+//!   [`Micros`] sequence (near-sorted columns encode in ~1–2 bytes per
+//!   value),
+//! * [`encode_span_column`] — delta-encoded start instants plus
+//!   zigzag-encoded durations for a [`Span`] sequence.
+//!
+//! Decoding is strict: every decoder returns `None` on truncated or
+//! overlong input instead of panicking, so a torn block file surfaces
+//! as a typed corruption error in the store rather than a crash.
+
+use crate::{Micros, Span};
+
+/// Appends `value` as a LEB128 varint (7 bits per byte, high bit =
+/// continuation).
+pub fn push_varint(out: &mut Vec<u8>, mut value: u64) {
+    loop {
+        let byte = (value & 0x7f) as u8;
+        value >>= 7;
+        if value == 0 {
+            out.push(byte);
+            return;
+        }
+        out.push(byte | 0x80);
+    }
+}
+
+/// Reads one LEB128 varint from `bytes` starting at `*at`, advancing
+/// `*at` past it. `None` on truncation or a value wider than 64 bits.
+pub fn read_varint(bytes: &[u8], at: &mut usize) -> Option<u64> {
+    let mut value = 0u64;
+    let mut shift = 0u32;
+    loop {
+        let byte = *bytes.get(*at)?;
+        *at += 1;
+        if shift >= 64 || (shift == 63 && byte > 1) {
+            return None;
+        }
+        value |= u64::from(byte & 0x7f) << shift;
+        if byte & 0x80 == 0 {
+            return Some(value);
+        }
+        shift += 7;
+    }
+}
+
+/// Maps a signed value to an unsigned one with small absolute values
+/// staying small (`0, -1, 1, -2, …` → `0, 1, 2, 3, …`).
+pub const fn zigzag(v: i64) -> u64 {
+    ((v << 1) ^ (v >> 63)) as u64
+}
+
+/// Inverse of [`zigzag`].
+pub const fn unzigzag(v: u64) -> i64 {
+    ((v >> 1) as i64) ^ -((v & 1) as i64)
+}
+
+/// Appends a signed value as a zigzag varint.
+pub fn push_svarint(out: &mut Vec<u8>, value: i64) {
+    push_varint(out, zigzag(value));
+}
+
+/// Reads one zigzag varint; see [`read_varint`].
+pub fn read_svarint(bytes: &[u8], at: &mut usize) -> Option<i64> {
+    read_varint(bytes, at).map(unzigzag)
+}
+
+/// Encodes a [`Micros`] column as first-value + zigzag deltas. The
+/// count is **not** encoded; callers (block headers) carry it.
+pub fn encode_micros_column(out: &mut Vec<u8>, values: &[Micros]) {
+    let mut prev = 0i64;
+    for v in values {
+        push_svarint(out, v.0 - prev);
+        prev = v.0;
+    }
+}
+
+/// Decodes `count` [`Micros`] values written by
+/// [`encode_micros_column`], advancing `*at`. `None` on truncation.
+pub fn decode_micros_column(bytes: &[u8], at: &mut usize, count: usize) -> Option<Vec<Micros>> {
+    let mut values = Vec::with_capacity(count);
+    let mut prev = 0i64;
+    for _ in 0..count {
+        prev = prev.checked_add(read_svarint(bytes, at)?)?;
+        values.push(Micros(prev));
+    }
+    Some(values)
+}
+
+/// Encodes a [`Span`] column: start instants as zigzag deltas (spans
+/// from adjacent records start close together) and durations as plain
+/// zigzag varints (empty/short spans dominate).
+pub fn encode_span_column(out: &mut Vec<u8>, spans: &[Span]) {
+    let mut prev_start = 0i64;
+    for s in spans {
+        push_svarint(out, s.start.0 - prev_start);
+        push_svarint(out, s.end.0 - s.start.0);
+        prev_start = s.start.0;
+    }
+}
+
+/// Decodes `count` [`Span`]s written by [`encode_span_column`],
+/// advancing `*at`. `None` on truncation.
+pub fn decode_span_column(bytes: &[u8], at: &mut usize, count: usize) -> Option<Vec<Span>> {
+    let mut spans = Vec::with_capacity(count);
+    let mut prev_start = 0i64;
+    for _ in 0..count {
+        prev_start = prev_start.checked_add(read_svarint(bytes, at)?)?;
+        let duration = read_svarint(bytes, at)?;
+        spans.push(Span::new(
+            Micros(prev_start),
+            Micros(prev_start.checked_add(duration)?),
+        ));
+    }
+    Some(spans)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn varint_round_trips_boundaries() {
+        for v in [0u64, 1, 127, 128, 16_383, 16_384, u32::MAX as u64, u64::MAX] {
+            let mut buf = Vec::new();
+            push_varint(&mut buf, v);
+            let mut at = 0;
+            assert_eq!(read_varint(&buf, &mut at), Some(v));
+            assert_eq!(at, buf.len());
+        }
+    }
+
+    #[test]
+    fn varint_rejects_truncation_and_overflow() {
+        let mut at = 0;
+        assert_eq!(read_varint(&[0x80], &mut at), None);
+        // 11 continuation bytes: more than 64 bits.
+        let overlong = [0xffu8; 11];
+        let mut at = 0;
+        assert_eq!(read_varint(&overlong, &mut at), None);
+    }
+
+    #[test]
+    fn zigzag_is_an_involution_and_orders_by_magnitude() {
+        for v in [0i64, -1, 1, -2, 2, i64::MIN, i64::MAX, 123_456_789] {
+            assert_eq!(unzigzag(zigzag(v)), v);
+        }
+        assert!(zigzag(-1) < zigzag(2));
+        assert!(zigzag(3) < zigzag(-4));
+    }
+
+    #[test]
+    fn micros_column_round_trips_and_stays_compact() {
+        let values: Vec<Micros> = (0..1000).map(|i| Micros(1_700_000_000 + i * 37)).collect();
+        let mut buf = Vec::new();
+        encode_micros_column(&mut buf, &values);
+        // First value is large; the 999 deltas are one byte each.
+        assert!(buf.len() < 1_020, "encoded {} bytes", buf.len());
+        let mut at = 0;
+        assert_eq!(
+            decode_micros_column(&buf, &mut at, 1000).as_deref(),
+            Some(&values[..])
+        );
+        assert_eq!(at, buf.len());
+    }
+
+    #[test]
+    fn span_column_round_trips_including_negative_and_empty() {
+        let spans = vec![
+            Span::from_micros(-5, 10),
+            Span::from_micros(7, 7),
+            Span::from_micros(1_000_000, 9_000_000),
+            Span::from_micros(8_999_999, 9_000_001),
+        ];
+        let mut buf = Vec::new();
+        encode_span_column(&mut buf, &spans);
+        let mut at = 0;
+        assert_eq!(
+            decode_span_column(&buf, &mut at, spans.len()).as_deref(),
+            Some(&spans[..])
+        );
+        assert_eq!(at, buf.len());
+    }
+
+    #[test]
+    fn truncated_columns_decode_to_none() {
+        let spans = vec![Span::from_micros(0, 100); 8];
+        let mut buf = Vec::new();
+        encode_span_column(&mut buf, &spans);
+        for cut in 0..buf.len() {
+            let mut at = 0;
+            assert_eq!(
+                decode_span_column(&buf[..cut], &mut at, 8),
+                None,
+                "cut {cut}"
+            );
+        }
+        let mut buf = Vec::new();
+        encode_micros_column(&mut buf, &[Micros(1), Micros(2)]);
+        let mut at = 0;
+        assert_eq!(decode_micros_column(&buf[..1], &mut at, 2), None);
+    }
+}
