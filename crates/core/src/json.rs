@@ -6,9 +6,11 @@
 //! files — encodes through these helpers, and every consumer (most
 //! importantly `tdat-store` ingest) parses through [`parse`], so there
 //! is exactly one wire format to keep stable. The format is fixed:
-//! strings escape only `\` and `"` (no control characters appear in
-//! the data we encode), numbers print with six decimal places, and
-//! non-finite numbers encode as `null`.
+//! strings escape `\`, `"`, and all control characters below `0x20`
+//! (`\n`/`\r`/`\t` by name, the rest as `\u00XX` — the parser rejects
+//! raw control bytes, and a raw newline would split a JSONL line),
+//! numbers print with six decimal places, and non-finite numbers
+//! encode as `null`.
 //!
 //! Historically these helpers lived in `tdat::report::json` (which
 //! still re-exports this module) and were one copy-paste away from
@@ -18,9 +20,26 @@
 use std::collections::HashMap;
 use std::fmt;
 
-/// Escapes `\` and `"` for embedding in a JSON string.
+/// Escapes `\`, `"`, and control characters for embedding in a JSON
+/// string. Control characters must be escaped: [`parse`] (like any
+/// strict JSON parser) rejects raw bytes below `0x20`, and a raw
+/// newline would split a JSONL line in two.
 pub fn escape(s: &str) -> String {
-    s.replace('\\', "\\\\").replace('"', "\\\"")
+    let mut out = String::with_capacity(s.len());
+    for c in s.chars() {
+        match c {
+            '\\' => out.push_str("\\\\"),
+            '"' => out.push_str("\\\""),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => {
+                out.push_str(&format!("\\u{:04x}", c as u32));
+            }
+            c => out.push(c),
+        }
+    }
+    out
 }
 
 /// Formats a number with fixed six-decimal precision (`null` if
@@ -211,9 +230,9 @@ impl std::error::Error for ParseError {}
 
 /// Parses one complete JSON value, rejecting trailing garbage.
 ///
-/// Handles the full escape set (`\\ \" \/ \b \f \n \r \t \uXXXX`) even
-/// though the canonical encoder only ever emits `\\` and `\"`, so
-/// externally produced files ingest too.
+/// Handles the full escape set (`\\ \" \/ \b \f \n \r \t \uXXXX`),
+/// a superset of what the canonical encoder emits, so externally
+/// produced files ingest too.
 ///
 /// # Errors
 ///
@@ -480,10 +499,28 @@ mod tests {
 
     #[test]
     fn escape_then_parse_round_trips() {
-        for s in ["plain", "q\"uote", "back\\slash", "both\\\"x", ""] {
+        for s in [
+            "plain",
+            "q\"uote",
+            "back\\slash",
+            "both\\\"x",
+            "",
+            "line\nbreak",
+            "cr\rlf\n",
+            "tab\tstop",
+            "bell\u{7}null\u{0}esc\u{1b}",
+            "mixed\n\"quote\"\\\t\u{1}",
+        ] {
             let encoded = format!("\"{}\"", escape(s));
             assert_eq!(parse(&encoded).unwrap().as_str(), Some(s), "{s:?}");
         }
+    }
+
+    #[test]
+    fn escaped_control_characters_stay_on_one_line() {
+        let encoded = escape("a\nb\tc\u{1}d");
+        assert_eq!(encoded, "a\\nb\\tc\\u0001d");
+        assert!(!encoded.bytes().any(|b| b < 0x20));
     }
 
     #[test]

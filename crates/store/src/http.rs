@@ -52,6 +52,12 @@ impl StoreServer {
             while !loop_stop.load(Ordering::Relaxed) {
                 match listener.accept() {
                     Ok((stream, _)) => {
+                        // BSD-derived platforms make accepted sockets
+                        // inherit the listener's non-blocking flag;
+                        // handle_connection's read loop needs blocking.
+                        if stream.set_nonblocking(false).is_err() {
+                            continue;
+                        }
                         let store = store.clone();
                         std::thread::spawn(move || {
                             // Socket errors mean the client went away;

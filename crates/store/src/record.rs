@@ -92,11 +92,25 @@ pub struct SessionRecord {
     pub report: Report,
 }
 
-/// The host part of an `ip:port` endpoint (handles `[v6]:port` too).
+/// The host part of an `ip:port` endpoint. Handles `[v6]:port`, and
+/// passes an unbracketed IPv6 address (more than one `:`, no
+/// brackets) through unchanged rather than mangling it: only a single
+/// trailing `:<digits>` on a colon-free host is treated as a port.
 pub fn endpoint_host(endpoint: &str) -> &str {
+    if let Some(rest) = endpoint.strip_prefix('[') {
+        if let Some((host, _)) = rest.split_once(']') {
+            return host;
+        }
+    }
     match endpoint.rsplit_once(':') {
-        Some((host, _port)) => host.trim_start_matches('[').trim_end_matches(']'),
-        None => endpoint,
+        Some((host, port))
+            if !host.contains(':')
+                && !port.is_empty()
+                && port.bytes().all(|b| b.is_ascii_digit()) =>
+        {
+            host
+        }
+        _ => endpoint,
     }
 }
 
@@ -530,7 +544,18 @@ mod tests {
     fn endpoint_host_handles_v6_brackets() {
         assert_eq!(endpoint_host("10.0.0.1:179"), "10.0.0.1");
         assert_eq!(endpoint_host("[2001:db8::1]:179"), "2001:db8::1");
+        assert_eq!(endpoint_host("[2001:db8::1]"), "2001:db8::1");
         assert_eq!(endpoint_host("bare"), "bare");
+    }
+
+    #[test]
+    fn endpoint_host_leaves_unbracketed_v6_intact() {
+        assert_eq!(endpoint_host("2001:db8::1"), "2001:db8::1");
+        assert_eq!(endpoint_host("::1"), "::1");
+        assert_eq!(endpoint_host("fe80::1%eth0"), "fe80::1%eth0");
+        // A lone `host:` or non-numeric suffix is not a port.
+        assert_eq!(endpoint_host("host:"), "host:");
+        assert_eq!(endpoint_host("host:abc"), "host:abc");
     }
 
     #[test]

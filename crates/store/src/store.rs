@@ -18,9 +18,12 @@
 //! The manifest is the source of truth: a segment file not (yet)
 //! named by the manifest does not exist as far as [`Store::open`] is
 //! concerned, so a crash between file write and manifest append
-//! leaves a harmlessly orphaned file, never a torn store.
-//! [`Store::compact`] rewrites the manifest via temp-file + rename
-//! (atomic on POSIX), swaps the snapshot, then deletes the merged
+//! leaves a harmlessly orphaned file, never a torn store. Segment
+//! files are fsynced — and their directory entry fsynced — *before*
+//! the manifest line naming them is appended, so a durable manifest
+//! never references a missing segment. [`Store::compact`] rewrites
+//! the manifest via temp-file + fsync + rename (atomic on POSIX) +
+//! directory fsync, swaps the snapshot, then deletes the merged
 //! segment files — readers holding the old snapshot keep their
 //! (already decoded, `Arc`-shared) segments alive in memory.
 
@@ -88,6 +91,22 @@ fn io_err(path: &Path, e: std::io::Error) -> StoreError {
 
 fn segment_file_name(seq: u64) -> String {
     format!("seg-{seq:06}.tds")
+}
+
+/// Fsyncs a directory so freshly created/renamed entries inside it
+/// survive a crash. No-op on platforms where directories cannot be
+/// opened for syncing.
+fn fsync_dir(dir: &Path) -> Result<(), StoreError> {
+    #[cfg(unix)]
+    {
+        let f = fs::File::open(dir).map_err(|e| io_err(dir, e))?;
+        f.sync_all().map_err(|e| io_err(dir, e))?;
+    }
+    #[cfg(not(unix))]
+    {
+        let _ = dir;
+    }
+    Ok(())
 }
 
 impl Store {
@@ -271,6 +290,9 @@ impl Store {
             f.write_all(&bytes).map_err(|e| io_err(&path, e))?;
             f.sync_all().map_err(|e| io_err(&path, e))?;
         }
+        // The segment's directory entry must be durable before the
+        // manifest names it.
+        fsync_dir(&self.dir)?;
         let manifest_path = self.dir.join(MANIFEST);
         {
             let mut f = fs::OpenOptions::new()
@@ -322,7 +344,11 @@ impl Store {
             f.write_all(&bytes).map_err(|e| io_err(&path, e))?;
             f.sync_all().map_err(|e| io_err(&path, e))?;
         }
+        fsync_dir(&self.dir)?;
         // Rewrite the manifest atomically: header + the one segment.
+        // The tmp file is fsynced before the rename (a rename can
+        // otherwise become durable before the data, leaving an empty
+        // manifest after a crash), and the directory after.
         let manifest_path = self.dir.join(MANIFEST);
         let tmp_path = self.dir.join("MANIFEST.tmp");
         let mut text = String::new();
@@ -332,8 +358,13 @@ impl Store {
         text.push_str("}\n");
         text.push_str(&Store::manifest_segment_line(&file, &segment));
         text.push('\n');
-        fs::write(&tmp_path, &text).map_err(|e| io_err(&tmp_path, e))?;
+        {
+            let mut f = fs::File::create(&tmp_path).map_err(|e| io_err(&tmp_path, e))?;
+            f.write_all(text.as_bytes()).map_err(|e| io_err(&tmp_path, e))?;
+            f.sync_all().map_err(|e| io_err(&tmp_path, e))?;
+        }
         fs::rename(&tmp_path, &manifest_path).map_err(|e| io_err(&manifest_path, e))?;
+        fsync_dir(&self.dir)?;
 
         let old_files: Vec<PathBuf> = (1..seq)
             .map(|s| self.dir.join(segment_file_name(s)))
@@ -417,6 +448,41 @@ mod tests {
         assert_eq!(before.records(), 400);
         // And a fresh open sees exactly the compacted store.
         assert_eq!(Store::open(&dir).unwrap().stats().records, 400);
+        fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn control_characters_in_strings_survive_seal_and_reopen() {
+        // Ingested strings are attacker-influenced (e.g. HTTP
+        // ?source=%0A): a raw newline in a manifest segment line would
+        // split it and make the store permanently unopenable.
+        let dir = tmp_dir("ctrl");
+        let store = Store::create(&dir).unwrap();
+        let mut records = synth_records(3, 7);
+        records[0].source = "tap\nA".to_string();
+        records[0].report.verdict = "x\ny".to_string();
+        records[1].report.verdict = "tab\tbell\u{7}".to_string();
+        records[1].report.sender = "10.0.0.1\r:179".to_string();
+        store.ingest(records.clone()).unwrap();
+
+        let reopened = Store::open(&dir).unwrap();
+        assert_eq!(reopened.stats().records, 3);
+        let snap = reopened.snapshot();
+        assert!(snap.segments[0]
+            .meta
+            .verdicts
+            .iter()
+            .any(|v| v == "x\ny"));
+        let back: Vec<_> = snap
+            .segments
+            .iter()
+            .flat_map(|s| s.records.iter().cloned())
+            .collect();
+        for (a, b) in records.iter().zip(&back) {
+            assert_eq!(a.source, b.source);
+            assert_eq!(a.report.verdict, b.report.verdict);
+            assert_eq!(a.report.to_json(), b.report.to_json());
+        }
         fs::remove_dir_all(&dir).unwrap();
     }
 
