@@ -11,14 +11,18 @@
 //! ```
 //!
 //! With `--baseline`, any workload whose median exceeds
-//! `max-ratio × baseline` fails the run (exit code 1). `--quick` cuts
-//! the sample count for CI smoke use. The JSON schema is documented in
+//! `max-ratio × baseline` fails the run (exit code 1). Benches missing
+//! from the baseline are warned about — and fail the run under
+//! `--strict`, so a stale baseline cannot silently stop gating new
+//! workloads. `--quick` cuts the sample count (and skips the 100k
+//! fleet benches) for CI smoke use. The JSON schema is documented in
 //! `EXPERIMENTS.md`.
 
 use std::time::Instant;
 
 use tdat_bench::hotpath::{
-    batch_analyze, decode_owned, decode_views, interleaved_pcap, MonitorScenario, StageInputs,
+    batch_analyze, decode_owned, decode_views, interleaved_pcap, FleetScenario, MonitorScenario,
+    StageInputs,
 };
 use tdat_timeset::SpanScratch;
 
@@ -29,6 +33,8 @@ struct Options {
     baseline: Option<String>,
     max_ratio: f64,
     samples: usize,
+    quick: bool,
+    strict: bool,
 }
 
 fn parse_args() -> Options {
@@ -37,6 +43,8 @@ fn parse_args() -> Options {
         baseline: None,
         max_ratio: 2.0,
         samples: 7,
+        quick: false,
+        strict: false,
     };
     let mut args = std::env::args().skip(1);
     while let Some(arg) = args.next() {
@@ -50,7 +58,11 @@ fn parse_args() -> Options {
                     .parse()
                     .expect("--max-ratio takes a number")
             }
-            "--quick" => opts.samples = 3,
+            "--quick" => {
+                opts.samples = 3;
+                opts.quick = true;
+            }
+            "--strict" => opts.strict = true,
             other => {
                 eprintln!("unknown argument: {other}");
                 std::process::exit(2);
@@ -137,6 +149,30 @@ fn main() {
     run_steady("monitor_steady_1_active_0_idle", &monitor_alone);
     run_steady("monitor_steady_1_active_500_idle", &monitor_crowded);
 
+    // Fleet-scale scaling workloads for the sharded engine: every
+    // active session exchanges data at every tick, so steady-tick cost
+    // is dominated by per-connection re-analysis — the work sharding
+    // divides. On a multi-core host the 4-shard variant should run
+    // near-linearly faster; on one core it measures the routing
+    // overhead instead.
+    eprintln!("preparing fleet corpora...");
+    let mut run_fleet = |name: &'static str, scenario: &FleetScenario, shards: usize| {
+        let median = measure_durations(opts.samples, || scenario.run_steady(shards));
+        eprintln!("{name:<40} {:>12.3} ms", median as f64 / 1e6);
+        results.push((name, median));
+    };
+    let fleet_10k = FleetScenario::prepare(10_000, 10_000);
+    run_fleet("monitor_steady_10k", &fleet_10k, 1);
+    run_fleet("monitor_steady_10k_4shards", &fleet_10k, 4);
+    drop(fleet_10k);
+    if opts.quick {
+        eprintln!("monitor_steady_100k* skipped under --quick");
+    } else {
+        let fleet_100k = FleetScenario::prepare(100_000, 10_000);
+        run_fleet("monitor_steady_100k", &fleet_100k, 1);
+        run_fleet("monitor_steady_100k_4shards", &fleet_100k, 4);
+    }
+
     // Report-store workloads: sealing a 10k-session synthetic corpus
     // into columnar segments, and rollup / filtered-scan query latency
     // against the sealed snapshot. Corpus generation and store setup
@@ -221,6 +257,7 @@ fn main() {
     let baseline = std::fs::read_to_string(&baseline_path).expect("read baseline json");
     let baseline = tdat::json::parse(&baseline).expect("baseline is valid suite JSON");
     let mut failed = false;
+    let mut uncovered: Vec<&str> = Vec::new();
     for (name, ns) in &results {
         match baseline_median(&baseline, name) {
             Some(base) => {
@@ -237,7 +274,21 @@ fn main() {
                     base as f64 / 1e6
                 );
             }
-            None => eprintln!("{name:<40} not in baseline (new bench), skipping"),
+            None => {
+                eprintln!("{name:<40} not in baseline (new bench), ungated");
+                uncovered.push(name);
+            }
+        }
+    }
+    if !uncovered.is_empty() {
+        eprintln!(
+            "WARNING: {} workload(s) not covered by the baseline: {}",
+            uncovered.len(),
+            uncovered.join(", ")
+        );
+        if opts.strict {
+            eprintln!("FAIL (--strict): refresh {baseline_path} to cover every workload");
+            std::process::exit(1);
         }
     }
     if failed {

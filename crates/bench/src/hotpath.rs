@@ -17,7 +17,7 @@
 use std::net::Ipv4Addr;
 
 use tdat::{Analyzer, AnalyzerConfig, DelayVector, SeriesSet};
-use tdat_monitor::{Monitor, MonitorConfig};
+use tdat_monitor::{Monitor, MonitorConfig, ShardedMonitor, TrackerConfig};
 use tdat_packet::{FrameBuilder, PcapReader, PcapWriter, TcpFlags, TcpFrame};
 use tdat_timeset::{Micros, Span, SpanScratch};
 use tdat_trace::{extract_connections, label_segments, LabelConfig, SegLabel};
@@ -275,6 +275,152 @@ impl MonitorScenario {
         let mut monitor = self.warmed(recompute_all);
         let started = std::time::Instant::now();
         std::hint::black_box(self.drive(&mut monitor));
+        started.elapsed()
+    }
+}
+
+/// Ticks a [`FleetScenario`] drives through its steady phase.
+pub const FLEET_TICKS: i64 = 8;
+
+/// A fleet-scale monitoring workload for the sharded engine: thousands
+/// of concurrent BGP sessions, each *actively* exchanging data in its
+/// ticks — so every active session is dirty at every tick boundary and
+/// the per-tick analysis is the dominant cost that sharding divides.
+/// [`MonitorScenario`] measures the incremental-cache claim (idle
+/// sessions are nearly free); this measures the opposite regime, where
+/// nothing is idle and the engine must re-analyze `active` connections
+/// per tick.
+pub struct FleetScenario {
+    /// Handshakes for every session, inside the first tick interval.
+    setup: Vec<TcpFrame>,
+    /// Data/ACK exchanges spanning [`FLEET_TICKS`]` - 1` further ticks:
+    /// `active` sessions per tick, rotating through the population.
+    steady: Vec<TcpFrame>,
+    interval: Micros,
+    end: Micros,
+    sessions: usize,
+}
+
+impl FleetScenario {
+    /// Builds the frame schedule: `sessions` handshakes on distinct
+    /// endpoint pairs, then per tick a rotating window of `active`
+    /// sessions each sending one MSS of data (plus the ACK). With
+    /// `active == sessions` the whole fleet is dirty at every tick.
+    pub fn prepare(sessions: usize, active: usize) -> FleetScenario {
+        assert!(
+            sessions > 0 && sessions < (1 << 24),
+            "session space is 24-bit"
+        );
+        let active = active.min(sessions);
+        let interval = Micros::from_secs(1);
+        let endpoints = |i: usize| {
+            let a = Ipv4Addr::new(10, (i >> 16) as u8, (i >> 8) as u8, i as u8);
+            let b = Ipv4Addr::new(172, 16, (i >> 8) as u8, i as u8);
+            let sport = 40_000 + (i % 20_000) as u16;
+            (a, b, sport)
+        };
+        let mut setup = Vec::with_capacity(sessions * 3);
+        for i in 0..sessions {
+            let (a, b, sport) = endpoints(i);
+            let t0 = Micros(10 + (i as i64) * 5);
+            setup.push(
+                FrameBuilder::new(a, b)
+                    .ports(179, sport)
+                    .at(t0)
+                    .seq(0)
+                    .flags(TcpFlags::SYN)
+                    .build(),
+            );
+            setup.push(
+                FrameBuilder::new(b, a)
+                    .ports(sport, 179)
+                    .at(t0 + Micros(2))
+                    .seq(0)
+                    .ack_to(1)
+                    .flags(TcpFlags::SYN | TcpFlags::ACK)
+                    .build(),
+            );
+            setup.push(
+                FrameBuilder::new(a, b)
+                    .ports(179, sport)
+                    .at(t0 + Micros(4))
+                    .seq(1)
+                    .ack_to(1)
+                    .flags(TcpFlags::ACK)
+                    .build(),
+            );
+        }
+        let mut steady = Vec::with_capacity((FLEET_TICKS as usize - 1) * active * 2);
+        let mut sent = vec![1u32; sessions];
+        for tick in 1..FLEET_TICKS {
+            for slot in 0..active {
+                let i = (tick as usize * active + slot) % sessions;
+                let (a, b, sport) = endpoints(i);
+                let t = Micros(tick * interval.0 + 10 + (slot as i64) * 5);
+                steady.push(
+                    FrameBuilder::new(a, b)
+                        .ports(179, sport)
+                        .at(t)
+                        .seq(sent[i])
+                        .ack_to(1)
+                        .payload(vec![0xab; 1448])
+                        .build(),
+                );
+                sent[i] = sent[i].wrapping_add(1448);
+                steady.push(
+                    FrameBuilder::new(b, a)
+                        .ports(sport, 179)
+                        .at(t + Micros(2))
+                        .seq(1)
+                        .ack_to(sent[i])
+                        .flags(TcpFlags::ACK)
+                        .build(),
+                );
+            }
+        }
+        let end = Micros(FLEET_TICKS * interval.0);
+        FleetScenario {
+            setup,
+            steady,
+            interval,
+            end,
+            sessions,
+        }
+    }
+
+    fn config(&self, shards: usize) -> MonitorConfig {
+        MonitorConfig {
+            interval: self.interval,
+            // The fleet must stay resident: the default streaming cap
+            // would LRU-evict it mid-bench.
+            tracker: TrackerConfig {
+                max_connections: Some(self.sessions * 2),
+                ..TrackerConfig::default()
+            },
+            shards,
+            ..MonitorConfig::default()
+        }
+    }
+
+    /// Times the steady phase at a shard count: handshakes and the
+    /// first tick (the fleet's one-time analysis) run outside the
+    /// clock, as does cloning the frame schedule, so the measurement is
+    /// [`FLEET_TICKS`]` - 1` steady-state ticks of active-fleet
+    /// re-analysis plus frame routing.
+    pub fn run_steady(&self, shards: usize) -> std::time::Duration {
+        let mut monitor = ShardedMonitor::new(self.config(shards));
+        let id = monitor.register_source("fleet");
+        for f in self.setup.clone() {
+            monitor.ingest_owned(id, f);
+        }
+        monitor.advance_to(self.interval);
+        let steady = self.steady.clone();
+        let started = std::time::Instant::now();
+        for f in steady {
+            monitor.ingest_owned(id, f);
+        }
+        monitor.advance_to(self.end + self.interval);
+        std::hint::black_box(monitor.drain_events().len());
         started.elapsed()
     }
 }

@@ -21,6 +21,9 @@
 //!   --pace F          sim mode: F virtual seconds per wall second
 //!   --routes N        sim table size   --seed S   sim RNG seed
 //!   --jobs N          sweep worker threads (default: CPU count)
+//!   --shards N        partition connections across N worker shards
+//!                     (default 1 = serial; output is byte-identical
+//!                     for any N)
 //! ```
 //!
 //! Every `--follow` and `--sim` becomes one named source in a merged
@@ -45,7 +48,7 @@ use std::process::ExitCode;
 use std::time::Duration;
 
 use tdat_monitor::{
-    sweep_directory, EventSchema, Monitor, MonitorConfig, MonitorEvent, SetEvent, SourceSet,
+    sweep_directory, EventSchema, MonitorConfig, MonitorEvent, SetEvent, ShardedMonitor, SourceSet,
     SourceSpec,
 };
 use tdat_tcpsim::scenario::{ScenarioOptions, SCENARIO_USAGE};
@@ -70,6 +73,7 @@ fn main() -> ExitCode {
     let mut pace: Option<f64> = None;
     let mut schema: Option<u32> = None;
     let mut jobs: Option<usize> = None;
+    let mut shards: usize = 1;
     let mut opts = ScenarioOptions::default();
     let mut sims: Vec<String> = Vec::new();
     while let Some(arg) = args.next() {
@@ -89,6 +93,7 @@ fn main() -> ExitCode {
                 "--pace" => pace = Some(parse(&take("--pace")?, "--pace")?),
                 "--schema" => schema = Some(parse(&take("--schema")?, "--schema")?),
                 "--jobs" => jobs = Some(parse(&take("--jobs")?, "--jobs")?),
+                "--shards" => shards = parse(&take("--shards")?, "--shards")?,
                 "--routes" => opts.routes = parse(&take("--routes")?, "--routes")?,
                 "--seed" => opts.seed = parse(&take("--seed")?, "--seed")?,
                 "--help" | "-h" => return Err(String::new()),
@@ -116,6 +121,7 @@ fn main() -> ExitCode {
     let config = match MonitorConfig::builder()
         .window(Micros::from_secs_f64(window_s))
         .interval(Micros::from_secs_f64(interval_s))
+        .shards(shards)
         .build()
     {
         Ok(config) => config,
@@ -244,7 +250,7 @@ fn main() -> ExitCode {
         }
     };
 
-    let mut monitor = Monitor::new(config);
+    let mut monitor = ShardedMonitor::new(config);
     let status = drive(&mut monitor, &mut set, schema, &mut out);
     eprint!("{}", monitor.metrics());
     failed |= !set.failures().is_empty();
@@ -262,7 +268,7 @@ fn main() -> ExitCode {
 /// under its source's scope, write events as they happen. Per-source
 /// failures are reported and the loop keeps going.
 fn drive(
-    monitor: &mut Monitor,
+    monitor: &mut ShardedMonitor,
     set: &mut SourceSet,
     schema: EventSchema,
     out: &mut Box<dyn Write>,
@@ -288,8 +294,8 @@ fn drive(
                     let Some(&id) = ids.get(run.source.index()) else {
                         continue;
                     };
-                    for frame in &run.frames {
-                        monitor.ingest_from(id, frame);
+                    for frame in run.frames {
+                        monitor.ingest_owned(id, frame);
                     }
                 }
                 if let Some(now) = now {
@@ -321,7 +327,7 @@ fn drive(
 }
 
 fn write_events(
-    monitor: &mut Monitor,
+    monitor: &mut ShardedMonitor,
     schema: EventSchema,
     out: &mut Box<dyn Write>,
 ) -> Result<(), String> {
@@ -353,7 +359,7 @@ fn usage(message: &str) -> ExitCode {
         "usage: t-dat-monitor [--follow <pcap>]... [--sim <{SCENARIO_USAGE}>]... \
          [--sweep <dir> [--jobs N]] [--exit-idle SECS] [--stale SECS] \
          [--routes N] [--seed S] [--pace F] \
-         [--window SECS] [--interval SECS] [--events PATH] [--schema 1|2]"
+         [--window SECS] [--interval SECS] [--events PATH] [--schema 1|2] [--shards N]"
     );
     ExitCode::from(2)
 }

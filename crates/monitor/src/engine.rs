@@ -84,6 +84,12 @@ pub struct MonitorConfig {
     /// differential tests can prove that, at the cost of tick time
     /// proportional to the open-connection count.
     pub recompute_all: bool,
+    /// Worker shards for the engine. `1` (the default) is the serial
+    /// [`Monitor`]; larger values partition connections by key hash
+    /// across that many per-shard trackers/demuxes/tick caches (see
+    /// [`ShardedMonitor`](crate::shard::ShardedMonitor)), producing
+    /// byte-identical output.
+    pub shards: usize,
 }
 
 impl Default for MonitorConfig {
@@ -100,6 +106,7 @@ impl Default for MonitorConfig {
             alerts: AlertConfig::default(),
             quarantine: QuarantineConfig::default(),
             recompute_all: false,
+            shards: 1,
         }
     }
 }
@@ -166,6 +173,12 @@ impl MonitorConfigBuilder {
         self
     }
 
+    /// Sets the worker shard count (1 = the serial engine).
+    pub fn shards(mut self, shards: usize) -> MonitorConfigBuilder {
+        self.config.shards = shards;
+        self
+    }
+
     /// Validates and returns the configuration.
     ///
     /// # Errors
@@ -221,6 +234,9 @@ impl MonitorConfigBuilder {
         }
         if c.tracker.max_connections == Some(0) {
             return fail("tracker max_connections, when set, must be at least 1".to_string());
+        }
+        if c.shards == 0 {
+            return fail("shards must be at least 1 (1 is the serial engine)".to_string());
         }
         if c.quarantine.max_anomalies == 0
             || c.quarantine.max_unparsed_bytes == 0
@@ -396,7 +412,7 @@ impl EventSchema {
 }
 
 /// The session identifier used in events and alert keys.
-fn session_id(analysis: &Analysis) -> String {
+pub(crate) fn session_id(analysis: &Analysis) -> String {
     format!(
         "{}:{}->{}:{}",
         analysis.sender.0, analysis.sender.1, analysis.receiver.0, analysis.receiver.1
@@ -405,29 +421,29 @@ fn session_id(analysis: &Analysis) -> String {
 
 /// One connection's cached tick analysis.
 #[derive(Debug)]
-struct CachedAnalysis {
+pub(crate) struct CachedAnalysis {
     /// The tracker's insertion ordinal — deterministic iteration order
     /// for condition evaluation regardless of hash-map layout.
-    ordinal: u64,
+    pub(crate) ordinal: u64,
     /// The tick time this analysis was computed at (the connection's
     /// last-dirty tick); its window is `[anchor - window, anchor]`.
-    anchor: Micros,
+    pub(crate) anchor: Micros,
     /// The session id, formatted once per refresh instead of per tick.
-    session: String,
+    pub(crate) session: String,
     /// Conditions derived purely from the analysis (timer gaps, loss
     /// episodes, zero-window bug, quarantine). Computed at refresh
     /// time: a clean connection contributes *zero* detector work to
     /// subsequent ticks. Stall and peer-group-blocking conditions
     /// depend on the current tick time or on other connections, so
     /// they stay in the per-tick sweep.
-    conditions: Vec<Condition>,
-    analysis: Analysis,
+    pub(crate) conditions: Vec<Condition>,
+    pub(crate) analysis: Analysis,
 }
 
 /// Evaluates the detectors whose outcome depends only on the analysis
 /// itself, producing the cacheable subset of a connection's alert
 /// conditions.
-fn analysis_conditions(
+pub(crate) fn analysis_conditions(
     analysis: &Analysis,
     source: &Arc<str>,
     session: &str,
@@ -493,26 +509,279 @@ fn analysis_conditions(
 }
 
 /// Per-source isolation unit: everything whose damage must stay
-/// confined to the source that produced it.
+/// confined to the source that produced it. The serial [`Monitor`]
+/// holds one per source; the sharded engine holds one per
+/// (shard, source) pair — the methods below are the shared
+/// data-plane logic both drive.
 #[derive(Debug)]
-struct SourceScope {
-    name: Arc<str>,
-    tracker: ConnectionTracker,
-    demux: BgpDemux,
+pub(crate) struct SourceScope {
+    pub(crate) name: Arc<str>,
+    pub(crate) tracker: ConnectionTracker,
+    pub(crate) demux: BgpDemux,
     /// Per-connection data-progress watermarks for stall detection:
     /// `(data bytes at last progress, tick time of last progress)`.
-    progress: HashMap<ConnKey, (u64, Micros)>,
+    pub(crate) progress: HashMap<ConnKey, (u64, Micros)>,
     /// Capture anomalies attributed to each open connection; consumed
     /// by the quarantine verdict at every tick and at finalization.
-    quality: HashMap<ConnKey, AnomalyCounts>,
+    pub(crate) quality: HashMap<ConnKey, AnomalyCounts>,
     /// Connections whose `quality` entry changed since their last
     /// analysis — they must be re-analyzed even without new traffic.
-    quality_dirty: HashSet<ConnKey>,
+    pub(crate) quality_dirty: HashSet<ConnKey>,
     /// Capture damage this source could not tie to any connection.
-    unattributed: AnomalyCounts,
+    pub(crate) unattributed: AnomalyCounts,
     /// Cached per-connection analyses from previous ticks; entries are
     /// refreshed only when their connection is dirty.
-    cache: HashMap<ConnKey, CachedAnalysis>,
+    pub(crate) cache: HashMap<ConnKey, CachedAnalysis>,
+}
+
+/// What [`SourceScope::finalize_connection`] produced: the data-plane
+/// half of finalization. The caller (serial monitor or shard
+/// coordinator) owns the control-plane half — alert clearing, metrics,
+/// and the event itself.
+#[derive(Debug)]
+pub(crate) struct FinalizeOutcome {
+    /// The finalized session id.
+    pub(crate) session: String,
+    /// The session id the tick cache last published for this
+    /// connection, when it differs from the final one (late traffic
+    /// re-elected the data sender): alerts raised under it must be
+    /// cleared too, or they leak past the connection's lifetime.
+    pub(crate) stale_session: Option<String>,
+    /// The whole-lifetime report.
+    pub(crate) report: Report,
+    /// The analysis profile's end time (event timestamps never run
+    /// behind the traffic they describe).
+    pub(crate) profile_end: Micros,
+}
+
+impl SourceScope {
+    pub(crate) fn new(name: Arc<str>, tracker: ConnectionTracker) -> SourceScope {
+        SourceScope {
+            name,
+            tracker,
+            demux: BgpDemux::new(),
+            progress: HashMap::new(),
+            quality: HashMap::new(),
+            quality_dirty: HashSet::new(),
+            unattributed: AnomalyCounts::default(),
+            cache: HashMap::new(),
+        }
+    }
+
+    /// The tick's analysis work list: tracker-dirty (saw frames) plus
+    /// quality-dirty (new capture damage), deduplicated, still-open
+    /// only, each with the anchor its window hangs from. Computed
+    /// identically in incremental and recompute-all modes so both
+    /// assign the same anchors.
+    pub(crate) fn dirty_work(&mut self, at: Micros, recompute_all: bool) -> Vec<(ConnKey, Micros)> {
+        let mut dirty = self.tracker.take_dirty();
+        if !self.quality_dirty.is_empty() {
+            let seen: HashSet<ConnKey> = dirty.iter().copied().collect();
+            let mut extra: Vec<(u64, ConnKey)> = Vec::new();
+            for key in self.quality_dirty.drain() {
+                if seen.contains(&key) {
+                    continue;
+                }
+                // A key the tracker does not know (damage attributed
+                // to a connection that never produced a decodable
+                // frame, or one that already finalized) has nothing
+                // to analyze.
+                if let Some(ordinal) = self.tracker.ordinal_of(key) {
+                    extra.push((ordinal, key));
+                }
+            }
+            extra.sort_unstable();
+            dirty.extend(extra.into_iter().map(|(_, key)| key));
+        }
+
+        if recompute_all {
+            let dirty_set: HashSet<ConnKey> = dirty.iter().copied().collect();
+            self.tracker
+                .open_keys()
+                .into_iter()
+                .map(|key| {
+                    let anchor = if dirty_set.contains(&key) {
+                        at
+                    } else {
+                        self.cache.get(&key).map(|c| c.anchor).unwrap_or(at)
+                    };
+                    (key, anchor)
+                })
+                .collect()
+        } else {
+            dirty.into_iter().map(|key| (key, at)).collect()
+        }
+    }
+
+    /// Refreshes the cached analyses for `work` (tick phase 1).
+    pub(crate) fn refresh(
+        &mut self,
+        work: Vec<(ConnKey, Micros)>,
+        analyzer: &Analyzer,
+        window: Micros,
+        timer_min_gaps: usize,
+    ) {
+        for (key, anchor) in work {
+            let (Some(fin), Some(ordinal)) =
+                (self.tracker.snapshot_of(key), self.tracker.ordinal_of(key))
+            else {
+                continue;
+            };
+            let span = Span::new(anchor.saturating_sub(window), anchor);
+            let extraction = self.demux.snapshot(key, fin.connection.sender);
+            let counts = self.quality.get(&key).copied().unwrap_or_default();
+            let analysis =
+                analyzer.analyze_partial_lossy(fin.connection, &extraction, span, counts);
+            let session = session_id(&analysis);
+            let conditions = analysis_conditions(
+                &analysis,
+                &self.name,
+                &session,
+                timer_min_gaps,
+                analyzer.config(),
+            );
+            self.cache.insert(
+                key,
+                CachedAnalysis {
+                    ordinal,
+                    anchor,
+                    session,
+                    conditions,
+                    analysis,
+                },
+            );
+        }
+    }
+
+    /// Tick phase 2 over this scope's cache, in tracker-insertion
+    /// order: one `(ordinal, conditions)` entry per cached connection
+    /// (cached analysis-derived conditions plus the stall watermark
+    /// check, which mutates `progress` against the current tick time).
+    pub(crate) fn entry_conditions(
+        &mut self,
+        at: Micros,
+        stall_after: Micros,
+    ) -> Vec<(u64, Vec<Condition>)> {
+        let SourceScope {
+            name,
+            progress,
+            cache,
+            ..
+        } = self;
+        let mut entries: Vec<(&ConnKey, &CachedAnalysis)> = cache.iter().collect();
+        entries.sort_unstable_by_key(|(_, cached)| cached.ordinal);
+        let mut out: Vec<(u64, Vec<Condition>)> = Vec::with_capacity(entries.len());
+        for (key, cached) in entries {
+            let analysis = &cached.analysis;
+            // Analysis-derived conditions were evaluated once at the
+            // entry's last refresh; a clean, idle connection costs
+            // nothing here beyond the stall watermark check below.
+            let mut conditions: Vec<Condition> = cached.conditions.clone();
+            // Stall detection: trace-time watermark on data
+            // progress. Independent of analysis caching — an idle
+            // connection's byte count cannot have changed, and the
+            // comparison runs against the *current* tick time.
+            // Quarantined connections only surface the
+            // capture-quality condition.
+            if !analysis.verdict.is_quarantined() {
+                let bytes = analysis.profile.data_bytes;
+                let mark = progress.entry(*key).or_insert((bytes, at));
+                if bytes > mark.0 {
+                    *mark = (bytes, at);
+                } else if bytes > 0 && at - mark.1 >= stall_after {
+                    conditions.push(Condition {
+                        source: name.clone(),
+                        session: cached.session.clone(),
+                        kind: AlertKind::StalledTransfer,
+                        evidence: Span::new(mark.1, at),
+                        detail: format!(
+                            "no data progress for {:.0} s ({} bytes transferred)",
+                            (at - mark.1).as_secs_f64(),
+                            bytes
+                        ),
+                    });
+                }
+            }
+            out.push((cached.ordinal, conditions));
+        }
+        out
+    }
+
+    /// The cached analyses in tracker-insertion order (for the
+    /// peer-group fleet and report snapshots).
+    pub(crate) fn ordered_cache(&self) -> Vec<&CachedAnalysis> {
+        let mut entries: Vec<&CachedAnalysis> = self.cache.values().collect();
+        entries.sort_unstable_by_key(|cached| cached.ordinal);
+        entries
+    }
+
+    /// The data-plane half of finalizing a connection that left this
+    /// scope's tracker: clear its per-connection state, drain its BGP
+    /// extraction, and build the whole-lifetime analysis.
+    pub(crate) fn finalize_connection(
+        &mut self,
+        fin: FinalizedConnection,
+        analyzer: &Analyzer,
+    ) -> FinalizeOutcome {
+        self.progress.remove(&fin.key);
+        let cached_session = self.cache.remove(&fin.key).map(|cached| cached.session);
+        self.quality_dirty.remove(&fin.key);
+        let counts = self.quality.remove(&fin.key).unwrap_or_default();
+        let extraction = self.demux.take(fin.key, fin.connection.sender);
+        let analysis = analyzer.analyze_extracted_lossy(fin.connection, &extraction, counts);
+        let session = session_id(&analysis);
+        let stale_session = cached_session.filter(|cached| cached != &session);
+        let report = Report::from_analysis(&analysis, analyzer.config());
+        FinalizeOutcome {
+            session,
+            stale_session,
+            report,
+            profile_end: analysis.profile.end,
+        }
+    }
+}
+
+/// Tick phase 3, shared by the serial and sharded engines: peer-group
+/// blocking correlates across the whole fleet — a BGP sender paces
+/// *all* its group members, wherever each one was captured.
+/// Quarantined connections are excluded, so a poisoned source cannot
+/// contaminate the correlation. `fleet` must be in (scope,
+/// tracker-insertion) order for deterministic output.
+pub(crate) fn peer_group_conditions(
+    fleet: &[(&Arc<str>, &CachedAnalysis)],
+    min_pause: Micros,
+    conditions: &mut Vec<Condition>,
+) {
+    let analyses: Vec<&Analysis> = fleet.iter().map(|(_, c)| &c.analysis).collect();
+    for (blocked, faulty, incidents) in find_peer_group_blocking_all(&analyses, min_pause) {
+        if analyses[blocked].verdict.is_quarantined() || analyses[faulty].verdict.is_quarantined() {
+            continue;
+        }
+        let Some(last) = incidents.last() else {
+            continue;
+        };
+        let (blocked_src, blocked_cached) = fleet[blocked];
+        let (faulty_src, faulty_cached) = fleet[faulty];
+        // Name the faulty member's source only when it differs —
+        // single-source detail stays byte-identical.
+        let cross = if blocked_src == faulty_src {
+            String::new()
+        } else {
+            format!(" [source {faulty_src}]")
+        };
+        conditions.push(Condition {
+            source: blocked_src.clone(),
+            session: blocked_cached.session.clone(),
+            kind: AlertKind::PeerGroupBlocking,
+            evidence: last.pause,
+            detail: format!(
+                "paused behind faulty group member {}{} ({:.0} s overlap with its losses)",
+                faulty_cached.session,
+                cross,
+                last.overlap.duration().as_secs_f64()
+            ),
+        });
+    }
 }
 
 /// The long-running monitoring engine; see the module docs.
@@ -576,19 +845,13 @@ impl Monitor {
         let id = SourceId(self.scopes.len() as u32);
         let name: Arc<str> = Arc::from(name);
         self.index.insert(name.clone(), id);
-        self.scopes.push(SourceScope {
+        // The tracker stamps the scope index into everything it
+        // finalizes, so a finalized connection routes back to its
+        // source without a lookup.
+        self.scopes.push(SourceScope::new(
             name,
-            // The tracker stamps the scope index into everything it
-            // finalizes, so a finalized connection routes back to its
-            // source without a lookup.
-            tracker: ConnectionTracker::scoped(self.tracker_config, id.index() as u64),
-            demux: BgpDemux::new(),
-            progress: HashMap::new(),
-            quality: HashMap::new(),
-            quality_dirty: HashSet::new(),
-            unattributed: AnomalyCounts::default(),
-            cache: HashMap::new(),
-        });
+            ConnectionTracker::scoped(self.tracker_config, id.index() as u64),
+        ));
         self.metrics.record_sources(self.scopes.len());
         id
     }
@@ -725,23 +988,13 @@ impl Monitor {
     pub fn snapshot_reports(&self) -> Vec<(String, String, String)> {
         let mut out = Vec::new();
         for scope in &self.scopes {
-            let mut entries: Vec<(u64, String, String)> = scope
-                .cache
-                .values()
-                .map(|cached| {
-                    (
-                        cached.ordinal,
-                        cached.session.clone(),
-                        Report::from_analysis(&cached.analysis, self.analyzer.config()).to_json(),
-                    )
-                })
-                .collect();
-            entries.sort_unstable_by_key(|(ordinal, _, _)| *ordinal);
-            out.extend(
-                entries
-                    .into_iter()
-                    .map(|(_, session, report)| (scope.name.to_string(), session, report)),
-            );
+            out.extend(scope.ordered_cache().into_iter().map(|cached| {
+                (
+                    scope.name.to_string(),
+                    cached.session.clone(),
+                    Report::from_analysis(&cached.analysis, self.analyzer.config()).to_json(),
+                )
+            }));
         }
         out
     }
@@ -873,77 +1126,8 @@ impl Monitor {
         // computed identically in incremental and recompute-all modes
         // so both assign the same anchors.
         for scope in &mut self.scopes {
-            let mut dirty = scope.tracker.take_dirty();
-            if !scope.quality_dirty.is_empty() {
-                let seen: HashSet<ConnKey> = dirty.iter().copied().collect();
-                let mut extra: Vec<(u64, ConnKey)> = Vec::new();
-                for key in scope.quality_dirty.drain() {
-                    if seen.contains(&key) {
-                        continue;
-                    }
-                    // A key the tracker does not know (damage attributed
-                    // to a connection that never produced a decodable
-                    // frame, or one that already finalized) has nothing
-                    // to analyze.
-                    if let Some(ordinal) = scope.tracker.ordinal_of(key) {
-                        extra.push((ordinal, key));
-                    }
-                }
-                extra.sort_unstable();
-                dirty.extend(extra.into_iter().map(|(_, key)| key));
-            }
-
-            let work: Vec<(ConnKey, Micros)> = if recompute_all {
-                let dirty_set: HashSet<ConnKey> = dirty.iter().copied().collect();
-                scope
-                    .tracker
-                    .open_keys()
-                    .into_iter()
-                    .map(|key| {
-                        let anchor = if dirty_set.contains(&key) {
-                            at
-                        } else {
-                            scope.cache.get(&key).map(|c| c.anchor).unwrap_or(at)
-                        };
-                        (key, anchor)
-                    })
-                    .collect()
-            } else {
-                dirty.into_iter().map(|key| (key, at)).collect()
-            };
-
-            for (key, anchor) in work {
-                let (Some(fin), Some(ordinal)) = (
-                    scope.tracker.snapshot_of(key),
-                    scope.tracker.ordinal_of(key),
-                ) else {
-                    continue;
-                };
-                let span = Span::new(anchor.saturating_sub(window), anchor);
-                let extraction = scope.demux.snapshot(key, fin.connection.sender);
-                let counts = scope.quality.get(&key).copied().unwrap_or_default();
-                let analysis =
-                    self.analyzer
-                        .analyze_partial_lossy(fin.connection, &extraction, span, counts);
-                let session = session_id(&analysis);
-                let conditions = analysis_conditions(
-                    &analysis,
-                    &scope.name,
-                    &session,
-                    timer_min_gaps,
-                    self.analyzer.config(),
-                );
-                scope.cache.insert(
-                    key,
-                    CachedAnalysis {
-                        ordinal,
-                        anchor,
-                        session,
-                        conditions,
-                        analysis,
-                    },
-                );
-            }
+            let work = scope.dirty_work(at, recompute_all);
+            scope.refresh(work, &self.analyzer, window, timer_min_gaps);
         }
 
         // Phase 2, per scope: condition evaluation over the whole cache
@@ -952,92 +1136,21 @@ impl Monitor {
         let mut conditions: Vec<Condition> = Vec::new();
         let mut open = 0usize;
         for scope in &mut self.scopes {
-            let SourceScope {
-                name,
-                progress,
-                cache,
-                ..
-            } = scope;
-            let mut entries: Vec<(&ConnKey, &CachedAnalysis)> = cache.iter().collect();
-            entries.sort_unstable_by_key(|(_, cached)| cached.ordinal);
+            let entries = scope.entry_conditions(at, stall_after);
             open += entries.len();
-            for (key, cached) in &entries {
-                let analysis = &cached.analysis;
-                // Analysis-derived conditions were evaluated once at the
-                // entry's last refresh; a clean, idle connection costs
-                // nothing here beyond the stall watermark check below.
-                conditions.extend(cached.conditions.iter().cloned());
-                // Stall detection: trace-time watermark on data
-                // progress. Independent of analysis caching — an idle
-                // connection's byte count cannot have changed, and the
-                // comparison runs against the *current* tick time.
-                // Quarantined connections only surface the
-                // capture-quality condition.
-                if analysis.verdict.is_quarantined() {
-                    continue;
-                }
-                let bytes = analysis.profile.data_bytes;
-                let mark = progress.entry(**key).or_insert((bytes, at));
-                if bytes > mark.0 {
-                    *mark = (bytes, at);
-                } else if bytes > 0 && at - mark.1 >= stall_after {
-                    conditions.push(Condition {
-                        source: name.clone(),
-                        session: cached.session.clone(),
-                        kind: AlertKind::StalledTransfer,
-                        evidence: Span::new(mark.1, at),
-                        detail: format!(
-                            "no data progress for {:.0} s ({} bytes transferred)",
-                            (at - mark.1).as_secs_f64(),
-                            bytes
-                        ),
-                    });
-                }
+            for (_, entry) in entries {
+                conditions.extend(entry);
             }
         }
 
         // Phase 3: peer-group blocking correlates across the whole
-        // fleet — a BGP sender paces *all* its group members, wherever
-        // each one was captured. Quarantined connections are excluded,
-        // so a poisoned source cannot contaminate the correlation.
+        // fleet.
         let mut fleet: Vec<(&Arc<str>, &CachedAnalysis)> = Vec::new();
         for scope in &self.scopes {
-            let mut entries: Vec<&CachedAnalysis> = scope.cache.values().collect();
-            entries.sort_unstable_by_key(|cached| cached.ordinal);
+            let entries = scope.ordered_cache();
             fleet.extend(entries.into_iter().map(|cached| (&scope.name, cached)));
         }
-        let analyses: Vec<&Analysis> = fleet.iter().map(|(_, c)| &c.analysis).collect();
-        for (blocked, faulty, incidents) in find_peer_group_blocking_all(&analyses, min_pause) {
-            if analyses[blocked].verdict.is_quarantined()
-                || analyses[faulty].verdict.is_quarantined()
-            {
-                continue;
-            }
-            let Some(last) = incidents.last() else {
-                continue;
-            };
-            let (blocked_src, blocked_cached) = fleet[blocked];
-            let (faulty_src, faulty_cached) = fleet[faulty];
-            // Name the faulty member's source only when it differs —
-            // single-source detail stays byte-identical.
-            let cross = if blocked_src == faulty_src {
-                String::new()
-            } else {
-                format!(" [source {faulty_src}]")
-            };
-            conditions.push(Condition {
-                source: blocked_src.clone(),
-                session: blocked_cached.session.clone(),
-                kind: AlertKind::PeerGroupBlocking,
-                evidence: last.pause,
-                detail: format!(
-                    "paused behind faulty group member {}{} ({:.0} s overlap with its losses)",
-                    faulty_cached.session,
-                    cross,
-                    last.overlap.duration().as_secs_f64()
-                ),
-            });
-        }
+        peer_group_conditions(&fleet, min_pause, &mut conditions);
         drop(fleet);
 
         for alert in self.alerts.observe(at, &conditions) {
@@ -1059,30 +1172,32 @@ impl Monitor {
             );
             return;
         };
-        scope.progress.remove(&fin.key);
-        scope.cache.remove(&fin.key);
-        scope.quality_dirty.remove(&fin.key);
-        let counts = scope.quality.remove(&fin.key).unwrap_or_default();
-        let extraction = scope.demux.take(fin.key, fin.connection.sender);
         let source = scope.name.clone();
-        let analysis = self
-            .analyzer
-            .analyze_extracted_lossy(fin.connection, &extraction, counts);
-        let session = session_id(&analysis);
-        let at = self.now.max(analysis.profile.end);
-        for alert in self.alerts.clear_session(&source, &session, at) {
+        let outcome = scope.finalize_connection(fin, &self.analyzer);
+        let at = self.now.max(outcome.profile_end);
+        // Alerts are keyed by the session id the tick cache last
+        // published; if late traffic re-elected the data sender (an
+        // LRU-evicted connection captured mid-stream, say), the final
+        // session differs and the cached session's alerts would
+        // otherwise survive their connection.
+        if let Some(stale) = &outcome.stale_session {
+            for alert in self.alerts.clear_session(&source, stale, at) {
+                self.metrics.record_alert(&alert);
+                self.events.push(MonitorEvent::Alert(alert));
+            }
+        }
+        for alert in self.alerts.clear_session(&source, &outcome.session, at) {
             self.metrics.record_alert(&alert);
             self.events.push(MonitorEvent::Alert(alert));
         }
-        let report = Report::from_analysis(&analysis, self.analyzer.config());
         let open = self.open_connections();
         self.metrics.record_finalized(open);
         self.events
             .push(MonitorEvent::Connection(ConnectionSummary {
                 at,
                 source,
-                session,
-                report,
+                session: outcome.session,
+                report: outcome.report,
             }));
     }
 }

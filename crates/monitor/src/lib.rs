@@ -63,6 +63,7 @@ pub mod alerts;
 pub mod engine;
 pub mod metrics;
 pub mod set;
+pub mod shard;
 pub mod source;
 pub mod sweep;
 
@@ -73,5 +74,7 @@ pub use engine::{
 };
 pub use metrics::{LatencyHistogram, MonitorMetrics};
 pub use set::{SetEvent, SourceId, SourceRun, SourceSet, SourceSetBuilder, SourceSpec};
+pub use shard::{shard_of, ShardedMonitor};
 pub use source::{AttributedAnomaly, FollowSource, PacketSource, SimSource, SourceEvent};
 pub use sweep::{sweep_directory, SweepOutcome, SweepReport};
+pub use tdat_trace::TrackerConfig;

@@ -40,9 +40,10 @@ use std::path::PathBuf;
 use std::sync::Arc;
 use std::time::{Duration, Instant};
 
-use tdat_packet::TcpFrame;
+use tdat_packet::{CaptureAnomaly, TcpFrame};
 use tdat_tcpsim::scenario::{validate_scenario_spec, ScenarioOptions};
 use tdat_timeset::Micros;
+use tdat_trace::ConnKey;
 
 use crate::source::{AttributedAnomaly, FollowSource, PacketSource, SimSource, SourceEvent};
 
@@ -264,6 +265,9 @@ struct SetEntry {
     state: EntryState,
     /// Wall clock of the last productive poll (for the stale valve).
     last_progress: Instant,
+    /// Frames dropped because this source delivered them behind the
+    /// already-released merge clock (a stale source that resumed).
+    late_frames: u64,
 }
 
 impl fmt::Debug for SetEntry {
@@ -273,6 +277,7 @@ impl fmt::Debug for SetEntry {
             .field("buffered", &self.buffer.len())
             .field("watermark", &self.watermark)
             .field("state", &self.state)
+            .field("late_frames", &self.late_frames)
             .finish()
     }
 }
@@ -345,6 +350,15 @@ impl SourceSet {
     /// tagged with its originating source, in poll order.
     pub fn drain_anomalies(&mut self) -> Vec<(SourceId, AttributedAnomaly)> {
         std::mem::take(&mut self.anomalies)
+    }
+
+    /// Frames each source delivered *behind* the already-released merge
+    /// clock (dropped, with a [`CaptureAnomaly::TimestampRegression`]
+    /// attributed to the source), by [`SourceId`] index. Only a source
+    /// excluded by the stale valve that later resumes can produce
+    /// these.
+    pub fn late_frames(&self) -> Vec<u64> {
+        self.entries.iter().map(|e| e.late_frames).collect()
     }
 
     /// Polls every live source once and releases the frames the
@@ -466,6 +480,12 @@ impl SourceSet {
     /// K-way merge of the buffered frames up to `limit` (`None` drains
     /// everything): globally timestamp-ordered, ties to the lowest
     /// source index, FIFO within a source.
+    ///
+    /// A frame *behind* the already-released merge clock — possible
+    /// only from a source the stale valve excluded that later resumed —
+    /// would reorder the released stream; it is dropped here with a
+    /// [`CaptureAnomaly::TimestampRegression`] attributed to its source
+    /// and connection, and counted in [`late_frames`](Self::late_frames).
     fn drain_releasable(&mut self, limit: Option<Micros>) -> Vec<SourceRun> {
         let mut runs: Vec<SourceRun> = Vec::new();
         loop {
@@ -481,10 +501,30 @@ impl SourceSet {
                     best = Some((i, frame.timestamp));
                 }
             }
-            let Some((i, _)) = best else { break };
+            let Some((i, ts)) = best else { break };
             let Some(frame) = self.entries.get_mut(i).and_then(|e| e.buffer.pop_front()) else {
                 break;
             };
+            if let Some(floor) = self.last_now {
+                // The merge always picks the global minimum, so every
+                // late frame is caught here before anything newer.
+                if ts < floor {
+                    if let Some(entry) = self.entries.get_mut(i) {
+                        entry.late_frames += 1;
+                    }
+                    self.anomalies.push((
+                        SourceId(i as u32),
+                        AttributedAnomaly {
+                            key: Some(ConnKey::of(&frame)),
+                            anomaly: CaptureAnomaly::TimestampRegression {
+                                previous: floor,
+                                observed: ts,
+                            },
+                        },
+                    ));
+                    continue;
+                }
+            }
             match runs.last_mut() {
                 Some(run) if run.source.index() == i => run.frames.push(frame),
                 _ => runs.push(SourceRun {
@@ -603,6 +643,7 @@ impl SourceSetBuilder {
                 watermark: None,
                 state: EntryState::Live,
                 last_progress: Instant::now(),
+                late_frames: 0,
             });
         }
         Ok(SourceSet {
@@ -621,17 +662,32 @@ mod tests {
     use std::net::Ipv4Addr;
     use tdat_packet::FrameBuilder;
 
-    /// A scripted source: yields its batches one per poll, then
-    /// finishes (or fails, when `error_after` is set).
+    /// One scripted poll outcome.
+    enum Step {
+        Batch(Vec<TcpFrame>, Option<Micros>),
+        Pending,
+    }
+
+    /// A scripted source: yields its steps one per poll, then
+    /// finishes (or fails, when `fail` is set).
     struct Scripted {
-        batches: VecDeque<(Vec<TcpFrame>, Option<Micros>)>,
+        steps: VecDeque<Step>,
         fail: Option<String>,
     }
 
     impl Scripted {
         fn of(batches: Vec<(Vec<TcpFrame>, Option<Micros>)>) -> Scripted {
+            Scripted::steps(
+                batches
+                    .into_iter()
+                    .map(|(frames, now)| Step::Batch(frames, now))
+                    .collect(),
+            )
+        }
+
+        fn steps(steps: Vec<Step>) -> Scripted {
             Scripted {
-                batches: batches.into(),
+                steps: steps.into(),
                 fail: None,
             }
         }
@@ -639,8 +695,9 @@ mod tests {
 
     impl PacketSource for Scripted {
         fn poll(&mut self) -> tdat_packet::Result<SourceEvent> {
-            match self.batches.pop_front() {
-                Some((frames, now)) => Ok(SourceEvent::Batch { frames, now }),
+            match self.steps.pop_front() {
+                Some(Step::Batch(frames, now)) => Ok(SourceEvent::Batch { frames, now }),
+                Some(Step::Pending) => Ok(SourceEvent::Pending),
                 None => match self.fail.take() {
                     Some(detail) => Err(tdat_packet::PacketError::Malformed {
                         what: "scripted source",
@@ -774,6 +831,89 @@ mod tests {
         assert!(failures[0].1.contains("simulated I/O error"));
         assert_eq!(released, vec![10, 20, 30], "healthy source fully drained");
         assert_eq!(set.failures().len(), 1);
+    }
+
+    #[test]
+    fn stale_resumed_source_cannot_inject_frames_behind_the_released_clock() {
+        // "lead" keeps producing while "lag" goes silent; the stale
+        // valve excludes lag from the watermark and the merge clock
+        // runs ahead to ts 100. When lag resumes, its buffered ts-20
+        // frame is *behind* the released clock: it must be dropped with
+        // an attributed anomaly, never released out of order.
+        let lead = Scripted::steps(vec![
+            Step::Batch(vec![frame(1, 10), frame(1, 100)], None),
+            Step::Batch(vec![], Some(Micros(100))),
+        ]);
+        let lag = Scripted::steps(vec![
+            Step::Batch(vec![frame(2, 5)], None),
+            Step::Pending,
+            Step::Batch(vec![frame(2, 20), frame(2, 150)], None),
+        ]);
+        let mut set = SourceSet::builder()
+            .custom("lead", Box::new(lead))
+            .custom("lag", Box::new(lag))
+            .build()
+            .expect("build");
+        set.stale_after = Some(Duration::from_millis(2));
+
+        let mut released: Vec<(u32, i64)> = Vec::new();
+        let mut nows: Vec<i64> = Vec::new();
+        loop {
+            match set.poll() {
+                SetEvent::Batch { runs, now } => {
+                    for run in runs {
+                        for f in run.frames {
+                            released.push((run.source.0, f.timestamp.0));
+                        }
+                    }
+                    if let Some(now) = now {
+                        nows.push(now.0);
+                    }
+                }
+                SetEvent::Pending => {}
+                SetEvent::SourceFailed { source, error } => {
+                    panic!("unexpected failure of {source}: {error}")
+                }
+                SetEvent::Finished => break,
+            }
+            // Let the valve see lag as stale while lead stays fresh
+            // (lead's next poll refreshes its progress clock).
+            std::thread::sleep(Duration::from_millis(4));
+        }
+
+        assert_eq!(
+            released,
+            vec![(1, 5), (0, 10), (0, 100), (1, 150)],
+            "ts 20 must not release behind the ts-100 clock"
+        );
+        assert!(
+            nows.windows(2).all(|w| w[0] <= w[1]),
+            "clock regressed: {nows:?}"
+        );
+        assert_eq!(set.late_frames(), vec![0, 1]);
+        let anomalies = set.drain_anomalies();
+        let late: Vec<_> = anomalies
+            .iter()
+            .filter(|(id, a)| {
+                *id == SourceId(1)
+                    && matches!(
+                        a.anomaly,
+                        CaptureAnomaly::TimestampRegression {
+                            previous: Micros(100),
+                            observed: Micros(20),
+                        }
+                    )
+            })
+            .collect();
+        assert_eq!(
+            late.len(),
+            1,
+            "one attributed late-frame anomaly: {anomalies:?}"
+        );
+        assert!(
+            late[0].1.key.is_some(),
+            "late frame keeps its connection key"
+        );
     }
 
     #[test]

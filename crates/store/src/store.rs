@@ -360,7 +360,8 @@ impl Store {
         text.push('\n');
         {
             let mut f = fs::File::create(&tmp_path).map_err(|e| io_err(&tmp_path, e))?;
-            f.write_all(text.as_bytes()).map_err(|e| io_err(&tmp_path, e))?;
+            f.write_all(text.as_bytes())
+                .map_err(|e| io_err(&tmp_path, e))?;
             f.sync_all().map_err(|e| io_err(&tmp_path, e))?;
         }
         fs::rename(&tmp_path, &manifest_path).map_err(|e| io_err(&manifest_path, e))?;
@@ -468,11 +469,7 @@ mod tests {
         let reopened = Store::open(&dir).unwrap();
         assert_eq!(reopened.stats().records, 3);
         let snap = reopened.snapshot();
-        assert!(snap.segments[0]
-            .meta
-            .verdicts
-            .iter()
-            .any(|v| v == "x\ny"));
+        assert!(snap.segments[0].meta.verdicts.iter().any(|v| v == "x\ny"));
         let back: Vec<_> = snap
             .segments
             .iter()
