@@ -24,6 +24,17 @@
 //!   --shards N        partition connections across N worker shards
 //!                     (default 1 = serial; output is byte-identical
 //!                     for any N)
+//!
+//! supervision options:
+//!   --checkpoint PATH periodically snapshot recovery state to PATH
+//!                     (atomic replace + checksum)
+//!   --resume          continue a crashed watch: append to --events
+//!                     after replaying and suppressing the lines it
+//!                     already holds (needs --checkpoint and a file
+//!                     --events PATH)
+//!   --faults SPEC     deterministic fault injection, e.g.
+//!                     "source.poll:b.pcap@hit=2;atomic.rename@once"
+//!   --fault-seed N    seed for probabilistic fault triggers (default 0)
 //! ```
 //!
 //! Every `--follow` and `--sim` becomes one named source in a merged
@@ -31,9 +42,11 @@
 //! holds a fast source back until its slowest sibling catches up), and
 //! every alert, report, and failure is attributed to the source that
 //! produced it. One dying source degrades only its own view — the
-//! siblings keep streaming. `--sweep` instead drains a directory of
-//! finished captures in parallel, one independent monitor per file,
-//! and concatenates the streams in file-name order.
+//! siblings keep streaming, and a source that failed with a transient
+//! error (I/O, truncation) is reopened under exponential backoff and
+//! resumes at its released watermark. `--sweep` instead drains a
+//! directory of finished captures in parallel, one independent monitor
+//! per file, and concatenates the streams in file-name order.
 //!
 //! Schema 2 prefixes the stream with a `meta` line naming the sources
 //! and adds a `source` field to every event; schema 1 is the
@@ -41,25 +54,33 @@
 //! and refuses to run with more than one source.
 //!
 //! Events use trace (virtual) time only, so a given input produces
-//! byte-identical output. A metrics summary goes to stderr on exit.
+//! byte-identical output. That determinism is what makes `--resume`
+//! exact: a restarted watch replays its sources from the origin,
+//! counts the complete lines already in the events file (truncating a
+//! torn trailing line the crash may have left), suppresses exactly
+//! that many regenerated lines, and appends — the concatenation is
+//! byte-identical to a watch that never died. A metrics summary goes
+//! to stderr on exit.
 
 use std::io::Write;
+use std::path::PathBuf;
 use std::process::ExitCode;
-use std::time::Duration;
+use std::time::{Duration, Instant};
 
 use tdat_monitor::{
-    sweep_directory, EventSchema, MonitorConfig, MonitorEvent, SetEvent, ShardedMonitor, SourceSet,
-    SourceSpec,
+    sweep_directory, Checkpoint, EventSchema, MonitorConfig, MonitorEvent, SetEvent,
+    ShardedMonitor, SourceCheckpoint, SourceSet, SourceSpec,
 };
 use tdat_tcpsim::scenario::{ScenarioOptions, SCENARIO_USAGE};
+use tdat_timeset::faultpoint::FaultPlan;
 use tdat_timeset::Micros;
-
-/// Wall-clock wait between polls while every source is pending.
-const IDLE_BACKOFF: Duration = Duration::from_millis(100);
 
 /// Default stale valve with plural sources: a silent feed stops
 /// holding back its siblings' analysis after this long.
 const DEFAULT_STALE: Duration = Duration::from_secs(5);
+
+/// Wall-clock cadence between checkpoint snapshots.
+const CHECKPOINT_EVERY: Duration = Duration::from_secs(1);
 
 fn main() -> ExitCode {
     let mut args = std::env::args().skip(1);
@@ -74,6 +95,10 @@ fn main() -> ExitCode {
     let mut schema: Option<u32> = None;
     let mut jobs: Option<usize> = None;
     let mut shards: usize = 1;
+    let mut checkpoint: Option<String> = None;
+    let mut resume = false;
+    let mut faults_spec: Option<String> = None;
+    let mut fault_seed: u64 = 0;
     let mut opts = ScenarioOptions::default();
     let mut sims: Vec<String> = Vec::new();
     while let Some(arg) = args.next() {
@@ -96,6 +121,10 @@ fn main() -> ExitCode {
                 "--shards" => shards = parse(&take("--shards")?, "--shards")?,
                 "--routes" => opts.routes = parse(&take("--routes")?, "--routes")?,
                 "--seed" => opts.seed = parse(&take("--seed")?, "--seed")?,
+                "--checkpoint" => checkpoint = Some(take("--checkpoint")?),
+                "--resume" => resume = true,
+                "--faults" => faults_spec = Some(take("--faults")?),
+                "--fault-seed" => fault_seed = parse(&take("--fault-seed")?, "--fault-seed")?,
                 "--help" | "-h" => return Err(String::new()),
                 other => return Err(format!("unknown option {other}")),
             }
@@ -118,6 +147,24 @@ fn main() -> ExitCode {
             return usage("--stale must be a positive number of seconds");
         }
     }
+    if resume {
+        if checkpoint.is_none() {
+            return usage("--resume needs --checkpoint PATH to validate the watch against");
+        }
+        if events == "-" {
+            return usage("--resume needs --events PATH (a file to count and append to)");
+        }
+    }
+    if sweep.is_some() && (resume || checkpoint.is_some()) {
+        return usage("--checkpoint/--resume supervise live watches, not --sweep");
+    }
+    let faults = match &faults_spec {
+        Some(spec) => match FaultPlan::parse(spec, fault_seed) {
+            Ok(plan) => plan,
+            Err(e) => return usage(&format!("--faults: {e}")),
+        },
+        None => FaultPlan::disabled(),
+    };
     let config = match MonitorConfig::builder()
         .window(Micros::from_secs_f64(window_s))
         .interval(Micros::from_secs_f64(interval_s))
@@ -163,11 +210,49 @@ fn main() -> ExitCode {
         Some(other) => return usage(&format!("--schema: unknown schema {other}")),
     };
 
+    // Resume: the events file is the authority on how far the previous
+    // incarnation got. Count its complete lines (dropping a torn tail),
+    // then replay the watch from the origin suppressing that many.
+    let mut skip = 0u64;
+    let mut write_preamble = true;
+    if resume {
+        match prepare_resume(&events) {
+            Ok((lines, has_meta)) => {
+                if schema == EventSchema::V2 {
+                    if has_meta {
+                        write_preamble = false;
+                        skip = lines.saturating_sub(1);
+                    } else if lines > 0 {
+                        eprintln!(
+                            "t-dat-monitor: {events}: existing schema-2 events file does not \
+                             start with a meta line; refusing to resume into it"
+                        );
+                        return ExitCode::FAILURE;
+                    }
+                } else {
+                    skip = lines;
+                }
+            }
+            Err(e) => {
+                eprintln!("t-dat-monitor: --resume: {e}");
+                return ExitCode::FAILURE;
+            }
+        }
+    }
+
     let stdout = std::io::stdout();
     let mut out: Box<dyn Write> = if events == "-" {
         Box::new(stdout.lock())
     } else {
-        match std::fs::File::create(&events) {
+        let opened = if resume {
+            std::fs::File::options()
+                .create(true)
+                .append(true)
+                .open(&events)
+        } else {
+            std::fs::File::create(&events)
+        };
+        match opened {
             Ok(file) => Box::new(std::io::BufWriter::new(file)),
             Err(e) => {
                 eprintln!("t-dat-monitor: {events}: {e}");
@@ -233,7 +318,7 @@ fn main() -> ExitCode {
         };
     }
 
-    let mut builder = SourceSet::builder();
+    let mut builder = SourceSet::builder().faults(faults.clone());
     for spec in specs {
         builder = builder.source(spec);
     }
@@ -250,8 +335,48 @@ fn main() -> ExitCode {
         }
     };
 
+    // A checkpoint left by the previous incarnation validates that we
+    // are resuming the same watch (same sources, same order); a corrupt
+    // one is reported and ignored — the events file stays authoritative.
+    let ckpt = checkpoint.as_ref().map(|path| CheckpointCtx {
+        path: PathBuf::from(path),
+        faults: faults.clone(),
+        last: Instant::now(),
+    });
+    if resume {
+        if let Some(ctx) = &ckpt {
+            match Checkpoint::load(&ctx.path) {
+                Ok(prev) => {
+                    let names = set.names();
+                    let ours: Vec<&str> = names.iter().map(|n| &**n).collect();
+                    let theirs: Vec<&str> = prev.sources.iter().map(|s| s.name.as_str()).collect();
+                    if ours != theirs {
+                        eprintln!(
+                            "t-dat-monitor: --resume: checkpoint {} describes sources \
+                             {theirs:?}, this watch has {ours:?}",
+                            ctx.path.display()
+                        );
+                        return ExitCode::FAILURE;
+                    }
+                }
+                Err(e) if e.kind() == std::io::ErrorKind::NotFound => {}
+                Err(e) => eprintln!(
+                    "t-dat-monitor: ignoring checkpoint {}: {e}",
+                    ctx.path.display()
+                ),
+            }
+        }
+    }
+
+    let mut output = WatchOutput {
+        out: &mut out,
+        schema,
+        skip,
+        emitted: skip,
+        write_preamble,
+    };
     let mut monitor = ShardedMonitor::new(config);
-    let status = drive(&mut monitor, &mut set, schema, &mut out);
+    let status = drive(&mut monitor, &mut set, &mut output, ckpt);
     eprint!("{}", monitor.metrics());
     failed |= !set.failures().is_empty();
     match status {
@@ -264,22 +389,101 @@ fn main() -> ExitCode {
     }
 }
 
+/// Where the event stream goes, plus the resume bookkeeping: `skip`
+/// output lines are suppressed (they are already in the file from the
+/// previous incarnation) and `emitted` tracks how many event lines the
+/// file holds, for checkpoints.
+struct WatchOutput<'a> {
+    out: &'a mut Box<dyn Write>,
+    schema: EventSchema,
+    skip: u64,
+    emitted: u64,
+    write_preamble: bool,
+}
+
+/// A `--checkpoint` destination and its write cadence.
+struct CheckpointCtx {
+    path: PathBuf,
+    faults: FaultPlan,
+    last: Instant,
+}
+
+/// Counts the complete event lines already in `path`, truncating any
+/// torn trailing partial line a crash may have left mid-write, and
+/// reports whether the first line is a schema-2 meta preamble. A
+/// missing file counts as empty.
+fn prepare_resume(path: &str) -> Result<(u64, bool), String> {
+    let bytes = match std::fs::read(path) {
+        Ok(bytes) => bytes,
+        Err(e) if e.kind() == std::io::ErrorKind::NotFound => return Ok((0, false)),
+        Err(e) => return Err(format!("{path}: {e}")),
+    };
+    let keep = match bytes.iter().rposition(|&b| b == b'\n') {
+        Some(i) => i + 1,
+        None => 0,
+    };
+    if keep < bytes.len() {
+        let file = std::fs::File::options()
+            .write(true)
+            .open(path)
+            .map_err(|e| format!("{path}: {e}"))?;
+        file.set_len(keep as u64)
+            .map_err(|e| format!("{path}: truncating torn line: {e}"))?;
+        eprintln!(
+            "t-dat-monitor: {path}: dropped a torn trailing line ({} byte(s))",
+            bytes.len() - keep
+        );
+    }
+    let lines = bytes[..keep].iter().filter(|&&b| b == b'\n').count() as u64;
+    let has_meta = bytes.starts_with(b"{\"type\":\"meta\"");
+    Ok((lines, has_meta))
+}
+
+/// Snapshots recovery state to the checkpoint file; failures are
+/// reported but never kill the watch (the previous checkpoint, if any,
+/// is still intact thanks to the atomic replace).
+fn write_checkpoint(ctx: &CheckpointCtx, set: &SourceSet, monitor: &ShardedMonitor, emitted: u64) {
+    let sources = set
+        .progress()
+        .into_iter()
+        .map(|p| SourceCheckpoint {
+            name: p.name.to_string(),
+            offset: p.cursor.as_ref().map(|c| c.offset).unwrap_or(0),
+            records_read: p.cursor.as_ref().map(|c| c.records_read).unwrap_or(0),
+            watermark: p.watermark,
+            frames_accepted: p.frames_accepted,
+        })
+        .collect();
+    let snapshot = Checkpoint {
+        now: set.last_now().unwrap_or(Micros(0)),
+        events_emitted: emitted,
+        alert_fingerprint: monitor.alert_fingerprint(),
+        sources,
+    };
+    if let Err(e) = snapshot.write(&ctx.path, &ctx.faults) {
+        eprintln!("t-dat-monitor: checkpoint {}: {e}", ctx.path.display());
+    }
+}
+
 /// The streaming main loop: poll the set, ingest each released run
 /// under its source's scope, write events as they happen. Per-source
-/// failures are reported and the loop keeps going.
+/// failures are reported and the loop keeps going; transient outages
+/// surface as down/up pairs while the set resurrects the source.
 fn drive(
     monitor: &mut ShardedMonitor,
     set: &mut SourceSet,
-    schema: EventSchema,
-    out: &mut Box<dyn Write>,
+    output: &mut WatchOutput<'_>,
+    mut ckpt: Option<CheckpointCtx>,
 ) -> Result<(), String> {
     let ids: Vec<_> = set
         .names()
         .iter()
         .map(|name| monitor.register_source(name))
         .collect();
-    if let Some(preamble) = schema.preamble(&set.names()) {
-        writeln!(out, "{preamble}").map_err(|e| e.to_string())?;
+    if output.write_preamble {
+        if let Some(preamble) = output.schema.preamble(&set.names()) {
+            writeln!(output.out, "{preamble}").map_err(|e| e.to_string())?;
+        }
     }
     loop {
         let event = set.poll();
@@ -301,7 +505,26 @@ fn drive(
                 if let Some(now) = now {
                     monitor.advance_to(now);
                 }
-                write_events(monitor, schema, out)?;
+                write_events(monitor, output)?;
+            }
+            SetEvent::SourceDown { source, error } => {
+                let name = set
+                    .name(source)
+                    .map(|n| n.to_string())
+                    .unwrap_or_else(|| source.to_string());
+                eprintln!("t-dat-monitor: source {name}: down: {error} (will retry)");
+                monitor.note_source_down(ids.get(source.index()).copied().unwrap_or(source), error);
+                write_events(monitor, output)?;
+            }
+            SetEvent::SourceUp { source, attempts } => {
+                let name = set
+                    .name(source)
+                    .map(|n| n.to_string())
+                    .unwrap_or_else(|| source.to_string());
+                eprintln!("t-dat-monitor: source {name}: recovered after {attempts} attempt(s)");
+                monitor
+                    .note_source_up(ids.get(source.index()).copied().unwrap_or(source), attempts);
+                write_events(monitor, output)?;
             }
             SetEvent::SourceFailed { source, error } => {
                 let name = set
@@ -311,36 +534,52 @@ fn drive(
                 eprintln!("t-dat-monitor: source {name}: {error}");
                 monitor
                     .note_source_failure(ids.get(source.index()).copied().unwrap_or(source), error);
-                write_events(monitor, schema, out)?;
+                write_events(monitor, output)?;
             }
             SetEvent::Pending => {
                 // Keep downstream consumers (tail -f) current while idle.
-                out.flush().map_err(|e| e.to_string())?;
-                std::thread::sleep(IDLE_BACKOFF);
+                output.out.flush().map_err(|e| e.to_string())?;
+                std::thread::sleep(monitor.pending_backoff());
             }
             SetEvent::Finished => break,
         }
+        if let Some(ctx) = ckpt.as_mut() {
+            if ctx.last.elapsed() >= CHECKPOINT_EVERY {
+                write_checkpoint(ctx, set, monitor, output.emitted);
+                ctx.last = Instant::now();
+            }
+        }
     }
     monitor.finish();
-    write_events(monitor, schema, out)?;
-    out.flush().map_err(|e| e.to_string())
+    write_events(monitor, output)?;
+    output.out.flush().map_err(|e| e.to_string())?;
+    if let Some(ctx) = &ckpt {
+        // Final snapshot after the stream is durable, so the checkpoint
+        // never claims more lines than the file holds.
+        write_checkpoint(ctx, set, monitor, output.emitted);
+    }
+    Ok(())
 }
 
-fn write_events(
-    monitor: &mut ShardedMonitor,
-    schema: EventSchema,
-    out: &mut Box<dyn Write>,
-) -> Result<(), String> {
+fn write_events(monitor: &mut ShardedMonitor, output: &mut WatchOutput<'_>) -> Result<(), String> {
     for event in monitor.drain_events() {
-        if schema == EventSchema::V1 {
-            if let MonitorEvent::SourceDown(down) = &event {
-                // v1 has no source_down line; the failure already went
-                // to stderr. Keep the stream schema-clean.
-                let _ = down;
+        if output.schema == EventSchema::V1 {
+            // v1 has no source lifecycle lines; the outage already went
+            // to stderr. Keep the stream schema-clean.
+            if matches!(
+                &event,
+                MonitorEvent::SourceDown(_) | MonitorEvent::SourceUp(_)
+            ) {
                 continue;
             }
         }
-        writeln!(out, "{}", schema.render(&event)).map_err(|e| e.to_string())?;
+        if output.skip > 0 {
+            // Replaying into a resumed file: this line is already there.
+            output.skip -= 1;
+            continue;
+        }
+        writeln!(output.out, "{}", output.schema.render(&event)).map_err(|e| e.to_string())?;
+        output.emitted += 1;
     }
     Ok(())
 }
@@ -359,7 +598,8 @@ fn usage(message: &str) -> ExitCode {
         "usage: t-dat-monitor [--follow <pcap>]... [--sim <{SCENARIO_USAGE}>]... \
          [--sweep <dir> [--jobs N]] [--exit-idle SECS] [--stale SECS] \
          [--routes N] [--seed S] [--pace F] \
-         [--window SECS] [--interval SECS] [--events PATH] [--schema 1|2] [--shards N]"
+         [--window SECS] [--interval SECS] [--events PATH] [--schema 1|2] [--shards N] \
+         [--checkpoint PATH] [--resume] [--faults SPEC] [--fault-seed N]"
     );
     ExitCode::from(2)
 }

@@ -1,0 +1,317 @@
+//! Crash-safe watch checkpoints.
+//!
+//! A long-running watch periodically snapshots its recovery state —
+//! per-source file offsets and released watermarks, the engine clock,
+//! the alert-engine fingerprint, and how many event lines it has
+//! emitted — into a [`Checkpoint`] file written with the
+//! tmp+rename+fsync discipline ([`tdat_timeset::atomicfile`]), so a
+//! crash leaves either the previous checkpoint or the new one, never a
+//! torn hybrid. A trailing FNV-1a checksum line catches the remaining
+//! failure modes (partial sector writes, bit rot).
+//!
+//! Resume is *replay-based*: the monitor's event stream is keyed
+//! exclusively to trace time, so re-running the watch from the origin
+//! and suppressing the first N output lines reproduces the
+//! uninterrupted stream byte-for-byte. The **events file is the
+//! authority** for N — a crash can land between an event write and the
+//! next checkpoint, so the checkpoint's own counter may run behind; the
+//! file cannot. The checkpoint instead serves validation (is this the
+//! same watch?) and observability (how far had it gotten?).
+//!
+//! The format is deliberately line-based rather than JSON: every field
+//! is `key=value`, sources put the free-form name last on the line, and
+//! the final line is `crc=` over every preceding byte.
+
+use std::fmt::Write as _;
+use std::io;
+use std::path::Path;
+
+use tdat_timeset::faultpoint::FaultPlan;
+use tdat_timeset::{atomicfile, Micros};
+
+/// First line of every checkpoint file.
+pub const CHECKPOINT_SCHEMA: &str = "tdat-monitor-checkpoint/1";
+
+/// One source's recovery cursor inside a [`Checkpoint`].
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct SourceCheckpoint {
+    /// The source's name (the `--follow` path or sim spec).
+    pub name: String,
+    /// Byte offset the follower had committed (0 for non-file sources).
+    pub offset: u64,
+    /// Pcap records fully consumed (0 for non-file sources).
+    pub records_read: u64,
+    /// The source's released watermark, if it had produced one.
+    pub watermark: Option<Micros>,
+    /// Frames the merge had accepted from this source.
+    pub frames_accepted: u64,
+}
+
+/// A point-in-time snapshot of a watch's recovery state; see the
+/// module docs.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Checkpoint {
+    /// Trace time the engine had advanced to.
+    pub now: Micros,
+    /// Event lines emitted to the events file so far (excluding any
+    /// schema preamble).
+    pub events_emitted: u64,
+    /// [`AlertEngine::fingerprint`](crate::AlertEngine::fingerprint)
+    /// at snapshot time.
+    pub alert_fingerprint: u64,
+    /// Per-source cursors, in [`SourceId`](crate::SourceId) order.
+    pub sources: Vec<SourceCheckpoint>,
+}
+
+/// FNV-1a over a byte string (the checksum the trailer line carries).
+fn fnv1a(bytes: &[u8]) -> u64 {
+    let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+    for &b in bytes {
+        h ^= u64::from(b);
+        h = h.wrapping_mul(0x100_0000_01b3);
+    }
+    h
+}
+
+impl Checkpoint {
+    /// Renders the checkpoint file's bytes, checksum trailer included.
+    pub fn encode(&self) -> Vec<u8> {
+        let mut body = String::with_capacity(256);
+        let _ = writeln!(body, "{CHECKPOINT_SCHEMA}");
+        let _ = writeln!(body, "now_us={}", self.now.0);
+        let _ = writeln!(body, "events={}", self.events_emitted);
+        let _ = writeln!(body, "alerts_fnv={:016x}", self.alert_fingerprint);
+        for s in &self.sources {
+            let watermark = match s.watermark {
+                Some(w) => w.0.to_string(),
+                None => "none".to_string(),
+            };
+            // The name goes last so it may contain spaces and '='.
+            let _ = writeln!(
+                body,
+                "source offset={} records={} watermark_us={} frames={} name={}",
+                s.offset, s.records_read, watermark, s.frames_accepted, s.name
+            );
+        }
+        let crc = fnv1a(body.as_bytes());
+        let _ = writeln!(body, "crc={crc:016x}");
+        body.into_bytes()
+    }
+
+    /// Parses and verifies checkpoint bytes.
+    ///
+    /// # Errors
+    ///
+    /// Returns a description of the first structural, field, or
+    /// checksum problem.
+    pub fn decode(bytes: &[u8]) -> Result<Checkpoint, String> {
+        let text = std::str::from_utf8(bytes).map_err(|_| "checkpoint is not UTF-8".to_string())?;
+        let crc_at = text
+            .trim_end_matches('\n')
+            .rfind('\n')
+            .ok_or_else(|| "checkpoint has no checksum trailer".to_string())?;
+        let (body, trailer) = text.split_at(crc_at + 1);
+        let crc_hex = trailer
+            .trim_end()
+            .strip_prefix("crc=")
+            .ok_or_else(|| format!("checkpoint trailer is not a crc line: {trailer:?}"))?;
+        let expected = u64::from_str_radix(crc_hex, 16)
+            .map_err(|_| format!("checkpoint crc is not hex: {crc_hex:?}"))?;
+        let actual = fnv1a(body.as_bytes());
+        if actual != expected {
+            return Err(format!(
+                "checkpoint checksum mismatch: file says {expected:016x}, bytes hash to \
+                 {actual:016x}"
+            ));
+        }
+
+        let mut lines = body.lines();
+        let schema = lines.next().unwrap_or_default();
+        if schema != CHECKPOINT_SCHEMA {
+            return Err(format!(
+                "unrecognized checkpoint schema {schema:?} (expected {CHECKPOINT_SCHEMA:?})"
+            ));
+        }
+        let mut now = None;
+        let mut events = None;
+        let mut alerts_fnv = None;
+        let mut sources = Vec::new();
+        for line in lines {
+            if let Some(value) = line.strip_prefix("now_us=") {
+                now = Some(Micros(value.parse::<i64>().map_err(|_| {
+                    format!("checkpoint now_us is not an integer: {value:?}")
+                })?));
+            } else if let Some(value) = line.strip_prefix("events=") {
+                events = Some(
+                    value
+                        .parse::<u64>()
+                        .map_err(|_| format!("checkpoint events is not a count: {value:?}"))?,
+                );
+            } else if let Some(value) = line.strip_prefix("alerts_fnv=") {
+                alerts_fnv = Some(
+                    u64::from_str_radix(value, 16)
+                        .map_err(|_| format!("checkpoint alerts_fnv is not hex: {value:?}"))?,
+                );
+            } else if let Some(rest) = line.strip_prefix("source ") {
+                sources.push(parse_source(rest)?);
+            } else {
+                return Err(format!("unrecognized checkpoint line: {line:?}"));
+            }
+        }
+        Ok(Checkpoint {
+            now: now.ok_or("checkpoint is missing now_us")?,
+            events_emitted: events.ok_or("checkpoint is missing events")?,
+            alert_fingerprint: alerts_fnv.ok_or("checkpoint is missing alerts_fnv")?,
+            sources,
+        })
+    }
+
+    /// Atomically replaces the checkpoint at `path` (see
+    /// [`atomicfile::replace_file`]); the `atomic.*` faultpoints in
+    /// `faults` apply.
+    ///
+    /// # Errors
+    ///
+    /// Propagates I/O (and injected) failures; the previous checkpoint
+    /// survives any of them.
+    pub fn write(&self, path: &Path, faults: &FaultPlan) -> io::Result<()> {
+        atomicfile::replace_file(path, &self.encode(), faults)
+    }
+
+    /// Loads and verifies the checkpoint at `path`.
+    ///
+    /// # Errors
+    ///
+    /// I/O errors reading the file, or any [`decode`](Self::decode)
+    /// failure rendered as [`io::ErrorKind::InvalidData`].
+    pub fn load(path: &Path) -> io::Result<Checkpoint> {
+        let bytes = std::fs::read(path)?;
+        Checkpoint::decode(&bytes).map_err(io::Error::other)
+    }
+}
+
+/// Parses the fields of one `source ` line.
+fn parse_source(rest: &str) -> Result<SourceCheckpoint, String> {
+    let bad = |what: &str| format!("malformed checkpoint source line ({what}): {rest:?}");
+    let take = |prefix: &'static str, s: &str| -> Result<(String, String), String> {
+        let s = s.strip_prefix(prefix).ok_or_else(|| bad(prefix))?;
+        let at = s.find(' ').ok_or_else(|| bad(prefix))?;
+        Ok((s[..at].to_string(), s[at + 1..].to_string()))
+    };
+    let (offset, rest) = take("offset=", rest)?;
+    let (records, rest) = take("records=", &rest)?;
+    let (watermark, rest) = take("watermark_us=", &rest)?;
+    let (frames, rest) = take("frames=", &rest)?;
+    let name = rest
+        .strip_prefix("name=")
+        .ok_or_else(|| bad("name="))?
+        .to_string();
+    let count = |what: &str, v: &str| -> Result<u64, String> {
+        v.parse::<u64>()
+            .map_err(|_| format!("checkpoint source {what} is not a count: {v:?}"))
+    };
+    Ok(SourceCheckpoint {
+        name,
+        offset: count("offset", &offset)?,
+        records_read: count("records", &records)?,
+        watermark: match watermark.as_str() {
+            "none" => None,
+            v => Some(Micros(v.parse::<i64>().map_err(|_| {
+                format!("checkpoint source watermark is not an integer: {v:?}")
+            })?)),
+        },
+        frames_accepted: count("frames", &frames)?,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample() -> Checkpoint {
+        Checkpoint {
+            now: Micros::from_secs(42),
+            events_emitted: 17,
+            alert_fingerprint: 0xdead_beef_0123_4567,
+            sources: vec![
+                SourceCheckpoint {
+                    name: "a dir/with spaces=and equals.pcap".into(),
+                    offset: 1024,
+                    records_read: 12,
+                    watermark: Some(Micros(41_999_999)),
+                    frames_accepted: 12,
+                },
+                SourceCheckpoint {
+                    name: "sim:clean".into(),
+                    offset: 0,
+                    records_read: 0,
+                    watermark: None,
+                    frames_accepted: 300,
+                },
+            ],
+        }
+    }
+
+    #[test]
+    fn encode_decode_round_trips() {
+        let cp = sample();
+        let decoded = Checkpoint::decode(&cp.encode()).expect("canonical bytes decode");
+        assert_eq!(decoded, cp);
+    }
+
+    #[test]
+    fn corruption_is_caught_by_the_checksum() {
+        let mut bytes = sample().encode();
+        // Flip one digit inside the events count.
+        let pos = bytes
+            .windows(7)
+            .position(|w| w == b"events=")
+            .expect("events line present")
+            + 7;
+        bytes[pos] = if bytes[pos] == b'9' { b'8' } else { b'9' };
+        let err = Checkpoint::decode(&bytes).expect_err("corrupt checkpoint rejected");
+        assert!(err.contains("checksum mismatch"), "{err}");
+    }
+
+    #[test]
+    fn truncation_and_garbage_are_rejected() {
+        let bytes = sample().encode();
+        let err = Checkpoint::decode(&bytes[..bytes.len() / 2]).expect_err("truncated rejected");
+        assert!(
+            err.contains("crc") || err.contains("checksum"),
+            "truncation must fail the trailer or checksum check: {err}"
+        );
+        assert!(Checkpoint::decode(b"").is_err());
+        assert!(Checkpoint::decode(b"not a checkpoint\n").is_err());
+        let err =
+            Checkpoint::decode(b"tdat-store/1\ncrc=07ec197d2827dbdf\n").expect_err("wrong schema");
+        assert!(err.contains("checksum") || err.contains("schema"), "{err}");
+    }
+
+    #[test]
+    fn write_is_atomic_under_injected_rename_faults() {
+        let dir = std::env::temp_dir().join(format!(
+            "tdat-checkpoint-{}-{:?}",
+            std::process::id(),
+            std::thread::current().id()
+        ));
+        std::fs::create_dir_all(&dir).expect("temp dir");
+        let path = dir.join("watch.ckpt");
+        let first = sample();
+        first
+            .write(&path, &FaultPlan::disabled())
+            .expect("clean write");
+        let mut second = sample();
+        second.events_emitted = 99;
+        let faults = FaultPlan::parse("atomic.rename@once", 1).expect("plan parses");
+        second
+            .write(&path, &faults)
+            .expect_err("injected rename fault surfaces");
+        // The previous checkpoint survives the failed replacement.
+        assert_eq!(Checkpoint::load(&path).expect("old file intact"), first);
+        // And the retry (fault spent) lands the new one.
+        second.write(&path, &faults).expect("retry succeeds");
+        assert_eq!(Checkpoint::load(&path).expect("new file"), second);
+        std::fs::remove_dir_all(&dir).ok();
+    }
+}

@@ -48,10 +48,6 @@ use crate::metrics::MonitorMetrics;
 use crate::set::{SetEvent, SourceId, SourceSet};
 use crate::source::{AttributedAnomaly, PacketSource, SourceEvent};
 
-/// Wall-clock wait between polls while a source is
-/// [`Pending`](SourceEvent::Pending).
-const PENDING_BACKOFF: std::time::Duration = std::time::Duration::from_millis(50);
-
 /// The scope name the single-source convenience APIs
 /// ([`Monitor::ingest`], [`Monitor::note_anomaly`]) register on first
 /// use.
@@ -90,6 +86,11 @@ pub struct MonitorConfig {
     /// [`ShardedMonitor`](crate::shard::ShardedMonitor)), producing
     /// byte-identical output.
     pub shards: usize,
+    /// Wall-clock wait between polls while every source is
+    /// [`Pending`](SourceEvent::Pending). One knob for every driver
+    /// (serial engine, sharded engine, and the CLI's idle loop);
+    /// wall-clock only, so it never affects the event stream.
+    pub pending_backoff: std::time::Duration,
 }
 
 impl Default for MonitorConfig {
@@ -107,6 +108,7 @@ impl Default for MonitorConfig {
             quarantine: QuarantineConfig::default(),
             recompute_all: false,
             shards: 1,
+            pending_backoff: std::time::Duration::from_millis(50),
         }
     }
 }
@@ -179,6 +181,13 @@ impl MonitorConfigBuilder {
         self
     }
 
+    /// Sets the wall-clock wait between polls while every source is
+    /// pending.
+    pub fn pending_backoff(mut self, backoff: std::time::Duration) -> MonitorConfigBuilder {
+        self.config.pending_backoff = backoff;
+        self
+    }
+
     /// Validates and returns the configuration.
     ///
     /// # Errors
@@ -238,6 +247,12 @@ impl MonitorConfigBuilder {
         if c.shards == 0 {
             return fail("shards must be at least 1 (1 is the serial engine)".to_string());
         }
+        if c.pending_backoff.is_zero() {
+            return fail(
+                "pending backoff must be positive (a zero backoff busy-spins the poll loop)"
+                    .to_string(),
+            );
+        }
         if c.quarantine.max_anomalies == 0
             || c.quarantine.max_unparsed_bytes == 0
             || c.quarantine.max_overflow_bytes == 0
@@ -267,6 +282,9 @@ pub enum MonitorEvent {
     /// A source died mid-watch (I/O error or unrecoverable capture
     /// damage); its siblings keep running.
     SourceDown(SourceDown),
+    /// A source that went down transiently came back: its supervising
+    /// set reopened it and resumed at the released watermark.
+    SourceUp(SourceUp),
 }
 
 /// The final report of a finalized connection.
@@ -290,6 +308,20 @@ pub struct SourceDown {
     /// The failed source.
     pub source: Arc<str>,
     /// The terminal error.
+    pub detail: String,
+}
+
+/// Notice that a transiently-down source was resurrected; always
+/// paired with an earlier [`SourceDown`] for the same source.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct SourceUp {
+    /// Trace time the recovery was observed at.
+    pub at: Micros,
+    /// The recovered source.
+    pub source: Arc<str>,
+    /// Reopen attempts it took (1 = first retry succeeded).
+    pub attempts: u32,
+    /// Human-readable recovery summary.
     pub detail: String,
 }
 
@@ -353,6 +385,13 @@ impl MonitorEvent {
                 json::push_str_field(&mut out, "source", &d.source, true);
                 json::push_num_field(&mut out, "at_s", d.at.as_secs_f64(), true);
                 json::push_str_field(&mut out, "detail", &d.detail, true);
+            }
+            MonitorEvent::SourceUp(u) => {
+                json::push_str_field(&mut out, "type", "source_up", false);
+                json::push_str_field(&mut out, "source", &u.source, true);
+                json::push_num_field(&mut out, "at_s", u.at.as_secs_f64(), true);
+                json::push_raw_field(&mut out, "attempts", &u.attempts.to_string(), true);
+                json::push_str_field(&mut out, "detail", &u.detail, true);
             }
         }
         out.push('}');
@@ -802,6 +841,7 @@ pub struct Monitor {
     /// Name → scope index, for idempotent registration.
     index: HashMap<Arc<str>, SourceId>,
     recompute_all: bool,
+    pending_backoff: std::time::Duration,
     events: Vec<MonitorEvent>,
 }
 
@@ -820,6 +860,7 @@ impl Monitor {
             scopes: Vec::new(),
             index: HashMap::new(),
             recompute_all: config.recompute_all,
+            pending_backoff: config.pending_backoff,
             events: Vec::new(),
         }
     }
@@ -832,6 +873,20 @@ impl Monitor {
     /// Trace time the monitor has advanced to.
     pub fn now(&self) -> Micros {
         self.now
+    }
+
+    /// The configured wall-clock wait between polls while every source
+    /// is pending.
+    pub fn pending_backoff(&self) -> std::time::Duration {
+        self.pending_backoff
+    }
+
+    /// A deterministic fingerprint of the alert engine's hysteresis
+    /// state (see [`AlertEngine::fingerprint`]); checkpoints record it
+    /// so a resumed watch can be validated against the state the
+    /// original would have had.
+    pub fn alert_fingerprint(&self) -> u64 {
+        self.alerts.fingerprint()
     }
 
     /// Registers a named source scope (idempotent: a known name returns
@@ -957,6 +1012,41 @@ impl Monitor {
         }));
     }
 
+    /// Notes that a source went down *transiently* — its supervising
+    /// set is backing off and will try to resurrect it. Emits the same
+    /// [`MonitorEvent::SourceDown`] line a terminal failure would (the
+    /// pairing `source_up` distinguishes the outcomes) but counts it as
+    /// a flap, not a failure, in the metrics.
+    pub fn note_source_down(&mut self, source: SourceId, detail: String) {
+        self.metrics.record_source_flap();
+        let Some(scope) = self.scopes.get(source.index()) else {
+            debug_assert!(false, "unregistered source {source}");
+            return;
+        };
+        self.events.push(MonitorEvent::SourceDown(SourceDown {
+            at: self.now,
+            source: scope.name.clone(),
+            detail,
+        }));
+    }
+
+    /// Notes that a transiently-down source was resurrected, emitting
+    /// the [`MonitorEvent::SourceUp`] paired with its earlier
+    /// `source_down`.
+    pub fn note_source_up(&mut self, source: SourceId, attempts: u32) {
+        self.metrics.record_source_resurrection();
+        let Some(scope) = self.scopes.get(source.index()) else {
+            debug_assert!(false, "unregistered source {source}");
+            return;
+        };
+        self.events.push(MonitorEvent::SourceUp(SourceUp {
+            at: self.now,
+            source: scope.name.clone(),
+            attempts,
+            detail: format!("recovered after {attempts} reopen attempt(s)"),
+        }));
+    }
+
     /// Capture damage no source could tie to any connection, summed
     /// across sources.
     pub fn unattributed_anomalies(&self) -> AnomalyCounts {
@@ -1041,7 +1131,7 @@ impl Monitor {
                         self.advance_to(now);
                     }
                 }
-                SourceEvent::Pending => std::thread::sleep(PENDING_BACKOFF),
+                SourceEvent::Pending => std::thread::sleep(self.pending_backoff),
                 SourceEvent::Finished => break,
             }
         }
@@ -1087,10 +1177,20 @@ impl Monitor {
                         self.advance_to(now);
                     }
                 }
-                SetEvent::Pending => std::thread::sleep(PENDING_BACKOFF),
+                SetEvent::Pending => std::thread::sleep(self.pending_backoff),
                 SetEvent::SourceFailed { source, error } => {
                     if let Some(&id) = ids.get(source.index()) {
                         self.note_source_failure(id, error);
+                    }
+                }
+                SetEvent::SourceDown { source, error } => {
+                    if let Some(&id) = ids.get(source.index()) {
+                        self.note_source_down(id, error);
+                    }
+                }
+                SetEvent::SourceUp { source, attempts } => {
+                    if let Some(&id) = ids.get(source.index()) {
+                        self.note_source_up(id, attempts);
                     }
                 }
                 SetEvent::Finished => break,

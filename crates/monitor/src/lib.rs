@@ -60,6 +60,7 @@
 #![cfg_attr(not(test), deny(clippy::unwrap_used, clippy::expect_used))]
 
 pub mod alerts;
+pub mod checkpoint;
 pub mod engine;
 pub mod metrics;
 pub mod set;
@@ -68,9 +69,10 @@ pub mod source;
 pub mod sweep;
 
 pub use alerts::{Alert, AlertAction, AlertConfig, AlertEngine, AlertKind, Condition, Severity};
+pub use checkpoint::{Checkpoint, SourceCheckpoint, CHECKPOINT_SCHEMA};
 pub use engine::{
     ConnectionSummary, EventSchema, Monitor, MonitorConfig, MonitorConfigBuilder, MonitorEvent,
-    SourceDown, DEFAULT_SOURCE,
+    SourceDown, SourceUp, DEFAULT_SOURCE,
 };
 pub use metrics::{LatencyHistogram, MonitorMetrics};
 pub use set::{SetEvent, SourceId, SourceRun, SourceSet, SourceSetBuilder, SourceSpec};

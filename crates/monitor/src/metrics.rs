@@ -75,6 +75,9 @@ pub struct MonitorMetrics {
     frames_by_source: BTreeMap<String, u64>,
     sources: usize,
     source_failures: u64,
+    source_flaps: u64,
+    source_resurrections: u64,
+    shards_poisoned: u64,
     ticks: u64,
     open_connections: usize,
     connections_finalized: u64,
@@ -106,6 +109,21 @@ impl MonitorMetrics {
     /// Records one source dying mid-watch.
     pub(crate) fn record_source_failure(&mut self) {
         self.source_failures += 1;
+    }
+
+    /// Records one source going down transiently (entering backoff).
+    pub(crate) fn record_source_flap(&mut self) {
+        self.source_flaps += 1;
+    }
+
+    /// Records one transiently-down source coming back.
+    pub(crate) fn record_source_resurrection(&mut self) {
+        self.source_resurrections += 1;
+    }
+
+    /// Records one worker shard quarantined after a panic.
+    pub(crate) fn record_shard_poisoned(&mut self) {
+        self.shards_poisoned += 1;
     }
 
     /// Records one analysis tick: the open-connection gauge and the
@@ -155,6 +173,26 @@ impl MonitorMetrics {
     /// damage).
     pub fn source_failures(&self) -> u64 {
         self.source_failures
+    }
+
+    /// Sources that went down transiently (entered backoff); each flap
+    /// either resurrects (see
+    /// [`source_resurrections`](Self::source_resurrections)) or, once
+    /// the retry budget is spent, becomes a terminal failure.
+    pub fn source_flaps(&self) -> u64 {
+        self.source_flaps
+    }
+
+    /// Transiently-down sources successfully resurrected.
+    pub fn source_resurrections(&self) -> u64 {
+        self.source_resurrections
+    }
+
+    /// Worker shards quarantined after a panic; their connections were
+    /// reported with a quarantined verdict and the watch degraded
+    /// instead of dying.
+    pub fn shards_poisoned(&self) -> u64 {
+        self.shards_poisoned
     }
 
     /// Analysis ticks run.
@@ -222,6 +260,16 @@ impl fmt::Display for MonitorMetrics {
         }
         if self.source_failures > 0 {
             writeln!(f, "source failures      {:>10}", self.source_failures)?;
+        }
+        if self.source_flaps > 0 {
+            writeln!(
+                f,
+                "source flaps         {:>10} ({} resurrected)",
+                self.source_flaps, self.source_resurrections
+            )?;
+        }
+        if self.shards_poisoned > 0 {
+            writeln!(f, "shards poisoned      {:>10}", self.shards_poisoned)?;
         }
         for kind in AlertKind::ALL {
             let raised = self.alerts_raised(kind);

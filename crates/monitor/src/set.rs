@@ -27,12 +27,31 @@
 //! source from the watermark minimum after that long (wall clock)
 //! without progress. Leave it unset for deterministic offline runs.
 //!
-//! # Failure isolation
+//! # Failure isolation and resurrection
 //!
-//! A source whose `poll` errors is marked failed and surfaced once as
-//! [`SetEvent::SourceFailed`]; the set keeps draining its healthy
-//! siblings. The set only reports [`SetEvent::Finished`] when every
-//! source is done (or failed) and every buffered frame was released.
+//! A source whose `poll` errors is classified by
+//! [`PacketError::is_transient`](tdat_packet::PacketError::is_transient).
+//! A *fatal* error (corrupt bytes no reopen can fix) marks the source
+//! failed and surfaces once as [`SetEvent::SourceFailed`]; the set
+//! keeps draining its healthy siblings. A *transient* error (I/O
+//! hiccup, capture rotation) on a spec-built source instead starts a
+//! deterministic exponential-backoff retry loop: the set emits
+//! [`SetEvent::SourceDown`] once, reopens the source's
+//! [`SourceSpec`] after each backoff delay, and on success emits
+//! [`SetEvent::SourceUp`] and resumes. The reopened source re-reads
+//! its capture from the beginning; the set silently skips the frames
+//! it already accepted (a count-based fast-forward), and anything
+//! older than the already-released merge clock is dropped by the
+//! late-frame guard. A bounded retry budget
+//! ([`SourceSetBuilder::retry`]) converts a source that will not come
+//! back into a terminal [`SetEvent::SourceFailed`]. Sources added via
+//! [`SourceSetBuilder::custom`] carry no spec and cannot be reopened,
+//! so every error is terminal for them.
+//!
+//! The set only reports [`SetEvent::Finished`] when every source is
+//! done (or failed) and every buffered frame was released; a source
+//! waiting out a backoff holds the set at [`SetEvent::Pending`]
+//! instead.
 
 use std::collections::VecDeque;
 use std::fmt;
@@ -40,12 +59,15 @@ use std::path::PathBuf;
 use std::sync::Arc;
 use std::time::{Duration, Instant};
 
-use tdat_packet::{CaptureAnomaly, TcpFrame};
+use tdat_packet::{CaptureAnomaly, PacketError, TcpFrame};
 use tdat_tcpsim::scenario::{validate_scenario_spec, ScenarioOptions};
+use tdat_timeset::faultpoint::FaultPlan;
 use tdat_timeset::Micros;
 use tdat_trace::ConnKey;
 
-use crate::source::{AttributedAnomaly, FollowSource, PacketSource, SimSource, SourceEvent};
+use crate::source::{
+    AttributedAnomaly, FollowSource, PacketSource, SimSource, SourceCursor, SourceEvent,
+};
 
 /// Identifies one source within a [`SourceSet`] — and the per-source
 /// scope a [`Monitor`](crate::Monitor) opens for it. A dense 0-based
@@ -176,6 +198,17 @@ impl SourceSpec {
     /// on a spec the validator missed (parameter semantics checked only
     /// at build time).
     pub fn open(&self) -> Result<Box<dyn PacketSource>, String> {
+        self.open_with(&FaultPlan::disabled())
+    }
+
+    /// Opens the described source with a fault-injection plan attached
+    /// (follow sources thread it into the pcap follower; sim sources
+    /// have no I/O to fault).
+    ///
+    /// # Errors
+    ///
+    /// As [`open`](Self::open).
+    pub fn open_with(&self, faults: &FaultPlan) -> Result<Box<dyn PacketSource>, String> {
         match self {
             SourceSpec::Follow {
                 path,
@@ -189,6 +222,9 @@ impl SourceSpec {
                 }
                 if *idle_from_open {
                     source = source.idle_from_open();
+                }
+                if faults.is_enabled() {
+                    source = source.with_faults(faults.clone());
                 }
                 Ok(Box::new(source))
             }
@@ -206,6 +242,20 @@ impl SourceSpec {
             }
         }
     }
+}
+
+/// One source's recovery state, as reported by
+/// [`SourceSet::progress`] for checkpointing.
+#[derive(Debug, Clone)]
+pub struct SourceProgress {
+    /// The source's stable name.
+    pub name: Arc<str>,
+    /// The backing-file cursor, for sources that have one.
+    pub cursor: Option<SourceCursor>,
+    /// Latest trace timestamp the source is known to have passed.
+    pub watermark: Option<Micros>,
+    /// Frames accepted from this source across all incarnations.
+    pub frames_accepted: u64,
 }
 
 /// A maximal run of consecutively released frames from one source, in
@@ -235,9 +285,28 @@ pub enum SetEvent {
     },
     /// Nothing releasable right now; poll again after a short wait.
     Pending,
-    /// A source died (I/O error or unrecoverable capture damage). The
-    /// set keeps serving its siblings; the failed source is reported
-    /// exactly once.
+    /// A source hit a transient error and entered the backoff/reopen
+    /// loop. Paired with a later [`SetEvent::SourceUp`] (recovery) or
+    /// [`SetEvent::SourceFailed`] (retry budget exhausted). Reported
+    /// once per outage.
+    SourceDown {
+        /// The source that went down.
+        source: SourceId,
+        /// The transient error that started the outage.
+        error: String,
+    },
+    /// A downed source was reopened successfully and is live again.
+    SourceUp {
+        /// The resurrected source.
+        source: SourceId,
+        /// Reopen attempts the outage consumed (1 = first retry
+        /// succeeded).
+        attempts: u32,
+    },
+    /// A source died for good: a fatal error (unrecoverable capture
+    /// damage), a transient error on a source that cannot be reopened,
+    /// or a retry budget exhausted. The set keeps serving its
+    /// siblings; the failed source is reported exactly once.
     SourceFailed {
         /// The failed source.
         source: SourceId,
@@ -254,11 +323,21 @@ enum EntryState {
     Live,
     Done,
     Failed(String),
+    /// Down with a transient error, waiting out the backoff delay
+    /// before reopen attempt `attempt + 1`.
+    Backoff {
+        error: String,
+        retry_at: Instant,
+    },
 }
 
 struct SetEntry {
     name: Arc<str>,
     source: Box<dyn PacketSource>,
+    /// The spec this source was opened from, retained so a transient
+    /// failure can reopen it. `None` for custom sources, which are
+    /// therefore not resurrectable.
+    spec: Option<SourceSpec>,
     buffer: VecDeque<TcpFrame>,
     /// Latest trace timestamp this source is known to have passed.
     watermark: Option<Micros>,
@@ -268,6 +347,18 @@ struct SetEntry {
     /// Frames dropped because this source delivered them behind the
     /// already-released merge clock (a stale source that resumed).
     late_frames: u64,
+    /// Frames accepted from this source across all incarnations — the
+    /// count-based fast-forward target after a reopen.
+    frames_polled: u64,
+    /// Frames still to skip silently because a reopened source is
+    /// replaying input the set already accepted.
+    skip_replay: u64,
+    /// Reopen attempts consumed by the current unhealthy episode;
+    /// reset when the source delivers a frame again.
+    attempts: u32,
+    /// Whether a [`SetEvent::SourceDown`] has been emitted without a
+    /// matching [`SetEvent::SourceUp`] yet.
+    down: bool,
 }
 
 impl fmt::Debug for SetEntry {
@@ -281,6 +372,23 @@ impl fmt::Debug for SetEntry {
             .finish()
     }
 }
+
+/// The deterministic exponential backoff schedule: `base << (attempt -
+/// 1)`, capped at [`RETRY_CAP`]. No jitter — fault tests depend on the
+/// schedule being a pure function of the attempt number.
+fn backoff_delay(base: Duration, attempt: u32) -> Duration {
+    let shift = attempt.saturating_sub(1).min(16);
+    base.saturating_mul(1u32 << shift).min(RETRY_CAP)
+}
+
+/// Default reopen attempts per unhealthy episode.
+const DEFAULT_RETRY_BUDGET: u32 = 3;
+
+/// Default first backoff delay; doubles per attempt.
+const DEFAULT_RETRY_BASE: Duration = Duration::from_millis(200);
+
+/// Longest backoff delay the exponential schedule may reach.
+const RETRY_CAP: Duration = Duration::from_secs(30);
 
 /// How far the merge may release frames this poll.
 enum ReleaseLimit {
@@ -298,11 +406,17 @@ enum ReleaseLimit {
 pub struct SourceSet {
     entries: Vec<SetEntry>,
     anomalies: Vec<(SourceId, AttributedAnomaly)>,
-    /// Failures not yet surfaced through [`SetEvent::SourceFailed`].
-    pending_failures: VecDeque<(SourceId, String)>,
+    /// Lifecycle notices (down/up/failed) not yet surfaced.
+    pending_notices: VecDeque<SetEvent>,
     /// The merged clock last reported in a [`SetEvent::Batch`].
     last_now: Option<Micros>,
     stale_after: Option<Duration>,
+    /// Reopen attempts allowed per unhealthy episode; 0 disables
+    /// resurrection entirely.
+    retry_budget: u32,
+    /// First backoff delay; doubles per attempt (capped).
+    retry_base: Duration,
+    faults: FaultPlan,
 }
 
 impl SourceSet {
@@ -311,6 +425,9 @@ impl SourceSet {
         SourceSetBuilder {
             sources: Vec::new(),
             stale_after: None,
+            retry_budget: DEFAULT_RETRY_BUDGET,
+            retry_base: DEFAULT_RETRY_BASE,
+            faults: FaultPlan::disabled(),
         }
     }
 
@@ -352,6 +469,25 @@ impl SourceSet {
         std::mem::take(&mut self.anomalies)
     }
 
+    /// Per-source recovery state for checkpointing, by [`SourceId`]
+    /// index.
+    pub fn progress(&self) -> Vec<SourceProgress> {
+        self.entries
+            .iter()
+            .map(|e| SourceProgress {
+                name: e.name.clone(),
+                cursor: e.source.cursor(),
+                watermark: e.watermark,
+                frames_accepted: e.frames_polled,
+            })
+            .collect()
+    }
+
+    /// The merged clock last reported in a [`SetEvent::Batch`].
+    pub fn last_now(&self) -> Option<Micros> {
+        self.last_now
+    }
+
     /// Frames each source delivered *behind* the already-released merge
     /// clock (dropped, with a [`CaptureAnomaly::TimestampRegression`]
     /// attributed to the source), by [`SourceId`] index. Only a source
@@ -361,63 +497,22 @@ impl SourceSet {
         self.entries.iter().map(|e| e.late_frames).collect()
     }
 
-    /// Polls every live source once and releases the frames the
-    /// watermark merge allows. Never fails as a whole: per-source
-    /// errors surface as [`SetEvent::SourceFailed`] and the set keeps
-    /// going.
+    /// Polls every live source once, retries downed sources whose
+    /// backoff has elapsed, and releases the frames the watermark
+    /// merge allows. Never fails as a whole: per-source errors surface
+    /// as lifecycle notices ([`SetEvent::SourceDown`] /
+    /// [`SetEvent::SourceUp`] / [`SetEvent::SourceFailed`]) and the
+    /// set keeps going.
     pub fn poll(&mut self) -> SetEvent {
-        if let Some((source, error)) = self.pending_failures.pop_front() {
-            return SetEvent::SourceFailed { source, error };
+        if let Some(notice) = self.pending_notices.pop_front() {
+            return notice;
         }
 
-        for (i, entry) in self.entries.iter_mut().enumerate() {
-            if entry.state != EntryState::Live {
-                continue;
-            }
-            match entry.source.poll() {
-                Ok(SourceEvent::Batch { frames, now }) => {
-                    entry.last_progress = Instant::now();
-                    for anomaly in entry.source.drain_anomalies() {
-                        self.anomalies.push((SourceId(i as u32), anomaly));
-                    }
-                    for frame in frames {
-                        entry.watermark = Some(match entry.watermark {
-                            Some(w) => w.max(frame.timestamp),
-                            None => frame.timestamp,
-                        });
-                        entry.buffer.push_back(frame);
-                    }
-                    if let Some(clock) = now {
-                        entry.watermark = Some(match entry.watermark {
-                            Some(w) => w.max(clock),
-                            None => clock,
-                        });
-                    }
-                }
-                Ok(SourceEvent::Pending) => {
-                    // Anomalies can only accompany consumption, but
-                    // draining here costs nothing and keeps custom
-                    // sources honest.
-                    for anomaly in entry.source.drain_anomalies() {
-                        self.anomalies.push((SourceId(i as u32), anomaly));
-                    }
-                }
-                Ok(SourceEvent::Finished) => {
-                    for anomaly in entry.source.drain_anomalies() {
-                        self.anomalies.push((SourceId(i as u32), anomaly));
-                    }
-                    entry.state = EntryState::Done;
-                }
-                Err(e) => {
-                    let error = e.to_string();
-                    entry.state = EntryState::Failed(error.clone());
-                    self.pending_failures.push_back((SourceId(i as u32), error));
-                }
-            }
-        }
+        self.poll_sources();
+        self.retry_backoffs();
 
-        if let Some((source, error)) = self.pending_failures.pop_front() {
-            return SetEvent::SourceFailed { source, error };
+        if let Some(notice) = self.pending_notices.pop_front() {
+            return notice;
         }
 
         match self.release_limit() {
@@ -442,12 +537,196 @@ impl SourceSet {
                     (None, _) => false,
                 };
                 if runs.is_empty() && !advanced {
+                    // A downed source waiting out its backoff is not
+                    // finished: it may yet resurrect and produce.
+                    if self
+                        .entries
+                        .iter()
+                        .any(|e| matches!(e.state, EntryState::Backoff { .. }))
+                    {
+                        return SetEvent::Pending;
+                    }
                     return SetEvent::Finished;
                 }
                 if let Some(e) = end {
                     self.last_now = Some(self.last_now.map_or(e, |n| n.max(e)));
                 }
                 SetEvent::Batch { runs, now: end }
+            }
+        }
+    }
+
+    /// One poll pass over the live sources, routing errors through the
+    /// transient/fatal classifier.
+    fn poll_sources(&mut self) {
+        for (i, entry) in self.entries.iter_mut().enumerate() {
+            if entry.state != EntryState::Live {
+                continue;
+            }
+            let id = SourceId(i as u32);
+            let point = format!("source.poll:{}", entry.name);
+            let at = entry.watermark.or(self.last_now).unwrap_or(Micros::ZERO);
+            let polled = if self.faults.should_fail_at(&point, at) {
+                Err(PacketError::Io(std::io::Error::other(format!(
+                    "injected fault: {point}"
+                ))))
+            } else {
+                entry.source.poll()
+            };
+            match polled {
+                Ok(SourceEvent::Batch { frames, now }) => {
+                    entry.last_progress = Instant::now();
+                    for anomaly in entry.source.drain_anomalies() {
+                        // A replaying source re-reports anomalies the
+                        // set already attributed before the outage.
+                        if entry.skip_replay == 0 {
+                            self.anomalies.push((id, anomaly));
+                        }
+                    }
+                    let mut accepted = false;
+                    for frame in frames {
+                        if entry.skip_replay > 0 {
+                            entry.skip_replay -= 1;
+                            continue;
+                        }
+                        accepted = true;
+                        entry.frames_polled += 1;
+                        entry.watermark = Some(match entry.watermark {
+                            Some(w) => w.max(frame.timestamp),
+                            None => frame.timestamp,
+                        });
+                        entry.buffer.push_back(frame);
+                    }
+                    if let Some(clock) = now {
+                        if entry.skip_replay == 0 {
+                            entry.watermark = Some(match entry.watermark {
+                                Some(w) => w.max(clock),
+                                None => clock,
+                            });
+                        }
+                    }
+                    if accepted {
+                        // Real progress closes the unhealthy episode:
+                        // the next outage gets a fresh retry budget.
+                        entry.attempts = 0;
+                    }
+                }
+                Ok(SourceEvent::Pending) => {
+                    // Anomalies can only accompany consumption, but
+                    // draining here costs nothing and keeps custom
+                    // sources honest.
+                    for anomaly in entry.source.drain_anomalies() {
+                        if entry.skip_replay == 0 {
+                            self.anomalies.push((id, anomaly));
+                        }
+                    }
+                }
+                Ok(SourceEvent::Finished) => {
+                    for anomaly in entry.source.drain_anomalies() {
+                        if entry.skip_replay == 0 {
+                            self.anomalies.push((id, anomaly));
+                        }
+                    }
+                    entry.state = EntryState::Done;
+                }
+                Err(e) => {
+                    let error = e.to_string();
+                    if e.is_transient() && entry.spec.is_some() && self.retry_budget > 0 {
+                        entry.attempts += 1;
+                        if entry.attempts > self.retry_budget {
+                            Self::fail_entry(
+                                &mut self.pending_notices,
+                                entry,
+                                id,
+                                format!(
+                                    "gave up after {} reopen attempts: {error}",
+                                    self.retry_budget
+                                ),
+                            );
+                        } else {
+                            let delay = backoff_delay(self.retry_base, entry.attempts);
+                            entry.state = EntryState::Backoff {
+                                error: error.clone(),
+                                retry_at: Instant::now() + delay,
+                            };
+                            if !entry.down {
+                                entry.down = true;
+                                self.pending_notices
+                                    .push_back(SetEvent::SourceDown { source: id, error });
+                            }
+                        }
+                    } else {
+                        Self::fail_entry(&mut self.pending_notices, entry, id, error);
+                    }
+                }
+            }
+        }
+    }
+
+    /// Marks an entry terminally failed and queues the notice.
+    fn fail_entry(
+        notices: &mut VecDeque<SetEvent>,
+        entry: &mut SetEntry,
+        id: SourceId,
+        error: String,
+    ) {
+        entry.state = EntryState::Failed(error.clone());
+        notices.push_back(SetEvent::SourceFailed { source: id, error });
+    }
+
+    /// Attempts to reopen every downed source whose backoff elapsed.
+    fn retry_backoffs(&mut self) {
+        for (i, entry) in self.entries.iter_mut().enumerate() {
+            let EntryState::Backoff { retry_at, .. } = &entry.state else {
+                continue;
+            };
+            if Instant::now() < *retry_at {
+                continue;
+            }
+            let id = SourceId(i as u32);
+            let open_point = format!("source.open:{}", entry.name);
+            let reopened = if self.faults.should_fail(&open_point) {
+                Err(format!("injected fault: {open_point}"))
+            } else {
+                match &entry.spec {
+                    Some(spec) => spec.open_with(&self.faults),
+                    None => Err("source has no spec to reopen".to_string()),
+                }
+            };
+            match reopened {
+                Ok(source) => {
+                    entry.source = source;
+                    // The fresh source replays its capture from the
+                    // start; fast-forward past what was accepted.
+                    entry.skip_replay = entry.frames_polled;
+                    entry.state = EntryState::Live;
+                    entry.last_progress = Instant::now();
+                    entry.down = false;
+                    self.pending_notices.push_back(SetEvent::SourceUp {
+                        source: id,
+                        attempts: entry.attempts,
+                    });
+                }
+                Err(error) => {
+                    entry.attempts += 1;
+                    if entry.attempts > self.retry_budget {
+                        Self::fail_entry(
+                            &mut self.pending_notices,
+                            entry,
+                            id,
+                            format!(
+                                "gave up after {} reopen attempts: {error}",
+                                self.retry_budget
+                            ),
+                        );
+                    } else {
+                        let delay = backoff_delay(self.retry_base, entry.attempts);
+                        entry.state = EntryState::Backoff {
+                            error,
+                            retry_at: Instant::now() + delay,
+                        };
+                    }
+                }
             }
         }
     }
@@ -546,6 +825,9 @@ enum PendingSource {
 pub struct SourceSetBuilder {
     sources: Vec<(Option<String>, PendingSource)>,
     stale_after: Option<Duration>,
+    retry_budget: u32,
+    retry_base: Duration,
+    faults: FaultPlan,
 }
 
 impl fmt::Debug for SourceSetBuilder {
@@ -553,6 +835,8 @@ impl fmt::Debug for SourceSetBuilder {
         f.debug_struct("SourceSetBuilder")
             .field("sources", &self.sources.len())
             .field("stale_after", &self.stale_after)
+            .field("retry_budget", &self.retry_budget)
+            .field("retry_base", &self.retry_base)
             .finish()
     }
 }
@@ -596,14 +880,38 @@ impl SourceSetBuilder {
         self
     }
 
+    /// Configures source resurrection: up to `budget` reopen attempts
+    /// per unhealthy episode, with a deterministic exponential backoff
+    /// starting at `base` (doubling per attempt, capped at 30 s). A
+    /// zero budget disables resurrection — every error is terminal, the
+    /// pre-supervision behaviour. The default allows 3 attempts from a
+    /// 200 ms base. A positive budget with a zero base is rejected by
+    /// [`build`](SourceSetBuilder::build) (it would busy-spin reopens).
+    pub fn retry(mut self, budget: u32, base: Duration) -> SourceSetBuilder {
+        self.retry_budget = budget;
+        self.retry_base = base;
+        self
+    }
+
+    /// Attaches a fault-injection plan. The set checks
+    /// `source.poll:<name>` before each poll (with the source's
+    /// watermark as virtual time) and `source.open:<name>` before each
+    /// resurrection attempt, and threads the plan into spec-built
+    /// follow sources (`follow.read`, `follow.short_read`).
+    pub fn faults(mut self, faults: FaultPlan) -> SourceSetBuilder {
+        self.faults = faults;
+        self
+    }
+
     /// Opens every source and builds the set. Names are deduplicated
     /// by appending `#2`, `#3`, … to later collisions.
     ///
     /// # Errors
     ///
-    /// Fails on an empty set, a zero `stale_after` valve, or when any
-    /// source fails to open (configuration errors fail fast; runtime
-    /// errors are isolated per source instead).
+    /// Fails on an empty set, a zero `stale_after` valve, an invalid
+    /// retry policy, or when any source fails to open (configuration
+    /// errors fail fast; runtime errors are isolated per source
+    /// instead).
     pub fn build(self) -> Result<SourceSet, String> {
         if self.sources.is_empty() {
             return Err("a source set needs at least one source".to_string());
@@ -612,6 +920,13 @@ impl SourceSetBuilder {
             return Err(
                 "stale_after must be positive: a zero valve marks every source \
                  permanently stale and disables merge ordering"
+                    .to_string(),
+            );
+        }
+        if self.retry_budget > 0 && self.retry_base == Duration::ZERO {
+            return Err(
+                "retry base delay must be positive when the retry budget is: a zero \
+                 base busy-spins reopen attempts"
                     .to_string(),
             );
         }
@@ -630,28 +945,39 @@ impl SourceSetBuilder {
                 unique = format!("{base}#{serial}");
             }
             taken.push(unique.clone());
-            let source = match pending {
+            let (source, spec) = match pending {
                 PendingSource::Spec(spec) => {
-                    spec.open().map_err(|e| format!("source {unique}: {e}"))?
+                    let source = spec
+                        .open_with(&self.faults)
+                        .map_err(|e| format!("source {unique}: {e}"))?;
+                    (source, Some(spec))
                 }
-                PendingSource::Custom(source) => source,
+                PendingSource::Custom(source) => (source, None),
             };
             entries.push(SetEntry {
                 name: Arc::from(unique.as_str()),
                 source,
+                spec,
                 buffer: VecDeque::new(),
                 watermark: None,
                 state: EntryState::Live,
                 last_progress: Instant::now(),
                 late_frames: 0,
+                frames_polled: 0,
+                skip_replay: 0,
+                attempts: 0,
+                down: false,
             });
         }
         Ok(SourceSet {
             entries,
             anomalies: Vec::new(),
-            pending_failures: VecDeque::new(),
+            pending_notices: VecDeque::new(),
             last_now: None,
             stale_after: self.stale_after,
+            retry_budget: self.retry_budget,
+            retry_base: self.retry_base,
+            faults: self.faults,
         })
     }
 }
@@ -734,6 +1060,9 @@ mod tests {
                 }
                 SetEvent::Pending => panic!("scripted sources never go pending"),
                 SetEvent::SourceFailed { .. } => {}
+                SetEvent::SourceDown { .. } | SetEvent::SourceUp { .. } => {
+                    panic!("custom sources are not resurrectable")
+                }
                 SetEvent::Finished => break,
             }
         }
@@ -823,6 +1152,9 @@ mod tests {
                 }
                 SetEvent::SourceFailed { source, error } => failures.push((source, error)),
                 SetEvent::Pending => panic!("scripted sources never go pending"),
+                SetEvent::SourceDown { .. } | SetEvent::SourceUp { .. } => {
+                    panic!("custom sources are not resurrectable")
+                }
                 SetEvent::Finished => break,
             }
         }
@@ -873,6 +1205,9 @@ mod tests {
                 SetEvent::Pending => {}
                 SetEvent::SourceFailed { source, error } => {
                     panic!("unexpected failure of {source}: {error}")
+                }
+                SetEvent::SourceDown { .. } | SetEvent::SourceUp { .. } => {
+                    panic!("custom sources are not resurrectable")
                 }
                 SetEvent::Finished => break,
             }

@@ -52,15 +52,11 @@ use tdat_trace::{ConnKey, ConnectionTracker, TrackerConfig};
 use crate::alerts::{AlertEngine, Condition};
 use crate::engine::{
     peer_group_conditions, CachedAnalysis, ConnectionSummary, FinalizeOutcome, Monitor,
-    MonitorConfig, MonitorEvent, SourceDown, SourceScope, DEFAULT_SOURCE,
+    MonitorConfig, MonitorEvent, SourceDown, SourceScope, SourceUp, DEFAULT_SOURCE,
 };
 use crate::metrics::MonitorMetrics;
 use crate::set::{SetEvent, SourceId, SourceSet};
 use crate::source::AttributedAnomaly;
-
-/// Wall-clock wait between polls while a source set is pending
-/// (mirrors the serial engine's backoff).
-const PENDING_BACKOFF: std::time::Duration = std::time::Duration::from_millis(50);
 
 /// Flush the shard queues once this many ops are buffered, even
 /// without a tick boundary (bounds queue memory between ticks).
@@ -126,6 +122,10 @@ enum GlobalOp {
     Finalize {
         shard: usize,
         source: u32,
+        /// The finalized connection's key — enough to synthesize a
+        /// quarantined summary if the owning shard was poisoned by a
+        /// panic and never produced the real outcome.
+        key: ConnKey,
         now: Micros,
         open: usize,
     },
@@ -160,12 +160,83 @@ struct Shard {
     queue: Vec<ShardOp>,
     fins: VecDeque<FinalizeOutcome>,
     ticks: VecDeque<TickOutput>,
+    /// Set (to the panic message) when a batch run panicked. A
+    /// poisoned shard's state is assumed inconsistent: it receives no
+    /// further ops, contributes nothing to ticks or snapshots, and
+    /// every connection the router finalizes on it is reported with a
+    /// quarantined verdict instead.
+    poisoned: Option<String>,
+    /// Test hook: makes the next [`run`](Self::run) panic, exercising
+    /// the poisoning path end to end.
+    #[cfg(test)]
+    panic_next: bool,
+}
+
+/// The stand-in report for a connection whose owning shard was
+/// poisoned by a panic: no analysis survived, so everything is zeroed
+/// and the verdict is typed `quarantined` with the panic as the
+/// reason. The endpoint order follows the normalized [`ConnKey`] (the
+/// data sender is unknown without the analysis).
+fn poisoned_shard_report(sender: String, receiver: String, reason: &str) -> tdat::Report {
+    tdat::Report {
+        sender,
+        receiver,
+        duration_s: 0.0,
+        prefixes: 0,
+        rtt_ms: None,
+        sender_ratio: 0.0,
+        receiver_ratio: 0.0,
+        network_ratio: 0.0,
+        factors: tdat::Factor::ALL
+            .iter()
+            .map(|f| (f.to_string(), 0.0))
+            .collect(),
+        major_groups: Vec::new(),
+        inferred_timer_ms: None,
+        loss_episodes: Vec::new(),
+        zero_ack_bug: false,
+        delayed_ack_spurious: 0,
+        verdict: "quarantined".to_string(),
+        quarantine_reason: Some(format!("shard worker panicked: {reason}")),
+        capture_anomalies: 0,
+    }
+}
+
+/// Renders a panic payload for the quarantine reason.
+fn panic_message(payload: Box<dyn std::any::Any + Send>) -> String {
+    if let Some(s) = payload.downcast_ref::<&str>() {
+        (*s).to_string()
+    } else if let Some(s) = payload.downcast_ref::<String>() {
+        s.clone()
+    } else {
+        "non-string panic payload".to_string()
+    }
 }
 
 impl Shard {
+    /// [`run`](Self::run) under `catch_unwind`: a panicking batch
+    /// poisons this shard instead of tearing down the watch (or, on
+    /// the parallel path, aborting via a panicking worker thread).
+    fn run_guarded(&mut self, ctx: &ShardCtx<'_>) {
+        if self.poisoned.is_some() {
+            // Drop anything routed before the coordinator noticed.
+            self.queue.clear();
+            return;
+        }
+        if let Err(payload) =
+            std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| self.run(ctx)))
+        {
+            self.poisoned = Some(panic_message(payload));
+        }
+    }
+
     /// Drains the mailbox in order. Runs on a worker thread during
     /// parallel flushes; everything it touches is shard-local.
     fn run(&mut self, ctx: &ShardCtx<'_>) {
+        #[cfg(test)]
+        if std::mem::take(&mut self.panic_next) {
+            panic!("injected shard panic");
+        }
         for op in std::mem::take(&mut self.queue) {
             match op {
                 ShardOp::Ingest {
@@ -243,6 +314,7 @@ struct ShardEngine {
     ops: Vec<GlobalOp>,
     /// Shard ops queued since the last flush.
     queued: usize,
+    pending_backoff: std::time::Duration,
     events: Vec<MonitorEvent>,
 }
 
@@ -269,10 +341,14 @@ impl ShardEngine {
                     queue: Vec::new(),
                     fins: VecDeque::new(),
                     ticks: VecDeque::new(),
+                    poisoned: None,
+                    #[cfg(test)]
+                    panic_next: false,
                 })
                 .collect(),
             ops: Vec::new(),
             queued: 0,
+            pending_backoff: config.pending_backoff,
             events: Vec::new(),
         }
     }
@@ -321,6 +397,9 @@ impl ShardEngine {
             // peer-group correlation reads are exactly the post-tick
             // state.
             for shard in &mut self.shards {
+                if shard.poisoned.is_some() {
+                    continue;
+                }
                 shard.queue.push(ShardOp::Tick { at: boundary });
                 self.queued += 1;
             }
@@ -348,13 +427,15 @@ impl ShardEngine {
             return;
         };
         let shard = shard_of(&key, self.shards.len());
-        self.shards[shard].queue.push(ShardOp::Ingest {
-            source: idx as u32,
-            frame,
-            ordinal,
-            index,
-        });
-        self.queued += 1;
+        if self.shards[shard].poisoned.is_none() {
+            self.shards[shard].queue.push(ShardOp::Ingest {
+                source: idx as u32,
+                frame,
+                ordinal,
+                index,
+            });
+            self.queued += 1;
+        }
         if !fins.is_empty() {
             // The lifecycle tracker already removed every finalized
             // key, so the post-removal open count is the same for the
@@ -363,14 +444,19 @@ impl ShardEngine {
             let open: usize = self.lifecycles.iter().map(|t| t.open_connections()).sum();
             for fin in fins {
                 let shard = shard_of(&fin.key, self.shards.len());
-                self.shards[shard].queue.push(ShardOp::Finalize {
-                    source: idx as u32,
-                    key: fin.key,
-                });
-                self.queued += 1;
+                if self.shards[shard].poisoned.is_none() {
+                    self.shards[shard].queue.push(ShardOp::Finalize {
+                        source: idx as u32,
+                        key: fin.key,
+                    });
+                    self.queued += 1;
+                }
+                // The op stays journaled even for a poisoned shard:
+                // assemble() synthesizes its quarantined summary.
                 self.ops.push(GlobalOp::Finalize {
                     shard,
                     source: idx as u32,
+                    key: fin.key,
                     now: self.now,
                     open,
                 });
@@ -391,6 +477,9 @@ impl ShardEngine {
         match anomaly.key {
             Some(key) => {
                 let shard = shard_of(&key, self.shards.len());
+                if self.shards[shard].poisoned.is_some() {
+                    return;
+                }
                 self.shards[shard].queue.push(ShardOp::Anomaly {
                     source: idx as u32,
                     key,
@@ -418,6 +507,39 @@ impl ShardEngine {
             ))));
     }
 
+    fn note_source_down(&mut self, source: SourceId, detail: String) {
+        self.metrics.record_source_flap();
+        let Some(name) = self.names.get(source.index()) else {
+            debug_assert!(false, "unregistered source {source}");
+            return;
+        };
+        self.ops
+            .push(GlobalOp::Event(Box::new(MonitorEvent::SourceDown(
+                SourceDown {
+                    at: self.now,
+                    source: name.clone(),
+                    detail,
+                },
+            ))));
+    }
+
+    fn note_source_up(&mut self, source: SourceId, attempts: u32) {
+        self.metrics.record_source_resurrection();
+        let Some(name) = self.names.get(source.index()) else {
+            debug_assert!(false, "unregistered source {source}");
+            return;
+        };
+        self.ops
+            .push(GlobalOp::Event(Box::new(MonitorEvent::SourceUp(
+                SourceUp {
+                    at: self.now,
+                    source: name.clone(),
+                    attempts,
+                    detail: format!("recovered after {attempts} reopen attempt(s)"),
+                },
+            ))));
+    }
+
     fn finish(&mut self) {
         for idx in 0..self.lifecycles.len() {
             let fresh = ConnectionTracker::lifecycle(self.tracker_config, idx as u64);
@@ -429,14 +551,17 @@ impl ShardEngine {
             let open: usize = self.lifecycles.iter().map(|t| t.open_connections()).sum();
             for fin in fins {
                 let shard = shard_of(&fin.key, self.shards.len());
-                self.shards[shard].queue.push(ShardOp::Finalize {
-                    source: idx as u32,
-                    key: fin.key,
-                });
-                self.queued += 1;
+                if self.shards[shard].poisoned.is_none() {
+                    self.shards[shard].queue.push(ShardOp::Finalize {
+                        source: idx as u32,
+                        key: fin.key,
+                    });
+                    self.queued += 1;
+                }
                 self.ops.push(GlobalOp::Finalize {
                     shard,
                     source: idx as u32,
+                    key: fin.key,
                     now: self.now,
                     open,
                 });
@@ -474,17 +599,21 @@ impl ShardEngine {
                 std::thread::scope(|scope| {
                     for shard in self.shards.iter_mut().filter(|s| !s.queue.is_empty()) {
                         let ctx = &ctx;
-                        scope.spawn(move || shard.run(ctx));
+                        scope.spawn(move || shard.run_guarded(ctx));
                     }
                 });
             } else {
                 for shard in &mut self.shards {
                     if !shard.queue.is_empty() {
-                        shard.run(&ctx);
+                        shard.run_guarded(&ctx);
                     }
                 }
             }
             self.queued = 0;
+            let poisoned = self.shards.iter().filter(|s| s.poisoned.is_some()).count() as u64;
+            while self.metrics.shards_poisoned() < poisoned {
+                self.metrics.record_shard_poisoned();
+            }
         }
         self.assemble();
     }
@@ -499,19 +628,52 @@ impl ShardEngine {
                 GlobalOp::Finalize {
                     shard,
                     source,
+                    key,
                     now,
                     open,
                 } => {
-                    let Some(outcome) = self
+                    let outcome = self
                         .shards
                         .get_mut(shard)
-                        .and_then(|sh| sh.fins.pop_front())
-                    else {
-                        debug_assert!(false, "op log references a missing finalize outcome");
-                        continue;
-                    };
+                        .and_then(|sh| sh.fins.pop_front());
                     let Some(name) = self.names.get(source as usize).cloned() else {
                         debug_assert!(false, "finalize for unregistered source {source}");
+                        continue;
+                    };
+                    let Some(outcome) = outcome else {
+                        // The shard never produced the outcome. If it
+                        // was poisoned by a panic, quarantine the
+                        // connection: clear its alerts (the session
+                        // direction is unknown without the analysis, so
+                        // both orientations) and report it with a typed
+                        // quarantined verdict instead of dropping it
+                        // silently.
+                        let Some(reason) =
+                            self.shards.get(shard).and_then(|sh| sh.poisoned.clone())
+                        else {
+                            debug_assert!(false, "op log references a missing finalize outcome");
+                            continue;
+                        };
+                        let (ep_a, ep_b) = (
+                            format!("{}:{}", key.a.0, key.a.1),
+                            format!("{}:{}", key.b.0, key.b.1),
+                        );
+                        let fwd = format!("{ep_a}->{ep_b}");
+                        let rev = format!("{ep_b}->{ep_a}");
+                        for session in [&fwd, &rev] {
+                            for alert in self.alerts.clear_session(&name, session, now) {
+                                self.metrics.record_alert(&alert);
+                                self.events.push(MonitorEvent::Alert(alert));
+                            }
+                        }
+                        self.metrics.record_finalized(open);
+                        self.events
+                            .push(MonitorEvent::Connection(ConnectionSummary {
+                                at: now,
+                                source: name,
+                                session: fwd,
+                                report: poisoned_shard_report(ep_a, ep_b, &reason),
+                            }));
                         continue;
                     };
                     let at = now.max(outcome.profile_end);
@@ -567,6 +729,9 @@ impl ShardEngine {
                     for (s, name) in self.names.iter().enumerate() {
                         let mut entries: Vec<&CachedAnalysis> = Vec::new();
                         for shard in &self.shards {
+                            if shard.poisoned.is_some() {
+                                continue;
+                            }
                             if let Some(scope) = shard.scopes.get(s) {
                                 entries.extend(scope.cache.values());
                             }
@@ -592,6 +757,9 @@ impl ShardEngine {
         for (s, name) in self.names.iter().enumerate() {
             let mut entries: Vec<&CachedAnalysis> = Vec::new();
             for shard in &self.shards {
+                if shard.poisoned.is_some() {
+                    continue;
+                }
                 if let Some(scope) = shard.scopes.get(s) {
                     entries.extend(scope.cache.values());
                 }
@@ -734,6 +902,54 @@ impl ShardedMonitor {
         }
     }
 
+    /// Notes a transient source outage; see
+    /// [`Monitor::note_source_down`].
+    pub fn note_source_down(&mut self, source: SourceId, detail: String) {
+        match &mut self.inner {
+            Inner::Serial(monitor) => monitor.note_source_down(source, detail),
+            Inner::Sharded(engine) => engine.note_source_down(source, detail),
+        }
+    }
+
+    /// Notes a resurrected source; see [`Monitor::note_source_up`].
+    pub fn note_source_up(&mut self, source: SourceId, attempts: u32) {
+        match &mut self.inner {
+            Inner::Serial(monitor) => monitor.note_source_up(source, attempts),
+            Inner::Sharded(engine) => engine.note_source_up(source, attempts),
+        }
+    }
+
+    /// The configured wall-clock wait between polls while every source
+    /// is pending.
+    pub fn pending_backoff(&self) -> std::time::Duration {
+        match &self.inner {
+            Inner::Serial(monitor) => monitor.pending_backoff(),
+            Inner::Sharded(engine) => engine.pending_backoff,
+        }
+    }
+
+    /// A deterministic fingerprint of the alert engine's hysteresis
+    /// state; see [`AlertEngine::fingerprint`].
+    pub fn alert_fingerprint(&self) -> u64 {
+        match &self.inner {
+            Inner::Serial(monitor) => monitor.alert_fingerprint(),
+            Inner::Sharded(engine) => engine.alerts.fingerprint(),
+        }
+    }
+
+    /// Worker shards quarantined after a panic so far (0 for the
+    /// serial engine).
+    pub fn poisoned_shards(&self) -> usize {
+        match &self.inner {
+            Inner::Serial(_) => 0,
+            Inner::Sharded(engine) => engine
+                .shards
+                .iter()
+                .filter(|s| s.poisoned.is_some())
+                .count(),
+        }
+    }
+
     /// Capture damage no source could tie to any connection, summed
     /// across sources.
     pub fn unattributed_anomalies(&self) -> AnomalyCounts {
@@ -819,10 +1035,20 @@ impl ShardedMonitor {
                         self.advance_to(now);
                     }
                 }
-                SetEvent::Pending => std::thread::sleep(PENDING_BACKOFF),
+                SetEvent::Pending => std::thread::sleep(self.pending_backoff()),
                 SetEvent::SourceFailed { source, error } => {
                     if let Some(&id) = ids.get(source.index()) {
                         self.note_source_failure(id, error);
+                    }
+                }
+                SetEvent::SourceDown { source, error } => {
+                    if let Some(&id) = ids.get(source.index()) {
+                        self.note_source_down(id, error);
+                    }
+                }
+                SetEvent::SourceUp { source, attempts } => {
+                    if let Some(&id) = ids.get(source.index()) {
+                        self.note_source_up(id, attempts);
                     }
                 }
                 SetEvent::Finished => break,
@@ -961,5 +1187,70 @@ mod tests {
     fn serial_shard_count_is_reported() {
         assert_eq!(ShardedMonitor::new(config(60, 10, 1)).shards(), 1);
         assert_eq!(ShardedMonitor::new(config(60, 10, 4)).shards(), 4);
+    }
+
+    #[test]
+    fn a_panicking_shard_quarantines_only_its_connections() {
+        let shard_count = 3;
+        let endpoints: Vec<_> = (0..6u8)
+            .map(|i| {
+                (
+                    (Ipv4Addr::new(10, 0, i, 1), 179u16),
+                    (Ipv4Addr::new(10, 0, i, 2), 40000u16),
+                )
+            })
+            .collect();
+        let owner: Vec<usize> = endpoints
+            .iter()
+            .map(|(a, b)| shard_of(&ConnKey::of_endpoints(*a, *b), shard_count))
+            .collect();
+        let victim = owner[0];
+        assert!(
+            owner.iter().any(|&s| s != victim),
+            "fleet must span more than one shard: {owner:?}"
+        );
+
+        let mut monitor = ShardedMonitor::new(config(60, 10, shard_count));
+        let id = monitor.register_source("capture");
+        for frame in fleet_frames() {
+            monitor.ingest_owned(id, frame);
+        }
+        // Arm the hook before the first flush: the victim's very first
+        // batch panics, so none of its analysis ever lands.
+        match &mut monitor.inner {
+            Inner::Sharded(engine) => engine.shards[victim].panic_next = true,
+            Inner::Serial(_) => unreachable!("3 shards build the sharded engine"),
+        }
+        monitor.advance_to(Micros::from_secs(200));
+        monitor.finish();
+        assert_eq!(monitor.poisoned_shards(), 1);
+        assert_eq!(monitor.metrics().shards_poisoned(), 1);
+
+        let mut quarantined = 0;
+        let mut healthy = 0;
+        for event in monitor.drain_events() {
+            let MonitorEvent::Connection(c) = event else {
+                continue;
+            };
+            let i = endpoints
+                .iter()
+                .position(|(a, b)| {
+                    c.session.contains(&format!("{}:{}", a.0, a.1))
+                        && c.session.contains(&format!("{}:{}", b.0, b.1))
+                })
+                .expect("summary maps to a fleet connection");
+            if owner[i] == victim {
+                quarantined += 1;
+                assert_eq!(c.report.verdict, "quarantined", "{}", c.session);
+                let reason = c.report.quarantine_reason.as_deref().unwrap_or("");
+                assert!(reason.contains("injected shard panic"), "{reason}");
+            } else {
+                healthy += 1;
+                assert_ne!(c.report.verdict, "quarantined", "{}", c.session);
+            }
+        }
+        assert!(quarantined >= 1, "the victim shard owned no connections");
+        assert!(healthy >= 1, "no healthy connections survived");
+        assert_eq!(quarantined + healthy, 6, "the watch must still complete");
     }
 }

@@ -20,6 +20,7 @@ use std::time::{Duration, Instant};
 use tdat_packet::{CaptureAnomaly, LossyDecoder, PcapFollower, Result, TcpFrame};
 use tdat_tcpsim::scenario::{build_scenario, ScenarioOptions};
 use tdat_tcpsim::LiveTap;
+use tdat_timeset::faultpoint::FaultPlan;
 use tdat_timeset::Micros;
 use tdat_trace::ConnKey;
 
@@ -54,6 +55,18 @@ pub struct AttributedAnomaly {
     pub anomaly: CaptureAnomaly,
 }
 
+/// The recovery cursor one source contributes to a monitor
+/// checkpoint: how far into its backing file the source has committed.
+/// Sources without a byte-addressable backing (the simulator) have
+/// none.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct SourceCursor {
+    /// Byte offset just past the last fully consumed pcap item.
+    pub offset: u64,
+    /// Complete records consumed so far.
+    pub records_read: u64,
+}
+
 /// A pollable producer of captured frames.
 pub trait PacketSource {
     /// Polls for the next event without blocking on packet arrival.
@@ -63,7 +76,10 @@ pub trait PacketSource {
     /// Fails on I/O errors or on input damaged beyond the source's
     /// recovery strategy (a follow-mode tail that stays unreadable past
     /// the bounded resynchronization scan, for example). Errors are
-    /// terminal.
+    /// terminal *for this source object*; a supervising
+    /// [`SourceSet`](crate::SourceSet) may classify the error as
+    /// transient ([`PacketError::is_transient`](tdat_packet::PacketError::is_transient))
+    /// and resurrect the source by reopening its spec.
     fn poll(&mut self) -> Result<SourceEvent>;
 
     /// Takes the capture anomalies the source survived since the last
@@ -71,6 +87,12 @@ pub trait PacketSource {
     /// produce any; the default returns nothing.
     fn drain_anomalies(&mut self) -> Vec<AttributedAnomaly> {
         Vec::new()
+    }
+
+    /// The source's recovery cursor for checkpointing, when it has
+    /// one. The default reports none.
+    fn cursor(&self) -> Option<SourceCursor> {
+        None
     }
 }
 
@@ -150,6 +172,13 @@ impl FollowSource {
         self
     }
 
+    /// Attaches a fault-injection plan to the underlying follower (the
+    /// `follow.read` and `follow.short_read` points).
+    pub fn with_faults(mut self, faults: FaultPlan) -> FollowSource {
+        self.follower = self.follower.with_faults(faults);
+        self
+    }
+
     /// Complete records consumed so far.
     pub fn records_read(&self) -> u64 {
         self.follower.records_read()
@@ -200,6 +229,13 @@ impl PacketSource for FollowSource {
 
     fn drain_anomalies(&mut self) -> Vec<AttributedAnomaly> {
         std::mem::take(&mut self.anomalies)
+    }
+
+    fn cursor(&self) -> Option<SourceCursor> {
+        Some(SourceCursor {
+            offset: self.follower.offset(),
+            records_read: self.follower.records_read(),
+        })
     }
 }
 

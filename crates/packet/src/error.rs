@@ -40,6 +40,27 @@ pub enum PacketError {
     Io(io::Error),
 }
 
+impl PacketError {
+    /// Whether a follow source that hit this error may plausibly
+    /// recover by *reopening* the capture, as opposed to corruption
+    /// that reopening would only re-read.
+    ///
+    /// * [`PacketError::Io`] — transient: filesystem hiccups, NFS
+    ///   stalls, and injected read faults clear on retry.
+    /// * [`PacketError::SourceTruncated`] — transient: the capture was
+    ///   rotated; the *old* follower is sticky-poisoned by design, but
+    ///   a fresh open reads the successor file from its beginning.
+    /// * Everything else (bad magic, malformed/truncated headers,
+    ///   unsupported link type) — fatal: the bytes themselves are
+    ///   wrong, and no number of reopens changes them.
+    pub fn is_transient(&self) -> bool {
+        matches!(
+            self,
+            PacketError::Io(_) | PacketError::SourceTruncated { .. }
+        )
+    }
+}
+
 impl fmt::Display for PacketError {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         match self {
@@ -107,6 +128,29 @@ mod tests {
         assert!(PacketError::UnsupportedLinkType(42)
             .to_string()
             .contains("42"));
+    }
+
+    #[test]
+    fn transient_classification_splits_io_from_corruption() {
+        assert!(PacketError::from(io::Error::other("blip")).is_transient());
+        assert!(PacketError::SourceTruncated {
+            committed: 100,
+            len: 30
+        }
+        .is_transient());
+        assert!(!PacketError::BadMagic(0).is_transient());
+        assert!(!PacketError::UnsupportedLinkType(1).is_transient());
+        assert!(!PacketError::Malformed {
+            what: "pcap record",
+            detail: String::new()
+        }
+        .is_transient());
+        assert!(!PacketError::Truncated {
+            what: "tcp header",
+            needed: 20,
+            available: 5
+        }
+        .is_transient());
     }
 
     #[test]

@@ -27,6 +27,7 @@ use crate::lossy::{
     plausible_record_header, CaptureAnomaly, LossyDecoder, LossyFrame, RESYNC_SCAN_LIMIT,
 };
 use crate::pcap::{Endianness, RawRecord, LINKTYPE_ETHERNET, MAGIC_MICROS, MAGIC_NANOS};
+use tdat_timeset::faultpoint::FaultPlan;
 use tdat_timeset::Micros;
 
 /// Parsed global-header state, established once 24 bytes are available.
@@ -99,6 +100,8 @@ pub struct PcapFollower<R> {
     /// poisoned (waiting for regrowth would resync onto unrelated
     /// bytes at the committed offset).
     truncated: bool,
+    /// Fault-injection schedule; disabled (free to check) by default.
+    faults: FaultPlan,
 }
 
 impl PcapFollower<File> {
@@ -127,7 +130,16 @@ impl<R: Read + Seek> PcapFollower<R> {
             records_read: 0,
             high_water: 0,
             truncated: false,
+            faults: FaultPlan::disabled(),
         }
+    }
+
+    /// Attach a fault-injection plan. Each poll checks the
+    /// `follow.read` point (fails as an I/O error) and the
+    /// `follow.short_read` point (reports a pending partial tail).
+    pub fn with_faults(mut self, faults: FaultPlan) -> Self {
+        self.faults = faults;
+        self
     }
 
     /// Errors if the source ever shrank. A capture being followed is
@@ -153,6 +165,21 @@ impl<R: Read + Seek> PcapFollower<R> {
     /// Records fully consumed so far.
     pub fn records_read(&self) -> u64 {
         self.records_read
+    }
+
+    /// Byte offset just past the last fully consumed item (global
+    /// header or record). This is the recovery cursor a checkpoint
+    /// records: everything before it has been delivered, everything
+    /// after it has not been touched.
+    pub fn offset(&self) -> u64 {
+        self.offset
+    }
+
+    /// Absolute microsecond timestamp of the first record (the trace
+    /// epoch all delivered timestamps are rebased against), once one
+    /// record has been read.
+    pub fn epoch(&self) -> Option<i64> {
+        self.epoch
     }
 
     /// The file's link type, once the global header has been read.
@@ -228,6 +255,12 @@ impl<R: Read + Seek> PcapFollower<R> {
     /// committed offset no longer refers into the original record
     /// stream even if the file later regrows past it).
     pub fn poll_record(&mut self) -> Result<Option<RawRecord>> {
+        if let Some(err) = self.faults.fail_io("follow.read") {
+            return Err(err.into());
+        }
+        if self.faults.should_fail("follow.short_read") {
+            return Ok(None);
+        }
         self.check_shrink()?;
         if !self.ensure_header()? {
             return Ok(None);
@@ -320,6 +353,12 @@ impl<R: Read + Seek> PcapFollower<R> {
     /// a plausible record header (the file is garbage from the
     /// committed offset on, and retrying cannot fix it).
     pub fn poll_lossy(&mut self, decoder: &mut LossyDecoder) -> Result<Option<LossyFrame>> {
+        if let Some(err) = self.faults.fail_io("follow.read") {
+            return Err(err.into());
+        }
+        if self.faults.should_fail("follow.short_read") {
+            return Ok(None);
+        }
         self.check_shrink()?;
         if !self.ensure_header()? {
             return Ok(None);
@@ -671,6 +710,48 @@ mod tests {
         }
         assert_eq!(got, frames);
         assert_eq!(decoder.counts().total(), 0);
+    }
+
+    #[test]
+    fn injected_read_faults_error_then_clear() {
+        let frames = vec![frame(0, 10), frame(5, 20)];
+        let mut file = GrowingFile::create("fault_read.pcap");
+        file.append(&encode(&frames));
+        let faults = FaultPlan::parse("follow.read@hit=2", 0).unwrap();
+        let mut follower = PcapFollower::open(&file.path).unwrap().with_faults(faults);
+        assert_eq!(follower.poll_frame().unwrap(), Some(frames[0].clone()));
+        let err = follower.poll_frame().unwrap_err();
+        assert!(matches!(err, PacketError::Io(_)));
+        assert!(err.is_transient());
+        assert!(err.to_string().contains("follow.read"));
+        // The fault was a blip, not corruption: the committed offset
+        // never moved, so the next poll resumes cleanly.
+        assert_eq!(follower.poll_frame().unwrap(), Some(frames[1].clone()));
+    }
+
+    #[test]
+    fn injected_short_reads_report_pending() {
+        let frames = vec![frame(0, 10)];
+        let mut file = GrowingFile::create("fault_short.pcap");
+        file.append(&encode(&frames));
+        let faults = FaultPlan::parse("follow.short_read@hits=1..2", 0).unwrap();
+        let mut follower = PcapFollower::open(&file.path).unwrap().with_faults(faults);
+        assert!(follower.poll_frame().unwrap().is_none());
+        assert!(follower.poll_frame().unwrap().is_none());
+        assert_eq!(follower.poll_frame().unwrap(), Some(frames[0].clone()));
+    }
+
+    #[test]
+    fn offset_accessor_tracks_committed_records() {
+        let frames = vec![frame(0, 10), frame(5, 0)];
+        let bytes = encode(&frames);
+        let mut follower = PcapFollower::new(io::Cursor::new(bytes.clone()));
+        assert_eq!(follower.offset(), 0);
+        assert!(follower.epoch().is_none());
+        follower.poll_frame().unwrap().unwrap();
+        follower.poll_frame().unwrap().unwrap();
+        assert_eq!(follower.offset(), bytes.len() as u64);
+        assert!(follower.epoch().is_some());
     }
 
     #[test]

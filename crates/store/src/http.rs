@@ -27,6 +27,38 @@ use crate::record::JsonlIngester;
 use crate::store::Store;
 use crate::StoreError;
 
+/// Per-connection resource bounds. Every limit exists so one
+/// misbehaving client — slow, silent, or oversized — costs the server
+/// at most one short-lived thread, never an unbounded buffer or a
+/// handler parked forever on a dead socket.
+#[derive(Debug, Clone)]
+pub struct HttpLimits {
+    /// A socket read that makes no progress for this long drops the
+    /// connection (slow-loris protection on heads *and* bodies).
+    pub read_timeout: Duration,
+    /// A socket write that makes no progress for this long drops the
+    /// connection (a stalled reader cannot pin a handler thread).
+    pub write_timeout: Duration,
+    /// Maximum request-line length (method + target + version).
+    pub max_request_line: usize,
+    /// Maximum total head (request line + headers) size.
+    pub max_head: usize,
+    /// Maximum declared/accepted body size on `POST /ingest`.
+    pub max_body: usize,
+}
+
+impl Default for HttpLimits {
+    fn default() -> HttpLimits {
+        HttpLimits {
+            read_timeout: Duration::from_secs(10),
+            write_timeout: Duration::from_secs(10),
+            max_request_line: 8 * 1024,
+            max_head: 64 * 1024,
+            max_body: 64 * 1024 * 1024,
+        }
+    }
+}
+
 /// A running server; dropping it (or calling
 /// [`shutdown`](StoreServer::shutdown)) stops the accept loop.
 pub struct StoreServer {
@@ -36,8 +68,18 @@ pub struct StoreServer {
 }
 
 impl StoreServer {
-    /// Binds `bind` (e.g. `127.0.0.1:0`) and starts serving `store`.
+    /// Binds `bind` (e.g. `127.0.0.1:0`) and starts serving `store`
+    /// with [`HttpLimits::default`].
     pub fn bind(store: Arc<Store>, bind: &str) -> Result<StoreServer, StoreError> {
+        StoreServer::bind_with(store, bind, HttpLimits::default())
+    }
+
+    /// Binds `bind` and starts serving `store` under explicit limits.
+    pub fn bind_with(
+        store: Arc<Store>,
+        bind: &str,
+        limits: HttpLimits,
+    ) -> Result<StoreServer, StoreError> {
         let listener =
             TcpListener::bind(bind).map_err(|e| StoreError::Io(format!("bind {bind}"), e))?;
         let addr = listener
@@ -59,10 +101,11 @@ impl StoreServer {
                             continue;
                         }
                         let store = store.clone();
+                        let limits = limits.clone();
                         std::thread::spawn(move || {
-                            // Socket errors mean the client went away;
-                            // nothing useful to do with them.
-                            let _ = handle_connection(&store, stream);
+                            // Socket errors mean the client went away
+                            // (or timed out); nothing useful to do.
+                            let _ = handle_connection(&store, stream, &limits);
                         });
                     }
                     Err(e) if e.kind() == std::io::ErrorKind::WouldBlock => {
@@ -188,11 +231,13 @@ fn parse_target(target: &str) -> (&str, Vec<(String, String)>) {
     }
 }
 
-const MAX_HEAD: usize = 64 * 1024;
-const MAX_BODY: usize = 64 * 1024 * 1024;
-
-fn handle_connection(store: &Store, mut stream: TcpStream) -> std::io::Result<()> {
-    stream.set_read_timeout(Some(Duration::from_secs(10)))?;
+fn handle_connection(
+    store: &Store,
+    mut stream: TcpStream,
+    limits: &HttpLimits,
+) -> std::io::Result<()> {
+    stream.set_read_timeout(Some(limits.read_timeout))?;
+    stream.set_write_timeout(Some(limits.write_timeout))?;
     let mut buf = Vec::with_capacity(1024);
     let mut chunk = [0u8; 4096];
     let head_end = loop {
@@ -202,15 +247,28 @@ fn handle_connection(store: &Store, mut stream: TcpStream) -> std::io::Result<()
         }
         buf.extend_from_slice(&chunk[..n]);
         if let Some(pos) = find_head_end(&buf) {
+            if pos > limits.max_head {
+                return bad_request(&mut stream, "request head too large");
+            }
             break pos;
         }
-        if buf.len() > MAX_HEAD {
+        // The bounds also apply to *incomplete* heads, or a client
+        // could grow the buffer indefinitely by never finishing the
+        // request line or the header block.
+        let first_line_len = buf.iter().position(|&b| b == b'\n').unwrap_or(buf.len());
+        if first_line_len > limits.max_request_line {
+            return bad_request(&mut stream, "request line too long");
+        }
+        if buf.len() > limits.max_head {
             return bad_request(&mut stream, "request head too large");
         }
     };
     let head = String::from_utf8_lossy(&buf[..head_end]).into_owned();
     let mut lines = head.split("\r\n");
     let request_line = lines.next().unwrap_or("");
+    if request_line.len() > limits.max_request_line {
+        return bad_request(&mut stream, "request line too long");
+    }
     let mut parts = request_line.split_whitespace();
     let (method, target) = match (parts.next(), parts.next()) {
         (Some(m), Some(t)) => (m.to_string(), t.to_string()),
@@ -224,7 +282,7 @@ fn handle_connection(store: &Store, mut stream: TcpStream) -> std::io::Result<()
             }
         }
     }
-    if content_length > MAX_BODY {
+    if content_length > limits.max_body {
         return bad_request(&mut stream, "request body too large");
     }
     let mut body = buf[head_end + 4..].to_vec();
@@ -235,6 +293,9 @@ fn handle_connection(store: &Store, mut stream: TcpStream) -> std::io::Result<()
         }
         body.extend_from_slice(&chunk[..n]);
     }
+    // A client may send bytes past its declared length; everything
+    // beyond Content-Length is not part of this request's body.
+    body.truncate(content_length);
     let (path, params) = parse_target(&target);
     let param = |name: &str| {
         params
@@ -414,5 +475,93 @@ mod tests {
         assert_eq!(percent_decode("a+b%3Dc%20d"), "a b=c d");
         assert_eq!(percent_decode("100%"), "100%");
         assert_eq!(percent_decode("%zz"), "%zz");
+    }
+
+    #[test]
+    fn a_slow_client_is_dropped_and_cannot_wedge_the_server() {
+        let (dir, store) = tmp_store("slow");
+        store.ingest(synth_records(5, 2)).unwrap();
+        let limits = HttpLimits {
+            read_timeout: Duration::from_millis(100),
+            write_timeout: Duration::from_millis(100),
+            ..HttpLimits::default()
+        };
+        let server = StoreServer::bind_with(store.clone(), "127.0.0.1:0", limits).unwrap();
+        let addr = server.addr();
+
+        // A client that sends half a request head and then stalls: the
+        // read timeout must close the connection rather than pin the
+        // handler thread forever.
+        let mut stalled = TcpStream::connect(addr).unwrap();
+        write!(stalled, "GET /stats HTTP/1.1\r\nHost:").unwrap();
+        let mut text = String::new();
+        let start = std::time::Instant::now();
+        let _ = stalled.read_to_string(&mut text); // EOF or reset
+        assert!(
+            start.elapsed() < Duration::from_secs(5),
+            "stalled connection held open: {:?}",
+            start.elapsed()
+        );
+
+        // Same for a POST that declares a body and never delivers it.
+        let mut silent = TcpStream::connect(addr).unwrap();
+        write!(
+            silent,
+            "POST /ingest HTTP/1.1\r\nHost: t\r\nContent-Length: 1000\r\n\r\npartial"
+        )
+        .unwrap();
+        let mut text = String::new();
+        let _ = silent.read_to_string(&mut text);
+
+        // The server is still fully live for well-behaved clients.
+        let (head, body) = get(addr, "/stats");
+        assert!(head.starts_with("HTTP/1.1 200"), "{head}");
+        assert!(body.contains("\"records\":5"), "{body}");
+        server.shutdown();
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn oversized_request_lines_heads_and_bodies_are_rejected() {
+        let (dir, store) = tmp_store("bounds");
+        let limits = HttpLimits {
+            max_request_line: 128,
+            max_head: 512,
+            max_body: 1024,
+            ..HttpLimits::default()
+        };
+        let server = StoreServer::bind_with(store.clone(), "127.0.0.1:0", limits).unwrap();
+        let addr = server.addr();
+
+        let roundtrip = |request: String| -> String {
+            let mut stream = TcpStream::connect(addr).unwrap();
+            stream.write_all(request.as_bytes()).unwrap();
+            let mut text = String::new();
+            let _ = stream.read_to_string(&mut text);
+            text
+        };
+
+        // Request line past the bound — rejected even though it would
+        // fit the head budget.
+        let long_target = format!("GET /query?q={} HTTP/1.1\r\n\r\n", "x".repeat(300));
+        let text = roundtrip(long_target);
+        assert!(text.contains("request line too long"), "{text}");
+
+        // Unbounded header growth.
+        let fat_head = format!(
+            "GET /stats HTTP/1.1\r\n{}\r\n\r\n",
+            "X-Pad: aaaaaaaaaaaaaaaa\r\n".repeat(40)
+        );
+        let text = roundtrip(fat_head);
+        assert!(text.contains("request head too large"), "{text}");
+
+        // Declared body past the bound — refused before reading it.
+        let text = roundtrip(
+            "POST /ingest HTTP/1.1\r\nHost: t\r\nContent-Length: 10000\r\n\r\n".to_string(),
+        );
+        assert!(text.contains("request body too large"), "{text}");
+
+        server.shutdown();
+        std::fs::remove_dir_all(&dir).unwrap();
     }
 }

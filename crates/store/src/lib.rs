@@ -66,7 +66,7 @@ pub mod store;
 pub mod synth;
 
 pub use asmap::AsMap;
-pub use http::StoreServer;
+pub use http::{HttpLimits, StoreServer};
 pub use query::{Query, QueryOutput, QueryStats};
 pub use record::{JsonlIngester, RecordKind, SessionRecord};
 pub use segment::{Segment, SegmentMeta};

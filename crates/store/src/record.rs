@@ -396,7 +396,7 @@ pub fn records_from_sweep(report: &tdat_monitor::SweepReport) -> Vec<SessionReco
                         c.report.clone(),
                     ));
                 }
-                MonitorEvent::SourceDown(_) => {}
+                MonitorEvent::SourceDown(_) | MonitorEvent::SourceUp(_) => {}
             }
         }
     }

@@ -33,6 +33,8 @@ use std::path::{Path, PathBuf};
 use std::sync::{Arc, Mutex, RwLock};
 
 use tdat::json::{self, JsonValue};
+use tdat_timeset::atomicfile;
+use tdat_timeset::faultpoint::FaultPlan;
 
 use crate::query::{Query, QueryOutput};
 use crate::record::SessionRecord;
@@ -83,6 +85,7 @@ pub struct Store {
     dir: PathBuf,
     writer: Mutex<Writer>,
     snapshot: RwLock<Arc<Snapshot>>,
+    faults: FaultPlan,
 }
 
 fn io_err(path: &Path, e: std::io::Error) -> StoreError {
@@ -132,6 +135,7 @@ impl Store {
                 segments: Vec::new(),
                 generation: 0,
             })),
+            faults: FaultPlan::disabled(),
         })
     }
 
@@ -203,7 +207,19 @@ impl Store {
                 segments,
                 generation,
             })),
+            faults: FaultPlan::disabled(),
         })
+    }
+
+    /// Attaches a fault-injection plan covering the durability
+    /// boundaries: `store.segment.sync` before a sealed segment's
+    /// fsync, and the `atomic.*` points inside the compaction's
+    /// manifest replacement (see [`atomicfile::replace_file`]). Call
+    /// before sharing the store; injected failures surface as ordinary
+    /// I/O errors and never corrupt what is already durable.
+    pub fn with_faults(mut self, faults: FaultPlan) -> Store {
+        self.faults = faults;
+        self
     }
 
     /// The store directory.
@@ -288,6 +304,9 @@ impl Store {
         {
             let mut f = fs::File::create(&path).map_err(|e| io_err(&path, e))?;
             f.write_all(&bytes).map_err(|e| io_err(&path, e))?;
+            if let Some(e) = self.faults.fail_io("store.segment.sync") {
+                return Err(io_err(&path, e));
+            }
             f.sync_all().map_err(|e| io_err(&path, e))?;
         }
         // The segment's directory entry must be durable before the
@@ -342,15 +361,17 @@ impl Store {
         {
             let mut f = fs::File::create(&path).map_err(|e| io_err(&path, e))?;
             f.write_all(&bytes).map_err(|e| io_err(&path, e))?;
+            if let Some(e) = self.faults.fail_io("store.segment.sync") {
+                return Err(io_err(&path, e));
+            }
             f.sync_all().map_err(|e| io_err(&path, e))?;
         }
         fsync_dir(&self.dir)?;
-        // Rewrite the manifest atomically: header + the one segment.
-        // The tmp file is fsynced before the rename (a rename can
-        // otherwise become durable before the data, leaving an empty
-        // manifest after a crash), and the directory after.
+        // Rewrite the manifest atomically (temp file + fsync + rename +
+        // directory fsync, via the shared [`atomicfile`] discipline): a
+        // crash at any point leaves either the old manifest or the new
+        // one, and the merged segment file at worst harmlessly orphaned.
         let manifest_path = self.dir.join(MANIFEST);
-        let tmp_path = self.dir.join("MANIFEST.tmp");
         let mut text = String::new();
         text.push('{');
         json::push_str_field(&mut text, "type", "store", false);
@@ -358,14 +379,8 @@ impl Store {
         text.push_str("}\n");
         text.push_str(&Store::manifest_segment_line(&file, &segment));
         text.push('\n');
-        {
-            let mut f = fs::File::create(&tmp_path).map_err(|e| io_err(&tmp_path, e))?;
-            f.write_all(text.as_bytes())
-                .map_err(|e| io_err(&tmp_path, e))?;
-            f.sync_all().map_err(|e| io_err(&tmp_path, e))?;
-        }
-        fs::rename(&tmp_path, &manifest_path).map_err(|e| io_err(&manifest_path, e))?;
-        fsync_dir(&self.dir)?;
+        atomicfile::replace_file(&manifest_path, text.as_bytes(), &self.faults)
+            .map_err(|e| io_err(&manifest_path, e))?;
 
         let old_files: Vec<PathBuf> = (1..seq)
             .map(|s| self.dir.join(segment_file_name(s)))
@@ -510,6 +525,73 @@ mod tests {
         .unwrap();
         let reopened = Store::open(&dir).unwrap();
         assert_eq!(reopened.stats().records, 10);
+        fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn a_crash_between_segment_write_and_manifest_rename_loses_nothing() {
+        let dir = tmp_dir("crash-compact");
+        let records = synth_records(200, 11);
+        {
+            let store = Store::create(&dir).unwrap();
+            for chunk in records.chunks(50) {
+                store.ingest(chunk.to_vec()).unwrap();
+            }
+        }
+        let contents = |store: &Store| -> Vec<String> {
+            store
+                .snapshot()
+                .segments
+                .iter()
+                .flat_map(|s| s.records.iter())
+                .map(|r| format!("{}|{}|{}", r.at.as_micros(), r.source, r.report.to_json()))
+                .collect()
+        };
+        let before = contents(&Store::open(&dir).unwrap());
+        assert_eq!(before.len(), 200);
+
+        // The injected fault kills compaction after the merged segment
+        // file is written but before the manifest rename lands.
+        let faults = FaultPlan::parse("atomic.rename@once", 3).unwrap();
+        let store = Store::open(&dir).unwrap().with_faults(faults);
+        let err = store.compact().unwrap_err();
+        assert!(err.to_string().contains("injected fault"), "{err}");
+        assert!(
+            dir.join(segment_file_name(5)).exists(),
+            "the merged segment was written before the crash point"
+        );
+
+        // Reopening ignores the orphaned segment: the old manifest is
+        // intact and the store round-trips bit-exact.
+        let reopened = Store::open(&dir).unwrap();
+        assert_eq!(reopened.stats().segments, 4);
+        assert_eq!(contents(&reopened), before);
+
+        // The retry (fault spent) completes the compaction with the
+        // same records, merely time-ordered.
+        assert_eq!(store.compact().unwrap(), 4);
+        let compacted = Store::open(&dir).unwrap();
+        assert_eq!(compacted.stats().segments, 1);
+        let mut sorted_before = before.clone();
+        sorted_before.sort();
+        let mut after = contents(&compacted);
+        after.sort();
+        assert_eq!(after, sorted_before);
+        fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn an_injected_segment_sync_failure_never_corrupts_the_manifest() {
+        let dir = tmp_dir("sync-fault");
+        let faults = FaultPlan::parse("store.segment.sync@once", 3).unwrap();
+        let store = Store::create(&dir).unwrap().with_faults(faults);
+        let err = store.ingest(synth_records(10, 5)).unwrap_err();
+        assert!(err.to_string().contains("injected fault"), "{err}");
+        // The unsynced segment never made the manifest; the store is
+        // still healthy and the retry lands.
+        assert_eq!(Store::open(&dir).unwrap().stats().records, 0);
+        store.ingest(synth_records(10, 5)).unwrap();
+        assert_eq!(Store::open(&dir).unwrap().stats().records, 10);
         fs::remove_dir_all(&dir).unwrap();
     }
 

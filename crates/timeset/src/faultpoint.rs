@@ -1,0 +1,526 @@
+//! Named, seed-scheduled fault-injection points.
+//!
+//! Robustness work needs failures on demand: "the third read from this
+//! capture errors", "fsync fails once during compaction", "source `b`
+//! is dead between t=3s and t=9s". This module provides the shared
+//! substrate every T-DAT crate threads those failures through.
+//!
+//! A [`FaultPlan`] is parsed from a compact schedule string (the
+//! monitor's `--faults SPEC` flag) and handed to the components under
+//! test. Code under test declares *named points* — `follow.read`,
+//! `store.rename`, `source.open:b` — and asks the plan whether the
+//! point should fail *this* time. A disabled plan (the default) answers
+//! no without taking a lock, so production paths pay nothing.
+//!
+//! # Schedule grammar
+//!
+//! A spec is a `;`-separated list of clauses, each `POINT@TRIGGER`:
+//!
+//! | trigger      | meaning                                              |
+//! |--------------|------------------------------------------------------|
+//! | `once`       | fail the first hit of the point, then never again    |
+//! | `hit=N`      | fail exactly the Nth hit (1-based)                   |
+//! | `hits=N..M`  | fail hits N through M inclusive (`N..` = open-ended) |
+//! | `every=N`    | fail every Nth hit                                   |
+//! | `t=A..B`     | fail while virtual time is in `[A, B)` (needs a      |
+//! |              | time-aware site; durations take `us`/`ms`/`s`)       |
+//! | `p=F`        | fail with probability F, deterministic in the seed   |
+//! | `always`     | fail every hit                                       |
+//!
+//! A point name ending in `*` matches any point with that prefix.
+//! Hit counts are per point name and shared by all clauses, so
+//! `follow.read@hits=2..3` fails the second and third read attempts.
+//!
+//! # Determinism
+//!
+//! Everything is a pure function of (spec, seed, per-point hit index,
+//! virtual time). Two runs over the same input with the same plan fail
+//! at exactly the same places — which is what lets fault tests assert
+//! byte-identical output.
+
+use std::collections::HashMap;
+use std::fmt;
+use std::io;
+use std::sync::{Arc, Mutex, MutexGuard};
+
+use crate::Micros;
+
+/// One parsed `POINT@TRIGGER` clause.
+#[derive(Debug, Clone)]
+struct Rule {
+    /// Point name; with `wildcard`, a prefix.
+    point: String,
+    /// True when the spec named the point with a trailing `*`.
+    wildcard: bool,
+    trigger: Trigger,
+}
+
+#[derive(Debug, Clone)]
+enum Trigger {
+    /// Fail hits in `[first, last]` (1-based, inclusive); `None` = open.
+    Hits(u64, Option<u64>),
+    /// Fail while virtual time is in `[start, end)`; `None` = open.
+    Window(Micros, Option<Micros>),
+    /// Fail with this probability, derived from the plan seed.
+    Prob(f64),
+    /// Fail every Nth hit.
+    Every(u64),
+    /// Fail every hit.
+    Always,
+}
+
+impl Rule {
+    fn matches(&self, point: &str) -> bool {
+        if self.wildcard {
+            point.starts_with(self.point.as_str())
+        } else {
+            point == self.point
+        }
+    }
+
+    fn fires(&self, seed: u64, point: &str, hit: u64, now: Option<Micros>) -> bool {
+        match self.trigger {
+            Trigger::Hits(first, last) => hit >= first && last.is_none_or(|l| hit <= l),
+            Trigger::Window(start, end) => match now {
+                Some(at) => at >= start && end.is_none_or(|e| at < e),
+                None => false,
+            },
+            Trigger::Prob(p) => unit_interval(seed, point, hit) < p,
+            Trigger::Every(n) => hit.is_multiple_of(n),
+            Trigger::Always => true,
+        }
+    }
+}
+
+/// Map (seed, point, hit) onto `[0, 1)` deterministically.
+fn unit_interval(seed: u64, point: &str, hit: u64) -> f64 {
+    let mut h = 0xcbf2_9ce4_8422_2325u64 ^ seed;
+    for b in point.bytes() {
+        h ^= u64::from(b);
+        h = h.wrapping_mul(0x100_0000_01b3);
+    }
+    h ^= hit;
+    h = h.wrapping_mul(0x100_0000_01b3);
+    // splitmix64 finalizer to spread the fnv bits.
+    h = (h ^ (h >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+    h = (h ^ (h >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
+    h ^= h >> 31;
+    (h >> 11) as f64 / (1u64 << 53) as f64
+}
+
+/// Mutable per-plan bookkeeping: hit and fire counts per point name.
+#[derive(Debug, Default)]
+struct Counters {
+    hits: HashMap<String, u64>,
+    fired: HashMap<String, u64>,
+}
+
+#[derive(Debug)]
+struct PlanInner {
+    seed: u64,
+    rules: Vec<Rule>,
+    counters: Mutex<Counters>,
+}
+
+/// A deterministic schedule of fault injections, shared by handle.
+///
+/// Cloning is cheap (`Arc`); all clones share the same hit counters,
+/// so a plan threaded through several components still counts each
+/// point's hits globally. [`FaultPlan::disabled`] (also the `Default`)
+/// never fails anything and never locks.
+#[derive(Clone, Default)]
+pub struct FaultPlan {
+    inner: Option<Arc<PlanInner>>,
+}
+
+impl fmt::Debug for FaultPlan {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match &self.inner {
+            None => f.write_str("FaultPlan(disabled)"),
+            Some(inner) => f
+                .debug_struct("FaultPlan")
+                .field("seed", &inner.seed)
+                .field("rules", &inner.rules.len())
+                .finish(),
+        }
+    }
+}
+
+impl FaultPlan {
+    /// A plan that never injects anything. This is the default every
+    /// component starts with; checking a point against it is free.
+    pub fn disabled() -> FaultPlan {
+        FaultPlan { inner: None }
+    }
+
+    /// Parse a schedule spec (see the module docs for the grammar).
+    ///
+    /// The `seed` only matters for `p=` clauses. An empty spec yields
+    /// an enabled plan with no rules — useful to turn counting on
+    /// without scheduling any failures.
+    pub fn parse(spec: &str, seed: u64) -> Result<FaultPlan, String> {
+        let mut rules = Vec::new();
+        for clause in spec.split(';') {
+            let clause = clause.trim();
+            if clause.is_empty() {
+                continue;
+            }
+            rules.push(parse_clause(clause)?);
+        }
+        Ok(FaultPlan {
+            inner: Some(Arc::new(PlanInner {
+                seed,
+                rules,
+                counters: Mutex::new(Counters::default()),
+            })),
+        })
+    }
+
+    /// True when this plan was built by [`FaultPlan::parse`] (even with
+    /// zero rules); false for [`FaultPlan::disabled`].
+    pub fn is_enabled(&self) -> bool {
+        self.inner.is_some()
+    }
+
+    /// Register one hit of `point` and report whether it should fail.
+    ///
+    /// Time-window (`t=`) clauses never fire through this form; use
+    /// [`FaultPlan::should_fail_at`] at sites that know virtual time.
+    pub fn should_fail(&self, point: &str) -> bool {
+        self.check(point, None)
+    }
+
+    /// Like [`FaultPlan::should_fail`], with the site's virtual time
+    /// (trace time, not wall clock) so `t=A..B` windows can fire.
+    pub fn should_fail_at(&self, point: &str, now: Micros) -> bool {
+        self.check(point, Some(now))
+    }
+
+    /// Register a hit and, when the point should fail, return the
+    /// injected I/O error to propagate. The error message always
+    /// carries the point name so test assertions can recognize it.
+    pub fn fail_io(&self, point: &str) -> Option<io::Error> {
+        if self.should_fail(point) {
+            Some(io::Error::other(format!("injected fault: {point}")))
+        } else {
+            None
+        }
+    }
+
+    /// How many times `point` has been hit (checked) so far.
+    pub fn hits(&self, point: &str) -> u64 {
+        match &self.inner {
+            None => 0,
+            Some(inner) => lock(&inner.counters).hits.get(point).copied().unwrap_or(0),
+        }
+    }
+
+    /// How many times `point` has actually fired (failed) so far.
+    pub fn fired(&self, point: &str) -> u64 {
+        match &self.inner {
+            None => 0,
+            Some(inner) => lock(&inner.counters).fired.get(point).copied().unwrap_or(0),
+        }
+    }
+
+    fn check(&self, point: &str, now: Option<Micros>) -> bool {
+        let Some(inner) = &self.inner else {
+            return false;
+        };
+        let mut counters = lock(&inner.counters);
+        let hit = {
+            let slot = counters.hits.entry(point.to_owned()).or_insert(0);
+            *slot += 1;
+            *slot
+        };
+        let fires = inner
+            .rules
+            .iter()
+            .any(|r| r.matches(point) && r.fires(inner.seed, point, hit, now));
+        if fires {
+            *counters.fired.entry(point.to_owned()).or_insert(0) += 1;
+        }
+        fires
+    }
+}
+
+/// Lock a mutex, surviving poisoning (a panicking faulted thread must
+/// not wedge every other component sharing the plan).
+fn lock(m: &Mutex<Counters>) -> MutexGuard<'_, Counters> {
+    m.lock().unwrap_or_else(|poisoned| poisoned.into_inner())
+}
+
+fn parse_clause(clause: &str) -> Result<Rule, String> {
+    let (point, trigger) = clause
+        .split_once('@')
+        .ok_or_else(|| format!("fault clause `{clause}` is missing `@trigger`"))?;
+    let point = point.trim();
+    if point.is_empty() || point == "*" {
+        return Err(format!("fault clause `{clause}` has an empty point name"));
+    }
+    let (name, wildcard) = match point.strip_suffix('*') {
+        Some(prefix) => (prefix, true),
+        None => (point, false),
+    };
+    let trigger = parse_trigger(trigger.trim(), clause)?;
+    Ok(Rule {
+        point: name.to_owned(),
+        wildcard,
+        trigger,
+    })
+}
+
+fn parse_trigger(trigger: &str, clause: &str) -> Result<Trigger, String> {
+    if trigger == "once" {
+        return Ok(Trigger::Hits(1, Some(1)));
+    }
+    if trigger == "always" {
+        return Ok(Trigger::Always);
+    }
+    if let Some(n) = trigger.strip_prefix("hit=") {
+        let n: u64 = n
+            .parse()
+            .map_err(|_| format!("bad hit number in `{clause}`"))?;
+        if n == 0 {
+            return Err(format!("hit numbers are 1-based in `{clause}`"));
+        }
+        return Ok(Trigger::Hits(n, Some(n)));
+    }
+    if let Some(range) = trigger.strip_prefix("hits=") {
+        let (first, last) = parse_range(range, clause)?;
+        let first: u64 = first
+            .parse()
+            .map_err(|_| format!("bad hit range start in `{clause}`"))?;
+        if first == 0 {
+            return Err(format!("hit numbers are 1-based in `{clause}`"));
+        }
+        let last = match last {
+            "" => None,
+            s => {
+                let l: u64 = s
+                    .parse()
+                    .map_err(|_| format!("bad hit range end in `{clause}`"))?;
+                if l < first {
+                    return Err(format!("empty hit range in `{clause}`"));
+                }
+                Some(l)
+            }
+        };
+        return Ok(Trigger::Hits(first, last));
+    }
+    if let Some(n) = trigger.strip_prefix("every=") {
+        let n: u64 = n.parse().map_err(|_| format!("bad period in `{clause}`"))?;
+        if n == 0 {
+            return Err(format!("`every=` period must be positive in `{clause}`"));
+        }
+        return Ok(Trigger::Every(n));
+    }
+    if let Some(window) = trigger.strip_prefix("t=") {
+        let (start, end) = parse_range(window, clause)?;
+        let start = parse_duration(start, clause)?;
+        let end = match end {
+            "" => None,
+            s => {
+                let e = parse_duration(s, clause)?;
+                if e <= start {
+                    return Err(format!("empty time window in `{clause}`"));
+                }
+                Some(e)
+            }
+        };
+        return Ok(Trigger::Window(start, end));
+    }
+    if let Some(p) = trigger.strip_prefix("p=") {
+        let p: f64 = p
+            .parse()
+            .map_err(|_| format!("bad probability in `{clause}`"))?;
+        if !(0.0..=1.0).contains(&p) {
+            return Err(format!("probability out of [0, 1] in `{clause}`"));
+        }
+        return Ok(Trigger::Prob(p));
+    }
+    Err(format!(
+        "unknown trigger `{trigger}` in `{clause}` \
+         (expected once, always, hit=, hits=, every=, t=, or p=)"
+    ))
+}
+
+fn parse_range<'a>(range: &'a str, clause: &str) -> Result<(&'a str, &'a str), String> {
+    range
+        .split_once("..")
+        .map(|(a, b)| (a.trim(), b.trim()))
+        .ok_or_else(|| format!("expected `A..B` range in `{clause}`"))
+}
+
+fn parse_duration(text: &str, clause: &str) -> Result<Micros, String> {
+    let (digits, scale) = if let Some(d) = text.strip_suffix("us") {
+        (d, 1)
+    } else if let Some(d) = text.strip_suffix("ms") {
+        (d, 1_000)
+    } else if let Some(d) = text.strip_suffix('s') {
+        (d, 1_000_000)
+    } else {
+        return Err(format!(
+            "duration `{text}` in `{clause}` needs a us/ms/s suffix"
+        ));
+    };
+    let n: i64 = digits
+        .trim()
+        .parse()
+        .map_err(|_| format!("bad duration `{text}` in `{clause}`"))?;
+    if n < 0 {
+        return Err(format!("negative duration `{text}` in `{clause}`"));
+    }
+    n.checked_mul(scale)
+        .map(Micros)
+        .ok_or_else(|| format!("duration `{text}` in `{clause}` overflows"))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn disabled_plan_never_fires_and_never_counts() {
+        let plan = FaultPlan::disabled();
+        assert!(!plan.is_enabled());
+        for _ in 0..10 {
+            assert!(!plan.should_fail("anything"));
+        }
+        assert_eq!(plan.hits("anything"), 0);
+        assert_eq!(plan.fired("anything"), 0);
+    }
+
+    #[test]
+    fn once_fires_on_first_hit_only() {
+        let plan = FaultPlan::parse("follow.read@once", 0).unwrap();
+        assert!(plan.should_fail("follow.read"));
+        assert!(!plan.should_fail("follow.read"));
+        assert!(!plan.should_fail("follow.read"));
+        assert_eq!(plan.hits("follow.read"), 3);
+        assert_eq!(plan.fired("follow.read"), 1);
+    }
+
+    #[test]
+    fn hit_ranges_are_one_based_and_inclusive() {
+        let plan = FaultPlan::parse("p@hits=2..3", 0).unwrap();
+        let fired: Vec<bool> = (0..5).map(|_| plan.should_fail("p")).collect();
+        assert_eq!(fired, vec![false, true, true, false, false]);
+
+        let open = FaultPlan::parse("p@hits=3..", 0).unwrap();
+        let fired: Vec<bool> = (0..5).map(|_| open.should_fail("p")).collect();
+        assert_eq!(fired, vec![false, false, true, true, true]);
+
+        let nth = FaultPlan::parse("p@hit=2", 0).unwrap();
+        let fired: Vec<bool> = (0..3).map(|_| nth.should_fail("p")).collect();
+        assert_eq!(fired, vec![false, true, false]);
+    }
+
+    #[test]
+    fn every_n_fires_periodically() {
+        let plan = FaultPlan::parse("p@every=3", 0).unwrap();
+        let fired: Vec<bool> = (0..7).map(|_| plan.should_fail("p")).collect();
+        assert_eq!(fired, vec![false, false, true, false, false, true, false]);
+    }
+
+    #[test]
+    fn time_windows_fire_only_with_virtual_time() {
+        let plan = FaultPlan::parse("src.poll@t=3s..9s", 0).unwrap();
+        assert!(!plan.should_fail("src.poll"), "no time, no window match");
+        assert!(!plan.should_fail_at("src.poll", Micros(2_999_999)));
+        assert!(plan.should_fail_at("src.poll", Micros(3_000_000)));
+        assert!(plan.should_fail_at("src.poll", Micros(8_999_999)));
+        assert!(!plan.should_fail_at("src.poll", Micros(9_000_000)));
+
+        let open = FaultPlan::parse("src.poll@t=500ms..", 0).unwrap();
+        assert!(open.should_fail_at("src.poll", Micros(500_000)));
+        assert!(open.should_fail_at("src.poll", Micros(i64::MAX)));
+    }
+
+    #[test]
+    fn wildcard_points_match_by_prefix() {
+        let plan = FaultPlan::parse("store.*@always", 0).unwrap();
+        assert!(plan.should_fail("store.rename"));
+        assert!(plan.should_fail("store.fsync"));
+        assert!(!plan.should_fail("follow.read"));
+    }
+
+    #[test]
+    fn hit_counters_are_shared_across_clones() {
+        let plan = FaultPlan::parse("p@hit=2", 0).unwrap();
+        let clone = plan.clone();
+        assert!(!plan.should_fail("p"));
+        assert!(clone.should_fail("p"), "clone sees the shared hit count");
+        assert_eq!(plan.hits("p"), 2);
+    }
+
+    #[test]
+    fn probability_is_deterministic_in_the_seed() {
+        let a = FaultPlan::parse("p@p=0.5", 42).unwrap();
+        let b = FaultPlan::parse("p@p=0.5", 42).unwrap();
+        let fa: Vec<bool> = (0..64).map(|_| a.should_fail("p")).collect();
+        let fb: Vec<bool> = (0..64).map(|_| b.should_fail("p")).collect();
+        assert_eq!(fa, fb);
+        assert!(fa.iter().any(|&f| f), "p=0.5 over 64 hits should fire");
+        assert!(
+            !fa.iter().all(|&f| f),
+            "p=0.5 over 64 hits should also pass"
+        );
+
+        let c = FaultPlan::parse("p@p=0.5", 43).unwrap();
+        let fc: Vec<bool> = (0..64).map(|_| c.should_fail("p")).collect();
+        assert_ne!(fa, fc, "different seeds give different schedules");
+    }
+
+    #[test]
+    fn probability_extremes() {
+        let never = FaultPlan::parse("p@p=0.0", 7).unwrap();
+        assert!((0..32).all(|_| !never.should_fail("p")));
+        let always = FaultPlan::parse("p@p=1.0", 7).unwrap();
+        assert!((0..32).all(|_| always.should_fail("p")));
+    }
+
+    #[test]
+    fn fail_io_carries_the_point_name() {
+        let plan = FaultPlan::parse("store.fsync@once", 0).unwrap();
+        let err = plan.fail_io("store.fsync").expect("first hit fails");
+        assert!(err.to_string().contains("store.fsync"));
+        assert!(plan.fail_io("store.fsync").is_none());
+    }
+
+    #[test]
+    fn multi_clause_specs_and_whitespace() {
+        let plan = FaultPlan::parse(" a@once ; b@hits=1.. ;; ", 0).unwrap();
+        assert!(plan.should_fail("a"));
+        assert!(!plan.should_fail("a"));
+        assert!(plan.should_fail("b"));
+        assert!(plan.should_fail("b"));
+    }
+
+    #[test]
+    fn empty_spec_is_enabled_but_silent() {
+        let plan = FaultPlan::parse("", 0).unwrap();
+        assert!(plan.is_enabled());
+        assert!(!plan.should_fail("p"));
+        assert_eq!(plan.hits("p"), 1, "hits still count");
+    }
+
+    #[test]
+    fn parse_errors_are_descriptive() {
+        for (spec, needle) in [
+            ("nofault", "missing `@trigger`"),
+            ("@once", "empty point name"),
+            ("*@once", "empty point name"),
+            ("p@gibberish", "unknown trigger"),
+            ("p@hit=0", "1-based"),
+            ("p@hits=5..2", "empty hit range"),
+            ("p@t=9s..3s", "empty time window"),
+            ("p@t=3..9", "needs a us/ms/s suffix"),
+            ("p@p=1.5", "probability out of"),
+            ("p@every=0", "must be positive"),
+        ] {
+            let err = FaultPlan::parse(spec, 0).expect_err(spec);
+            assert!(err.contains(needle), "{spec}: {err}");
+        }
+    }
+}

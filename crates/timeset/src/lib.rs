@@ -39,7 +39,9 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+pub mod atomicfile;
 pub mod colenc;
+pub mod faultpoint;
 mod series;
 mod set;
 mod time;
