@@ -131,6 +131,7 @@ fn bench_streaming_vs_batch(c: &mut Criterion) {
             StreamOptions {
                 workers,
                 tracker: TrackerConfig::streaming(),
+                shards: 0,
             },
         );
         group.bench_function(format!("streaming_{workers}w"), |b| {

@@ -8,12 +8,22 @@
 
 use criterion::{black_box, criterion_group, criterion_main, Criterion, Throughput};
 use tdat_bench::hotpath::{
-    batch_analyze, decode_owned, decode_views, interleaved_pcap, MonitorScenario, StageInputs,
+    batch_analyze, batch_sharded, block_decode, decode_owned, decode_views, interleaved_pcap,
+    mmap_read, MonitorScenario, StageInputs,
 };
 use tdat_timeset::SpanScratch;
 
+/// Writes the bench capture to a temp file for the workloads that read
+/// through the filesystem (mmap ingest, sharded batch).
+fn capture_file(pcap: &[u8]) -> std::path::PathBuf {
+    let path = std::env::temp_dir().join(format!("tdat-hotpath-{}.pcap", std::process::id()));
+    std::fs::write(&path, pcap).expect("write bench capture");
+    path
+}
+
 fn bench_decode(c: &mut Criterion) {
     let (pcap, wire_bytes) = interleaved_pcap(8_000);
+    let path = capture_file(&pcap);
     let mut group = c.benchmark_group("hot_decode");
     group.throughput(Throughput::Bytes(wire_bytes));
     group.bench_function("decode_views", |b| {
@@ -22,7 +32,12 @@ fn bench_decode(c: &mut Criterion) {
     group.bench_function("decode_owned", |b| {
         b.iter(|| black_box(decode_owned(&pcap)))
     });
+    group.bench_function("mmap_read", |b| b.iter(|| black_box(mmap_read(&path))));
+    group.bench_function("block_decode", |b| {
+        b.iter(|| black_box(block_decode(&path)))
+    });
     group.finish();
+    std::fs::remove_file(&path).ok();
 }
 
 fn bench_stages(c: &mut Criterion) {
@@ -46,7 +61,14 @@ fn bench_batch(c: &mut Criterion) {
     group.bench_function("batch_read_all", |b| {
         b.iter(|| black_box(batch_analyze(&analyzer, &pcap)))
     });
+    let path = capture_file(&pcap);
+    for shards in [0usize, 2, 4] {
+        group.bench_function(format!("batch_sharded_{shards}"), |b| {
+            b.iter(|| black_box(batch_sharded(&path, shards)))
+        });
+    }
     group.finish();
+    std::fs::remove_file(&path).ok();
 }
 
 fn bench_monitor_ticks(c: &mut Criterion) {

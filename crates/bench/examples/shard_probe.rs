@@ -1,0 +1,55 @@
+//! Drift-cancelling A/B probe for the sharded batch analyzer: runs
+//! serial and sharded variants interleaved (ABCABC…) so slow host
+//! drift (frequency scaling, co-tenants) hits every variant equally,
+//! and reports median and minimum per variant. The minimum is the
+//! noise-robust statistic on a contended host; the bench-json medians
+//! are the gated numbers.
+//!
+//! ```text
+//! cargo run -p tdat-bench --release --example shard_probe -- [rounds]
+//! ```
+
+use tdat_bench::hotpath::{batch_sharded, interleaved_pcap};
+
+fn main() {
+    let rounds: usize = std::env::args()
+        .nth(1)
+        .and_then(|v| v.parse().ok())
+        .unwrap_or(15);
+    let (pcap, _) = interleaved_pcap(8_000);
+    let path = std::env::temp_dir().join(format!("tdat-shard-probe-{}.pcap", std::process::id()));
+    std::fs::write(&path, &pcap).expect("write probe capture");
+
+    let variants = [0usize, 2, 4];
+    let mut samples: Vec<Vec<u64>> = vec![Vec::new(); variants.len()];
+    // Warm-up round, unrecorded.
+    for &shards in &variants {
+        std::hint::black_box(batch_sharded(&path, shards));
+    }
+    for _ in 0..rounds {
+        for (i, &shards) in variants.iter().enumerate() {
+            let start = std::time::Instant::now();
+            std::hint::black_box(batch_sharded(&path, shards));
+            samples[i].push(start.elapsed().as_nanos() as u64);
+        }
+    }
+    let mut mins = Vec::new();
+    for (i, &shards) in variants.iter().enumerate() {
+        samples[i].sort_unstable();
+        let median = samples[i][samples[i].len() / 2];
+        let min = samples[i][0];
+        mins.push(min);
+        println!(
+            "batch_sharded_{shards}: median {:.3} ms  min {:.3} ms",
+            median as f64 / 1e6,
+            min as f64 / 1e6
+        );
+    }
+    for (i, &shards) in variants.iter().enumerate().skip(1) {
+        println!(
+            "shards {shards} vs serial: {:.2}x (min-based)",
+            mins[i] as f64 / mins[0] as f64
+        );
+    }
+    std::fs::remove_file(&path).ok();
+}

@@ -21,8 +21,8 @@
 use std::time::Instant;
 
 use tdat_bench::hotpath::{
-    batch_analyze, decode_owned, decode_views, interleaved_pcap, FleetScenario, MonitorScenario,
-    StageInputs,
+    batch_analyze, batch_sharded, block_decode, decode_owned, decode_views, interleaved_pcap,
+    mmap_read, FleetScenario, MonitorScenario, StageInputs,
 };
 use tdat_timeset::SpanScratch;
 
@@ -107,6 +107,11 @@ fn main() {
 
     eprintln!("preparing corpora...");
     let (pcap, wire_bytes) = interleaved_pcap(8_000);
+    // The mmap and sharded-batch workloads read the same capture
+    // through the filesystem, as the CLI does.
+    let pcap_path =
+        std::env::temp_dir().join(format!("tdat-bench-capture-{}.pcap", std::process::id()));
+    std::fs::write(&pcap_path, &pcap).expect("write bench capture");
     let stages = StageInputs::prepare();
     let mut scratch = SpanScratch::new();
     let analyzer = tdat::Analyzer::default();
@@ -132,8 +137,27 @@ fn main() {
     run("factors_only", &mut || {
         std::hint::black_box(stages.factors_only(&mut scratch));
     });
+    run("mmap_read", &mut || {
+        std::hint::black_box(mmap_read(&pcap_path));
+    });
+    run("block_decode", &mut || {
+        std::hint::black_box(block_decode(&pcap_path));
+    });
     run("batch_read_all", &mut || {
         std::hint::black_box(batch_analyze(&analyzer, &pcap));
+    });
+    // The partitioned batch engine over the same capture file: serial
+    // streaming driver vs. 2 and 4 persistent worker lanes. On one
+    // core the shard variants measure partition-and-merge overhead
+    // (acceptance: ≤1.1x of serial); with spare cores they scale.
+    run("batch_sharded_0", &mut || {
+        std::hint::black_box(batch_sharded(&pcap_path, 0));
+    });
+    run("batch_sharded_2", &mut || {
+        std::hint::black_box(batch_sharded(&pcap_path, 2));
+    });
+    run("batch_sharded_4", &mut || {
+        std::hint::black_box(batch_sharded(&pcap_path, 4));
     });
     run("monitor_ticks_1_active_0_idle", &mut || {
         std::hint::black_box(monitor_alone.run(false));
@@ -218,6 +242,7 @@ fn main() {
     });
     std::fs::remove_dir_all(&store_dir).ok();
     std::fs::remove_dir_all(&ingest_dir).ok();
+    std::fs::remove_file(&pcap_path).ok();
 
     let lookup = |name: &str| {
         results
@@ -232,6 +257,15 @@ fn main() {
         lookup("decode_owned") / lookup("decode_views"),
         lookup("monitor_steady_1_active_500_idle") / lookup("monitor_steady_1_active_0_idle"),
         wire_bytes as f64 / lookup("decode_views") * 1e9 / (1024.0 * 1024.0 * 1024.0),
+    );
+    eprintln!(
+        "derived: mmap/buffered view ratio {:.2}x, block/mmap ratio {:.2}x, \
+         sharded-2/serial {:.2}x, sharded-4/serial {:.2}x, block_decode {:.3} GiB/s",
+        lookup("mmap_read") / lookup("decode_views"),
+        lookup("block_decode") / lookup("mmap_read"),
+        lookup("batch_sharded_2") / lookup("batch_sharded_0"),
+        lookup("batch_sharded_4") / lookup("batch_sharded_0"),
+        wire_bytes as f64 / lookup("block_decode") * 1e9 / (1024.0 * 1024.0 * 1024.0),
     );
 
     let mut json = String::new();

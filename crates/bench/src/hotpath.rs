@@ -3,7 +3,12 @@
 //! binary, so both measure exactly the same code paths:
 //!
 //! - **decode** — pcap bytes to frames, zero-copy ([`decode_views`])
-//!   vs. allocating ([`decode_owned`]);
+//!   vs. allocating ([`decode_owned`]), plus the mmap ingest layers:
+//!   per-frame views straight out of a mapping ([`mmap_read`]) and
+//!   block decode with slot reuse ([`block_decode`]);
+//! - **sharded batch** — the partitioned single-capture analyzer at a
+//!   given shard count ([`batch_sharded`]), against the same capture
+//!   the serial end-to-end workload reads;
 //! - **analysis stages** — series generation and factor classification
 //!   in isolation, with a reused scratch pool ([`StageInputs`]);
 //! - **end to end** — the batch analyzer over a multi-connection
@@ -15,10 +20,13 @@
 //!   tracks new traffic, not open-connection count.
 
 use std::net::Ipv4Addr;
+use std::path::Path;
 
-use tdat::{Analyzer, AnalyzerConfig, DelayVector, SeriesSet};
+use tdat::{Analyzer, AnalyzerConfig, DelayVector, SeriesSet, StreamAnalyzer, StreamOptions};
 use tdat_monitor::{Monitor, MonitorConfig, ShardedMonitor, TrackerConfig};
-use tdat_packet::{FrameBuilder, PcapReader, PcapWriter, TcpFlags, TcpFrame};
+use tdat_packet::{
+    FrameBlock, FrameBuilder, FrameLike, MmapReader, PcapReader, PcapWriter, TcpFlags, TcpFrame,
+};
 use tdat_timeset::{Micros, Span, SpanScratch};
 use tdat_trace::{extract_connections, label_segments, LabelConfig, SegLabel};
 
@@ -75,6 +83,57 @@ pub fn decode_owned(pcap: &[u8]) -> u64 {
         .iter()
         .map(|f| f.payload.len() as u64)
         .sum()
+}
+
+/// Mmap ingest, per-frame: maps the capture file and walks it with
+/// [`MmapReader::next_view`], borrowing each frame straight out of the
+/// mapping; folds the payload bytes so the work cannot be optimized
+/// away.
+pub fn mmap_read(path: &Path) -> u64 {
+    let mut reader = MmapReader::open(path).expect("valid pcap header");
+    let mut sum = 0u64;
+    while let Some(view) = reader.next_view().expect("valid pcap record") {
+        sum += view.payload.len() as u64;
+    }
+    sum
+}
+
+/// Mmap ingest, block decode: maps the capture file and drains it
+/// through [`MmapReader::next_views_into`] with one reused
+/// [`FrameBlock`], so per-frame header state (including TCP option
+/// storage) amortizes across the run.
+pub fn block_decode(path: &Path) -> u64 {
+    let mut reader = MmapReader::open(path).expect("valid pcap header");
+    let mut block = FrameBlock::new();
+    let mut sum = 0u64;
+    loop {
+        let views = reader.next_views_into(&mut block).expect("valid records");
+        if views.is_empty() {
+            return sum;
+        }
+        for frame in &views {
+            sum += frame.payload().len() as u64;
+        }
+    }
+}
+
+/// The partitioned batch analyzer end to end: mmap + block decode +
+/// `shards` persistent worker lanes (0 = the serial streaming driver
+/// over the same capture file). Returns the connection count — by
+/// construction identical at every shard count.
+pub fn batch_sharded(path: &Path, shards: usize) -> usize {
+    let engine = StreamAnalyzer::with_options(
+        AnalyzerConfig::default(),
+        StreamOptions {
+            workers: 1,
+            tracker: tdat::TrackerConfig::batch(),
+            shards,
+        },
+    );
+    engine
+        .analyze_pcap(path)
+        .expect("valid capture analyzes")
+        .len()
 }
 
 /// Batch pipeline end to end: decode the capture into owned frames and

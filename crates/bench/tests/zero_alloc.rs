@@ -11,7 +11,9 @@ use std::alloc::{GlobalAlloc, Layout, System};
 use std::net::Ipv4Addr;
 use std::sync::atomic::{AtomicU64, Ordering};
 
-use tdat_packet::{FrameBuilder, PcapReader, PcapWriter, TcpFlags};
+use tdat_packet::{
+    FrameBlock, FrameBuilder, FrameLike, MmapReader, PcapReader, PcapWriter, TcpFlags, TcpOption,
+};
 use tdat_timeset::Micros;
 
 struct CountingAllocator;
@@ -115,6 +117,129 @@ fn steady_state_decode_allocates_nothing_per_frame() {
         0,
         "steady-state zero-copy decode must not allocate \
          ({} allocations over {frames} frames)",
+        after - before
+    );
+}
+
+/// Like [`capture`], but every frame carries a `Timestamps` option so
+/// the decode exercises the SWAR option scan and per-slot option
+/// storage. The warm-up frame is still the largest record.
+fn timestamp_capture(frames_after_warmup: usize) -> Vec<u8> {
+    let a = Ipv4Addr::new(10, 0, 0, 1);
+    let b = Ipv4Addr::new(10, 0, 0, 2);
+    let mut pcap = Vec::new();
+    let mut writer = PcapWriter::new(&mut pcap).expect("in-memory pcap");
+    let mut write = |frame| writer.write_frame(&frame).expect("in-memory pcap");
+    write(
+        FrameBuilder::new(a, b)
+            .ports(179, 40000)
+            .at(Micros(0))
+            .seq(0)
+            .flags(TcpFlags::SYN)
+            .option(TcpOption::Timestamps(1, 0))
+            .build(),
+    );
+    write(
+        FrameBuilder::new(a, b)
+            .ports(179, 40000)
+            .at(Micros(100))
+            .seq(1)
+            .flags(TcpFlags::ACK)
+            .option(TcpOption::Timestamps(2, 1))
+            .payload(vec![0xAB; 1448])
+            .build(),
+    );
+    let mut seq = 1 + 1448u32;
+    for i in 0..frames_after_warmup {
+        let len = 600 + (i % 3) * 400;
+        write(
+            FrameBuilder::new(a, b)
+                .ports(179, 40000)
+                .at(Micros(200 + i as i64 * 50))
+                .seq(seq)
+                .ack_to(1)
+                .flags(TcpFlags::ACK)
+                .option(TcpOption::Timestamps(3 + i as u32, 2 + i as u32))
+                .payload(vec![0xCD; len])
+                .build(),
+        );
+        seq += len as u32;
+    }
+    let _ = &mut write;
+    pcap
+}
+
+/// The mmap path borrows frames straight out of the mapping — there is
+/// no record buffer to warm up, so steady state begins immediately
+/// after construction.
+#[test]
+fn mmap_steady_state_decode_allocates_nothing_per_frame() {
+    const FRAMES: usize = 256;
+    let mut reader = MmapReader::from_vec(capture(FRAMES)).expect("valid pcap");
+    for _ in 0..2 {
+        let view = reader.next_view().expect("valid record");
+        assert!(view.is_some(), "warm-up frames present");
+    }
+
+    let before = ALLOCATIONS.load(Ordering::SeqCst);
+    let mut frames = 0usize;
+    let mut payload_bytes = 0u64;
+    while let Some(view) = reader.next_view().expect("valid record") {
+        frames += 1;
+        payload_bytes += view.payload.len() as u64;
+    }
+    let after = ALLOCATIONS.load(Ordering::SeqCst);
+
+    assert_eq!(frames, FRAMES);
+    assert!(payload_bytes > 0);
+    assert_eq!(
+        after - before,
+        0,
+        "mmap steady-state decode must not allocate \
+         ({} allocations over {frames} frames)",
+        after - before
+    );
+}
+
+/// Block decode reuses the `FrameBlock`'s slots *including their
+/// per-slot option storage*: after one full block has sized every
+/// slot, further blocks decode frames that carry TCP options (the
+/// per-frame `FrameView` path would allocate an option `Vec` for each)
+/// with zero allocations.
+#[test]
+fn block_decode_reuses_frame_block_with_zero_allocations() {
+    // 2 warm-up frames + 766 data frames = 3 exact blocks of 256.
+    const AFTER_WARMUP: usize = 766;
+    let mut reader = MmapReader::from_vec(timestamp_capture(AFTER_WARMUP)).expect("valid pcap");
+    let mut block = FrameBlock::new();
+
+    // Warm-up block: grows the slot vector and every slot's option
+    // storage to steady state.
+    let warm = reader.next_views_into(&mut block).expect("valid records");
+    assert_eq!(warm.len(), 256, "first block fills completely");
+
+    let before = ALLOCATIONS.load(Ordering::SeqCst);
+    let mut frames = 0usize;
+    let mut options = 0usize;
+    loop {
+        let views = reader.next_views_into(&mut block).expect("valid records");
+        if views.is_empty() {
+            break;
+        }
+        for frame in &views {
+            frames += 1;
+            options += frame.tcp().options.len();
+        }
+    }
+    let after = ALLOCATIONS.load(Ordering::SeqCst);
+
+    assert_eq!(frames, AFTER_WARMUP + 2 - 256);
+    assert_eq!(options, frames, "every frame carries its Timestamps option");
+    assert_eq!(
+        after - before,
+        0,
+        "block decode with slot reuse must not allocate \
+         ({} allocations over {frames} option-bearing frames)",
         after - before
     );
 }

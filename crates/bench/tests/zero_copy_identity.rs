@@ -74,6 +74,7 @@ fn streaming_zero_copy_reports_match_batch_reports() {
         StreamOptions {
             workers: 1,
             tracker: TrackerConfig::streaming(),
+            shards: 0,
         },
     );
     let dir = std::env::temp_dir();

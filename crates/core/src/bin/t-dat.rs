@@ -2,7 +2,7 @@
 //!
 //! ```text
 //! t-dat <trace.pcap> [--json] [--plot] [--tsplot] [--series]
-//!       [--threshold 0.3] [--workers N]
+//!       [--threshold 0.3] [--workers N] [--shards N]
 //! ```
 //!
 //! Streams a pcap capture of BGP sessions through the
@@ -10,14 +10,18 @@
 //! analysis threads), identifies each connection's table transfer, and
 //! prints the delay-factor report; `--plot` adds the BGPlot
 //! square-wave view and `--series` lists every series with its delay
-//! ratio.
+//! ratio. `--shards N` switches to the partitioned batch engine: the
+//! capture is memory-mapped, frames are block-decoded straight out of
+//! the mapping, and connections are fanned out to `N` persistent
+//! worker lanes by connection hash — output is byte-identical to the
+//! serial run.
 
 use std::process::ExitCode;
 
 use tdat::{StreamAnalyzer, StreamOptions, TrackerConfig};
 
 const USAGE: &str = "usage: t-dat <trace.pcap> [--json] [--plot] [--tsplot] [--series] \
-                     [--threshold 0.3] [--workers N]";
+                     [--threshold 0.3] [--workers N] [--shards N]";
 
 fn main() -> ExitCode {
     let mut args = std::env::args().skip(1);
@@ -28,6 +32,7 @@ fn main() -> ExitCode {
     let mut series = false;
     let mut threshold = 0.3f64;
     let mut workers = 0usize;
+    let mut shards = 0usize;
     while let Some(arg) = args.next() {
         match arg.as_str() {
             "--plot" => plot = true,
@@ -47,6 +52,13 @@ fn main() -> ExitCode {
                     return ExitCode::from(2);
                 };
                 workers = v;
+            }
+            "--shards" => {
+                let Some(v) = args.next().and_then(|v| v.parse().ok()) else {
+                    eprintln!("--shards needs a shard count (0 = serial)");
+                    return ExitCode::from(2);
+                };
+                shards = v;
             }
             "--help" | "-h" => {
                 eprintln!("{USAGE}");
@@ -81,6 +93,7 @@ fn main() -> ExitCode {
             // The CLI reports on the whole capture, so hold every
             // connection to its last frame like the batch path.
             tracker: TrackerConfig::batch(),
+            shards,
         },
     );
     let analyzer = engine.analyzer();

@@ -88,6 +88,7 @@ pub mod preprocess;
 mod quarantine;
 pub mod report;
 pub mod series;
+mod shardbatch;
 mod stream;
 
 pub use analyzer::{Analysis, Analyzer};

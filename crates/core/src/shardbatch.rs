@@ -1,0 +1,623 @@
+//! Sharded single-capture batch analysis.
+//!
+//! [`StreamAnalyzer`] with [`StreamOptions::shards`] `> 0` partitions
+//! one capture across persistent worker lanes while producing output
+//! byte-identical to the serial driver. The split follows the sharded
+//! monitor's recipe ([`tdat_trace::shard_of`] over the normalized
+//! connection key, so a connection's frames always land on one lane)
+//! and reuses its lifecycle/routed tracker split:
+//!
+//! * the **coordinator** (the calling thread) decodes frames — block
+//!   decode straight out of an [`MmapReader`](tdat_packet::MmapReader)
+//!   mapping on the pcap path — and runs a
+//!   [`ConnectionTracker::lifecycle`] router that makes every policy
+//!   decision (ordinals, sweep order, eviction) exactly like the serial
+//!   tracker;
+//! * each **lane** (a [`WorkerPool`] worker) owns a routed
+//!   [`ConnectionTracker`] plus a [`BgpDemux`] for its slice of the
+//!   connection space and runs extraction + analysis, so the expensive
+//!   per-connection work runs off the decode thread;
+//! * ops flow lane-ward in batches over bounded SPSC rings
+//!   ([`tdat_timeset::workpool`]), and analyses flow back tagged with
+//!   the **global finalization sequence** the router assigned, which a
+//!   reorder buffer restores — delivery order, and therefore report
+//!   JSON, is byte-for-byte the serial driver's.
+//!
+//! Determinism argument, in one breath: the router replicates the
+//! serial tracker's decisions (`lifecycle` is policy-identical by
+//! construction), each lane sees exactly the frames of its own
+//! connections in capture order (hash partition by connection key +
+//! FIFO rings), `analyze_extracted` is a pure function of
+//! `(connection, extraction, counts)`, and the reorder buffer emits in
+//! router-finalization order. Nothing observable depends on lane
+//! scheduling.
+
+use std::collections::HashMap;
+use std::path::Path;
+use std::sync::Arc;
+
+use tdat_packet::{
+    AnomalyCounts, CaptureAnomaly, FrameBlock, FrameLike, Ipv4Header, LossyReader, MmapReader,
+    TcpFrame, TcpHeader,
+};
+use tdat_timeset::workpool::WorkerPool;
+use tdat_timeset::Micros;
+use tdat_trace::{shard_of, ConnKey, ConnectionTracker, TrackerConfig};
+
+use crate::analyzer::{Analysis, Analyzer};
+use crate::error::{Error, Result};
+use crate::stream::{connection_of, BgpDemux, LossyRunReport, ReorderBuffer, StreamAnalyzer};
+
+/// Ops per batch shipped to a lane. Large enough to amortize the ring
+/// hand-off (one mutex round-trip per batch, not per frame), small
+/// enough that lanes start working while the coordinator is still
+/// decoding.
+const BATCH_OPS: usize = 256;
+
+/// Batches in flight per lane before the coordinator blocks
+/// (backpressure): bounds coordinator run-ahead, and with it the owned
+/// frames alive at once, to `shards * RING_DEPTH * BATCH_OPS`.
+const RING_DEPTH: usize = 4;
+
+/// The headers of a frame materialized for shipment to a lane:
+/// exactly the fields the [`FrameLike`] consumers on the other side
+/// (routed tracker, BGP demux) read, minus the payload — that lives
+/// in the batch's shared arena. The link-layer header is dropped — no
+/// analysis stage looks at it.
+#[derive(Debug)]
+struct FrameMeta {
+    timestamp: Micros,
+    ip: Ipv4Header,
+    tcp: TcpHeader,
+}
+
+impl FrameMeta {
+    fn of(frame: &impl FrameLike) -> FrameMeta {
+        FrameMeta {
+            timestamp: frame.timestamp(),
+            ip: frame.ip().clone(),
+            tcp: frame.tcp().clone(),
+        }
+    }
+}
+
+/// A shipped frame reassembled on the lane side: headers from the op,
+/// payload borrowed from the batch arena.
+struct LaneFrame<'a> {
+    meta: FrameMeta,
+    payload: &'a [u8],
+}
+
+impl FrameLike for LaneFrame<'_> {
+    fn timestamp(&self) -> Micros {
+        self.meta.timestamp
+    }
+    fn ip(&self) -> &Ipv4Header {
+        &self.meta.ip
+    }
+    fn tcp(&self) -> &TcpHeader {
+        &self.meta.tcp
+    }
+    fn payload(&self) -> &[u8] {
+        self.payload
+    }
+}
+
+/// One instruction to a lane, in strict per-lane FIFO order.
+#[derive(Debug)]
+enum BatchOp {
+    /// Ingest a frame of a connection this lane owns, under the
+    /// router-assigned ordinal and global frame index. The payload is
+    /// `payload` of the carrying [`Batch`]'s arena.
+    Frame {
+        meta: FrameMeta,
+        payload: std::ops::Range<usize>,
+        ordinal: u64,
+        index: usize,
+    },
+    /// The router finalized `key`: build, extract, and analyze it,
+    /// tagging the result with global sequence `seq`.
+    Finalize {
+        key: ConnKey,
+        seq: usize,
+        counts: AnomalyCounts,
+    },
+}
+
+/// A batch of ops plus one shared payload arena: frame payloads append
+/// to `bytes` and ops reference them by range, so shipping a batch
+/// costs two allocations — not one `Vec` per frame.
+#[derive(Debug)]
+struct Batch {
+    ops: Vec<BatchOp>,
+    bytes: Vec<u8>,
+}
+
+impl Batch {
+    fn empty() -> Batch {
+        Batch {
+            ops: Vec::with_capacity(BATCH_OPS),
+            bytes: Vec::new(),
+        }
+    }
+}
+
+/// Per-lane state: the routed tracker and demux for this lane's slice
+/// of the connection space. Built on the lane's own thread, never moved.
+struct ShardLane {
+    tracker: ConnectionTracker,
+    demux: BgpDemux,
+}
+
+/// The coordinator side of a sharded batch run. Feed frames with
+/// [`step`](Self::step) (capture order), then [`finish`](Self::finish).
+struct ShardCoordinator<F: FnMut(Analysis)> {
+    router: ConnectionTracker,
+    pool: WorkerPool<Batch, Vec<(usize, Analysis)>>,
+    /// Per-lane batch being accumulated (flushed at [`BATCH_OPS`]).
+    pending: Vec<Batch>,
+    /// Batches sent to / results received from each lane: every batch
+    /// yields exactly one result, so `sent - received` is the per-lane
+    /// drain obligation.
+    sent: Vec<usize>,
+    received: Vec<usize>,
+    reorder: ReorderBuffer,
+    /// Finalization sequence numbers issued so far.
+    dispatched: usize,
+    /// Capture-quality anomalies per still-open connection (lossy runs).
+    quality: HashMap<ConnKey, AnomalyCounts>,
+    shards: usize,
+    on_result: F,
+}
+
+impl<F: FnMut(Analysis)> ShardCoordinator<F> {
+    fn new(
+        analyzer: &Analyzer,
+        tracker: TrackerConfig,
+        shards: usize,
+        on_result: F,
+    ) -> ShardCoordinator<F> {
+        let shards = shards.max(1);
+        let analyzer = Arc::new(analyzer.clone());
+        let pool = WorkerPool::new(
+            shards,
+            RING_DEPTH,
+            |_lane| ShardLane {
+                // Policy lives on the router; routed ingestion runs
+                // none, so the lane tracker's config is inert — batch()
+                // documents that it never finalizes on its own.
+                tracker: ConnectionTracker::new(TrackerConfig::batch()),
+                demux: BgpDemux::new(),
+            },
+            move |lane: &mut ShardLane, batch: Batch| {
+                let mut out = Vec::new();
+                let Batch { ops, bytes } = batch;
+                for op in ops {
+                    match op {
+                        BatchOp::Frame {
+                            meta,
+                            payload,
+                            ordinal,
+                            index,
+                        } => {
+                            let frame = LaneFrame {
+                                meta,
+                                payload: &bytes[payload],
+                            };
+                            lane.demux.feed(&frame);
+                            lane.tracker.ingest_routed(&frame, ordinal, index);
+                        }
+                        BatchOp::Finalize { key, seq, counts } => {
+                            let fin = lane
+                                .tracker
+                                .finalize_key(key)
+                                .expect("router-finalized key is open in its lane");
+                            let extraction = lane.demux.take(fin.key, fin.connection.sender);
+                            out.push((
+                                seq,
+                                analyzer.analyze_extracted_lossy(
+                                    fin.connection,
+                                    &extraction,
+                                    counts,
+                                ),
+                            ));
+                        }
+                    }
+                }
+                // Empty batches still answer: the coordinator counts one
+                // result per batch to know when a lane is drained.
+                Some(out)
+            },
+        );
+        ShardCoordinator {
+            router: ConnectionTracker::lifecycle(tracker, 0),
+            pool,
+            pending: (0..shards).map(|_| Batch::empty()).collect(),
+            sent: vec![0; shards],
+            received: vec![0; shards],
+            reorder: ReorderBuffer::default(),
+            dispatched: 0,
+            quality: HashMap::new(),
+            shards,
+            on_result,
+        }
+    }
+
+    /// Records capture anomalies against a connection so its eventual
+    /// `Finalize` op carries them (lossy runs only).
+    fn note_anomalies(&mut self, key: ConnKey, anomalies: &[CaptureAnomaly]) {
+        let counts = self.quality.entry(key).or_default();
+        for anomaly in anomalies {
+            counts.note(anomaly);
+        }
+    }
+
+    /// Ingests one frame in capture order: routes it to its lane, and
+    /// turns every router finalization into a `Finalize` op carrying
+    /// the next global sequence number.
+    fn step(&mut self, frame: &impl FrameLike) -> Result<()> {
+        let key = ConnKey::of(frame);
+        let index = self.router.frames_seen();
+        let (ordinal, finalized) = self.router.ingest_with_ordinal(frame);
+        let lane = shard_of(&key, self.shards);
+        let arena = &mut self.pending[lane].bytes;
+        let start = arena.len();
+        arena.extend_from_slice(frame.payload());
+        let payload = start..arena.len();
+        self.push_op(
+            lane,
+            BatchOp::Frame {
+                meta: FrameMeta::of(frame),
+                payload,
+                ordinal,
+                index,
+            },
+        )?;
+        for fin in finalized {
+            self.dispatch_finalize(fin.key)?;
+        }
+        Ok(())
+    }
+
+    fn dispatch_finalize(&mut self, key: ConnKey) -> Result<()> {
+        let seq = self.dispatched;
+        self.dispatched += 1;
+        let counts = self.quality.remove(&key).unwrap_or_default();
+        self.push_op(
+            shard_of(&key, self.shards),
+            BatchOp::Finalize { key, seq, counts },
+        )
+    }
+
+    fn push_op(&mut self, lane: usize, op: BatchOp) -> Result<()> {
+        self.pending[lane].ops.push(op);
+        if self.pending[lane].ops.len() >= BATCH_OPS {
+            self.flush_lane(lane)?;
+        }
+        Ok(())
+    }
+
+    fn flush_lane(&mut self, lane: usize) -> Result<()> {
+        if self.pending[lane].ops.is_empty() {
+            return Ok(());
+        }
+        // Drain *before* sending, so result rings are empty whenever a
+        // send could block on a full job ring. A blocked send then
+        // always unblocks: the lane must pop a job to make progress —
+        // freeing our slot — before it can push another result, so it
+        // can never be wedged on a full result ring while we wait.
+        // Draining here (once per batch) rather than once per frame
+        // keeps the coordinator's ring traffic off the per-frame path.
+        self.drain_ready();
+        let batch = std::mem::replace(&mut self.pending[lane], Batch::empty());
+        if !self.pool.send(lane, batch) {
+            return Err(Error::WorkerLost);
+        }
+        self.sent[lane] += 1;
+        Ok(())
+    }
+
+    /// Opportunistically collects finished batches so lanes never stall
+    /// on a full result ring while the coordinator is still decoding.
+    fn drain_ready(&mut self) {
+        for lane in 0..self.shards {
+            while let Some(results) = self.pool.try_recv(lane) {
+                self.received[lane] += 1;
+                for (seq, analysis) in results {
+                    self.reorder.insert(seq, analysis, &mut self.on_result);
+                }
+            }
+        }
+    }
+
+    /// End of capture: finalizes every still-open connection (router
+    /// ordinal order, like the serial driver), flushes all lanes, and
+    /// blocks until every dispatched analysis has been re-ordered out.
+    fn finish(mut self) -> Result<()> {
+        let router = std::mem::replace(
+            &mut self.router,
+            ConnectionTracker::lifecycle(TrackerConfig::batch(), 0),
+        );
+        for fin in router.finish() {
+            self.dispatch_finalize(fin.key)?;
+        }
+        for lane in 0..self.shards {
+            self.flush_lane(lane)?;
+        }
+        for lane in 0..self.shards {
+            while self.received[lane] < self.sent[lane] {
+                let results = self.pool.recv(lane).ok_or(Error::WorkerLost)?;
+                self.received[lane] += 1;
+                for (seq, analysis) in results {
+                    self.reorder.insert(seq, analysis, &mut self.on_result);
+                }
+            }
+        }
+        if self.reorder.emitted != self.dispatched {
+            // A lane died between answering its batches and building
+            // every analysis it owed (it cannot happen without a
+            // panic, which also closes the ring — belt and braces).
+            return Err(Error::WorkerLost);
+        }
+        Ok(())
+    }
+}
+
+impl StreamAnalyzer {
+    /// Sharded pcap driver: mmap the capture, block-decode frames out
+    /// of the mapping, and fan connections out to persistent lanes.
+    pub(crate) fn drive_sharded_pcap<F>(&self, path: &Path, on_result: F) -> Result<()>
+    where
+        F: FnMut(Analysis),
+    {
+        let mut reader = MmapReader::open(path)?;
+        let mut block = FrameBlock::new();
+        let mut coordinator = ShardCoordinator::new(
+            self.analyzer(),
+            self.options().tracker,
+            self.options().shards,
+            on_result,
+        );
+        loop {
+            let views = reader.next_views_into(&mut block)?;
+            if views.is_empty() {
+                break;
+            }
+            for frame in &views {
+                coordinator.step(&frame)?;
+            }
+        }
+        coordinator.finish()
+    }
+
+    /// Sharded driver over already-decoded owned frames.
+    pub(crate) fn drive_sharded_stream<I, F>(&self, frames: I, on_result: F) -> Result<()>
+    where
+        I: IntoIterator<Item = tdat_packet::Result<TcpFrame>>,
+        F: FnMut(Analysis),
+    {
+        let mut coordinator = ShardCoordinator::new(
+            self.analyzer(),
+            self.options().tracker,
+            self.options().shards,
+            on_result,
+        );
+        for frame in frames {
+            coordinator.step(&frame?)?;
+        }
+        coordinator.finish()
+    }
+
+    /// Sharded lossy driver: the coordinator keeps the capture-quality
+    /// ledger and the run report; lanes do extraction + analysis.
+    pub(crate) fn drive_sharded_lossy<R, F>(
+        &self,
+        mut reader: LossyReader<R>,
+        mut on_result: F,
+    ) -> Result<LossyRunReport>
+    where
+        R: std::io::Read,
+        F: FnMut(Analysis),
+    {
+        let mut report = LossyRunReport::default();
+        {
+            let mut coordinator = ShardCoordinator::new(
+                self.analyzer(),
+                self.options().tracker,
+                self.options().shards,
+                |analysis: Analysis| {
+                    report.connections += 1;
+                    if analysis.verdict.is_quarantined() {
+                        report.quarantined += 1;
+                    }
+                    on_result(analysis);
+                },
+            );
+            while let Some(lossy) = reader.next_lossy_view()? {
+                if lossy.is_cross_traffic() {
+                    continue;
+                }
+                if let Some(key) = connection_of(&lossy) {
+                    coordinator.note_anomalies(key, &lossy.anomalies);
+                }
+                let Some(frame) = &lossy.frame else { continue };
+                coordinator.step(frame)?;
+            }
+            coordinator.finish()?;
+        }
+        report.counts = *reader.counts();
+        report.frames = reader.decoder().frames_decoded();
+        report.cross_traffic = reader.decoder().cross_traffic();
+        Ok(report)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::config::AnalyzerConfig;
+    use crate::stream::StreamOptions;
+    use std::net::Ipv4Addr as Ip;
+    use tdat_packet::{FrameBuilder, TcpFlags};
+
+    fn exchange(a: Ip, b: Ip, t0: i64) -> Vec<TcpFrame> {
+        vec![
+            FrameBuilder::new(a, b)
+                .at(Micros(t0))
+                .ports(179, 40000)
+                .seq(100)
+                .flags(TcpFlags::SYN)
+                .build(),
+            FrameBuilder::new(b, a)
+                .at(Micros(t0 + 100))
+                .ports(40000, 179)
+                .seq(900)
+                .ack_to(101)
+                .flags(TcpFlags::SYN | TcpFlags::ACK)
+                .build(),
+            FrameBuilder::new(a, b)
+                .at(Micros(t0 + 200))
+                .ports(179, 40000)
+                .seq(101)
+                .ack_to(901)
+                .payload(vec![0xca; 700])
+                .build(),
+            FrameBuilder::new(b, a)
+                .at(Micros(t0 + 400))
+                .ports(40000, 179)
+                .seq(901)
+                .ack_to(801)
+                .build(),
+        ]
+    }
+
+    fn mixed_trace() -> Vec<TcpFrame> {
+        let mut frames = Vec::new();
+        for i in 0..6u8 {
+            frames.extend(exchange(
+                Ip::new(10, 0, i, 1),
+                Ip::new(10, 0, 0, 200),
+                i as i64 * 900,
+            ));
+        }
+        frames.sort_by_key(|f| f.timestamp);
+        frames
+    }
+
+    fn summaries(analyses: &[Analysis]) -> Vec<String> {
+        let config = AnalyzerConfig::default();
+        analyses
+            .iter()
+            .map(|a| crate::report::Report::from_analysis(a, &config).to_json())
+            .collect()
+    }
+
+    #[test]
+    fn sharded_stream_matches_serial_reports() {
+        let frames = mixed_trace();
+        let serial = StreamAnalyzer::with_options(
+            AnalyzerConfig::default(),
+            StreamOptions {
+                workers: 1,
+                tracker: TrackerConfig::batch(),
+                shards: 0,
+            },
+        );
+        let mut want = Vec::new();
+        serial
+            .analyze_stream(frames.iter().cloned().map(Ok), |a| want.push(a))
+            .unwrap();
+        for shards in [1, 2, 3, 7] {
+            let engine = StreamAnalyzer::with_options(
+                AnalyzerConfig::default(),
+                StreamOptions {
+                    workers: 1,
+                    tracker: TrackerConfig::batch(),
+                    shards,
+                },
+            );
+            let mut got = Vec::new();
+            engine
+                .analyze_stream(frames.iter().cloned().map(Ok), |a| got.push(a))
+                .unwrap();
+            assert_eq!(
+                summaries(&got),
+                summaries(&want),
+                "{shards}-shard run must render byte-identical reports"
+            );
+        }
+    }
+
+    #[test]
+    fn sharded_streaming_policy_matches_serial() {
+        // Streaming tracker config: idle/close finalization mid-run and
+        // a tight cap forcing evictions — the policy replication path.
+        let mut frames = Vec::new();
+        for i in 0..8u8 {
+            frames.extend(exchange(
+                Ip::new(10, 1, i, 1),
+                Ip::new(10, 0, 0, 200),
+                i as i64 * 9_000_000,
+            ));
+        }
+        frames.sort_by_key(|f| f.timestamp);
+        let tracker = TrackerConfig {
+            max_connections: Some(3),
+            ..TrackerConfig::streaming()
+        };
+        let serial = StreamAnalyzer::with_options(
+            AnalyzerConfig::default(),
+            StreamOptions {
+                workers: 1,
+                tracker,
+                shards: 0,
+            },
+        );
+        let mut want = Vec::new();
+        serial
+            .analyze_stream(frames.iter().cloned().map(Ok), |a| want.push(a))
+            .unwrap();
+        let engine = StreamAnalyzer::with_options(
+            AnalyzerConfig::default(),
+            StreamOptions {
+                workers: 1,
+                tracker,
+                shards: 4,
+            },
+        );
+        let mut got = Vec::new();
+        engine
+            .analyze_stream(frames.iter().cloned().map(Ok), |a| got.push(a))
+            .unwrap();
+        assert!(!want.is_empty());
+        assert_eq!(summaries(&got), summaries(&want));
+    }
+
+    #[test]
+    fn sharded_pcap_matches_serial_pcap() {
+        let frames = mixed_trace();
+        let dir = std::env::temp_dir().join("tdat_shardbatch_pcap");
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("mixed.pcap");
+        tdat_packet::write_pcap_file(&path, frames.iter()).unwrap();
+        let serial = StreamAnalyzer::with_options(
+            AnalyzerConfig::default(),
+            StreamOptions {
+                workers: 1,
+                tracker: TrackerConfig::batch(),
+                shards: 0,
+            },
+        );
+        let want = serial.analyze_pcap(&path).unwrap();
+        let engine = StreamAnalyzer::with_options(
+            AnalyzerConfig::default(),
+            StreamOptions {
+                workers: 1,
+                tracker: TrackerConfig::batch(),
+                shards: 2,
+            },
+        );
+        let got = engine.analyze_pcap(&path).unwrap();
+        assert_eq!(summaries(&got), summaries(&want));
+    }
+}

@@ -41,6 +41,15 @@ pub struct StreamOptions {
     pub workers: usize,
     /// When connections are finalized (close/idle policy).
     pub tracker: TrackerConfig,
+    /// Partitioned batch mode: `> 0` splits the capture across this
+    /// many persistent worker lanes by connection hash
+    /// ([`tdat_trace::shard_of`]), each owning its slice's tracking,
+    /// reassembly, and analysis, with results merged back to serial
+    /// finalization order — output is byte-identical to `shards: 0`.
+    /// On the pcap path the sharded driver also ingests via
+    /// mmap + block decode. `0` (the default) keeps the serial/pooled
+    /// drivers selected by [`workers`](Self::workers).
+    pub shards: usize,
 }
 
 /// A pull source of frames for the streaming drivers: either borrowed
@@ -117,6 +126,11 @@ impl StreamAnalyzer {
         &self.analyzer
     }
 
+    /// The engine's options (used by the sharded batch driver).
+    pub(crate) fn options(&self) -> &StreamOptions {
+        &self.options
+    }
+
     fn effective_workers(&self) -> usize {
         let hw = std::thread::available_parallelism()
             .map(|n| n.get())
@@ -140,6 +154,9 @@ impl StreamAnalyzer {
     where
         F: FnMut(Analysis),
     {
+        if self.options.shards > 0 {
+            return self.drive_sharded_pcap(path.as_ref(), on_result);
+        }
         let source = ReaderSource(PcapReader::open(path)?);
         if self.effective_workers() <= 1 {
             self.drive_inline(source, on_result)
@@ -171,6 +188,9 @@ impl StreamAnalyzer {
         I: IntoIterator<Item = tdat_packet::Result<TcpFrame>>,
         F: FnMut(Analysis),
     {
+        if self.options.shards > 0 {
+            return self.drive_sharded_stream(frames, on_result);
+        }
         let source = IterSource(frames.into_iter());
         if self.effective_workers() <= 1 {
             self.drive_inline(source, on_result)
@@ -348,6 +368,9 @@ impl StreamAnalyzer {
         R: std::io::Read,
         F: FnMut(Analysis),
     {
+        if self.options.shards > 0 {
+            return self.drive_sharded_lossy(reader, on_result);
+        }
         let mut tracker = ConnectionTracker::new(self.options.tracker);
         let mut demux = BgpDemux::default();
         let mut quality: HashMap<ConnKey, AnomalyCounts> = HashMap::new();
@@ -403,7 +426,7 @@ impl StreamAnalyzer {
 
 /// The connection a lossy decode outcome is attributable to, if the
 /// frame survived or at least its addresses could be trusted.
-fn connection_of(lossy: &LossyFrameView<'_>) -> Option<ConnKey> {
+pub(crate) fn connection_of(lossy: &LossyFrameView<'_>) -> Option<ConnKey> {
     if let Some(frame) = &lossy.frame {
         return Some(ConnKey::of(frame));
     }
@@ -477,14 +500,19 @@ impl BgpDemux {
 
 /// Re-orders worker results back to dispatch order.
 #[derive(Debug, Default)]
-struct ReorderBuffer {
+pub(crate) struct ReorderBuffer {
     held: BTreeMap<usize, Analysis>,
     next: usize,
-    emitted: usize,
+    pub(crate) emitted: usize,
 }
 
 impl ReorderBuffer {
-    fn insert(&mut self, seq: usize, analysis: Analysis, on_result: &mut impl FnMut(Analysis)) {
+    pub(crate) fn insert(
+        &mut self,
+        seq: usize,
+        analysis: Analysis,
+        on_result: &mut impl FnMut(Analysis),
+    ) {
         self.held.insert(seq, analysis);
         while let Some(analysis) = self.held.remove(&self.next) {
             on_result(analysis);
@@ -519,6 +547,7 @@ mod tests {
             StreamOptions {
                 workers: 3,
                 tracker: TrackerConfig::default(),
+                shards: 0,
             },
         );
         assert_eq!(

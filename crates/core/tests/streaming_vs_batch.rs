@@ -63,6 +63,7 @@ fn batch_options(workers: usize) -> StreamOptions {
     StreamOptions {
         workers,
         tracker: TrackerConfig::batch(),
+        shards: 0,
     }
 }
 
@@ -124,6 +125,7 @@ fn streaming_finalization_policy_still_covers_every_connection() {
         StreamOptions {
             workers: 1,
             tracker: TrackerConfig::streaming(),
+            shards: 0,
         },
     );
     let mut streamed = Vec::new();

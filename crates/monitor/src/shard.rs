@@ -22,9 +22,12 @@
 //!   source — tracker metadata, BGP demux, quality counters, and the
 //!   per-connection incremental tick cache — for just its partition of
 //!   the connection space. Shards touch no shared state: between
-//!   flushes the coordinator owns everything, and during a flush each
-//!   worker thread owns exactly one shard (`std::thread::scope`
-//!   fork-join, no locks on the hot path).
+//!   flushes the coordinator owns everything, and during a parallel
+//!   flush each shard is *shipped* (moved, not borrowed) to its
+//!   persistent worker lane — a [`tdat_timeset::workpool::WorkerPool`]
+//!   thread parked on a bounded ring between flushes — and received
+//!   back at the join barrier, so a flush costs a queue hand-off
+//!   instead of a thread spawn, and no locks guard the hot path.
 //!
 //! Queues drain at *snapshot boundaries*: every analysis tick, a
 //! queue-depth threshold, [`drain_events`](ShardedMonitor::drain_events),
@@ -46,6 +49,7 @@ use std::time::Instant;
 
 use tdat::Analyzer;
 use tdat_packet::{AnomalyCounts, CaptureAnomaly, TcpFrame};
+use tdat_timeset::workpool::WorkerPool;
 use tdat_timeset::Micros;
 use tdat_trace::{ConnKey, ConnectionTracker, TrackerConfig};
 
@@ -67,24 +71,7 @@ const FLUSH_THRESHOLD: usize = 8_192;
 /// spawn costs more than the work.
 const PARALLEL_MIN: usize = 256;
 
-/// The deterministic shard for a connection key: an FNV-1a hash of the
-/// normalized endpoint pair, reduced modulo `shards`. Both directions
-/// of a connection map to the same [`ConnKey`] (endpoints are sorted),
-/// so a connection can never split across shards.
-pub fn shard_of(key: &ConnKey, shards: usize) -> usize {
-    let mut h: u64 = 0xcbf2_9ce4_8422_2325;
-    let mut eat = |bytes: &[u8]| {
-        for &b in bytes {
-            h ^= u64::from(b);
-            h = h.wrapping_mul(0x100_0000_01b3);
-        }
-    };
-    eat(&key.a.0.octets());
-    eat(&key.a.1.to_be_bytes());
-    eat(&key.b.0.octets());
-    eat(&key.b.1.to_be_bytes());
-    (h % shards.max(1) as u64) as usize
-}
+pub use tdat_trace::shard_of;
 
 /// A routed unit of data-plane work, executed by one shard in queue
 /// order.
@@ -137,10 +124,12 @@ enum GlobalOp {
     Event(Box<MonitorEvent>),
 }
 
-/// Read-only context shared with every shard during a flush.
-#[derive(Clone, Copy)]
-struct ShardCtx<'a> {
-    analyzer: &'a Analyzer,
+/// Read-only context shipped with every shard during a flush. Owned
+/// (the analyzer behind an `Arc`) rather than borrowed so it can cross
+/// into the persistent worker lanes, which outlive any one flush.
+#[derive(Debug, Clone)]
+struct ShardCtx {
+    analyzer: Arc<Analyzer>,
     window: Micros,
     timer_min_gaps: usize,
     stall_after: Micros,
@@ -214,10 +203,26 @@ fn panic_message(payload: Box<dyn std::any::Any + Send>) -> String {
 }
 
 impl Shard {
+    /// An inert shard left behind while the real one is out on a
+    /// worker lane — and the stand-in if that lane ever dies without
+    /// returning it (`poisoned` pre-set so the op log synthesizes
+    /// quarantined reports for everything the lost shard owed).
+    fn placeholder(lost: bool) -> Shard {
+        Shard {
+            scopes: Vec::new(),
+            queue: Vec::new(),
+            fins: VecDeque::new(),
+            ticks: VecDeque::new(),
+            poisoned: lost.then(|| "shard worker lane died".to_string()),
+            #[cfg(test)]
+            panic_next: false,
+        }
+    }
+
     /// [`run`](Self::run) under `catch_unwind`: a panicking batch
     /// poisons this shard instead of tearing down the watch (or, on
     /// the parallel path, aborting via a panicking worker thread).
-    fn run_guarded(&mut self, ctx: &ShardCtx<'_>) {
+    fn run_guarded(&mut self, ctx: &ShardCtx) {
         if self.poisoned.is_some() {
             // Drop anything routed before the coordinator noticed.
             self.queue.clear();
@@ -230,9 +235,9 @@ impl Shard {
         }
     }
 
-    /// Drains the mailbox in order. Runs on a worker thread during
+    /// Drains the mailbox in order. Runs on a worker lane during
     /// parallel flushes; everything it touches is shard-local.
-    fn run(&mut self, ctx: &ShardCtx<'_>) {
+    fn run(&mut self, ctx: &ShardCtx) {
         #[cfg(test)]
         if std::mem::take(&mut self.panic_next) {
             panic!("injected shard panic");
@@ -273,14 +278,14 @@ impl Shard {
                         debug_assert!(false, "router finalized a key this shard never saw");
                         continue;
                     };
-                    let outcome = scope.finalize_connection(fin, ctx.analyzer);
+                    let outcome = scope.finalize_connection(fin, &ctx.analyzer);
                     self.fins.push_back(outcome);
                 }
                 ShardOp::Tick { at } => {
                     let mut out: TickOutput = Vec::with_capacity(self.scopes.len());
                     for scope in &mut self.scopes {
                         let work = scope.dirty_work(at, ctx.recompute_all);
-                        scope.refresh(work, ctx.analyzer, ctx.window, ctx.timer_min_gaps);
+                        scope.refresh(work, &ctx.analyzer, ctx.window, ctx.timer_min_gaps);
                         out.push(scope.entry_conditions(at, ctx.stall_after));
                     }
                     self.ticks.push_back(out);
@@ -293,7 +298,8 @@ impl Shard {
 /// The sharded engine proper; public API lives on [`ShardedMonitor`].
 #[derive(Debug)]
 struct ShardEngine {
-    analyzer: Analyzer,
+    /// Shared with the worker lanes through each flush's [`ShardCtx`].
+    analyzer: Arc<Analyzer>,
     tracker_config: TrackerConfig,
     alerts: AlertEngine,
     metrics: MonitorMetrics,
@@ -311,6 +317,11 @@ struct ShardEngine {
     /// order-insensitive counters).
     unattributed: Vec<AnomalyCounts>,
     shards: Vec<Shard>,
+    /// Persistent worker lanes (one per shard), created on the first
+    /// flush big enough to go parallel; `None` until then so purely
+    /// inline workloads never spawn a thread. Lanes park on their rings
+    /// between flushes; dropping the engine closes and joins them.
+    pool: Option<WorkerPool<(Shard, ShardCtx), Shard>>,
     ops: Vec<GlobalOp>,
     /// Shard ops queued since the last flush.
     queued: usize,
@@ -322,7 +333,7 @@ impl ShardEngine {
     fn new(config: MonitorConfig) -> ShardEngine {
         let shard_count = config.shards.max(2);
         ShardEngine {
-            analyzer: Analyzer::new(config.analyzer).with_quarantine(config.quarantine),
+            analyzer: Arc::new(Analyzer::new(config.analyzer).with_quarantine(config.quarantine)),
             tracker_config: config.tracker,
             alerts: AlertEngine::new(config.alerts),
             metrics: MonitorMetrics::default(),
@@ -336,16 +347,9 @@ impl ShardEngine {
             index: HashMap::new(),
             unattributed: Vec::new(),
             shards: (0..shard_count)
-                .map(|_| Shard {
-                    scopes: Vec::new(),
-                    queue: Vec::new(),
-                    fins: VecDeque::new(),
-                    ticks: VecDeque::new(),
-                    poisoned: None,
-                    #[cfg(test)]
-                    panic_next: false,
-                })
+                .map(|_| Shard::placeholder(false))
                 .collect(),
+            pool: None,
             ops: Vec::new(),
             queued: 0,
             pending_backoff: config.pending_backoff,
@@ -588,7 +592,7 @@ impl ShardEngine {
                 0
             };
             let ctx = ShardCtx {
-                analyzer: &self.analyzer,
+                analyzer: Arc::clone(&self.analyzer),
                 window: self.window,
                 timer_min_gaps: self.alerts.config().timer_min_gaps,
                 stall_after: self.alerts.config().stall_after,
@@ -596,12 +600,40 @@ impl ShardEngine {
             };
             let busy = self.shards.iter().filter(|s| !s.queue.is_empty()).count();
             if busy > 1 && (self.queued >= PARALLEL_MIN || cached >= PARALLEL_MIN) {
-                std::thread::scope(|scope| {
-                    for shard in self.shards.iter_mut().filter(|s| !s.queue.is_empty()) {
-                        let ctx = &ctx;
-                        scope.spawn(move || shard.run_guarded(ctx));
-                    }
+                // Ship each busy shard to its persistent lane and take
+                // it back at the barrier: ownership moves, so the lanes
+                // need no 'static borrows and stay parked between
+                // flushes instead of being respawned per flush.
+                let lanes = self.shards.len();
+                let pool = self.pool.get_or_insert_with(|| {
+                    WorkerPool::new(
+                        lanes,
+                        1,
+                        |_| (),
+                        |(), (mut shard, ctx): (Shard, ShardCtx)| {
+                            shard.run_guarded(&ctx);
+                            Some(shard)
+                        },
+                    )
                 });
+                let busy_lanes: Vec<usize> = self
+                    .shards
+                    .iter()
+                    .enumerate()
+                    .filter(|(_, s)| !s.queue.is_empty())
+                    .map(|(i, _)| i)
+                    .collect();
+                for &i in &busy_lanes {
+                    let shard = std::mem::replace(&mut self.shards[i], Shard::placeholder(true));
+                    if !pool.send(i, (shard, ctx.clone())) {
+                        continue; // lane dead: the placeholder stands in, poisoned
+                    }
+                }
+                for &i in &busy_lanes {
+                    if let Some(shard) = pool.recv(i) {
+                        self.shards[i] = shard;
+                    }
+                }
             } else {
                 for shard in &mut self.shards {
                     if !shard.queue.is_empty() {

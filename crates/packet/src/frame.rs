@@ -153,10 +153,7 @@ impl<'a> FrameView<'a> {
         let tcp_plus_payload = (ip.total_len as usize)
             .saturating_sub(ip.header_len())
             .min(buf.len());
-        let mut tcp_buf = &buf[..tcp_plus_payload];
-        let before = tcp_buf.len();
-        let tcp = TcpHeader::decode(&mut tcp_buf)?;
-        let consumed = before - tcp_buf.len();
+        let (tcp, consumed) = TcpHeader::decode_slice(&buf[..tcp_plus_payload])?;
         let payload = &buf[consumed..tcp_plus_payload];
         Ok(FrameView {
             timestamp,

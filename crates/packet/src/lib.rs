@@ -46,6 +46,7 @@ mod follow;
 mod frame;
 mod ipv4;
 mod lossy;
+mod mmap;
 mod pcap;
 mod tcp;
 
@@ -58,6 +59,7 @@ pub use lossy::{
     AnomalyCounts, CaptureAnomaly, LossyDecoder, LossyFrame, LossyFrameView, LossyParse,
     LossyParseView, LossyReader,
 };
+pub use mmap::{BlockFrame, BlockIter, BlockViews, FrameBlock, MmapReader, DEFAULT_BLOCK_FRAMES};
 pub use pcap::{
     read_pcap_file, write_pcap_file, Frames, IntoFrames, PcapReader, PcapWriter, RawRecord,
     LINKTYPE_ETHERNET, MAGIC_MICROS, MAGIC_NANOS,

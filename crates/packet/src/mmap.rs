@@ -1,0 +1,765 @@
+//! Memory-mapped pcap ingest and block decode — the batch hot path.
+//!
+//! [`PcapReader`](crate::PcapReader) copies every record out of its
+//! input into a reusable buffer before parsing. That copy is already
+//! cheap, but for huge offline captures it is pure overhead: the bytes
+//! are sitting in the page cache, and the decode layer only needs to
+//! *borrow* them. [`MmapReader`] maps the file (via [`tdat_mapfile`])
+//! and feeds [`FrameView`]s straight out of the mapping; when mapping
+//! is unavailable the whole file is buffered once at open and the
+//! reader behaves identically.
+//!
+//! On top of that sits block decode: [`MmapReader::next_views_into`]
+//! fills a caller-owned [`FrameBlock`] with up to a block's worth of
+//! decoded headers per call. The per-frame loop then touches only
+//! pre-decoded slots — the pcap record-header parse, the epoch rebase,
+//! and the source-shrink check are hoisted out to once per block, and
+//! the TCP option scan runs through the SWAR word paths of
+//! [`TcpHeader::decode_into`]. Slots reuse their option-vector
+//! capacity, so steady-state block decode performs zero heap
+//! allocations per frame.
+//!
+//! # Truncation semantics
+//!
+//! A mapped file that another process shrinks turns the mapped tail
+//! into a `SIGBUS` trap. The reader therefore re-checks the on-disk
+//! length (one `fstat`, no page touched) before reading — per call for
+//! [`next_view`](MmapReader::next_view), once per block for
+//! [`next_views_into`](MmapReader::next_views_into) — and surfaces a
+//! shrink as [`PacketError::SourceTruncated`], the same typed error
+//! [`PcapFollower`](crate::PcapFollower) reports when a followed
+//! capture is rotated under it: never UB, never a panic. The check is
+//! inherently best-effort (a shrink can land between the check and the
+//! read), which is why the *follower* — built for live, churning files
+//! — sticks to buffered reads, while the mapped reader targets static
+//! offline captures. Buffered-fallback readers snapshot the file at
+//! open and cannot observe later shrinks at all.
+
+use std::fs::File;
+use std::io::{self, BufReader};
+use std::ops::Range;
+use std::path::Path;
+
+use crate::error::{PacketError, Result};
+use crate::eth::{EthernetHeader, ETHERTYPE_IPV4};
+use crate::frame::{FrameLike, FrameView, TcpFrame};
+use crate::ipv4::{Ipv4Header, IPPROTO_TCP};
+use crate::pcap::{parse_global_header, Endianness, PcapReader, RecordHeader, LINKTYPE_ETHERNET};
+use crate::tcp::TcpHeader;
+use tdat_mapfile::MappedFile;
+use tdat_timeset::Micros;
+
+/// Default number of frame slots in a [`FrameBlock`].
+pub const DEFAULT_BLOCK_FRAMES: usize = 256;
+
+/// The message `std::io::Read::read_exact` uses for a short read; the
+/// mapped reader mirrors it so both readers fail identically on a
+/// record that ends mid-data.
+const SHORT_READ: &str = "failed to fill whole buffer";
+
+/// Zero-copy pcap reader over a memory-mapped (or, as a fallback,
+/// fully buffered) capture file.
+///
+/// Iterates the same classic-pcap record stream as
+/// [`PcapReader`](crate::PcapReader) — both endiannesses, both
+/// timestamp resolutions, epoch rebased to the first record — and
+/// yields byte-identical frames, but borrows record bytes directly
+/// from the mapping instead of copying each record into a scratch
+/// buffer.
+///
+/// ```no_run
+/// use tdat_packet::{FrameBlock, FrameLike, MmapReader};
+///
+/// let mut reader = MmapReader::open("trace.pcap")?;
+/// let mut block = FrameBlock::new();
+/// loop {
+///     let views = reader.next_views_into(&mut block)?;
+///     if views.is_empty() {
+///         break;
+///     }
+///     for frame in views.iter() {
+///         let _ = frame.payload().len();
+///     }
+/// }
+/// # Ok::<(), Box<dyn std::error::Error>>(())
+/// ```
+#[derive(Debug)]
+pub struct MmapReader {
+    map: MappedFile,
+    /// Offset of the next unread byte (starts past the global header).
+    pos: usize,
+    endianness: Endianness,
+    nanos: bool,
+    link_type: u32,
+    /// Timestamp of the first record (the trace epoch).
+    epoch: Option<i64>,
+    /// Error hit while a partially filled block was in flight; returned
+    /// by the next read call so the block's frames are not lost.
+    pending: Option<PacketError>,
+}
+
+impl MmapReader {
+    /// Opens and maps a pcap file. Falls back to buffering the whole
+    /// file when mapping is unavailable (non-Linux hosts, empty files).
+    ///
+    /// # Errors
+    ///
+    /// Fails on I/O errors or an unrecognized magic number.
+    pub fn open(path: impl AsRef<Path>) -> Result<MmapReader> {
+        MmapReader::with_map(MappedFile::open(path)?)
+    }
+
+    /// Opens a pcap file with the buffered backing unconditionally —
+    /// the mmap-vs-buffered identity tests use this to exercise the
+    /// fallback on hosts where mapping would succeed.
+    ///
+    /// # Errors
+    ///
+    /// Same failure modes as [`open`](MmapReader::open).
+    pub fn open_buffered(path: impl AsRef<Path>) -> Result<MmapReader> {
+        MmapReader::with_map(MappedFile::open_unmapped(path)?)
+    }
+
+    /// Wraps an in-memory pcap image (bench corpora, tests).
+    ///
+    /// # Errors
+    ///
+    /// Fails on an unrecognized magic number or a short header.
+    pub fn from_vec(bytes: Vec<u8>) -> Result<MmapReader> {
+        MmapReader::with_map(MappedFile::from_vec(bytes))
+    }
+
+    fn with_map(map: MappedFile) -> Result<MmapReader> {
+        let bytes = map.bytes();
+        if bytes.len() < 24 {
+            return Err(PacketError::Io(io::Error::new(
+                io::ErrorKind::UnexpectedEof,
+                SHORT_READ,
+            )));
+        }
+        let mut header = [0u8; 24];
+        header.copy_from_slice(&bytes[..24]);
+        let (endianness, nanos, link_type) = parse_global_header(&header)?;
+        Ok(MmapReader {
+            map,
+            pos: 24,
+            endianness,
+            nanos,
+            link_type,
+            epoch: None,
+            pending: None,
+        })
+    }
+
+    /// The file's link type (e.g. [`LINKTYPE_ETHERNET`]).
+    pub fn link_type(&self) -> u32 {
+        self.link_type
+    }
+
+    /// `true` when the reader is backed by a live kernel mapping rather
+    /// than a buffered copy of the file.
+    pub fn is_mapped(&self) -> bool {
+        self.map.is_mapped()
+    }
+
+    /// Errors with [`PacketError::SourceTruncated`] if the underlying
+    /// file has shrunk below the mapped length — the typed shrink
+    /// signal shared with [`PcapFollower`](crate::PcapFollower).
+    /// Buffered and in-memory backings snapshot their bytes at open and
+    /// always pass.
+    fn shrink_check(&self) -> Result<()> {
+        if !self.map.is_mapped() {
+            return Ok(());
+        }
+        let current = self.map.current_file_len()?;
+        if (current as usize) < self.map.len() {
+            return Err(PacketError::SourceTruncated {
+                committed: self.pos as u64,
+                len: current,
+            });
+        }
+        Ok(())
+    }
+
+    /// Parses the next record header, advancing past the record.
+    /// Returns the rebased timestamp and the record's byte range in the
+    /// mapping, or `None` at a clean end of file (including a trailing
+    /// partial record *header*, which the buffered reader also treats
+    /// as EOF).
+    fn record_bounds(&mut self) -> Result<Option<(Micros, Range<usize>)>> {
+        let bytes = self.map.bytes();
+        if bytes.len() - self.pos < 16 {
+            return Ok(None);
+        }
+        let mut rec_header = [0u8; 16];
+        rec_header.copy_from_slice(&bytes[self.pos..self.pos + 16]);
+        let h = RecordHeader::parse(self.endianness, &rec_header);
+        if h.incl_len > 0x0400_0000 {
+            self.pos += 16;
+            return Err(PacketError::Malformed {
+                what: "pcap record",
+                detail: format!("implausible captured length {}", h.incl_len),
+            });
+        }
+        let data_start = self.pos + 16;
+        let data_end = data_start + h.incl_len as usize;
+        if data_end > bytes.len() {
+            self.pos = bytes.len();
+            return Err(PacketError::Io(io::Error::new(
+                io::ErrorKind::UnexpectedEof,
+                SHORT_READ,
+            )));
+        }
+        self.pos = data_end;
+        let abs = h.abs_micros(self.nanos);
+        let epoch = *self.epoch.get_or_insert(abs);
+        Ok(Some((Micros(abs - epoch), data_start..data_end)))
+    }
+
+    /// Reads the next record and parses it as a zero-copy
+    /// [`FrameView`] borrowing the mapping. The per-record path; for
+    /// bulk decode prefer [`next_views_into`](MmapReader::next_views_into),
+    /// which amortizes the record walk and the shrink check over a
+    /// whole block.
+    ///
+    /// # Errors
+    ///
+    /// Same failure modes as [`PcapReader::next_view`], plus
+    /// [`PacketError::SourceTruncated`] when the mapped file shrank.
+    pub fn next_view(&mut self) -> Result<Option<FrameView<'_>>> {
+        if let Some(err) = self.pending.take() {
+            return Err(err);
+        }
+        if self.link_type != LINKTYPE_ETHERNET {
+            return Err(PacketError::UnsupportedLinkType(self.link_type));
+        }
+        self.shrink_check()?;
+        match self.record_bounds()? {
+            Some((timestamp, range)) => {
+                FrameView::parse(timestamp, &self.map.bytes()[range]).map(Some)
+            }
+            None => Ok(None),
+        }
+    }
+
+    /// Decodes up to a block's worth of frames in one call, reusing
+    /// `block`'s slots (and their option-vector capacity). Returns the
+    /// decoded views; an empty result means a clean end of file.
+    ///
+    /// The pcap record walk, the trace-epoch rebase, and the
+    /// source-shrink check run once per block instead of once per
+    /// frame. A decode error inside a partially filled block is held
+    /// back and returned by the *next* call, so the error sequence a
+    /// consumer observes is identical to looping
+    /// [`next_view`](MmapReader::next_view).
+    ///
+    /// # Errors
+    ///
+    /// Same failure modes as [`next_view`](MmapReader::next_view).
+    pub fn next_views_into<'r>(&'r mut self, block: &'r mut FrameBlock) -> Result<BlockViews<'r>> {
+        block.len = 0;
+        if let Some(err) = self.pending.take() {
+            return Err(err);
+        }
+        if self.link_type != LINKTYPE_ETHERNET {
+            return Err(PacketError::UnsupportedLinkType(self.link_type));
+        }
+        self.shrink_check()?;
+        while block.len < block.slots.len() {
+            let (timestamp, range) = match self.record_bounds() {
+                Ok(Some(next)) => next,
+                Ok(None) => break,
+                Err(err) => {
+                    if block.len == 0 {
+                        return Err(err);
+                    }
+                    self.pending = Some(err);
+                    break;
+                }
+            };
+            let bytes = self.map.bytes();
+            let slot = &mut block.slots[block.len];
+            match slot.parse(timestamp, range.start, &bytes[range]) {
+                Ok(()) => block.len += 1,
+                Err(err) => {
+                    if block.len == 0 {
+                        return Err(err);
+                    }
+                    self.pending = Some(err);
+                    break;
+                }
+            }
+        }
+        Ok(BlockViews {
+            slots: &block.slots[..block.len],
+            data: self.map.bytes(),
+        })
+    }
+
+    /// Reads all frames into memory through the block-decode path.
+    ///
+    /// # Errors
+    ///
+    /// Propagates the first decode or I/O error.
+    pub fn read_all(&mut self) -> Result<Vec<TcpFrame>> {
+        // Same sizing heuristic as `PcapReader::read_all`.
+        let mut frames = Vec::with_capacity(self.map.len() / 330);
+        let mut block = FrameBlock::new();
+        loop {
+            let views = self.next_views_into(&mut block)?;
+            if views.is_empty() {
+                break;
+            }
+            for frame in views.iter() {
+                frames.push(frame.to_frame());
+            }
+        }
+        Ok(frames)
+    }
+}
+
+impl PcapReader<BufReader<File>> {
+    /// Opens a pcap file through the memory-mapped batch reader — the
+    /// zero-copy counterpart of [`PcapReader::open`]. Falls back to a
+    /// one-shot buffered read when mapping is unavailable.
+    ///
+    /// # Errors
+    ///
+    /// Same failure modes as [`MmapReader::open`].
+    pub fn open_mmap(path: impl AsRef<Path>) -> Result<MmapReader> {
+        MmapReader::open(path)
+    }
+}
+
+/// One decoded frame slot of a [`FrameBlock`]: the parsed headers plus
+/// the payload's byte range in the source mapping.
+#[derive(Debug, Clone)]
+struct FrameSlot {
+    timestamp: Micros,
+    eth: EthernetHeader,
+    ip: Ipv4Header,
+    tcp: TcpHeader,
+    payload_start: usize,
+    payload_len: usize,
+}
+
+impl Default for FrameSlot {
+    fn default() -> Self {
+        FrameSlot {
+            timestamp: Micros::ZERO,
+            eth: EthernetHeader::default(),
+            ip: Ipv4Header::default(),
+            tcp: TcpHeader::default(),
+            payload_start: 0,
+            payload_len: 0,
+        }
+    }
+}
+
+impl FrameSlot {
+    /// Decodes one record into this slot. Mirrors [`FrameView::parse`]
+    /// exactly (same validation, trimming, and errors) but writes the
+    /// TCP header in place so option-vector capacity is reused.
+    /// `base` is the record's data offset in the source mapping.
+    fn parse(&mut self, timestamp: Micros, base: usize, wire: &[u8]) -> Result<()> {
+        let mut buf = wire;
+        let eth = EthernetHeader::decode(&mut buf)?;
+        if eth.ethertype != ETHERTYPE_IPV4 {
+            return Err(PacketError::Malformed {
+                what: "ethernet header",
+                detail: format!("ethertype {:#06x} is not ipv4", eth.ethertype),
+            });
+        }
+        let ip = Ipv4Header::decode(&mut buf)?;
+        if ip.protocol != IPPROTO_TCP {
+            return Err(PacketError::Malformed {
+                what: "ipv4 header",
+                detail: format!("protocol {} is not tcp", ip.protocol),
+            });
+        }
+        let tcp_plus_payload = (ip.total_len as usize)
+            .saturating_sub(ip.header_len())
+            .min(buf.len());
+        let headers_consumed = wire.len() - buf.len();
+        let tcp_consumed = self.tcp.decode_into(&buf[..tcp_plus_payload])?;
+        self.timestamp = timestamp;
+        self.eth = eth;
+        self.ip = ip;
+        self.payload_start = base + headers_consumed + tcp_consumed;
+        self.payload_len = tcp_plus_payload - tcp_consumed;
+        Ok(())
+    }
+}
+
+/// A reusable batch of decoded frame slots, filled by
+/// [`MmapReader::next_views_into`]. Allocate once, reuse across the
+/// whole capture: slots (including their TCP option vectors) keep
+/// their capacity between refills.
+#[derive(Debug)]
+pub struct FrameBlock {
+    slots: Vec<FrameSlot>,
+    len: usize,
+}
+
+impl FrameBlock {
+    /// A block with [`DEFAULT_BLOCK_FRAMES`] slots.
+    pub fn new() -> FrameBlock {
+        FrameBlock::with_capacity(DEFAULT_BLOCK_FRAMES)
+    }
+
+    /// A block with a custom number of slots per refill.
+    pub fn with_capacity(frames: usize) -> FrameBlock {
+        FrameBlock {
+            slots: vec![FrameSlot::default(); frames.max(1)],
+            len: 0,
+        }
+    }
+
+    /// Number of frames decoded by the most recent refill.
+    pub fn len(&self) -> usize {
+        self.len
+    }
+
+    /// `true` when the most recent refill decoded no frames.
+    pub fn is_empty(&self) -> bool {
+        self.len == 0
+    }
+
+    /// Number of slots available per refill.
+    pub fn capacity(&self) -> usize {
+        self.slots.len()
+    }
+}
+
+impl Default for FrameBlock {
+    fn default() -> Self {
+        FrameBlock::new()
+    }
+}
+
+/// The decoded frames of one [`FrameBlock`] refill, borrowing both the
+/// block's slots and the source mapping.
+#[derive(Debug, Clone, Copy)]
+pub struct BlockViews<'a> {
+    slots: &'a [FrameSlot],
+    data: &'a [u8],
+}
+
+impl<'a> BlockViews<'a> {
+    /// Number of decoded frames in the block.
+    pub fn len(&self) -> usize {
+        self.slots.len()
+    }
+
+    /// `true` when the block holds no frames (clean end of file).
+    pub fn is_empty(&self) -> bool {
+        self.slots.is_empty()
+    }
+
+    /// The `index`-th decoded frame, if in range.
+    pub fn get(&self, index: usize) -> Option<BlockFrame<'a>> {
+        self.slots.get(index).map(|slot| BlockFrame {
+            slot,
+            data: self.data,
+        })
+    }
+
+    /// Iterates the block's decoded frames.
+    pub fn iter(&self) -> BlockIter<'a> {
+        BlockIter {
+            slots: self.slots.iter(),
+            data: self.data,
+        }
+    }
+}
+
+impl<'a> IntoIterator for &BlockViews<'a> {
+    type Item = BlockFrame<'a>;
+    type IntoIter = BlockIter<'a>;
+
+    fn into_iter(self) -> BlockIter<'a> {
+        self.iter()
+    }
+}
+
+/// Iterator over the frames of a [`BlockViews`].
+#[derive(Debug, Clone)]
+pub struct BlockIter<'a> {
+    slots: std::slice::Iter<'a, FrameSlot>,
+    data: &'a [u8],
+}
+
+impl<'a> Iterator for BlockIter<'a> {
+    type Item = BlockFrame<'a>;
+
+    fn next(&mut self) -> Option<BlockFrame<'a>> {
+        self.slots.next().map(|slot| BlockFrame {
+            slot,
+            data: self.data,
+        })
+    }
+
+    fn size_hint(&self) -> (usize, Option<usize>) {
+        self.slots.size_hint()
+    }
+}
+
+impl ExactSizeIterator for BlockIter<'_> {}
+
+/// One block-decoded frame: pre-parsed headers in the block slot plus
+/// a payload borrowed from the source mapping. Implements
+/// [`FrameLike`], so trackers and demultiplexers consume it exactly
+/// like a [`FrameView`].
+#[derive(Debug, Clone, Copy)]
+pub struct BlockFrame<'a> {
+    slot: &'a FrameSlot,
+    data: &'a [u8],
+}
+
+impl<'a> BlockFrame<'a> {
+    /// Link layer header.
+    pub fn eth(&self) -> &'a EthernetHeader {
+        &self.slot.eth
+    }
+
+    /// Reassembles the equivalent [`FrameView`], byte-identical to what
+    /// [`PcapReader::next_view`] yields for the same record.
+    pub fn to_view(&self) -> FrameView<'a> {
+        FrameView {
+            timestamp: self.slot.timestamp,
+            eth: self.slot.eth,
+            ip: self.slot.ip.clone(),
+            tcp: self.slot.tcp.clone(),
+            payload: self.payload_bytes(),
+        }
+    }
+
+    /// Copies into an owned [`TcpFrame`].
+    pub fn to_frame(&self) -> TcpFrame {
+        TcpFrame {
+            timestamp: self.slot.timestamp,
+            eth: self.slot.eth,
+            ip: self.slot.ip.clone(),
+            tcp: self.slot.tcp.clone(),
+            payload: self.payload_bytes().to_vec(),
+        }
+    }
+
+    fn payload_bytes(&self) -> &'a [u8] {
+        &self.data[self.slot.payload_start..self.slot.payload_start + self.slot.payload_len]
+    }
+}
+
+impl FrameLike for BlockFrame<'_> {
+    fn timestamp(&self) -> Micros {
+        self.slot.timestamp
+    }
+    fn ip(&self) -> &Ipv4Header {
+        &self.slot.ip
+    }
+    fn tcp(&self) -> &TcpHeader {
+        &self.slot.tcp
+    }
+    fn payload(&self) -> &[u8] {
+        self.payload_bytes()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::frame::FrameBuilder;
+    use crate::pcap::PcapWriter;
+    use crate::tcp::TcpOption;
+    use crate::TcpFlags;
+    use std::net::Ipv4Addr;
+
+    fn capture(frames: usize) -> Vec<u8> {
+        let mut buf = Vec::new();
+        let mut w = PcapWriter::new(&mut buf).unwrap();
+        for i in 0..frames {
+            let frame = FrameBuilder::new(Ipv4Addr::new(10, 0, 0, 1), Ipv4Addr::new(10, 0, 0, 2))
+                .at(Micros::from_millis(i as i64))
+                .ports(179, 40000 + (i % 7) as u16)
+                .seq(i as u32 * 100)
+                .ack_to(i as u32)
+                .option(TcpOption::Timestamps(i as u32, i as u32 / 2))
+                .payload(vec![0xab; i % 1400])
+                .build();
+            w.write_frame(&frame).unwrap();
+        }
+
+        buf
+    }
+
+    #[test]
+    fn from_vec_matches_buffered_reader() {
+        let pcap = capture(200);
+        let expect = PcapReader::new(&pcap[..]).unwrap().read_all().unwrap();
+        let got = MmapReader::from_vec(pcap.clone())
+            .unwrap()
+            .read_all()
+            .unwrap();
+        assert_eq!(got, expect);
+
+        // Per-record path agrees too.
+        let mut reader = MmapReader::from_vec(pcap).unwrap();
+        let mut singles = Vec::new();
+        while let Some(view) = reader.next_view().unwrap() {
+            singles.push(view.to_frame());
+        }
+        assert_eq!(singles, expect);
+    }
+
+    #[test]
+    fn mapped_file_matches_buffered_fallback() {
+        let pcap = capture(300);
+        let path = std::env::temp_dir().join(format!("tdat-mmap-identity-{}", std::process::id()));
+        std::fs::write(&path, &pcap).unwrap();
+
+        let mapped = MmapReader::open(&path).unwrap();
+        assert!(mapped.is_mapped());
+        let via_map = { mapped }.read_all().unwrap();
+        let via_buf = MmapReader::open_buffered(&path)
+            .unwrap()
+            .read_all()
+            .unwrap();
+        let via_classic = PcapReader::open(&path).unwrap().read_all().unwrap();
+        assert_eq!(via_map, via_classic);
+        assert_eq!(via_buf, via_classic);
+
+        std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn block_decode_recycles_slots() {
+        let pcap = capture(1000);
+        let mut reader = MmapReader::from_vec(pcap.clone()).unwrap();
+        let mut block = FrameBlock::with_capacity(64);
+        let mut total = 0usize;
+        let mut rebuilt = Vec::new();
+        loop {
+            let views = reader.next_views_into(&mut block).unwrap();
+            if views.is_empty() {
+                break;
+            }
+            assert!(views.len() <= 64);
+            total += views.len();
+            for frame in &views {
+                rebuilt.push(frame.to_frame());
+            }
+        }
+        assert_eq!(total, 1000);
+        let expect = PcapReader::new(&pcap[..]).unwrap().read_all().unwrap();
+        assert_eq!(rebuilt, expect);
+    }
+
+    #[test]
+    fn decode_error_sequence_matches_per_frame_loop() {
+        // A capture whose middle record is a non-IPv4 ethertype: the
+        // block path must yield the same frames and the same error, in
+        // the same order, as the per-frame loop.
+        let mut buf = Vec::new();
+        let mut w = PcapWriter::new(&mut buf).unwrap();
+        let good = FrameBuilder::new(Ipv4Addr::new(10, 0, 0, 1), Ipv4Addr::new(10, 0, 0, 2))
+            .at(Micros::ZERO)
+            .payload(b"ok".to_vec())
+            .build();
+        let mut bad = good.clone();
+        bad.eth.ethertype = 0x86dd;
+        w.write_frame(&good).unwrap();
+        w.write_record(Micros(10), &bad.to_wire(), 60).unwrap();
+        w.write_frame(&good).unwrap();
+
+        // Reference: per-frame loop over the classic reader.
+        let mut classic = PcapReader::new(&buf[..]).unwrap();
+        let first = classic.next_view().unwrap().unwrap().to_frame();
+        let err = classic.next_view().unwrap_err();
+        let last = classic.next_view().unwrap().unwrap().to_frame();
+        assert!(classic.next_view().unwrap().is_none());
+
+        let mut reader = MmapReader::from_vec(buf).unwrap();
+        let mut block = FrameBlock::new();
+        let views = reader.next_views_into(&mut block).unwrap();
+        assert_eq!(views.len(), 1);
+        assert_eq!(views.get(0).unwrap().to_frame(), first);
+        let block_err = reader.next_views_into(&mut block).unwrap_err();
+        assert_eq!(block_err.to_string(), err.to_string());
+        let views = reader.next_views_into(&mut block).unwrap();
+        assert_eq!(views.len(), 1);
+        assert_eq!(views.get(0).unwrap().to_frame(), last);
+        assert!(reader.next_views_into(&mut block).unwrap().is_empty());
+    }
+
+    #[test]
+    fn shrunk_mapping_surfaces_typed_error() {
+        // The pinned truncation-semantics test: shrinking a mapped
+        // capture mid-read yields PacketError::SourceTruncated — the
+        // same typed signal PcapFollower uses — not UB or a panic.
+        let pcap = capture(500);
+        let path = std::env::temp_dir().join(format!("tdat-mmap-shrink-{}", std::process::id()));
+        std::fs::write(&path, &pcap).unwrap();
+
+        let mut reader = MmapReader::open(&path).unwrap();
+        if !reader.is_mapped() {
+            std::fs::remove_file(&path).ok();
+            return; // fallback backing cannot observe shrinks
+        }
+        let mut block = FrameBlock::with_capacity(8);
+        let views = reader.next_views_into(&mut block).unwrap();
+        assert_eq!(views.len(), 8);
+
+        let f = std::fs::OpenOptions::new().write(true).open(&path).unwrap();
+        f.set_len(64).unwrap();
+        drop(f);
+
+        let err = reader.next_views_into(&mut block).unwrap_err();
+        match err {
+            PacketError::SourceTruncated { committed, len } => {
+                assert_eq!(len, 64);
+                assert!(committed > 24);
+            }
+            other => panic!("expected SourceTruncated, got {other:?}"),
+        }
+        assert!(err.is_transient());
+
+        // The per-record path reports the same condition.
+        let err = reader.next_view().unwrap_err();
+        assert!(matches!(err, PacketError::SourceTruncated { .. }));
+
+        std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn pure_acks_and_flags_survive_block_decode() {
+        let mut buf = Vec::new();
+        let mut w = PcapWriter::new(&mut buf).unwrap();
+        let ack = FrameBuilder::new(Ipv4Addr::new(10, 0, 0, 9), Ipv4Addr::new(10, 0, 0, 8))
+            .at(Micros::ZERO)
+            .ack_to(77)
+            .build();
+        let fin = FrameBuilder::new(Ipv4Addr::new(10, 0, 0, 9), Ipv4Addr::new(10, 0, 0, 8))
+            .at(Micros(5))
+            .flags(TcpFlags::FIN | TcpFlags::ACK)
+            .seq(3)
+            .build();
+        w.write_frame(&ack).unwrap();
+        w.write_frame(&fin).unwrap();
+
+        let mut reader = MmapReader::from_vec(buf).unwrap();
+        let mut block = FrameBlock::new();
+        let views = reader.next_views_into(&mut block).unwrap();
+        assert_eq!(views.len(), 2);
+        let first = views.get(0).unwrap();
+        assert!(first.is_pure_ack());
+        assert_eq!(FrameLike::seq_end(&views.get(1).unwrap()), 4);
+        assert_eq!(views.get(1).unwrap().to_view().tcp.flags.to_string(), "FA");
+    }
+
+    #[test]
+    fn short_header_errors_like_classic_reader() {
+        let classic = PcapReader::new(&[0u8; 10][..]).unwrap_err();
+        let mapped = MmapReader::from_vec(vec![0u8; 10]).unwrap_err();
+        assert_eq!(classic.to_string(), mapped.to_string());
+    }
+}

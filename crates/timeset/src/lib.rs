@@ -45,6 +45,7 @@ pub mod faultpoint;
 mod series;
 mod set;
 mod time;
+pub mod workpool;
 
 pub use series::{Event, EventSeries};
 pub use set::{Gaps, SpanScratch, SpanSet};

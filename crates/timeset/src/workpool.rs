@@ -1,0 +1,426 @@
+//! Persistent worker lanes fed by bounded SPSC rings.
+//!
+//! The sharded batch analyzer and the sharded monitor both need the
+//! same shape of parallelism: a fixed set of workers, each *owning*
+//! long-lived per-shard state, fed batches of work by a single
+//! coordinator and answering on a private result ring. Spawning scoped
+//! threads per batch (the monitor's original flush strategy) pays a
+//! thread start/stop per flush and forbids worker-owned state across
+//! batches; a [`WorkerPool`] instead parks persistent threads on their
+//! rings, so steady-state hand-off is a queue push + wakeup.
+//!
+//! Each lane is a dedicated OS thread with:
+//!
+//! * its own **job ring** and **result ring** — bounded queues used
+//!   single-producer/single-consumer (coordinator on one end, the lane
+//!   thread on the other; a mutex + condvar pair per ring, uncontended
+//!   at batch granularity);
+//! * **lane state** built once by the `init` closure on the lane's own
+//!   thread — it never crosses a thread boundary afterwards, so it
+//!   needs no `Send`/`Sync` and can own trackers, demuxers, caches;
+//! * a **close/join** protocol: dropping the pool closes every job
+//!   ring, lets the lanes drain, and joins the threads.
+//!
+//! Determinism note: a lane processes its jobs strictly in push order,
+//! and results arrive on the *lane's own* ring — nothing is merged
+//! across lanes here. Cross-lane ordering is the coordinator's job
+//! (ordinal merge in the analyzers), which is what keeps sharded
+//! output byte-identical to serial runs.
+//!
+//! A lane that dies mid-job (a panic in `work`) closes its result ring
+//! on the way out, so a blocked [`recv`](WorkerPool::recv) returns
+//! `None` instead of deadlocking; callers surface that as a worker
+//! failure.
+
+use std::collections::VecDeque;
+use std::sync::{Arc, Condvar, Mutex};
+use std::thread::JoinHandle;
+
+/// A bounded queue with blocking push/pop and close semantics, used as
+/// one direction of a lane's ring pair.
+#[derive(Debug)]
+struct Ring<T> {
+    state: Mutex<RingState<T>>,
+    /// Signalled when space frees up (waited on by `push`).
+    space: Condvar,
+    /// Signalled when an item or close arrives (waited on by `pop`).
+    items: Condvar,
+}
+
+#[derive(Debug)]
+struct RingState<T> {
+    queue: VecDeque<T>,
+    capacity: usize,
+    closed: bool,
+}
+
+impl<T> Ring<T> {
+    fn new(capacity: usize) -> Ring<T> {
+        Ring {
+            state: Mutex::new(RingState {
+                queue: VecDeque::with_capacity(capacity),
+                capacity,
+                closed: false,
+            }),
+            space: Condvar::new(),
+            items: Condvar::new(),
+        }
+    }
+
+    fn lock(&self) -> std::sync::MutexGuard<'_, RingState<T>> {
+        // A ring mutex is only held for queue pushes/pops that cannot
+        // panic, so a poisoned lock means a panic *elsewhere* already
+        // tore the pool down; propagating the inner state keeps
+        // shutdown moving instead of double-panicking.
+        match self.state.lock() {
+            Ok(guard) => guard,
+            Err(poisoned) => poisoned.into_inner(),
+        }
+    }
+
+    /// Blocks until there is space (or the ring closed), then enqueues.
+    /// Returns `false` if the ring was closed and the item dropped.
+    fn push(&self, item: T) -> bool {
+        let mut state = self.lock();
+        while state.queue.len() >= state.capacity && !state.closed {
+            state = match self.space.wait(state) {
+                Ok(guard) => guard,
+                Err(poisoned) => poisoned.into_inner(),
+            };
+        }
+        if state.closed {
+            return false;
+        }
+        state.queue.push_back(item);
+        drop(state);
+        self.items.notify_one();
+        true
+    }
+
+    /// Blocks until an item is available; `None` once the ring is
+    /// closed *and* drained.
+    fn pop(&self) -> Option<T> {
+        let mut state = self.lock();
+        loop {
+            if let Some(item) = state.queue.pop_front() {
+                drop(state);
+                self.space.notify_one();
+                return Some(item);
+            }
+            if state.closed {
+                return None;
+            }
+            state = match self.items.wait(state) {
+                Ok(guard) => guard,
+                Err(poisoned) => poisoned.into_inner(),
+            };
+        }
+    }
+
+    /// Non-blocking pop; `None` when empty (closed or not).
+    fn try_pop(&self) -> Option<T> {
+        let mut state = self.lock();
+        let item = state.queue.pop_front();
+        if item.is_some() {
+            drop(state);
+            self.space.notify_one();
+        }
+        item
+    }
+
+    /// Closes the ring: pending items stay poppable, further pushes
+    /// fail, and all waiters wake.
+    fn close(&self) {
+        self.lock().closed = true;
+        self.space.notify_all();
+        self.items.notify_all();
+    }
+}
+
+/// Closes a lane's result ring when the lane thread exits — including
+/// by panic, so a coordinator blocked on [`WorkerPool::recv`] wakes up
+/// instead of deadlocking.
+struct CloseOnExit<R>(Arc<Ring<R>>);
+
+impl<R> Drop for CloseOnExit<R> {
+    fn drop(&mut self) {
+        self.0.close();
+    }
+}
+
+struct LaneHandle<J, R> {
+    jobs: Arc<Ring<J>>,
+    results: Arc<Ring<R>>,
+    thread: Option<JoinHandle<()>>,
+}
+
+/// A fixed set of persistent worker threads ("lanes"), each owning
+/// private state and fed through its own bounded job/result ring pair.
+///
+/// ```
+/// use tdat_timeset::workpool::WorkerPool;
+///
+/// // Four lanes, each owning a running sum, jobs capped at 8 in
+/// // flight per lane.
+/// let pool: WorkerPool<u64, u64> =
+///     WorkerPool::new(4, 8, |_lane| 0u64, |sum, job| {
+///         *sum += job;
+///         Some(*sum)
+///     });
+/// pool.send(1, 10);
+/// pool.send(1, 32);
+/// assert_eq!(pool.recv(1), Some(10));
+/// assert_eq!(pool.recv(1), Some(42)); // state persisted across jobs
+/// ```
+pub struct WorkerPool<J, R> {
+    lanes: Vec<LaneHandle<J, R>>,
+}
+
+impl<J: Send + 'static, R: Send + 'static> WorkerPool<J, R> {
+    /// Spawns `lanes` persistent worker threads. Each lane calls
+    /// `init(lane_index)` once on its own thread to build its state,
+    /// then runs `work(&mut state, job)` for every job in push order,
+    /// pushing every `Some` result onto its result ring. Rings hold at
+    /// most `capacity` items; a full ring blocks the pusher
+    /// (backpressure) rather than growing.
+    pub fn new<S, I, W>(lanes: usize, capacity: usize, init: I, work: W) -> WorkerPool<J, R>
+    where
+        S: 'static,
+        I: Fn(usize) -> S + Send + Sync + 'static,
+        W: Fn(&mut S, J) -> Option<R> + Send + Sync + 'static,
+    {
+        let init = Arc::new(init);
+        let work = Arc::new(work);
+        let lanes = (0..lanes.max(1))
+            .map(|index| {
+                let jobs = Arc::new(Ring::new(capacity.max(1)));
+                let results = Arc::new(Ring::new(capacity.max(1)));
+                let thread = {
+                    let jobs = Arc::clone(&jobs);
+                    let results = Arc::clone(&results);
+                    let init = Arc::clone(&init);
+                    let work = Arc::clone(&work);
+                    std::thread::Builder::new()
+                        .name(format!("tdat-lane-{index}"))
+                        .spawn(move || {
+                            let closer = CloseOnExit(Arc::clone(&results));
+                            let mut state = init(index);
+                            while let Some(job) = jobs.pop() {
+                                if let Some(result) = work(&mut state, job) {
+                                    if !results.push(result) {
+                                        break;
+                                    }
+                                }
+                            }
+                            drop(closer);
+                        })
+                        .unwrap_or_else(|err| panic!("failed to spawn worker lane: {err}"))
+                };
+                LaneHandle {
+                    jobs,
+                    results,
+                    thread: Some(thread),
+                }
+            })
+            .collect();
+        WorkerPool { lanes }
+    }
+
+    /// Number of lanes in the pool.
+    pub fn lanes(&self) -> usize {
+        self.lanes.len()
+    }
+
+    /// Enqueues a job on `lane`, blocking while its ring is full.
+    /// Returns `false` if the lane is no longer accepting work (its
+    /// thread died).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `lane` is out of range.
+    pub fn send(&self, lane: usize, job: J) -> bool {
+        self.lanes[lane].jobs.push(job)
+    }
+
+    /// Blocks for the next result from `lane`; `None` means the lane
+    /// produced everything it ever will (it died or the pool is
+    /// shutting down).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `lane` is out of range.
+    pub fn recv(&self, lane: usize) -> Option<R> {
+        self.lanes[lane].results.pop()
+    }
+
+    /// Non-blocking variant of [`recv`](WorkerPool::recv): `None` when
+    /// no result is currently queued.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `lane` is out of range.
+    pub fn try_recv(&self, lane: usize) -> Option<R> {
+        self.lanes[lane].results.try_pop()
+    }
+}
+
+impl<J, R> Drop for WorkerPool<J, R> {
+    fn drop(&mut self) {
+        for lane in &self.lanes {
+            lane.jobs.close();
+            // Results nobody will collect must not block lane exit.
+            lane.results.close();
+        }
+        for lane in &mut self.lanes {
+            if let Some(thread) = lane.thread.take() {
+                // A panicked lane already closed its rings via
+                // CloseOnExit; the panic itself was the lane's way of
+                // reporting, so joining its remains is not an error.
+                let _ = thread.join();
+            }
+        }
+    }
+}
+
+impl<J, R> std::fmt::Debug for WorkerPool<J, R> {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("WorkerPool")
+            .field("lanes", &self.lanes.len())
+            .finish()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::atomic::{AtomicUsize, Ordering};
+
+    #[test]
+    fn jobs_run_in_order_with_persistent_state() {
+        let pool: WorkerPool<u32, (usize, u32)> = WorkerPool::new(
+            3,
+            4,
+            |lane| (lane, 0u32),
+            |state, job| {
+                state.1 += job;
+                Some((state.0, state.1))
+            },
+        );
+        for lane in 0..3 {
+            for job in 1..=5u32 {
+                assert!(pool.send(lane, job));
+            }
+        }
+        for lane in 0..3 {
+            let mut last = 0;
+            for _ in 0..5 {
+                let (l, sum) = pool.recv(lane).unwrap();
+                assert_eq!(l, lane);
+                assert!(sum > last, "results must arrive in push order");
+                last = sum;
+            }
+        }
+        assert_eq!(pool.lanes(), 3);
+    }
+
+    #[test]
+    fn init_runs_once_per_lane() {
+        static INITS: AtomicUsize = AtomicUsize::new(0);
+        let pool: WorkerPool<(), usize> = WorkerPool::new(
+            4,
+            2,
+            |lane| {
+                INITS.fetch_add(1, Ordering::SeqCst);
+                lane
+            },
+            |lane, ()| Some(*lane),
+        );
+        for lane in 0..4 {
+            pool.send(lane, ());
+            pool.send(lane, ());
+        }
+        for lane in 0..4 {
+            assert_eq!(pool.recv(lane), Some(lane));
+            assert_eq!(pool.recv(lane), Some(lane));
+        }
+        assert_eq!(INITS.load(Ordering::SeqCst), 4);
+    }
+
+    #[test]
+    fn bounded_ring_applies_backpressure_without_loss() {
+        // Capacity 1: the coordinator cannot run ahead of the worker by
+        // more than one job + one result, yet every job must complete.
+        let pool: WorkerPool<u64, u64> = WorkerPool::new(1, 1, |_| (), |(), job| Some(job * 2));
+        let mut collected = Vec::new();
+        for job in 0..64u64 {
+            // Drain opportunistically so the send never deadlocks on a
+            // full result ring.
+            while let Some(result) = pool.try_recv(0) {
+                collected.push(result);
+            }
+            assert!(pool.send(0, job));
+        }
+        while collected.len() < 64 {
+            collected.push(pool.recv(0).unwrap());
+        }
+        assert_eq!(collected, (0..64).map(|j| j * 2).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn jobs_may_produce_no_result() {
+        let pool: WorkerPool<u32, u32> =
+            WorkerPool::new(1, 8, |_| (), |(), job| (job % 2 == 0).then_some(job));
+        for job in 0..10 {
+            pool.send(0, job);
+        }
+        let evens: Vec<u32> = (0..5).map(|_| pool.recv(0).unwrap()).collect();
+        assert_eq!(evens, vec![0, 2, 4, 6, 8]);
+    }
+
+    #[test]
+    fn dead_lane_unblocks_receiver() {
+        let pool: WorkerPool<u32, u32> = WorkerPool::new(
+            1,
+            8,
+            |_| (),
+            |(), job| {
+                assert!(job != 3, "injected worker fault");
+                Some(job)
+            },
+        );
+        for job in 0..5 {
+            pool.send(0, job);
+        }
+        assert_eq!(pool.recv(0), Some(0));
+        assert_eq!(pool.recv(0), Some(1));
+        assert_eq!(pool.recv(0), Some(2));
+        // Job 3 kills the lane; the result ring closes instead of
+        // leaving us blocked forever.
+        assert_eq!(pool.recv(0), None);
+        assert_eq!(pool.recv(0), None);
+    }
+
+    #[test]
+    fn drop_joins_all_lanes() {
+        static RAN: AtomicUsize = AtomicUsize::new(0);
+        {
+            let pool: WorkerPool<(), ()> = WorkerPool::new(
+                4,
+                16,
+                |_| (),
+                |(), ()| {
+                    RAN.fetch_add(1, Ordering::SeqCst);
+                    None
+                },
+            );
+            for lane in 0..4 {
+                for _ in 0..8 {
+                    pool.send(lane, ());
+                }
+            }
+        }
+        // Drop closed the rings and joined; every job that was queued
+        // before close ran.
+        assert_eq!(RAN.load(Ordering::SeqCst), 32);
+    }
+}

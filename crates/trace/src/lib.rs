@@ -51,7 +51,8 @@ mod throughput;
 mod tracker;
 
 pub use conn::{
-    extract_connections, ConnKey, ConnProfile, Direction, Endpoint, Segment, TcpConnection,
+    extract_connections, shard_of, ConnKey, ConnProfile, Direction, Endpoint, Segment,
+    TcpConnection,
 };
 pub use flight::{default_flight_gap, group_flights, Flight};
 pub use label::{label_segments, loss_episodes, LabelConfig, LossEpisode, SegLabel};
